@@ -1,0 +1,461 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+//!
+//! * **Fidelity** — what the Full machine simulation costs versus the
+//!   Fast decision-only path, and confirmation that the decision is
+//!   identical (the design invariant that lets the 1056-run study use
+//!   Fast).
+//! * **Fault chunking** — the `fault_chunk` parameter trades foreground
+//!   I/O interleaving against per-request overhead.
+//! * **Scheduler quantum** — the paper attributes Quake's blank-run noise
+//!   floor to scheduling jitter; quantum size drives that jitter.
+//! * **Mixture-aware calibration** — the population solves its base fit
+//!   against the skill-multiplied mixture; the ablation quantifies the
+//!   quantile error a naive (plain-fit + multipliers) population incurs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uucs_bench::print_once;
+use uucs_comfort::{calibration, UserPopulation};
+use uucs_sim::workload::FnWorkload;
+use uucs_sim::{Action, Machine, MachineConfig, SEC};
+use uucs_workloads::quake::{FrameStats, QuakeModel};
+
+fn fidelity_ablation(c: &mut Criterion) {
+    use uucs_comfort::{execute_run, Fidelity, RunSetup, RunStyle};
+    use uucs_testcase::{ExerciseSpec, Resource, Testcase};
+    let pop = UserPopulation::generate(8, 1);
+    let tc = Testcase::single(
+        "abl-cpu-ramp",
+        1.0,
+        Resource::Cpu,
+        ExerciseSpec::Ramp { level: 2.0, duration: 120.0 },
+    );
+    print_once("Ablation: Fast vs Full fidelity decisions", || {
+        let mut out = String::from("user  outcome(fast)==outcome(full)  offset match\n");
+        for (i, u) in pop.users().iter().enumerate() {
+            let mk = |fidelity| {
+                execute_run(&RunSetup {
+                    user: u,
+                    task: uucs_workloads::Task::Powerpoint,
+                    testcase: &tc,
+                    style: RunStyle::Ramp,
+                    seed: 100 + i as u64,
+                    fidelity,
+                    client_id: "abl".into(),
+                })
+            };
+            let fast = mk(Fidelity::Fast);
+            let full = mk(Fidelity::Full);
+            out.push_str(&format!(
+                "{:<5} {:<30} {}\n",
+                u.id,
+                fast.outcome == full.outcome,
+                fast.offset_secs == full.offset_secs
+            ));
+        }
+        out
+    });
+    let mut group = c.benchmark_group("ablation/fidelity");
+    group.sample_size(10);
+    for (name, fid) in [
+        ("fast", uucs_comfort::Fidelity::Fast),
+        ("full", uucs_comfort::Fidelity::Full),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let rec = execute_run(&RunSetup {
+                    user: &pop.users()[0],
+                    task: uucs_workloads::Task::Powerpoint,
+                    testcase: &tc,
+                    style: RunStyle::Ramp,
+                    seed: 55,
+                    fidelity: fid,
+                    client_id: "abl".into(),
+                });
+                black_box(rec.offset_secs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fault_chunk_ablation(c: &mut Criterion) {
+    // A foreground thread does small reads while a fault storm runs;
+    // chunk size determines how often the foreground can interleave.
+    let run_with_chunk = |chunk: u32| -> (u64, u64) {
+        let cfg = MachineConfig {
+            fault_chunk: chunk,
+            mem_pages: 20_000,
+            seed: 9,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg);
+        // Fault storm: touch a big region, evicted by a second one, over
+        // and over.
+        let mut phase = 0u32;
+        let mut r1 = None;
+        let mut r2 = None;
+        m.spawn(
+            "storm",
+            Box::new(FnWorkload::new("storm", move |ctx| {
+                if r1.is_none() {
+                    r1 = Some(ctx.alloc_region(15_000, false));
+                    r2 = Some(ctx.alloc_region(15_000, false));
+                }
+                phase += 1;
+                Action::Touch {
+                    region: if phase.is_multiple_of(2) { r1.unwrap() } else { r2.unwrap() },
+                    count: 15_000,
+                    pattern: uucs_sim::TouchPattern::Prefix,
+                }
+            })),
+        );
+        let fg = m.spawn(
+            "fg",
+            Box::new(FnWorkload::new("fg", |_| Action::DiskIo {
+                ops: 1,
+                bytes_per_op: 4096,
+            })),
+        );
+        m.run_until(30 * SEC);
+        (m.thread_stats(fg).disk_ops, m.mem_stats().faults)
+    };
+    print_once("Ablation: fault chunk size vs foreground interleaving", || {
+        let mut out = String::from("chunk  fg_ops  faults\n");
+        for chunk in [1u32, 4, 8, 32, 256] {
+            let (ops, faults) = run_with_chunk(chunk);
+            out.push_str(&format!("{chunk:>5} {ops:>7} {faults:>7}\n"));
+        }
+        out
+    });
+    let mut group = c.benchmark_group("ablation/fault_chunk");
+    group.sample_size(10);
+    for chunk in [1u32, 8, 64] {
+        group.bench_function(format!("chunk_{chunk}"), |b| {
+            b.iter(|| black_box(run_with_chunk(chunk)))
+        });
+    }
+    group.finish();
+}
+
+fn quantum_ablation(c: &mut Criterion) {
+    // Quake frame jitter against one competing busy thread, versus
+    // scheduler quantum — the mechanism behind the paper's Quake noise
+    // floor.
+    let jitter_with_quantum = |quantum_us: u64| -> f64 {
+        let cfg = MachineConfig {
+            quantum_us,
+            seed: 10,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg);
+        let q = m.spawn("quake", Box::new(QuakeModel::new()));
+        m.spawn(
+            "bg",
+            Box::new(FnWorkload::new("bg", |_| Action::Compute { us: 2_000 })),
+        );
+        m.run_until(20 * SEC);
+        FrameStats::from_latencies(&m.thread_stats(q).latencies_of("frame"))
+            .map(|f| f.jitter_us)
+            .unwrap_or(0.0)
+    };
+    print_once("Ablation: scheduler quantum vs Quake frame jitter", || {
+        let mut out = String::from("quantum(ms)  frame jitter (us)\n");
+        for q in [1_000u64, 5_000, 10_000, 20_000, 50_000] {
+            out.push_str(&format!("{:>10} {:>12.0}\n", q / 1000, jitter_with_quantum(q)));
+        }
+        out
+    });
+    let mut group = c.benchmark_group("ablation/quantum");
+    group.sample_size(10);
+    group.bench_function("quake_20simsec_10ms", |b| {
+        b.iter(|| black_box(jitter_with_quantum(10_000)))
+    });
+    group.finish();
+}
+
+fn calibration_ablation(c: &mut Criterion) {
+    // Quantile accuracy of the mixture-aware population versus the
+    // published fit points, cell by cell.
+    print_once("Ablation: mixture-aware calibration accuracy", || {
+        let pop = UserPopulation::generate(4000, 11);
+        let mut out = String::from("cell                target_f_d  pop_f_d   target_c05_mass  pop_c05_mass\n");
+        for cell in &calibration::CELLS {
+            let Some(c05) = cell.c_05 else { continue };
+            if cell.f_d <= 0.051 {
+                continue;
+            }
+            let thresholds: Vec<f64> = pop
+                .users()
+                .iter()
+                .map(|u| u.threshold(cell.task, cell.resource))
+                .collect();
+            let below_cap = thresholds.iter().filter(|&&t| t <= cell.ramp_ceiling).count() as f64
+                / thresholds.len() as f64;
+            let below_c05 =
+                thresholds.iter().filter(|&&t| t <= c05).count() as f64 / thresholds.len() as f64;
+            out.push_str(&format!(
+                "{:<20} {:>9.3} {:>8.3} {:>16.3} {:>13.3}\n",
+                format!("{}/{}", cell.task.name(), cell.resource),
+                cell.f_d,
+                below_cap,
+                0.05,
+                below_c05
+            ));
+        }
+        out
+    });
+    let mut group = c.benchmark_group("ablation/calibration");
+    group.sample_size(10);
+    group.bench_function("generate_population_1000", |b| {
+        b.iter(|| black_box(UserPopulation::generate(1000, 12).len()))
+    });
+    group.finish();
+}
+
+fn harvest_strategy_ablation(c: &mut Criterion) {
+    use uucs_comfort::{run_harvest, FeedbackThrottle, HarvestStrategy};
+    let pop = UserPopulation::generate(1, 13);
+    let user = &pop.users()[0];
+    print_once("Ablation: cycle-stealing strategies (paper §1/§5)", || {
+        let mut out = String::from(
+            "task        strategy       harvest/s  fg_ratio  fg_ms  clicks\n",
+        );
+        for task in [uucs_workloads::Task::Word, uucs_workloads::Task::Quake] {
+            let strategies: Vec<(&str, HarvestStrategy)> = vec![
+                ("screensaver", HarvestStrategy::ScreensaverOnly),
+                ("low-priority", HarvestStrategy::LowPriority),
+                ("throttled-0.3", HarvestStrategy::Throttled { level: 0.3 }),
+                (
+                    "feedback",
+                    HarvestStrategy::Feedback {
+                        throttle: FeedbackThrottle::new(0.05, 6.0, 0.02, 0.5, 40),
+                    },
+                ),
+            ];
+            for (name, st) in strategies {
+                let o = run_harvest(user, task, st, 180, 14);
+                out.push_str(&format!(
+                    "{:<11} {:<14} {:>8.2} {:>9.2} {:>6.1} {:>7}\n",
+                    task.name(),
+                    name,
+                    o.harvest_rate(),
+                    o.fg_latency_ratio,
+                    o.fg_latency_ms,
+                    o.clicks
+                ));
+            }
+        }
+        out
+    });
+    let mut group = c.benchmark_group("ablation/harvest");
+    group.sample_size(10);
+    group.bench_function("low_priority_word_180s", |b| {
+        b.iter(|| {
+            black_box(
+                run_harvest(
+                    user,
+                    uucs_workloads::Task::Word,
+                    HarvestStrategy::LowPriority,
+                    180,
+                    15,
+                )
+                .harvested_cpu_secs,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn perception_validation(c: &mut Criterion) {
+    use uucs_comfort::perception::{perception_ramp_run, PerceptionProfile};
+    use uucs_stats::Pcg64;
+    use uucs_testcase::Resource;
+    // A small perception-driven study over the CPU column: no per-cell
+    // calibration, only interactivity physics — compare its f_d and c_05
+    // with the paper's.
+    print_once("Ablation: perception-driven users vs paper (CPU column)", || {
+        let pop = UserPopulation::generate(10, 16);
+        let mut out = String::from(
+            "task        paper_f_d  percept_f_d  paper_c05  percept_c05\n",
+        );
+        for task in uucs_workloads::Task::ALL {
+            let cell = calibration::cell(task, Resource::Cpu);
+            let mut rng = Pcg64::new(17).split_str(task.name());
+            let records: Vec<_> = pop
+                .users()
+                .iter()
+                .enumerate()
+                .map(|(i, u)| {
+                    let profile = PerceptionProfile::sample(&mut rng);
+                    perception_ramp_run(u, &profile, task, Resource::Cpu, 500 + i as u64)
+                })
+                .collect();
+            let m = uucs_comfort::metrics::CellMetrics::from_runs(records.iter(), Resource::Cpu);
+            out.push_str(&format!(
+                "{:<11} {:>9.2} {:>12} {:>10} {:>12}\n",
+                task.name(),
+                cell.f_d,
+                m.f_d.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".into()),
+                cell.c_05
+                    .map(|x| format!("{x:.2}"))
+                    .unwrap_or_else(|| "*".into()),
+                m.c_05.map(|x| format!("{x:.2}")).unwrap_or_else(|| "*".into()),
+            ));
+        }
+        out
+    });
+    let mut group = c.benchmark_group("ablation/perception");
+    group.sample_size(10);
+    group.bench_function("quake_cpu_ramp_full", |b| {
+        let pop = UserPopulation::generate(1, 18);
+        let profile = PerceptionProfile {
+            tolerance_ratio: 1.8,
+            latency_floor_us: 120_000.0,
+            jitter_ratio: 2.5,
+            patience_secs: 3,
+        };
+        b.iter(|| {
+            black_box(
+                perception_ramp_run(
+                    &pop.users()[0],
+                    &profile,
+                    uucs_workloads::Task::Quake,
+                    Resource::Cpu,
+                    19,
+                )
+                .offset_secs,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn priority_ablation(c: &mut Criterion) {
+    use uucs_sim::Priority;
+    use uucs_workloads::quake::{FrameStats, QuakeModel};
+    // The paper's §1: current systems "run at a very low priority" —
+    // what does that do to the foreground versus equal priority?
+    let run = |equal_priority: bool| -> (f64, f64) {
+        let mut m = Machine::study_machine(20);
+        let q = m.spawn("quake", Box::new(QuakeModel::new()));
+        let worker = Box::new(FnWorkload::new("worker", |_| Action::Compute { us: 1_000 }));
+        let w = if equal_priority {
+            m.spawn("worker", worker)
+        } else {
+            m.spawn_with_priority("worker", worker, Priority::Low)
+        };
+        m.run_until(20 * SEC);
+        let fps = FrameStats::from_latencies(&m.thread_stats(q).latencies_of("frame"))
+            .map(|f| f.fps)
+            .unwrap_or(0.0);
+        let harvested = m.thread_stats(w).cpu_us as f64 / m.now() as f64;
+        (fps, harvested)
+    };
+    print_once("Ablation: worker priority vs Quake frame rate", || {
+        let (fps_eq, h_eq) = run(true);
+        let (fps_low, h_low) = run(false);
+        format!(
+            "priority  quake_fps  harvest_share\n             equal     {fps_eq:>8.1} {h_eq:>13.2}\n             low       {fps_low:>8.1} {h_low:>13.2}\n"
+        )
+    });
+    let mut group = c.benchmark_group("ablation/priority");
+    group.sample_size(10);
+    group.bench_function("quake_vs_low_worker_20simsec", |b| {
+        b.iter(|| black_box(run(false)))
+    });
+    group.finish();
+}
+
+fn eviction_ablation(c: &mut Criterion) {
+    use uucs_comfort::{
+        execute_perception_run_configured, Fidelity, PerceptionProfile, RunSetup, RunStyle,
+    };
+    use uucs_sim::mem::EvictionPolicy;
+    use uucs_testcase::{ExerciseSpec, Resource, Testcase};
+    let pop = UserPopulation::generate(1, 62);
+    let tc = Testcase::single(
+        "abl-mem-ramp",
+        1.0,
+        Resource::Memory,
+        ExerciseSpec::Ramp {
+            level: 1.0,
+            duration: 120.0,
+        },
+    );
+    let profile = PerceptionProfile {
+        tolerance_ratio: 1.8,
+        latency_floor_us: 100_000.0,
+        jitter_ratio: 3.0,
+        patience_secs: 3,
+    };
+    let run = |policy: EvictionPolicy, task: uucs_workloads::Task| {
+        execute_perception_run_configured(
+            &RunSetup {
+                user: &pop.users()[0],
+                task,
+                testcase: &tc,
+                style: RunStyle::Ramp,
+                seed: 3,
+                fidelity: Fidelity::Full,
+                client_id: "abl".into(),
+            },
+            &profile,
+            MachineConfig {
+                eviction: policy,
+                ..MachineConfig::default()
+            },
+        )
+    };
+    print_once(
+        "Ablation: eviction policy vs perceived memory ramp (paper Fig 14 memory column)",
+        || {
+            let mut out =
+                String::from("policy         task    perceived at (s)  faults
+");
+            for policy in [EvictionPolicy::RegionRecency, EvictionPolicy::SecondChance] {
+                for task in [
+                    uucs_workloads::Task::Quake,
+                    uucs_workloads::Task::Ie,
+                    uucs_workloads::Task::Word,
+                ] {
+                    let rec = run(policy, task);
+                    out.push_str(&format!(
+                        "{:<14} {:<7} {:>15.0} {:>8}
+",
+                        format!("{policy:?}"),
+                        task.name(),
+                        rec.offset_secs,
+                        rec.monitor.faults
+                    ));
+                }
+            }
+            out.push_str(
+                "(second chance restores the paper's ordering: Quake < IE < Word)
+",
+            );
+            out
+        },
+    );
+    let mut group = c.benchmark_group("ablation/eviction");
+    group.sample_size(10);
+    group.bench_function("second_chance_quake_mem_ramp", |b| {
+        b.iter(|| {
+            black_box(run(EvictionPolicy::SecondChance, uucs_workloads::Task::Quake).offset_secs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fidelity_ablation,
+    fault_chunk_ablation,
+    quantum_ablation,
+    calibration_ablation,
+    harvest_strategy_ablation,
+    perception_validation,
+    priority_ablation,
+    eviction_ablation
+);
+criterion_main!(benches);

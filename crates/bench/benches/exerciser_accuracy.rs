@@ -1,0 +1,40 @@
+//! The §2.2 exerciser verification experiments: "This exerciser is
+//! experimentally verified to a contention level of 10 for equal
+//! priority threads" (CPU) and "to a contention level of 7" (disk).
+//!
+//! Prints the commanded-vs-achieved tables and times single verification
+//! points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uucs_bench::print_once;
+use uucs_exercisers::verify::{render_table, verify_cpu, verify_disk};
+
+fn cpu_verification(c: &mut Criterion) {
+    print_once("CPU exerciser verification (to level 10)", || {
+        let rows = verify_cpu(&[0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 7.0, 10.0], 30, 1);
+        render_table("commanded vs achieved (busy probe)", &rows)
+    });
+    let mut group = c.benchmark_group("verify_cpu");
+    group.sample_size(10);
+    group.bench_function("level_2_for_10s", |b| {
+        b.iter(|| black_box(verify_cpu(&[2.0], 10, 2)[0].achieved))
+    });
+    group.finish();
+}
+
+fn disk_verification(c: &mut Criterion) {
+    print_once("Disk exerciser verification (to level 7)", || {
+        let rows = verify_disk(&[0.5, 1.0, 2.0, 3.0, 5.0, 7.0], 120, 3);
+        render_table("commanded vs achieved (I/O probe)", &rows)
+    });
+    let mut group = c.benchmark_group("verify_disk");
+    group.sample_size(10);
+    group.bench_function("level_3_for_60s", |b| {
+        b.iter(|| black_box(verify_disk(&[3.0], 60, 4)[0].achieved))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cpu_verification, disk_verification);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates paper artifacts and times the
+//! regeneration:
+//!
+//! * `paper_figures` — one Criterion group per table/figure (Figures 3,
+//!   4, 8, 9, 10–12, 13, 14–16, 17, 18, and the §3.3.5 frog analysis);
+//!   each group also prints the regenerated artifact once so
+//!   `cargo bench | tee` captures the paper reproduction.
+//! * `exerciser_accuracy` — the §2.2 verification experiments (CPU to
+//!   contention 10, disk to 7).
+//! * `substrate` — micro-benches of the machine simulator, memory
+//!   manager, statistics kernels, and wire protocol.
+//! * `ablations` — design-choice studies: run-engine fidelity, fault
+//!   chunking, scheduler quantum vs Quake jitter, and the mixture-aware
+//!   calibration fit.
+
+use std::sync::OnceLock;
+use uucs_comfort::Fidelity;
+use uucs_study::controlled::{ControlledStudy, StudyConfig, StudyData};
+
+/// The canonical study dataset shared by figure benches (33 users, the
+/// paper's sample size), built once.
+pub fn study_data() -> &'static StudyData {
+    static DATA: OnceLock<StudyData> = OnceLock::new();
+    DATA.get_or_init(|| {
+        ControlledStudy::new(StudyConfig {
+            seed: 2004,
+            users: 33,
+            fidelity: Fidelity::Fast,
+        })
+        .run()
+    })
+}
+
+/// A larger dataset for the analyses that need statistical power
+/// (Figure 17, frog).
+pub fn big_study_data() -> &'static StudyData {
+    static DATA: OnceLock<StudyData> = OnceLock::new();
+    DATA.get_or_init(|| {
+        ControlledStudy::new(StudyConfig {
+            seed: 2004,
+            users: 240,
+            fidelity: Fidelity::Fast,
+        })
+        .run()
+    })
+}
+
+/// Prints a regenerated artifact once per process under a banner, so
+/// bench output doubles as the reproduction record.
+pub fn print_once(name: &str, render: impl FnOnce() -> String) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static PRINTED: Mutex<Option<HashSet<String>>> = Mutex::new(None);
+    let mut guard = PRINTED.lock().unwrap();
+    let set = guard.get_or_insert_with(HashSet::new);
+    if set.insert(name.to_string()) {
+        println!("\n===== {name} =====\n{}", render());
+    }
+}

@@ -1,0 +1,407 @@
+//! The client state machine: registration, hot sync, run scheduling, and
+//! run execution.
+
+use crate::script::{Command, Script};
+use crate::transport::ClientTransport;
+use std::io;
+use uucs_comfort::{execute_run, Fidelity, RunSetup, RunStyle, UserProfile};
+use uucs_protocol::{ClientMsg, MachineSnapshot, RunRecord, ServerMsg};
+use uucs_stats::Pcg64;
+use uucs_testcase::Testcase;
+use uucs_workloads::Task;
+
+/// What a hot sync accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Testcases downloaded.
+    pub downloaded: usize,
+    /// Result records uploaded.
+    pub uploaded: usize,
+}
+
+/// The UUCS client.
+pub struct UucsClient {
+    snapshot: MachineSnapshot,
+    id: Option<String>,
+    testcases: Vec<Testcase>,
+    pending: Vec<RunRecord>,
+    rng: Pcg64,
+    /// Size of the next sync's download request; grows per sync ("a
+    /// growing random sample of testcases").
+    next_batch: usize,
+}
+
+impl UucsClient {
+    /// Creates a client for a machine, seeded for reproducible local
+    /// random choices.
+    pub fn new(snapshot: MachineSnapshot, seed: u64) -> Self {
+        UucsClient {
+            snapshot,
+            id: None,
+            testcases: Vec::new(),
+            pending: Vec::new(),
+            rng: Pcg64::new(seed).split_str("client"),
+            next_batch: 8,
+        }
+    }
+
+    /// The assigned GUID, once registered.
+    pub fn id(&self) -> Option<&str> {
+        self.id.as_deref()
+    }
+
+    /// The locally held testcases.
+    pub fn testcases(&self) -> &[Testcase] {
+        &self.testcases
+    }
+
+    /// Results awaiting upload.
+    pub fn pending(&self) -> &[RunRecord] {
+        &self.pending
+    }
+
+    /// Injects testcases directly (deterministic mode gets its set from a
+    /// local file rather than a sync).
+    pub fn install_testcases(&mut self, tcs: Vec<Testcase>) {
+        self.testcases = tcs;
+    }
+
+    /// Restores persisted state (id, testcases, pending results).
+    pub fn restore(&mut self, store: &crate::store::ClientStore) -> io::Result<()> {
+        self.id = store.load_id();
+        self.testcases = store.load_testcases()?;
+        self.pending = store.load_pending()?;
+        Ok(())
+    }
+
+    /// Persists state.
+    pub fn persist(&self, store: &crate::store::ClientStore) -> io::Result<()> {
+        if let Some(id) = &self.id {
+            store.save_id(id)?;
+        }
+        store.save_testcases(&self.testcases)?;
+        store.save_pending(&self.pending)
+    }
+
+    /// Registers with the server, obtaining a GUID. Idempotent: an
+    /// already-registered client keeps its id.
+    pub fn register(&mut self, transport: &mut dyn ClientTransport) -> io::Result<String> {
+        if let Some(id) = &self.id {
+            return Ok(id.clone());
+        }
+        match transport.exchange(&ClientMsg::Register(self.snapshot.clone()))? {
+            ServerMsg::Id(id) => {
+                self.id = Some(id.clone());
+                Ok(id)
+            }
+            other => Err(protocol_err(other)),
+        }
+    }
+
+    /// Hot sync: download new testcases (growing random sample), upload
+    /// pending results.
+    pub fn hot_sync(&mut self, transport: &mut dyn ClientTransport) -> io::Result<SyncReport> {
+        let id = self
+            .id
+            .clone()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "not registered"))?;
+        let want = self.next_batch;
+        // The sample grows sync over sync.
+        self.next_batch = self.next_batch + self.next_batch / 2 + 1;
+        let downloaded = match transport.exchange(&ClientMsg::Sync {
+            client: id.clone(),
+            have: self.testcases.len(),
+            want,
+        })? {
+            ServerMsg::Testcases(tcs) => {
+                let n = tcs.len();
+                self.testcases.extend(tcs);
+                n
+            }
+            other => return Err(protocol_err(other)),
+        };
+        let uploaded = if self.pending.is_empty() {
+            0
+        } else {
+            let records = std::mem::take(&mut self.pending);
+            let n = records.len();
+            match transport.exchange(&ClientMsg::Upload {
+                client: id,
+                records: records.clone(),
+            })? {
+                ServerMsg::Ack(k) if k == n => n,
+                other => {
+                    // Put the records back; they remain pending.
+                    self.pending = records;
+                    return Err(protocol_err(other));
+                }
+            }
+        };
+        Ok(SyncReport {
+            downloaded,
+            uploaded,
+        })
+    }
+
+    /// Locally random testcase choice (§2: "local random choice of
+    /// testcases").
+    pub fn choose_testcase(&mut self) -> Option<Testcase> {
+        if self.testcases.is_empty() {
+            return None;
+        }
+        let i = self.rng.below(self.testcases.len() as u64) as usize;
+        Some(self.testcases[i].clone())
+    }
+
+    /// Seconds until the next testcase execution: Poisson arrivals (§2)
+    /// with the given mean gap.
+    pub fn next_arrival_gap(&mut self, mean_secs: f64) -> f64 {
+        assert!(mean_secs > 0.0);
+        self.rng.exponential(1.0 / mean_secs)
+    }
+
+    /// Executes one testcase for `user` under `task` and queues the
+    /// result for upload. `run_seed` should identify the run uniquely.
+    pub fn perform_run(
+        &mut self,
+        user: &UserProfile,
+        task: Task,
+        testcase: &Testcase,
+        fidelity: Fidelity,
+        run_seed: u64,
+    ) -> &RunRecord {
+        let setup = RunSetup {
+            user,
+            task,
+            testcase,
+            style: RunStyle::infer(testcase),
+            seed: run_seed,
+            fidelity,
+            client_id: self.id.clone().unwrap_or_else(|| "unregistered".into()),
+        };
+        let record = execute_run(&setup);
+        self.pending.push(record);
+        self.pending.last().unwrap()
+    }
+
+    /// Deterministic mode: executes a command script for one subject.
+    /// `RUN` commands look testcases up in the local store; `SYNC`
+    /// commands hot-sync through the transport; `WAIT` is a no-op offline
+    /// pause. Returns the number of runs executed.
+    pub fn execute_script(
+        &mut self,
+        script: &Script,
+        user: &UserProfile,
+        fidelity: Fidelity,
+        transport: &mut dyn ClientTransport,
+        seed: u64,
+    ) -> io::Result<usize> {
+        let mut runs = 0usize;
+        for (i, cmd) in script.commands.clone().iter().enumerate() {
+            match cmd {
+                Command::Run { testcase, task } => {
+                    let tc = self
+                        .testcases
+                        .iter()
+                        .find(|t| t.id.as_str() == testcase)
+                        .cloned()
+                        .ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::NotFound,
+                                format!("testcase {testcase} not in local store"),
+                            )
+                        })?;
+                    let run_seed = Pcg64::new(seed).split(i as u64).next_u64();
+                    self.perform_run(user, *task, &tc, fidelity, run_seed);
+                    runs += 1;
+                }
+                Command::Sync => {
+                    self.hot_sync(transport)?;
+                }
+                Command::Wait(_) => {}
+            }
+        }
+        Ok(runs)
+    }
+}
+
+fn protocol_err(msg: ServerMsg) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected server reply: {msg:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LocalTransport;
+    use std::sync::Arc;
+    use uucs_comfort::UserPopulation;
+    use uucs_server::{TestcaseStore, UucsServer};
+    use uucs_testcase::generate::Library;
+
+    fn server(n_testcases: usize) -> Arc<UucsServer> {
+        let mut lib = Library::new();
+        for i in 0..n_testcases {
+            lib.add_ramp(
+                uucs_testcase::Resource::Cpu,
+                1.0 + (i as f64) * 0.1,
+                120.0,
+            );
+        }
+        Arc::new(UucsServer::new(
+            TestcaseStore::from_testcases(lib.testcases().to_vec()),
+            77,
+        ))
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let srv = server(3);
+        let mut t = LocalTransport::new(srv.clone());
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 1);
+        let id1 = c.register(&mut t).unwrap();
+        let id2 = c.register(&mut t).unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(srv.client_count(), 1);
+    }
+
+    #[test]
+    fn hot_sync_grows_the_sample_and_uploads() {
+        let srv = server(40);
+        let mut t = LocalTransport::new(srv.clone());
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 2);
+        c.register(&mut t).unwrap();
+        let r1 = c.hot_sync(&mut t).unwrap();
+        assert_eq!(r1.downloaded, 8);
+        let r2 = c.hot_sync(&mut t).unwrap();
+        assert!(r2.downloaded > 8, "growing sample: {}", r2.downloaded);
+        assert_eq!(c.testcases().len(), r1.downloaded + r2.downloaded);
+        // No duplicates across syncs.
+        let mut ids: Vec<_> = c.testcases().iter().map(|t| t.id.as_str()).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn sync_before_register_fails() {
+        let srv = server(3);
+        let mut t = LocalTransport::new(srv);
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 3);
+        assert!(c.hot_sync(&mut t).is_err());
+    }
+
+    #[test]
+    fn perform_run_queues_result_and_sync_uploads_it() {
+        let srv = server(5);
+        let mut t = LocalTransport::new(srv.clone());
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 4);
+        c.register(&mut t).unwrap();
+        c.hot_sync(&mut t).unwrap();
+        let pop = UserPopulation::generate(1, 9);
+        let tc = c.choose_testcase().unwrap();
+        c.perform_run(&pop.users()[0], Task::Ie, &tc, Fidelity::Fast, 42);
+        assert_eq!(c.pending().len(), 1);
+        let report = c.hot_sync(&mut t).unwrap();
+        assert_eq!(report.uploaded, 1);
+        assert!(c.pending().is_empty());
+        assert_eq!(srv.result_count(), 1);
+        assert_eq!(srv.results()[0].task, "IE");
+    }
+
+    #[test]
+    fn poisson_arrival_gaps_have_right_mean() {
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| c.next_arrival_gap(300.0)).sum::<f64>() / n as f64;
+        assert!((mean - 300.0).abs() < 10.0, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_script_executes_runs() {
+        let srv = server(2);
+        let mut t = LocalTransport::new(srv.clone());
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 6);
+        c.register(&mut t).unwrap();
+        // Deterministic mode: testcases from the local file, not a sync.
+        let tcs = uucs_comfort::calibration::controlled_testcases(Task::Word);
+        let script_text = "RUN word-cpu-ramp Word\nWAIT 2\nRUN word-blank-1 Word\nSYNC\n";
+        c.install_testcases(tcs);
+        let script = Script::parse(script_text).unwrap();
+        let pop = UserPopulation::generate(1, 10);
+        let runs = c
+            .execute_script(&script, &pop.users()[0], Fidelity::Fast, &mut t, 99)
+            .unwrap();
+        assert_eq!(runs, 2);
+        // The SYNC uploaded both results.
+        assert_eq!(srv.result_count(), 2);
+    }
+
+    #[test]
+    fn script_with_unknown_testcase_errors() {
+        let srv = server(1);
+        let mut t = LocalTransport::new(srv);
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 7);
+        c.register(&mut t).unwrap();
+        let script = Script::parse("RUN ghost Word\n").unwrap();
+        let pop = UserPopulation::generate(1, 11);
+        assert!(c
+            .execute_script(&script, &pop.users()[0], Fidelity::Fast, &mut t, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn failed_upload_keeps_results_pending() {
+        use uucs_protocol::wire::Endpoint;
+        use uucs_protocol::ServerMsg;
+        /// A server that registers and syncs but rejects uploads.
+        struct Flaky;
+        impl Endpoint for Flaky {
+            fn handle(&self, msg: &ClientMsg) -> ServerMsg {
+                match msg {
+                    ClientMsg::Register(_) => ServerMsg::Id("c-flaky".into()),
+                    ClientMsg::Sync { .. } => ServerMsg::Testcases(vec![]),
+                    ClientMsg::Upload { .. } => ServerMsg::Error("storage full".into()),
+                    ClientMsg::Bye => ServerMsg::Ack(0),
+                }
+            }
+        }
+        let mut t = LocalTransport::new(Arc::new(Flaky));
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 20);
+        c.register(&mut t).unwrap();
+        c.install_testcases(uucs_comfort::calibration::controlled_testcases(Task::Ie));
+        let pop = UserPopulation::generate(1, 21);
+        let tc = c.choose_testcase().unwrap();
+        c.perform_run(&pop.users()[0], Task::Ie, &tc, Fidelity::Fast, 1);
+        assert_eq!(c.pending().len(), 1);
+        // The upload fails; the result must stay pending (the client
+        // "can operate disconnected from the server").
+        assert!(c.hot_sync(&mut t).is_err());
+        assert_eq!(c.pending().len(), 1);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("uucs-client-{}", std::process::id()));
+        let store = crate::store::ClientStore::open(&dir).unwrap();
+        let srv = server(6);
+        let mut t = LocalTransport::new(srv);
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 8);
+        c.register(&mut t).unwrap();
+        c.hot_sync(&mut t).unwrap();
+        let pop = UserPopulation::generate(1, 12);
+        let tc = c.choose_testcase().unwrap();
+        c.perform_run(&pop.users()[0], Task::Quake, &tc, Fidelity::Fast, 5);
+        c.persist(&store).unwrap();
+
+        let mut c2 = UucsClient::new(MachineSnapshot::study_machine("h"), 8);
+        c2.restore(&store).unwrap();
+        assert_eq!(c2.id(), c.id());
+        assert_eq!(c2.testcases(), c.testcases());
+        assert_eq!(c2.pending(), c.pending());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

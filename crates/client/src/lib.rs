@@ -1,0 +1,26 @@
+//! The UUCS client (paper §2, Figure 5).
+//!
+//! The client keeps local testcase and result stores so it "can operate
+//! disconnected from the server", registers once (uploading a machine
+//! snapshot, receiving a GUID), and periodically *hot syncs*: downloading
+//! a growing random sample of new testcases and uploading new results.
+//! Testcase executions arrive as a Poisson process with locally random
+//! testcase choice, so a collection of clients executes a random sample
+//! with respect to testcases, users, and times (§2).
+//!
+//! For the controlled study the client runs in *deterministic mode*,
+//! "executing a predefined set of commands from a local file" — the
+//! [`script`] module implements that command file.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod script;
+pub mod store;
+pub mod transport;
+
+pub use client::{SyncReport, UucsClient};
+pub use script::{Command, Script};
+pub use store::ClientStore;
+pub use transport::{ClientTransport, LocalTransport, TcpTransport};

@@ -1,0 +1,123 @@
+//! The `uucs-client` daemon: registers with a server, hot-syncs a
+//! growing random sample of testcases, executes them at Poisson arrivals
+//! with a synthetic user in the loop, and uploads the results — an
+//! Internet-study participant in a box.
+//!
+//! ```text
+//! uucs-client --server 127.0.0.1:4004 [--store DIR] [--runs N]
+//!             [--mean-gap SECS] [--seed N] [--script FILE]
+//! ```
+//!
+//! With `--script`, runs in deterministic mode instead: executes the
+//! command file (the controlled study's mode) and exits.
+
+use std::path::PathBuf;
+use uucs_client::{ClientStore, Script, TcpTransport, UucsClient};
+use uucs_comfort::{Fidelity, UserPopulation};
+use uucs_protocol::MachineSnapshot;
+use uucs_stats::Pcg64;
+use uucs_workloads::Task;
+
+fn main() {
+    let mut server = "127.0.0.1:4004".to_string();
+    let mut store_dir = PathBuf::from("uucs-client-data");
+    let mut runs = 10usize;
+    let mut mean_gap = 2.0f64; // seconds between runs in daemon demo mode
+    let mut seed = 1u64;
+    let mut script: Option<PathBuf> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--server" => {
+                i += 1;
+                server = args.get(i).cloned().unwrap_or(server);
+            }
+            "--store" => {
+                i += 1;
+                store_dir = args.get(i).map(PathBuf::from).unwrap_or(store_dir);
+            }
+            "--runs" => {
+                i += 1;
+                runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(runs);
+            }
+            "--mean-gap" => {
+                i += 1;
+                mean_gap = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(mean_gap);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(seed);
+            }
+            "--script" => {
+                i += 1;
+                script = args.get(i).map(PathBuf::from);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let store = ClientStore::open(&store_dir).expect("open client store");
+    let mut client = UucsClient::new(
+        MachineSnapshot::study_machine(format!("daemon-{seed}")),
+        seed,
+    );
+    client.restore(&store).expect("restore state");
+    let mut transport = TcpTransport::connect(&server).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {server}: {e}");
+        std::process::exit(1);
+    });
+    let id = client.register(&mut transport).expect("register");
+    eprintln!("registered as {id}");
+
+    // The synthetic user at this machine.
+    let population = UserPopulation::generate(1, seed ^ 0xface);
+    let user = &population.users()[0];
+    let mut rng = Pcg64::new(seed).split_str("daemon");
+
+    if let Some(path) = script {
+        let text = std::fs::read_to_string(&path).expect("read script");
+        let script = Script::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bad script: {e}");
+            std::process::exit(2);
+        });
+        // Deterministic mode needs a local testcase file; hot-sync first
+        // so the store holds something, then run.
+        client.hot_sync(&mut transport).expect("sync");
+        let n = client
+            .execute_script(&script, user, Fidelity::Fast, &mut transport, seed)
+            .expect("script session");
+        eprintln!("deterministic session complete: {n} runs");
+    } else {
+        client.hot_sync(&mut transport).expect("sync");
+        eprintln!("synced {} testcases", client.testcases().len());
+        for k in 0..runs {
+            let gap = client.next_arrival_gap(mean_gap);
+            std::thread::sleep(std::time::Duration::from_secs_f64(gap.min(10.0)));
+            if k % 5 == 4 {
+                let r = client.hot_sync(&mut transport).expect("sync");
+                eprintln!("hot sync: +{} testcases, {} results uploaded", r.downloaded, r.uploaded);
+            }
+            let Some(tc) = client.choose_testcase() else {
+                continue;
+            };
+            let task = *rng.choose(&Task::ALL);
+            let rec = client.perform_run(user, task, &tc, Fidelity::Fast, rng.next_u64());
+            eprintln!(
+                "run {k}: {} under {} -> {} at {:.0}s",
+                rec.testcase,
+                rec.task,
+                rec.outcome.token(),
+                rec.offset_secs
+            );
+        }
+        let r = client.hot_sync(&mut transport).expect("final sync");
+        eprintln!("final sync: {} results uploaded", r.uploaded);
+    }
+    client.persist(&store).expect("persist");
+    transport.bye().ok();
+}

@@ -1,0 +1,127 @@
+//! Deterministic mode: "A UUCS client can also be configured to behave
+//! deterministically, executing a predefined set of commands from a
+//! local file. We use this feature in our controlled study." (§2)
+//!
+//! The command file is line-oriented:
+//!
+//! ```text
+//! # word session for subject u07
+//! RUN word-cpu-ramp Word
+//! RUN word-blank-1 Word
+//! WAIT 5
+//! SYNC
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use uucs_workloads::Task;
+
+/// One scripted command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Execute a testcase (by id) under a foreground task.
+    Run {
+        /// Testcase id in the client's local store.
+        testcase: String,
+        /// The foreground task context.
+        task: Task,
+    },
+    /// Hot sync with the server.
+    Sync,
+    /// Idle for the given seconds (between-testcase pauses).
+    Wait(f64),
+}
+
+/// A parsed command file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// The commands in order.
+    pub commands: Vec<Command>,
+}
+
+impl Script {
+    /// Parses a command file.
+    pub fn parse(text: &str) -> Result<Script, String> {
+        let mut commands = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            match toks.next() {
+                Some("RUN") => {
+                    let testcase = toks
+                        .next()
+                        .ok_or_else(|| format!("line {}: RUN missing testcase", i + 1))?
+                        .to_string();
+                    let task_tok = toks
+                        .next()
+                        .ok_or_else(|| format!("line {}: RUN missing task", i + 1))?;
+                    let task = Task::from_str(task_tok)
+                        .map_err(|e| format!("line {}: {e}", i + 1))?;
+                    commands.push(Command::Run { testcase, task });
+                }
+                Some("SYNC") => commands.push(Command::Sync),
+                Some("WAIT") => {
+                    let secs: f64 = toks
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| format!("line {}: WAIT needs seconds", i + 1))?;
+                    commands.push(Command::Wait(secs));
+                }
+                Some(other) => return Err(format!("line {}: unknown command {other:?}", i + 1)),
+                None => unreachable!(),
+            }
+        }
+        Ok(Script { commands })
+    }
+
+    /// Serializes back to the file format.
+    pub fn emit(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for c in &self.commands {
+            match c {
+                Command::Run { testcase, task } => writeln!(out, "RUN {testcase} {task}").unwrap(),
+                Command::Sync => writeln!(out, "SYNC").unwrap(),
+                Command::Wait(s) => writeln!(out, "WAIT {s}").unwrap(),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_emit_roundtrip() {
+        let text = "RUN word-cpu-ramp Word\nWAIT 5\nSYNC\nRUN quake-blank-1 Quake\n";
+        let script = Script::parse(text).unwrap();
+        assert_eq!(script.commands.len(), 4);
+        assert_eq!(Script::parse(&script.emit()).unwrap(), script);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# session file\n\nRUN t1 IE # trailing comment\n";
+        let script = Script::parse(text).unwrap();
+        assert_eq!(
+            script.commands,
+            vec![Command::Run {
+                testcase: "t1".into(),
+                task: Task::Ie
+            }]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert!(Script::parse("FLY\n").unwrap_err().contains("line 1"));
+        assert!(Script::parse("RUN only-id\n").unwrap_err().contains("missing task"));
+        assert!(Script::parse("RUN x NotATask\n").unwrap_err().contains("line 1"));
+        assert!(Script::parse("WAIT soon\n").unwrap_err().contains("WAIT"));
+    }
+}

@@ -1,0 +1,163 @@
+//! The client's local text-file stores (Figure 5's "Testcases" and
+//! "Results" boxes): downloaded testcases, the assigned identifier, and
+//! results not yet uploaded — everything needed to "operate disconnected
+//! from the server".
+
+use std::path::{Path, PathBuf};
+use uucs_protocol::RunRecord;
+use uucs_testcase::{format as tcformat, Testcase};
+
+/// On-disk client state rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct ClientStore {
+    dir: PathBuf,
+}
+
+impl ClientStore {
+    /// Opens (creating if needed) a store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ClientStore { dir })
+    }
+
+    /// The root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Persists the assigned client id.
+    pub fn save_id(&self, id: &str) -> std::io::Result<()> {
+        std::fs::write(self.dir.join("id.txt"), format!("{id}\n"))
+    }
+
+    /// Loads the assigned id, if the client ever registered.
+    pub fn load_id(&self) -> Option<String> {
+        std::fs::read_to_string(self.dir.join("id.txt"))
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+    }
+
+    /// Persists the downloaded testcase library.
+    pub fn save_testcases(&self, tcs: &[Testcase]) -> std::io::Result<()> {
+        std::fs::write(self.dir.join("testcases.txt"), tcformat::emit_many(tcs))
+    }
+
+    /// Loads the testcase library (empty if never synced).
+    pub fn load_testcases(&self) -> std::io::Result<Vec<Testcase>> {
+        match std::fs::read_to_string(self.dir.join("testcases.txt")) {
+            Ok(text) => tcformat::parse_many(&text)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Persists results awaiting upload.
+    pub fn save_pending(&self, records: &[RunRecord]) -> std::io::Result<()> {
+        std::fs::write(
+            self.dir.join("results-pending.txt"),
+            RunRecord::emit_many(records),
+        )
+    }
+
+    /// Loads results awaiting upload.
+    pub fn load_pending(&self) -> std::io::Result<Vec<RunRecord>> {
+        match std::fs::read_to_string(self.dir.join("results-pending.txt")) {
+            Ok(text) => RunRecord::parse_many(&text)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Appends uploaded results to the local archive (the client keeps
+    /// what it measured).
+    pub fn archive(&self, records: &[RunRecord]) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join("results-archive.txt"))?;
+        f.write_all(RunRecord::emit_many(records).as_bytes())
+    }
+
+    /// Loads the local archive.
+    pub fn load_archive(&self) -> std::io::Result<Vec<RunRecord>> {
+        match std::fs::read_to_string(self.dir.join("results-archive.txt")) {
+            Ok(text) => RunRecord::parse_many(&text)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_protocol::{MonitorSummary, RunOutcome};
+    use uucs_testcase::{ExerciseSpec, Resource};
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("uucs-clientstore-{name}-{}", std::process::id()))
+    }
+
+    fn rec(n: u32) -> RunRecord {
+        RunRecord {
+            client: "c".into(),
+            user: format!("u{n}"),
+            testcase: "t".into(),
+            task: "IE".into(),
+            outcome: RunOutcome::Discomfort,
+            offset_secs: n as f64,
+            last_levels: vec![],
+            monitor: MonitorSummary::default(),
+        }
+    }
+
+    #[test]
+    fn id_roundtrip_and_absence() {
+        let dir = tmp("id");
+        let s = ClientStore::open(&dir).unwrap();
+        assert_eq!(s.load_id(), None);
+        s.save_id("client-0042").unwrap();
+        assert_eq!(s.load_id(), Some("client-0042".into()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn testcases_roundtrip_and_default_empty() {
+        let dir = tmp("tc");
+        let s = ClientStore::open(&dir).unwrap();
+        assert!(s.load_testcases().unwrap().is_empty());
+        let tcs = vec![Testcase::single(
+            "a",
+            1.0,
+            Resource::Memory,
+            ExerciseSpec::Ramp {
+                level: 1.0,
+                duration: 10.0,
+            },
+        )];
+        s.save_testcases(&tcs).unwrap();
+        assert_eq!(s.load_testcases().unwrap(), tcs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pending_and_archive_flow() {
+        let dir = tmp("flow");
+        let s = ClientStore::open(&dir).unwrap();
+        s.save_pending(&[rec(1), rec(2)]).unwrap();
+        assert_eq!(s.load_pending().unwrap().len(), 2);
+        // Upload: archive then clear pending.
+        s.archive(&[rec(1), rec(2)]).unwrap();
+        s.save_pending(&[]).unwrap();
+        s.archive(&[rec(3)]).unwrap();
+        assert_eq!(s.load_pending().unwrap().len(), 0);
+        assert_eq!(s.load_archive().unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

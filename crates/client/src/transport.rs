@@ -1,0 +1,91 @@
+//! Transports carrying the wire protocol to a server.
+
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::sync::Arc;
+use uucs_protocol::wire::{read_server_msg, write_client_msg, Endpoint};
+use uucs_protocol::{ClientMsg, ServerMsg};
+
+/// A connection to a UUCS server.
+pub trait ClientTransport {
+    /// Sends one message and reads the reply.
+    fn exchange(&mut self, msg: &ClientMsg) -> io::Result<ServerMsg>;
+}
+
+/// TCP transport over the text wire protocol.
+pub struct TcpTransport {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Connects to a server address.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(TcpTransport {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Ends the session politely.
+    pub fn bye(&mut self) -> io::Result<()> {
+        write_client_msg(&mut self.writer, &ClientMsg::Bye)
+    }
+}
+
+impl ClientTransport for TcpTransport {
+    fn exchange(&mut self, msg: &ClientMsg) -> io::Result<ServerMsg> {
+        write_client_msg(&mut self.writer, msg)?;
+        read_server_msg(&mut self.reader)
+    }
+}
+
+/// In-process transport: calls the server's handler directly. The same
+/// [`Endpoint`] backs the TCP listener, so tests exercise identical
+/// server logic without sockets.
+pub struct LocalTransport {
+    endpoint: Arc<dyn Endpoint>,
+}
+
+impl LocalTransport {
+    /// Wraps a shared endpoint.
+    pub fn new(endpoint: Arc<dyn Endpoint>) -> Self {
+        LocalTransport { endpoint }
+    }
+}
+
+impl ClientTransport for LocalTransport {
+    fn exchange(&mut self, msg: &ClientMsg) -> io::Result<ServerMsg> {
+        Ok(self.endpoint.handle(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Endpoint for Echo {
+        fn handle(&self, msg: &ClientMsg) -> ServerMsg {
+            match msg {
+                ClientMsg::Sync { have, .. } => ServerMsg::Ack(*have),
+                _ => ServerMsg::Error("unexpected".into()),
+            }
+        }
+    }
+
+    #[test]
+    fn local_transport_calls_endpoint() {
+        let mut t = LocalTransport::new(Arc::new(Echo));
+        let reply = t
+            .exchange(&ClientMsg::Sync {
+                client: "c".into(),
+                have: 5,
+                want: 1,
+            })
+            .unwrap();
+        assert_eq!(reply, ServerMsg::Ack(5));
+    }
+}

@@ -1,0 +1,306 @@
+//! Calibration targets: the paper's published statistics, and threshold
+//! distributions fitted to them.
+//!
+//! Human subjects cannot be regenerated from code, so the synthetic
+//! population is *calibrated* to the paper's published per-cell numbers:
+//! the controlled-study testcase table (Figure 8), the blank-run noise
+//! floors (Figure 9), `f_d` (Figure 14), `c_0.05` (Figure 15), and `c_a`
+//! with 95 % confidence intervals (Figure 16). A lognormal threshold
+//! distribution is pinned per cell through the two published quantile
+//! points `(c_0.05, 0.05)` and `(ramp ceiling, f_d)`, so the regenerated
+//! CDFs pass through the paper's reported values by construction, while
+//! everything between them follows the lognormal shape.
+
+use uucs_stats::fit::{fit_from_median_and_spread, fit_from_quantiles, Lognormal};
+use uucs_testcase::{ExerciseSpec, Resource, Testcase};
+use uucs_workloads::Task;
+
+use crate::user::RatingDim;
+
+/// The paper's published statistics for one (task, resource) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// The task.
+    pub task: Task,
+    /// The resource.
+    pub resource: Resource,
+    /// Ramp ceiling `x` of `ramp(x, 120)` (Figure 8).
+    pub ramp_ceiling: f64,
+    /// Step level `x` of `step(x, 120, 40)` (Figure 8).
+    pub step_level: f64,
+    /// Fraction of ramp runs ending in discomfort (Figure 14).
+    pub f_d: f64,
+    /// 5th-percentile discomfort level (Figure 15); `None` where the paper
+    /// prints `*` (insufficient information).
+    pub c_05: Option<f64>,
+    /// Mean discomfort level with its 95 % CI (Figure 16); `None` for `*`.
+    pub c_a: Option<(f64, f64, f64)>,
+}
+
+/// All twelve cells of the controlled study, exactly as published.
+pub const CELLS: [CellStats; 12] = [
+    CellStats { task: Task::Word, resource: Resource::Cpu, ramp_ceiling: 7.0, step_level: 5.5, f_d: 0.71, c_05: Some(3.06), c_a: Some((4.35, 3.97, 4.72)) },
+    CellStats { task: Task::Word, resource: Resource::Memory, ramp_ceiling: 1.0, step_level: 1.0, f_d: 0.00, c_05: None, c_a: None },
+    CellStats { task: Task::Word, resource: Resource::Disk, ramp_ceiling: 7.0, step_level: 5.0, f_d: 0.10, c_05: Some(3.28), c_a: Some((4.20, 1.89, 6.51)) },
+    CellStats { task: Task::Powerpoint, resource: Resource::Cpu, ramp_ceiling: 2.0, step_level: 0.98, f_d: 0.95, c_05: Some(1.00), c_a: Some((1.17, 1.11, 1.24)) },
+    CellStats { task: Task::Powerpoint, resource: Resource::Memory, ramp_ceiling: 1.0, step_level: 1.0, f_d: 0.07, c_05: Some(0.64), c_a: Some((0.64, 0.21, 1.06)) },
+    CellStats { task: Task::Powerpoint, resource: Resource::Disk, ramp_ceiling: 8.0, step_level: 6.0, f_d: 0.17, c_05: Some(3.84), c_a: Some((4.65, 3.67, 5.63)) },
+    CellStats { task: Task::Ie, resource: Resource::Cpu, ramp_ceiling: 2.0, step_level: 1.0, f_d: 0.75, c_05: Some(0.61), c_a: Some((1.20, 1.07, 1.33)) },
+    CellStats { task: Task::Ie, resource: Resource::Memory, ramp_ceiling: 1.0, step_level: 1.0, f_d: 0.30, c_05: Some(0.31), c_a: Some((0.55, 0.39, 0.71)) },
+    CellStats { task: Task::Ie, resource: Resource::Disk, ramp_ceiling: 5.0, step_level: 4.0, f_d: 0.61, c_05: Some(2.02), c_a: Some((3.11, 2.69, 3.52)) },
+    CellStats { task: Task::Quake, resource: Resource::Cpu, ramp_ceiling: 1.3, step_level: 0.5, f_d: 0.95, c_05: Some(0.18), c_a: Some((0.64, 0.58, 0.69)) },
+    CellStats { task: Task::Quake, resource: Resource::Memory, ramp_ceiling: 1.0, step_level: 1.0, f_d: 0.45, c_05: Some(0.08), c_a: Some((0.55, 0.37, 0.74)) },
+    CellStats { task: Task::Quake, resource: Resource::Disk, ramp_ceiling: 5.0, step_level: 5.0, f_d: 0.29, c_05: Some(0.69), c_a: Some((1.19, 0.86, 1.52)) },
+];
+
+/// An aggregate (Total) row of Figures 14–16:
+/// `(resource, f_d, c_0.05, (c_a, ci_lo, ci_hi))`.
+pub type TotalRow = (Resource, f64, f64, (f64, f64, f64));
+
+/// The paper's aggregate (Total) rows for Figures 14–16.
+pub const TOTALS: [TotalRow; 3] = [
+    (Resource::Cpu, 0.86, 0.35, (1.47, 1.31, 1.64)),
+    (Resource::Memory, 0.21, 0.33, (0.58, 0.46, 0.71)),
+    (Resource::Disk, 0.33, 1.11, (2.97, 2.54, 3.41)),
+];
+
+/// Blank-testcase discomfort probabilities per task (Figure 9's "Prob of
+/// discomfort from blank testcase").
+pub fn noise_floor(task: Task) -> f64 {
+    match task {
+        Task::Word => 0.0,
+        Task::Powerpoint => 0.0,
+        Task::Ie => 0.22,
+        Task::Quake => 0.30,
+    }
+}
+
+/// Looks up the published statistics for one cell.
+pub fn cell(task: Task, resource: Resource) -> &'static CellStats {
+    CELLS
+        .iter()
+        .find(|c| c.task == task && c.resource == resource)
+        .expect("network cells are not part of the study")
+}
+
+/// The lognormal threshold fit for one cell.
+///
+/// Where both `c_0.05` and a nontrivial `f_d` exist, the fit passes
+/// exactly through `(c_0.05, 0.05)` and `(ceiling, f_d)`. The Word/Memory
+/// cell recorded no discomfort at all (`f_d = 0`), so its thresholds sit
+/// far above the explored range.
+pub fn threshold_fit(stats: &CellStats) -> Lognormal {
+    if let (Some(c05), true) = (stats.c_05, stats.f_d > 0.051) {
+        if let Some(fit) = fit_from_quantiles(c05, 0.05, stats.ramp_ceiling, stats.f_d) {
+            return fit;
+        }
+    }
+    // Degenerate cells: thresholds above the ceiling. A median of 10x the
+    // ceiling with moderate spread puts ~1e-4 of mass below the ceiling —
+    // effectively the paper's "no discomfort recorded".
+    fit_from_median_and_spread(stats.ramp_ceiling * 10.0, 0.62)
+}
+
+/// The §3.3.5 "frog in the pot" effect, as published: in Powerpoint/CPU,
+/// 96 % of users tolerated a higher level in the ramp than the step, with
+/// a mean contention difference of 0.22 at p = 0.0001.
+pub const FROG_RAMP_MINUS_STEP: f64 = 0.22;
+
+/// The mean ramp bonus as a fraction of the cell ceiling implied by the
+/// published Powerpoint/CPU difference (0.22 on a 2.0 ceiling).
+pub const RAMP_BONUS_FRAC_MEAN: f64 = FROG_RAMP_MINUS_STEP / 2.0;
+
+/// One skill effect: a rating dimension shifting thresholds in a cell
+/// (Figure 17). `power_mult`/`beginner_mult` multiply the cell threshold
+/// for users with that rating (Typical is the 1.0 reference).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkillEffect {
+    /// The affected cell.
+    pub task: Task,
+    /// The affected resource.
+    pub resource: Resource,
+    /// Which self-rating drives the effect.
+    pub dimension: RatingDim,
+    /// Threshold multiplier for Power users (< 1: less tolerant).
+    pub power_mult: f64,
+    /// Threshold multiplier for Beginners (> 1: more tolerant).
+    pub beginner_mult: f64,
+}
+
+/// Skill effects sized to regenerate the significant rows of Figure 17
+/// ("Experienced or power users have higher expectations").
+pub const SKILL_EFFECTS: [SkillEffect; 5] = [
+    SkillEffect { task: Task::Quake, resource: Resource::Cpu, dimension: RatingDim::Quake, power_mult: 0.52, beginner_mult: 1.35 },
+    SkillEffect { task: Task::Quake, resource: Resource::Cpu, dimension: RatingDim::Pc, power_mult: 0.70, beginner_mult: 1.15 },
+    SkillEffect { task: Task::Quake, resource: Resource::Cpu, dimension: RatingDim::Windows, power_mult: 0.76, beginner_mult: 1.10 },
+    SkillEffect { task: Task::Ie, resource: Resource::Disk, dimension: RatingDim::Windows, power_mult: 0.58, beginner_mult: 1.12 },
+    SkillEffect { task: Task::Ie, resource: Resource::Memory, dimension: RatingDim::Windows, power_mult: 0.42, beginner_mult: 1.12 },
+];
+
+/// The eight testcases of one task's 16-minute session (Figure 8): CPU,
+/// disk, and memory ramps and steps, plus two blanks, each 2 minutes at
+/// 1 Hz, run in random order.
+pub fn controlled_testcases(task: Task) -> Vec<Testcase> {
+    let c = |r| cell(task, r);
+    let dur = 120.0;
+    let mut out = Vec::with_capacity(8);
+    // Numbering follows Figure 8's rows.
+    out.push(Testcase::single(
+        format!("{}-cpu-ramp", task.name().to_lowercase()),
+        1.0,
+        Resource::Cpu,
+        ExerciseSpec::Ramp { level: c(Resource::Cpu).ramp_ceiling, duration: dur },
+    ));
+    out.push(Testcase::blank(
+        format!("{}-blank-1", task.name().to_lowercase()),
+        1.0,
+        dur,
+    ));
+    out.push(Testcase::single(
+        format!("{}-disk-ramp", task.name().to_lowercase()),
+        1.0,
+        Resource::Disk,
+        ExerciseSpec::Ramp { level: c(Resource::Disk).ramp_ceiling, duration: dur },
+    ));
+    out.push(Testcase::single(
+        format!("{}-memory-ramp", task.name().to_lowercase()),
+        1.0,
+        Resource::Memory,
+        ExerciseSpec::Ramp { level: c(Resource::Memory).ramp_ceiling, duration: dur },
+    ));
+    out.push(Testcase::single(
+        format!("{}-cpu-step", task.name().to_lowercase()),
+        1.0,
+        Resource::Cpu,
+        ExerciseSpec::Step { level: c(Resource::Cpu).step_level, duration: dur, start: 40.0 },
+    ));
+    out.push(Testcase::single(
+        format!("{}-disk-step", task.name().to_lowercase()),
+        1.0,
+        Resource::Disk,
+        ExerciseSpec::Step { level: c(Resource::Disk).step_level, duration: dur, start: 40.0 },
+    ));
+    out.push(Testcase::blank(
+        format!("{}-blank-2", task.name().to_lowercase()),
+        1.0,
+        dur,
+    ));
+    out.push(Testcase::single(
+        format!("{}-memory-step", task.name().to_lowercase()),
+        1.0,
+        Resource::Memory,
+        ExerciseSpec::Step { level: c(Resource::Memory).step_level, duration: dur, start: 40.0 },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_cells_cover_the_grid() {
+        for task in Task::ALL {
+            for resource in Resource::STUDIED {
+                let c = cell(task, resource);
+                assert_eq!((c.task, c.resource), (task, resource));
+            }
+        }
+    }
+
+    #[test]
+    fn fits_pass_through_published_quantiles() {
+        for c in &CELLS {
+            let fit = threshold_fit(c);
+            if let (Some(c05), true) = (c.c_05, c.f_d > 0.051) {
+                assert!(
+                    (fit.cdf(c05) - 0.05).abs() < 1e-9,
+                    "{}-{}: cdf(c05) = {}",
+                    c.task,
+                    c.resource,
+                    fit.cdf(c05)
+                );
+                assert!(
+                    (fit.cdf(c.ramp_ceiling) - c.f_d).abs() < 1e-9,
+                    "{}-{}: cdf(ceiling) = {}",
+                    c.task,
+                    c.resource,
+                    fit.cdf(c.ramp_ceiling)
+                );
+            } else {
+                // Degenerate: essentially no mass below the ceiling.
+                assert!(fit.cdf(c.ramp_ceiling) < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_truncated_means_near_published_ca() {
+        // The lognormal is an assumption; its censored mean should still
+        // land inside (a slightly widened) published CI for every cell.
+        for c in &CELLS {
+            let Some((_ca, lo, hi)) = c.c_a else { continue };
+            let fit = threshold_fit(c);
+            let predicted = fit.truncated_mean(c.ramp_ceiling);
+            // The lognormal's censored mean cannot match c_a exactly (the
+            // fit is pinned by c_05 and f_d); allow the CI widened by 15%
+            // of the ramp ceiling. EXPERIMENTS.md reports the per-cell
+            // paper-vs-regenerated values.
+            let slack = 0.15 * c.ramp_ceiling;
+            assert!(
+                predicted > lo - slack && predicted < hi + slack,
+                "{}-{}: predicted c_a {predicted} outside ({lo}, {hi})",
+                c.task,
+                c.resource
+            );
+        }
+    }
+
+    #[test]
+    fn noise_floors_match_figure_9() {
+        assert_eq!(noise_floor(Task::Word), 0.0);
+        assert_eq!(noise_floor(Task::Powerpoint), 0.0);
+        assert!((noise_floor(Task::Ie) - 0.22).abs() < 1e-12);
+        assert!((noise_floor(Task::Quake) - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_testcases_match_figure_8() {
+        for task in Task::ALL {
+            let tcs = controlled_testcases(task);
+            assert_eq!(tcs.len(), 8);
+            let blanks = tcs.iter().filter(|t| t.is_blank()).count();
+            assert_eq!(blanks, 2);
+            for tc in &tcs {
+                assert!((tc.duration() - 120.0).abs() < 1e-9);
+            }
+        }
+        // Spot-check Figure 8 parameters.
+        let word = controlled_testcases(Task::Word);
+        let cpu_ramp = word.iter().find(|t| t.id.as_str() == "word-cpu-ramp").unwrap();
+        assert!((cpu_ramp.function(Resource::Cpu).unwrap().peak() - 7.0).abs() < 0.1);
+        let quake = controlled_testcases(Task::Quake);
+        let cpu_step = quake.iter().find(|t| t.id.as_str() == "quake-cpu-step").unwrap();
+        assert!((cpu_step.function(Resource::Cpu).unwrap().peak() - 0.5).abs() < 1e-9);
+        assert_eq!(cpu_step.contention_at(Resource::Cpu, 39.0), 0.0);
+        assert_eq!(cpu_step.contention_at(Resource::Cpu, 40.0), 0.5);
+    }
+
+    #[test]
+    fn skill_effects_cover_figure_17_cells() {
+        // Figure 17's significant rows: Quake/CPU (x3 dims beyond the
+        // within-Quake one) and IE/Disk + IE/Mem via Windows rating.
+        assert!(SKILL_EFFECTS
+            .iter()
+            .any(|e| e.task == Task::Quake && e.dimension == RatingDim::Quake));
+        assert!(SKILL_EFFECTS
+            .iter()
+            .any(|e| e.task == Task::Ie && e.resource == Resource::Disk));
+        assert!(SKILL_EFFECTS
+            .iter()
+            .any(|e| e.task == Task::Ie && e.resource == Resource::Memory));
+        for e in &SKILL_EFFECTS {
+            assert!(e.power_mult < 1.0 && e.beginner_mult >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! The core contribution: measuring and understanding user comfort with
+//! resource borrowing.
+//!
+//! This crate ties the substrates together into the paper's measurement
+//! pipeline and provides the pieces human subjects played in the original
+//! study:
+//!
+//! * [`user`] — user profiles: per-(task, resource) discomfort
+//!   thresholds, self-rated skill levels, reaction delays, the blank-run
+//!   noise propensity, and the ramp-adaptation ("frog in the pot") bonus.
+//! * [`calibration`] — the paper's published per-cell statistics
+//!   (Figures 8, 9, 14, 15, 16, 17) as the fit targets, and the lognormal
+//!   threshold fits derived from them. Human responses cannot be
+//!   regenerated from code; the calibrated population preserves the
+//!   shapes the paper reports, which is the reproducible content.
+//! * [`population`] — deterministic synthetic user populations.
+//! * [`run`] — the run engine: executes (user × task × testcase) on the
+//!   simulated machine with real exercisers and monitoring, producing the
+//!   [`uucs_protocol::RunRecord`]s the client uploads.
+//! * [`metrics`] — the paper's comfort metrics: discomfort CDFs, `f_d`,
+//!   `c_p` (e.g. `c_0.05`), `c_a` with confidence intervals, and the
+//!   Figure 13 sensitivity classification.
+//! * [`harvest`] — comfort-aware cycle stealing: the screensaver-only,
+//!   low-priority, CDF-throttled, and feedback-throttled strategies of
+//!   §1/§5, measurable against each other on the simulated machine.
+//! * [`perception`] — a perception-driven user model that reacts to
+//!   *measured* latency and jitter instead of commanded contention,
+//!   validating the calibrated model from interactivity physics alone.
+//! * [`throttle`] — §5's advice made executable: a CDF-driven throttle
+//!   advisor, plus the feedback-driven throttle controller the paper
+//!   lists as future work.
+//! * [`trace`] — per-second load traces of full-fidelity runs, the §2.3
+//!   monitoring series the client stores with each result.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod calibration;
+pub mod harvest;
+pub mod metrics;
+pub mod perception;
+pub mod population;
+pub mod run;
+pub mod throttle;
+pub mod trace;
+pub mod user;
+
+pub use calibration::CellStats;
+pub use harvest::{
+    run_harvest, run_resource_harvest, HarvestOutcome, HarvestStrategy, ResourceHarvestOutcome,
+};
+pub use perception::{
+    execute_perception_run, execute_perception_run_at_speed, execute_perception_run_configured,
+    PerceptionProfile,
+};
+pub use metrics::{CellMetrics, Sensitivity};
+pub use population::UserPopulation;
+pub use run::{execute_run, Fidelity, RunSetup, RunStyle};
+pub use throttle::{FeedbackThrottle, ThrottleAdvisor};
+pub use trace::{execute_run_traced, RunTrace, TraceSample};
+pub use user::{RatingDim, SelfRatings, SkillLevel, UserProfile};

@@ -1,0 +1,219 @@
+//! User profiles — the synthetic stand-ins for the study's 33 subjects.
+
+use std::collections::HashMap;
+use std::fmt;
+use uucs_testcase::Resource;
+use uucs_workloads::Task;
+
+/// A self-rated skill level (§3.3.4: users rated themselves "Power User",
+/// "Typical User", or "Beginner" in each dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SkillLevel {
+    /// Beginner.
+    Beginner,
+    /// Typical user.
+    Typical,
+    /// Power user.
+    Power,
+}
+
+impl SkillLevel {
+    /// All levels, ascending.
+    pub const ALL: [SkillLevel; 3] = [SkillLevel::Beginner, SkillLevel::Typical, SkillLevel::Power];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkillLevel::Beginner => "Beginner",
+            SkillLevel::Typical => "Typical",
+            SkillLevel::Power => "Power",
+        }
+    }
+}
+
+impl fmt::Display for SkillLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The questionnaire dimensions (§3.1: PC use, Windows, Word, Powerpoint,
+/// Internet Explorer, and Quake).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RatingDim {
+    /// General PC usage.
+    Pc,
+    /// Windows.
+    Windows,
+    /// Microsoft Word.
+    Word,
+    /// Microsoft Powerpoint.
+    Powerpoint,
+    /// Internet Explorer.
+    Ie,
+    /// Quake.
+    Quake,
+}
+
+impl RatingDim {
+    /// All six dimensions.
+    pub const ALL: [RatingDim; 6] = [
+        RatingDim::Pc,
+        RatingDim::Windows,
+        RatingDim::Word,
+        RatingDim::Powerpoint,
+        RatingDim::Ie,
+        RatingDim::Quake,
+    ];
+
+    /// Display name matching the paper's Figure 17 ("PC", "Windows",
+    /// "Word", "Powerpoint", "IE", "Quake").
+    pub fn name(self) -> &'static str {
+        match self {
+            RatingDim::Pc => "PC",
+            RatingDim::Windows => "Windows",
+            RatingDim::Word => "Word",
+            RatingDim::Powerpoint => "Powerpoint",
+            RatingDim::Ie => "IE",
+            RatingDim::Quake => "Quake",
+        }
+    }
+}
+
+impl fmt::Display for RatingDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A user's six self-ratings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfRatings {
+    ratings: [SkillLevel; 6],
+}
+
+impl SelfRatings {
+    /// Builds ratings in [`RatingDim::ALL`] order.
+    pub fn new(ratings: [SkillLevel; 6]) -> Self {
+        SelfRatings { ratings }
+    }
+
+    /// Uniform ratings (useful for tests).
+    pub fn uniform(level: SkillLevel) -> Self {
+        SelfRatings {
+            ratings: [level; 6],
+        }
+    }
+
+    /// The rating in one dimension.
+    pub fn get(&self, dim: RatingDim) -> SkillLevel {
+        let idx = RatingDim::ALL.iter().position(|d| *d == dim).unwrap();
+        self.ratings[idx]
+    }
+}
+
+/// A synthetic user: everything the study's questionnaire plus observed
+/// behavior determines.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// Subject identifier (e.g. `u07`).
+    pub id: String,
+    /// Self-rated skill levels.
+    pub ratings: SelfRatings,
+    /// Discomfort thresholds in *commanded contention* space, per
+    /// (task, resource) cell, for ramp-style exposure (the paper's CDFs —
+    /// the calibration source — come from ramp testcases).
+    pub thresholds: HashMap<(Task, Resource), f64>,
+    /// Multiplier on the task noise floor (how trigger-happy this user is
+    /// on blank runs).
+    pub noise_propensity: f64,
+    /// Additive ramp-adaptation bonus as a fraction of the cell's ramp
+    /// ceiling (the "frog in the pot" effect, §3.3.5): under a slow ramp
+    /// the user tolerates `threshold + bonus_frac * ceiling`.
+    pub ramp_bonus_frac: f64,
+    /// Mean reaction delay between perceiving discomfort and pressing the
+    /// hot-key, seconds.
+    pub reaction_secs: f64,
+}
+
+impl UserProfile {
+    /// The ramp-exposure threshold for a cell. Cells never calibrated
+    /// (e.g. a task/resource pair the study did not run) default to
+    /// infinity — never discomforted.
+    pub fn threshold(&self, task: Task, resource: Resource) -> f64 {
+        self.thresholds
+            .get(&(task, resource))
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// The effective threshold under abrupt (step) exposure: without the
+    /// slow adaptation of a ramp, the user objects at a lower level —
+    /// the "frog in the pot" effect, inverted from the calibrated ramp
+    /// thresholds.
+    pub fn step_threshold(&self, task: Task, resource: Resource, ceiling: f64) -> f64 {
+        (self.threshold(task, resource) - self.ramp_bonus_frac * ceiling).max(1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratings_lookup() {
+        let r = SelfRatings::new([
+            SkillLevel::Power,    // Pc
+            SkillLevel::Typical,  // Windows
+            SkillLevel::Beginner, // Word
+            SkillLevel::Typical,  // Powerpoint
+            SkillLevel::Power,    // Ie
+            SkillLevel::Beginner, // Quake
+        ]);
+        assert_eq!(r.get(RatingDim::Pc), SkillLevel::Power);
+        assert_eq!(r.get(RatingDim::Word), SkillLevel::Beginner);
+        assert_eq!(r.get(RatingDim::Quake), SkillLevel::Beginner);
+    }
+
+    #[test]
+    fn missing_threshold_is_infinite() {
+        let u = UserProfile {
+            id: "u1".into(),
+            ratings: SelfRatings::uniform(SkillLevel::Typical),
+            thresholds: HashMap::new(),
+            noise_propensity: 1.0,
+            ramp_bonus_frac: 0.1,
+            reaction_secs: 1.0,
+        };
+        assert!(u.threshold(Task::Word, Resource::Cpu).is_infinite());
+    }
+
+    #[test]
+    fn step_threshold_subtracts_bonus() {
+        let mut thresholds = HashMap::new();
+        thresholds.insert((Task::Powerpoint, Resource::Cpu), 1.0);
+        let u = UserProfile {
+            id: "u2".into(),
+            ratings: SelfRatings::uniform(SkillLevel::Typical),
+            thresholds,
+            noise_propensity: 1.0,
+            ramp_bonus_frac: 0.11,
+            reaction_secs: 1.0,
+        };
+        let ramp = u.threshold(Task::Powerpoint, Resource::Cpu);
+        let step = u.step_threshold(Task::Powerpoint, Resource::Cpu, 2.0);
+        assert!((ramp - step - 0.22).abs() < 1e-12);
+        // The floor keeps step thresholds positive.
+        let tiny = UserProfile {
+            ramp_bonus_frac: 10.0,
+            ..u.clone()
+        };
+        assert!(tiny.step_threshold(Task::Powerpoint, Resource::Cpu, 2.0) > 0.0);
+    }
+
+    #[test]
+    fn skill_level_ordering() {
+        assert!(SkillLevel::Beginner < SkillLevel::Typical);
+        assert!(SkillLevel::Typical < SkillLevel::Power);
+    }
+}

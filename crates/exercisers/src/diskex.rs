@@ -1,0 +1,176 @@
+//! The disk exerciser (paper §2.2).
+//!
+//! "The disk exerciser operates nearly identically to the CPU exerciser,
+//! except that its goal is to create contention for disk bandwidth. The
+//! busy operation here is a random seek in a large file (2x the memory of
+//! the machine) followed by a write of a random amount of data. The write
+//! is forced to be write-through with respect to the windows buffer cache
+//! and synced with respect to the disk controller."
+//!
+//! Thread `i` of `ceil(c)` threads is I/O-busy in a subinterval with
+//! probability `clamp(c - i, 0, 1)`; a busy subinterval issues random
+//! synced writes back to back until the subinterval boundary passes.
+
+use crate::playback::{PlaybackGrid, DEFAULT_SUBINTERVAL_US};
+use uucs_sim::{Action, Ctx, SimTime, Workload};
+use uucs_testcase::ExerciseFunction;
+
+/// Maximum bytes of one random write ("a write of a random amount of
+/// data" — up to 256 KB keeps op times in the tens of milliseconds).
+pub const MAX_WRITE_BYTES: u32 = 262_144;
+
+/// One thread of the disk exerciser.
+pub struct DiskExerciser {
+    func: ExerciseFunction,
+    index: u32,
+    grid: PlaybackGrid,
+    /// End of the current busy subinterval, if inside one.
+    busy_until: Option<SimTime>,
+}
+
+impl DiskExerciser {
+    /// Creates thread `index` of the exerciser for `func`, with playback
+    /// anchored at `start` and the default subinterval.
+    pub fn new(func: ExerciseFunction, index: u32, start: SimTime) -> Self {
+        DiskExerciser {
+            func,
+            index,
+            grid: PlaybackGrid::new(start, DEFAULT_SUBINTERVAL_US),
+            busy_until: None,
+        }
+    }
+
+    fn busy_probability(&self, level: f64) -> f64 {
+        (level - self.index as f64).clamp(0.0, 1.0)
+    }
+}
+
+impl Workload for DiskExerciser {
+    fn name(&self) -> &str {
+        "disk-exerciser"
+    }
+
+    fn next_action(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        // Continue a busy subinterval: keep writing until its boundary.
+        if let Some(until) = self.busy_until {
+            if ctx.now < until {
+                let bytes = ctx.rng.range_inclusive(4_096, MAX_WRITE_BYTES as u64) as u32;
+                return Action::DiskIo {
+                    ops: 1,
+                    bytes_per_op: bytes,
+                };
+            }
+            self.busy_until = None;
+        }
+        let t = self.grid.offset_secs(ctx.now);
+        let Some(level) = self.func.value_at(t) else {
+            return Action::Exit;
+        };
+        let boundary = self.grid.next_boundary(ctx.now);
+        if ctx.rng.bernoulli(self.busy_probability(level)) {
+            self.busy_until = Some(boundary);
+            let bytes = ctx.rng.range_inclusive(4_096, MAX_WRITE_BYTES as u64) as u32;
+            Action::DiskIo {
+                ops: 1,
+                bytes_per_op: bytes,
+            }
+        } else {
+            Action::SleepUntil { until: boundary }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_sim::{Machine, SEC};
+    use uucs_testcase::{ExerciseSpec, Resource};
+    use uucs_workloads::IoProbe;
+
+    fn constant(level: f64, secs: f64) -> ExerciseFunction {
+        ExerciseSpec::Step {
+            level,
+            duration: secs,
+            start: 0.0,
+        }
+        .sample(Resource::Disk, 1.0)
+    }
+
+    fn spawn_level(m: &mut Machine, level: f64, secs: f64) {
+        let f = constant(level, secs);
+        for i in 0..level.ceil() as u32 {
+            m.spawn(
+                format!("disk-ex{i}"),
+                Box::new(DiskExerciser::new(f.clone(), i, m.now())),
+            );
+        }
+    }
+
+    /// Probe op ratio vs standalone under disk contention `level`.
+    fn probe_ratio(level: f64, seed: u64) -> f64 {
+        let horizon = 120 * SEC;
+        let solo = {
+            let mut m = Machine::study_machine(seed);
+            let t = m.spawn("probe", Box::new(IoProbe::default()));
+            m.run_until(horizon);
+            m.thread_stats(t).disk_ops
+        };
+        let mut m = Machine::study_machine(seed);
+        let t = m.spawn("probe", Box::new(IoProbe::default()));
+        spawn_level(&mut m, level, 200.0);
+        m.run_until(horizon);
+        m.thread_stats(t).disk_ops as f64 / solo as f64
+    }
+
+    #[test]
+    fn contention_slows_io_probe_by_inverse_law() {
+        // The paper's semantics: an I/O-busy thread under disk contention
+        // c completes ~1/(1+c) of its standalone ops.
+        for &level in &[1.0, 3.0] {
+            let ratio = probe_ratio(level, 230);
+            let expect = 1.0 / (1.0 + level);
+            assert!(
+                (ratio - expect).abs() < 0.13,
+                "level {level}: ratio {ratio} expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn fractional_level_partially_borrows() {
+        let ratio = probe_ratio(0.5, 231);
+        let expect = 1.0 / 1.5;
+        assert!(
+            (ratio - expect).abs() < 0.12,
+            "ratio {ratio} expected {expect}"
+        );
+    }
+
+    #[test]
+    fn exerciser_exits_on_exhaustion() {
+        let mut m = Machine::study_machine(232);
+        let f = constant(1.0, 3.0);
+        let t = m.spawn("disk-ex0", Box::new(DiskExerciser::new(f, 0, 0)));
+        m.run_until(10 * SEC);
+        assert!(!m.is_alive(t));
+        assert!(m.thread_stats(t).disk_ops > 10);
+    }
+
+    #[test]
+    fn zero_level_issues_no_io() {
+        let mut m = Machine::study_machine(233);
+        let f = constant(0.0, 3.0);
+        let t = m.spawn("disk-ex0", Box::new(DiskExerciser::new(f, 0, 0)));
+        m.run_until(5 * SEC);
+        assert_eq!(m.thread_stats(t).disk_ops, 0);
+    }
+
+    #[test]
+    fn keeps_disk_busy_at_level_one() {
+        let mut m = Machine::study_machine(234);
+        spawn_level(&mut m, 1.0, 30.0);
+        m.run_until(30 * SEC);
+        let busy = m.disk_stats().busy_us as f64 / m.now() as f64;
+        assert!(busy > 0.9, "disk busy fraction {busy}");
+    }
+}

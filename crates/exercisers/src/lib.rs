@@ -1,0 +1,39 @@
+//! Resource exercisers (paper §2.2) — the components that apply the
+//! contention described by an exercise function.
+//!
+//! Three exercisers exist, one per studied resource, in two
+//! implementations each:
+//!
+//! * **Simulator-backed** ([`cpu`], [`memory`], [`diskex`]) — workloads
+//!   for the `uucs-sim` machine, used by the reproduced controlled study.
+//!   They implement exactly the paper's mechanisms: the CPU exerciser
+//!   does time-based playback with stochastic busy/sleep subintervals
+//!   across `ceil(c)` threads; the disk exerciser replaces the busy spin
+//!   with a random seek + synced write; the memory exerciser keeps a pool
+//!   the size of physical memory and touches the fraction given by the
+//!   contention level at high frequency.
+//! * **Native** ([`native`]) — the same algorithms against the real host:
+//!   calibrated busy-wait loops, an actual memory pool with page touching,
+//!   and real synced file writes. These make the measurement tool itself
+//!   usable outside the simulator; their tests are intentionally tiny so
+//!   CI machines of any speed pass.
+//!
+//! [`verify`] reproduces the paper's exerciser verification ("verified to
+//! a contention level of 10 for equal priority threads" for CPU, 7 for
+//! disk): it plays constant-level functions against probe threads and
+//! reports commanded vs. achieved contention.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cpu;
+pub mod diskex;
+pub mod memory;
+pub mod native;
+pub mod playback;
+pub mod verify;
+
+pub use cpu::CpuExerciser;
+pub use diskex::DiskExerciser;
+pub use memory::MemoryExerciser;
+pub use playback::{spawn_exercisers, ExerciserSet, PlaybackGrid};

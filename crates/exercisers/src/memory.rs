@@ -1,0 +1,240 @@
+//! The memory exerciser (paper §2.2).
+//!
+//! "It interprets contention as the fraction of physical memory it should
+//! attempt to allocate. It keeps a pool of allocated pages equal to the
+//! size of physical memory in the machine and then touches the fraction
+//! corresponding to the contention level with a high frequency, making
+//! its working set size inflate to that fraction of the physical memory."
+//!
+//! Each refresh cycle touches the working-set prefix (claiming frames and
+//! renewing recency so borrowed memory stays borrowed), then sleeps to
+//! the next grid boundary.
+
+use crate::playback::PlaybackGrid;
+use uucs_sim::{Action, Ctx, RegionId, SimTime, TouchPattern, Workload};
+use uucs_testcase::ExerciseFunction;
+
+/// Interval between working-set refresh touches ("a high frequency"):
+/// 250 ms keeps the pool pages hotter than any foreground region that is
+/// not being actively used.
+pub const REFRESH_US: SimTime = 250_000;
+
+/// The memory exerciser thread: alternates a working-set touch and a
+/// sleep to the next refresh boundary.
+pub struct MemoryExerciser {
+    func: ExerciseFunction,
+    pool_pages: u32,
+    grid: PlaybackGrid,
+    region: Option<RegionId>,
+    sleep_next: bool,
+}
+
+impl MemoryExerciser {
+    /// Creates the exerciser with a pool of `pool_pages` (the machine's
+    /// physical memory size) and playback anchored at `start`.
+    pub fn new(func: ExerciseFunction, pool_pages: u32, start: SimTime) -> Self {
+        assert!(pool_pages > 0);
+        MemoryExerciser {
+            func,
+            pool_pages,
+            grid: PlaybackGrid::new(start, REFRESH_US),
+            region: None,
+            sleep_next: false,
+        }
+    }
+
+    /// The working-set target (pages) at contention level `level`.
+    pub fn target_pages(&self, level: f64) -> u32 {
+        ((level.clamp(0.0, 1.0)) * self.pool_pages as f64).round() as u32
+    }
+}
+
+impl Workload for MemoryExerciser {
+    fn name(&self) -> &str {
+        "memory-exerciser"
+    }
+
+    fn next_action(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        if self.sleep_next {
+            self.sleep_next = false;
+            return Action::SleepUntil {
+                until: self.grid.next_boundary(ctx.now),
+            };
+        }
+        let region = match self.region {
+            Some(r) => r,
+            None => {
+                // Allocate the pool (virtual only; frames claimed on touch).
+                let r = ctx.alloc_region(self.pool_pages, false);
+                self.region = Some(r);
+                r
+            }
+        };
+        let t = self.grid.offset_secs(ctx.now);
+        let Some(level) = self.func.value_at(t) else {
+            // Exhausted: release the pool and stop.
+            ctx.free_region(region);
+            return Action::Exit;
+        };
+        let target = self.target_pages(level);
+        self.sleep_next = true;
+        if target == 0 {
+            return Action::SleepUntil {
+                until: self.grid.next_boundary(ctx.now),
+            };
+        }
+        Action::Touch {
+            region,
+            count: target,
+            pattern: TouchPattern::Prefix,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_sim::{Machine, MachineConfig, SEC};
+    use uucs_testcase::{ExerciseSpec, Resource};
+
+    fn small_machine(seed: u64) -> Machine {
+        Machine::new(MachineConfig {
+            mem_pages: 10_000,
+            seed,
+            ..MachineConfig::default()
+        })
+    }
+
+    fn spawn(m: &mut Machine, spec: ExerciseSpec) -> uucs_sim::ThreadId {
+        let f = spec.sample(Resource::Memory, 1.0);
+        let pool = m.config().mem_pages;
+        let ex = MemoryExerciser::new(f, pool, m.now());
+        m.spawn("mem-ex", Box::new(ex))
+    }
+
+    #[test]
+    fn inflates_to_fraction() {
+        let mut m = small_machine(220);
+        spawn(
+            &mut m,
+            ExerciseSpec::Step {
+                level: 0.5,
+                duration: 30.0,
+                start: 0.0,
+            },
+        );
+        m.run_until(5 * SEC);
+        let resident = m.mem_resident();
+        assert!(
+            (resident as i64 - 5_000).unsigned_abs() < 100,
+            "resident {resident}"
+        );
+    }
+
+    #[test]
+    fn exerciser_cpu_overhead_is_small() {
+        let mut m = small_machine(224);
+        let t = spawn(
+            &mut m,
+            ExerciseSpec::Step {
+                level: 1.0,
+                duration: 30.0,
+                start: 0.0,
+            },
+        );
+        m.run_until(30 * SEC);
+        // Touching the pool "with a high frequency" must not itself become
+        // CPU borrowing.
+        let util = m.thread_stats(t).cpu_us as f64 / m.now() as f64;
+        assert!(util < 0.05, "util {util}");
+    }
+
+    #[test]
+    fn ramp_inflates_progressively() {
+        let mut m = small_machine(221);
+        spawn(
+            &mut m,
+            ExerciseSpec::Ramp {
+                level: 1.0,
+                duration: 100.0,
+            },
+        );
+        m.run_until(25 * SEC);
+        let quarter = m.mem_resident();
+        m.run_until(75 * SEC);
+        let three_quarters = m.mem_resident();
+        assert!(quarter < 3_000 && quarter > 1_500, "quarter {quarter}");
+        assert!(
+            three_quarters > 6_500 && three_quarters < 8_500,
+            "three_quarters {three_quarters}"
+        );
+    }
+
+    #[test]
+    fn evicts_idle_foreground_pages_under_pressure() {
+        use uucs_sim::workload::FnWorkload;
+        let mut m = small_machine(222);
+        let mut init = false;
+        m.spawn(
+            "fg",
+            Box::new(FnWorkload::new("fg", move |ctx| {
+                if !init {
+                    init = true;
+                    let r = ctx.alloc_region(4_000, false);
+                    Action::Touch {
+                        region: r,
+                        count: 4_000,
+                        pattern: TouchPattern::Prefix,
+                    }
+                } else {
+                    Action::SleepUntil {
+                        until: ctx.now + SEC,
+                    }
+                }
+            })),
+        );
+        m.run_until(2 * SEC);
+        assert_eq!(m.mem_resident(), 4_000);
+        spawn(
+            &mut m,
+            ExerciseSpec::Step {
+                level: 0.9,
+                duration: 30.0,
+                start: 0.0,
+            },
+        );
+        m.run_until(10 * SEC);
+        assert!(
+            m.mem_stats().evictions > 2_500,
+            "evictions {}",
+            m.mem_stats().evictions
+        );
+    }
+
+    #[test]
+    fn exhaustion_frees_pool_and_exits() {
+        let mut m = small_machine(223);
+        let t = spawn(
+            &mut m,
+            ExerciseSpec::Step {
+                level: 0.8,
+                duration: 5.0,
+                start: 0.0,
+            },
+        );
+        m.run_until(4 * SEC);
+        assert!(m.mem_resident() > 7_000);
+        m.run_until(10 * SEC);
+        assert!(!m.is_alive(t));
+        assert_eq!(m.mem_resident(), 0);
+    }
+
+    #[test]
+    fn target_pages_clamps() {
+        let f = ExerciseSpec::Blank { duration: 1.0 }.sample(Resource::Memory, 1.0);
+        let ex = MemoryExerciser::new(f, 1000, 0);
+        assert_eq!(ex.target_pages(0.5), 500);
+        assert_eq!(ex.target_pages(2.0), 1000);
+        assert_eq!(ex.target_pages(-1.0), 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Native (real-host) exercisers — the measurement tool itself, as it
+//! would run on an end-user machine, built with the same algorithms as
+//! the simulator-backed exercisers.
+//!
+//! These are faithful ports of §2.2: the CPU exerciser calibrates a
+//! busy-wait loop and plays the exercise function in wall-clock
+//! subintervals; the memory exerciser keeps an allocated pool and touches
+//! a page-strided fraction of it per refresh; the disk exerciser seeks
+//! randomly in a scratch file and performs synced writes.
+//!
+//! All runners are bounded by both the exercise function's duration and a
+//! shared [`StopFlag`] (the user's discomfort click), and return
+//! statistics rather than relying on wall-clock assertions, so tests stay
+//! robust on arbitrarily loaded CI machines.
+
+use std::fs::OpenOptions;
+use std::io::{Seek, SeekFrom, Write as IoWrite};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uucs_stats::Pcg64;
+use uucs_testcase::ExerciseFunction;
+
+/// Shared cancellation flag — set when the user expresses discomfort.
+#[derive(Debug, Clone, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    /// Creates an unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests all exercisers holding this flag to stop immediately.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once stopped.
+    pub fn is_stopped(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Calibration of the busy-wait loop: how many spin iterations fit in a
+/// millisecond on this host ("carefully calibrated busy-wait loops").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpinCalibration {
+    /// Spin iterations per millisecond.
+    pub iters_per_ms: u64,
+}
+
+/// A unit of spin work the optimizer cannot elide.
+#[inline]
+fn spin_unit(x: u64) -> u64 {
+    // A few dependent integer ops; `black_box` pins the value.
+    std::hint::black_box(x.wrapping_mul(6364136223846793005).rotate_left(17) ^ 0x9e3779b9)
+}
+
+/// Calibrates the spin loop against the host clock.
+pub fn calibrate_spin() -> SpinCalibration {
+    // Warm up, then time a fixed iteration count.
+    let mut acc = 0u64;
+    for i in 0..100_000u64 {
+        acc = spin_unit(acc ^ i);
+    }
+    let iters = 2_000_000u64;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        acc = spin_unit(acc ^ i);
+    }
+    let elapsed = t0.elapsed();
+    std::hint::black_box(acc);
+    let ms = elapsed.as_secs_f64() * 1e3;
+    SpinCalibration {
+        iters_per_ms: ((iters as f64 / ms.max(1e-6)) as u64).max(1),
+    }
+}
+
+/// Spins for approximately `d`, checking the clock every calibrated
+/// millisecond of work.
+pub fn spin_for(d: Duration, cal: SpinCalibration, stop: &StopFlag) {
+    let deadline = Instant::now() + d;
+    let mut acc = 0u64;
+    while Instant::now() < deadline && !stop.is_stopped() {
+        for i in 0..cal.iters_per_ms {
+            acc = spin_unit(acc ^ i);
+        }
+    }
+    std::hint::black_box(acc);
+}
+
+/// Outcome counters of a native exerciser run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NativeRunStats {
+    /// Subintervals spent busy (spinning / writing / touching).
+    pub busy_subintervals: u64,
+    /// Subintervals spent sleeping.
+    pub idle_subintervals: u64,
+    /// Disk bytes written (disk exerciser only).
+    pub bytes_written: u64,
+    /// Pages touched (memory exerciser only).
+    pub pages_touched: u64,
+    /// True if the run ended because the stop flag was raised.
+    pub stopped_early: bool,
+}
+
+/// Runs one thread of the native CPU exerciser to completion (function
+/// exhaustion or stop). `index` selects the contention slice as in the
+/// simulator-backed exerciser; `time_scale` > 1 accelerates playback for
+/// testing (a scale of 100 plays a 120 s function in 1.2 s).
+pub fn run_native_cpu(
+    func: &ExerciseFunction,
+    index: u32,
+    subinterval: Duration,
+    cal: SpinCalibration,
+    stop: &StopFlag,
+    time_scale: f64,
+    rng: &mut Pcg64,
+) -> NativeRunStats {
+    assert!(time_scale > 0.0);
+    let start = Instant::now();
+    let mut stats = NativeRunStats::default();
+    let mut k = 0u64;
+    loop {
+        if stop.is_stopped() {
+            stats.stopped_early = true;
+            return stats;
+        }
+        let t = start.elapsed().as_secs_f64() * time_scale;
+        let Some(level) = func.value_at(t) else {
+            return stats;
+        };
+        let p = (level - index as f64).clamp(0.0, 1.0);
+        // Re-anchor on the grid to avoid drift.
+        k += 1;
+        let boundary = start + subinterval.mul_f64(k as f64);
+        let now = Instant::now();
+        let remain = boundary.saturating_duration_since(now);
+        if rng.bernoulli(p) {
+            stats.busy_subintervals += 1;
+            spin_for(remain, cal, stop);
+        } else {
+            stats.idle_subintervals += 1;
+            if !remain.is_zero() {
+                std::thread::sleep(remain);
+            }
+        }
+    }
+}
+
+/// Runs the native memory exerciser: keeps a pool of `pool_bytes` and per
+/// refresh touches the fraction given by the function (one byte per 4 KB
+/// page, like the real tool's page strides).
+pub fn run_native_memory(
+    func: &ExerciseFunction,
+    pool_bytes: usize,
+    refresh: Duration,
+    stop: &StopFlag,
+    time_scale: f64,
+) -> NativeRunStats {
+    assert!(pool_bytes > 0 && time_scale > 0.0);
+    const PAGE: usize = 4096;
+    let mut pool = vec![0u8; pool_bytes];
+    let pages = pool_bytes.div_ceil(PAGE);
+    let start = Instant::now();
+    let mut stats = NativeRunStats::default();
+    loop {
+        if stop.is_stopped() {
+            stats.stopped_early = true;
+            return stats;
+        }
+        let t = start.elapsed().as_secs_f64() * time_scale;
+        let Some(level) = func.value_at(t) else {
+            return stats;
+        };
+        let target = ((level.clamp(0.0, 1.0)) * pages as f64) as usize;
+        for p in 0..target {
+            // Touch one byte per page; the add defeats page-dedup.
+            pool[p * PAGE] = pool[p * PAGE].wrapping_add(1);
+        }
+        std::hint::black_box(&mut pool);
+        stats.pages_touched += target as u64;
+        stats.busy_subintervals += 1;
+        std::thread::sleep(refresh);
+    }
+}
+
+/// Runs one thread of the native disk exerciser against a scratch file at
+/// `path` of `file_bytes` (the paper uses 2× physical memory; tests use a
+/// few hundred KB). Each busy subinterval seeks randomly and performs a
+/// synced write of a random size up to `max_write`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_native_disk(
+    func: &ExerciseFunction,
+    index: u32,
+    path: &Path,
+    file_bytes: u64,
+    max_write: u64,
+    subinterval: Duration,
+    stop: &StopFlag,
+    time_scale: f64,
+    rng: &mut Pcg64,
+) -> std::io::Result<NativeRunStats> {
+    assert!(file_bytes >= max_write && max_write > 0 && time_scale > 0.0);
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(path)?;
+    file.set_len(file_bytes)?;
+    let payload = vec![0xA5u8; max_write as usize];
+    let start = Instant::now();
+    let mut stats = NativeRunStats::default();
+    let mut k = 0u64;
+    loop {
+        if stop.is_stopped() {
+            stats.stopped_early = true;
+            return Ok(stats);
+        }
+        let t = start.elapsed().as_secs_f64() * time_scale;
+        let Some(level) = func.value_at(t) else {
+            return Ok(stats);
+        };
+        let p = (level - index as f64).clamp(0.0, 1.0);
+        k += 1;
+        let boundary = start + subinterval.mul_f64(k as f64);
+        if rng.bernoulli(p) {
+            stats.busy_subintervals += 1;
+            // Random seek + synced write, back to back until the boundary.
+            loop {
+                let len = rng.range_inclusive(4096.min(max_write), max_write);
+                let off = rng.below(file_bytes - len + 1);
+                file.seek(SeekFrom::Start(off))?;
+                file.write_all(&payload[..len as usize])?;
+                file.sync_data()?; // write-through + controller sync
+                stats.bytes_written += len;
+                if Instant::now() >= boundary || stop.is_stopped() {
+                    break;
+                }
+            }
+        } else {
+            stats.idle_subintervals += 1;
+            let remain = boundary.saturating_duration_since(Instant::now());
+            if !remain.is_zero() {
+                std::thread::sleep(remain);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_testcase::{ExerciseSpec, Resource};
+
+    fn constant(level: f64, secs: f64, res: Resource) -> ExerciseFunction {
+        ExerciseSpec::Step {
+            level,
+            duration: secs,
+            start: 0.0,
+        }
+        .sample(res, 1.0)
+    }
+
+    #[test]
+    fn calibration_is_positive_and_sane() {
+        let cal = calibrate_spin();
+        // Even the slowest CI machine spins well over a thousand
+        // iterations per ms; even the fastest under a trillion.
+        assert!(cal.iters_per_ms > 1_000, "{:?}", cal);
+        assert!(cal.iters_per_ms < 1_000_000_000_000, "{:?}", cal);
+    }
+
+    #[test]
+    fn cpu_full_level_is_all_busy() {
+        let f = constant(1.0, 60.0, Resource::Cpu);
+        let cal = SpinCalibration { iters_per_ms: 10_000 };
+        let stop = StopFlag::new();
+        let mut rng = Pcg64::new(1);
+        // 60 s function at 200x scale = 0.3 s real, 10 ms subintervals.
+        let stats = run_native_cpu(
+            &f,
+            0,
+            Duration::from_millis(10),
+            cal,
+            &stop,
+            200.0,
+            &mut rng,
+        );
+        assert!(stats.busy_subintervals > 0);
+        assert_eq!(stats.idle_subintervals, 0);
+        assert!(!stats.stopped_early);
+    }
+
+    #[test]
+    fn cpu_half_level_mixes_busy_and_idle() {
+        let f = constant(0.5, 120.0, Resource::Cpu);
+        let cal = SpinCalibration { iters_per_ms: 10_000 };
+        let stop = StopFlag::new();
+        let mut rng = Pcg64::new(2);
+        let stats = run_native_cpu(
+            &f,
+            0,
+            Duration::from_millis(5),
+            cal,
+            &stop,
+            400.0,
+            &mut rng,
+        );
+        let total = stats.busy_subintervals + stats.idle_subintervals;
+        assert!(total > 20, "{stats:?}");
+        let frac = stats.busy_subintervals as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.30, "busy fraction {frac}");
+    }
+
+    #[test]
+    fn cpu_stop_flag_halts_run() {
+        let f = constant(1.0, 3600.0, Resource::Cpu);
+        let cal = calibrate_spin();
+        let stop = StopFlag::new();
+        let stop2 = stop.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            stop2.stop();
+        });
+        let mut rng = Pcg64::new(3);
+        let stats = run_native_cpu(
+            &f,
+            0,
+            Duration::from_millis(10),
+            cal,
+            &stop,
+            1.0,
+            &mut rng,
+        );
+        h.join().unwrap();
+        assert!(stats.stopped_early);
+    }
+
+    #[test]
+    fn memory_touches_fraction_of_pool() {
+        let f = constant(0.5, 60.0, Resource::Memory);
+        let stop = StopFlag::new();
+        // 4 MB pool = 1024 pages; 60 s at 600x = 0.1 s real.
+        let stats = run_native_memory(&f, 4 << 20, Duration::from_millis(5), &stop, 600.0);
+        assert!(stats.pages_touched > 0);
+        // Each refresh touched ~512 pages.
+        let per_refresh = stats.pages_touched / stats.busy_subintervals.max(1);
+        assert!(
+            (per_refresh as i64 - 512).abs() < 40,
+            "per refresh {per_refresh}"
+        );
+    }
+
+    #[test]
+    fn disk_writes_and_stops_on_exhaustion() {
+        let dir = std::env::temp_dir().join(format!("uucs-diskex-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scratch.bin");
+        let f = constant(1.0, 30.0, Resource::Disk);
+        let stop = StopFlag::new();
+        let mut rng = Pcg64::new(4);
+        // 30 s at 300x = 0.1 s real; 256 KB file, 16 KB writes.
+        let stats = run_native_disk(
+            &f,
+            0,
+            &path,
+            262_144,
+            16_384,
+            Duration::from_millis(10),
+            &stop,
+            300.0,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(stats.bytes_written > 0, "{stats:?}");
+        assert!(!stats.stopped_early);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_zero_level_writes_nothing() {
+        let dir = std::env::temp_dir().join(format!("uucs-diskex0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scratch.bin");
+        let f = constant(0.0, 10.0, Resource::Disk);
+        let stop = StopFlag::new();
+        let mut rng = Pcg64::new(5);
+        let stats = run_native_disk(
+            &f,
+            0,
+            &path,
+            65_536,
+            16_384,
+            Duration::from_millis(5),
+            &stop,
+            200.0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(stats.bytes_written, 0);
+        assert!(stats.idle_subintervals > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

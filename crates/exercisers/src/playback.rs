@@ -1,0 +1,215 @@
+//! Time-based playback helpers shared by all exercisers, and the
+//! [`ExerciserSet`] that stands up every exerciser a testcase needs.
+//!
+//! The paper's exercisers split wall time into subintervals "each larger
+//! than the scheduling resolution of the machine" (§2.2) and decide
+//! per-subinterval whether to be busy. [`PlaybackGrid`] provides that
+//! subinterval grid, aligned to the exerciser's start time so stochastic
+//! overshoot under contention cannot accumulate drift.
+
+use uucs_sim::{Machine, SimTime, ThreadId};
+use uucs_testcase::{Resource, Testcase};
+
+/// Default subinterval: 100 ms, an order of magnitude above the 10 ms
+/// scheduling quantum.
+pub const DEFAULT_SUBINTERVAL_US: SimTime = 100_000;
+
+/// A wall-clock subinterval grid anchored at a start time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaybackGrid {
+    start: SimTime,
+    subinterval: SimTime,
+}
+
+impl PlaybackGrid {
+    /// Creates a grid starting at `start` with the given subinterval.
+    pub fn new(start: SimTime, subinterval: SimTime) -> Self {
+        assert!(subinterval > 0);
+        PlaybackGrid { start, subinterval }
+    }
+
+    /// Seconds elapsed since the grid start (for indexing the exercise
+    /// function).
+    pub fn offset_secs(&self, now: SimTime) -> f64 {
+        (now.saturating_sub(self.start)) as f64 / 1_000_000.0
+    }
+
+    /// The end of the subinterval containing `now` (strictly after `now`),
+    /// aligned to the grid so overshoot does not drift.
+    pub fn next_boundary(&self, now: SimTime) -> SimTime {
+        let off = now.saturating_sub(self.start);
+        let idx = off / self.subinterval + 1;
+        self.start + idx * self.subinterval
+    }
+}
+
+/// Handles to all exerciser threads spawned for one testcase run.
+#[derive(Debug, Clone)]
+pub struct ExerciserSet {
+    threads: Vec<ThreadId>,
+}
+
+impl ExerciserSet {
+    /// The spawned thread ids.
+    pub fn threads(&self) -> &[ThreadId] {
+        &self.threads
+    }
+
+    /// True while any exerciser thread is still alive (the testcase has
+    /// not exhausted).
+    pub fn any_alive(&self, machine: &Machine) -> bool {
+        self.threads.iter().any(|&t| machine.is_alive(t))
+    }
+
+    /// Kills every exerciser thread immediately and releases their
+    /// resources — what the UUCS client does the moment the user
+    /// expresses discomfort (§2.3).
+    pub fn stop(&self, machine: &mut Machine) {
+        for &t in &self.threads {
+            machine.kill(t);
+        }
+    }
+
+    /// Total CPU consumed by the exercisers, µs.
+    pub fn cpu_us(&self, machine: &Machine) -> SimTime {
+        self.threads
+            .iter()
+            .map(|&t| machine.thread_stats(t).cpu_us)
+            .sum()
+    }
+
+    /// Total disk ops issued by the exercisers.
+    pub fn disk_ops(&self, machine: &Machine) -> u64 {
+        self.threads
+            .iter()
+            .map(|&t| machine.thread_stats(t).disk_ops)
+            .sum()
+    }
+}
+
+/// Spawns the exercisers a testcase requires onto a machine, starting
+/// playback at the machine's current time. One CPU/disk exerciser thread
+/// is spawned per unit of peak contention (`ceil(peak)`), one memory
+/// exerciser thread total — exactly the paper's structure.
+pub fn spawn_exercisers(machine: &mut Machine, testcase: &Testcase) -> ExerciserSet {
+    let start = machine.now();
+    let mut threads = Vec::new();
+    for f in &testcase.functions {
+        match f.resource {
+            Resource::Cpu => {
+                let n = f.peak().ceil().max(0.0) as u32;
+                for i in 0..n {
+                    let w = crate::cpu::CpuExerciser::new(f.clone(), i, start);
+                    threads.push(machine.spawn(format!("cpu-ex{i}"), Box::new(w)));
+                }
+            }
+            Resource::Disk => {
+                let n = f.peak().ceil().max(0.0) as u32;
+                for i in 0..n {
+                    let w = crate::diskex::DiskExerciser::new(f.clone(), i, start);
+                    threads.push(machine.spawn(format!("disk-ex{i}"), Box::new(w)));
+                }
+            }
+            Resource::Memory => {
+                if f.peak() > 0.0 {
+                    let pool = machine.config().mem_pages;
+                    let w = crate::memory::MemoryExerciser::new(f.clone(), pool, start);
+                    threads.push(machine.spawn("mem-ex", Box::new(w)));
+                }
+            }
+            Resource::Network => {
+                // Unstudied, as in the paper (§2.2): no exerciser.
+            }
+        }
+    }
+    ExerciserSet { threads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_testcase::ExerciseSpec;
+
+    #[test]
+    fn grid_alignment_prevents_drift() {
+        let g = PlaybackGrid::new(500, 100_000);
+        assert_eq!(g.next_boundary(500), 100_500);
+        assert_eq!(g.next_boundary(100_499), 100_500);
+        // Overshoot into the next subinterval still lands on the grid.
+        assert_eq!(g.next_boundary(100_501), 200_500);
+        assert_eq!(g.next_boundary(137_000), 200_500);
+    }
+
+    #[test]
+    fn grid_offset_seconds() {
+        let g = PlaybackGrid::new(2_000_000, 100_000);
+        assert!((g.offset_secs(3_500_000) - 1.5).abs() < 1e-12);
+        assert_eq!(g.offset_secs(1_000_000), 0.0); // before start clamps
+    }
+
+    #[test]
+    fn spawn_counts_follow_peaks() {
+        let mut m = Machine::study_machine(200);
+        let tc = Testcase::from_specs(
+            "mix",
+            1.0,
+            &[
+                (
+                    Resource::Cpu,
+                    ExerciseSpec::Ramp {
+                        level: 2.5,
+                        duration: 10.0,
+                    },
+                ),
+                (
+                    Resource::Disk,
+                    ExerciseSpec::Step {
+                        level: 4.0,
+                        duration: 10.0,
+                        start: 2.0,
+                    },
+                ),
+                (
+                    Resource::Memory,
+                    ExerciseSpec::Ramp {
+                        level: 0.5,
+                        duration: 10.0,
+                    },
+                ),
+            ],
+        );
+        let set = spawn_exercisers(&mut m, &tc);
+        // ceil(2.5)=3 cpu + ceil(4)=4 disk + 1 memory.
+        assert_eq!(set.threads().len(), 8);
+        assert!(set.any_alive(&m));
+    }
+
+    #[test]
+    fn blank_testcase_spawns_nothing() {
+        let mut m = Machine::study_machine(201);
+        let tc = Testcase::blank("b", 1.0, 120.0);
+        let set = spawn_exercisers(&mut m, &tc);
+        assert!(set.threads().is_empty());
+        assert!(!set.any_alive(&m));
+    }
+
+    #[test]
+    fn stop_kills_all() {
+        let mut m = Machine::study_machine(202);
+        let tc = Testcase::single(
+            "c",
+            1.0,
+            Resource::Cpu,
+            ExerciseSpec::Step {
+                level: 2.0,
+                duration: 100.0,
+                start: 0.0,
+            },
+        );
+        let set = spawn_exercisers(&mut m, &tc);
+        m.run_for(uucs_sim::SEC);
+        assert!(set.any_alive(&m));
+        set.stop(&mut m);
+        assert!(!set.any_alive(&m));
+    }
+}

@@ -1,0 +1,28 @@
+//! The UUCS client/server record formats and wire protocol.
+//!
+//! The paper's client and server "store testcases and results on
+//! permanent storage in text files" (§2) and interact through two
+//! client-initiated exchanges: an initial *registration* (sending a
+//! detailed hardware/software snapshot, receiving a globally unique
+//! identifier) and periodic *hot syncs* (downloading a growing random
+//! sample of new testcases, uploading new results).
+//!
+//! This crate defines:
+//! * [`record::RunRecord`] — the result of one testcase run: how it ended
+//!   (discomfort vs exhaustion), the time offset of the feedback, the
+//!   last five contention values of each exercise function, and the
+//!   monitoring summary (§2.3),
+//! * [`snapshot::MachineSnapshot`] — the registration payload,
+//! * [`wire`] — the line-oriented message framing used over TCP (and the
+//!   in-memory transport used by tests).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod record;
+pub mod snapshot;
+pub mod wire;
+
+pub use record::{MonitorSummary, RunOutcome, RunRecord};
+pub use snapshot::MachineSnapshot;
+pub use wire::{ClientMsg, ServerMsg};

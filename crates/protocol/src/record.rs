@@ -1,0 +1,350 @@
+//! Run result records (§2.3).
+//!
+//! "A considerable amount of information is stored as the result of the
+//! testcase run", of which the paper's analysis uses: whether the run
+//! ended in user feedback or exhaustion, the time offset of the report,
+//! and the last five contention values of each exercise function at the
+//! feedback point. We store those plus the monitoring summary.
+
+use std::fmt;
+use uucs_testcase::Resource;
+
+/// How a testcase run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The user expressed discomfort (clicked the tray icon / hit F11).
+    Discomfort,
+    /// The exercise functions ran out without feedback.
+    Exhausted,
+}
+
+impl RunOutcome {
+    /// Token used in the text format.
+    pub fn token(self) -> &'static str {
+        match self {
+            RunOutcome::Discomfort => "discomfort",
+            RunOutcome::Exhausted => "exhausted",
+        }
+    }
+
+    /// Parses a token.
+    pub fn parse(s: &str) -> Option<RunOutcome> {
+        match s {
+            "discomfort" => Some(RunOutcome::Discomfort),
+            "exhausted" => Some(RunOutcome::Exhausted),
+            _ => None,
+        }
+    }
+}
+
+/// Monitoring summary stored with every run ("CPU, memory and Disk load
+/// measurements for entire duration of the testcase").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MonitorSummary {
+    /// Mean CPU utilization over the run.
+    pub cpu_util: f64,
+    /// Peak resident-memory fraction over the run.
+    pub peak_mem_fraction: f64,
+    /// Disk busy fraction over the run.
+    pub disk_busy: f64,
+    /// Page faults serviced during the run.
+    pub faults: u64,
+    /// Mean foreground interactive latency, µs (if the task recorded any).
+    pub mean_latency_us: Option<f64>,
+}
+
+/// The result of one testcase run by one user in one context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Client GUID (assigned at registration).
+    pub client: String,
+    /// Study subject identifier (controlled study) or `-` (Internet study,
+    /// where the user is the client).
+    pub user: String,
+    /// Testcase identifier.
+    pub testcase: String,
+    /// Foreground task name (the user's context), or `-` if unknown.
+    pub task: String,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Seconds into the testcase at which feedback or exhaustion occurred.
+    pub offset_secs: f64,
+    /// The last five contention values of each exercise function at the
+    /// feedback point.
+    pub last_levels: Vec<(Resource, Vec<f64>)>,
+    /// Monitoring summary.
+    pub monitor: MonitorSummary,
+}
+
+impl RunRecord {
+    /// The contention level in force at the feedback point for `resource`
+    /// (the final entry of its last-levels vector).
+    pub fn level_at_feedback(&self, resource: Resource) -> Option<f64> {
+        self.last_levels
+            .iter()
+            .find(|(r, _)| *r == resource)
+            .and_then(|(_, v)| v.last().copied())
+    }
+
+    /// Serializes the record into the text result format.
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out);
+        out
+    }
+
+    /// Serializes, appending to `out`.
+    pub fn emit_into(&self, out: &mut String) {
+        use fmt::Write;
+        writeln!(out, "RESULT").unwrap();
+        writeln!(out, "CLIENT {}", nonempty(&self.client)).unwrap();
+        writeln!(out, "USER {}", nonempty(&self.user)).unwrap();
+        writeln!(out, "TESTCASE {}", nonempty(&self.testcase)).unwrap();
+        writeln!(out, "TASK {}", nonempty(&self.task)).unwrap();
+        writeln!(out, "OUTCOME {}", self.outcome.token()).unwrap();
+        writeln!(out, "OFFSET {}", self.offset_secs).unwrap();
+        for (r, levels) in &self.last_levels {
+            write!(out, "LEVELS {r}").unwrap();
+            for v in levels {
+                write!(out, " {v}").unwrap();
+            }
+            out.push('\n');
+        }
+        writeln!(
+            out,
+            "MONITOR cpu {} mem {} disk {} faults {} latency {}",
+            self.monitor.cpu_util,
+            self.monitor.peak_mem_fraction,
+            self.monitor.disk_busy,
+            self.monitor.faults,
+            self.monitor
+                .mean_latency_us
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+        )
+        .unwrap();
+        writeln!(out, "END").unwrap();
+    }
+
+    /// Parses one record from lines, consuming them. Returns `None` at end
+    /// of input (no RESULT header found).
+    pub fn parse<'a>(
+        lines: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<Option<RunRecord>, String> {
+        // Find the RESULT header.
+        let mut found = false;
+        for line in lines.by_ref() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "RESULT" {
+                found = true;
+                break;
+            }
+            return Err(format!("expected RESULT, found {line:?}"));
+        }
+        if !found {
+            return Ok(None);
+        }
+        let mut rec = RunRecord {
+            client: String::new(),
+            user: String::new(),
+            testcase: String::new(),
+            task: String::new(),
+            outcome: RunOutcome::Exhausted,
+            offset_secs: 0.0,
+            last_levels: Vec::new(),
+            monitor: MonitorSummary::default(),
+        };
+        let mut saw_outcome = false;
+        for line in lines.by_ref() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "END" {
+                if !saw_outcome {
+                    return Err("record missing OUTCOME".to_string());
+                }
+                return Ok(Some(rec));
+            }
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "CLIENT" => rec.client = de_nonempty(rest),
+                "USER" => rec.user = de_nonempty(rest),
+                "TESTCASE" => rec.testcase = de_nonempty(rest),
+                "TASK" => rec.task = de_nonempty(rest),
+                "OUTCOME" => {
+                    rec.outcome = RunOutcome::parse(rest)
+                        .ok_or_else(|| format!("bad outcome {rest:?}"))?;
+                    saw_outcome = true;
+                }
+                "OFFSET" => {
+                    rec.offset_secs = rest
+                        .parse()
+                        .map_err(|_| format!("bad offset {rest:?}"))?;
+                }
+                "LEVELS" => {
+                    let mut toks = rest.split_whitespace();
+                    let rname = toks.next().ok_or("LEVELS missing resource")?;
+                    let resource: Resource = rname
+                        .parse()
+                        .map_err(|_| format!("bad resource {rname:?}"))?;
+                    let mut vals = Vec::new();
+                    for t in toks {
+                        vals.push(t.parse().map_err(|_| format!("bad level {t:?}"))?);
+                    }
+                    rec.last_levels.push((resource, vals));
+                }
+                "MONITOR" => {
+                    let toks: Vec<&str> = rest.split_whitespace().collect();
+                    let mut i = 0;
+                    while i + 1 < toks.len() {
+                        let (k, v) = (toks[i], toks[i + 1]);
+                        match k {
+                            "cpu" => rec.monitor.cpu_util = pf(v)?,
+                            "mem" => rec.monitor.peak_mem_fraction = pf(v)?,
+                            "disk" => rec.monitor.disk_busy = pf(v)?,
+                            "faults" => {
+                                rec.monitor.faults =
+                                    v.parse().map_err(|_| format!("bad faults {v:?}"))?
+                            }
+                            "latency" => {
+                                rec.monitor.mean_latency_us =
+                                    if v == "-" { None } else { Some(pf(v)?) }
+                            }
+                            other => return Err(format!("unknown monitor key {other:?}")),
+                        }
+                        i += 2;
+                    }
+                }
+                other => return Err(format!("unknown record key {other:?}")),
+            }
+        }
+        Err("unexpected end of input inside RESULT".to_string())
+    }
+
+    /// Parses every record in a text body.
+    pub fn parse_many(input: &str) -> Result<Vec<RunRecord>, String> {
+        let mut lines = input.lines();
+        let mut out = Vec::new();
+        while let Some(rec) = Self::parse(&mut lines)? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    /// Serializes many records into one text body.
+    pub fn emit_many(records: &[RunRecord]) -> String {
+        let mut out = String::new();
+        for r in records {
+            r.emit_into(&mut out);
+        }
+        out
+    }
+}
+
+fn pf(v: &str) -> Result<f64, String> {
+    v.parse().map_err(|_| format!("bad number {v:?}"))
+}
+
+fn nonempty(s: &str) -> &str {
+    if s.is_empty() {
+        "-"
+    } else {
+        s
+    }
+}
+
+fn de_nonempty(s: &str) -> String {
+    if s == "-" {
+        String::new()
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        RunRecord {
+            client: "c-123".into(),
+            user: "u7".into(),
+            testcase: "cpu-ramp-7-120".into(),
+            task: "Word".into(),
+            outcome: RunOutcome::Discomfort,
+            offset_secs: 74.5,
+            last_levels: vec![(Resource::Cpu, vec![4.0, 4.1, 4.2, 4.3, 4.4])],
+            monitor: MonitorSummary {
+                cpu_util: 0.93,
+                peak_mem_fraction: 0.41,
+                disk_busy: 0.02,
+                faults: 17,
+                mean_latency_us: Some(12_345.5),
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_single() {
+        let r = sample();
+        let text = r.emit();
+        let parsed = RunRecord::parse_many(&text).unwrap();
+        assert_eq!(parsed, vec![r]);
+    }
+
+    #[test]
+    fn roundtrip_many_with_empty_fields() {
+        let mut a = sample();
+        a.user = String::new();
+        a.task = String::new();
+        let mut b = sample();
+        b.outcome = RunOutcome::Exhausted;
+        b.monitor.mean_latency_us = None;
+        b.last_levels = vec![
+            (Resource::Cpu, vec![1.0]),
+            (Resource::Memory, vec![0.5, 0.6]),
+        ];
+        let text = RunRecord::emit_many(&[a.clone(), b.clone()]);
+        let parsed = RunRecord::parse_many(&text).unwrap();
+        assert_eq!(parsed, vec![a, b]);
+    }
+
+    #[test]
+    fn level_at_feedback() {
+        let r = sample();
+        assert_eq!(r.level_at_feedback(Resource::Cpu), Some(4.4));
+        assert_eq!(r.level_at_feedback(Resource::Disk), None);
+    }
+
+    #[test]
+    fn parse_rejects_missing_outcome() {
+        let text = "RESULT\nCLIENT a\nEND\n";
+        assert!(RunRecord::parse_many(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(RunRecord::parse_many("HELLO\n").is_err());
+        assert!(RunRecord::parse_many("RESULT\nOUTCOME discomfort\n").is_err());
+        assert!(RunRecord::parse_many("RESULT\nOUTCOME maybe\nEND\n").is_err());
+        assert!(RunRecord::parse_many("RESULT\nLEVELS gpu 1\nOUTCOME exhausted\nEND\n").is_err());
+    }
+
+    #[test]
+    fn parse_empty_and_comments() {
+        assert_eq!(RunRecord::parse_many("").unwrap(), vec![]);
+        assert_eq!(RunRecord::parse_many("# header\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn outcome_tokens() {
+        assert_eq!(RunOutcome::parse("discomfort"), Some(RunOutcome::Discomfort));
+        assert_eq!(RunOutcome::parse("exhausted"), Some(RunOutcome::Exhausted));
+        assert_eq!(RunOutcome::parse("bored"), None);
+        assert_eq!(RunOutcome::Discomfort.token(), "discomfort");
+    }
+}

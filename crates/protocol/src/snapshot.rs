@@ -1,0 +1,143 @@
+//! The registration snapshot: "a detailed snapshot of the hardware and
+//! software of the client machine" (§2) sent when a client first runs.
+
+use std::fmt;
+
+/// The hardware/software description a client registers with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSnapshot {
+    /// Host name (or a pseudonym under the privacy options).
+    pub hostname: String,
+    /// CPU clock, MHz.
+    pub cpu_mhz: u32,
+    /// Physical memory, MB.
+    pub mem_mb: u32,
+    /// Disk capacity, GB.
+    pub disk_gb: u32,
+    /// Operating system string.
+    pub os: String,
+    /// Installed applications of interest.
+    pub apps: Vec<String>,
+}
+
+impl MachineSnapshot {
+    /// The controlled study's machine (Figure 7): 2.0 GHz P4, 512 MB,
+    /// 80 GB, Windows XP, with Word 2002, Powerpoint 2002, IE 6, and
+    /// Quake III installed.
+    pub fn study_machine(hostname: impl Into<String>) -> Self {
+        MachineSnapshot {
+            hostname: hostname.into(),
+            cpu_mhz: 2000,
+            mem_mb: 512,
+            disk_gb: 80,
+            os: "WindowsXP".into(),
+            apps: vec![
+                "Word2002".into(),
+                "Powerpoint2002".into(),
+                "IE6".into(),
+                "QuakeIII".into(),
+            ],
+        }
+    }
+
+    /// Serializes into the registration block.
+    pub fn emit(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "SNAPSHOT").unwrap();
+        writeln!(out, "HOST {}", self.hostname).unwrap();
+        writeln!(out, "CPU {}", self.cpu_mhz).unwrap();
+        writeln!(out, "MEM {}", self.mem_mb).unwrap();
+        writeln!(out, "DISK {}", self.disk_gb).unwrap();
+        writeln!(out, "OS {}", self.os).unwrap();
+        writeln!(out, "APPS {}", self.apps.join(" ")).unwrap();
+        writeln!(out, "END").unwrap();
+        out
+    }
+
+    /// Parses a registration block.
+    pub fn parse(input: &str) -> Result<MachineSnapshot, String> {
+        let mut snap = MachineSnapshot {
+            hostname: String::new(),
+            cpu_mhz: 0,
+            mem_mb: 0,
+            disk_gb: 0,
+            os: String::new(),
+            apps: Vec::new(),
+        };
+        let mut saw_header = false;
+        let mut saw_end = false;
+        for line in input.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if !saw_header {
+                if line != "SNAPSHOT" {
+                    return Err(format!("expected SNAPSHOT, found {line:?}"));
+                }
+                saw_header = true;
+                continue;
+            }
+            if line == "END" {
+                saw_end = true;
+                break;
+            }
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "HOST" => snap.hostname = rest.to_string(),
+                "CPU" => snap.cpu_mhz = pu(rest)?,
+                "MEM" => snap.mem_mb = pu(rest)?,
+                "DISK" => snap.disk_gb = pu(rest)?,
+                "OS" => snap.os = rest.to_string(),
+                "APPS" => snap.apps = rest.split_whitespace().map(String::from).collect(),
+                other => return Err(format!("unknown snapshot key {other:?}")),
+            }
+        }
+        if !saw_header || !saw_end {
+            return Err("truncated snapshot".to_string());
+        }
+        Ok(snap)
+    }
+
+    /// A relative CPU speed factor against the study machine, used by the
+    /// raw-host-power analysis (paper question 6).
+    pub fn speed_factor(&self) -> f64 {
+        self.cpu_mhz as f64 / 2000.0
+    }
+}
+
+fn pu(v: &str) -> Result<u32, String> {
+    v.parse().map_err(|_| format!("bad integer {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = MachineSnapshot::study_machine("optiplex-1");
+        let parsed = MachineSnapshot::parse(&s.emit()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn study_machine_matches_figure_7() {
+        let s = MachineSnapshot::study_machine("m");
+        assert_eq!(s.cpu_mhz, 2000);
+        assert_eq!(s.mem_mb, 512);
+        assert_eq!(s.disk_gb, 80);
+        assert_eq!(s.os, "WindowsXP");
+        assert_eq!(s.apps.len(), 4);
+        assert!((s.speed_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_truncation_and_garbage() {
+        assert!(MachineSnapshot::parse("SNAPSHOT\nHOST x\n").is_err());
+        assert!(MachineSnapshot::parse("NOPE\nEND\n").is_err());
+        assert!(MachineSnapshot::parse("SNAPSHOT\nCPU fast\nEND\n").is_err());
+        assert!(MachineSnapshot::parse("SNAPSHOT\nWEIRD 1\nEND\n").is_err());
+    }
+}

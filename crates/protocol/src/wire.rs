@@ -1,0 +1,361 @@
+//! Line-oriented wire framing for the client/server exchanges.
+//!
+//! Both interactions are client-initiated (§2): registration and hot
+//! sync. Messages are text blocks over any `Read`/`Write` pair (TCP in
+//! production, an in-memory duplex in tests):
+//!
+//! ```text
+//! client -> server                server -> client
+//! ----------------                ----------------
+//! REGISTER + snapshot block       ID <guid>
+//! SYNC <client-id> <have> <want>  TESTCASES <n> + n testcase blocks
+//! UPLOAD <client-id> <n> + blocks ACK <n>
+//! BYE                             (connection closes)
+//!                                 ERROR <message>   (any time)
+//! ```
+
+use crate::record::RunRecord;
+use crate::snapshot::MachineSnapshot;
+use std::io::{BufRead, Write};
+use uucs_testcase::{format as tcformat, Testcase};
+
+/// Anything that can answer client messages — the server implements this,
+/// and the client's in-memory transport calls it directly (the same
+/// handler that backs the TCP listener), so tests exercise identical
+/// server logic without sockets.
+pub trait Endpoint: Send + Sync {
+    /// Handles one client message, producing the reply.
+    fn handle(&self, msg: &ClientMsg) -> ServerMsg;
+}
+
+/// Messages a client sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Register this machine; expects [`ServerMsg::Id`].
+    Register(MachineSnapshot),
+    /// Request up to `want` testcases the client does not yet have (it
+    /// holds `have`); expects [`ServerMsg::Testcases`].
+    Sync {
+        /// The client's GUID.
+        client: String,
+        /// How many testcases the client already holds.
+        have: usize,
+        /// Upper bound on how many new testcases to send.
+        want: usize,
+    },
+    /// Upload result records; expects [`ServerMsg::Ack`].
+    Upload {
+        /// The client's GUID.
+        client: String,
+        /// The result records.
+        records: Vec<RunRecord>,
+    },
+    /// Close the session.
+    Bye,
+}
+
+/// Messages a server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// The GUID assigned at registration.
+    Id(String),
+    /// New testcases for the client.
+    Testcases(Vec<Testcase>),
+    /// Acknowledgment of `n` uploaded records.
+    Ack(usize),
+    /// Protocol error.
+    Error(String),
+}
+
+/// Writes a client message to a stream.
+pub fn write_client_msg(w: &mut impl Write, msg: &ClientMsg) -> std::io::Result<()> {
+    match msg {
+        ClientMsg::Register(snap) => {
+            writeln!(w, "REGISTER")?;
+            w.write_all(snap.emit().as_bytes())?;
+        }
+        ClientMsg::Sync { client, have, want } => {
+            writeln!(w, "SYNC {client} {have} {want}")?;
+        }
+        ClientMsg::Upload { client, records } => {
+            writeln!(w, "UPLOAD {client} {}", records.len())?;
+            w.write_all(RunRecord::emit_many(records).as_bytes())?;
+        }
+        ClientMsg::Bye => writeln!(w, "BYE")?,
+    }
+    w.flush()
+}
+
+/// Writes a server message to a stream.
+pub fn write_server_msg(w: &mut impl Write, msg: &ServerMsg) -> std::io::Result<()> {
+    match msg {
+        ServerMsg::Id(id) => writeln!(w, "ID {id}")?,
+        ServerMsg::Testcases(tcs) => {
+            writeln!(w, "TESTCASES {}", tcs.len())?;
+            w.write_all(tcformat::emit_many(tcs).as_bytes())?;
+        }
+        ServerMsg::Ack(n) => writeln!(w, "ACK {n}")?,
+        ServerMsg::Error(e) => writeln!(w, "ERROR {e}")?,
+    }
+    w.flush()
+}
+
+/// Reads lines until a block terminator (`END` at depth zero) completes
+/// `n` blocks, returning the collected text.
+fn read_blocks(r: &mut impl BufRead, n: usize) -> std::io::Result<String> {
+    let mut out = String::new();
+    let mut remaining = n;
+    let mut line = String::new();
+    while remaining > 0 {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "stream ended mid-block",
+            ));
+        }
+        if line.trim() == "END" {
+            remaining -= 1;
+        }
+        out.push_str(&line);
+    }
+    Ok(out)
+}
+
+fn proto_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one client message. Returns `Ok(None)` on clean EOF before any
+/// header line.
+pub fn read_client_msg(r: &mut impl BufRead) -> std::io::Result<Option<ClientMsg>> {
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if r.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        if !header.trim().is_empty() {
+            break;
+        }
+    }
+    let header = header.trim().to_string();
+    let mut toks = header.split_whitespace();
+    match toks.next() {
+        Some("REGISTER") => {
+            let body = read_blocks(r, 1)?;
+            let snap = MachineSnapshot::parse(&body).map_err(proto_err)?;
+            Ok(Some(ClientMsg::Register(snap)))
+        }
+        Some("SYNC") => {
+            let client = toks.next().ok_or_else(|| proto_err("SYNC missing id"))?;
+            let have: usize = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("SYNC missing have"))?;
+            let want: usize = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("SYNC missing want"))?;
+            Ok(Some(ClientMsg::Sync {
+                client: client.to_string(),
+                have,
+                want,
+            }))
+        }
+        Some("UPLOAD") => {
+            let client = toks.next().ok_or_else(|| proto_err("UPLOAD missing id"))?;
+            let n: usize = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("UPLOAD missing count"))?;
+            let body = read_blocks(r, n)?;
+            let records = RunRecord::parse_many(&body).map_err(proto_err)?;
+            if records.len() != n {
+                return Err(proto_err(format!(
+                    "UPLOAD promised {n} records, parsed {}",
+                    records.len()
+                )));
+            }
+            Ok(Some(ClientMsg::Upload {
+                client: client.to_string(),
+                records,
+            }))
+        }
+        Some("BYE") => Ok(Some(ClientMsg::Bye)),
+        other => Err(proto_err(format!("unknown client message {other:?}"))),
+    }
+}
+
+/// Reads one server message.
+pub fn read_server_msg(r: &mut impl BufRead) -> std::io::Result<ServerMsg> {
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if r.read_line(&mut header)? == 0 {
+            return Err(proto_err("connection closed awaiting server message"));
+        }
+        if !header.trim().is_empty() {
+            break;
+        }
+    }
+    let header = header.trim().to_string();
+    let (kind, rest) = header.split_once(' ').unwrap_or((header.as_str(), ""));
+    match kind {
+        "ID" => Ok(ServerMsg::Id(rest.to_string())),
+        "TESTCASES" => {
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| proto_err("bad TESTCASES count"))?;
+            let body = read_blocks(r, n)?;
+            let tcs = tcformat::parse_many(&body)
+                .map_err(|e| proto_err(format!("bad testcase block: {e}")))?;
+            if tcs.len() != n {
+                return Err(proto_err("TESTCASES count mismatch"));
+            }
+            Ok(ServerMsg::Testcases(tcs))
+        }
+        "ACK" => {
+            let n: usize = rest.trim().parse().map_err(|_| proto_err("bad ACK"))?;
+            Ok(ServerMsg::Ack(n))
+        }
+        "ERROR" => Ok(ServerMsg::Error(rest.to_string())),
+        other => Err(proto_err(format!("unknown server message {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MonitorSummary, RunOutcome};
+    use std::io::Cursor;
+    use uucs_testcase::{ExerciseSpec, Resource};
+
+    fn roundtrip_client(msg: ClientMsg) {
+        let mut buf = Vec::new();
+        write_client_msg(&mut buf, &msg).unwrap();
+        let mut cur = Cursor::new(buf);
+        let got = read_client_msg(&mut cur).unwrap().unwrap();
+        assert_eq!(got, msg);
+    }
+
+    fn roundtrip_server(msg: ServerMsg) {
+        let mut buf = Vec::new();
+        write_server_msg(&mut buf, &msg).unwrap();
+        let mut cur = Cursor::new(buf);
+        let got = read_server_msg(&mut cur).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    fn record() -> RunRecord {
+        RunRecord {
+            client: "c1".into(),
+            user: "u1".into(),
+            testcase: "t1".into(),
+            task: "Quake".into(),
+            outcome: RunOutcome::Discomfort,
+            offset_secs: 33.0,
+            last_levels: vec![(Resource::Cpu, vec![0.5, 0.55])],
+            monitor: MonitorSummary::default(),
+        }
+    }
+
+    #[test]
+    fn register_roundtrip() {
+        roundtrip_client(ClientMsg::Register(MachineSnapshot::study_machine("h1")));
+    }
+
+    #[test]
+    fn sync_roundtrip() {
+        roundtrip_client(ClientMsg::Sync {
+            client: "c-9".into(),
+            have: 12,
+            want: 30,
+        });
+    }
+
+    #[test]
+    fn upload_roundtrip() {
+        roundtrip_client(ClientMsg::Upload {
+            client: "c-9".into(),
+            records: vec![record(), record()],
+        });
+        roundtrip_client(ClientMsg::Upload {
+            client: "c-9".into(),
+            records: vec![],
+        });
+    }
+
+    #[test]
+    fn bye_roundtrip() {
+        roundtrip_client(ClientMsg::Bye);
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        roundtrip_server(ServerMsg::Id("guid-42".into()));
+        roundtrip_server(ServerMsg::Ack(7));
+        roundtrip_server(ServerMsg::Error("nope".into()));
+        let tc = uucs_testcase::Testcase::single(
+            "x",
+            1.0,
+            Resource::Disk,
+            ExerciseSpec::Ramp {
+                level: 5.0,
+                duration: 120.0,
+            },
+        );
+        roundtrip_server(ServerMsg::Testcases(vec![tc.clone(), tc]));
+        roundtrip_server(ServerMsg::Testcases(vec![]));
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut cur = Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_client_msg(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_upload_errors() {
+        let mut buf = Vec::new();
+        write!(buf, "UPLOAD c1 2\nRESULT\nOUTCOME exhausted\nEND\n").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert!(read_client_msg(&mut cur).is_err());
+    }
+
+    #[test]
+    fn unknown_messages_error() {
+        let mut cur = Cursor::new(b"JUMP\n".to_vec());
+        assert!(read_client_msg(&mut cur).is_err());
+        let mut cur = Cursor::new(b"WAT 3\n".to_vec());
+        assert!(read_server_msg(&mut cur).is_err());
+    }
+
+    #[test]
+    fn multiple_messages_in_sequence() {
+        let mut buf = Vec::new();
+        write_client_msg(&mut buf, &ClientMsg::Sync { client: "c".into(), have: 0, want: 5 })
+            .unwrap();
+        write_client_msg(
+            &mut buf,
+            &ClientMsg::Upload {
+                client: "c".into(),
+                records: vec![record()],
+            },
+        )
+        .unwrap();
+        write_client_msg(&mut buf, &ClientMsg::Bye).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_client_msg(&mut cur).unwrap().unwrap(),
+            ClientMsg::Sync { .. }
+        ));
+        assert!(matches!(
+            read_client_msg(&mut cur).unwrap().unwrap(),
+            ClientMsg::Upload { .. }
+        ));
+        assert_eq!(read_client_msg(&mut cur).unwrap().unwrap(), ClientMsg::Bye);
+        assert_eq!(read_client_msg(&mut cur).unwrap(), None);
+    }
+}

@@ -1,0 +1,24 @@
+//! The UUCS server (paper §2, Figure 1).
+//!
+//! Holds the testcase store and the result store (text files on disk, as
+//! in the paper), registers clients (assigning globally unique
+//! identifiers against a hardware/software snapshot), and answers hot
+//! syncs: "New testcases, which can be added to the server at any time,
+//! are downloaded by the client, while new results are uploaded back to
+//! the server."
+//!
+//! The *growing random sample* the paper describes is implemented with a
+//! client-keyed deterministic permutation of the testcase library: each
+//! client walks its own random order, so successive syncs extend its
+//! sample without duplicates, and the collection of clients covers the
+//! library uniformly.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod server;
+pub mod store;
+pub mod tcp;
+
+pub use server::UucsServer;
+pub use store::{ResultStore, TestcaseStore};

@@ -1,0 +1,91 @@
+//! The `uucs-server` daemon: serves a testcase library over TCP and
+//! appends uploaded results to a text store, exactly the Figure 1 server.
+//!
+//! ```text
+//! uucs-server [--addr 127.0.0.1:4004] [--library FILE] [--data DIR]
+//!             [--generate-library N-seed]
+//! ```
+//!
+//! With `--library`, serves the testcases in the given text file; with
+//! `--generate-library`, builds the Internet-sweep library from a seed.
+//! State is saved to `--data` (default `uucs-server-data/`) on Ctrl-C-free
+//! periodic checkpoints (every 30 s).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use uucs_server::{tcp, TestcaseStore, UucsServer};
+
+fn main() {
+    let mut addr = "127.0.0.1:4004".to_string();
+    let mut library: Option<PathBuf> = None;
+    let mut data = PathBuf::from("uucs-server-data");
+    let mut gen_seed: Option<u64> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().unwrap_or(addr);
+            }
+            "--library" => {
+                i += 1;
+                library = args.get(i).map(PathBuf::from);
+            }
+            "--data" => {
+                i += 1;
+                data = args.get(i).map(PathBuf::from).unwrap_or(data);
+            }
+            "--generate-library" => {
+                i += 1;
+                gen_seed = args.get(i).and_then(|s| s.parse().ok()).or(Some(42));
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let store = if let Some(path) = library {
+        TestcaseStore::load(&path).unwrap_or_else(|e| {
+            eprintln!("cannot load library {path:?}: {e}");
+            std::process::exit(1);
+        })
+    } else if let Some(seed) = gen_seed {
+        eprintln!("generating internet-sweep library (seed {seed}) ...");
+        TestcaseStore::from_testcases(
+            uucs_testcase::generate::Library::internet_sweep(seed)
+                .testcases()
+                .to_vec(),
+        )
+    } else {
+        eprintln!("no --library given: generating the default internet-sweep library");
+        TestcaseStore::from_testcases(
+            uucs_testcase::generate::Library::internet_sweep(42)
+                .testcases()
+                .to_vec(),
+        )
+    };
+    eprintln!("serving {} testcases on {addr}", store.len());
+    let server = Arc::new(UucsServer::new(store, 0x5e17));
+    let handle = tcp::serve(server.clone(), &addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("listening on {} (checkpointing to {data:?})", handle.addr());
+
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(30));
+        if let Err(e) = server.save(&data) {
+            eprintln!("checkpoint failed: {e}");
+        } else {
+            eprintln!(
+                "checkpoint: {} clients, {} results",
+                server.client_count(),
+                server.result_count()
+            );
+        }
+    }
+}

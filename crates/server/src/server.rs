@@ -1,0 +1,275 @@
+//! The server's message handler and registry.
+
+use crate::store::{ResultStore, TestcaseStore};
+use parking_lot::RwLock;
+use uucs_protocol::wire::Endpoint;
+use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg};
+use uucs_stats::Pcg64;
+
+/// The UUCS server state. Thread-safe: the TCP front end shares one
+/// instance across connections.
+pub struct UucsServer {
+    testcases: RwLock<TestcaseStore>,
+    results: RwLock<ResultStore>,
+    registry: RwLock<Vec<(String, MachineSnapshot)>>,
+    /// Seed for the per-client sampling permutations.
+    sample_seed: u64,
+}
+
+impl UucsServer {
+    /// Creates a server around a testcase library.
+    pub fn new(testcases: TestcaseStore, sample_seed: u64) -> Self {
+        UucsServer {
+            testcases: RwLock::new(testcases),
+            results: RwLock::new(ResultStore::new()),
+            registry: RwLock::new(Vec::new()),
+            sample_seed,
+        }
+    }
+
+    /// Adds a testcase to the library at runtime ("new testcases ... can
+    /// be added to the server at any time").
+    pub fn add_testcase(&self, tc: uucs_testcase::Testcase) {
+        self.testcases.write().add(tc);
+    }
+
+    /// Number of testcases in the library.
+    pub fn testcase_count(&self) -> usize {
+        self.testcases.read().len()
+    }
+
+    /// Number of uploaded result records.
+    pub fn result_count(&self) -> usize {
+        self.results.read().len()
+    }
+
+    /// Snapshot of all uploaded results (cloned).
+    pub fn results(&self) -> Vec<uucs_protocol::RunRecord> {
+        self.results.read().all().to_vec()
+    }
+
+    /// Number of registered clients.
+    pub fn client_count(&self) -> usize {
+        self.registry.read().len()
+    }
+
+    /// The registered snapshot for a client id.
+    pub fn snapshot_of(&self, client: &str) -> Option<MachineSnapshot> {
+        self.registry
+            .read()
+            .iter()
+            .find(|(id, _)| id == client)
+            .map(|(_, s)| s.clone())
+    }
+
+    /// Saves both stores under a directory (`testcases.txt`,
+    /// `results.txt`).
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        self.testcases.read().save(&dir.join("testcases.txt"))?;
+        self.results.read().save(&dir.join("results.txt"))
+    }
+
+    /// The client-specific random order of the library. Deterministic per
+    /// (server seed, client id), so each sync extends the client's sample
+    /// without duplicates — the paper's "growing random sample".
+    fn client_order(&self, client: &str, total: usize) -> Vec<usize> {
+        let mut rng = Pcg64::new(self.sample_seed).split_str(client);
+        let mut idx: Vec<usize> = (0..total).collect();
+        rng.shuffle(&mut idx);
+        idx
+    }
+}
+
+impl Endpoint for UucsServer {
+    fn handle(&self, msg: &ClientMsg) -> ServerMsg {
+        match msg {
+            ClientMsg::Register(snapshot) => {
+                let mut reg = self.registry.write();
+                let id = format!("client-{:04}", reg.len() + 1);
+                reg.push((id.clone(), snapshot.clone()));
+                ServerMsg::Id(id)
+            }
+            ClientMsg::Sync { client, have, want } => {
+                if self.snapshot_of(client).is_none() {
+                    return ServerMsg::Error(format!("unregistered client {client}"));
+                }
+                let store = self.testcases.read();
+                let order = self.client_order(client, store.len());
+                let slice: Vec<_> = order
+                    .iter()
+                    .skip(*have)
+                    .take(*want)
+                    .map(|&i| store.all()[i].clone())
+                    .collect();
+                ServerMsg::Testcases(slice)
+            }
+            ClientMsg::Upload { client, records } => {
+                if self.snapshot_of(client).is_none() {
+                    return ServerMsg::Error(format!("unregistered client {client}"));
+                }
+                let n = records.len();
+                self.results.write().append(records.clone());
+                ServerMsg::Ack(n)
+            }
+            ClientMsg::Bye => ServerMsg::Ack(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_testcase::{ExerciseSpec, Resource, Testcase};
+
+    fn library(n: usize) -> TestcaseStore {
+        TestcaseStore::from_testcases(
+            (0..n)
+                .map(|i| {
+                    Testcase::single(
+                        format!("tc-{i:03}"),
+                        1.0,
+                        Resource::Cpu,
+                        ExerciseSpec::Ramp {
+                            level: 1.0,
+                            duration: 10.0,
+                        },
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn register(s: &UucsServer) -> String {
+        match s.handle(&ClientMsg::Register(MachineSnapshot::study_machine("h"))) {
+            ServerMsg::Id(id) => id,
+            other => panic!("expected Id, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registration_assigns_unique_ids() {
+        let s = UucsServer::new(library(5), 1);
+        let a = register(&s);
+        let b = register(&s);
+        assert_ne!(a, b);
+        assert_eq!(s.client_count(), 2);
+        assert!(s.snapshot_of(&a).is_some());
+        assert!(s.snapshot_of("nope").is_none());
+    }
+
+    #[test]
+    fn growing_random_sample_never_repeats() {
+        let s = UucsServer::new(library(20), 2);
+        let id = register(&s);
+        let mut seen = Vec::new();
+        for have in [0usize, 7, 14] {
+            let want = 7.min(20 - have);
+            match s.handle(&ClientMsg::Sync {
+                client: id.clone(),
+                have,
+                want,
+            }) {
+                ServerMsg::Testcases(tcs) => {
+                    assert!(tcs.len() <= want);
+                    for tc in tcs {
+                        assert!(
+                            !seen.contains(&tc.id.as_str().to_string()),
+                            "duplicate {}",
+                            tc.id
+                        );
+                        seen.push(tc.id.as_str().to_string());
+                    }
+                }
+                other => panic!("expected Testcases, got {other:?}"),
+            }
+        }
+        // 7 + 7 + 6 = the whole 20-testcase library, no repeats.
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn different_clients_get_different_orders() {
+        let s = UucsServer::new(library(30), 3);
+        let a = register(&s);
+        let b = register(&s);
+        let get = |id: &str| match s.handle(&ClientMsg::Sync {
+            client: id.to_string(),
+            have: 0,
+            want: 10,
+        }) {
+            ServerMsg::Testcases(tcs) => tcs.iter().map(|t| t.id.to_string()).collect::<Vec<_>>(),
+            other => panic!("{other:?}"),
+        };
+        assert_ne!(get(&a), get(&b));
+        // But each client's own order is stable.
+        assert_eq!(get(&a), get(&a));
+    }
+
+    #[test]
+    fn sync_past_the_end_returns_empty() {
+        let s = UucsServer::new(library(3), 4);
+        let id = register(&s);
+        match s.handle(&ClientMsg::Sync {
+            client: id,
+            have: 3,
+            want: 10,
+        }) {
+            ServerMsg::Testcases(tcs) => assert!(tcs.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unregistered_clients_rejected() {
+        let s = UucsServer::new(library(3), 5);
+        assert!(matches!(
+            s.handle(&ClientMsg::Sync {
+                client: "ghost".into(),
+                have: 0,
+                want: 1
+            }),
+            ServerMsg::Error(_)
+        ));
+        assert!(matches!(
+            s.handle(&ClientMsg::Upload {
+                client: "ghost".into(),
+                records: vec![]
+            }),
+            ServerMsg::Error(_)
+        ));
+    }
+
+    #[test]
+    fn uploads_accumulate() {
+        use uucs_protocol::{MonitorSummary, RunOutcome, RunRecord};
+        let s = UucsServer::new(library(1), 6);
+        let id = register(&s);
+        let rec = RunRecord {
+            client: id.clone(),
+            user: "u".into(),
+            testcase: "tc-000".into(),
+            task: "Word".into(),
+            outcome: RunOutcome::Exhausted,
+            offset_secs: 10.0,
+            last_levels: vec![],
+            monitor: MonitorSummary::default(),
+        };
+        match s.handle(&ClientMsg::Upload {
+            client: id.clone(),
+            records: vec![rec.clone(), rec.clone()],
+        }) {
+            ServerMsg::Ack(2) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.result_count(), 2);
+    }
+
+    #[test]
+    fn runtime_testcase_addition() {
+        let s = UucsServer::new(library(2), 7);
+        assert_eq!(s.testcase_count(), 2);
+        s.add_testcase(Testcase::blank("late", 1.0, 60.0));
+        assert_eq!(s.testcase_count(), 3);
+    }
+}

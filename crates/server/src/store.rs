@@ -1,0 +1,193 @@
+//! Text-file-backed stores, as in the paper ("store testcases and
+//! results on permanent storage in text files").
+
+use std::path::Path;
+use uucs_protocol::RunRecord;
+use uucs_testcase::{format as tcformat, Testcase};
+
+/// The server's testcase library.
+#[derive(Debug, Default)]
+pub struct TestcaseStore {
+    testcases: Vec<Testcase>,
+}
+
+impl TestcaseStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store from testcases, rejecting duplicate ids.
+    pub fn from_testcases(testcases: Vec<Testcase>) -> Self {
+        let mut s = Self::new();
+        for tc in testcases {
+            s.add(tc);
+        }
+        s
+    }
+
+    /// Adds a testcase ("new testcases can be added to the server at any
+    /// time"). Panics on a duplicate id.
+    pub fn add(&mut self, tc: Testcase) {
+        assert!(
+            self.get(tc.id.as_str()).is_none(),
+            "duplicate testcase id {}",
+            tc.id
+        );
+        self.testcases.push(tc);
+    }
+
+    /// All testcases in insertion order.
+    pub fn all(&self) -> &[Testcase] {
+        &self.testcases
+    }
+
+    /// Number of testcases.
+    pub fn len(&self) -> usize {
+        self.testcases.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.testcases.is_empty()
+    }
+
+    /// Finds by id.
+    pub fn get(&self, id: &str) -> Option<&Testcase> {
+        self.testcases.iter().find(|t| t.id.as_str() == id)
+    }
+
+    /// Saves the library to a text file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, tcformat::emit_many(&self.testcases))
+    }
+
+    /// Loads a library from a text file.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let testcases = tcformat::parse_many(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(Self::from_testcases(testcases))
+    }
+}
+
+/// The server's result store.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    records: Vec<RunRecord>,
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends uploaded records.
+    pub fn append(&mut self, records: Vec<RunRecord>) {
+        self.records.extend(records);
+    }
+
+    /// All records in upload order.
+    pub fn all(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Saves all results to a text file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, RunRecord::emit_many(&self.records))
+    }
+
+    /// Loads results from a text file.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let records = RunRecord::parse_many(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(ResultStore { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_protocol::{MonitorSummary, RunOutcome};
+    use uucs_testcase::{ExerciseSpec, Resource};
+
+    fn tc(id: &str) -> Testcase {
+        Testcase::single(
+            id,
+            1.0,
+            Resource::Cpu,
+            ExerciseSpec::Ramp {
+                level: 1.0,
+                duration: 10.0,
+            },
+        )
+    }
+
+    fn rec(user: &str) -> RunRecord {
+        RunRecord {
+            client: "c".into(),
+            user: user.into(),
+            testcase: "t".into(),
+            task: "IE".into(),
+            outcome: RunOutcome::Exhausted,
+            offset_secs: 10.0,
+            last_levels: vec![],
+            monitor: MonitorSummary::default(),
+        }
+    }
+
+    #[test]
+    fn testcase_store_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("uucs-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("testcases.txt");
+        let store = TestcaseStore::from_testcases(vec![tc("a"), tc("b")]);
+        store.save(&path).unwrap();
+        let loaded = TestcaseStore::load(&path).unwrap();
+        assert_eq!(loaded.all(), store.all());
+        assert!(loaded.get("a").is_some());
+        assert!(loaded.get("zzz").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_testcase_rejected() {
+        let mut s = TestcaseStore::new();
+        s.add(tc("x"));
+        s.add(tc("x"));
+    }
+
+    #[test]
+    fn result_store_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("uucs-rstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("results.txt");
+        let mut store = ResultStore::new();
+        store.append(vec![rec("u1"), rec("u2")]);
+        store.append(vec![rec("u3")]);
+        assert_eq!(store.len(), 3);
+        store.save(&path).unwrap();
+        let loaded = ResultStore::load(&path).unwrap();
+        assert_eq!(loaded.all(), store.all());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(TestcaseStore::load(Path::new("/nonexistent/x.txt")).is_err());
+        assert!(ResultStore::load(Path::new("/nonexistent/x.txt")).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! The TCP front end: one thread per connection, each speaking the
+//! line-oriented wire protocol against the shared [`UucsServer`].
+
+use crate::server::UucsServer;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use uucs_protocol::wire::{read_client_msg, write_server_msg, Endpoint};
+use uucs_protocol::ClientMsg;
+
+/// A running TCP server; dropping it (after [`ServerHandle::shutdown`])
+/// joins the accept loop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    /// The shared server state, for inspection by tests and drivers.
+    pub server: Arc<UucsServer>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and joins the accept loop. In-flight connections
+    /// finish their current message exchange.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `127.0.0.1:0` (or a specific address) and serves the given
+/// server state until shutdown.
+pub fn serve(server: Arc<UucsServer>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let server2 = server.clone();
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    let server = server2.clone();
+                    std::thread::spawn(move || handle_connection(stream, &*server));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+        server,
+    })
+}
+
+/// Runs the message loop for one connection.
+fn handle_connection(stream: TcpStream, server: &dyn Endpoint) {
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_client_msg(&mut reader) {
+            Ok(Some(ClientMsg::Bye)) | Ok(None) => return,
+            Ok(Some(msg)) => {
+                let reply = server.handle(&msg);
+                if write_server_msg(&mut writer, &reply).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TestcaseStore;
+    use std::io::BufReader;
+    use uucs_protocol::wire::{read_server_msg, write_client_msg};
+    use uucs_protocol::{MachineSnapshot, ServerMsg};
+    use uucs_testcase::{ExerciseSpec, Resource, Testcase};
+
+    fn start() -> ServerHandle {
+        let lib = TestcaseStore::from_testcases(
+            (0..10)
+                .map(|i| {
+                    Testcase::single(
+                        format!("t{i}"),
+                        1.0,
+                        Resource::Disk,
+                        ExerciseSpec::Ramp {
+                            level: 2.0,
+                            duration: 10.0,
+                        },
+                    )
+                })
+                .collect(),
+        );
+        serve(Arc::new(UucsServer::new(lib, 9)), "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn register_sync_upload_over_tcp() {
+        let handle = start();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        write_client_msg(
+            &mut writer,
+            &ClientMsg::Register(MachineSnapshot::study_machine("tcp-test")),
+        )
+        .unwrap();
+        let id = match read_server_msg(&mut reader).unwrap() {
+            ServerMsg::Id(id) => id,
+            other => panic!("{other:?}"),
+        };
+
+        write_client_msg(
+            &mut writer,
+            &ClientMsg::Sync {
+                client: id.clone(),
+                have: 0,
+                want: 4,
+            },
+        )
+        .unwrap();
+        match read_server_msg(&mut reader).unwrap() {
+            ServerMsg::Testcases(tcs) => assert_eq!(tcs.len(), 4),
+            other => panic!("{other:?}"),
+        }
+
+        write_client_msg(
+            &mut writer,
+            &ClientMsg::Upload {
+                client: id,
+                records: vec![],
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_server_msg(&mut reader).unwrap(),
+            ServerMsg::Ack(0)
+        ));
+
+        write_client_msg(&mut writer, &ClientMsg::Bye).unwrap();
+        assert_eq!(handle.server.client_count(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let handle = start();
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    let mut writer = stream.try_clone().unwrap();
+                    let mut reader = BufReader::new(stream);
+                    write_client_msg(
+                        &mut writer,
+                        &ClientMsg::Register(MachineSnapshot::study_machine(format!("h{i}"))),
+                    )
+                    .unwrap();
+                    match read_server_msg(&mut reader).unwrap() {
+                        ServerMsg::Id(id) => id,
+                        other => panic!("{other:?}"),
+                    }
+                })
+            })
+            .collect();
+        let mut ids: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "all clients got distinct ids");
+        assert_eq!(handle.server.client_count(), 4);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let handle = start();
+        let addr = handle.addr();
+        handle.shutdown();
+        // After shutdown the listener is gone; connecting fails or the
+        // connection is immediately useless. Either way no panic.
+        let _ = TcpStream::connect(addr);
+    }
+}

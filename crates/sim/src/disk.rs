@@ -1,0 +1,225 @@
+//! The disk: a single-server FIFO queue with a seek + rotation + transfer
+//! service model, 2004-desktop-class defaults (80 GB, ~8.5 ms average
+//! seek, 7200 rpm, ~45 MB/s media rate).
+//!
+//! Requests are random-access operations (the paper's disk exerciser does
+//! "a random seek in a large file ... followed by a write of a random
+//! amount of data", write-through and synced, §2.2), so every op pays the
+//! positioning cost. Page faults from the memory subsystem go through the
+//! same queue, so memory pressure competes with explicit I/O.
+
+use crate::{SimTime, ThreadId};
+use std::collections::VecDeque;
+
+/// Disk geometry / timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskConfig {
+    /// Average seek time per random access, µs.
+    pub seek_us: SimTime,
+    /// Average rotational latency, µs (half a revolution at 7200 rpm
+    /// ≈ 4.17 ms).
+    pub rotation_us: SimTime,
+    /// Media transfer rate, bytes per µs (45 MB/s ≈ 45 bytes/µs).
+    pub bytes_per_us: f64,
+    /// Extra per-op latency for a synced write-through (controller sync).
+    pub sync_us: SimTime,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            seek_us: 8_500,
+            rotation_us: 4_170,
+            bytes_per_us: 45.0,
+            sync_us: 500,
+        }
+    }
+}
+
+impl DiskConfig {
+    /// Service time for one request of `ops` random accesses of
+    /// `bytes_per_op` each.
+    pub fn service_us(&self, ops: u32, bytes_per_op: u32, synced: bool) -> SimTime {
+        let per_op = self.seek_us
+            + self.rotation_us
+            + (bytes_per_op as f64 / self.bytes_per_us).ceil() as SimTime
+            + if synced { self.sync_us } else { 0 };
+        per_op * ops as SimTime
+    }
+}
+
+/// A queued disk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The issuing thread (woken on completion).
+    pub thread: ThreadId,
+    /// Number of random-access operations in the request.
+    pub ops: u32,
+    /// Payload per op.
+    pub bytes_per_op: u32,
+    /// Whether each op pays the sync cost.
+    pub synced: bool,
+}
+
+/// Cumulative disk statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Completed operations.
+    pub ops: u64,
+    /// Transferred bytes.
+    pub bytes: u64,
+    /// Total busy time, µs.
+    pub busy_us: SimTime,
+    /// Completed requests.
+    pub requests: u64,
+}
+
+/// The FIFO disk.
+#[derive(Debug)]
+pub struct Disk {
+    cfg: DiskConfig,
+    queue: VecDeque<Request>,
+    /// The in-service request and its completion time.
+    in_service: Option<(Request, SimTime)>,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Creates a disk with the given timing parameters.
+    pub fn new(cfg: DiskConfig) -> Self {
+        Disk {
+            cfg,
+            queue: VecDeque::new(),
+            in_service: None,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Timing parameters.
+    pub fn config(&self) -> &DiskConfig {
+        &self.cfg
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Queue length including the in-service request.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// Submits a request at time `now`. Returns the completion time if the
+    /// disk was idle and service starts immediately, else `None` (the
+    /// request waits in FIFO order).
+    pub fn submit(&mut self, req: Request, now: SimTime) -> Option<SimTime> {
+        assert!(req.ops > 0, "empty disk request");
+        if self.in_service.is_none() {
+            let done = now + self.cfg.service_us(req.ops, req.bytes_per_op, req.synced);
+            self.in_service = Some((req, done));
+            Some(done)
+        } else {
+            self.queue.push_back(req);
+            None
+        }
+    }
+
+    /// Completes the in-service request at time `now` (must equal the
+    /// completion time previously returned). Returns the finished request
+    /// and, if another was waiting, the completion time of the next one
+    /// now entering service.
+    pub fn complete(&mut self, now: SimTime) -> (Request, Option<SimTime>) {
+        let (req, done) = self.in_service.take().expect("complete() with idle disk");
+        debug_assert_eq!(done, now, "completion at the wrong time");
+        let service = self.cfg.service_us(req.ops, req.bytes_per_op, req.synced);
+        self.stats.ops += req.ops as u64;
+        self.stats.bytes += req.ops as u64 * req.bytes_per_op as u64;
+        self.stats.busy_us += service;
+        self.stats.requests += 1;
+        let next_done = self.queue.pop_front().map(|next| {
+            let d = now + self.cfg.service_us(next.ops, next.bytes_per_op, next.synced);
+            self.in_service = Some((next, d));
+            d
+        });
+        (req, next_done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(thread: ThreadId, ops: u32, bytes: u32) -> Request {
+        Request {
+            thread,
+            ops,
+            bytes_per_op: bytes,
+            synced: false,
+        }
+    }
+
+    #[test]
+    fn service_time_components() {
+        let cfg = DiskConfig::default();
+        // One 4 KB read: 8500 + 4170 + ceil(4096/45) = 8500+4170+92 = 12762.
+        assert_eq!(cfg.service_us(1, 4096, false), 12_762);
+        // Sync adds 500 per op.
+        assert_eq!(cfg.service_us(1, 4096, true), 13_262);
+        // Multi-op scales linearly.
+        assert_eq!(cfg.service_us(3, 4096, false), 3 * 12_762);
+    }
+
+    #[test]
+    fn idle_disk_starts_immediately() {
+        let mut d = Disk::new(DiskConfig::default());
+        let done = d.submit(req(1, 1, 4096), 1000).unwrap();
+        assert_eq!(done, 1000 + 12_762);
+        assert_eq!(d.queue_len(), 1);
+    }
+
+    #[test]
+    fn fifo_ordering() {
+        let mut d = Disk::new(DiskConfig::default());
+        let t1 = d.submit(req(1, 1, 4096), 0).unwrap();
+        assert!(d.submit(req(2, 1, 4096), 10).is_none());
+        assert!(d.submit(req(3, 1, 4096), 20).is_none());
+        assert_eq!(d.queue_len(), 3);
+        let (r1, next) = d.complete(t1);
+        assert_eq!(r1.thread, 1);
+        let t2 = next.unwrap();
+        assert_eq!(t2, t1 + 12_762);
+        let (r2, next) = d.complete(t2);
+        assert_eq!(r2.thread, 2);
+        let (r3, next3) = d.complete(next.unwrap());
+        assert_eq!(r3.thread, 3);
+        assert!(next3.is_none());
+        assert_eq!(d.queue_len(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = Disk::new(DiskConfig::default());
+        let t1 = d.submit(req(1, 2, 8192), 0).unwrap();
+        d.complete(t1);
+        let s = d.stats();
+        assert_eq!(s.ops, 2);
+        assert_eq!(s.bytes, 16384);
+        assert_eq!(s.requests, 1);
+        assert!(s.busy_us > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle disk")]
+    fn complete_on_idle_panics() {
+        let mut d = Disk::new(DiskConfig::default());
+        d.complete(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty disk request")]
+    fn zero_ops_rejected() {
+        let mut d = Disk::new(DiskConfig::default());
+        d.submit(req(1, 0, 4096), 0);
+    }
+}

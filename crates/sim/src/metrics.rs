@@ -1,0 +1,149 @@
+//! Measurement probes — the data the UUCS client's monitors record during
+//! a testcase run (§2.3: "CPU, memory and Disk load measurements for the
+//! entire duration of the testcase").
+
+use crate::SimTime;
+
+/// One interactive latency observation recorded by a workload (keystroke
+/// echo, page load, frame time, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySample {
+    /// When the sample completed (µs).
+    pub at: SimTime,
+    /// Workload-defined class, e.g. `"keystroke"` or `"frame"`.
+    pub class: &'static str,
+    /// Observed latency, µs.
+    pub latency_us: SimTime,
+}
+
+/// Per-thread accounting.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadStats {
+    /// CPU service consumed, µs.
+    pub cpu_us: SimTime,
+    /// Completed disk operations.
+    pub disk_ops: u64,
+    /// Bytes moved by this thread's disk requests.
+    pub disk_bytes: u64,
+    /// Page faults (disk-serviced) triggered by this thread's touches.
+    pub faults: u64,
+    /// Zero-fill first touches.
+    pub zero_fills: u64,
+    /// Number of times the thread was dispatched onto the CPU.
+    pub dispatches: u64,
+    /// Latency samples recorded via [`crate::workload::Ctx::record_latency`].
+    pub latencies: Vec<LatencySample>,
+}
+
+impl ThreadStats {
+    /// Mean latency (µs) over samples of a class; `None` if none.
+    pub fn mean_latency(&self, class: &str) -> Option<f64> {
+        let xs: Vec<SimTime> = self
+            .latencies
+            .iter()
+            .filter(|s| s.class == class)
+            .map(|s| s.latency_us)
+            .collect();
+        if xs.is_empty() {
+            return None;
+        }
+        Some(xs.iter().sum::<SimTime>() as f64 / xs.len() as f64)
+    }
+
+    /// Count of samples of a class.
+    pub fn latency_count(&self, class: &str) -> usize {
+        self.latencies.iter().filter(|s| s.class == class).count()
+    }
+
+    /// Latencies (µs) of a class in chronological order.
+    pub fn latencies_of(&self, class: &str) -> Vec<SimTime> {
+        self.latencies
+            .iter()
+            .filter(|s| s.class == class)
+            .map(|s| s.latency_us)
+            .collect()
+    }
+}
+
+/// Whole-machine accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MachineMetrics {
+    /// Total CPU busy time across all threads, µs.
+    pub cpu_busy_us: SimTime,
+    /// Number of context switches (dispatches after the first).
+    pub context_switches: u64,
+    /// Samples of run-queue length taken at each dispatch.
+    pub runq_samples: u64,
+    /// Sum of run-queue lengths over those samples.
+    pub runq_sum: u64,
+}
+
+impl MachineMetrics {
+    /// CPU utilization over `elapsed` µs of simulated time.
+    pub fn cpu_utilization(&self, elapsed: SimTime) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.cpu_busy_us as f64 / elapsed as f64
+        }
+    }
+
+    /// Mean run-queue length observed at dispatch points.
+    pub fn mean_runq(&self) -> f64 {
+        if self.runq_samples == 0 {
+            0.0
+        } else {
+            self.runq_sum as f64 / self.runq_samples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency_filters_by_class() {
+        let mut s = ThreadStats::default();
+        s.latencies.push(LatencySample {
+            at: 0,
+            class: "key",
+            latency_us: 100,
+        });
+        s.latencies.push(LatencySample {
+            at: 1,
+            class: "key",
+            latency_us: 300,
+        });
+        s.latencies.push(LatencySample {
+            at: 2,
+            class: "frame",
+            latency_us: 999,
+        });
+        assert_eq!(s.mean_latency("key"), Some(200.0));
+        assert_eq!(s.latency_count("frame"), 1);
+        assert_eq!(s.mean_latency("missing"), None);
+        assert_eq!(s.latencies_of("key"), vec![100, 300]);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let m = MachineMetrics {
+            cpu_busy_us: 500_000,
+            ..Default::default()
+        };
+        assert!((m.cpu_utilization(1_000_000) - 0.5).abs() < 1e-12);
+        assert_eq!(m.cpu_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn mean_runq() {
+        let m = MachineMetrics {
+            runq_samples: 4,
+            runq_sum: 10,
+            ..Default::default()
+        };
+        assert!((m.mean_runq() - 2.5).abs() < 1e-12);
+        assert_eq!(MachineMetrics::default().mean_runq(), 0.0);
+    }
+}

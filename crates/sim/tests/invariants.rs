@@ -1,0 +1,159 @@
+//! Machine-level invariants under randomized workload mixes.
+
+use proptest::prelude::*;
+use uucs_sim::workload::FnWorkload;
+use uucs_sim::{Action, Machine, MachineConfig, Priority, TouchPattern, SEC};
+use uucs_stats::Pcg64;
+
+/// A little random program: each thread mixes compute, sleep, disk, and
+/// memory touches driven by its own deterministic stream.
+fn random_workload(behavior_seed: u64, pages: u32) -> Box<dyn uucs_sim::Workload> {
+    let mut rng = Pcg64::new(behavior_seed);
+    let mut region = None;
+    Box::new(FnWorkload::new("random", move |ctx| {
+        if region.is_none() {
+            region = Some(ctx.alloc_region(pages.max(1), rng.bernoulli(0.5)));
+        }
+        match rng.below(5) {
+            0 => Action::Compute {
+                us: rng.range_inclusive(100, 20_000),
+            },
+            1 => Action::SleepUntil {
+                until: ctx.now + rng.range_inclusive(1_000, 200_000),
+            },
+            2 => Action::DiskIo {
+                ops: rng.range_inclusive(1, 3) as u32,
+                bytes_per_op: rng.range_inclusive(4_096, 65_536) as u32,
+            },
+            3 => Action::Touch {
+                region: region.unwrap(),
+                count: rng.range_inclusive(1, pages.max(1) as u64) as u32,
+                pattern: if rng.bernoulli(0.5) {
+                    TouchPattern::Prefix
+                } else {
+                    TouchPattern::RandomSample
+                },
+            },
+            _ => Action::BusyUntil {
+                until: ctx.now + rng.range_inclusive(500, 50_000),
+            },
+        }
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the mix, the machine conserves CPU time, respects memory
+    /// capacity, and is bit-deterministic.
+    #[test]
+    fn machine_invariants_hold(
+        seed in 0u64..1_000,
+        n_threads in 1usize..6,
+        n_low in 0usize..3,
+        mem_pages in 200u32..2_000,
+        horizon_secs in 1u64..8,
+    ) {
+        let run = || {
+            let mut m = Machine::new(MachineConfig {
+                mem_pages,
+                seed,
+                ..MachineConfig::default()
+            });
+            let mut tids = Vec::new();
+            for i in 0..n_threads {
+                tids.push(m.spawn(
+                    format!("t{i}"),
+                    random_workload(seed.wrapping_add(i as u64), mem_pages / 4),
+                ));
+            }
+            for i in 0..n_low {
+                tids.push(m.spawn_with_priority(
+                    format!("low{i}"),
+                    random_workload(seed.wrapping_add(100 + i as u64), mem_pages / 4),
+                    Priority::Low,
+                ));
+            }
+            m.run_until(horizon_secs * SEC);
+            (m, tids)
+        };
+        let (m, tids) = run();
+
+        // CPU conservation: the sum of thread CPU equals the machine's
+        // busy time, and never exceeds wall time.
+        let total: u64 = tids.iter().map(|&t| m.thread_stats(t).cpu_us).sum();
+        prop_assert_eq!(total, m.metrics().cpu_busy_us);
+        prop_assert!(total <= horizon_secs * SEC);
+
+        // Memory capacity is inviolable.
+        prop_assert!(m.mem_resident() <= mem_pages);
+
+        // Disk accounting is consistent: thread ops sum to disk ops
+        // except in-flight work (at most one outstanding request per
+        // thread plus the queue; completed ops match stats).
+        let thread_ops: u64 = tids.iter().map(|&t| m.thread_stats(t).disk_ops).sum();
+        prop_assert!(thread_ops <= m.disk_stats().ops);
+
+        // Bit determinism: replay and compare everything observable.
+        let (m2, tids2) = run();
+        prop_assert_eq!(m.now(), m2.now());
+        prop_assert_eq!(m.metrics().cpu_busy_us, m2.metrics().cpu_busy_us);
+        prop_assert_eq!(m.metrics().context_switches, m2.metrics().context_switches);
+        prop_assert_eq!(m.mem_resident(), m2.mem_resident());
+        prop_assert_eq!(m.disk_stats(), m2.disk_stats());
+        for (&a, &b) in tids.iter().zip(&tids2) {
+            prop_assert_eq!(m.thread_stats(a).cpu_us, m2.thread_stats(b).cpu_us);
+            prop_assert_eq!(m.thread_stats(a).disk_ops, m2.thread_stats(b).disk_ops);
+            prop_assert_eq!(m.thread_stats(a).faults, m2.thread_stats(b).faults);
+        }
+    }
+
+    /// Killing any thread at any time leaves the machine consistent and
+    /// able to keep running.
+    #[test]
+    fn kill_is_always_safe(
+        seed in 0u64..500,
+        kill_at_ms in 1u64..3_000,
+        victim in 0usize..3,
+    ) {
+        let mut m = Machine::new(MachineConfig {
+            mem_pages: 1_000,
+            seed,
+            ..MachineConfig::default()
+        });
+        let tids: Vec<_> = (0..3)
+            .map(|i| m.spawn(format!("t{i}"), random_workload(seed + i, 400)))
+            .collect();
+        m.run_until(kill_at_ms * 1_000);
+        m.kill(tids[victim]);
+        prop_assert!(!m.is_alive(tids[victim]));
+        let cpu_at_kill = m.thread_stats(tids[victim]).cpu_us;
+        m.run_until(kill_at_ms * 1_000 + 2 * SEC);
+        // The victim stays dead and consumes nothing.
+        prop_assert_eq!(m.thread_stats(tids[victim]).cpu_us, cpu_at_kill);
+        // Memory stays within capacity after the victim's regions free.
+        prop_assert!(m.mem_resident() <= 1_000);
+        // Time advanced.
+        prop_assert_eq!(m.now(), kill_at_ms * 1_000 + 2 * SEC);
+    }
+
+    /// Low-priority threads never reduce a normal busy thread's share.
+    #[test]
+    fn low_priority_never_steals(seed in 0u64..200, n_low in 1usize..4) {
+        let mut m = Machine::new(MachineConfig { seed, ..MachineConfig::default() });
+        let fg = m.spawn(
+            "fg",
+            Box::new(FnWorkload::new("fg", |_| Action::Compute { us: 1_000 })),
+        );
+        for i in 0..n_low {
+            m.spawn_with_priority(
+                format!("low{i}"),
+                random_workload(seed + i as u64, 100),
+                Priority::Low,
+            );
+        }
+        m.run_until(3 * SEC);
+        // The always-busy normal thread gets the whole machine.
+        prop_assert_eq!(m.thread_stats(fg).cpu_us, 3 * SEC);
+    }
+}

@@ -1,0 +1,86 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Some of the paper's Figure 16 cells rest on very few observations
+//! (Word/Disk has a CI of 1.89–6.51 around 4.20), where the Student-t
+//! interval's normality assumption is shaky. The percentile bootstrap
+//! makes no such assumption; the analysis reports both.
+
+use crate::rng::Pcg64;
+
+/// Percentile-bootstrap CI for the mean of `xs` at the given confidence
+/// level, using `resamples` resamples drawn deterministically from
+/// `seed`. Returns `None` for samples with fewer than two observations.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> Option<(f64, f64)> {
+    assert!(level > 0.0 && level < 1.0);
+    assert!(resamples >= 100, "too few resamples for stable percentiles");
+    if xs.len() < 2 {
+        return None;
+    }
+    let mut rng = Pcg64::new(seed).split_str("bootstrap");
+    let n = xs.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += xs[rng.below(n as u64) as usize];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f64 * alpha).floor() as usize).min(resamples - 1);
+    let hi_idx = ((resamples as f64 * (1.0 - alpha)).ceil() as usize).min(resamples - 1);
+    Some((means[lo_idx], means[hi_idx]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_the_true_mean_for_clean_data() {
+        let mut rng = Pcg64::new(1);
+        let xs: Vec<f64> = (0..200).map(|_| rng.normal(5.0, 2.0)).collect();
+        let (lo, hi) = bootstrap_mean_ci(&xs, 0.95, 2000, 7).unwrap();
+        assert!(lo < 5.0 && 5.0 < hi, "({lo}, {hi})");
+        // Reasonable width for n=200, sd=2: ~4 * 2/sqrt(200) = 0.57.
+        assert!(hi - lo < 0.9, "width {}", hi - lo);
+    }
+
+    #[test]
+    fn roughly_agrees_with_student_t_on_normal_data() {
+        let mut rng = Pcg64::new(2);
+        let xs: Vec<f64> = (0..60).map(|_| rng.normal(0.0, 1.0)).collect();
+        let (blo, bhi) = bootstrap_mean_ci(&xs, 0.95, 4000, 8).unwrap();
+        let (tlo, thi) = crate::summary::Summary::from_slice(&xs)
+            .confidence_interval(0.95)
+            .unwrap();
+        assert!((blo - tlo).abs() < 0.15, "{blo} vs {tlo}");
+        assert!((bhi - thi).abs() < 0.15, "{bhi} vs {thi}");
+    }
+
+    #[test]
+    fn skewed_data_gives_asymmetric_interval() {
+        let mut rng = Pcg64::new(3);
+        let xs: Vec<f64> = (0..40).map(|_| rng.lognormal(0.0, 1.2)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let (lo, hi) = bootstrap_mean_ci(&xs, 0.95, 4000, 9).unwrap();
+        // Right-skew: the upper arm is longer.
+        assert!(hi - mean > mean - lo, "({lo}, {mean}, {hi})");
+    }
+
+    #[test]
+    fn deterministic_and_tiny_samples() {
+        let xs = [1.0, 2.0, 4.0];
+        let a = bootstrap_mean_ci(&xs, 0.9, 500, 4);
+        let b = bootstrap_mean_ci(&xs, 0.9, 500, 4);
+        assert_eq!(a, b);
+        assert!(bootstrap_mean_ci(&[1.0], 0.9, 500, 4).is_none());
+        assert!(bootstrap_mean_ci(&[], 0.9, 500, 4).is_none());
+    }
+}

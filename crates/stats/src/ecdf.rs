@@ -1,0 +1,264 @@
+//! Empirical cumulative distribution functions with right-censoring.
+//!
+//! The paper's discomfort CDFs (Figures 10–12 and 18) are built from runs
+//! that end in one of two ways: the user expressed discomfort at some
+//! contention level (an *observed* point), or the testcase ran out without
+//! feedback (an *exhausted* run — a right-censored observation: we only
+//! know the user's threshold exceeds the ramp's ceiling). The paper plots
+//! `F(c) = (# discomforted at level ≤ c) / (total runs)`, so exhausted runs
+//! hold the CDF below 1; [`Ecdf`] reproduces exactly that convention and
+//! carries the `DfCount` / `ExCount` labels shown on the figures.
+
+/// An empirical CDF over discomfort contention levels, with censoring.
+///
+/// ```
+/// use uucs_stats::Ecdf;
+/// // Three users discomforted at levels 0.5/1.0/2.0; two never were.
+/// let cdf = Ecdf::new(vec![0.5, 1.0, 2.0], 2);
+/// assert_eq!(cdf.f_d(), Some(0.6));                 // Fig 14's metric
+/// assert_eq!(cdf.quantile(0.2), Some(0.5));         // c_0.2
+/// assert_eq!(cdf.eval(1.5), 0.4);                   // fraction at <= 1.5
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    /// Sorted observed (uncensored) values.
+    observed: Vec<f64>,
+    /// Number of right-censored runs (testcase exhausted, no feedback).
+    censored: usize,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from observed discomfort levels and a count of
+    /// exhausted (censored) runs. Non-finite observations are rejected.
+    pub fn new(mut observed: Vec<f64>, censored: usize) -> Self {
+        assert!(
+            observed.iter().all(|x| x.is_finite()),
+            "ECDF observations must be finite"
+        );
+        observed.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { observed, censored }
+    }
+
+    /// Builds an ECDF with no censoring.
+    pub fn uncensored(observed: Vec<f64>) -> Self {
+        Self::new(observed, 0)
+    }
+
+    /// `DfCount` in the paper's figure labels: runs ending in discomfort.
+    pub fn discomfort_count(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// `ExCount` in the paper's figure labels: runs ending in exhaustion.
+    pub fn exhausted_count(&self) -> usize {
+        self.censored
+    }
+
+    /// Total number of runs behind this CDF.
+    pub fn total(&self) -> usize {
+        self.observed.len() + self.censored
+    }
+
+    /// Returns true if there are no runs at all.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// The paper's `f_d` metric: fraction of runs that provoked discomfort,
+    /// `DfCount / (DfCount + ExCount)`. Returns `None` for an empty CDF.
+    pub fn f_d(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.observed.len() as f64 / self.total() as f64)
+        }
+    }
+
+    /// Evaluates the cumulative fraction of *all* runs discomforted at
+    /// contention ≤ `c` (censored runs never count as discomforted).
+    pub fn eval(&self, c: f64) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let k = self.observed.partition_point(|&x| x <= c);
+        k as f64 / self.total() as f64
+    }
+
+    /// The paper's `c_p` metric: the contention level that discomforts a
+    /// fraction `p` of runs (e.g. `c_{0.05}` for `p = 0.05`). This inverts
+    /// [`Self::eval`]; returns `None` if fewer than `p` of all runs ever
+    /// became discomforted (the CDF saturates below `p` — the paper marks
+    /// these cells `*`).
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1]");
+        if self.is_empty() {
+            return None;
+        }
+        let need = (p * self.total() as f64).ceil().max(1.0) as usize;
+        if need > self.observed.len() {
+            return None;
+        }
+        Some(self.observed[need - 1])
+    }
+
+    /// The paper's `c_a` metric: mean contention level at which discomfort
+    /// occurred, over discomforted runs only. `None` if none.
+    pub fn mean_discomfort_level(&self) -> Option<f64> {
+        if self.observed.is_empty() {
+            None
+        } else {
+            Some(self.observed.iter().sum::<f64>() / self.observed.len() as f64)
+        }
+    }
+
+    /// The observed (uncensored) values, ascending.
+    pub fn observed(&self) -> &[f64] {
+        &self.observed
+    }
+
+    /// Step-function vertices `(level, cumulative fraction)` suitable for
+    /// plotting or printing a figure: one point per distinct observed level.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let total = self.total();
+        if total == 0 {
+            return out;
+        }
+        let mut i = 0;
+        while i < self.observed.len() {
+            let v = self.observed[i];
+            let mut j = i;
+            while j < self.observed.len() && self.observed[j] == v {
+                j += 1;
+            }
+            out.push((v, j as f64 / total as f64));
+            i = j;
+        }
+        out
+    }
+
+    /// Renders the CDF as a fixed-width ASCII plot like the paper's figures,
+    /// labeled with DfCount/ExCount. `width`×`height` character cells.
+    pub fn render_ascii(&self, title: &str, width: usize, height: usize) -> String {
+        let steps = self.steps();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{title}  (DfCount={}, ExCount={})\n",
+            self.discomfort_count(),
+            self.exhausted_count()
+        ));
+        if steps.is_empty() {
+            out.push_str("  (no discomfort observations)\n");
+            return out;
+        }
+        let xmax = steps.last().unwrap().0.max(1e-9);
+        let mut grid = vec![vec![b' '; width]; height];
+        let mut cols: Vec<(usize, usize)> = Vec::with_capacity(width);
+        for col in 0..width {
+            let c = xmax * (col as f64 + 0.5) / width as f64;
+            let y = self.eval(c); // in [0,1]
+            let row = ((1.0 - y) * (height as f64 - 1.0)).round() as usize;
+            cols.push((row.min(height - 1), col));
+        }
+        for (row, col) in cols {
+            grid[row][col] = b'*';
+        }
+        for (r, row) in grid.iter().enumerate() {
+            let yl = 1.0 - r as f64 / (height as f64 - 1.0);
+            out.push_str(&format!("{yl:5.2} |"));
+            out.push_str(std::str::from_utf8(row).unwrap());
+            out.push('\n');
+        }
+        out.push_str(&format!("      +{}\n", "-".repeat(width)));
+        out.push_str(&format!("       0{:>w$.2}\n", xmax, w = width - 1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_step() {
+        let e = Ecdf::uncensored(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn censoring_holds_cdf_below_one() {
+        let e = Ecdf::new(vec![1.0, 2.0], 2);
+        assert_eq!(e.eval(100.0), 0.5);
+        assert_eq!(e.f_d(), Some(0.5));
+        assert_eq!(e.discomfort_count(), 2);
+        assert_eq!(e.exhausted_count(), 2);
+    }
+
+    #[test]
+    fn quantile_inverts_eval() {
+        let e = Ecdf::new(vec![0.5, 1.0, 1.5, 2.0, 2.5], 5);
+        // total = 10; 5th percentile needs ceil(0.05*10)=1 obs -> 0.5
+        assert_eq!(e.quantile(0.05), Some(0.5));
+        // 50th percentile needs 5 observations -> 2.5
+        assert_eq!(e.quantile(0.5), Some(2.5));
+        // 60th percentile needs 6 observed but only 5 exist -> None
+        assert_eq!(e.quantile(0.6), None);
+    }
+
+    #[test]
+    fn quantile_empty_and_zero_p() {
+        let e = Ecdf::uncensored(vec![]);
+        assert_eq!(e.quantile(0.05), None);
+        assert_eq!(e.f_d(), None);
+        let e2 = Ecdf::uncensored(vec![3.0]);
+        // p=0 still requires at least one observation by convention
+        assert_eq!(e2.quantile(0.0), Some(3.0));
+    }
+
+    #[test]
+    fn mean_discomfort_level() {
+        let e = Ecdf::new(vec![1.0, 3.0], 7);
+        assert_eq!(e.mean_discomfort_level(), Some(2.0));
+        let none = Ecdf::new(vec![], 7);
+        assert_eq!(none.mean_discomfort_level(), None);
+    }
+
+    #[test]
+    fn steps_deduplicate() {
+        let e = Ecdf::uncensored(vec![1.0, 1.0, 2.0]);
+        assert_eq!(
+            e.steps(),
+            vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]
+        );
+    }
+
+    #[test]
+    fn render_ascii_contains_counts() {
+        let e = Ecdf::new(vec![0.2, 0.4, 0.8, 1.6], 2);
+        let s = e.render_ascii("CDF test", 40, 10);
+        assert!(s.contains("DfCount=4"));
+        assert!(s.contains("ExCount=2"));
+        assert!(s.lines().count() > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Ecdf::uncensored(vec![f64::NAN]);
+    }
+
+    #[test]
+    fn monotone_nondecreasing_property() {
+        let e = Ecdf::new(vec![0.3, 0.9, 1.2, 2.2, 5.0], 3);
+        let mut prev = -1.0;
+        for i in 0..600 {
+            let y = e.eval(i as f64 * 0.01);
+            assert!(y >= prev);
+            assert!((0.0..=1.0).contains(&y));
+            prev = y;
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Quantile-based distribution fitting.
+//!
+//! The synthetic user population (`uucs-comfort`) is calibrated from the
+//! paper's *published* per-cell statistics: the fraction of runs ending in
+//! discomfort `f_d` (Figure 14), the 5th-percentile discomfort level
+//! `c_0.05` (Figure 15), and the mean discomfort level `c_a` (Figure 16).
+//! A lognormal threshold distribution is pinned down by any two quantiles,
+//! so we solve for `(mu, sigma)` from two `(value, probability)` pairs —
+//! typically `(c_0.05, 0.05)` and `(ramp ceiling, f_d)` — which makes the
+//! regenerated CDFs pass exactly through the paper's reported points.
+
+use crate::special::normal_quantile;
+
+/// Parameters of a lognormal distribution, `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lognormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal (> 0).
+    pub sigma: f64,
+}
+
+impl Lognormal {
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        crate::special::normal_cdf((x.ln() - self.mu) / self.sigma)
+    }
+
+    /// Quantile at probability `p` in (0,1).
+    pub fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * normal_quantile(p)).exp()
+    }
+
+    /// Mean of the lognormal, `exp(mu + sigma^2/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Mean of the distribution truncated to `(0, cap]`, i.e.
+    /// `E[X | X <= cap]`. Used to predict the paper's `c_a` (which averages
+    /// only *observed* discomfort levels, censored at the ramp ceiling).
+    pub fn truncated_mean(&self, cap: f64) -> f64 {
+        assert!(cap > 0.0);
+        let z = (cap.ln() - self.mu) / self.sigma;
+        let denom = crate::special::normal_cdf(z);
+        if denom <= 1e-300 {
+            return cap; // essentially nothing below cap
+        }
+        let num = crate::special::normal_cdf(z - self.sigma);
+        self.mean() * num / denom
+    }
+
+    /// Draws a variate using the supplied RNG.
+    pub fn sample(&self, rng: &mut crate::rng::Pcg64) -> f64 {
+        rng.lognormal(self.mu, self.sigma)
+    }
+}
+
+/// Fits a lognormal through two quantile points `(x1, p1)` and `(x2, p2)`.
+///
+/// Requires `0 < p1, p2 < 1`, `p1 != p2`, and `x1, x2 > 0` with the values
+/// ordered consistently with the probabilities. Returns `None` if the
+/// inputs are degenerate (equal values or inconsistent ordering), in which
+/// case the caller should fall back to [`fit_from_median_and_spread`].
+pub fn fit_from_quantiles(x1: f64, p1: f64, x2: f64, p2: f64) -> Option<Lognormal> {
+    if !(x1 > 0.0 && x2 > 0.0) || p1 <= 0.0 || p1 >= 1.0 || p2 <= 0.0 || p2 >= 1.0 {
+        return None;
+    }
+    if (p1 - p2).abs() < 1e-9 || (x1 - x2).abs() < 1e-12 {
+        return None;
+    }
+    let z1 = normal_quantile(p1);
+    let z2 = normal_quantile(p2);
+    let sigma = (x2.ln() - x1.ln()) / (z2 - z1);
+    if sigma <= 0.0 || !sigma.is_finite() {
+        return None;
+    }
+    let mu = x1.ln() - sigma * z1;
+    Some(Lognormal { mu, sigma })
+}
+
+/// Fallback fit when only a central level and a relative spread are known:
+/// treats `median` as `exp(mu)` and `spread` as `sigma` directly.
+pub fn fit_from_median_and_spread(median: f64, sigma: f64) -> Lognormal {
+    assert!(median > 0.0 && sigma > 0.0);
+    Lognormal {
+        mu: median.ln(),
+        sigma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_reproduces_both_quantiles() {
+        let f = fit_from_quantiles(0.35, 0.05, 7.0, 0.86).unwrap();
+        assert!((f.cdf(0.35) - 0.05).abs() < 1e-9);
+        assert!((f.cdf(7.0) - 0.86).abs() < 1e-9);
+        assert!((f.quantile(0.05) - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(fit_from_quantiles(1.0, 0.5, 1.0, 0.6).is_none()); // same value
+        assert!(fit_from_quantiles(1.0, 0.5, 2.0, 0.5).is_none()); // same prob
+        assert!(fit_from_quantiles(-1.0, 0.5, 2.0, 0.6).is_none()); // nonpositive
+        // Inconsistent ordering (larger value, smaller prob) => sigma < 0.
+        assert!(fit_from_quantiles(2.0, 0.9, 5.0, 0.1).is_none());
+    }
+
+    #[test]
+    fn median_and_mean_relations() {
+        let f = Lognormal { mu: 0.5, sigma: 0.8 };
+        assert!((f.median() - 0.5f64.exp()).abs() < 1e-12);
+        assert!((f.mean() - (0.5f64 + 0.32).exp()).abs() < 1e-12);
+        assert!(f.mean() > f.median()); // right-skew
+    }
+
+    #[test]
+    fn truncated_mean_below_cap_and_below_mean() {
+        let f = Lognormal { mu: 0.0, sigma: 1.0 };
+        let tm = f.truncated_mean(2.0);
+        assert!(tm < 2.0);
+        assert!(tm < f.mean());
+        // A huge cap converges to the full mean.
+        assert!((f.truncated_mean(1e9) - f.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncated_mean_monte_carlo_agreement() {
+        let f = Lognormal { mu: 0.2, sigma: 0.6 };
+        let cap = 1.5;
+        let mut rng = crate::rng::Pcg64::new(31);
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for _ in 0..400_000 {
+            let x = f.sample(&mut rng);
+            if x <= cap {
+                sum += x;
+                n += 1;
+            }
+        }
+        let mc = sum / n as f64;
+        assert!((mc - f.truncated_mean(cap)).abs() < 0.01, "{mc}");
+    }
+
+    #[test]
+    fn sample_respects_cdf() {
+        let f = fit_from_quantiles(0.35, 0.05, 7.0, 0.86).unwrap();
+        let mut rng = crate::rng::Pcg64::new(32);
+        let n = 100_000;
+        let below = (0..n).filter(|_| f.sample(&mut rng) <= 0.35).count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.05).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn fallback_fit() {
+        let f = fit_from_median_and_spread(2.0, 0.5);
+        assert!((f.quantile(0.5) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,112 @@
+//! Two-sample Kolmogorov–Smirnov distance and asymptotic p-value.
+//!
+//! Used by the analysis tools to compare regenerated discomfort CDFs
+//! against the paper's published shapes and by tests that check the
+//! exercise-function generators (e.g. that `expexp` inter-arrival times
+//! are actually exponential).
+
+/// Two-sample KS statistic: the maximum vertical distance between the two
+/// empirical CDFs. Panics if either sample is empty.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut sa: Vec<f64> = a.to_vec();
+    let mut sb: Vec<f64> = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Asymptotic two-sample KS p-value (Kolmogorov distribution tail).
+pub fn ks_p_value(a: &[f64], b: &[f64]) -> f64 {
+    let d = ks_statistic(a, b);
+    let n_eff = (a.len() * b.len()) as f64 / (a.len() + b.len()) as f64;
+    kolmogorov_tail((n_eff.sqrt() + 0.12 + 0.11 / n_eff.sqrt()) * d)
+}
+
+/// `Q_KS(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)`.
+fn kolmogorov_tail(lambda: f64) -> f64 {
+    if lambda < 1e-3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k * k) as f64 * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+        assert!(ks_p_value(&a, &a) > 0.999);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn same_distribution_high_p() {
+        let mut rng = Pcg64::new(41);
+        let a: Vec<f64> = (0..500).map(|_| rng.normal(0.0, 1.0)).collect();
+        let b: Vec<f64> = (0..500).map(|_| rng.normal(0.0, 1.0)).collect();
+        assert!(ks_p_value(&a, &b) > 0.01);
+    }
+
+    #[test]
+    fn shifted_distribution_low_p() {
+        let mut rng = Pcg64::new(42);
+        let a: Vec<f64> = (0..500).map(|_| rng.normal(0.0, 1.0)).collect();
+        let b: Vec<f64> = (0..500).map(|_| rng.normal(1.0, 1.0)).collect();
+        assert!(ks_p_value(&a, &b) < 1e-6);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = [0.1, 0.5, 0.9, 1.4];
+        let b = [0.2, 0.6, 0.6, 2.0, 3.0];
+        assert_eq!(ks_statistic(&a, &b), ks_statistic(&b, &a));
+    }
+
+    #[test]
+    fn hand_computed_distance() {
+        // a = {1,2}, b = {1.5}: F_a jumps to .5 at 1, 1 at 2; F_b jumps to 1
+        // at 1.5. Max gap is at 1.5-: |0.5 - 1.0| = 0.5... evaluated at 1.5
+        // F_a=0.5, F_b=1.0 -> 0.5; at 1: |0.5-0|=0.5. D = 0.5.
+        assert!((ks_statistic(&[1.0, 2.0], &[1.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        ks_statistic(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,157 @@
+//! The Mann–Whitney U test (Wilcoxon rank-sum).
+//!
+//! A nonparametric alternative to the Welch t-test used for the paper's
+//! Figure 17: discomfort levels are censored and skewed, so a rank test
+//! makes a good robustness check on the skill-class comparisons (the
+//! `uucs-study` skill analysis reports both).
+
+use crate::special::normal_cdf;
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitneyResult {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// Standardized z score (normal approximation with tie correction
+    /// and continuity correction).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+    /// Rank-biserial effect size in [-1, 1]; negative when the first
+    /// sample tends lower.
+    pub effect: f64,
+}
+
+/// Runs the test. Returns `None` if either sample is empty or all values
+/// are tied (no ordering information).
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<MannWhitneyResult> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+    // Rank the pooled sample with midranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    let n = pooled.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_term = 0.0; // sum of t^3 - t over tie groups
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && pooled[j].0 == pooled[i].0 {
+            j += 1;
+        }
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for r in ranks.iter_mut().take(j).skip(i) {
+            *r = midrank;
+        }
+        let t = (j - i) as f64;
+        tie_term += t * t * t - t;
+        i = j;
+    }
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, g), _)| *g == 0)
+        .map(|(_, &r)| r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+    let mean_u = n1 * n2 / 2.0;
+    let nf = n as f64;
+    let var_u = n1 * n2 / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)));
+    if var_u <= 0.0 {
+        return None; // every value tied
+    }
+    // Continuity correction toward the mean.
+    let cc = if u1 > mean_u {
+        -0.5
+    } else if u1 < mean_u {
+        0.5
+    } else {
+        0.0
+    };
+    let z = (u1 - mean_u + cc) / var_u.sqrt();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Some(MannWhitneyResult {
+        u: u1,
+        z,
+        p,
+        effect: 2.0 * u1 / (n1 * n2) - 1.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+
+    #[test]
+    fn identical_samples_insignificant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let r = mann_whitney_u(&a, &a).unwrap();
+        assert!(r.p > 0.9, "p {}", r.p);
+        assert!(r.effect.abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_samples_detected() {
+        let mut rng = Pcg64::new(1);
+        let a: Vec<f64> = (0..50).map(|_| rng.lognormal(0.0, 0.5)).collect();
+        let b: Vec<f64> = (0..50).map(|_| rng.lognormal(0.6, 0.5)).collect();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p < 1e-4, "p {}", r.p);
+        assert!(r.effect < -0.3, "effect {}", r.effect);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let a = [1.0, 3.0, 5.0, 7.0];
+        let b = [2.0, 4.0, 6.0];
+        let r1 = mann_whitney_u(&a, &b).unwrap();
+        let r2 = mann_whitney_u(&b, &a).unwrap();
+        assert!((r1.p - r2.p).abs() < 1e-10);
+        assert!((r1.effect + r2.effect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_value_no_ties() {
+        // a = {1,2,3}, b = {4,5,6}: U1 = 0, the most extreme split.
+        let r = mann_whitney_u(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(r.u, 0.0);
+        assert_eq!(r.effect, -1.0);
+        assert!(r.p < 0.1); // small n: normal approx gives ~0.08
+    }
+
+    #[test]
+    fn tie_handling() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 4.0, 5.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p > 0.05 && r.p <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(mann_whitney_u(&[], &[1.0]).is_none());
+        assert!(mann_whitney_u(&[1.0], &[]).is_none());
+        assert!(mann_whitney_u(&[2.0, 2.0], &[2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn agrees_with_t_test_on_clean_data() {
+        let mut rng = Pcg64::new(2);
+        let a: Vec<f64> = (0..80).map(|_| rng.normal(0.0, 1.0)).collect();
+        let b: Vec<f64> = (0..80).map(|_| rng.normal(0.5, 1.0)).collect();
+        let mw = mann_whitney_u(&a, &b).unwrap();
+        let t = crate::ttest::welch_t_test(&a, &b).unwrap();
+        assert!(mw.p < 0.05);
+        assert!(t.p < 0.05);
+        // Same direction.
+        assert_eq!(mw.effect < 0.0, t.diff < 0.0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Special functions: ln-gamma, regularized incomplete beta, and the
+//! normal / Student-t distribution functions built on them.
+//!
+//! Everything is implemented from scratch (Lanczos approximation and the
+//! Lentz continued-fraction evaluation) because the t-tests in the paper's
+//! Figure 17 and §3.3.5 need real p-values, not table lookups.
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 for x > 0.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Continued-fraction evaluation (Numerical Recipes `betacf` scheme) with
+/// the symmetry transform for convergence.
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "inc_beta requires a,b > 0");
+    assert!((0.0..=1.0).contains(&x), "inc_beta requires x in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz's method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (the classic `gammp`/`gammq` split). Accurate to ~1e-14.
+pub fn inc_gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "inc_gamma_p requires a > 0");
+    assert!(x >= 0.0, "inc_gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)` for `x < a + 1`.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of `Q(a, x) = 1 - P(a, x)` for
+/// `x >= a + 1` (modified Lentz).
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Error function via the incomplete gamma identity
+/// `erf(x) = sign(x) * P(1/2, x^2)`. Accurate to ~1e-14.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = inc_gamma_p(0.5, x * x);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Standard normal CDF, `Phi(z) = (1 + erf(z / sqrt(2))) / 2`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile (inverse CDF), Acklam's algorithm with one
+/// Halley refinement step. Relative error ~1e-15 after refinement.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley step against the true CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "student_t_cdf requires df > 0");
+    let x = df / (df + t * t);
+    let p = 0.5 * inc_beta(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Two-sided p-value for a t statistic.
+pub fn student_t_two_sided_p(t: f64, df: f64) -> f64 {
+    2.0 * (1.0 - student_t_cdf(t.abs(), df))
+}
+
+/// Quantile of Student's t distribution via bisection on the CDF.
+///
+/// Converges to ~1e-12; fast enough for confidence-interval construction.
+pub fn student_t_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "student_t_quantile requires p in (0,1)");
+    assert!(df > 0.0);
+    if (p - 0.5).abs() < 1e-15 {
+        return 0.0;
+    }
+    // Bracket: normal quantile is a good center; t has heavier tails.
+    let z = normal_quantile(p);
+    let mut lo = z.abs() * -40.0 - 50.0;
+    let mut hi = z.abs() * 40.0 + 50.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24.0f64.ln(), 1e-10); // gamma(5)=24
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+        close(ln_gamma(10.5), 1_133_278.388_948_441_6f64.ln(), 1e-8);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Gamma(x+1) = x Gamma(x)  =>  lnG(x+1) = ln x + lnG(x)
+        for &x in &[0.3, 1.7, 3.2, 9.9] {
+            close(ln_gamma(x + 1.0), x.ln() + ln_gamma(x), 1e-10);
+        }
+    }
+
+    #[test]
+    fn inc_beta_boundaries_and_symmetry() {
+        close(inc_beta(2.0, 3.0, 0.0), 0.0, 0.0);
+        close(inc_beta(2.0, 3.0, 1.0), 1.0, 0.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.5, 0.42)] {
+            close(inc_beta(a, b, x), 1.0 - inc_beta(b, a, 1.0 - x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_uniform_case() {
+        // I_x(1,1) = x
+        for &x in &[0.1, 0.25, 0.5, 0.9] {
+            close(inc_beta(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_known_value() {
+        // I_{0.5}(2,2) = 0.5 by symmetry; I_{0.25}(2,2) = 3x^2-2x^3 at 0.25
+        close(inc_beta(2.0, 2.0, 0.5), 0.5, 1e-12);
+        let x: f64 = 0.25;
+        close(inc_beta(2.0, 2.0, x), 3.0 * x * x - 2.0 * x * x * x, 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_values() {
+        close(normal_cdf(0.0), 0.5, 0.0);
+        close(normal_cdf(1.0), 0.841_344_746_068_543, 1e-12);
+        close(normal_cdf(-1.0), 0.158_655_253_931_457, 1e-12);
+        close(normal_cdf(1.959_963_985), 0.975, 1e-6);
+        close(normal_cdf(3.0), 0.998_650_101_968_37, 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for &p in &[0.001, 0.025, 0.05, 0.3, 0.5, 0.7, 0.95, 0.999] {
+            let z = normal_quantile(p);
+            close(normal_cdf(z), p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_known() {
+        close(normal_quantile(0.975), 1.959_963_984_540_054, 1e-7);
+        close(normal_quantile(0.05), -1.644_853_626_951_472, 1e-7);
+    }
+
+    #[test]
+    fn t_cdf_limits_to_normal() {
+        // For large df, t -> normal.
+        close(student_t_cdf(1.96, 1e7), normal_cdf(1.96), 1e-5);
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_center() {
+        close(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+        for &t in &[0.5, 1.3, 2.7] {
+            close(student_t_cdf(t, 7.0) + student_t_cdf(-t, 7.0), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_cdf_df1_is_cauchy() {
+        // t with df=1 is Cauchy: CDF = 1/2 + atan(t)/pi
+        for &t in &[-2.0, -0.5, 0.7, 3.0] {
+            close(
+                student_t_cdf(t, 1.0),
+                0.5 + t.atan() / std::f64::consts::PI,
+                1e-10,
+            );
+        }
+    }
+
+    #[test]
+    fn t_quantile_inverts_cdf() {
+        for &df in &[1.0, 4.0, 32.0, 200.0] {
+            for &p in &[0.01, 0.05, 0.5, 0.9, 0.975] {
+                let t = student_t_quantile(p, df);
+                close(student_t_cdf(t, df), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn t_quantile_known_critical_values() {
+        // Standard table: t_{0.975, 10} = 2.228, t_{0.975, 30} = 2.042
+        close(student_t_quantile(0.975, 10.0), 2.228_138_85, 1e-5);
+        close(student_t_quantile(0.975, 30.0), 2.042_272_456, 1e-5);
+    }
+
+    #[test]
+    fn two_sided_p_sane() {
+        let p = student_t_two_sided_p(2.228_138_85, 10.0);
+        close(p, 0.05, 1e-5);
+        assert!(student_t_two_sided_p(0.0, 10.0) > 0.999_999);
+    }
+}

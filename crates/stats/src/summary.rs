@@ -1,0 +1,207 @@
+//! Streaming summary statistics and Student-t confidence intervals.
+//!
+//! The paper's Figure 16 reports `c_a` (mean discomfort contention) with
+//! 95 % confidence intervals; [`Summary`] computes exactly that from a
+//! stream of observations using Welford's numerically stable recurrence.
+
+use crate::special::student_t_quantile;
+
+/// Welford-style streaming mean / variance accumulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "summary observations must be finite");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel reduction friendly).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance; `None` if fewer than two observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> Option<f64> {
+        self.std_dev().map(|s| s / (self.n as f64).sqrt())
+    }
+
+    /// Minimum observation; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Student-t confidence interval for the mean at the given confidence
+    /// level (e.g. `0.95`). Returns `(lo, hi)`; `None` if fewer than two
+    /// observations.
+    pub fn confidence_interval(&self, level: f64) -> Option<(f64, f64)> {
+        assert!(level > 0.0 && level < 1.0);
+        let se = self.std_err()?;
+        let df = (self.n - 1) as f64;
+        let t = student_t_quantile(0.5 + level / 2.0, df);
+        Some((self.mean - t * se, self.mean + t * se))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.confidence_interval(0.95), None);
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        // population variance = 4, sample variance = 32/7
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_slice(&[3.5]);
+        assert_eq!(s.mean(), Some(3.5));
+        assert_eq!(s.variance(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let whole = Summary::from_slice(&xs);
+        let mut a = Summary::from_slice(&xs[..37]);
+        let b = Summary::from_slice(&xs[37..]);
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-10);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Summary::from_slice(&[1.0, 2.0]);
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), 2);
+        let mut e = Summary::new();
+        e.merge(&Summary::from_slice(&[1.0, 2.0]));
+        assert_eq!(e.mean(), Some(1.5));
+    }
+
+    #[test]
+    fn ci_contains_mean_and_shrinks_with_n() {
+        let mut wide = Summary::new();
+        let mut narrow = Summary::new();
+        let mut rng = crate::rng::Pcg64::new(99);
+        for i in 0..1000 {
+            let x = rng.normal(10.0, 2.0);
+            if i < 10 {
+                wide.push(x);
+            }
+            narrow.push(x);
+        }
+        let (wl, wh) = wide.confidence_interval(0.95).unwrap();
+        let (nl, nh) = narrow.confidence_interval(0.95).unwrap();
+        assert!(wl < wide.mean().unwrap() && wide.mean().unwrap() < wh);
+        assert!(nh - nl < wh - wl);
+        // True mean should be inside the big-sample CI.
+        assert!(nl < 10.0 && 10.0 < nh);
+    }
+
+    #[test]
+    fn ci_matches_hand_computation() {
+        // n=4, mean=5, sd=2 => se=1, t_{0.975,3}=3.18245
+        let s = Summary::from_slice(&[3.0, 4.0, 6.0, 7.0]);
+        let (lo, hi) = s.confidence_interval(0.95).unwrap();
+        let se = s.std_err().unwrap();
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((hi - 5.0 - 3.182_446_305 * se).abs() < 1e-4);
+        assert!((5.0 - lo - 3.182_446_305 * se).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let mut s = Summary::new();
+        s.push(f64::NAN);
+    }
+}

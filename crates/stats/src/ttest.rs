@@ -1,0 +1,185 @@
+//! t-tests.
+//!
+//! The paper compares mean discomfort contention levels between
+//! self-rated skill classes with *unpaired* t-tests (Figure 17) and the
+//! ramp-vs-step "frog in the pot" levels with a paired comparison
+//! (§3.3.5). We implement Welch's unequal-variance unpaired test (the
+//! robust default for unequal group sizes like Power vs. Typical users)
+//! and the classic paired t-test.
+
+use crate::special::student_t_two_sided_p;
+use crate::summary::Summary;
+
+/// Result of a t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic (sign follows `mean(a) - mean(b)`).
+    pub t: f64,
+    /// Degrees of freedom (Welch–Satterthwaite for the unpaired test).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+    /// Difference of means, `mean(a) - mean(b)` (the paper's "Diff").
+    pub diff: f64,
+}
+
+impl TTestResult {
+    /// One-sided p-value for the alternative `mean(a) > mean(b)`.
+    pub fn p_one_sided_greater(&self) -> f64 {
+        if self.t >= 0.0 {
+            self.p / 2.0
+        } else {
+            1.0 - self.p / 2.0
+        }
+    }
+}
+
+/// Welch's unpaired two-sample t-test.
+///
+/// Returns `None` if either sample has fewer than two observations or if
+/// both sample variances are zero (no spread to test against).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    let sa = Summary::from_slice(a);
+    let sb = Summary::from_slice(b);
+    let (va, vb) = (sa.variance()?, sb.variance()?);
+    let (na, nb) = (sa.count() as f64, sb.count() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let diff = sa.mean()? - sb.mean()?;
+    let t = diff / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let p = student_t_two_sided_p(t, df);
+    Some(TTestResult { t, df, p, diff })
+}
+
+/// Paired t-test over per-subject differences `a[i] - b[i]`.
+///
+/// Returns `None` if the slices differ in length, have fewer than two
+/// pairs, or the differences have zero variance.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let s = Summary::from_slice(&diffs);
+    let var = s.variance()?;
+    if var <= 0.0 {
+        return None;
+    }
+    let n = s.count() as f64;
+    let diff = s.mean()?;
+    let t = diff / (var / n).sqrt();
+    let df = n - 1.0;
+    let p = student_t_two_sided_p(t, df);
+    Some(TTestResult { t, df, p, diff })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+
+    #[test]
+    fn welch_identical_samples_insignificant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = welch_t_test(&a, &a).unwrap();
+        assert!((r.t).abs() < 1e-12);
+        assert!(r.p > 0.999);
+        assert_eq!(r.diff, 0.0);
+    }
+
+    #[test]
+    fn welch_detects_clear_separation() {
+        let mut rng = Pcg64::new(21);
+        let a: Vec<f64> = (0..40).map(|_| rng.normal(10.0, 1.0)).collect();
+        let b: Vec<f64> = (0..40).map(|_| rng.normal(12.0, 1.0)).collect();
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.p < 1e-6, "p = {}", r.p);
+        assert!(r.diff < 0.0);
+    }
+
+    #[test]
+    fn welch_no_false_positive_rate_inflation() {
+        // Under the null, ~5% of tests should have p < 0.05.
+        let mut rng = Pcg64::new(22);
+        let mut hits = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let a: Vec<f64> = (0..15).map(|_| rng.normal(0.0, 1.0)).collect();
+            let b: Vec<f64> = (0..15).map(|_| rng.normal(0.0, 1.0)).collect();
+            if welch_t_test(&a, &b).unwrap().p < 0.05 {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.05).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn welch_symmetry() {
+        let a = [1.0, 2.5, 3.0, 4.0];
+        let b = [2.0, 3.0, 5.0, 6.0, 7.0];
+        let r1 = welch_t_test(&a, &b).unwrap();
+        let r2 = welch_t_test(&b, &a).unwrap();
+        assert!((r1.t + r2.t).abs() < 1e-12);
+        assert!((r1.p - r2.p).abs() < 1e-12);
+        assert!((r1.diff + r2.diff).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_known_value() {
+        // Classic textbook example.
+        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
+        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.3];
+        let r = welch_t_test(&a, &b).unwrap();
+        // Reference (independently computed): t = -2.84720, df = 27.8847,
+        // two-sided p = 0.0081856.
+        assert!((r.t + 2.847_204_456).abs() < 1e-6, "t = {}", r.t);
+        assert!((r.df - 27.884_749_467).abs() < 1e-6, "df = {}", r.df);
+        assert!((r.p - 0.008_185_630).abs() < 1e-6, "p = {}", r.p);
+    }
+
+    #[test]
+    fn welch_rejects_tiny_samples() {
+        assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t_test(&[], &[]).is_none());
+        // Zero variance on both sides: undefined.
+        assert!(welch_t_test(&[2.0, 2.0], &[3.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn paired_detects_consistent_shift() {
+        let a = [5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        let b: Vec<f64> = a.iter().map(|&x: &f64| x - 0.5 + 0.01 * x.sin()).collect();
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.p < 0.001, "p = {}", r.p);
+        assert!((r.diff - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn paired_length_mismatch_is_none() {
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(paired_t_test(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn paired_zero_variance_is_none() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.0, 1.0, 2.0]; // differences all exactly 1.0
+        assert!(paired_t_test(&a, &b).is_none());
+    }
+
+    #[test]
+    fn one_sided_p_direction() {
+        let a = [10.0, 11.0, 12.0, 13.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.p_one_sided_greater() < 0.01);
+        let r_rev = welch_t_test(&b, &a).unwrap();
+        assert!(r_rev.p_one_sided_greater() > 0.99);
+    }
+}

@@ -1,0 +1,251 @@
+//! The controlled study driver (§3).
+//!
+//! Exercises the *entire* system: a server holding the Figure 8 testcase
+//! library, one deterministic-mode client per subject running the 8
+//! testcases of each task in per-user random order, results hot-synced
+//! back, and the analysis reading the server's result store — the full
+//! Figure 1 / Figure 2 pipeline.
+
+use std::sync::Arc;
+use uucs_client::{LocalTransport, Script, UucsClient};
+use uucs_comfort::{calibration, Fidelity, UserPopulation};
+use uucs_protocol::{MachineSnapshot, RunRecord};
+use uucs_server::{TestcaseStore, UucsServer};
+use uucs_stats::Pcg64;
+use uucs_workloads::Task;
+
+/// Study parameters.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Root seed; everything derives from it.
+    pub seed: u64,
+    /// Number of subjects (the paper ran 33).
+    pub users: usize,
+    /// Run fidelity ([`Fidelity::Fast`] for the statistics; `Full` also
+    /// simulates the machine per run).
+    pub fidelity: Fidelity,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            seed: 2004,
+            users: 33,
+            fidelity: Fidelity::Fast,
+        }
+    }
+}
+
+/// The study outputs: every uploaded run record plus the population that
+/// produced them (needed for the skill analysis).
+#[derive(Debug, Clone)]
+pub struct StudyData {
+    /// All uploaded run records.
+    pub records: Vec<RunRecord>,
+    /// The synthetic subjects.
+    pub population: UserPopulation,
+    /// The config that produced the data.
+    pub config: StudyConfig,
+}
+
+impl StudyData {
+    /// Records for one task.
+    pub fn of_task(&self, task: Task) -> Vec<&RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.task == task.name())
+            .collect()
+    }
+
+    /// Records whose testcase id contains a marker (e.g. `"ramp"`).
+    pub fn with_id_containing<'a>(&'a self, marker: &str) -> Vec<&'a RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.testcase.contains(marker))
+            .collect()
+    }
+}
+
+/// The controlled study.
+pub struct ControlledStudy {
+    config: StudyConfig,
+}
+
+impl ControlledStudy {
+    /// Creates a study with the given configuration.
+    pub fn new(config: StudyConfig) -> Self {
+        ControlledStudy { config }
+    }
+
+    /// The full testcase library: 8 testcases per task (Figure 8).
+    pub fn library() -> Vec<uucs_testcase::Testcase> {
+        Task::ALL
+            .iter()
+            .flat_map(|&t| calibration::controlled_testcases(t))
+            .collect()
+    }
+
+    /// Builds one subject's deterministic command file: for each task, the
+    /// task's 8 testcases in random order, with a final sync.
+    fn session_script(rng: &mut Pcg64) -> Script {
+        let mut commands = Vec::new();
+        for &task in &Task::ALL {
+            let mut ids: Vec<String> = calibration::controlled_testcases(task)
+                .iter()
+                .map(|tc| tc.id.to_string())
+                .collect();
+            rng.shuffle(&mut ids);
+            for id in ids {
+                commands.push(uucs_client::Command::Run {
+                    testcase: id,
+                    task,
+                });
+            }
+        }
+        commands.push(uucs_client::Command::Sync);
+        Script { commands }
+    }
+
+    /// Runs the study end to end and returns the collected data.
+    pub fn run(&self) -> StudyData {
+        let server = Arc::new(UucsServer::new(
+            TestcaseStore::from_testcases(Self::library()),
+            self.config.seed,
+        ));
+        let population = UserPopulation::generate(self.config.users, self.config.seed);
+        let root = Pcg64::new(self.config.seed).split_str("controlled-study");
+
+        for (i, user) in population.users().iter().enumerate() {
+            let mut rng = root.split(i as u64);
+            let mut transport = LocalTransport::new(server.clone());
+            let mut client = UucsClient::new(
+                MachineSnapshot::study_machine(format!("optiplex-{}", i % 2 + 1)),
+                rng.next_u64(),
+            );
+            client
+                .register(&mut transport)
+                .expect("local transport cannot fail");
+            // Deterministic mode: the testcases come from a local file.
+            client.install_testcases(Self::library());
+            let script = Self::session_script(&mut rng);
+            client
+                .execute_script(
+                    &script,
+                    user,
+                    self.config.fidelity,
+                    &mut transport,
+                    rng.next_u64(),
+                )
+                .expect("scripted session");
+        }
+
+        StudyData {
+            records: server.results(),
+            population,
+            config: self.config.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_protocol::RunOutcome;
+
+    fn small_study() -> StudyData {
+        ControlledStudy::new(StudyConfig {
+            seed: 7,
+            users: 12,
+            fidelity: Fidelity::Fast,
+        })
+        .run()
+    }
+
+    #[test]
+    fn every_user_runs_every_testcase() {
+        let data = small_study();
+        // 12 users x 4 tasks x 8 testcases.
+        assert_eq!(data.records.len(), 12 * 32);
+        for task in Task::ALL {
+            assert_eq!(data.of_task(task).len(), 12 * 8);
+        }
+        // Each (user, testcase) appears exactly once.
+        let mut keys: Vec<(String, String)> = data
+            .records
+            .iter()
+            .map(|r| (r.user.clone(), r.testcase.clone()))
+            .collect();
+        keys.sort();
+        let n = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), n);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = small_study();
+        let b = small_study();
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn seed_changes_results() {
+        let a = small_study();
+        let b = ControlledStudy::new(StudyConfig {
+            seed: 8,
+            users: 12,
+            fidelity: Fidelity::Fast,
+        })
+        .run();
+        assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn blank_runs_only_discomfort_in_sensitive_tasks() {
+        let data = ControlledStudy::new(StudyConfig {
+            seed: 9,
+            users: 25,
+            fidelity: Fidelity::Fast,
+        })
+        .run();
+        let blank_df = |task: Task| {
+            data.of_task(task)
+                .iter()
+                .filter(|r| r.testcase.contains("blank") && r.outcome == RunOutcome::Discomfort)
+                .count()
+        };
+        assert_eq!(blank_df(Task::Word), 0);
+        assert_eq!(blank_df(Task::Powerpoint), 0);
+        assert!(blank_df(Task::Quake) > 0, "Quake noise floor must show");
+    }
+
+    #[test]
+    fn quake_cpu_mostly_discomforts() {
+        // Quake/CPU has f_d = 0.95: nearly every ramp run ends in
+        // discomfort.
+        let data = small_study();
+        let runs: Vec<_> = data
+            .records
+            .iter()
+            .filter(|r| r.testcase == "quake-cpu-ramp")
+            .collect();
+        assert_eq!(runs.len(), 12);
+        let df = runs
+            .iter()
+            .filter(|r| r.outcome == RunOutcome::Discomfort)
+            .count();
+        assert!(df >= 10, "{df}/12 discomforted");
+    }
+
+    #[test]
+    fn word_memory_never_discomforts() {
+        let data = small_study();
+        let df = data
+            .records
+            .iter()
+            .filter(|r| r.testcase.starts_with("word-memory"))
+            .filter(|r| r.outcome == RunOutcome::Discomfort)
+            .count();
+        assert_eq!(df, 0);
+    }
+}

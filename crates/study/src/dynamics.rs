@@ -1,0 +1,255 @@
+//! Time dynamics of resource borrowing — the paper's question 5.
+//!
+//! The controlled study probed one element of time dynamics (ramp vs
+//! step, §3.3.5) and deferred the rest to the Internet study, whose
+//! testcase library is "predominantly from the M/M/1 and M/G/1 models"
+//! precisely to explore it. This module analyzes Internet-study results
+//! by exercise-function *shape*: for runs whose functions have comparable
+//! mean contention, how does discomfort probability depend on whether
+//! the borrowing is smooth (constant/ramp), periodic (sin/saw), or
+//! bursty (M/M/1, M/G/1)?
+//!
+//! The threshold model predicts the answer the queueing structure
+//! implies: at equal *mean* borrowing, burstier functions cross a given
+//! threshold more often (their peaks reach far above the mean), so
+//! heavy-tailed M/G/1 borrowing should discomfort more users than smooth
+//! borrowing of the same average — advice-relevant for implementors
+//! shaping their background load.
+
+use crate::internet::InternetStudyData;
+use std::collections::BTreeMap;
+use uucs_protocol::RunOutcome;
+use uucs_testcase::{Resource, Testcase};
+
+/// The shape family of an exercise function, judged from the testcase id
+/// produced by the library generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Shape {
+    /// Gradual or flat: ramps and steps.
+    Smooth,
+    /// Periodic: sin and saw.
+    Periodic,
+    /// Markovian bursts: `expexp` (M/M/1).
+    BurstyExp,
+    /// Heavy-tailed bursts: `exppar` (M/G/1 with Pareto jobs).
+    BurstyPareto,
+}
+
+impl Shape {
+    /// Classifies a testcase id.
+    pub fn of(testcase_id: &str) -> Option<Shape> {
+        if testcase_id.contains("blank") {
+            None
+        } else if testcase_id.contains("ramp") || testcase_id.contains("step") {
+            Some(Shape::Smooth)
+        } else if testcase_id.contains("sin") || testcase_id.contains("saw") {
+            Some(Shape::Periodic)
+        } else if testcase_id.contains("expexp") {
+            Some(Shape::BurstyExp)
+        } else if testcase_id.contains("exppar") {
+            Some(Shape::BurstyPareto)
+        } else {
+            None
+        }
+    }
+
+    /// Display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Smooth => "smooth",
+            Shape::Periodic => "periodic",
+            Shape::BurstyExp => "M/M/1",
+            Shape::BurstyPareto => "M/G/1",
+        }
+    }
+}
+
+/// Discomfort statistics for one (shape, mean-level bucket) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicsCell {
+    /// The shape family.
+    pub shape: Shape,
+    /// Lower edge of the mean-contention bucket.
+    pub bucket_lo: f64,
+    /// Runs in the cell.
+    pub runs: usize,
+    /// Runs ending in discomfort.
+    pub discomforted: usize,
+    /// Mean peak-to-mean ratio of the functions in the cell (burstiness).
+    pub peak_to_mean: f64,
+}
+
+impl DynamicsCell {
+    /// Discomfort probability.
+    pub fn p_discomfort(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.discomforted as f64 / self.runs as f64
+        }
+    }
+}
+
+/// Buckets Internet-study CPU runs by function shape and mean commanded
+/// level (`bucket_width` wide), so shapes are compared at matched mean
+/// borrowing.
+pub fn dynamics_cells(
+    data: &InternetStudyData,
+    library: &[Testcase],
+    bucket_width: f64,
+) -> Vec<DynamicsCell> {
+    assert!(bucket_width > 0.0);
+    let by_id: BTreeMap<&str, &Testcase> =
+        library.iter().map(|t| (t.id.as_str(), t)).collect();
+    let mut cells: BTreeMap<(Shape, u32), (usize, usize, f64)> = BTreeMap::new();
+    for r in &data.records {
+        let Some(shape) = Shape::of(&r.testcase) else {
+            continue;
+        };
+        let Some(tc) = by_id.get(r.testcase.as_str()) else {
+            continue;
+        };
+        let Some(f) = tc.function(Resource::Cpu) else {
+            continue; // CPU column only
+        };
+        let mean = f.mean();
+        if mean <= 0.0 {
+            continue;
+        }
+        let bucket = (mean / bucket_width).floor() as u32;
+        let e = cells.entry((shape, bucket)).or_insert((0, 0, 0.0));
+        e.0 += 1;
+        if r.outcome == RunOutcome::Discomfort {
+            e.1 += 1;
+        }
+        e.2 += f.peak() / mean;
+    }
+    cells
+        .into_iter()
+        .map(|((shape, bucket), (runs, df, ptm))| DynamicsCell {
+            shape,
+            bucket_lo: bucket as f64 * bucket_width,
+            runs,
+            discomforted: df,
+            peak_to_mean: ptm / runs.max(1) as f64,
+        })
+        .collect()
+}
+
+/// Renders the question-5 table.
+pub fn render_dynamics(data: &InternetStudyData, library: &[Testcase]) -> String {
+    let cells = dynamics_cells(data, library, 0.5);
+    let mut out = String::from(
+        "Time dynamics (question 5): discomfort probability by function shape,\n\
+         at matched mean CPU borrowing (Internet-study runs)\n",
+    );
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>6} {:>8} {:>12}\n",
+        "shape", "mean-level", "runs", "P(df)", "peak/mean"
+    ));
+    for c in &cells {
+        if c.runs < 5 {
+            continue; // too thin to report
+        }
+        out.push_str(&format!(
+            "{:<10} {:>4.1}-{:<5.1} {:>6} {:>8.2} {:>12.2}\n",
+            c.shape.name(),
+            c.bucket_lo,
+            c.bucket_lo + 0.5,
+            c.runs,
+            c.p_discomfort(),
+            c.peak_to_mean
+        ));
+    }
+    out
+}
+
+/// The headline comparison: at mean CPU borrowing in `[lo, hi)`, the
+/// discomfort probability of each shape. Returns (shape, runs, p).
+pub fn shapes_at_matched_mean(
+    data: &InternetStudyData,
+    library: &[Testcase],
+    lo: f64,
+    hi: f64,
+) -> Vec<(Shape, usize, f64)> {
+    let cells = dynamics_cells(data, library, hi - lo);
+    cells
+        .into_iter()
+        .filter(|c| (c.bucket_lo - lo).abs() < 1e-9)
+        .map(|c| (c.shape, c.runs, c.p_discomfort()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::internet::{InternetStudy, InternetStudyConfig};
+    use uucs_testcase::generate::Library;
+
+    fn study() -> (InternetStudyData, Vec<Testcase>) {
+        let cfg = InternetStudyConfig {
+            seed: 5,
+            clients: 60,
+            runs_per_client: 30,
+            mean_gap_secs: 600.0,
+        };
+        let lib = Library::internet_sweep(cfg.seed);
+        let data = InternetStudy::new(cfg).run();
+        (data, lib.testcases().to_vec())
+    }
+
+    #[test]
+    fn shape_classification() {
+        assert_eq!(Shape::of("cpu-ramp-2-120"), Some(Shape::Smooth));
+        assert_eq!(Shape::of("cpu-step-2-120-40"), Some(Shape::Smooth));
+        assert_eq!(Shape::of("cpu-sin-1.5-30"), Some(Shape::Periodic));
+        assert_eq!(Shape::of("disk-saw-2-15"), Some(Shape::Periodic));
+        assert_eq!(Shape::of("cpu-expexp-0042"), Some(Shape::BurstyExp));
+        assert_eq!(Shape::of("disk-exppar-0911"), Some(Shape::BurstyPareto));
+        assert_eq!(Shape::of("blank-3-120"), None);
+    }
+
+    #[test]
+    fn cells_are_consistent() {
+        let (data, lib) = study();
+        let cells = dynamics_cells(&data, &lib, 0.5);
+        assert!(!cells.is_empty());
+        let total: usize = cells.iter().map(|c| c.runs).sum();
+        assert!(total > 500, "classified runs {total}");
+        for c in &cells {
+            assert!(c.discomforted <= c.runs);
+            assert!(c.peak_to_mean >= 0.99, "peak/mean {}", c.peak_to_mean);
+        }
+    }
+
+    #[test]
+    fn bursty_functions_are_burstier() {
+        // The structural premise: peak/mean is higher for queueing shapes
+        // than for smooth ones in the same mean bucket.
+        let (data, lib) = study();
+        let cells = dynamics_cells(&data, &lib, 0.5);
+        let avg_ptm = |shape: Shape| {
+            let xs: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.shape == shape && c.runs >= 5)
+                .map(|c| c.peak_to_mean)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len().max(1) as f64
+        };
+        let smooth = avg_ptm(Shape::Smooth);
+        let pareto = avg_ptm(Shape::BurstyPareto);
+        assert!(
+            pareto > smooth,
+            "M/G/1 peak/mean {pareto} should exceed smooth {smooth}"
+        );
+    }
+
+    #[test]
+    fn render_produces_table() {
+        let (data, lib) = study();
+        let s = render_dynamics(&data, &lib);
+        assert!(s.contains("question 5"));
+        assert!(s.contains("M/M/1") || s.contains("M/G/1"));
+        assert!(s.lines().count() > 5);
+    }
+}

@@ -1,0 +1,203 @@
+//! CSV export of every figure's data series, for external plotting.
+//!
+//! `cargo run -p uucs-study -- export <dir>` writes one CSV per figure;
+//! each file carries the series a plotting tool needs to redraw the
+//! paper's graphic.
+
+use crate::controlled::StudyData;
+use crate::{figures, frog, skill};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use uucs_testcase::Resource;
+use uucs_workloads::Task;
+
+/// Writes every figure's CSV into `dir`, returning the paths written.
+pub fn write_figure_csvs(data: &StudyData, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let mut put = |name: &str, body: String| -> std::io::Result<()> {
+        let path = dir.join(name);
+        std::fs::write(&path, body)?;
+        written.push(path);
+        Ok(())
+    };
+
+    // Figure 9.
+    {
+        let (per_task, total) = figures::fig9(data);
+        let mut s = String::from("task,nonblank_df,nonblank_ex,blank_df,blank_ex,noise_prob\n");
+        for (task, b) in &per_task {
+            writeln!(
+                s,
+                "{},{},{},{},{},{:.4}",
+                task.name(),
+                b.nonblank_df,
+                b.nonblank_ex,
+                b.blank_df,
+                b.blank_ex,
+                b.noise_prob()
+            )
+            .unwrap();
+        }
+        writeln!(
+            s,
+            "Total,{},{},{},{},{:.4}",
+            total.nonblank_df,
+            total.nonblank_ex,
+            total.blank_df,
+            total.blank_ex,
+            total.noise_prob()
+        )
+        .unwrap();
+        put("fig09_run_breakdown.csv", s)?;
+    }
+
+    // Figures 10-12: aggregated CDF step series.
+    for (fig, r) in [(10, Resource::Cpu), (11, Resource::Memory), (12, Resource::Disk)] {
+        let cdf = figures::aggregate_cdf(data, r);
+        let mut s = String::from("contention,cum_fraction\n");
+        for (x, y) in cdf.steps() {
+            writeln!(s, "{x:.4},{y:.5}").unwrap();
+        }
+        put(&format!("fig{fig}_cdf_{r}.csv"), s)?;
+    }
+
+    // Figure 13.
+    {
+        let mut s = String::from("task,cpu,memory,disk\n");
+        for (task, row) in figures::fig13(data) {
+            writeln!(
+                s,
+                "{},{},{},{}",
+                task.name(),
+                row[0].code(),
+                row[1].code(),
+                row[2].code()
+            )
+            .unwrap();
+        }
+        put("fig13_sensitivity.csv", s)?;
+    }
+
+    // Figures 14-16 in one long-form table.
+    {
+        let mut s = String::from("task,resource,f_d,c_05,c_a,c_a_lo,c_a_hi\n");
+        let mut row = |task: &str, r: Resource, m: &uucs_comfort::CellMetrics| {
+            let f = |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or_default();
+            let (lo, hi) = m.c_a_ci.map(|(a, b)| (Some(a), Some(b))).unwrap_or((None, None));
+            writeln!(
+                s,
+                "{task},{r},{},{},{},{},{}",
+                f(m.f_d),
+                f(m.c_05),
+                f(m.c_a),
+                f(lo),
+                f(hi)
+            )
+            .unwrap();
+        };
+        for task in Task::ALL {
+            for r in Resource::STUDIED {
+                row(task.name(), r, &figures::cell_metrics(data, task, r));
+            }
+        }
+        for r in Resource::STUDIED {
+            row("Total", r, &figures::total_metrics(data, r));
+        }
+        put("fig14_16_metrics.csv", s)?;
+    }
+
+    // Figure 17.
+    {
+        let mut s = String::from("task,resource,rating,p,diff,n_hi,n_lo\n");
+        for r in skill::fig17(data, 1.0) {
+            writeln!(
+                s,
+                "{},{},{},{:.6},{:.4},{},{}",
+                r.task.name(),
+                r.resource,
+                r.rating,
+                r.p,
+                r.diff,
+                r.n.0,
+                r.n.1
+            )
+            .unwrap();
+        }
+        put("fig17_skill.csv", s)?;
+    }
+
+    // Figure 18: one CDF per cell, long form.
+    {
+        let mut s = String::from("task,resource,contention,cum_fraction\n");
+        for task in Task::ALL {
+            for r in Resource::STUDIED {
+                let m = figures::cell_metrics(data, task, r);
+                for (x, y) in m.ecdf.steps() {
+                    writeln!(s, "{},{r},{x:.4},{y:.5}", task.name()).unwrap();
+                }
+            }
+        }
+        put("fig18_cdf_grid.csv", s)?;
+    }
+
+    // Frog (§3.3.5).
+    {
+        let mut s = String::from("task,resource,pairs,frac_ramp_higher,mean_diff,p\n");
+        for r in frog::frog_all(data) {
+            writeln!(
+                s,
+                "{},{},{},{:.4},{:.4},{}",
+                r.task.name(),
+                r.resource,
+                r.n_pairs,
+                r.frac_ramp_higher,
+                r.mean_diff,
+                r.p.map(|p| format!("{p:.6}")).unwrap_or_default()
+            )
+            .unwrap();
+        }
+        put("frog_ramp_vs_step.csv", s)?;
+    }
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controlled::{ControlledStudy, StudyConfig};
+    use uucs_comfort::Fidelity;
+
+    #[test]
+    fn writes_all_csvs_and_they_parse() {
+        let data = ControlledStudy::new(StudyConfig {
+            seed: 66,
+            users: 10,
+            fidelity: Fidelity::Fast,
+        })
+        .run();
+        let dir = std::env::temp_dir().join(format!("uucs-export-{}", std::process::id()));
+        let files = write_figure_csvs(&data, &dir).unwrap();
+        assert_eq!(files.len(), 9);
+        for f in &files {
+            let text = std::fs::read_to_string(f).unwrap();
+            let mut lines = text.lines();
+            let header = lines.next().unwrap();
+            let cols = header.split(',').count();
+            assert!(cols >= 2, "{f:?}");
+            let mut rows = 0;
+            for line in lines {
+                assert_eq!(line.split(',').count(), cols, "ragged row in {f:?}");
+                rows += 1;
+            }
+            assert!(rows > 0, "{f:?} has no data");
+        }
+        // Spot check: the CPU CDF ends at the fraction f_d.
+        let cdf = std::fs::read_to_string(dir.join("fig10_cdf_cpu.csv")).unwrap();
+        let last = cdf.lines().last().unwrap();
+        let frac: f64 = last.split(',').nth(1).unwrap().parse().unwrap();
+        assert!(frac > 0.5 && frac <= 1.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

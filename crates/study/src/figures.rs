@@ -1,0 +1,380 @@
+//! Regenerators for Figures 9–16 and 18.
+
+use crate::controlled::StudyData;
+use uucs_comfort::metrics::{sensitivity_class, CellMetrics, Sensitivity};
+use uucs_protocol::{RunOutcome, RunRecord};
+use uucs_stats::Ecdf;
+use uucs_testcase::Resource;
+use uucs_workloads::Task;
+
+/// Figure 9: breakdown of runs per task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunBreakdown {
+    /// Non-blank runs ending in discomfort.
+    pub nonblank_df: usize,
+    /// Non-blank runs ending in exhaustion.
+    pub nonblank_ex: usize,
+    /// Blank runs ending in discomfort.
+    pub blank_df: usize,
+    /// Blank runs ending in exhaustion.
+    pub blank_ex: usize,
+}
+
+impl RunBreakdown {
+    /// "Prob of discomfort from blank testcase" — the noise floor.
+    pub fn noise_prob(&self) -> f64 {
+        let total = self.blank_df + self.blank_ex;
+        if total == 0 {
+            0.0
+        } else {
+            self.blank_df as f64 / total as f64
+        }
+    }
+
+    fn add(&mut self, other: &RunBreakdown) {
+        self.nonblank_df += other.nonblank_df;
+        self.nonblank_ex += other.nonblank_ex;
+        self.blank_df += other.blank_df;
+        self.blank_ex += other.blank_ex;
+    }
+}
+
+/// Computes Figure 9 from study records.
+pub fn fig9(data: &StudyData) -> (Vec<(Task, RunBreakdown)>, RunBreakdown) {
+    let mut per_task = Vec::new();
+    let mut total = RunBreakdown {
+        nonblank_df: 0,
+        nonblank_ex: 0,
+        blank_df: 0,
+        blank_ex: 0,
+    };
+    for &task in &Task::ALL {
+        let mut b = RunBreakdown {
+            nonblank_df: 0,
+            nonblank_ex: 0,
+            blank_df: 0,
+            blank_ex: 0,
+        };
+        for r in data.of_task(task) {
+            let blank = r.testcase.contains("blank");
+            match (blank, r.outcome) {
+                (false, RunOutcome::Discomfort) => b.nonblank_df += 1,
+                (false, RunOutcome::Exhausted) => b.nonblank_ex += 1,
+                (true, RunOutcome::Discomfort) => b.blank_df += 1,
+                (true, RunOutcome::Exhausted) => b.blank_ex += 1,
+            }
+        }
+        total.add(&b);
+        per_task.push((task, b));
+    }
+    (per_task, total)
+}
+
+/// Renders Figure 9 as text.
+pub fn render_fig9(data: &StudyData) -> String {
+    let (per_task, total) = fig9(data);
+    let mut out = String::from("Figure 9: Breakdown of runs\n");
+    out.push_str(&format!(
+        "{:<12} {:>11} {:>11} {:>9} {:>9} {:>7}\n",
+        "Task", "NB-Discomf", "NB-Exhaust", "B-Discomf", "B-Exhaust", "Noise"
+    ));
+    for (task, b) in &per_task {
+        out.push_str(&format!(
+            "{:<12} {:>11} {:>11} {:>9} {:>9} {:>7.2}\n",
+            task.name(),
+            b.nonblank_df,
+            b.nonblank_ex,
+            b.blank_df,
+            b.blank_ex,
+            b.noise_prob()
+        ));
+    }
+    out.push_str(&format!(
+        "{:<12} {:>11} {:>11} {:>9} {:>9} {:>7.2}\n",
+        "Total",
+        total.nonblank_df,
+        total.nonblank_ex,
+        total.blank_df,
+        total.blank_ex,
+        total.noise_prob()
+    ));
+    out
+}
+
+/// The ramp runs of one resource, aggregated over tasks — the data behind
+/// Figures 10–12.
+pub fn aggregate_ramp_records(data: &StudyData, resource: Resource) -> Vec<&RunRecord> {
+    let marker = format!("{resource}-ramp");
+    data.records
+        .iter()
+        .filter(|r| r.testcase.contains(&marker))
+        .collect()
+}
+
+/// The aggregated discomfort CDF for one resource (Figure 10, 11, or 12).
+pub fn aggregate_cdf(data: &StudyData, resource: Resource) -> Ecdf {
+    uucs_comfort::metrics::discomfort_ecdf(
+        aggregate_ramp_records(data, resource),
+        resource,
+    )
+}
+
+/// Renders Figure 10/11/12 as an ASCII CDF.
+pub fn render_aggregate_cdf(data: &StudyData, resource: Resource) -> String {
+    let fig_no = match resource {
+        Resource::Cpu => 10,
+        Resource::Memory => 11,
+        Resource::Disk => 12,
+        Resource::Network => 0,
+    };
+    let cdf = aggregate_cdf(data, resource);
+    cdf.render_ascii(
+        &format!("Figure {fig_no}: CDF of discomfort for {resource}"),
+        60,
+        16,
+    )
+}
+
+/// Per-cell metrics (ramp runs), the data behind Figures 14–16 and 18.
+pub fn cell_metrics(data: &StudyData, task: Task, resource: Resource) -> CellMetrics {
+    let marker = format!(
+        "{}-{}-ramp",
+        task.name().to_lowercase(),
+        resource.name()
+    );
+    let runs = data.with_id_containing(&marker);
+    CellMetrics::from_runs(runs, resource)
+}
+
+/// Aggregate (Total) metrics for one resource over all tasks.
+pub fn total_metrics(data: &StudyData, resource: Resource) -> CellMetrics {
+    CellMetrics::from_runs(aggregate_ramp_records(data, resource), resource)
+}
+
+fn opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}"),
+        None => "*".to_string(),
+    }
+}
+
+/// Renders Figure 14 (`f_d`), 15 (`c_0.05`), or 16 (`c_a` with CI) —
+/// select with `which` in {14, 15, 16}.
+pub fn render_metric_table(data: &StudyData, which: u32) -> String {
+    assert!((14..=16).contains(&which));
+    let title = match which {
+        14 => "Figure 14: f_d by task and resource",
+        15 => "Figure 15: c_0.05 by task and resource",
+        _ => "Figure 16: c_a by task and resource (95% CI)",
+    };
+    let mut out = format!(
+        "{title}\n{:<12} {:>18} {:>18} {:>18}\n",
+        "", "CPU", "Memory", "Disk"
+    );
+    let fmt_cell = |m: &CellMetrics| -> String {
+        match which {
+            14 => opt(m.f_d),
+            15 => opt(m.c_05),
+            _ => match (m.c_a, m.c_a_ci) {
+                (Some(ca), Some((lo, hi))) => format!("{ca:.2} ({lo:.2},{hi:.2})"),
+                (Some(ca), None) => format!("{ca:.2}"),
+                _ => "*".to_string(),
+            },
+        }
+    };
+    for &task in &Task::ALL {
+        let cells: Vec<String> = Resource::STUDIED
+            .iter()
+            .map(|&r| fmt_cell(&cell_metrics(data, task, r)))
+            .collect();
+        out.push_str(&format!(
+            "{:<12} {:>18} {:>18} {:>18}\n",
+            task.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        ));
+    }
+    let totals: Vec<String> = Resource::STUDIED
+        .iter()
+        .map(|&r| fmt_cell(&total_metrics(data, r)))
+        .collect();
+    out.push_str(&format!(
+        "{:<12} {:>18} {:>18} {:>18}\n",
+        "Total", totals[0], totals[1], totals[2]
+    ));
+    out
+}
+
+/// Figure 13: the sensitivity grid.
+pub fn fig13(data: &StudyData) -> Vec<(Task, [Sensitivity; 3])> {
+    Task::ALL
+        .iter()
+        .map(|&task| {
+            let mut row = [Sensitivity::Low; 3];
+            for (i, &r) in Resource::STUDIED.iter().enumerate() {
+                let m = cell_metrics(data, task, r);
+                row[i] = sensitivity_class(r, m.f_d, m.c_a);
+            }
+            (task, row)
+        })
+        .collect()
+}
+
+/// Renders Figure 13.
+pub fn render_fig13(data: &StudyData) -> String {
+    let mut out = String::from(
+        "Figure 13: User sensitivity by task and resource (Low, Medium, High)\n",
+    );
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>8} {:>6}\n",
+        "", "CPU", "Memory", "Disk"
+    ));
+    for (task, row) in fig13(data) {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>8} {:>6}\n",
+            task.name(),
+            row[0].code(),
+            row[1].code(),
+            row[2].code()
+        ));
+    }
+    out
+}
+
+/// Renders Figure 18: the CDF grid, one panel per (task, resource).
+pub fn render_fig18(data: &StudyData) -> String {
+    let mut out = String::from("Figure 18: CDFs for each context and resource pair\n\n");
+    for &task in &Task::ALL {
+        for &resource in &Resource::STUDIED {
+            let m = cell_metrics(data, task, resource);
+            out.push_str(&m.ecdf.render_ascii(
+                &format!("{} / {resource}", task.name()),
+                44,
+                10,
+            ));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controlled::{ControlledStudy, StudyConfig};
+    use uucs_comfort::Fidelity;
+
+    fn data() -> StudyData {
+        // 150 users: per-cell f_d estimates (sd ~ 0.04) stay inside the
+        // classification boundaries.
+        ControlledStudy::new(StudyConfig {
+            seed: 11,
+            users: 150,
+            fidelity: Fidelity::Fast,
+        })
+        .run()
+    }
+
+    #[test]
+    fn fig9_counts_are_consistent() {
+        let d = data();
+        let (per_task, total) = fig9(&d);
+        let sum: usize = per_task
+            .iter()
+            .map(|(_, b)| b.nonblank_df + b.nonblank_ex + b.blank_df + b.blank_ex)
+            .sum();
+        assert_eq!(sum, d.records.len());
+        assert_eq!(
+            total.nonblank_df + total.nonblank_ex + total.blank_df + total.blank_ex,
+            d.records.len()
+        );
+        // 30 users x 2 blanks per task.
+        for (_, b) in &per_task {
+            assert_eq!(b.blank_df + b.blank_ex, 300);
+            assert_eq!(b.nonblank_df + b.nonblank_ex, 900);
+        }
+    }
+
+    #[test]
+    fn fig9_noise_floor_structure() {
+        let d = data();
+        let (per_task, _) = fig9(&d);
+        let by_task: std::collections::HashMap<_, _> =
+            per_task.iter().map(|(t, b)| (*t, *b)).collect();
+        assert_eq!(by_task[&Task::Word].noise_prob(), 0.0);
+        assert_eq!(by_task[&Task::Powerpoint].noise_prob(), 0.0);
+        assert!(by_task[&Task::Ie].noise_prob() > 0.05);
+        assert!(by_task[&Task::Quake].noise_prob() > 0.12);
+    }
+
+    #[test]
+    fn aggregate_cdfs_have_expected_volume() {
+        let d = data();
+        for r in Resource::STUDIED {
+            let cdf = aggregate_cdf(&d, r);
+            // 150 users x 4 tasks = 600 ramp runs per resource.
+            assert_eq!(cdf.total(), 600);
+        }
+    }
+
+    #[test]
+    fn aggregate_fd_matches_paper_totals_roughly() {
+        let d = data();
+        // Paper totals (Fig 14): CPU 0.86, Memory 0.21, Disk 0.33.
+        let expect = [
+            (Resource::Cpu, 0.86),
+            (Resource::Memory, 0.21),
+            (Resource::Disk, 0.33),
+        ];
+        for (r, e) in expect {
+            let f = total_metrics(&d, r).f_d.unwrap();
+            assert!((f - e).abs() < 0.11, "{r}: f_d {f} vs paper {e}");
+        }
+    }
+
+    #[test]
+    fn fig13_matches_paper_grid() {
+        let d = data();
+        let expected = [
+            ["L", "L", "L"],
+            ["M", "L", "L"],
+            ["M", "M", "H"],
+            ["H", "M", "M"],
+        ];
+        for ((task, row), exp) in fig13(&d).iter().zip(expected) {
+            for (i, s) in row.iter().enumerate() {
+                assert_eq!(
+                    s.code(),
+                    exp[i],
+                    "{} {} (expected {})",
+                    task.name(),
+                    Resource::STUDIED[i],
+                    exp[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn renders_do_not_panic_and_mention_key_terms() {
+        let d = data();
+        assert!(render_fig9(&d).contains("Noise"));
+        assert!(render_aggregate_cdf(&d, Resource::Cpu).contains("Figure 10"));
+        assert!(render_aggregate_cdf(&d, Resource::Memory).contains("DfCount"));
+        assert!(render_metric_table(&d, 14).contains("f_d"));
+        assert!(render_metric_table(&d, 15).contains("c_0.05"));
+        assert!(render_metric_table(&d, 16).contains("CI"));
+        assert!(render_fig13(&d).contains("Medium"));
+        assert!(render_fig18(&d).contains("Quake / cpu"));
+    }
+
+    #[test]
+    fn word_memory_cell_is_starred() {
+        let d = data();
+        let m = cell_metrics(&d, Task::Word, Resource::Memory);
+        assert_eq!(m.c_05, None);
+        assert_eq!(m.c_a, None);
+        assert_eq!(m.f_d, Some(0.0));
+    }
+}

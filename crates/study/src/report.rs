@@ -1,0 +1,225 @@
+//! Paper-vs-measured comparison reporting — the machinery behind
+//! EXPERIMENTS.md.
+
+use crate::controlled::StudyData;
+use crate::figures;
+use uucs_comfort::calibration;
+use uucs_testcase::Resource;
+
+/// One paper-vs-measured comparison line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// What is being compared (e.g. `"f_d Word/CPU"`).
+    pub what: String,
+    /// The paper's published value.
+    pub paper: Option<f64>,
+    /// Our regenerated value.
+    pub measured: Option<f64>,
+}
+
+impl Comparison {
+    /// Absolute error, when both sides exist.
+    pub fn abs_err(&self) -> Option<f64> {
+        Some((self.paper? - self.measured?).abs())
+    }
+}
+
+/// Compares every per-cell and total `f_d`, `c_0.05`, and `c_a` against
+/// the paper.
+pub fn compare_metrics(data: &StudyData) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for c in &calibration::CELLS {
+        let m = figures::cell_metrics(data, c.task, c.resource);
+        out.push(Comparison {
+            what: format!("f_d {}/{}", c.task.name(), c.resource),
+            paper: Some(c.f_d),
+            measured: m.f_d,
+        });
+        out.push(Comparison {
+            what: format!("c_0.05 {}/{}", c.task.name(), c.resource),
+            paper: c.c_05,
+            measured: m.c_05,
+        });
+        out.push(Comparison {
+            what: format!("c_a {}/{}", c.task.name(), c.resource),
+            paper: c.c_a.map(|x| x.0),
+            measured: m.c_a,
+        });
+    }
+    for (resource, f_d, c05, ca) in calibration::TOTALS {
+        let m = figures::total_metrics(data, resource);
+        out.push(Comparison {
+            what: format!("f_d Total/{resource}"),
+            paper: Some(f_d),
+            measured: m.f_d,
+        });
+        out.push(Comparison {
+            what: format!("c_0.05 Total/{resource}"),
+            paper: Some(c05),
+            measured: m.c_05,
+        });
+        out.push(Comparison {
+            what: format!("c_a Total/{resource}"),
+            paper: Some(ca.0),
+            measured: m.c_a,
+        });
+    }
+    out
+}
+
+/// Compares the Figure 9 noise floors.
+pub fn compare_noise_floors(data: &StudyData) -> Vec<Comparison> {
+    let (per_task, _) = figures::fig9(data);
+    per_task
+        .iter()
+        .map(|(task, b)| Comparison {
+            what: format!("noise floor {}", task.name()),
+            paper: Some(calibration::noise_floor(*task)),
+            measured: Some(b.noise_prob()),
+        })
+        .collect()
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "*".into())
+}
+
+/// Renders a comparison table.
+pub fn render_comparisons(title: &str, comparisons: &[Comparison]) -> String {
+    let mut out = format!(
+        "{title}\n{:<28} {:>9} {:>9} {:>8}\n",
+        "metric", "paper", "ours", "|err|"
+    );
+    for c in comparisons {
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>9} {:>8}\n",
+            c.what,
+            fmt_opt(c.paper),
+            fmt_opt(c.measured),
+            fmt_opt(c.abs_err())
+        ));
+    }
+    out
+}
+
+/// The full experiment report: every table and figure regenerated, with
+/// paper-vs-measured comparisons. This is what EXPERIMENTS.md records.
+pub fn full_report(data: &StudyData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "UUCS-RS controlled study report — seed {}, {} users, {} runs\n\n",
+        data.config.seed,
+        data.population.len(),
+        data.records.len()
+    ));
+    out.push_str(&figures::render_fig9(data));
+    out.push('\n');
+    for r in Resource::STUDIED {
+        out.push_str(&figures::render_aggregate_cdf(data, r));
+        out.push('\n');
+    }
+    out.push_str(&figures::render_fig13(data));
+    out.push('\n');
+    out.push_str(&figures::render_metric_table(data, 14));
+    out.push('\n');
+    out.push_str(&figures::render_metric_table(data, 15));
+    out.push('\n');
+    out.push_str(&figures::render_metric_table(data, 16));
+    out.push('\n');
+    out.push_str(&crate::skill::render_fig17(data, 0.05));
+    out.push('\n');
+    out.push_str(&crate::frog::render_frog(data));
+    out.push('\n');
+    out.push_str(&render_comparisons(
+        "Paper vs measured: comfort metrics",
+        &compare_metrics(data),
+    ));
+    out.push('\n');
+    out.push_str(&render_comparisons(
+        "Paper vs measured: noise floors",
+        &compare_noise_floors(data),
+    ));
+    out
+}
+
+/// Quick sanity grade: fraction of comparable metrics within `tol` of the
+/// paper's value.
+pub fn agreement_fraction(data: &StudyData, tol: f64) -> f64 {
+    let comps = compare_metrics(data);
+    let comparable: Vec<_> = comps.iter().filter_map(Comparison::abs_err).collect();
+    if comparable.is_empty() {
+        return 0.0;
+    }
+    comparable.iter().filter(|&&e| e <= tol).count() as f64 / comparable.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controlled::{ControlledStudy, StudyConfig};
+    use uucs_comfort::Fidelity;
+
+    fn data() -> StudyData {
+        ControlledStudy::new(StudyConfig {
+            seed: 41,
+            users: 33,
+            fidelity: Fidelity::Fast,
+        })
+        .run()
+    }
+
+    #[test]
+    fn comparisons_cover_all_cells_and_totals() {
+        let c = compare_metrics(&data());
+        // 12 cells x 3 metrics + 3 totals x 3 metrics.
+        assert_eq!(c.len(), 12 * 3 + 9);
+    }
+
+    #[test]
+    fn most_metrics_agree_with_the_paper() {
+        let d = data();
+        // At the paper's own sample size, the shape holds: most metrics
+        // land within 0.5 contention units of the published value.
+        let frac = agreement_fraction(&d, 0.5);
+        assert!(frac > 0.7, "agreement {frac}");
+    }
+
+    #[test]
+    fn noise_floor_comparisons() {
+        let c = compare_noise_floors(&data());
+        assert_eq!(c.len(), 4);
+        let word = c.iter().find(|x| x.what.contains("Word")).unwrap();
+        assert_eq!(word.measured, Some(0.0));
+    }
+
+    #[test]
+    fn full_report_renders_everything() {
+        let report = full_report(&data());
+        for needle in [
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Figure 12",
+            "Figure 13",
+            "Figure 14",
+            "Figure 15",
+            "Figure 16",
+            "Figure 17",
+            "Frog-in-the-pot",
+            "Paper vs measured",
+        ] {
+            assert!(report.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn missing_values_render_as_star() {
+        assert_eq!(fmt_opt(None), "*");
+        let c = Comparison {
+            what: "x".into(),
+            paper: None,
+            measured: Some(1.0),
+        };
+        assert_eq!(c.abs_err(), None);
+    }
+}

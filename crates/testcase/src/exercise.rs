@@ -1,0 +1,511 @@
+//! Exercise functions — the contention time series of Figure 3.
+//!
+//! An [`ExerciseSpec`] is the parametric description (what the paper's
+//! testcase tools manipulate); [`ExerciseSpec::sample`] renders it into an
+//! [`ExerciseFunction`] — the concrete value vector the client plays back.
+
+use crate::resource::Resource;
+use uucs_stats::Pcg64;
+
+/// Parametric description of an exercise function (Figure 3).
+///
+/// All times are in seconds; `level`/`amplitude` are contention values in
+/// the resource's units (thread-equivalents for CPU/disk, memory fraction
+/// for memory).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExerciseSpec {
+    /// Zero contention for the whole duration. Blank testcases measure the
+    /// paper's *noise floor* — discomfort reported with no borrowing at all.
+    Blank {
+        /// Total duration in seconds.
+        duration: f64,
+    },
+    /// `step(x, t, b)`: contention of zero to time `b`, then `x` to time `t`.
+    Step {
+        /// Plateau contention level `x`.
+        level: f64,
+        /// Total duration `t` in seconds.
+        duration: f64,
+        /// Time `b` at which the step rises.
+        start: f64,
+    },
+    /// `ramp(x, t)`: contention rises linearly from zero to `x` over
+    /// `[0, t]`.
+    Ramp {
+        /// Final contention level `x`.
+        level: f64,
+        /// Total duration `t` in seconds.
+        duration: f64,
+    },
+    /// Sine wave: `offset + amplitude * sin(2π t / period)`, clamped at 0.
+    Sin {
+        /// Peak deviation from `offset`.
+        amplitude: f64,
+        /// Center level.
+        offset: f64,
+        /// Period in seconds.
+        period: f64,
+        /// Total duration in seconds.
+        duration: f64,
+    },
+    /// Sawtooth wave rising from 0 to `level` every `period` seconds.
+    Saw {
+        /// Peak level reached at the end of each tooth.
+        level: f64,
+        /// Tooth period in seconds.
+        period: f64,
+        /// Total duration in seconds.
+        duration: f64,
+    },
+    /// `expexp`: Poisson arrivals of exponential-sized jobs (M/M/1).
+    /// Contention at time `t` is the number of jobs in the simulated
+    /// queueing system (processor sharing), as in host-load playback.
+    ExpExp {
+        /// Job arrival rate λ (jobs/second).
+        arrival_rate: f64,
+        /// Mean job size in seconds of service (1/μ).
+        mean_job: f64,
+        /// Total duration in seconds.
+        duration: f64,
+        /// Seed for the arrival/size stream, so the rendered function is a
+        /// pure value.
+        seed: u64,
+    },
+    /// `exppar`: Poisson arrivals of Pareto-sized jobs (M/G/1) — heavy
+    /// tails produce the long contention bursts real host load shows.
+    ExpPar {
+        /// Job arrival rate λ (jobs/second).
+        arrival_rate: f64,
+        /// Pareto scale (minimum job size, seconds of service).
+        x_min: f64,
+        /// Pareto shape α (α > 1 for finite mean).
+        alpha: f64,
+        /// Total duration in seconds.
+        duration: f64,
+        /// Seed for the arrival/size stream.
+        seed: u64,
+    },
+    /// A literal value vector (1 value per sample period) — used for
+    /// trace playback and for testcases read from files.
+    Trace {
+        /// The contention values.
+        values: Vec<f64>,
+    },
+}
+
+impl ExerciseSpec {
+    /// Short type tag matching Figure 3's "Name" column.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ExerciseSpec::Blank { .. } => "blank",
+            ExerciseSpec::Step { .. } => "step",
+            ExerciseSpec::Ramp { .. } => "ramp",
+            ExerciseSpec::Sin { .. } => "sin",
+            ExerciseSpec::Saw { .. } => "saw",
+            ExerciseSpec::ExpExp { .. } => "expexp",
+            ExerciseSpec::ExpPar { .. } => "exppar",
+            ExerciseSpec::Trace { .. } => "trace",
+        }
+    }
+
+    /// Total duration of the rendered function at the given sample rate.
+    pub fn duration(&self, sample_rate_hz: f64) -> f64 {
+        match self {
+            ExerciseSpec::Blank { duration }
+            | ExerciseSpec::Step { duration, .. }
+            | ExerciseSpec::Ramp { duration, .. }
+            | ExerciseSpec::Sin { duration, .. }
+            | ExerciseSpec::Saw { duration, .. }
+            | ExerciseSpec::ExpExp { duration, .. }
+            | ExerciseSpec::ExpPar { duration, .. } => *duration,
+            ExerciseSpec::Trace { values } => values.len() as f64 / sample_rate_hz,
+        }
+    }
+
+    /// Renders the spec into a concrete value vector for `resource` at
+    /// `sample_rate_hz`. Values are clamped into the resource's valid
+    /// contention range.
+    pub fn sample(&self, resource: Resource, sample_rate_hz: f64) -> ExerciseFunction {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        let n = (self.duration(sample_rate_hz) * sample_rate_hz).round() as usize;
+        let dt = 1.0 / sample_rate_hz;
+        let values: Vec<f64> = match self {
+            ExerciseSpec::Blank { .. } => vec![0.0; n],
+            ExerciseSpec::Step { level, start, .. } => (0..n)
+                .map(|i| {
+                    let t = i as f64 * dt;
+                    if t >= *start {
+                        *level
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            ExerciseSpec::Ramp { level, duration } => (0..n)
+                .map(|i| {
+                    let t = i as f64 * dt;
+                    level * (t / duration).min(1.0)
+                })
+                .collect(),
+            ExerciseSpec::Sin {
+                amplitude,
+                offset,
+                period,
+                ..
+            } => (0..n)
+                .map(|i| {
+                    let t = i as f64 * dt;
+                    (offset + amplitude * (2.0 * std::f64::consts::PI * t / period).sin()).max(0.0)
+                })
+                .collect(),
+            ExerciseSpec::Saw { level, period, .. } => (0..n)
+                .map(|i| {
+                    let t = i as f64 * dt;
+                    level * (t % period) / period
+                })
+                .collect(),
+            ExerciseSpec::ExpExp {
+                arrival_rate,
+                mean_job,
+                duration,
+                seed,
+            } => {
+                let mut rng = Pcg64::new(*seed);
+                queue_occupancy(
+                    *arrival_rate,
+                    *duration,
+                    sample_rate_hz,
+                    &mut rng,
+                    |r| r.exponential(1.0 / mean_job.max(1e-9)),
+                )
+            }
+            ExerciseSpec::ExpPar {
+                arrival_rate,
+                x_min,
+                alpha,
+                duration,
+                seed,
+            } => {
+                let mut rng = Pcg64::new(*seed);
+                queue_occupancy(*arrival_rate, *duration, sample_rate_hz, &mut rng, |r| {
+                    r.pareto(*x_min, *alpha)
+                })
+            }
+            ExerciseSpec::Trace { values } => values.clone(),
+        };
+        let values = values.into_iter().map(|v| resource.clamp(v)).collect();
+        ExerciseFunction {
+            resource,
+            sample_rate_hz,
+            values,
+        }
+    }
+}
+
+/// Simulates a processor-sharing queue with Poisson(λ) arrivals and job
+/// sizes drawn by `draw_size`, and samples the number-in-system at the
+/// given rate. The contention value at each sample is the queue occupancy —
+/// the number of competing jobs a foreground thread would see, exactly the
+/// paper's M/M/1 / M/G/1 playback semantics.
+fn queue_occupancy(
+    arrival_rate: f64,
+    duration: f64,
+    sample_rate_hz: f64,
+    rng: &mut Pcg64,
+    mut draw_size: impl FnMut(&mut Pcg64) -> f64,
+) -> Vec<f64> {
+    assert!(arrival_rate >= 0.0 && duration >= 0.0);
+    let n = (duration * sample_rate_hz).round() as usize;
+    let dt = 1.0 / sample_rate_hz;
+    let mut values = vec![0.0f64; n];
+    if n == 0 {
+        return values;
+    }
+    // Remaining service requirement of each in-system job (processor
+    // sharing: all jobs progress at rate 1/k when k jobs are present).
+    let mut jobs: Vec<f64> = Vec::new();
+    let mut next_arrival = if arrival_rate > 0.0 {
+        rng.exponential(arrival_rate)
+    } else {
+        f64::INFINITY
+    };
+    let mut now = 0.0;
+    for slot in values.iter_mut() {
+        let slot_end = now + dt;
+        // Advance the queue through this sample period, handling arrivals
+        // and departures in order.
+        while now < slot_end {
+            let step_end = next_arrival.min(slot_end);
+            let mut remaining = step_end - now;
+            // Serve (processor sharing) until a departure or step_end.
+            while remaining > 1e-12 && !jobs.is_empty() {
+                let k = jobs.len() as f64;
+                let min_rem = jobs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let time_to_departure = min_rem * k;
+                let advance = time_to_departure.min(remaining);
+                let work = advance / k;
+                for j in jobs.iter_mut() {
+                    *j -= work;
+                }
+                jobs.retain(|&j| j > 1e-12);
+                remaining -= advance;
+            }
+            now = step_end;
+            if (next_arrival - now).abs() < 1e-12 && next_arrival.is_finite() {
+                jobs.push(draw_size(rng).max(1e-9));
+                next_arrival = now + rng.exponential(arrival_rate);
+            }
+        }
+        *slot = jobs.len() as f64;
+    }
+    values
+}
+
+/// A rendered exercise function: one contention value per sample period for
+/// a single resource (paper §2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExerciseFunction {
+    /// The resource this function exercises.
+    pub resource: Resource,
+    /// Sample rate in Hz.
+    pub sample_rate_hz: f64,
+    /// One contention value per sample period.
+    pub values: Vec<f64>,
+}
+
+impl ExerciseFunction {
+    /// Creates a function directly from values (clamped to the resource's
+    /// valid range).
+    pub fn from_values(resource: Resource, sample_rate_hz: f64, values: Vec<f64>) -> Self {
+        assert!(sample_rate_hz > 0.0);
+        let values = values.into_iter().map(|v| resource.clamp(v)).collect();
+        ExerciseFunction {
+            resource,
+            sample_rate_hz,
+            values,
+        }
+    }
+
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.values.len() as f64 / self.sample_rate_hz
+    }
+
+    /// The contention value in force at `t` seconds into the run, or `None`
+    /// once the function is exhausted.
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        if t < 0.0 {
+            return None;
+        }
+        let idx = (t * self.sample_rate_hz).floor() as usize;
+        self.values.get(idx).copied()
+    }
+
+    /// The last `k` contention values at or before time `t` — the paper
+    /// records "the last five contention values used in each exercise
+    /// function at the point of user feedback" (§2.3).
+    pub fn last_values_at(&self, t: f64, k: usize) -> Vec<f64> {
+        if self.values.is_empty() || t < 0.0 {
+            return Vec::new();
+        }
+        let idx = ((t * self.sample_rate_hz).floor() as usize).min(self.values.len() - 1);
+        let lo = (idx + 1).saturating_sub(k);
+        self.values[lo..=idx].to_vec()
+    }
+
+    /// Maximum contention value in the function.
+    pub fn peak(&self) -> f64 {
+        self.values.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Mean contention value.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// True if every value is zero (a blank function).
+    pub fn is_blank(&self) -> bool {
+        self.values.iter().all(|&v| v == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RATE: f64 = 1.0;
+
+    #[test]
+    fn paper_example_vector_semantics() {
+        // §2.1: rate 1 Hz, [0, 0.5, 1.0, 1.5, 2.0] persists 0..5 s and
+        // commands 1.5 during [3,4) and 2.0 during [4,5).
+        let f = ExerciseFunction::from_values(
+            Resource::Cpu,
+            1.0,
+            vec![0.0, 0.5, 1.0, 1.5, 2.0],
+        );
+        assert_eq!(f.duration(), 5.0);
+        assert_eq!(f.value_at(3.0), Some(1.5));
+        assert_eq!(f.value_at(3.999), Some(1.5));
+        assert_eq!(f.value_at(4.0), Some(2.0));
+        assert_eq!(f.value_at(5.0), None);
+        assert_eq!(f.value_at(-0.1), None);
+    }
+
+    #[test]
+    fn step_shape() {
+        // step(2.0, 120, 40) — Figure 4 left.
+        let spec = ExerciseSpec::Step {
+            level: 2.0,
+            duration: 120.0,
+            start: 40.0,
+        };
+        let f = spec.sample(Resource::Cpu, RATE);
+        assert_eq!(f.values.len(), 120);
+        assert_eq!(f.value_at(0.0), Some(0.0));
+        assert_eq!(f.value_at(39.0), Some(0.0));
+        assert_eq!(f.value_at(40.0), Some(2.0));
+        assert_eq!(f.value_at(119.0), Some(2.0));
+        assert_eq!(f.peak(), 2.0);
+    }
+
+    #[test]
+    fn ramp_shape() {
+        // ramp(2.0, 120) — Figure 4 right: linear 0 -> 2 over 120 s.
+        let spec = ExerciseSpec::Ramp {
+            level: 2.0,
+            duration: 120.0,
+        };
+        let f = spec.sample(Resource::Cpu, RATE);
+        assert_eq!(f.values.len(), 120);
+        assert_eq!(f.value_at(0.0), Some(0.0));
+        let mid = f.value_at(60.0).unwrap();
+        assert!((mid - 1.0).abs() < 0.02, "mid {mid}");
+        let last = *f.values.last().unwrap();
+        assert!((last - 2.0).abs() < 0.02, "last {last}");
+        // Monotone nondecreasing.
+        assert!(f.values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn blank_is_blank() {
+        let f = ExerciseSpec::Blank { duration: 120.0 }.sample(Resource::Disk, RATE);
+        assert!(f.is_blank());
+        assert_eq!(f.values.len(), 120);
+    }
+
+    #[test]
+    fn sin_oscillates_and_clamps_at_zero() {
+        let spec = ExerciseSpec::Sin {
+            amplitude: 2.0,
+            offset: 0.5,
+            period: 20.0,
+            duration: 60.0,
+        };
+        let f = spec.sample(Resource::Cpu, 10.0);
+        assert!(f.values.iter().all(|&v| v >= 0.0));
+        assert!(f.peak() > 2.0 && f.peak() <= 2.5);
+        // Should touch zero (offset - amplitude < 0 clamps).
+        assert!(f.values.contains(&0.0));
+    }
+
+    #[test]
+    fn saw_resets_each_period() {
+        let spec = ExerciseSpec::Saw {
+            level: 3.0,
+            period: 10.0,
+            duration: 30.0,
+        };
+        let f = spec.sample(Resource::Cpu, 1.0);
+        // Start of each tooth is 0.
+        assert_eq!(f.value_at(0.0), Some(0.0));
+        assert_eq!(f.value_at(10.0), Some(0.0));
+        assert_eq!(f.value_at(20.0), Some(0.0));
+        // Just before reset it is near the peak.
+        assert!(f.value_at(9.0).unwrap() > 2.5);
+    }
+
+    #[test]
+    fn memory_values_clamped_to_one() {
+        let spec = ExerciseSpec::Ramp {
+            level: 3.0,
+            duration: 10.0,
+        };
+        let f = spec.sample(Resource::Memory, 1.0);
+        assert!(f.values.iter().all(|&v| v <= 1.0));
+        assert_eq!(f.peak(), 1.0);
+    }
+
+    #[test]
+    fn expexp_is_deterministic_and_stable() {
+        let spec = ExerciseSpec::ExpExp {
+            arrival_rate: 0.5,
+            mean_job: 1.0,
+            duration: 300.0,
+            seed: 7,
+        };
+        let a = spec.sample(Resource::Cpu, 1.0);
+        let b = spec.sample(Resource::Cpu, 1.0);
+        assert_eq!(a, b);
+        // rho = 0.5: mean queue length for M/M/1-PS is rho/(1-rho) = 1.0.
+        // With only 300 samples allow generous slack.
+        assert!(a.mean() > 0.2 && a.mean() < 3.0, "mean {}", a.mean());
+        assert!(!a.is_blank());
+    }
+
+    #[test]
+    fn expexp_longrun_mean_matches_mm1() {
+        let spec = ExerciseSpec::ExpExp {
+            arrival_rate: 0.5,
+            mean_job: 1.0,
+            duration: 60_000.0,
+            seed: 11,
+        };
+        let f = spec.sample(Resource::Cpu, 1.0);
+        // E[N] = rho/(1-rho) = 1.0 for rho = 0.5.
+        assert!((f.mean() - 1.0).abs() < 0.15, "mean {}", f.mean());
+    }
+
+    #[test]
+    fn exppar_heavy_tail_has_bursts() {
+        let spec = ExerciseSpec::ExpPar {
+            arrival_rate: 0.3,
+            x_min: 0.5,
+            alpha: 1.5,
+            duration: 5_000.0,
+            seed: 13,
+        };
+        let f = spec.sample(Resource::Cpu, 1.0);
+        // Heavy tails should produce multi-job pileups well above the mean.
+        assert!(f.peak() >= 3.0, "peak {}", f.peak());
+    }
+
+    #[test]
+    fn last_values_at_returns_tail() {
+        let f = ExerciseFunction::from_values(
+            Resource::Cpu,
+            1.0,
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        );
+        assert_eq!(f.last_values_at(4.5, 5), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(f.last_values_at(1.0, 5), vec![0.0, 1.0]);
+        // Past the end: clamps to the final sample.
+        assert_eq!(f.last_values_at(99.0, 2), vec![4.0, 5.0]);
+        assert_eq!(f.last_values_at(-1.0, 2), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn duration_and_sampling_relationship() {
+        let spec = ExerciseSpec::Ramp {
+            level: 1.0,
+            duration: 7.0,
+        };
+        let f = spec.sample(Resource::Cpu, 4.0);
+        assert_eq!(f.values.len(), 28);
+        assert!((f.duration() - 7.0).abs() < 1e-12);
+    }
+}

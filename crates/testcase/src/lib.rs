@@ -1,0 +1,36 @@
+//! Testcases and exercise functions (paper §2.1, Figures 3, 4, 8).
+//!
+//! A *testcase* encodes the details of resource borrowing for various
+//! resources: a unique identifier, a sample rate, and a collection of
+//! *exercise functions*, one per resource used during the run. An exercise
+//! function is a vector of contention values sampled at the testcase rate:
+//! value `v[i]` is the contention to apply during
+//! `[i/rate, (i+1)/rate)` seconds from the start of the run.
+//!
+//! Contention semantics (paper §2.2):
+//! * **CPU / disk** — contention `c` behaves like `c` competing
+//!   equal-priority busy threads: another busy thread runs at `1/(1+c)` of
+//!   its standalone rate.
+//! * **Memory** — contention is the *fraction of physical memory* borrowed
+//!   (the paper caps it at 1.0 to avoid uncontrollable thrashing).
+//!
+//! This crate provides the exercise-function catalog of Figure 3 (step,
+//! ramp, sin, saw, `expexp` = M/M/1, `exppar` = M/G/1), the testcase
+//! container, the paper's text-file storage format, and generator tools
+//! for building testcase libraries like the 2000-testcase Internet-study
+//! set.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exercise;
+pub mod format;
+pub mod generate;
+pub mod resource;
+pub mod testcase;
+pub mod trace_io;
+
+pub use exercise::{ExerciseFunction, ExerciseSpec};
+pub use resource::Resource;
+pub use testcase::{Testcase, TestcaseId};
+pub use trace_io::HostLoadTrace;

@@ -1,0 +1,143 @@
+//! The `uucs-testcase` tool: "a set of tools for creating, viewing, and
+//! manipulating testcases" (paper §2, Figure 2).
+//!
+//! ```text
+//! uucs-testcase gen <out-file> [seed]       # generate the internet sweep
+//! uucs-testcase show <file> [id]            # list, or ASCII-plot one testcase
+//! uucs-testcase validate <file>             # parse + invariant checks
+//! uucs-testcase from-trace <trace> <out> [scale]   # host-load trace -> testcase
+//! ```
+
+use uucs_testcase::{format as tcformat, generate::Library, HostLoadTrace, Resource, Testcase};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let out = args.get(1).cloned().unwrap_or_else(|| "library.txt".into());
+            let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+            let lib = Library::internet_sweep(seed);
+            std::fs::write(&out, tcformat::emit_many(lib.testcases())).expect("write library");
+            println!("wrote {} testcases to {out}", lib.len());
+        }
+        Some("show") => {
+            let file = args.get(1).expect("show needs a file");
+            let text = std::fs::read_to_string(file).expect("read file");
+            let tcs = tcformat::parse_many(&text).expect("parse");
+            match args.get(2) {
+                None => {
+                    for tc in &tcs {
+                        let resources: Vec<String> = tc
+                            .borrowed_resources()
+                            .iter()
+                            .map(|r| r.to_string())
+                            .collect();
+                        println!(
+                            "{:<28} {:>5.0}s  [{}]",
+                            tc.id.to_string(),
+                            tc.duration(),
+                            resources.join(",")
+                        );
+                    }
+                    println!("{} testcases", tcs.len());
+                }
+                Some(id) => {
+                    let tc = tcs
+                        .iter()
+                        .find(|t| t.id.as_str() == id)
+                        .unwrap_or_else(|| {
+                            eprintln!("no testcase {id}");
+                            std::process::exit(1);
+                        });
+                    for f in &tc.functions {
+                        println!("{}", plot_function(tc, f.resource));
+                    }
+                }
+            }
+        }
+        Some("validate") => {
+            let file = args.get(1).expect("validate needs a file");
+            let text = std::fs::read_to_string(file).expect("read file");
+            match tcformat::parse_many(&text) {
+                Ok(tcs) => {
+                    let mut ids: Vec<&str> = tcs.iter().map(|t| t.id.as_str()).collect();
+                    ids.sort_unstable();
+                    let n = ids.len();
+                    ids.dedup();
+                    if ids.len() != n {
+                        eprintln!("FAIL: duplicate testcase ids");
+                        std::process::exit(1);
+                    }
+                    for tc in &tcs {
+                        for f in &tc.functions {
+                            assert!(
+                                f.peak() <= f.resource.max_contention() + 1e-9,
+                                "{}: {} exceeds limit",
+                                tc.id,
+                                f.resource
+                            );
+                        }
+                    }
+                    println!("OK: {n} testcases, unique ids, levels within limits");
+                }
+                Err(e) => {
+                    eprintln!("FAIL: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("from-trace") => {
+            let trace_file = args.get(1).expect("from-trace needs a trace file");
+            let out = args.get(2).expect("from-trace needs an output file");
+            let scale: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+            let text = std::fs::read_to_string(trace_file).expect("read trace");
+            let trace = HostLoadTrace::parse(&text).expect("parse trace");
+            let spec = trace.to_spec(1.0, scale);
+            let tc = Testcase::single("trace-playback", 1.0, Resource::Cpu, spec);
+            std::fs::write(out, tcformat::emit(&tc)).expect("write testcase");
+            println!(
+                "wrote trace-playback testcase ({:.0}s, scale {scale}) to {out}",
+                tc.duration()
+            );
+        }
+        _ => {
+            eprintln!("usage: uucs-testcase gen|show|validate|from-trace ...");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// A small ASCII plot of one exercise function (Figure 4 style).
+fn plot_function(tc: &Testcase, resource: Resource) -> String {
+    let f = tc.function(resource).expect("function present");
+    let width = 72usize;
+    let height = 12usize;
+    let peak = f.peak().max(1e-9);
+    let mut grid = vec![vec![b' '; width]; height];
+    let cells: Vec<(usize, usize)> = (0..width)
+        .map(|col| {
+            let t = tc.duration() * (col as f64 + 0.5) / width as f64;
+            let v = f.value_at(t).unwrap_or(0.0);
+            let row = ((1.0 - v / peak) * (height - 1) as f64).round() as usize;
+            (row.min(height - 1), col)
+        })
+        .collect();
+    for (row, col) in cells {
+        grid[row][col] = b'*';
+    }
+    let mut out = format!(
+        "{} / {resource}: peak {:.2}, mean {:.2}, {:.0}s\n",
+        tc.id,
+        f.peak(),
+        f.mean(),
+        tc.duration()
+    );
+    for row in grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(&row).unwrap());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out
+}

@@ -1,0 +1,240 @@
+//! The testcase container (paper §2.1).
+
+use crate::exercise::{ExerciseFunction, ExerciseSpec};
+use crate::resource::Resource;
+use std::fmt;
+
+/// A globally unique testcase identifier.
+///
+/// The paper's server assigns identifiers; we use free-form tokens
+/// (no whitespace) like `cpu-ramp-7.0-120` or `itc-000142`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TestcaseId(String);
+
+impl TestcaseId {
+    /// Creates an id. Panics if the token is empty or contains whitespace
+    /// (ids are written into whitespace-delimited text files).
+    pub fn new(id: impl Into<String>) -> Self {
+        let id = id.into();
+        assert!(
+            !id.is_empty() && !id.chars().any(|c| c.is_whitespace()),
+            "testcase id must be a non-empty token without whitespace: {id:?}"
+        );
+        TestcaseId(id)
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TestcaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A testcase: a unique identifier, a sample rate, and one exercise
+/// function per resource borrowed during the run.
+///
+/// ```
+/// use uucs_testcase::{ExerciseSpec, Resource, Testcase};
+/// // Figure 4's ramp: CPU contention 0 -> 2.0 over two minutes.
+/// let tc = Testcase::single(
+///     "cpu-ramp",
+///     1.0,
+///     Resource::Cpu,
+///     ExerciseSpec::Ramp { level: 2.0, duration: 120.0 },
+/// );
+/// assert_eq!(tc.duration(), 120.0);
+/// assert!((tc.contention_at(Resource::Cpu, 60.0) - 1.0).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Testcase {
+    /// Unique identifier.
+    pub id: TestcaseId,
+    /// Sample rate shared by all exercise functions, in Hz.
+    pub sample_rate_hz: f64,
+    /// One rendered exercise function per resource (at most one each).
+    pub functions: Vec<ExerciseFunction>,
+}
+
+impl Testcase {
+    /// Builds a testcase from parametric specs, rendering each at the
+    /// testcase sample rate. Panics if a resource appears twice.
+    pub fn from_specs(
+        id: impl Into<String>,
+        sample_rate_hz: f64,
+        specs: &[(Resource, ExerciseSpec)],
+    ) -> Self {
+        let functions: Vec<ExerciseFunction> = specs
+            .iter()
+            .map(|(r, s)| s.sample(*r, sample_rate_hz))
+            .collect();
+        Self::new(id, sample_rate_hz, functions)
+    }
+
+    /// Builds a testcase from pre-rendered functions. Panics if a resource
+    /// appears twice or a function's rate disagrees with the testcase rate.
+    pub fn new(
+        id: impl Into<String>,
+        sample_rate_hz: f64,
+        functions: Vec<ExerciseFunction>,
+    ) -> Self {
+        assert!(sample_rate_hz > 0.0);
+        for (i, f) in functions.iter().enumerate() {
+            assert!(
+                (f.sample_rate_hz - sample_rate_hz).abs() < 1e-9,
+                "function {i} rate {} != testcase rate {sample_rate_hz}",
+                f.sample_rate_hz
+            );
+            for g in &functions[..i] {
+                assert!(
+                    g.resource != f.resource,
+                    "duplicate exercise function for {}",
+                    f.resource
+                );
+            }
+        }
+        Testcase {
+            id: TestcaseId::new(id),
+            sample_rate_hz,
+            functions,
+        }
+    }
+
+    /// A single-resource testcase (the controlled study uses only these).
+    pub fn single(
+        id: impl Into<String>,
+        sample_rate_hz: f64,
+        resource: Resource,
+        spec: ExerciseSpec,
+    ) -> Self {
+        Self::from_specs(id, sample_rate_hz, &[(resource, spec)])
+    }
+
+    /// A blank testcase touching no resource at all but lasting `duration`
+    /// seconds. The paper uses blanks to measure the discomfort noise
+    /// floor. We encode it as a zero CPU function so the run still has a
+    /// duration.
+    pub fn blank(id: impl Into<String>, sample_rate_hz: f64, duration: f64) -> Self {
+        Self::single(
+            id,
+            sample_rate_hz,
+            Resource::Cpu,
+            ExerciseSpec::Blank { duration },
+        )
+    }
+
+    /// Run duration: the longest function's duration (the run is over when
+    /// all exercise functions are exhausted, §2.3).
+    pub fn duration(&self) -> f64 {
+        self.functions
+            .iter()
+            .map(ExerciseFunction::duration)
+            .fold(0.0, f64::max)
+    }
+
+    /// The function for `resource`, if present.
+    pub fn function(&self, resource: Resource) -> Option<&ExerciseFunction> {
+        self.functions.iter().find(|f| f.resource == resource)
+    }
+
+    /// The contention in force for `resource` at time `t` (0 if the
+    /// testcase does not exercise that resource or the function is over).
+    pub fn contention_at(&self, resource: Resource, t: f64) -> f64 {
+        self.function(resource)
+            .and_then(|f| f.value_at(t))
+            .unwrap_or(0.0)
+    }
+
+    /// True if all functions are blank (or there are none).
+    pub fn is_blank(&self) -> bool {
+        self.functions.iter().all(ExerciseFunction::is_blank)
+    }
+
+    /// The resources this testcase actually borrows (non-blank functions).
+    pub fn borrowed_resources(&self) -> Vec<Resource> {
+        self.functions
+            .iter()
+            .filter(|f| !f.is_blank())
+            .map(|f| f.resource)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(level: f64, duration: f64) -> ExerciseSpec {
+        ExerciseSpec::Ramp { level, duration }
+    }
+
+    #[test]
+    fn single_resource_testcase() {
+        let tc = Testcase::single("cpu-r", 1.0, Resource::Cpu, ramp(2.0, 120.0));
+        assert_eq!(tc.duration(), 120.0);
+        assert_eq!(tc.borrowed_resources(), vec![Resource::Cpu]);
+        assert!(!tc.is_blank());
+        assert!(tc.function(Resource::Disk).is_none());
+        assert_eq!(tc.contention_at(Resource::Disk, 10.0), 0.0);
+        assert!(tc.contention_at(Resource::Cpu, 60.0) > 0.9);
+    }
+
+    #[test]
+    fn blank_testcase() {
+        let tc = Testcase::blank("b1", 1.0, 120.0);
+        assert!(tc.is_blank());
+        assert_eq!(tc.duration(), 120.0);
+        assert!(tc.borrowed_resources().is_empty());
+        assert_eq!(tc.contention_at(Resource::Cpu, 50.0), 0.0);
+    }
+
+    #[test]
+    fn multi_resource_duration_is_max() {
+        let tc = Testcase::from_specs(
+            "multi",
+            1.0,
+            &[
+                (Resource::Cpu, ramp(1.0, 60.0)),
+                (Resource::Disk, ramp(2.0, 120.0)),
+            ],
+        );
+        assert_eq!(tc.duration(), 120.0);
+        assert_eq!(
+            tc.borrowed_resources(),
+            vec![Resource::Cpu, Resource::Disk]
+        );
+        // CPU function exhausted after 60 s -> contention reverts to 0.
+        assert_eq!(tc.contention_at(Resource::Cpu, 90.0), 0.0);
+        assert!(tc.contention_at(Resource::Disk, 90.0) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_resource_panics() {
+        Testcase::from_specs(
+            "dup",
+            1.0,
+            &[
+                (Resource::Cpu, ramp(1.0, 10.0)),
+                (Resource::Cpu, ramp(2.0, 10.0)),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "whitespace")]
+    fn id_with_space_panics() {
+        TestcaseId::new("bad id");
+    }
+
+    #[test]
+    fn id_display_roundtrip() {
+        let id = TestcaseId::new("cpu-ramp-7.0");
+        assert_eq!(id.to_string(), "cpu-ramp-7.0");
+        assert_eq!(id.as_str(), "cpu-ramp-7.0");
+    }
+}

@@ -1,0 +1,205 @@
+//! Host-load trace playback.
+//!
+//! The paper's CPU exerciser descends from the authors' host-load trace
+//! playback work ("Realistic CPU workloads through host load trace
+//! playback", the paper's reference 6): recorded load averages replayed as
+//! contention. This module reads such traces — whitespace-separated
+//! `time load` pairs, or bare load values at a stated rate — and turns
+//! them into [`ExerciseSpec::Trace`] functions, resampled to a testcase's
+//! rate.
+
+use crate::exercise::ExerciseSpec;
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A token failed to parse as a number.
+    BadNumber {
+        /// 1-based line.
+        line: usize,
+        /// The token.
+        token: String,
+    },
+    /// Timestamps must be strictly increasing.
+    NonMonotonicTime {
+        /// 1-based line.
+        line: usize,
+    },
+    /// The trace contained no samples.
+    Empty,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadNumber { line, token } => {
+                write!(f, "line {line}: bad number {token:?}")
+            }
+            TraceError::NonMonotonicTime { line } => {
+                write!(f, "line {line}: timestamps must increase")
+            }
+            TraceError::Empty => write!(f, "trace has no samples"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A parsed host-load trace: `(seconds, load)` samples with strictly
+/// increasing time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostLoadTrace {
+    samples: Vec<(f64, f64)>,
+}
+
+impl HostLoadTrace {
+    /// Parses a two-column `time load` trace (comments with `#`, blank
+    /// lines ignored).
+    pub fn parse(text: &str) -> Result<HostLoadTrace, TraceError> {
+        let mut samples = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            let t: f64 = parse_tok(toks.next().unwrap_or(""), i + 1)?;
+            let load: f64 = parse_tok(toks.next().unwrap_or(""), i + 1)?;
+            if let Some(&(prev, _)) = samples.last() {
+                if t <= prev {
+                    return Err(TraceError::NonMonotonicTime { line: i + 1 });
+                }
+            }
+            samples.push((t, load.max(0.0)));
+        }
+        if samples.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        Ok(HostLoadTrace { samples })
+    }
+
+    /// Builds a trace from bare load values at a fixed sample rate.
+    pub fn from_values(values: &[f64], rate_hz: f64) -> Result<HostLoadTrace, TraceError> {
+        if values.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        assert!(rate_hz > 0.0);
+        Ok(HostLoadTrace {
+            samples: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64 / rate_hz, v.max(0.0)))
+                .collect(),
+        })
+    }
+
+    /// The trace duration in seconds (time of the last sample).
+    pub fn duration(&self) -> f64 {
+        self.samples.last().map(|&(t, _)| t).unwrap_or(0.0)
+    }
+
+    /// The load at time `t`, by step interpolation (the sample in force
+    /// at `t`; before the first sample, the first value).
+    pub fn load_at(&self, t: f64) -> f64 {
+        match self.samples.iter().rev().find(|&&(st, _)| st <= t) {
+            Some(&(_, v)) => v,
+            None => self.samples[0].1,
+        }
+    }
+
+    /// Resamples the trace into an [`ExerciseSpec::Trace`] at the target
+    /// rate, optionally scaled (e.g. to turn a load-average trace into a
+    /// gentler borrowing schedule).
+    pub fn to_spec(&self, rate_hz: f64, scale: f64) -> ExerciseSpec {
+        assert!(rate_hz > 0.0 && scale >= 0.0);
+        let n = (self.duration() * rate_hz).ceil().max(1.0) as usize;
+        let values = (0..n)
+            .map(|i| self.load_at(i as f64 / rate_hz) * scale)
+            .collect();
+        ExerciseSpec::Trace { values }
+    }
+}
+
+fn parse_tok(tok: &str, line: usize) -> Result<f64, TraceError> {
+    tok.parse().map_err(|_| TraceError::BadNumber {
+        line,
+        token: tok.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::Resource;
+
+    const SAMPLE: &str = "\
+# host load trace, 2 s period
+0 0.10
+2 0.50
+4 2.30   # burst
+6 0.20
+8 0.00
+";
+
+    #[test]
+    fn parse_two_column_trace() {
+        let t = HostLoadTrace::parse(SAMPLE).unwrap();
+        assert_eq!(t.duration(), 8.0);
+        assert_eq!(t.load_at(0.0), 0.10);
+        assert_eq!(t.load_at(3.9), 0.50);
+        assert_eq!(t.load_at(4.0), 2.30);
+        assert_eq!(t.load_at(100.0), 0.0);
+    }
+
+    #[test]
+    fn resample_to_spec() {
+        let t = HostLoadTrace::parse(SAMPLE).unwrap();
+        let spec = t.to_spec(1.0, 1.0);
+        let f = spec.sample(Resource::Cpu, 1.0);
+        assert_eq!(f.values.len(), 8);
+        assert_eq!(f.value_at(4.0), Some(2.30));
+        // Scaling halves everything.
+        let f2 = t.to_spec(1.0, 0.5).sample(Resource::Cpu, 1.0);
+        assert_eq!(f2.value_at(4.0), Some(1.15));
+    }
+
+    #[test]
+    fn upsampling_repeats_steps() {
+        let t = HostLoadTrace::parse(SAMPLE).unwrap();
+        let f = t.to_spec(2.0, 1.0).sample(Resource::Cpu, 2.0);
+        assert_eq!(f.values.len(), 16);
+        assert_eq!(f.value_at(2.0), Some(0.5));
+        assert_eq!(f.value_at(2.5), Some(0.5));
+    }
+
+    #[test]
+    fn from_values_fixed_rate() {
+        let t = HostLoadTrace::from_values(&[0.0, 1.0, 2.0, 1.0], 0.5).unwrap();
+        assert_eq!(t.duration(), 6.0);
+        assert_eq!(t.load_at(2.0), 1.0);
+        assert_eq!(t.load_at(4.0), 2.0);
+    }
+
+    #[test]
+    fn negative_loads_clamped() {
+        let t = HostLoadTrace::parse("0 -1.0\n1 0.5\n").unwrap();
+        assert_eq!(t.load_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(HostLoadTrace::parse("").unwrap_err(), TraceError::Empty);
+        assert!(matches!(
+            HostLoadTrace::parse("0 x\n").unwrap_err(),
+            TraceError::BadNumber { line: 1, .. }
+        ));
+        assert!(matches!(
+            HostLoadTrace::parse("0 1\n0 2\n").unwrap_err(),
+            TraceError::NonMonotonicTime { line: 2 }
+        ));
+        assert_eq!(
+            HostLoadTrace::from_values(&[], 1.0).unwrap_err(),
+            TraceError::Empty
+        );
+    }
+}

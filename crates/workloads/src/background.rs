@@ -1,0 +1,175 @@
+//! The operating-system background: services, timers, and lazy writers
+//! that keep even a "quiescent" machine slightly busy.
+//!
+//! The paper observes that users express discomfort on blank testcases
+//! only in IE and Quake, and attributes Quake's to "sources of jitter on
+//! even an otherwise quiescent machine" (§3.3.3). `OsBackground` is that
+//! source: small CPU pops, occasional larger service spikes, and periodic
+//! lazy disk flushes. It also owns the large resident set Windows XP and
+//! its services hold on a 512 MB machine, which is what makes moderate
+//! memory borrowing consequential for big-footprint tasks.
+
+use uucs_sim::{Action, Ctx, RegionId, SimTime, TouchPattern, Workload, SEC};
+
+/// Pages held by the OS, services, and loaded-but-idle applications
+/// (~190 MB of the study machine's 512 MB).
+pub const OS_PAGES: u32 = 48_000;
+
+/// Mean gap between background pops, µs.
+const POP_GAP_MEAN: f64 = 400_000.0;
+
+/// Background pop CPU, µs (0.3–3 ms).
+const POP_LO: u64 = 300;
+const POP_HI: u64 = 3_000;
+
+/// Service spike period, µs, and its CPU.
+const SPIKE_EVERY: SimTime = 20 * SEC;
+const SPIKE_LO: u64 = 15_000;
+const SPIKE_HI: u64 = 40_000;
+
+/// Lazy-writer flush period, µs.
+const FLUSH_EVERY: SimTime = 8 * SEC;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Init,
+    Idle,
+    Woke,
+    Popped,
+}
+
+/// The OS background workload.
+pub struct OsBackground {
+    phase: Phase,
+    region: Option<RegionId>,
+    next_spike: SimTime,
+    next_flush: SimTime,
+}
+
+impl OsBackground {
+    /// Creates the background workload.
+    pub fn new() -> Self {
+        OsBackground {
+            phase: Phase::Init,
+            region: None,
+            next_spike: SPIKE_EVERY,
+            next_flush: FLUSH_EVERY,
+        }
+    }
+}
+
+impl Default for OsBackground {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for OsBackground {
+    fn name(&self) -> &str {
+        "os-background"
+    }
+
+    fn next_action(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        match self.phase {
+            Phase::Init => {
+                let r = ctx.alloc_region(OS_PAGES, false);
+                self.region = Some(r);
+                self.phase = Phase::Idle;
+                Action::Touch {
+                    region: r,
+                    count: OS_PAGES,
+                    pattern: TouchPattern::Prefix,
+                }
+            }
+            Phase::Idle => {
+                let gap = ctx.rng.exponential(1.0 / POP_GAP_MEAN).min(5_000_000.0) as SimTime;
+                self.phase = Phase::Woke;
+                Action::SleepUntil {
+                    until: ctx.now + gap.max(1_000),
+                }
+            }
+            Phase::Woke => {
+                // Keep a slice of the OS working set warm.
+                self.phase = Phase::Popped;
+                Action::Touch {
+                    region: self.region.expect("initialized"),
+                    count: 32,
+                    pattern: TouchPattern::RandomSample,
+                }
+            }
+            Phase::Popped => {
+                self.phase = Phase::Idle;
+                if ctx.now >= self.next_flush {
+                    self.next_flush = ctx.now + FLUSH_EVERY;
+                    return Action::DiskIo {
+                        ops: 1,
+                        bytes_per_op: 16_384,
+                    };
+                }
+                if ctx.now >= self.next_spike {
+                    self.next_spike = ctx.now + SPIKE_EVERY;
+                    return Action::Compute {
+                        us: ctx.rng.range_inclusive(SPIKE_LO, SPIKE_HI),
+                    };
+                }
+                Action::Compute {
+                    us: ctx.rng.range_inclusive(POP_LO, POP_HI),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_sim::Machine;
+
+    #[test]
+    fn background_is_light() {
+        let mut m = Machine::study_machine(140);
+        let t = m.spawn("os", Box::new(OsBackground::new()));
+        m.run_until(60 * SEC);
+        let util = m.thread_stats(t).cpu_us as f64 / m.now() as f64;
+        // "dramatically under-utilized": well under 3%.
+        assert!(util < 0.03, "util {util}");
+        assert_eq!(m.mem_resident(), OS_PAGES);
+    }
+
+    #[test]
+    fn background_does_some_io() {
+        let mut m = Machine::study_machine(141);
+        let t = m.spawn("os", Box::new(OsBackground::new()));
+        m.run_until(60 * SEC);
+        let ops = m.thread_stats(t).disk_ops;
+        assert!((4..=10).contains(&ops), "flush ops {ops}");
+    }
+
+    #[test]
+    fn background_jitters_quake() {
+        // With the OS background present, Quake's frame jitter rises —
+        // the paper's explanation for blank-testcase discomfort.
+        use crate::quake::{FrameStats, QuakeModel};
+        let bare = {
+            let mut m = Machine::study_machine(142);
+            let t = m.spawn("quake", Box::new(QuakeModel::new()));
+            m.run_until(30 * SEC);
+            FrameStats::from_latencies(&m.thread_stats(t).latencies_of("frame"))
+                .unwrap()
+                .jitter_us
+        };
+        let with_os = {
+            let mut m = Machine::study_machine(142);
+            let t = m.spawn("quake", Box::new(QuakeModel::new()));
+            m.spawn("os", Box::new(OsBackground::new()));
+            m.run_until(30 * SEC);
+            FrameStats::from_latencies(&m.thread_stats(t).latencies_of("frame"))
+                .unwrap()
+                .jitter_us
+        };
+        assert!(
+            with_os > bare,
+            "background should add jitter: {bare} -> {with_os}"
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! The Internet Explorer model: reading news stories, searching for
+//! related material, and saving it, across multiple windows (§3.1).
+//!
+//! Interactivity profile: page loads mix network waits (sleeps), parse
+//! and layout CPU bursts, and — importantly — *disk cache writes and
+//! page saves*. The paper found IE the most disk-sensitive task
+//! (f_d = 0.61 for disk, Figure 14): "IE caches files and users were
+//! asked to save all the pages, resulting in more disk activity". Its
+//! memory demand is also more dynamic than the office apps' (§3.3.3),
+//! which the model reproduces by extending its hot region as pages are
+//! loaded.
+
+use uucs_sim::{Action, Ctx, RegionId, SimTime, TouchPattern, Workload};
+#[cfg(test)]
+use uucs_sim::SEC;
+
+/// Virtual region size in pages (~150 MB address space; only a prefix is
+/// hot at any time).
+pub const REGION_PAGES: u32 = 37_500;
+
+/// Initial hot pages (~88 MB: IE with several windows).
+pub const INITIAL_HOT: u32 = 22_000;
+
+/// New pages brought in per page load (dynamic memory demand).
+const GROW_PER_LOAD: u32 = 120;
+
+/// Pages revisited per render.
+const TOUCH_PER_RENDER: u32 = 250;
+
+/// Reading gap between page loads, µs (6–14 s).
+const GAP_LO: u64 = 6_000_000;
+const GAP_HI: u64 = 14_000_000;
+
+/// Network chunk wait, µs (150–500 ms each).
+const NET_LO: u64 = 150_000;
+const NET_HI: u64 = 500_000;
+
+/// Parse CPU per chunk, µs.
+const PARSE_LO: u64 = 20_000;
+const PARSE_HI: u64 = 60_000;
+
+/// Render CPU, µs (80–200 ms).
+const RENDER_LO: u64 = 80_000;
+const RENDER_HI: u64 = 200_000;
+
+/// Network chunks per page.
+const CHUNKS: u32 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Init,
+    Idle,
+    /// Waiting for a network chunk; `left` chunks remain after this one.
+    NetWait { left: u32 },
+    /// Parsing the chunk that just arrived.
+    Parse { left: u32 },
+    /// Writing the chunk to the browser cache.
+    CacheWrite { left: u32 },
+    /// Touching memory before render; `render_from` marks when the
+    /// user-perceived render wait started.
+    PreRender { render_from: SimTime },
+    Render { render_from: SimTime },
+    PostRender { render_from: SimTime },
+    SavePage,
+    SaveDone { started: SimTime },
+}
+
+/// The IE foreground model.
+pub struct IeModel {
+    phase: Phase,
+    region: Option<RegionId>,
+    hot: u32,
+    loads: u32,
+}
+
+impl IeModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        IeModel {
+            phase: Phase::Init,
+            region: None,
+            hot: INITIAL_HOT,
+            loads: 0,
+        }
+    }
+}
+
+impl Default for IeModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for IeModel {
+    fn name(&self) -> &str {
+        "ie"
+    }
+
+    fn next_action(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        match self.phase {
+            Phase::Init => {
+                let r = ctx.alloc_region(REGION_PAGES, false);
+                self.region = Some(r);
+                self.phase = Phase::Idle;
+                Action::Touch {
+                    region: r,
+                    count: self.hot,
+                    pattern: TouchPattern::Prefix,
+                }
+            }
+            Phase::Idle => {
+                let gap = ctx.rng.range_inclusive(GAP_LO, GAP_HI);
+                self.phase = Phase::NetWait { left: CHUNKS };
+                Action::SleepUntil {
+                    until: ctx.now + gap,
+                }
+            }
+            Phase::NetWait { left } => {
+                let wait = ctx.rng.range_inclusive(NET_LO, NET_HI);
+                self.phase = Phase::Parse { left };
+                Action::SleepUntil {
+                    until: ctx.now + wait,
+                }
+            }
+            Phase::Parse { left } => {
+                self.phase = Phase::CacheWrite { left };
+                Action::Compute {
+                    us: ctx.rng.range_inclusive(PARSE_LO, PARSE_HI),
+                }
+            }
+            Phase::CacheWrite { left } => {
+                // IE writes the fetched content through to its disk cache.
+                self.phase = if left > 1 {
+                    Phase::NetWait { left: left - 1 }
+                } else {
+                    Phase::PreRender {
+                        render_from: ctx.now,
+                    }
+                };
+                Action::DiskIo {
+                    ops: 2,
+                    bytes_per_op: 32_768,
+                }
+            }
+            Phase::PreRender { render_from } => {
+                // Dynamic memory demand: the hot prefix grows per load.
+                self.hot = (self.hot + GROW_PER_LOAD).min(REGION_PAGES);
+                self.phase = Phase::Render { render_from };
+                Action::Touch {
+                    region: self.region.expect("initialized"),
+                    count: TOUCH_PER_RENDER,
+                    pattern: TouchPattern::RandomSample,
+                }
+            }
+            Phase::Render { render_from } => {
+                // Claim the newly grown prefix, then do layout CPU.
+                self.phase = Phase::PostRender { render_from };
+                Action::Compute {
+                    us: ctx.rng.range_inclusive(RENDER_LO, RENDER_HI),
+                }
+            }
+            Phase::PostRender { render_from } => {
+                ctx.record_latency("render", ctx.now - render_from);
+                self.loads += 1;
+                // Touch the grown prefix so residency tracks the dynamic
+                // demand, then save every other page (the study asked
+                // users to save pages).
+                if self.loads.is_multiple_of(2) {
+                    self.phase = Phase::SavePage;
+                    Action::Touch {
+                        region: self.region.expect("initialized"),
+                        count: self.hot,
+                        pattern: TouchPattern::Prefix,
+                    }
+                } else {
+                    self.phase = Phase::Idle;
+                    Action::Touch {
+                        region: self.region.expect("initialized"),
+                        count: self.hot,
+                        pattern: TouchPattern::Prefix,
+                    }
+                }
+            }
+            Phase::SavePage => {
+                self.phase = Phase::SaveDone { started: ctx.now };
+                Action::DiskIo {
+                    ops: 5,
+                    bytes_per_op: 65_536,
+                }
+            }
+            Phase::SaveDone { started } => {
+                // The user watched this save complete (the study asked
+                // users to save pages): its wall time is the perceived
+                // disk latency.
+                ctx.record_latency("save", ctx.now - started);
+                self.phase = Phase::Idle;
+                Action::Compute { us: 1 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_sim::Machine;
+
+    #[test]
+    fn page_loads_and_saves_happen() {
+        let mut m = Machine::study_machine(120);
+        let t = m.spawn("ie", Box::new(IeModel::new()));
+        m.run_until(120 * SEC);
+        let st = m.thread_stats(t);
+        let renders = st.latency_count("render");
+        // ~120 s / (~10 s gap + ~2 s load) ≈ 10 loads.
+        assert!((6..=16).contains(&renders), "renders {renders}");
+        let saves = st.latency_count("save");
+        assert!(saves >= 2, "saves {saves}");
+        // Cache writes + saves: IE is the disk-busy task.
+        assert!(st.disk_ops > 30, "disk ops {}", st.disk_ops);
+    }
+
+    #[test]
+    fn disk_contention_stretches_saves() {
+        let run = |hogs: usize| {
+            let mut m = Machine::study_machine(121);
+            let t = m.spawn("ie", Box::new(IeModel::new()));
+            for i in 0..hogs {
+                m.spawn(
+                    format!("iohog{i}"),
+                    Box::new(uucs_sim::workload::FnWorkload::new("iohog", |_| {
+                        Action::DiskIo {
+                            ops: 1,
+                            bytes_per_op: 262_144,
+                        }
+                    })),
+                );
+            }
+            m.run_until(240 * SEC);
+            let st = m.thread_stats(t);
+            (
+                st.mean_latency("save").unwrap(),
+                st.mean_latency("render").unwrap(),
+            )
+        };
+        let (save_base, render_base) = run(0);
+        let (save_contended, render_contended) = run(4);
+        // The watched page save is where IE's disk sensitivity shows up.
+        assert!(
+            save_contended > 2.0 * save_base,
+            "save {save_contended} vs base {save_base}"
+        );
+        // Renders stretch too (cache writes, faults), just less sharply.
+        assert!(
+            render_contended > render_base,
+            "render {render_contended} vs base {render_base}"
+        );
+    }
+
+    #[test]
+    fn memory_demand_grows_over_time() {
+        let mut m = Machine::study_machine(122);
+        m.spawn("ie", Box::new(IeModel::new()));
+        m.run_until(5 * SEC);
+        let early = m.mem_resident();
+        m.run_until(115 * SEC);
+        let late = m.mem_resident();
+        assert!(late > early, "demand should grow: {early} -> {late}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Foreground task models — the four applications of the controlled study
+//! (§3.1): word processing (Word), presentation making (Powerpoint),
+//! browsing/research (Internet Explorer), and Quake III.
+//!
+//! Each model is a [`uucs_sim::Workload`] that reproduces the
+//! interactivity *profile* the paper ascribes to its application:
+//!
+//! | Task | profile | paper's sensitivity (Fig 13) |
+//! |---|---|---|
+//! | Word | sparse keystrokes, tiny CPU bursts, occasional saves | Low everywhere |
+//! | Powerpoint | drawing operations, medium CPU bursts | Medium CPU |
+//! | IE | page loads with disk-cache writes and multi-window bursts | High disk |
+//! | Quake | frame loop consuming all spare CPU, jitter sensitive | High CPU |
+//!
+//! Models record interactive latency samples (keystroke echo, drawing op,
+//! page render, frame time) through [`uucs_sim::Ctx::record_latency`] —
+//! the measurements the UUCS client's monitors store with each run.
+//!
+//! The crate also provides [`background::OsBackground`] (the quiescent-
+//! machine jitter source that explains the paper's nonzero noise floor in
+//! Quake) and [`probe`] workloads used to verify exerciser accuracy the
+//! way the paper verified its exercisers to contention 10 (CPU) and 7
+//! (disk).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod background;
+pub mod ie;
+pub mod powerpoint;
+pub mod probe;
+pub mod quake;
+pub mod task;
+pub mod word;
+
+pub use background::OsBackground;
+pub use ie::IeModel;
+pub use powerpoint::PowerpointModel;
+pub use probe::{BusyProbe, IoProbe};
+pub use quake::QuakeModel;
+pub use task::Task;
+pub use word::WordModel;

@@ -1,0 +1,183 @@
+//! The Powerpoint model: duplicating a presentation of complex diagrams
+//! involving drawing and labeling (§3.1).
+//!
+//! Interactivity profile: drawing operations every couple of seconds,
+//! each needing tens of milliseconds of CPU for layout and rendering —
+//! finer-grained interactivity than Word, so CPU contention bites at much
+//! lower levels (the paper's ramp ceiling for Powerpoint CPU is 2.0
+//! versus Word's 7.0, Figure 8).
+
+use uucs_sim::{Action, Ctx, RegionId, SimTime, TouchPattern, Workload, SEC};
+
+/// Working-set size in pages (~80 MB: Powerpoint with a diagram-heavy
+/// deck).
+pub const WS_PAGES: u32 = 20_000;
+
+/// Pages revisited per drawing operation.
+const TOUCH_PER_OP: u32 = 150;
+
+/// CPU per drawing operation, µs (40–120 ms).
+const OP_CPU_LO: u64 = 40_000;
+const OP_CPU_HI: u64 = 120_000;
+
+/// Gap between drawing operations, µs (1.5–3.5 s).
+const OP_GAP_LO: u64 = 1_500_000;
+const OP_GAP_HI: u64 = 3_500_000;
+
+/// Every this many ops, a full-slide re-render runs.
+const RERENDER_EVERY: u32 = 8;
+
+/// Re-render CPU, µs.
+const RERENDER_CPU: u64 = 200_000;
+
+/// Save period, µs.
+const SAVE_EVERY: SimTime = 90 * SEC;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Init,
+    Idle,
+    Touched { op_at: SimTime },
+    Computed { op_at: SimTime },
+    Done { op_at: SimTime },
+}
+
+/// The Powerpoint foreground model.
+pub struct PowerpointModel {
+    phase: Phase,
+    ws: Option<RegionId>,
+    ops: u32,
+    next_save: SimTime,
+}
+
+impl PowerpointModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        PowerpointModel {
+            phase: Phase::Init,
+            ws: None,
+            ops: 0,
+            next_save: SAVE_EVERY,
+        }
+    }
+}
+
+impl Default for PowerpointModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for PowerpointModel {
+    fn name(&self) -> &str {
+        "powerpoint"
+    }
+
+    fn next_action(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        match self.phase {
+            Phase::Init => {
+                let ws = ctx.alloc_region(WS_PAGES, false);
+                self.ws = Some(ws);
+                self.phase = Phase::Idle;
+                Action::Touch {
+                    region: ws,
+                    count: WS_PAGES,
+                    pattern: TouchPattern::Prefix,
+                }
+            }
+            Phase::Idle => {
+                let gap = ctx.rng.range_inclusive(OP_GAP_LO, OP_GAP_HI);
+                let op_at = ctx.now + gap;
+                self.phase = Phase::Touched { op_at };
+                Action::SleepUntil { until: op_at }
+            }
+            Phase::Touched { op_at } => {
+                self.phase = Phase::Computed { op_at };
+                Action::Touch {
+                    region: self.ws.expect("initialized"),
+                    count: TOUCH_PER_OP,
+                    pattern: TouchPattern::RandomSample,
+                }
+            }
+            Phase::Computed { op_at } => {
+                self.ops += 1;
+                let mut cpu = ctx.rng.range_inclusive(OP_CPU_LO, OP_CPU_HI);
+                if self.ops.is_multiple_of(RERENDER_EVERY) {
+                    cpu += RERENDER_CPU;
+                }
+                self.phase = Phase::Done { op_at };
+                Action::Compute { us: cpu }
+            }
+            Phase::Done { op_at } => {
+                ctx.record_latency("draw", ctx.now - op_at);
+                self.phase = Phase::Idle;
+                if ctx.now >= self.next_save {
+                    self.next_save = ctx.now + SAVE_EVERY;
+                    ctx.record_latency("save-start", 0);
+                    return Action::DiskIo {
+                        ops: 8,
+                        bytes_per_op: 65_536,
+                    };
+                }
+                Action::Compute { us: 1 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_sim::Machine;
+
+    #[test]
+    fn draw_ops_have_expected_cadence_and_cost() {
+        let mut m = Machine::study_machine(110);
+        let t = m.spawn("ppt", Box::new(PowerpointModel::new()));
+        m.run_until(120 * SEC);
+        let st = m.thread_stats(t);
+        let n = st.latency_count("draw");
+        // 120 s / ~2.5 s ≈ 48 ops.
+        assert!(n > 30 && n < 75, "ops {n}");
+        let mean = st.mean_latency("draw").unwrap();
+        // Alone: just the CPU cost, under a quarter second.
+        assert!(mean > 30_000.0 && mean < 250_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn finer_interactivity_than_word() {
+        // Powerpoint burns distinctly more CPU per interaction than Word —
+        // the reason its CPU tolerance is an order of magnitude lower.
+        let mut mp = Machine::study_machine(111);
+        let tp = mp.spawn("ppt", Box::new(PowerpointModel::new()));
+        mp.run_until(120 * SEC);
+        let mut mw = Machine::study_machine(111);
+        let tw = mw.spawn("word", Box::new(crate::word::WordModel::new()));
+        mw.run_until(120 * SEC);
+        let ppt_mean = mp.thread_stats(tp).mean_latency("draw").unwrap();
+        let word_mean = mw.thread_stats(tw).mean_latency("keystroke").unwrap();
+        assert!(
+            ppt_mean > 5.0 * word_mean,
+            "ppt {ppt_mean} vs word {word_mean}"
+        );
+    }
+
+    #[test]
+    fn contention_pushes_draws_past_threshold() {
+        let mut m = Machine::study_machine(112);
+        let t = m.spawn("ppt", Box::new(PowerpointModel::new()));
+        // Contention 2 (two busy threads) — the top of the paper's PPT ramp.
+        for i in 0..2 {
+            m.spawn(
+                format!("hog{i}"),
+                Box::new(uucs_sim::workload::FnWorkload::new("hog", |_| {
+                    Action::Compute { us: 10_000 }
+                })),
+            );
+        }
+        m.run_until(120 * SEC);
+        let mean = m.thread_stats(t).mean_latency("draw").unwrap();
+        // Tripled service time: ops stretch toward the annoying range.
+        assert!(mean > 200_000.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Verification probes.
+//!
+//! The paper verified its CPU exerciser "to a contention level of 10 for
+//! equal priority threads" and its disk exerciser "to a contention level
+//! of 7" by measuring how much a competing busy thread slows down
+//! (§2.2). These probes are those competing threads: [`BusyProbe`] burns
+//! CPU continuously, [`IoProbe`] issues disk operations back to back; the
+//! achieved contention is inferred from how far below standalone their
+//! progress falls.
+
+use uucs_sim::{Action, Ctx, SimTime, Workload};
+
+/// A continuously busy CPU thread. Its accumulated `cpu_us` against the
+/// elapsed wall time gives its share `s`; the contention it experienced
+/// is `1/s - 1`.
+pub struct BusyProbe {
+    burst_us: SimTime,
+}
+
+impl BusyProbe {
+    /// Creates a probe computing in bursts of `burst_us` (the burst size
+    /// only affects bookkeeping granularity, not total progress).
+    pub fn new(burst_us: SimTime) -> Self {
+        assert!(burst_us > 0);
+        BusyProbe { burst_us }
+    }
+
+    /// The contention level implied by a measured CPU share.
+    pub fn contention_from_share(share: f64) -> f64 {
+        assert!(share > 0.0 && share <= 1.0, "share must be in (0,1]");
+        1.0 / share - 1.0
+    }
+}
+
+impl Default for BusyProbe {
+    fn default() -> Self {
+        BusyProbe::new(1_000)
+    }
+}
+
+impl Workload for BusyProbe {
+    fn name(&self) -> &str {
+        "busy-probe"
+    }
+
+    fn next_action(&mut self, _ctx: &mut Ctx<'_>) -> Action {
+        Action::Compute { us: self.burst_us }
+    }
+}
+
+/// A continuously I/O-busy thread issuing one random synced write after
+/// another. Its completed-op rate against standalone gives the disk
+/// contention it experienced.
+pub struct IoProbe {
+    bytes_per_op: u32,
+}
+
+impl IoProbe {
+    /// Creates a probe writing `bytes_per_op` per operation.
+    pub fn new(bytes_per_op: u32) -> Self {
+        IoProbe { bytes_per_op }
+    }
+}
+
+impl Default for IoProbe {
+    fn default() -> Self {
+        IoProbe::new(65_536)
+    }
+}
+
+impl Workload for IoProbe {
+    fn name(&self) -> &str {
+        "io-probe"
+    }
+
+    fn next_action(&mut self, _ctx: &mut Ctx<'_>) -> Action {
+        Action::DiskIo {
+            ops: 1,
+            bytes_per_op: self.bytes_per_op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_sim::{Machine, SEC};
+
+    #[test]
+    fn busy_probe_alone_gets_everything() {
+        let mut m = Machine::study_machine(150);
+        let t = m.spawn("probe", Box::new(BusyProbe::default()));
+        m.run_until(10 * SEC);
+        let share = m.thread_stats(t).cpu_us as f64 / m.now() as f64;
+        assert!(share > 0.999, "share {share}");
+        assert!(BusyProbe::contention_from_share(share) < 0.01);
+    }
+
+    #[test]
+    fn busy_probe_measures_contention() {
+        let mut m = Machine::study_machine(151);
+        let t = m.spawn("probe", Box::new(BusyProbe::default()));
+        for i in 0..3 {
+            m.spawn(format!("bg{i}"), Box::new(BusyProbe::default()));
+        }
+        m.run_until(20 * SEC);
+        let share = m.thread_stats(t).cpu_us as f64 / m.now() as f64;
+        let c = BusyProbe::contention_from_share(share);
+        assert!((c - 3.0).abs() < 0.2, "measured contention {c}");
+    }
+
+    #[test]
+    fn io_probe_rate_halves_against_one_competitor() {
+        let solo = {
+            let mut m = Machine::study_machine(152);
+            let t = m.spawn("probe", Box::new(IoProbe::default()));
+            m.run_until(20 * SEC);
+            m.thread_stats(t).disk_ops
+        };
+        let mut m = Machine::study_machine(152);
+        let t = m.spawn("probe", Box::new(IoProbe::default()));
+        m.spawn("bg", Box::new(IoProbe::default()));
+        m.run_until(20 * SEC);
+        let ratio = m.thread_stats(t).disk_ops as f64 / solo as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be in (0,1]")]
+    fn contention_from_zero_share_panics() {
+        BusyProbe::contention_from_share(0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The Quake III model: a first-person shooter's frame-render loop — the
+//! study's most resource-intensive application (§3.1).
+//!
+//! The loop consumes all spare CPU (the paper's §2.2 example of "another
+//! busy thread in the system (the display loop of a first person shooter
+//! game)"), so any CPU borrowed comes straight out of the frame rate:
+//! under contention `c` the frame rate drops to `1/(1+c)` of standalone.
+//! Frame *jitter* — variance injected by scheduler quanta and background
+//! activity — is what makes even blank testcases occasionally irritating
+//! to Quake players (the paper's nonzero noise floor, Figure 9).
+
+use uucs_sim::{Action, Ctx, RegionId, SimTime, TouchPattern, Workload};
+
+/// Working-set size in pages (~150 MB: textures, level geometry, engine).
+pub const WS_PAGES: u32 = 38_000;
+
+/// CPU service per frame, µs: ~90 fps standalone on the study machine.
+pub const FRAME_CPU: u64 = 11_000;
+
+/// Pages of the working set sampled per frame.
+const TOUCH_PER_FRAME: u32 = 24;
+
+/// Every this many frames, extra game work runs (AI/sound/net burst).
+const SPIKE_EVERY: u32 = 64;
+const SPIKE_CPU: u64 = 4_000;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Init,
+    TouchFrame,
+    Render { frame_from: SimTime },
+    FrameDone { frame_from: SimTime },
+}
+
+/// The Quake III foreground model.
+pub struct QuakeModel {
+    phase: Phase,
+    ws: Option<RegionId>,
+    frames: u32,
+}
+
+impl QuakeModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        QuakeModel {
+            phase: Phase::Init,
+            ws: None,
+            frames: 0,
+        }
+    }
+}
+
+impl Default for QuakeModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for QuakeModel {
+    fn name(&self) -> &str {
+        "quake"
+    }
+
+    fn next_action(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        match self.phase {
+            Phase::Init => {
+                let ws = ctx.alloc_region(WS_PAGES, false);
+                self.ws = Some(ws);
+                self.phase = Phase::TouchFrame;
+                Action::Touch {
+                    region: ws,
+                    count: WS_PAGES,
+                    pattern: TouchPattern::Prefix,
+                }
+            }
+            Phase::TouchFrame => {
+                self.phase = Phase::Render {
+                    frame_from: ctx.now,
+                };
+                Action::Touch {
+                    region: self.ws.expect("initialized"),
+                    count: TOUCH_PER_FRAME,
+                    pattern: TouchPattern::RandomSample,
+                }
+            }
+            Phase::Render { frame_from } => {
+                self.frames += 1;
+                let mut cpu = FRAME_CPU;
+                if self.frames.is_multiple_of(SPIKE_EVERY) {
+                    cpu += SPIKE_CPU;
+                }
+                self.phase = Phase::FrameDone { frame_from };
+                Action::Compute { us: cpu }
+            }
+            Phase::FrameDone { frame_from } => {
+                ctx.record_latency("frame", ctx.now - frame_from);
+                self.phase = Phase::TouchFrame;
+                // No sleep: the render loop is a busy thread.
+                Action::Compute { us: 1 }
+            }
+        }
+    }
+}
+
+/// Frame statistics derived from a run's latency samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameStats {
+    /// Mean frames per second.
+    pub fps: f64,
+    /// Mean frame time, µs.
+    pub mean_us: f64,
+    /// Standard deviation of frame time, µs — the jitter Quake players
+    /// feel.
+    pub jitter_us: f64,
+}
+
+impl FrameStats {
+    /// Computes frame statistics from recorded `"frame"` latencies.
+    pub fn from_latencies(frames_us: &[SimTime]) -> Option<FrameStats> {
+        if frames_us.is_empty() {
+            return None;
+        }
+        let n = frames_us.len() as f64;
+        let mean = frames_us.iter().sum::<u64>() as f64 / n;
+        let var = frames_us
+            .iter()
+            .map(|&f| (f as f64 - mean) * (f as f64 - mean))
+            .sum::<f64>()
+            / n;
+        Some(FrameStats {
+            fps: 1_000_000.0 / mean,
+            mean_us: mean,
+            jitter_us: var.sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_sim::{Machine, SEC};
+
+    fn frame_stats(m: &Machine, t: usize) -> FrameStats {
+        FrameStats::from_latencies(&m.thread_stats(t).latencies_of("frame")).unwrap()
+    }
+
+    #[test]
+    fn standalone_framerate_near_target() {
+        let mut m = Machine::study_machine(130);
+        let t = m.spawn("quake", Box::new(QuakeModel::new()));
+        m.run_until(30 * SEC);
+        let fs = frame_stats(&m, t);
+        // ~11 ms/frame + touch cost => high-80s fps.
+        assert!(fs.fps > 75.0 && fs.fps < 95.0, "fps {}", fs.fps);
+        assert!(fs.jitter_us < 3_000.0, "jitter {}", fs.jitter_us);
+    }
+
+    #[test]
+    fn quake_saturates_the_cpu() {
+        let mut m = Machine::study_machine(131);
+        m.spawn("quake", Box::new(QuakeModel::new()));
+        m.run_until(10 * SEC);
+        assert!(m.metrics().cpu_utilization(m.now()) > 0.99);
+    }
+
+    #[test]
+    fn contention_halves_framerate() {
+        // One competing busy thread (contention 1.0): frame rate halves,
+        // exactly the paper's 1/(1+c) law.
+        let solo = {
+            let mut m = Machine::study_machine(132);
+            let t = m.spawn("quake", Box::new(QuakeModel::new()));
+            m.run_until(30 * SEC);
+            frame_stats(&m, t).fps
+        };
+        let mut m = Machine::study_machine(132);
+        let t = m.spawn("quake", Box::new(QuakeModel::new()));
+        m.spawn(
+            "hog",
+            Box::new(uucs_sim::workload::FnWorkload::new("hog", |_| {
+                Action::Compute { us: 10_000 }
+            })),
+        );
+        m.run_until(30 * SEC);
+        let contended = frame_stats(&m, t).fps;
+        let ratio = contended / solo;
+        assert!((ratio - 0.5).abs() < 0.07, "ratio {ratio}");
+    }
+
+    #[test]
+    fn contention_adds_jitter() {
+        let solo_jitter = {
+            let mut m = Machine::study_machine(133);
+            let t = m.spawn("quake", Box::new(QuakeModel::new()));
+            m.run_until(20 * SEC);
+            frame_stats(&m, t).jitter_us
+        };
+        let mut m = Machine::study_machine(133);
+        let t = m.spawn("quake", Box::new(QuakeModel::new()));
+        m.spawn(
+            "hog",
+            Box::new(uucs_sim::workload::FnWorkload::new("hog", |_| {
+                Action::Compute { us: 10_000 }
+            })),
+        );
+        m.run_until(20 * SEC);
+        let contended_jitter = frame_stats(&m, t).jitter_us;
+        assert!(
+            contended_jitter > 2.0 * solo_jitter.max(100.0),
+            "jitter {solo_jitter} -> {contended_jitter}"
+        );
+    }
+
+    #[test]
+    fn frame_stats_empty_is_none() {
+        assert!(FrameStats::from_latencies(&[]).is_none());
+    }
+
+    #[test]
+    fn frame_stats_constant_frames_zero_jitter() {
+        let fs = FrameStats::from_latencies(&[10_000, 10_000, 10_000]).unwrap();
+        assert!((fs.fps - 100.0).abs() < 1e-9);
+        assert_eq!(fs.jitter_us, 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The controlled study's task identities (§3.1).
+
+use std::fmt;
+use std::str::FromStr;
+use uucs_sim::Workload;
+
+/// One of the four foreground tasks of the controlled study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Task {
+    /// Word processing with Microsoft Word: typing a non-technical
+    /// document with limited formatting.
+    Word,
+    /// Presentation making with Microsoft Powerpoint: duplicating complex
+    /// diagrams with drawing and labeling.
+    Powerpoint,
+    /// Browsing and research with Internet Explorer: reading news stories,
+    /// searching, and saving pages; multiple application windows.
+    Ie,
+    /// Playing Quake III — the study's most resource-intensive
+    /// application.
+    Quake,
+}
+
+impl Task {
+    /// The four tasks in the paper's presentation order.
+    pub const ALL: [Task; 4] = [Task::Word, Task::Powerpoint, Task::Ie, Task::Quake];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::Word => "Word",
+            Task::Powerpoint => "Powerpoint",
+            Task::Ie => "IE",
+            Task::Quake => "Quake",
+        }
+    }
+
+    /// Builds the foreground workload model for this task. The model's
+    /// RNG behavior derives from the machine's per-thread streams, so
+    /// spawning the same task twice on one machine still yields
+    /// independent event timings.
+    pub fn model(self) -> Box<dyn Workload> {
+        match self {
+            Task::Word => Box::new(crate::word::WordModel::new()),
+            Task::Powerpoint => Box::new(crate::powerpoint::PowerpointModel::new()),
+            Task::Ie => Box::new(crate::ie::IeModel::new()),
+            Task::Quake => Box::new(crate::quake::QuakeModel::new()),
+        }
+    }
+
+    /// The latency class the task's model records for its primary
+    /// interactive operation.
+    pub fn latency_class(self) -> &'static str {
+        match self {
+            Task::Word => "keystroke",
+            Task::Powerpoint => "draw",
+            Task::Ie => "render",
+            Task::Quake => "frame",
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a task name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTaskError(pub String);
+
+impl fmt::Display for ParseTaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown task: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseTaskError {}
+
+impl FromStr for Task {
+    type Err = ParseTaskError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "word" => Ok(Task::Word),
+            "powerpoint" | "ppt" => Ok(Task::Powerpoint),
+            "ie" | "internetexplorer" | "internet-explorer" => Ok(Task::Ie),
+            "quake" | "quake3" | "quakeiii" => Ok(Task::Quake),
+            other => Err(ParseTaskError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for t in Task::ALL {
+            assert_eq!(t.name().parse::<Task>().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn aliases() {
+        assert_eq!("ppt".parse::<Task>().unwrap(), Task::Powerpoint);
+        assert_eq!("QUAKE3".parse::<Task>().unwrap(), Task::Quake);
+        assert!("emacs".parse::<Task>().is_err());
+    }
+
+    #[test]
+    fn all_has_paper_order() {
+        assert_eq!(
+            Task::ALL.map(|t| t.name()),
+            ["Word", "Powerpoint", "IE", "Quake"]
+        );
+    }
+
+    #[test]
+    fn models_construct() {
+        for t in Task::ALL {
+            let m = t.model();
+            assert!(!m.name().is_empty());
+        }
+    }
+}

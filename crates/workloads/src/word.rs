@@ -1,0 +1,214 @@
+//! The Word model: typing a non-technical document with limited
+//! formatting (§3.1), plus periodic saving. The space of interactions is
+//! typing and saving, as in the paper's task; drawing is covered by the
+//! Powerpoint task.
+//!
+//! Interactivity profile: keystrokes arrive every few hundred ms and need
+//! a few ms of CPU each; every couple of dozen keystrokes a larger
+//! spell/repagination burst runs; an autosave writes through to disk
+//! periodically. Very high CPU contention (around 3 and above, per the
+//! paper §3.2) is needed before these tiny demands stretch into the
+//! perceptible range.
+
+use uucs_sim::{Action, Ctx, RegionId, SimTime, TouchPattern, Workload, SEC};
+
+/// Working-set size in pages (~60 MB: Word 2002 plus its document and
+/// shared libraries on the study machine).
+pub const WS_PAGES: u32 = 15_000;
+
+/// Pages of the working set revisited per keystroke.
+const TOUCH_PER_KEY: u32 = 40;
+
+/// CPU service per keystroke, µs (2–5 ms).
+const KEY_CPU_LO: u64 = 2_000;
+const KEY_CPU_HI: u64 = 5_000;
+
+/// Keystroke inter-arrival, µs (150–350 ms — a ~50 wpm typist).
+const KEY_GAP_LO: u64 = 150_000;
+const KEY_GAP_HI: u64 = 350_000;
+
+/// Keystrokes between spell/repagination bursts.
+const BURST_EVERY: u32 = 25;
+
+/// Burst CPU service, µs (40–90 ms).
+const BURST_CPU_LO: u64 = 40_000;
+const BURST_CPU_HI: u64 = 90_000;
+
+/// Autosave period, µs.
+const SAVE_EVERY: SimTime = 60 * SEC;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Init,
+    Warm,
+    Idle,
+    Touched { key_at: SimTime },
+    Computed { key_at: SimTime },
+    Saving { started: SimTime },
+}
+
+/// The Word foreground model.
+pub struct WordModel {
+    phase: Phase,
+    ws: Option<RegionId>,
+    keys: u32,
+    next_save: SimTime,
+}
+
+impl WordModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        WordModel {
+            phase: Phase::Init,
+            ws: None,
+            keys: 0,
+            next_save: SAVE_EVERY,
+        }
+    }
+}
+
+impl Default for WordModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workload for WordModel {
+    fn name(&self) -> &str {
+        "word"
+    }
+
+    fn next_action(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        match self.phase {
+            Phase::Init => {
+                // The working set is already loaded (the study's
+                // acclimatization phase): claim it with zero-fill touches.
+                let ws = ctx.alloc_region(WS_PAGES, false);
+                self.ws = Some(ws);
+                self.phase = Phase::Warm;
+                Action::Touch {
+                    region: ws,
+                    count: WS_PAGES,
+                    pattern: TouchPattern::Prefix,
+                }
+            }
+            Phase::Warm | Phase::Idle => {
+                // Wait for the next keystroke... (on Warm, this is the
+                // first one).
+                let gap = ctx.rng.range_inclusive(KEY_GAP_LO, KEY_GAP_HI);
+                let key_at = ctx.now + gap;
+                self.phase = Phase::Touched { key_at };
+                Action::SleepUntil { until: key_at }
+            }
+            Phase::Touched { key_at } => {
+                // Keystroke arrived: revisit a sample of the working set
+                // (swap-ins show up here if memory was borrowed), ...
+                self.phase = Phase::Computed { key_at };
+                Action::Touch {
+                    region: self.ws.expect("initialized"),
+                    count: TOUCH_PER_KEY,
+                    pattern: TouchPattern::RandomSample,
+                }
+            }
+            Phase::Computed { key_at } => {
+                // ... then do the echo/layout work, ...
+                self.keys += 1;
+                let mut cpu = ctx.rng.range_inclusive(KEY_CPU_LO, KEY_CPU_HI);
+                if self.keys.is_multiple_of(BURST_EVERY) {
+                    cpu += ctx.rng.range_inclusive(BURST_CPU_LO, BURST_CPU_HI);
+                }
+                self.phase = Phase::Saving { started: key_at };
+                Action::Compute { us: cpu }
+            }
+            Phase::Saving { started } => {
+                // ... record the echo latency and maybe autosave.
+                ctx.record_latency("keystroke", ctx.now - started);
+                if ctx.now >= self.next_save {
+                    self.next_save = ctx.now + SAVE_EVERY;
+                    self.phase = Phase::Idle;
+                    ctx.record_latency("save-start", 0);
+                    return Action::DiskIo {
+                        ops: 4,
+                        bytes_per_op: 65_536,
+                    };
+                }
+                self.phase = Phase::Idle;
+                // Zero-cost transition: immediately pick the next gap.
+                Action::Compute { us: 1 }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_sim::Machine;
+
+    #[test]
+    fn unloaded_machine_has_snappy_keystrokes() {
+        let mut m = Machine::study_machine(100);
+        let t = m.spawn("word", Box::new(WordModel::new()));
+        m.run_until(60 * SEC);
+        let st = m.thread_stats(t);
+        let n = st.latency_count("keystroke");
+        // ~60s / ~250ms gap ≈ 240 keystrokes.
+        assert!(n > 150 && n < 400, "keystrokes {n}");
+        let mean = st.mean_latency("keystroke").unwrap();
+        // Alone, echo is just the CPU cost: a handful of ms.
+        assert!(mean < 15_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn cpu_contention_stretches_keystrokes() {
+        let mut quiet = Machine::study_machine(101);
+        let tq = quiet.spawn("word", Box::new(WordModel::new()));
+        quiet.run_until(60 * SEC);
+        let base = quiet.thread_stats(tq).mean_latency("keystroke").unwrap();
+
+        let mut loaded = Machine::study_machine(101);
+        let tl = loaded.spawn("word", Box::new(WordModel::new()));
+        for i in 0..5 {
+            loaded.spawn(
+                format!("hog{i}"),
+                Box::new(uucs_sim::workload::FnWorkload::new("hog", |_| {
+                    Action::Compute { us: 10_000 }
+                })),
+            );
+        }
+        loaded.run_until(60 * SEC);
+        let slow = loaded.thread_stats(tl).mean_latency("keystroke").unwrap();
+        assert!(
+            slow > 3.0 * base,
+            "contended {slow} should far exceed quiet {base}"
+        );
+    }
+
+    #[test]
+    fn word_is_mostly_idle() {
+        let mut m = Machine::study_machine(102);
+        let t = m.spawn("word", Box::new(WordModel::new()));
+        m.run_until(60 * SEC);
+        // Typing uses only a few percent of the CPU.
+        let util = m.thread_stats(t).cpu_us as f64 / m.now() as f64;
+        assert!(util < 0.10, "util {util}");
+    }
+
+    #[test]
+    fn autosaves_happen() {
+        let mut m = Machine::study_machine(103);
+        let t = m.spawn("word", Box::new(WordModel::new()));
+        m.run_until(200 * SEC);
+        let saves = m.thread_stats(t).latency_count("save-start");
+        assert!((2..=4).contains(&saves), "saves {saves}");
+        assert!(m.thread_stats(t).disk_ops >= 8);
+    }
+
+    #[test]
+    fn working_set_established() {
+        let mut m = Machine::study_machine(104);
+        m.spawn("word", Box::new(WordModel::new()));
+        m.run_until(10 * SEC);
+        assert_eq!(m.mem_resident(), WS_PAGES);
+    }
+}

@@ -1,0 +1,30 @@
+//! Reproduces the paper's controlled study (§3) end to end and prints
+//! every regenerated table and figure with paper-vs-measured
+//! comparisons — the content of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release --example controlled_study [seed] [users]
+//! ```
+
+use uucs::comfort::Fidelity;
+use uucs::study::controlled::{ControlledStudy, StudyConfig};
+use uucs::study::report;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2004);
+    let users: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(33);
+
+    eprintln!("controlled study: seed {seed}, {users} users, Fast fidelity");
+    let data = ControlledStudy::new(StudyConfig {
+        seed,
+        users,
+        fidelity: Fidelity::Fast,
+    })
+    .run();
+    println!("{}", report::full_report(&data));
+    println!(
+        "agreement with the paper (within 0.5 contention units): {:.0}%",
+        report::agreement_fraction(&data, 0.5) * 100.0
+    );
+}

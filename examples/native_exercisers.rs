@@ -1,0 +1,97 @@
+//! The native (real-host) exercisers — the measurement tool itself, as
+//! it would run on an end-user machine (paper §2.2). Plays short,
+//! time-scaled exercise functions against *this* machine: calibrated
+//! busy-wait CPU borrowing, memory-pool touching, and synced scratch-file
+//! writes.
+//!
+//! Everything is small and brief by default (a few seconds, a few MB) so
+//! the example is safe to run anywhere.
+//!
+//! ```text
+//! cargo run --release --example native_exercisers
+//! ```
+
+use std::time::Duration;
+use uucs::exercisers::native::{
+    calibrate_spin, run_native_cpu, run_native_disk, run_native_memory, StopFlag,
+};
+use uucs::stats::Pcg64;
+use uucs::testcase::{ExerciseSpec, Resource};
+
+fn main() {
+    // Calibration: "carefully calibrated busy-wait loops".
+    let cal = calibrate_spin();
+    println!("spin calibration: {} iterations/ms", cal.iters_per_ms);
+
+    // CPU: a 120 s ramp played at 60x (2 s real time).
+    let f = ExerciseSpec::Ramp {
+        level: 1.0,
+        duration: 120.0,
+    }
+    .sample(Resource::Cpu, 1.0);
+    let stop = StopFlag::new();
+    let mut rng = Pcg64::new(1);
+    let stats = run_native_cpu(
+        &f,
+        0,
+        Duration::from_millis(10),
+        cal,
+        &stop,
+        60.0,
+        &mut rng,
+    );
+    println!(
+        "cpu exerciser: {} busy / {} idle subintervals (ramp 0 -> 1.0)",
+        stats.busy_subintervals, stats.idle_subintervals
+    );
+
+    // Memory: a step to 60% of an 8 MB pool, 1 s real time.
+    let f = ExerciseSpec::Step {
+        level: 0.6,
+        duration: 60.0,
+        start: 0.0,
+    }
+    .sample(Resource::Memory, 1.0);
+    let stats = run_native_memory(&f, 8 << 20, Duration::from_millis(50), &stop, 60.0);
+    println!(
+        "memory exerciser: {} pages touched across {} refreshes",
+        stats.pages_touched, stats.busy_subintervals
+    );
+
+    // Disk: random seeks + synced writes in a 1 MB scratch file, ~1 s.
+    let dir = std::env::temp_dir().join(format!("uucs-native-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("scratch.bin");
+    let f = ExerciseSpec::Step {
+        level: 1.0,
+        duration: 30.0,
+        start: 0.0,
+    }
+    .sample(Resource::Disk, 1.0);
+    let mut rng = Pcg64::new(2);
+    match run_native_disk(
+        &f,
+        0,
+        &path,
+        1 << 20,
+        65_536,
+        Duration::from_millis(20),
+        &stop,
+        30.0,
+        &mut rng,
+    ) {
+        Ok(stats) => println!(
+            "disk exerciser: {} KiB written through ({} busy subintervals)",
+            stats.bytes_written / 1024,
+            stats.busy_subintervals
+        ),
+        Err(e) => println!("disk exerciser skipped: {e}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The discomfort hot-key: stop everything instantly.
+    println!(
+        "press-F11 semantics: StopFlag::stop() halts all exercisers immediately \
+         and the client records the feedback point."
+    );
+}

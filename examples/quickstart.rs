@@ -1,0 +1,89 @@
+//! Quickstart: the five-minute tour of UUCS-RS.
+//!
+//! Builds a testcase (a CPU ramp like the paper's Figure 4), plays it on
+//! the simulated study machine against a synthetic user doing the
+//! Powerpoint task, and prints the run record — then asks the throttle
+//! advisor what a background application could safely borrow.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use uucs::comfort::{execute_run, Fidelity, RunSetup, RunStyle, ThrottleAdvisor, UserPopulation};
+use uucs::study::controlled::{ControlledStudy, StudyConfig};
+use uucs::study::figures;
+use uucs::testcase::{ExerciseSpec, Resource, Testcase};
+use uucs::workloads::Task;
+
+fn main() {
+    // 1. A testcase: ramp CPU contention from 0 to 2.0 over two minutes
+    //    (Figure 4, right panel).
+    let testcase = Testcase::single(
+        "quickstart-cpu-ramp",
+        1.0,
+        Resource::Cpu,
+        ExerciseSpec::Ramp {
+            level: 2.0,
+            duration: 120.0,
+        },
+    );
+    println!(
+        "testcase {}: {}s of {} borrowing, peak contention {:.1}",
+        testcase.id,
+        testcase.duration(),
+        Resource::Cpu,
+        testcase.function(Resource::Cpu).unwrap().peak()
+    );
+
+    // 2. A synthetic user, calibrated to the paper's published comfort
+    //    statistics.
+    let population = UserPopulation::generate(1, 42);
+    let user = &population.users()[0];
+    println!(
+        "user {} threshold for Powerpoint/CPU: {:.2} thread-equivalents",
+        user.id,
+        user.threshold(Task::Powerpoint, Resource::Cpu)
+    );
+
+    // 3. Execute the run at full fidelity: the exercisers contend with
+    //    the Powerpoint model and the OS background on the simulated
+    //    2 GHz/512 MB study machine, and the monitors record real data.
+    let record = execute_run(&RunSetup {
+        user,
+        task: Task::Powerpoint,
+        testcase: &testcase,
+        style: RunStyle::Ramp,
+        seed: 7,
+        fidelity: Fidelity::Full,
+        client_id: "quickstart".into(),
+    });
+    println!("\nrun result:\n{}", record.emit());
+
+    // 4. Advice to implementors (§5): run a small controlled study and
+    //    read borrowing levels off the CDFs.
+    println!("running a 33-user controlled study for the CDFs ...");
+    let data = ControlledStudy::new(StudyConfig {
+        seed: 2004,
+        users: 33,
+        fidelity: Fidelity::Fast,
+    })
+    .run();
+    let mut advisor = ThrottleAdvisor::new();
+    for r in Resource::STUDIED {
+        advisor.set_aggregate(r, figures::aggregate_cdf(&data, r));
+        advisor.set_context(
+            Task::Quake,
+            r,
+            figures::cell_metrics(&data, Task::Quake, r).ecdf.clone(),
+        );
+    }
+    println!("\nthrottle advice (discomforting at most 5% of users):");
+    for r in Resource::STUDIED {
+        println!(
+            "  {:<8} aggregate: {:.2}   while gaming: {:.2}",
+            r.to_string(),
+            advisor.recommend(r, 0.05).unwrap(),
+            advisor.recommend_for(Task::Quake, r, 0.05).unwrap()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! §5 "Advice to implementors", executable.
+//!
+//! Runs the controlled study, builds the comfort CDFs, and shows:
+//! 1. throttle settings for a range of acceptable-discomfort budgets,
+//!    aggregated and per context ("Know what the user is doing"), and
+//! 2. the feedback-driven throttle (the paper's future-work direction)
+//!    converging against a synthetic user.
+//!
+//! ```text
+//! cargo run --release --example throttle_advisor
+//! ```
+
+use uucs::comfort::{FeedbackThrottle, Fidelity, ThrottleAdvisor, UserPopulation};
+use uucs::study::controlled::{ControlledStudy, StudyConfig};
+use uucs::study::figures;
+use uucs::testcase::Resource;
+use uucs::workloads::Task;
+
+fn main() {
+    eprintln!("running the controlled study for CDFs ...");
+    let data = ControlledStudy::new(StudyConfig {
+        seed: 2004,
+        users: 120,
+        fidelity: Fidelity::Fast,
+    })
+    .run();
+
+    let mut advisor = ThrottleAdvisor::new();
+    for r in Resource::STUDIED {
+        advisor.set_aggregate(r, figures::aggregate_cdf(&data, r));
+        for t in Task::ALL {
+            advisor.set_context(t, r, figures::cell_metrics(&data, t, r).ecdf.clone());
+        }
+    }
+
+    println!("Throttle settings by acceptable discomfort budget (aggregate):");
+    println!("{:<10} {:>8} {:>8} {:>8}", "budget", "CPU", "Memory", "Disk");
+    for budget in [0.01, 0.05, 0.10, 0.20] {
+        let level = |r| {
+            advisor
+                .recommend(r, budget)
+                .map(|l| format!("{l:.2}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<10} {:>8} {:>8} {:>8}",
+            format!("{:.0}%", budget * 100.0),
+            level(Resource::Cpu),
+            level(Resource::Memory),
+            level(Resource::Disk)
+        );
+    }
+
+    println!("\nContext matters (5% budget), as §5 advises:");
+    println!("{:<12} {:>8} {:>8} {:>8}", "context", "CPU", "Memory", "Disk");
+    for t in Task::ALL {
+        let level = |r| {
+            advisor
+                .recommend_for(t, r, 0.05)
+                .map(|l| format!("{l:.2}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:<12} {:>8} {:>8} {:>8}",
+            t.name(),
+            level(Resource::Cpu),
+            level(Resource::Memory),
+            level(Resource::Disk)
+        );
+    }
+
+    // The feedback throttle against a synthetic user: borrow CPU from a
+    // Quake player, back off on every discomfort click.
+    let pop = UserPopulation::generate(1, 99);
+    let user = &pop.users()[0];
+    let threshold = user.threshold(Task::Quake, Resource::Cpu);
+    println!(
+        "\nFeedback throttle vs user {} (Quake/CPU threshold {:.2}):",
+        user.id, threshold
+    );
+    let mut throttle = FeedbackThrottle::new(0.05, 10.0, 0.02, 0.5, 10);
+    let mut clicks = 0;
+    for minute in 0..120 {
+        let level = throttle.step();
+        if level > threshold {
+            throttle.on_discomfort();
+            clicks += 1;
+        }
+        if minute % 20 == 19 {
+            println!(
+                "  after {:>3} steps: level {:.2} ({} clicks so far)",
+                minute + 1,
+                throttle.level(),
+                clicks
+            );
+        }
+    }
+    println!(
+        "converged to {:.2} — {:.0}% of the user's true threshold, with {} clicks",
+        throttle.level(),
+        100.0 * throttle.level() / threshold,
+        clicks
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 4, measured: plays a step and a ramp at full fidelity and
+//! draws the commanded contention against the *achieved* CPU utilization
+//! the machine's monitors recorded, second by second — the §2.3 load
+//! measurements the UUCS client stores with every run.
+//!
+//! ```text
+//! cargo run --release --example trace_playback
+//! ```
+
+use uucs::comfort::{execute_run_traced, Fidelity, RunSetup, RunStyle, UserPopulation};
+use uucs::testcase::{ExerciseSpec, Resource, Testcase};
+use uucs::workloads::Task;
+
+fn main() {
+    let pop = UserPopulation::generate(1, 5);
+    // A maximally tolerant stand-in so both testcases run to exhaustion
+    // and the full 120-second series prints.
+    let mut user = pop.users()[0].clone();
+    for v in user.thresholds.values_mut() {
+        *v = f64::INFINITY;
+    }
+
+    for (name, spec) in [
+        (
+            "step(2.0, 120, 40)",
+            ExerciseSpec::Step {
+                level: 2.0,
+                duration: 120.0,
+                start: 40.0,
+            },
+        ),
+        (
+            "ramp(2.0, 120)",
+            ExerciseSpec::Ramp {
+                level: 2.0,
+                duration: 120.0,
+            },
+        ),
+    ] {
+        let tc = Testcase::single("trace-demo", 1.0, Resource::Cpu, spec);
+        let (record, trace) = execute_run_traced(&RunSetup {
+            user: &user,
+            task: Task::Word,
+            testcase: &tc,
+            style: RunStyle::infer(&tc),
+            seed: 9,
+            fidelity: Fidelity::Full,
+            client_id: "trace-demo".into(),
+        });
+        println!("== {name} (outcome: {:?}) ==", record.outcome);
+        println!("{}", trace.render_ascii(Resource::Cpu, 12));
+        println!(
+            "mean CPU utilization {:.2}, mean keystroke latency {} us\n",
+            record.monitor.cpu_util,
+            record
+                .monitor
+                .mean_latency_us
+                .map(|l| format!("{l:.0}"))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    println!("(per-second CSV available via RunTrace::to_csv)");
+}

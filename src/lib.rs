@@ -1,0 +1,36 @@
+//! # UUCS-RS — Understanding User Comfort with Resource Borrowing
+//!
+//! A Rust reproduction of *Gupta, Lin, Dinda, "Measuring and Understanding
+//! User Comfort With Resource Borrowing", HPDC 2004*.
+//!
+//! This façade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`stats`] — deterministic RNG, distributions, ECDFs, t-tests.
+//! * [`testcase`] — exercise functions (step/ramp/sin/saw/expexp/exppar)
+//!   and testcases, with the paper's text-file format.
+//! * [`sim`] — the discrete-event machine simulator (CPU scheduler,
+//!   memory/paging, disk) that stands in for the study's Windows host.
+//! * [`workloads`] — foreground task models (Word, Powerpoint, IE, Quake).
+//! * [`exercisers`] — CPU/memory/disk resource exercisers, both
+//!   simulator-backed and native.
+//! * [`comfort`] — the core contribution: synthetic user comfort models,
+//!   the run engine, comfort metrics (`f_d`, `c_p`, `c_a`), and the
+//!   throttle advisor.
+//! * [`protocol`] — the client/server text record formats and framing.
+//! * [`server`] / [`client`] — the distributed measurement application.
+//! * [`study`] — the controlled-study and Internet-study drivers plus the
+//!   figure/table renderers for every result in the paper.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use uucs_client as client;
+pub use uucs_comfort as comfort;
+pub use uucs_exercisers as exercisers;
+pub use uucs_protocol as protocol;
+pub use uucs_server as server;
+pub use uucs_sim as sim;
+pub use uucs_stats as stats;
+pub use uucs_study as study;
+pub use uucs_testcase as testcase;
+pub use uucs_workloads as workloads;
