@@ -12,7 +12,7 @@
 //!   against the skill-multiplied mixture; the ablation quantifies the
 //!   quantile error a naive (plain-fit + multipliers) population incurs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use uucs_harness::{bench_group, bench_main, Criterion};
 use std::hint::black_box;
 use uucs_bench::print_once;
 use uucs_comfort::{calibration, UserPopulation};
@@ -447,7 +447,7 @@ fn eviction_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     fidelity_ablation,
     fault_chunk_ablation,
@@ -458,4 +458,4 @@ criterion_group!(
     priority_ablation,
     eviction_ablation
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -5,7 +5,7 @@
 //! Prints the commanded-vs-achieved tables and times single verification
 //! points.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use uucs_harness::{bench_group, bench_main, Criterion};
 use std::hint::black_box;
 use uucs_bench::print_once;
 use uucs_exercisers::verify::{render_table, verify_cpu, verify_disk};
@@ -36,5 +36,5 @@ fn disk_verification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cpu_verification, disk_verification);
-criterion_main!(benches);
+bench_group!(benches, cpu_verification, disk_verification);
+bench_main!(benches);

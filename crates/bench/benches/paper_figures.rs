@@ -2,7 +2,7 @@
 //! regenerated artifact once (so `cargo bench | tee bench_output.txt`
 //! records the full reproduction) and times the regeneration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use uucs_harness::{bench_group, bench_main, Criterion};
 use std::hint::black_box;
 use uucs_bench::{big_study_data, print_once, study_data};
 use uucs_study::{figures, frog, report, skill};
@@ -210,7 +210,7 @@ fn full_controlled_study(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     fig03_exercise_functions,
     fig04_step_ramp,
@@ -225,4 +225,4 @@ criterion_group!(
     paper_comparison,
     full_controlled_study,
 );
-criterion_main!(benches);
+bench_main!(benches);

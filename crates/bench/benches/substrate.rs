@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the substrates: the machine simulator's scheduler
 //! and memory manager, the statistics kernels, and the wire protocol.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use uucs_harness::{bench_group, bench_main, Criterion, Throughput};
 use std::hint::black_box;
 use uucs_sim::workload::FnWorkload;
 use uucs_sim::{Action, Machine, TouchPattern, SEC};
@@ -188,7 +188,7 @@ fn protocol(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     scheduler,
     memory_touch,
@@ -197,4 +197,4 @@ criterion_group!(
     stats_kernels,
     protocol
 );
-criterion_main!(benches);
+bench_main!(benches);

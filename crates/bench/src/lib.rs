@@ -3,7 +3,7 @@
 //! Each bench target regenerates paper artifacts and times the
 //! regeneration:
 //!
-//! * `paper_figures` — one Criterion group per table/figure (Figures 3,
+//! * `paper_figures` — one `uucs-harness` bench group per table/figure (Figures 3,
 //!   4, 8, 9, 10–12, 13, 14–16, 17, 18, and the §3.3.5 frog analysis);
 //!   each group also prints the regenerated artifact once so
 //!   `cargo bench | tee` captures the paper reproduction.

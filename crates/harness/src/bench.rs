@@ -1,0 +1,540 @@
+//! A std-only micro-benchmark runtime — a Criterion-compatible subset.
+//!
+//! The measurement loop per bench function:
+//!
+//! 1. **Calibration / warmup** — the routine is run with geometrically
+//!    growing iteration counts until it has consumed the warmup budget,
+//!    which both warms caches and yields a per-iteration cost estimate.
+//! 2. **Sampling** — the iteration count is fixed so one sample takes
+//!    roughly `target_sample_time`, then `sample_size` samples are
+//!    collected.
+//! 3. **Reporting** — the median and MAD (median absolute deviation) of
+//!    the per-iteration times are printed, with throughput when the
+//!    bench declared one, and every result is appended to
+//!    `target/uucs-bench/<bench-target>.json` at exit.
+//!
+//! Setting `UUCS_BENCH_QUICK=1` switches to smoke mode: every bench runs
+//! exactly one sample of one iteration (artifact printing via
+//! `print_once`-style fixtures is unaffected), which is what CI uses to
+//! prove the bench targets stay runnable.
+//!
+//! Tunables: `UUCS_BENCH_SAMPLES` (default 20), `UUCS_BENCH_SAMPLE_MS`
+//! (default 10), `UUCS_BENCH_WARMUP_MS` (default 100).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration, for derived rates in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Handed to each bench closure; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One measured bench, as serialized into the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full bench id (`group/name`).
+    pub name: String,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Number of samples collected.
+    pub samples: usize,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// Median absolute deviation of per-iteration times.
+    pub mad_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time.
+    pub max_ns: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    fn per_sec(&self) -> Option<(f64, &'static str)> {
+        let (n, unit) = match self.throughput? {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if self.median_ns <= 0.0 {
+            return None;
+        }
+        Some((n as f64 * 1e9 / self.median_ns, unit))
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The bench driver: collects settings, runs bench functions, reports.
+pub struct Criterion {
+    target: String,
+    quick: bool,
+    sample_size: usize,
+    target_sample_time: Duration,
+    warmup_time: Duration,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Builds a driver from the environment and CLI args, as
+    /// [`bench_main!`](crate::bench_main) does. `target` names the JSON
+    /// report file.
+    pub fn from_env(target: &str) -> Self {
+        // cargo bench passes `--bench`; any bare argument is a filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            target: target.to_string(),
+            quick: quick_mode(),
+            sample_size: env_u64("UUCS_BENCH_SAMPLES", 20).max(2) as usize,
+            target_sample_time: Duration::from_millis(env_u64("UUCS_BENCH_SAMPLE_MS", 10)),
+            warmup_time: Duration::from_millis(env_u64("UUCS_BENCH_WARMUP_MS", 100)),
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures one bench function under the driver's default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.run_bench(id.as_ref().to_string(), None, None, f);
+        self
+    }
+
+    /// Opens a named group whose benches share settings overrides.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.as_ref().to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn run_bench<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: String,
+        sample_size: Option<usize>,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut per_iter_ns: Vec<f64>;
+        let iters;
+        if self.quick {
+            // Smoke mode: exactly one sample of one iteration.
+            iters = 1;
+            let elapsed = run_sample(&mut f, 1);
+            per_iter_ns = std::vec![elapsed.as_nanos() as f64];
+        } else {
+            iters = calibrate(&mut f, self.warmup_time, self.target_sample_time);
+            let samples = sample_size.unwrap_or(self.sample_size);
+            per_iter_ns = (0..samples)
+                .map(|_| run_sample(&mut f, iters).as_nanos() as f64 / iters as f64)
+                .collect();
+        }
+        let result = summarize(name, iters, &mut per_iter_ns, throughput);
+        print_result(&result, self.quick);
+        self.results.push(result);
+    }
+
+    /// Writes the JSON report and prints the footer. Called once by
+    /// [`bench_main!`](crate::bench_main) after all groups ran.
+    pub fn finalize(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = report_dir().join(format!("{}.json", self.target));
+        match self.write_json(&path) {
+            Ok(()) => println!(
+                "\n{} benches, report written to {}",
+                self.results.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("uucs-bench: could not write {}: {e}", path.display()),
+        }
+    }
+
+    fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = std::fs::File::create(path)?;
+        writeln!(out, "{{")?;
+        writeln!(out, "  \"target\": {},", json_string(&self.target))?;
+        writeln!(out, "  \"quick\": {},", self.quick)?;
+        writeln!(out, "  \"benches\": [")?;
+        for (i, r) in self.results.iter().enumerate() {
+            let throughput = match r.throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(", \"elements_per_iter\": {n}")
+                }
+                Some(Throughput::Bytes(n)) => format!(", \"bytes_per_iter\": {n}"),
+                None => String::new(),
+            };
+            writeln!(
+                out,
+                "    {{\"name\": {}, \"iters_per_sample\": {}, \"samples\": {}, \
+                 \"median_ns\": {:.1}, \"mad_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"min_ns\": {:.1}, \"max_ns\": {:.1}{}}}{}",
+                json_string(&r.name),
+                r.iters_per_sample,
+                r.samples,
+                r.median_ns,
+                r.mad_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                throughput,
+                if i + 1 == self.results.len() { "" } else { "," }
+            )?;
+        }
+        writeln!(out, "  ]")?;
+        writeln!(out, "}}")
+    }
+}
+
+/// Whether `UUCS_BENCH_QUICK=1` smoke mode is active.
+pub fn quick_mode() -> bool {
+    std::env::var("UUCS_BENCH_QUICK").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// A group of benches sharing a name prefix, sample size, and throughput,
+/// mirroring Criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declares per-iteration work so reports include a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one bench under the group's settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.as_ref());
+        self.criterion
+            .run_bench(name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for Criterion API parity).
+    pub fn finish(self) {}
+}
+
+/// Runs one sample of `iters` iterations and returns its wall time.
+fn run_sample<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+/// Grows the iteration count geometrically until the routine has burned
+/// the warmup budget, then sizes samples to `target_sample_time`.
+fn calibrate<F: FnMut(&mut Bencher)>(
+    f: &mut F,
+    warmup: Duration,
+    target_sample_time: Duration,
+) -> u64 {
+    let mut iters: u64 = 1;
+    let mut spent = Duration::ZERO;
+    let mut per_iter_ns = f64::INFINITY;
+    loop {
+        let elapsed = run_sample(f, iters);
+        spent += elapsed;
+        if elapsed > Duration::ZERO {
+            per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+        }
+        if spent >= warmup || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    if !per_iter_ns.is_finite() || per_iter_ns <= 0.0 {
+        return 1;
+    }
+    ((target_sample_time.as_nanos() as f64 / per_iter_ns).round() as u64).clamp(1, 1 << 24)
+}
+
+fn summarize(
+    name: String,
+    iters: u64,
+    per_iter_ns: &mut [f64],
+    throughput: Option<Throughput>,
+) -> BenchResult {
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = median_of_sorted(per_iter_ns);
+    let mut deviations: Vec<f64> = per_iter_ns.iter().map(|x| (x - median).abs()).collect();
+    deviations.sort_by(|a, b| a.total_cmp(b));
+    BenchResult {
+        name,
+        iters_per_sample: iters,
+        samples: per_iter_ns.len(),
+        median_ns: median,
+        mad_ns: median_of_sorted(&deviations),
+        mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+        min_ns: per_iter_ns.first().copied().unwrap_or(0.0),
+        max_ns: per_iter_ns.last().copied().unwrap_or(0.0),
+        throughput,
+    }
+}
+
+fn median_of_sorted(xs: &[f64]) -> f64 {
+    match xs.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => xs[n / 2],
+        n => (xs[n / 2 - 1] + xs[n / 2]) / 2.0,
+    }
+}
+
+fn print_result(r: &BenchResult, quick: bool) {
+    let rate = r
+        .per_sec()
+        .map(|(rate, unit)| format!("  thrpt: {}{unit}", si(rate)))
+        .unwrap_or_default();
+    if quick {
+        println!("bench {:<44} {:>12}/iter (quick: 1 iter){rate}", r.name, ns(r.median_ns));
+    } else {
+        println!(
+            "bench {:<44} {:>12}/iter ± {} (n={}×{}){rate}",
+            r.name,
+            ns(r.median_ns),
+            ns(r.mad_ns),
+            r.samples,
+            r.iters_per_sample,
+        );
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn ns(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} µs", v / 1e3)
+    } else {
+        format!("{v:.0} ns")
+    }
+}
+
+/// Formats a rate with SI prefixes.
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Where JSON reports land: `<workspace target dir>/uucs-bench`.
+fn report_dir() -> PathBuf {
+    // Walk up from the bench executable (target/<profile>/deps/...) to
+    // the enclosing `target` directory; fall back to ./target.
+    if let Ok(exe) = std::env::current_exe() {
+        let mut dir = exe.as_path();
+        while let Some(parent) = dir.parent() {
+            if parent.file_name().is_some_and(|n| n == "target") {
+                return parent.join("uucs-bench");
+            }
+            dir = parent;
+        }
+    }
+    PathBuf::from("target").join("uucs-bench")
+}
+
+/// Declares a bench group function, like `criterion_group!`.
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::bench::Criterion) {
+            $( $bench(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, like `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::bench::Criterion::from_env(env!("CARGO_CRATE_NAME"));
+            $( $group(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    /// Calibration sizes samples near the target on a known-cost payload.
+    #[test]
+    fn calibration_converges_on_known_cost() {
+        // ~200µs per iteration of busy spinning.
+        let spin = |us: u64| {
+            let start = Instant::now();
+            while start.elapsed() < Duration::from_micros(us) {
+                std::hint::black_box(0u64);
+            }
+        };
+        let mut routine = |b: &mut Bencher| b.iter(|| spin(200));
+        let target = Duration::from_millis(10);
+        let iters = calibrate(&mut routine, Duration::from_millis(20), target);
+        // 10ms / 200µs = 50 iterations; allow generous slack for timer
+        // noise and scheduler jitter.
+        assert!(
+            (10..=250).contains(&iters),
+            "calibrated {iters} iters for a 200µs payload and 10ms target"
+        );
+        // And the resulting sample really lands near the target.
+        let sample = run_sample(&mut routine, iters);
+        assert!(
+            sample >= target / 4 && sample <= target * 8,
+            "calibrated sample took {sample:?} (target {target:?})"
+        );
+    }
+
+    /// Quick mode runs each bench exactly once with a single iteration.
+    #[test]
+    fn quick_mode_runs_at_most_one_iteration() {
+        let calls = Cell::new(0u64);
+        let iters_seen = Cell::new(0u64);
+        let mut c = Criterion {
+            target: "quick-test".into(),
+            quick: true,
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(10),
+            warmup_time: Duration::from_millis(100),
+            filter: None,
+            results: Vec::new(),
+        };
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls.set(calls.get() + 1);
+            });
+            iters_seen.set(iters_seen.get().max(b.iters));
+        });
+        assert_eq!(calls.get(), 1, "payload must run exactly once in quick mode");
+        assert_eq!(iters_seen.get(), 1);
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].samples, 1);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_apply_settings() {
+        let mut c = Criterion {
+            target: "group-test".into(),
+            quick: true,
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(10),
+            warmup_time: Duration::from_millis(100),
+            filter: None,
+            results: Vec::new(),
+        };
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.results[0].name, "grp/inner");
+        assert!(matches!(
+            c.results[0].throughput,
+            Some(Throughput::Elements(100))
+        ));
+    }
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        let mut xs = [10.0, 10.0, 10.0, 11.0, 9.0, 1000.0];
+        let r = summarize("m".into(), 1, &mut xs, None);
+        // Sorted deviations from the median 10: [0,0,0,1,1,990] → MAD 0.5.
+        assert_eq!(r.median_ns, 10.0);
+        assert_eq!(r.mad_ns, 0.5);
+        assert_eq!(r.max_ns, 1000.0);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

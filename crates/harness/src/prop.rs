@@ -1,0 +1,911 @@
+//! A minimal, std-only property-testing runtime — a `proptest`-compatible
+//! subset backed by the workspace's own deterministic [`Pcg64`].
+//!
+//! The surface mirrors the parts of `proptest` the UUCS test suites use:
+//!
+//! * the [`proptest!`](crate::proptest) macro (including
+//!   `#![proptest_config(...)]` and `mut` argument bindings),
+//! * [`Strategy`] with ranges (`0u64..500`, `0.0f64..10.0`), [`any`],
+//!   `prop::collection::vec`, and regex-lite string literals
+//!   (`"[a-z]{1,8}"`, `"\\PC*"`),
+//! * [`prop_assert!`](crate::prop_assert) /
+//!   [`prop_assert_eq!`](crate::prop_assert_eq) /
+//!   [`prop_assert_ne!`](crate::prop_assert_ne) /
+//!   [`prop_assume!`](crate::prop_assume),
+//! * shrinking: failing inputs are minimized by a binary search toward
+//!   each strategy's lower bound before the failure is reported.
+//!
+//! Case generation is deterministic: the stream is
+//! `Pcg64::new(seed).split_str(test_name)`, so a failure reproduces by
+//! rerunning the same test binary. The defaults can be tuned with
+//! `UUCS_PROPTEST_CASES` and `UUCS_PROPTEST_SEED`.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use uucs_stats::Pcg64;
+
+/// The RNG driving all generation.
+pub type TestRng = Pcg64;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum CaseError {
+    /// The property is false for this input (assertion failure or panic).
+    Fail(String),
+    /// The input did not satisfy a `prop_assume!` precondition.
+    Reject,
+}
+
+impl CaseError {
+    /// Builds the failure variant (used by the assertion macros).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        CaseError::Fail(msg.into())
+    }
+}
+
+/// What a property body returns for one input.
+pub type CaseResult = Result<(), CaseError>;
+
+/// Runner configuration. `ProptestConfig` is an alias for source
+/// compatibility with ported `proptest` suites.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Abort if more inputs than this are rejected by `prop_assume!`.
+    pub max_rejects: u32,
+    /// Cap on property re-executions spent shrinking a failure.
+    pub max_shrink_iters: u32,
+    /// Root seed for the deterministic generation stream.
+    pub seed: u64,
+}
+
+/// Alias matching the `proptest` name used at existing call sites.
+pub type ProptestConfig = Config;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: env_u64("UUCS_PROPTEST_CASES", 64) as u32,
+            max_rejects: 4096,
+            max_shrink_iters: 512,
+            seed: env_u64("UUCS_PROPTEST_SEED", 0x5eed_2004),
+        }
+    }
+}
+
+impl Config {
+    /// A config that runs exactly `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A generator of values plus a shrinker for failing ones.
+///
+/// `shrink` returns *candidate* simpler values, ordered most-aggressive
+/// first; the runner keeps the first candidate that still fails and
+/// iterates, which yields a binary search toward the strategy's minimum.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, most aggressive first.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                if span > u64::MAX as u128 {
+                    // The span covers (almost) the whole domain; a raw
+                    // draw is uniform enough.
+                    rng.next_u64() as $t
+                } else {
+                    (self.start as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *value;
+                if v <= lo {
+                    return Vec::new();
+                }
+                // Delta-halving ladder: lo, v - span/2, v - span/4, ...,
+                // v - 1. Accepting the largest still-failing jump each
+                // round gives a binary search toward the minimum.
+                let mut out = vec![lo];
+                let mut delta = (v - lo) / 2;
+                while delta > 0 {
+                    let cand = v - delta;
+                    if cand != lo && out.last() != Some(&cand) {
+                        out.push(cand);
+                    }
+                    delta /= 2;
+                }
+                if v - 1 != lo && out.last() != Some(&(v - 1)) {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                self.start + (rng.f64() as $t) * (self.end - self.start)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *value;
+                if !(v > lo) || (v - lo).abs() < 1e-9 {
+                    return Vec::new();
+                }
+                // Same delta-halving ladder as the integer ranges, with
+                // bounded depth (floats never reach exact equality).
+                let mut out = vec![lo];
+                let mut delta = (v - lo) / 2.0;
+                for _ in 0..16 {
+                    if delta.abs() < 1e-9 {
+                        break;
+                    }
+                    out.push(v - delta);
+                    delta /= 2.0;
+                }
+                out
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Types with a whole-domain generator, for [`any`].
+pub trait ArbitraryValue: Clone + Debug {
+    /// Draws from the full domain of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Candidate simplifications, most aggressive first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),+) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn shrink(&self) -> Vec<$t> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0];
+                let mut delta = v / 2;
+                while delta > 0 {
+                    let cand = v - delta;
+                    if cand != 0 && out.last() != Some(&cand) {
+                        out.push(cand);
+                    }
+                    delta /= 2;
+                }
+                out
+            }
+        }
+    )+};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.bernoulli(0.5)
+    }
+    fn shrink(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mix magnitudes: mostly moderate values, occasionally extreme.
+        let base = rng.f64() * 2.0 - 1.0;
+        base * 10f64.powi(rng.below(9) as i32 - 2)
+    }
+    fn shrink(&self) -> Vec<f64> {
+        if *self == 0.0 {
+            return Vec::new();
+        }
+        vec![0.0, self / 2.0]
+    }
+}
+
+/// Strategy for a full-domain draw of `T` (the `any::<T>()` form).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates any value of `T`, like `proptest::prelude::any`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink()
+    }
+}
+
+// -- collections ------------------------------------------------------------
+
+/// Inclusive-lower, exclusive-upper element-count range for `vec`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// Builds a vector strategy (the `prop::collection::vec` form).
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let len = value.len();
+        // Structural shrinks first: shorter vectors.
+        if len > self.size.lo {
+            out.push(value[..self.size.lo].to_vec());
+            let half = self.size.lo.max(len / 2);
+            if half != self.size.lo && half != len {
+                out.push(value[..half].to_vec());
+            }
+            if len - 1 != half && len - 1 != self.size.lo {
+                out.push(value[..len - 1].to_vec());
+            }
+        }
+        // Then element-wise shrinks (first candidate per slot, capped so
+        // huge vectors don't explode the search).
+        for idx in 0..len.min(64) {
+            if let Some(cand) = self.elem.shrink(&value[idx]).into_iter().next() {
+                let mut next = value.clone();
+                next[idx] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+// -- regex-lite string strategies -------------------------------------------
+
+/// One atom of a string pattern: a character class plus a repetition
+/// count range (inclusive).
+#[derive(Debug, Clone)]
+struct PatternAtom {
+    /// Inclusive char ranges the atom draws from.
+    class: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the tiny regex subset the suites use: literal chars, escapes
+/// (`\n`, `\t`, `\\`, ...), `[...]` classes with ranges, the `\PC`
+/// printable-character category, and `*`, `+`, `?`, `{m}`, `{m,n}`
+/// quantifiers.
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    // Printable, non-control characters across a few scripts — a stand-in
+    // for proptest's `\PC` (anything that is not a control character).
+    const PRINTABLE: &[(char, char)] = &[
+        (' ', '~'),
+        ('\u{a1}', '\u{1ff}'),
+        ('\u{391}', '\u{3c9}'),
+        ('\u{4e00}', '\u{4eff}'),
+        ('\u{1f600}', '\u{1f64f}'),
+    ];
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class: Vec<(char, char)> = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars.get(i).copied().unwrap_or('\\'))
+                    } else {
+                        chars[i]
+                    };
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        ranges.push((c, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                ranges
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    // `\PC`: any printable (non-control) character.
+                    Some('P') if chars.get(i + 1) == Some(&'C') => {
+                        i += 2;
+                        PRINTABLE.to_vec()
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        let c = unescape(c);
+                        std::vec![(c, c)]
+                    }
+                    None => break,
+                }
+            }
+            '.' => {
+                i += 1;
+                PRINTABLE.to_vec()
+            }
+            c => {
+                i += 1;
+                std::vec![(c, c)]
+            }
+        };
+        // Quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 32)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 32)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                let Some(close) = close else { break };
+                let inner: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                let mut parts = inner.splitn(2, ',');
+                let m: usize = parts.next().unwrap_or("0").trim().parse().unwrap_or(0);
+                let n: usize = parts
+                    .next()
+                    .map(|s| s.trim().parse().unwrap_or(m))
+                    .unwrap_or(m);
+                (m, n.max(m))
+            }
+            _ => (1, 1),
+        };
+        atoms.push(PatternAtom { class, min, max });
+    }
+    atoms
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// String literals act as regex-lite strategies, like in `proptest`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            if atom.class.is_empty() {
+                continue;
+            }
+            let reps = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..reps {
+                let (lo, hi) = atom.class[rng.below(atom.class.len() as u64) as usize];
+                // Rejection-sample the (rare) surrogate gap.
+                let span = hi as u32 - lo as u32 + 1;
+                let c = loop {
+                    let code = lo as u32 + rng.below(span as u64) as u32;
+                    if let Some(c) = char::from_u32(code) {
+                        break c;
+                    }
+                };
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let chars: Vec<char> = value.chars().collect();
+        if chars.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![String::new()];
+        if chars.len() > 1 {
+            out.push(chars[..chars.len() / 2].iter().collect());
+            out.push(chars[..chars.len() - 1].iter().collect());
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies (one per macro argument)
+// ---------------------------------------------------------------------------
+
+/// A tuple of strategies generating a tuple of values, with joint
+/// one-position-at-a-time shrinking.
+pub trait StrategyTuple {
+    /// Tuple of the component value types.
+    type Values: Clone + Debug;
+
+    /// Draws each component in order from the shared stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Values;
+
+    /// Tries every single-position simplification of `cur`; returns the
+    /// first candidate for which `fails` says the property still fails.
+    fn shrink_step(
+        &self,
+        cur: &Self::Values,
+        fails: &mut dyn FnMut(&Self::Values) -> bool,
+    ) -> Option<Self::Values>;
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($idx:tt $s:ident))+) => {
+        impl<$($s: Strategy),+> StrategyTuple for ($($s,)+) {
+            type Values = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Values {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink_step(
+                &self,
+                cur: &Self::Values,
+                fails: &mut dyn FnMut(&Self::Values) -> bool,
+            ) -> Option<Self::Values> {
+                $(
+                    for cand in self.$idx.shrink(&cur.$idx) {
+                        let mut next = cur.clone();
+                        next.$idx = cand;
+                        if fails(&next) {
+                            return Some(next);
+                        }
+                    }
+                )+
+                None
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!((0 S0));
+impl_strategy_tuple!((0 S0) (1 S1));
+impl_strategy_tuple!((0 S0) (1 S1) (2 S2));
+impl_strategy_tuple!((0 S0) (1 S1) (2 S2) (3 S3));
+impl_strategy_tuple!((0 S0) (1 S1) (2 S2) (3 S3) (4 S4));
+impl_strategy_tuple!((0 S0) (1 S1) (2 S2) (3 S3) (4 S4) (5 S5));
+impl_strategy_tuple!((0 S0) (1 S1) (2 S2) (3 S3) (4 S4) (5 S5) (6 S6));
+impl_strategy_tuple!((0 S0) (1 S1) (2 S2) (3 S3) (4 S4) (5 S5) (6 S6) (7 S7));
+impl_strategy_tuple!((0 S0) (1 S1) (2 S2) (3 S3) (4 S4) (5 S5) (6 S6) (7 S7) (8 S8));
+impl_strategy_tuple!((0 S0) (1 S1) (2 S2) (3 S3) (4 S4) (5 S5) (6 S6) (7 S7) (8 S8) (9 S9));
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".into()
+    }
+}
+
+fn run_one<V>(prop: &mut dyn FnMut(&V) -> CaseResult, values: &V) -> CaseResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(values))) {
+        Ok(r) => r,
+        Err(payload) => Err(CaseError::Fail(panic_message(payload))),
+    }
+}
+
+/// Runs `prop` against `cfg.cases` generated inputs; on failure, shrinks
+/// the input and panics with the minimal reproduction. This is the
+/// engine behind the [`proptest!`](crate::proptest) macro.
+pub fn run_property<T: StrategyTuple>(
+    cfg: &Config,
+    name: &str,
+    strategies: T,
+    mut prop: impl FnMut(&T::Values) -> CaseResult,
+) {
+    let mut rng = Pcg64::new(cfg.seed).split_str(name);
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    while passed < cfg.cases {
+        let values = strategies.generate(&mut rng);
+        match run_one(&mut prop, &values) {
+            Ok(()) => passed += 1,
+            Err(CaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects <= cfg.max_rejects,
+                    "property '{name}': gave up after {rejects} rejected inputs \
+                     ({passed}/{} cases passed)",
+                    cfg.cases
+                );
+            }
+            Err(CaseError::Fail(first_msg)) => {
+                // Shrink: during the search, silence the default panic
+                // hook so hundreds of candidate panics don't spam the
+                // captured output.
+                let mut cur = values;
+                let mut msg = first_msg;
+                let prev_hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(|_| {}));
+                let mut attempts = 0u32;
+                while attempts < cfg.max_shrink_iters {
+                    let mut last_fail_msg = None;
+                    let step = strategies.shrink_step(&cur, &mut |cand| {
+                        attempts += 1;
+                        if attempts > cfg.max_shrink_iters {
+                            return false;
+                        }
+                        match run_one(&mut prop, cand) {
+                            Err(CaseError::Fail(m)) => {
+                                last_fail_msg = Some(m);
+                                true
+                            }
+                            _ => false,
+                        }
+                    });
+                    match step {
+                        Some(next) => {
+                            cur = next;
+                            if let Some(m) = last_fail_msg {
+                                msg = m;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                std::panic::set_hook(prev_hook);
+                panic!(
+                    "property '{name}' failed (seed {:#x}, after {passed} passing cases, \
+                     {attempts} shrink attempts)\n  minimal failing input: {:?}\n  cause: {}",
+                    cfg.seed, cur, msg
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property-based tests; a drop-in for `proptest::proptest!`
+/// over the subset of syntax used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::prop::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident
+        ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_mut, unused_variables)]
+            fn $name() {
+                let __cfg: $crate::prop::Config = $cfg;
+                let __strategies = ( $($strat,)+ );
+                $crate::prop::run_property(
+                    &__cfg,
+                    stringify!($name),
+                    __strategies,
+                    |__values| -> $crate::prop::CaseResult {
+                        let ( $($arg,)+ ) = ::std::clone::Clone::clone(__values);
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property; failures are shrunk, not fatal.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::prop::CaseError::fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::prop::CaseError::fail(format!(
+                "prop_assert! failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::prop::CaseError::fail(format!(
+                        "prop_assert_eq! failed at {}:{}\n  left: {:?}\n right: {:?}",
+                        file!(), line!(), __l, __r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::prop::CaseError::fail(format!(
+                        "prop_assert_ne! failed at {}:{}\n  both: {:?}",
+                        file!(), line!(), __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Skips inputs that don't satisfy a precondition (not counted as cases).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::prop::CaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_generation_stays_in_range() {
+        let mut rng = Pcg64::new(1);
+        let s = 5u64..50;
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!((5..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_generation_stays_in_range() {
+        let mut rng = Pcg64::new(2);
+        let s = -1.0f64..3.0;
+        for _ in 0..1000 {
+            let v = s.generate(&mut rng);
+            assert!((-1.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = Pcg64::new(3);
+        let s = vec(0.0f64..1.0, 2..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_class_and_counts() {
+        let mut rng = Pcg64::new(4);
+        let s = "[a-z]{1,8}";
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..=8).contains(&v.chars().count()), "{v:?}");
+            assert!(v.chars().all(|c| c.is_ascii_lowercase()), "{v:?}");
+        }
+        let printable = "\\PC*";
+        for _ in 0..200 {
+            let v = printable.generate(&mut rng);
+            assert!(v.chars().all(|c| !c.is_control()), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn structured_pattern_parses() {
+        let mut rng = Pcg64::new(5);
+        let s = "[0-9a-z. \n]{0,100}";
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.chars().count() <= 100);
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_digit()
+                    || c.is_ascii_lowercase()
+                    || c == '.'
+                    || c == ' '
+                    || c == '\n'));
+        }
+    }
+
+    /// The satellite-task acceptance check: shrinking a seeded synthetic
+    /// property finds the exact minimal failing integer.
+    #[test]
+    fn shrinking_finds_minimal_failing_integer() {
+        const THRESHOLD: u64 = 317;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_property(
+                &Config::with_cases(64),
+                "synthetic_threshold",
+                (0u64..1000,),
+                |&(v,)| {
+                    if v >= THRESHOLD {
+                        Err(CaseError::fail("too big"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let msg = panic_message(result.expect_err("property must fail"));
+        assert!(
+            msg.contains(&format!("minimal failing input: ({THRESHOLD},)")),
+            "shrink did not reach the minimal input:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn rejection_is_not_failure() {
+        // Half the inputs are assumed away; the property still completes.
+        run_property(
+            &Config::with_cases(32),
+            "assume_even",
+            (0u64..1000,),
+            |&(v,)| {
+                if v % 2 == 1 {
+                    return Err(CaseError::Reject);
+                }
+                assert!(v % 2 == 0);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = Config::default();
+        let strat = (0u64..1_000_000, vec(0.0f64..1.0, 0..10));
+        let draw = |seed: u64| {
+            let mut rng = Pcg64::new(seed).split_str("det");
+            (0..16).map(|_| strat.generate(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(cfg.seed), draw(cfg.seed));
+        assert_ne!(draw(cfg.seed), draw(cfg.seed + 1));
+    }
+
+    // The macro surface itself, exercised end-to-end.
+    crate::proptest! {
+        #![proptest_config(crate::prop::Config::with_cases(16))]
+        #[test]
+        fn macro_roundtrip(mut xs in vec(0u32..100, 0..8), flip in any::<bool>()) {
+            xs.sort();
+            let mut ys = xs.clone();
+            if flip { ys.reverse(); ys.reverse(); }
+            crate::prop_assert_eq!(xs, ys);
+        }
+    }
+}

@@ -1,10 +1,22 @@
 //! The server's message handler and registry.
 
 use crate::store::{ResultStore, TestcaseStore};
-use parking_lot::RwLock;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use uucs_protocol::wire::Endpoint;
 use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg};
 use uucs_stats::Pcg64;
+
+/// Reads a store lock, recovering from poisoning.
+///
+/// A poisoned lock means some handler panicked mid-update. The stores
+/// are append-only collections whose elements are written before being
+/// linked in, so a reader can never observe torn data — recovery by
+/// `into_inner` is safe for observers. Mutating protocol paths instead
+/// surface the poisoning to the client as a recoverable
+/// [`ServerMsg::Error`] via [`UucsServer::try_write`].
+fn read_recovered<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The UUCS server state. Thread-safe: the TCP front end shares one
 /// instance across connections.
@@ -17,6 +29,23 @@ pub struct UucsServer {
 }
 
 impl UucsServer {
+    /// Write-locks `lock` for a protocol mutation, mapping poisoning to
+    /// the error the wire protocol reports instead of propagating the
+    /// panic to every future connection. The poison flag is cleared so
+    /// the server heals: the failed request sees an error, the next one
+    /// proceeds.
+    fn try_write<'a, T>(
+        &self,
+        lock: &'a RwLock<T>,
+        what: &str,
+    ) -> Result<RwLockWriteGuard<'a, T>, ServerMsg> {
+        lock.write().map_err(|_| {
+            lock.clear_poison();
+            ServerMsg::Error(format!(
+                "internal: {what} store was poisoned by an earlier panic; recovered, retry"
+            ))
+        })
+    }
     /// Creates a server around a testcase library.
     pub fn new(testcases: TestcaseStore, sample_seed: u64) -> Self {
         UucsServer {
@@ -30,33 +59,35 @@ impl UucsServer {
     /// Adds a testcase to the library at runtime ("new testcases ... can
     /// be added to the server at any time").
     pub fn add_testcase(&self, tc: uucs_testcase::Testcase) {
-        self.testcases.write().add(tc);
+        self.testcases
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .add(tc);
     }
 
     /// Number of testcases in the library.
     pub fn testcase_count(&self) -> usize {
-        self.testcases.read().len()
+        read_recovered(&self.testcases).len()
     }
 
     /// Number of uploaded result records.
     pub fn result_count(&self) -> usize {
-        self.results.read().len()
+        read_recovered(&self.results).len()
     }
 
     /// Snapshot of all uploaded results (cloned).
     pub fn results(&self) -> Vec<uucs_protocol::RunRecord> {
-        self.results.read().all().to_vec()
+        read_recovered(&self.results).all().to_vec()
     }
 
     /// Number of registered clients.
     pub fn client_count(&self) -> usize {
-        self.registry.read().len()
+        read_recovered(&self.registry).len()
     }
 
     /// The registered snapshot for a client id.
     pub fn snapshot_of(&self, client: &str) -> Option<MachineSnapshot> {
-        self.registry
-            .read()
+        read_recovered(&self.registry)
             .iter()
             .find(|(id, _)| id == client)
             .map(|(_, s)| s.clone())
@@ -66,8 +97,8 @@ impl UucsServer {
     /// `results.txt`).
     pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        self.testcases.read().save(&dir.join("testcases.txt"))?;
-        self.results.read().save(&dir.join("results.txt"))
+        read_recovered(&self.testcases).save(&dir.join("testcases.txt"))?;
+        read_recovered(&self.results).save(&dir.join("results.txt"))
     }
 
     /// The client-specific random order of the library. Deterministic per
@@ -85,7 +116,10 @@ impl Endpoint for UucsServer {
     fn handle(&self, msg: &ClientMsg) -> ServerMsg {
         match msg {
             ClientMsg::Register(snapshot) => {
-                let mut reg = self.registry.write();
+                let mut reg = match self.try_write(&self.registry, "registry") {
+                    Ok(guard) => guard,
+                    Err(err) => return err,
+                };
                 let id = format!("client-{:04}", reg.len() + 1);
                 reg.push((id.clone(), snapshot.clone()));
                 ServerMsg::Id(id)
@@ -94,7 +128,7 @@ impl Endpoint for UucsServer {
                 if self.snapshot_of(client).is_none() {
                     return ServerMsg::Error(format!("unregistered client {client}"));
                 }
-                let store = self.testcases.read();
+                let store = read_recovered(&self.testcases);
                 let order = self.client_order(client, store.len());
                 let slice: Vec<_> = order
                     .iter()
@@ -109,7 +143,10 @@ impl Endpoint for UucsServer {
                     return ServerMsg::Error(format!("unregistered client {client}"));
                 }
                 let n = records.len();
-                self.results.write().append(records.clone());
+                match self.try_write(&self.results, "result") {
+                    Ok(mut results) => results.append(records.clone()),
+                    Err(err) => return err,
+                }
                 ServerMsg::Ack(n)
             }
             ClientMsg::Bye => ServerMsg::Ack(0),
@@ -263,6 +300,31 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(s.result_count(), 2);
+    }
+
+    #[test]
+    fn poisoned_lock_degrades_to_error_then_recovers() {
+        let s = std::sync::Arc::new(UucsServer::new(library(2), 8));
+        // Poison the registry lock: panic while holding the write guard.
+        let s2 = s.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = s2.registry.write().unwrap();
+            panic!("poison the registry");
+        })
+        .join();
+        assert!(s.registry.is_poisoned());
+        // The first mutating request maps the poisoning to a protocol
+        // error instead of panicking the handler thread...
+        assert!(matches!(
+            s.handle(&ClientMsg::Register(MachineSnapshot::study_machine("h"))),
+            ServerMsg::Error(_)
+        ));
+        // ...and clears the poison, so the server keeps serving.
+        assert!(!s.registry.is_poisoned());
+        let id = register(&s);
+        assert!(s.snapshot_of(&id).is_some());
+        // Read-side observers recover throughout.
+        assert_eq!(s.testcase_count(), 2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Machine-level invariants under randomized workload mixes.
 
-use proptest::prelude::*;
+use uucs_harness::prelude::*;
 use uucs_sim::workload::FnWorkload;
 use uucs_sim::{Action, Machine, MachineConfig, Priority, TouchPattern, SEC};
 use uucs_stats::Pcg64;

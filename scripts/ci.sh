@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The tier-1 gate, hermetically: offline warning-free build, full test
+# suite, and a quick-mode smoke pass over every bench target (which also
+# regenerates the paper artifacts).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release, offline, warnings are fatal) =="
+build_log=$(mktemp)
+trap 'rm -f "$build_log"' EXIT
+cargo build --release 2>&1 | tee "$build_log"
+if grep -q "^warning" "$build_log"; then
+    echo "ci: cargo build emitted warnings (see above)" >&2
+    exit 1
+fi
+
+echo "== test (workspace) =="
+cargo test -q --workspace
+
+echo "== bench smoke (UUCS_BENCH_QUICK=1, all four targets) =="
+for bench in paper_figures substrate exerciser_accuracy ablations; do
+    echo "-- $bench --"
+    UUCS_BENCH_QUICK=1 cargo bench -p uucs-bench --bench "$bench"
+done
+
+echo "ci: all gates passed"

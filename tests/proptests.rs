@@ -1,6 +1,6 @@
 //! Property-based tests over the core data structures and invariants.
 
-use proptest::prelude::*;
+use uucs_harness::prelude::*;
 use uucs::stats::{Ecdf, Pcg64};
 use uucs::testcase::{format as tcformat, ExerciseFunction, Resource, Testcase};
 
