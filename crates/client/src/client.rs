@@ -251,7 +251,7 @@ mod tests {
             );
         }
         Arc::new(UucsServer::new(
-            TestcaseStore::from_testcases(lib.testcases().to_vec()),
+            TestcaseStore::from_testcases(lib.testcases().to_vec()).expect("unique ids"),
             77,
         ))
     }

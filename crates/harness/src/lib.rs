@@ -15,15 +15,19 @@
 //!   vectors, ranges and regex-lite strings, a configurable case count,
 //!   and binary-search shrinking on failure. Entry points: [`proptest!`]
 //!   and [`prelude`].
+//! * [`tempdir`] — an RAII [`TempDir`] guard for test scratch space
+//!   (unique per instance, cleaned up on drop).
 //!
 //! Both runtimes draw their randomness and statistics conventions from
 //! `uucs-stats`, so every harness run is deterministic and offline.
 
 pub mod bench;
 pub mod prop;
+pub mod tempdir;
 
 pub use bench::{BenchResult, Bencher, BenchmarkGroup, Criterion, Throughput};
 pub use std::hint::black_box;
+pub use tempdir::TempDir;
 
 /// Collection strategies, addressed as `prop::collection::vec` from the
 /// prelude (matching proptest's module layout).

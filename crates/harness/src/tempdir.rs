@@ -1,0 +1,74 @@
+//! RAII temporary directories for tests.
+//!
+//! Test suites used to build scratch paths from `std::process::id()`
+//! alone, which collides when two tests in one process share the name
+//! and leaks the directory when a test crashes before its manual
+//! cleanup. [`TempDir`] fixes both: a process-wide counter makes every
+//! instance unique within the process, the pid keeps concurrent test
+//! binaries apart, a stale survivor of a crashed earlier run is cleared
+//! on creation, and `Drop` removes the directory even when the test
+//! fails after its assertions.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes instances created by one process.
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `${TMPDIR}/<prefix>-<pid>-<counter>`, empty.
+    ///
+    /// Panics if the directory cannot be created — a test without its
+    /// scratch space cannot run meaningfully.
+    pub fn new(prefix: &str) -> TempDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{n}", std::process::id()));
+        if path.exists() {
+            // A stale dir from a crashed run that recycled our pid.
+            let _ = std::fs::remove_dir_all(&path);
+        }
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("cannot create temp dir {path:?}: {e}"));
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the directory.
+    pub fn join(&self, name: impl AsRef<Path>) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_cleaned_up() {
+        let a = TempDir::new("uucs-tempdir-test");
+        let b = TempDir::new("uucs-tempdir-test");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.join("f.txt"), "x").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "dropped TempDir removes its tree");
+        assert!(b.path().is_dir(), "sibling survives");
+    }
+}

@@ -13,6 +13,8 @@
 //!   last five contention values of each exercise function, and the
 //!   monitoring summary (§2.3),
 //! * [`snapshot::MachineSnapshot`] — the registration payload,
+//! * [`walenc::WalEntry`] — the tagged payload encoding the server's
+//!   write-ahead log (`uucs-wal`) journals per accepted mutation,
 //! * [`wire`] — the line-oriented message framing used over TCP (and the
 //!   in-memory transport used by tests).
 
@@ -21,8 +23,10 @@
 
 pub mod record;
 pub mod snapshot;
+pub mod walenc;
 pub mod wire;
 
 pub use record::{MonitorSummary, RunOutcome, RunRecord};
 pub use snapshot::MachineSnapshot;
+pub use walenc::WalEntry;
 pub use wire::{ClientMsg, ServerMsg};

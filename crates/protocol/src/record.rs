@@ -226,13 +226,24 @@ impl RunRecord {
     }
 
     /// Parses every record in a text body.
+    ///
+    /// Errors carry the 1-based line number of the offending line, so a
+    /// hand-edited or bit-rotted results file points at the damage
+    /// (`line 41: bad outcome "maybee"`) instead of merely refusing to
+    /// load. Contrast with the WAL (`uucs-wal`), where a torn *tail* is
+    /// expected crash residue and silently truncated — a text store has
+    /// no append-in-flight excuse, so every defect is reported.
     pub fn parse_many(input: &str) -> Result<Vec<RunRecord>, String> {
-        let mut lines = input.lines();
+        let line_no = std::cell::Cell::new(0usize);
+        let mut lines = input.lines().inspect(|_| line_no.set(line_no.get() + 1));
         let mut out = Vec::new();
-        while let Some(rec) = Self::parse(&mut lines)? {
-            out.push(rec);
+        loop {
+            match Self::parse(&mut lines) {
+                Ok(Some(rec)) => out.push(rec),
+                Ok(None) => return Ok(out),
+                Err(e) => return Err(format!("line {}: {e}", line_no.get())),
+            }
         }
-        Ok(out)
     }
 
     /// Serializes many records into one text body.
@@ -332,6 +343,24 @@ mod tests {
         assert!(RunRecord::parse_many("RESULT\nOUTCOME discomfort\n").is_err());
         assert!(RunRecord::parse_many("RESULT\nOUTCOME maybe\nEND\n").is_err());
         assert!(RunRecord::parse_many("RESULT\nLEVELS gpu 1\nOUTCOME exhausted\nEND\n").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        // One good record, then a defect: the error points at the exact
+        // line of the second record's bad field.
+        let good = sample().emit();
+        let good_lines = good.lines().count();
+        let text = format!("{good}RESULT\nOUTCOME maybe\nEND\n");
+        let err = RunRecord::parse_many(&text).unwrap_err();
+        assert_eq!(
+            err,
+            format!("line {}: bad outcome \"maybe\"", good_lines + 2),
+            "error was: {err}"
+        );
+        // Truncated input points at the last line seen.
+        let err = RunRecord::parse_many("RESULT\nOUTCOME discomfort\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "error was: {err}");
     }
 
     #[test]

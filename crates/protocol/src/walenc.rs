@@ -1,0 +1,125 @@
+//! WAL payload encoding for the server's durable stores.
+//!
+//! The server journals every accepted mutation — a run result upload or
+//! a testcase addition — as one WAL record before acknowledging it. The
+//! payload is the store's existing text format prefixed with a one-byte
+//! tag, so a journal survives tooling changes as long as the text
+//! formats do, and a `hexdump` of a segment stays human-readable.
+//!
+//! * `b'R'` + [`RunRecord`] text — a result appended to the result store.
+//! * `b'T'` + testcase text — a testcase added to the testcase store.
+
+use crate::record::RunRecord;
+use uucs_testcase::{format as tcformat, Testcase};
+
+/// Tag byte for a result entry.
+pub const TAG_RESULT: u8 = b'R';
+/// Tag byte for a testcase entry.
+pub const TAG_TESTCASE: u8 = b'T';
+
+/// One logical mutation of the server's stores, as journaled in the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEntry {
+    /// A run result accepted into the result store.
+    Result(RunRecord),
+    /// A testcase added to the testcase store.
+    Testcase(Testcase),
+}
+
+impl WalEntry {
+    /// Encodes the entry into a WAL payload: tag byte + text format.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WalEntry::Result(rec) => {
+                let mut out = vec![TAG_RESULT];
+                out.extend_from_slice(rec.emit().as_bytes());
+                out
+            }
+            WalEntry::Testcase(tc) => {
+                let mut out = vec![TAG_TESTCASE];
+                out.extend_from_slice(tcformat::emit(tc).as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes a WAL payload produced by [`WalEntry::encode`].
+    pub fn decode(payload: &[u8]) -> Result<WalEntry, String> {
+        let (&tag, body) = payload
+            .split_first()
+            .ok_or_else(|| "empty wal payload".to_string())?;
+        let text = std::str::from_utf8(body)
+            .map_err(|e| format!("wal payload is not utf-8: {e}"))?;
+        match tag {
+            TAG_RESULT => {
+                let mut records = RunRecord::parse_many(text)?;
+                match (records.pop(), records.is_empty()) {
+                    (Some(rec), true) => Ok(WalEntry::Result(rec)),
+                    _ => Err("result payload must hold exactly one record".to_string()),
+                }
+            }
+            TAG_TESTCASE => tcformat::parse(text)
+                .map(WalEntry::Testcase)
+                .map_err(|e| format!("bad testcase payload: {e}")),
+            other => Err(format!("unknown wal entry tag {other:#04x}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MonitorSummary, RunOutcome};
+    use uucs_testcase::{ExerciseFunction, Resource};
+
+    fn record() -> RunRecord {
+        RunRecord {
+            client: "c-9".into(),
+            user: "u1".into(),
+            testcase: "cpu-ramp-3-60".into(),
+            task: "Word".into(),
+            outcome: RunOutcome::Discomfort,
+            offset_secs: 12.25,
+            last_levels: vec![(Resource::Cpu, vec![1.0, 2.0])],
+            monitor: MonitorSummary::default(),
+        }
+    }
+
+    fn testcase() -> Testcase {
+        Testcase::new(
+            "word-cpu-ramp",
+            1.0,
+            vec![ExerciseFunction::from_values(
+                Resource::Cpu,
+                1.0,
+                vec![0.0, 1.0, 2.0],
+            )],
+        )
+    }
+
+    #[test]
+    fn roundtrip_both_variants() {
+        for entry in [WalEntry::Result(record()), WalEntry::Testcase(testcase())] {
+            let bytes = entry.encode();
+            assert_eq!(WalEntry::decode(&bytes).unwrap(), entry);
+        }
+    }
+
+    #[test]
+    fn tags_are_first_byte() {
+        assert_eq!(WalEntry::Result(record()).encode()[0], TAG_RESULT);
+        assert_eq!(WalEntry::Testcase(testcase()).encode()[0], TAG_TESTCASE);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(WalEntry::decode(b"").is_err());
+        assert!(WalEntry::decode(b"X").is_err());
+        assert!(WalEntry::decode(b"Rnot a record").is_err());
+        assert!(WalEntry::decode(b"Tnot a testcase").is_err());
+        assert!(WalEntry::decode(&[TAG_RESULT, 0xFF, 0xFE]).is_err());
+        // Two records in one payload: the journal is one-entry-per-record.
+        let two = format!("R{}{}", record().emit(), record().emit());
+        assert!(WalEntry::decode(two.as_bytes()).is_err());
+    }
+}

@@ -12,6 +12,14 @@
 //! client walks its own random order, so successive syncs extend its
 //! sample without duplicates, and the collection of clients covers the
 //! library uniformly.
+//!
+//! Both stores optionally journal through a write-ahead log
+//! (`uucs-wal`, see [`store::TestcaseStore::open_wal`] and
+//! [`store::ResultStore::open_wal`]): every accepted upload or testcase
+//! addition is framed, checksummed and (policy permitting) fsynced
+//! before the client sees an `Ack`, and restarting the server replays
+//! the journal — so a crash between the paper's periodic whole-file
+//! checkpoints no longer loses acknowledged results.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,4 +29,4 @@ pub mod store;
 pub mod tcp;
 
 pub use server::UucsServer;
-pub use store::{ResultStore, TestcaseStore};
+pub use store::{ResultStore, StoreError, TestcaseStore};

@@ -3,23 +3,33 @@
 //!
 //! ```text
 //! uucs-server [--addr 127.0.0.1:4004] [--library FILE] [--data DIR]
-//!             [--generate-library N-seed]
+//!             [--generate-library N-seed] [--wal] [--sync POLICY]
 //! ```
 //!
 //! With `--library`, serves the testcases in the given text file; with
 //! `--generate-library`, builds the Internet-sweep library from a seed.
-//! State is saved to `--data` (default `uucs-server-data/`) on Ctrl-C-free
-//! periodic checkpoints (every 30 s).
+//!
+//! Without `--wal`, state is saved to `--data` (default
+//! `uucs-server-data/`) on periodic whole-file checkpoints (every 30 s)
+//! — the paper's design, which can lose up to 30 s of acknowledged
+//! uploads on a crash. With `--wal`, both stores journal through a
+//! write-ahead log under `--data` (`wal/testcases/`, `wal/results/`):
+//! every acknowledged mutation is recovered on restart, and the 30 s
+//! tick compacts the journal instead of rewriting the world. `--sync`
+//! picks the fsync policy: `always` (default), `every=N`, or `never`.
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use uucs_server::{tcp, TestcaseStore, UucsServer};
+use uucs_server::{tcp, ResultStore, TestcaseStore, UucsServer};
+use uucs_wal::{SyncPolicy, WalConfig};
 
 fn main() {
     let mut addr = "127.0.0.1:4004".to_string();
     let mut library: Option<PathBuf> = None;
     let mut data = PathBuf::from("uucs-server-data");
     let mut gen_seed: Option<u64> = None;
+    let mut wal = false;
+    let mut sync = SyncPolicy::Always;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -40,6 +50,19 @@ fn main() {
                 i += 1;
                 gen_seed = args.get(i).and_then(|s| s.parse().ok()).or(Some(42));
             }
+            "--wal" => {
+                wal = true;
+            }
+            "--sync" => {
+                i += 1;
+                sync = args
+                    .get(i)
+                    .and_then(|s| SyncPolicy::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --sync (want always, never, or every=N)");
+                        std::process::exit(2);
+                    });
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -48,44 +71,94 @@ fn main() {
         i += 1;
     }
 
-    let store = if let Some(path) = library {
-        TestcaseStore::load(&path).unwrap_or_else(|e| {
-            eprintln!("cannot load library {path:?}: {e}");
-            std::process::exit(1);
-        })
-    } else if let Some(seed) = gen_seed {
-        eprintln!("generating internet-sweep library (seed {seed}) ...");
-        TestcaseStore::from_testcases(
+    let seed_library = || -> Vec<uucs_testcase::Testcase> {
+        if let Some(path) = &library {
+            match TestcaseStore::load(path) {
+                Ok(store) => store.all().to_vec(),
+                Err(e) => {
+                    eprintln!("cannot load library {path:?}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            let seed = gen_seed.unwrap_or(42);
+            eprintln!("generating internet-sweep library (seed {seed}) ...");
             uucs_testcase::generate::Library::internet_sweep(seed)
                 .testcases()
-                .to_vec(),
-        )
-    } else {
-        eprintln!("no --library given: generating the default internet-sweep library");
-        TestcaseStore::from_testcases(
-            uucs_testcase::generate::Library::internet_sweep(42)
-                .testcases()
-                .to_vec(),
-        )
+                .to_vec()
+        }
     };
-    eprintln!("serving {} testcases on {addr}", store.len());
-    let server = Arc::new(UucsServer::new(store, 0x5e17));
+
+    let server = if wal {
+        let config = WalConfig {
+            sync,
+            ..WalConfig::default()
+        };
+        eprintln!("recovering journals under {:?} ...", data.join("wal"));
+        let (mut testcases, tc_rec) =
+            TestcaseStore::open_wal(&data.join("wal/testcases"), config).unwrap_or_else(|e| {
+                eprintln!("testcase journal is unrecoverable: {e}");
+                std::process::exit(1);
+            });
+        let (results, res_rec) =
+            ResultStore::open_wal(&data.join("wal/results"), config).unwrap_or_else(|e| {
+                eprintln!("result journal is unrecoverable: {e}");
+                std::process::exit(1);
+            });
+        for r in [&tc_rec, &res_rec] {
+            if let Some(t) = &r.torn_tail {
+                eprintln!(
+                    "  truncated a torn append in {} ({} bytes, {})",
+                    t.segment, t.lost_bytes, t.reason
+                );
+            }
+        }
+        if testcases.is_empty() {
+            for tc in seed_library() {
+                if let Err(e) = testcases.add(tc) {
+                    eprintln!("cannot seed library: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let server = Arc::new(UucsServer::with_stores(testcases, results, 0x5e17));
+        eprintln!(
+            "recovered {} testcases, {} results (sync policy {sync})",
+            server.testcase_count(),
+            server.result_count()
+        );
+        server
+    } else {
+        let store = TestcaseStore::from_testcases(seed_library()).unwrap_or_else(|e| {
+            eprintln!("library has duplicate ids: {e}");
+            std::process::exit(1);
+        });
+        Arc::new(UucsServer::new(store, 0x5e17))
+    };
+
+    eprintln!("serving {} testcases on {addr}", server.testcase_count());
     let handle = tcp::serve(server.clone(), &addr).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
         std::process::exit(1);
     });
-    eprintln!("listening on {} (checkpointing to {data:?})", handle.addr());
+    eprintln!("listening on {} (data dir {data:?})", handle.addr());
 
     loop {
         std::thread::sleep(std::time::Duration::from_secs(30));
-        if let Err(e) = server.save(&data) {
-            eprintln!("checkpoint failed: {e}");
+        let tick = if wal {
+            // The journal already holds everything acknowledged; the
+            // tick just folds it into a checkpoint and frees segments.
+            server.compact().map(|_| "compacted journal")
         } else {
-            eprintln!(
-                "checkpoint: {} clients, {} results",
+            server.save(&data).map(|_| "checkpointed text stores")
+        };
+        match tick {
+            Ok(what) => eprintln!(
+                "{what}: {} clients, {} results",
                 server.client_count(),
                 server.result_count()
-            );
+            ),
+            Err(e) => eprintln!("checkpoint failed: {e}"),
         }
     }
 }

@@ -46,23 +46,49 @@ impl UucsServer {
             ))
         })
     }
-    /// Creates a server around a testcase library.
+    /// Creates a server around a testcase library, with a fresh
+    /// non-durable result store.
     pub fn new(testcases: TestcaseStore, sample_seed: u64) -> Self {
+        Self::with_stores(testcases, ResultStore::new(), sample_seed)
+    }
+
+    /// Creates a server around explicit stores — the entry point for
+    /// WAL-backed durability, where both stores were just recovered via
+    /// `open_wal` and every accepted mutation is journaled before it is
+    /// acknowledged.
+    pub fn with_stores(testcases: TestcaseStore, results: ResultStore, sample_seed: u64) -> Self {
         UucsServer {
             testcases: RwLock::new(testcases),
-            results: RwLock::new(ResultStore::new()),
+            results: RwLock::new(results),
             registry: RwLock::new(Vec::new()),
             sample_seed,
         }
     }
 
     /// Adds a testcase to the library at runtime ("new testcases ... can
-    /// be added to the server at any time").
-    pub fn add_testcase(&self, tc: uucs_testcase::Testcase) {
+    /// be added to the server at any time"). Rejects duplicates; with a
+    /// WAL-backed store the addition is durable once this returns `Ok`.
+    pub fn add_testcase(&self, tc: uucs_testcase::Testcase) -> Result<(), crate::store::StoreError> {
         self.testcases
             .write()
             .unwrap_or_else(PoisonError::into_inner)
-            .add(tc);
+            .add(tc)
+    }
+
+    /// Folds both stores' journals into checkpoints and drops the
+    /// covered segments. A no-op (returning `false`) for plain stores.
+    pub fn compact(&self) -> std::io::Result<bool> {
+        let a = self
+            .testcases
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .compact()?;
+        let b = self
+            .results
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .compact()?;
+        Ok(a || b)
     }
 
     /// Number of testcases in the library.
@@ -142,12 +168,17 @@ impl Endpoint for UucsServer {
                 if self.snapshot_of(client).is_none() {
                     return ServerMsg::Error(format!("unregistered client {client}"));
                 }
-                let n = records.len();
                 match self.try_write(&self.results, "result") {
-                    Ok(mut results) => results.append(records.clone()),
-                    Err(err) => return err,
+                    // Ack only what the store accepted: with a WAL-backed
+                    // store an Ack means the records are journaled, so a
+                    // crash after this reply loses nothing the client
+                    // was told is safe.
+                    Ok(mut results) => match results.append(records.clone()) {
+                        Ok(n) => ServerMsg::Ack(n),
+                        Err(e) => ServerMsg::Error(format!("upload rejected: {e}")),
+                    },
+                    Err(err) => err,
                 }
-                ServerMsg::Ack(n)
             }
             ClientMsg::Bye => ServerMsg::Ack(0),
         }
@@ -175,6 +206,7 @@ mod tests {
                 })
                 .collect(),
         )
+        .expect("generated ids are unique")
     }
 
     fn register(s: &UucsServer) -> String {
@@ -331,7 +363,12 @@ mod tests {
     fn runtime_testcase_addition() {
         let s = UucsServer::new(library(2), 7);
         assert_eq!(s.testcase_count(), 2);
-        s.add_testcase(Testcase::blank("late", 1.0, 60.0));
+        s.add_testcase(Testcase::blank("late", 1.0, 60.0)).unwrap();
+        assert_eq!(s.testcase_count(), 3);
+        // A duplicate id is an error, not a panic, and leaves the
+        // library untouched.
+        let err = s.add_testcase(Testcase::blank("late", 1.0, 60.0)).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
         assert_eq!(s.testcase_count(), 3);
     }
 }

@@ -1,40 +1,142 @@
 //! Text-file-backed stores, as in the paper ("store testcases and
-//! results on permanent storage in text files").
+//! results on permanent storage in text files") — optionally journaled
+//! through a write-ahead log (`uucs-wal`) so a server crash between
+//! periodic checkpoints loses nothing that was acknowledged.
+//!
+//! Each store runs in one of two modes:
+//!
+//! * **Plain** ([`TestcaseStore::new`], [`ResultStore::new`], and the
+//!   `load`/`save` text files): the paper's original design. Durability
+//!   is whatever the last whole-file checkpoint captured.
+//! * **Durable** ([`TestcaseStore::open_wal`],
+//!   [`ResultStore::open_wal`]): every mutation is journaled as a
+//!   [`WalEntry`] *before* it is applied in memory, and reopening the
+//!   same directory replays the journal — snapshot first, then the
+//!   records past it.
+//!
+//! Corruption policy: a WAL tolerates a torn final frame (crash
+//! residue) but reports mid-log damage; the *text* loaders tolerate
+//! nothing and point at the damaged line (`line 41: bad outcome ...`),
+//! because a checkpoint file has no append-in-flight excuse.
 
+use std::fmt;
+use std::io;
 use std::path::Path;
-use uucs_protocol::RunRecord;
+use uucs_protocol::{RunRecord, WalEntry};
 use uucs_testcase::{format as tcformat, Testcase};
+use uucs_wal::{Recovery, StdIo, Wal, WalConfig};
+
+/// Why a store rejected a mutation.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The testcase id is already present; ids are globally unique.
+    Duplicate(String),
+    /// The write-ahead log could not journal the mutation; nothing was
+    /// applied, so the caller must not acknowledge it.
+    Io(io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Duplicate(id) => write!(f, "duplicate testcase id {id}"),
+            StoreError::Io(e) => write!(f, "journal write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+fn invalid(msg: impl fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
 
 /// The server's testcase library.
 #[derive(Debug, Default)]
 pub struct TestcaseStore {
     testcases: Vec<Testcase>,
+    wal: Option<Wal<StdIo>>,
 }
 
 impl TestcaseStore {
-    /// An empty store.
+    /// An empty, non-durable store.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Builds a store from testcases, rejecting duplicate ids.
-    pub fn from_testcases(testcases: Vec<Testcase>) -> Self {
+    /// Builds a non-durable store from testcases, rejecting duplicate
+    /// ids.
+    pub fn from_testcases(testcases: Vec<Testcase>) -> Result<Self, StoreError> {
         let mut s = Self::new();
         for tc in testcases {
-            s.add(tc);
+            s.add(tc)?;
         }
-        s
+        Ok(s)
+    }
+
+    /// Opens (creating if necessary) a WAL-backed store: replays the
+    /// journal under `dir` and journals every subsequent [`add`]
+    /// before applying it.
+    ///
+    /// [`add`]: TestcaseStore::add
+    pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
+        let (wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        let mut store = Self::new();
+        if let Some(snap) = recovery.snapshot.take() {
+            let text = std::str::from_utf8(&snap.state).map_err(invalid)?;
+            for tc in tcformat::parse_many(text).map_err(invalid)? {
+                store.add(tc).map_err(invalid)?;
+            }
+        }
+        for item in wal.replay() {
+            let (lsn, payload) = item?;
+            match WalEntry::decode(&payload).map_err(invalid)? {
+                WalEntry::Testcase(tc) => store.add(tc).map_err(invalid)?,
+                WalEntry::Result(_) => {
+                    return Err(invalid(format!(
+                        "record {lsn}: result entry in a testcase journal"
+                    )))
+                }
+            }
+        }
+        store.wal = Some(wal);
+        Ok((store, recovery))
+    }
+
+    /// True when mutations are journaled through a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// Adds a testcase ("new testcases can be added to the server at any
-    /// time"). Panics on a duplicate id.
-    pub fn add(&mut self, tc: Testcase) {
-        assert!(
-            self.get(tc.id.as_str()).is_none(),
-            "duplicate testcase id {}",
-            tc.id
-        );
+    /// time"). Rejects a duplicate id; in durable mode the addition is
+    /// journaled before it is applied, so an `Ok` survives a crash.
+    pub fn add(&mut self, tc: Testcase) -> Result<(), StoreError> {
+        if self.get(tc.id.as_str()).is_some() {
+            return Err(StoreError::Duplicate(tc.id.as_str().to_string()));
+        }
+        if let Some(wal) = &mut self.wal {
+            wal.append(&WalEntry::Testcase(tc.clone()).encode())?;
+        }
         self.testcases.push(tc);
+        Ok(())
+    }
+
+    /// Folds the journal into a checkpoint and deletes the segments it
+    /// covers. Returns `false` (doing nothing) in plain mode.
+    pub fn compact(&mut self) -> io::Result<bool> {
+        let Some(wal) = &mut self.wal else {
+            return Ok(false);
+        };
+        wal.snapshot(tcformat::emit_many(&self.testcases).as_bytes())?;
+        wal.compact()?;
+        Ok(true)
     }
 
     /// All testcases in insertion order.
@@ -62,12 +164,13 @@ impl TestcaseStore {
         std::fs::write(path, tcformat::emit_many(&self.testcases))
     }
 
-    /// Loads a library from a text file.
+    /// Loads a library from a text file. Any defect is an
+    /// `InvalidData` error naming the file.
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let text = std::fs::read_to_string(path)?;
         let testcases = tcformat::parse_many(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        Ok(Self::from_testcases(testcases))
+            .map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+        Self::from_testcases(testcases).map_err(|e| invalid(format!("{}: {e}", path.display())))
     }
 }
 
@@ -75,17 +178,75 @@ impl TestcaseStore {
 #[derive(Debug, Default)]
 pub struct ResultStore {
     records: Vec<RunRecord>,
+    wal: Option<Wal<StdIo>>,
 }
 
 impl ResultStore {
-    /// An empty store.
+    /// An empty, non-durable store.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends uploaded records.
-    pub fn append(&mut self, records: Vec<RunRecord>) {
+    /// Opens (creating if necessary) a WAL-backed store: replays the
+    /// journal under `dir` and journals every subsequent upload before
+    /// applying it.
+    pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
+        let (wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        let mut records = Vec::new();
+        if let Some(snap) = recovery.snapshot.take() {
+            let text = std::str::from_utf8(&snap.state).map_err(invalid)?;
+            records = RunRecord::parse_many(text).map_err(invalid)?;
+        }
+        for item in wal.replay() {
+            let (lsn, payload) = item?;
+            match WalEntry::decode(&payload).map_err(invalid)? {
+                WalEntry::Result(rec) => records.push(rec),
+                WalEntry::Testcase(_) => {
+                    return Err(invalid(format!(
+                        "record {lsn}: testcase entry in a result journal"
+                    )))
+                }
+            }
+        }
+        Ok((
+            ResultStore {
+                records,
+                wal: Some(wal),
+            },
+            recovery,
+        ))
+    }
+
+    /// True when mutations are journaled through a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Appends uploaded records, returning how many were accepted. In
+    /// durable mode every record is journaled first — under
+    /// `SyncPolicy::Always` an `Ok(n)` means all `n` survive a crash.
+    /// On a journal error nothing is applied in memory and the upload
+    /// must not be acknowledged.
+    pub fn append(&mut self, records: Vec<RunRecord>) -> Result<usize, StoreError> {
+        if let Some(wal) = &mut self.wal {
+            for rec in &records {
+                wal.append(&WalEntry::Result(rec.clone()).encode())?;
+            }
+        }
+        let n = records.len();
         self.records.extend(records);
+        Ok(n)
+    }
+
+    /// Folds the journal into a checkpoint and deletes the segments it
+    /// covers. Returns `false` (doing nothing) in plain mode.
+    pub fn compact(&mut self) -> io::Result<bool> {
+        let Some(wal) = &mut self.wal else {
+            return Ok(false);
+        };
+        wal.snapshot(RunRecord::emit_many(&self.records).as_bytes())?;
+        wal.compact()?;
+        Ok(true)
     }
 
     /// All records in upload order.
@@ -109,19 +270,31 @@ impl ResultStore {
     }
 
     /// Loads results from a text file.
+    ///
+    /// Any defect — a bad key, a truncated record, a garbled number —
+    /// is an `InvalidData` error naming the file and the 1-based line,
+    /// e.g. `results.txt: line 41: bad outcome "maybee"`. Contrast the
+    /// WAL loaders above, which tolerate (and truncate) a torn final
+    /// frame: a crash can interrupt a journal append, but nothing
+    /// legitimately interrupts a whole-file text checkpoint.
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let text = std::fs::read_to_string(path)?;
         let records = RunRecord::parse_many(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        Ok(ResultStore { records })
+            .map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+        Ok(ResultStore {
+            records,
+            wal: None,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uucs_harness::TempDir;
     use uucs_protocol::{MonitorSummary, RunOutcome};
     use uucs_testcase::{ExerciseSpec, Resource};
+    use uucs_wal::SyncPolicy;
 
     fn tc(id: &str) -> Testcase {
         Testcase::single(
@@ -150,44 +323,135 @@ mod tests {
 
     #[test]
     fn testcase_store_roundtrips_through_disk() {
-        let dir = std::env::temp_dir().join(format!("uucs-store-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = TempDir::new("uucs-store");
         let path = dir.join("testcases.txt");
-        let store = TestcaseStore::from_testcases(vec![tc("a"), tc("b")]);
+        let store = TestcaseStore::from_testcases(vec![tc("a"), tc("b")]).unwrap();
         store.save(&path).unwrap();
         let loaded = TestcaseStore::load(&path).unwrap();
         assert_eq!(loaded.all(), store.all());
         assert!(loaded.get("a").is_some());
         assert!(loaded.get("zzz").is_none());
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    #[should_panic(expected = "duplicate")]
     fn duplicate_testcase_rejected() {
         let mut s = TestcaseStore::new();
-        s.add(tc("x"));
-        s.add(tc("x"));
+        s.add(tc("x")).unwrap();
+        let err = s.add(tc("x")).unwrap_err();
+        assert!(matches!(&err, StoreError::Duplicate(id) if id == "x"));
+        assert!(err.to_string().contains("duplicate testcase id x"));
+        assert_eq!(s.len(), 1, "the duplicate was not applied");
+        assert!(TestcaseStore::from_testcases(vec![tc("y"), tc("y")]).is_err());
     }
 
     #[test]
     fn result_store_roundtrips_through_disk() {
-        let dir = std::env::temp_dir().join(format!("uucs-rstore-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = TempDir::new("uucs-rstore");
         let path = dir.join("results.txt");
         let mut store = ResultStore::new();
-        store.append(vec![rec("u1"), rec("u2")]);
-        store.append(vec![rec("u3")]);
+        store.append(vec![rec("u1"), rec("u2")]).unwrap();
+        store.append(vec![rec("u3")]).unwrap();
         assert_eq!(store.len(), 3);
         store.save(&path).unwrap();
         let loaded = ResultStore::load(&path).unwrap();
         assert_eq!(loaded.all(), store.all());
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn load_missing_file_errors() {
         assert!(TestcaseStore::load(Path::new("/nonexistent/x.txt")).is_err());
         assert!(ResultStore::load(Path::new("/nonexistent/x.txt")).is_err());
+    }
+
+    #[test]
+    fn result_load_error_names_file_and_line() {
+        let dir = TempDir::new("uucs-rstore-corrupt");
+        let path = dir.join("results.txt");
+        let mut text = RunRecord::emit_many(&[rec("u1")]);
+        let good_lines = text.lines().count();
+        text.push_str("RESULT\nOUTCOME maybee\nEND\n");
+        std::fs::write(&path, &text).unwrap();
+        let err = ResultStore::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("results.txt"), "no file name in: {msg}");
+        assert!(
+            msg.contains(&format!("line {}", good_lines + 2)),
+            "no line number in: {msg}"
+        );
+    }
+
+    #[test]
+    fn wal_backed_stores_survive_reopen() {
+        let dir = TempDir::new("uucs-store-wal");
+        let cfg = WalConfig {
+            segment_bytes: 2048,
+            sync: SyncPolicy::Always,
+        };
+        {
+            let (mut tcs, recovery) = TestcaseStore::open_wal(&dir.join("tc"), cfg).unwrap();
+            assert_eq!(recovery.records, 0);
+            tcs.add(tc("a")).unwrap();
+            tcs.add(tc("b")).unwrap();
+            assert!(tcs.is_durable());
+            let (mut res, _) = ResultStore::open_wal(&dir.join("res"), cfg).unwrap();
+            assert_eq!(res.append(vec![rec("u1"), rec("u2")]).unwrap(), 2);
+            // Both stores drop here without any explicit save: the WAL
+            // already has everything.
+        }
+        let (tcs, recovery) = TestcaseStore::open_wal(&dir.join("tc"), cfg).unwrap();
+        assert_eq!(recovery.records, 2);
+        assert_eq!(tcs.len(), 2);
+        assert!(tcs.get("a").is_some() && tcs.get("b").is_some());
+        let (res, _) = ResultStore::open_wal(&dir.join("res"), cfg).unwrap();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res.all()[0], rec("u1"));
+    }
+
+    #[test]
+    fn wal_backed_store_compacts_and_still_recovers() {
+        let dir = TempDir::new("uucs-store-compact");
+        let cfg = WalConfig {
+            segment_bytes: 512,
+            sync: SyncPolicy::Always,
+        };
+        {
+            let (mut res, _) = ResultStore::open_wal(dir.path(), cfg).unwrap();
+            res.append((0..8).map(|i| rec(&format!("u{i}"))).collect())
+                .unwrap();
+            assert!(res.compact().unwrap());
+            res.append(vec![rec("after-snap")]).unwrap();
+        }
+        let (res, recovery) = ResultStore::open_wal(dir.path(), cfg).unwrap();
+        assert!(recovery.snapshot.is_none(), "open_wal folds the snapshot");
+        assert_eq!(res.len(), 9);
+        assert_eq!(res.all()[8], rec("after-snap"));
+    }
+
+    #[test]
+    fn wal_backed_duplicate_not_journaled() {
+        let dir = TempDir::new("uucs-store-dup");
+        let cfg = WalConfig::default();
+        {
+            let (mut tcs, _) = TestcaseStore::open_wal(dir.path(), cfg).unwrap();
+            tcs.add(tc("only")).unwrap();
+            assert!(matches!(
+                tcs.add(tc("only")),
+                Err(StoreError::Duplicate(_))
+            ));
+        }
+        let (tcs, recovery) = TestcaseStore::open_wal(dir.path(), cfg).unwrap();
+        assert_eq!(recovery.records, 1, "rejected duplicate left no record");
+        assert_eq!(tcs.len(), 1);
+    }
+
+    #[test]
+    fn plain_store_compact_is_a_noop() {
+        let mut s = TestcaseStore::new();
+        s.add(tc("a")).unwrap();
+        assert!(!s.compact().unwrap());
+        assert!(!s.is_durable());
+        let mut r = ResultStore::new();
+        assert!(!r.compact().unwrap());
     }
 }

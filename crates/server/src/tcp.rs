@@ -113,7 +113,8 @@ mod tests {
                     )
                 })
                 .collect(),
-        );
+        )
+        .expect("generated ids are unique");
         serve(Arc::new(UucsServer::new(lib, 9)), "127.0.0.1:0").unwrap()
     }
 

@@ -1,0 +1,139 @@
+//! Server-level crash-recovery round trip: results uploaded over TCP
+//! and acknowledged must survive an abrupt server death (no checkpoint,
+//! no save — only the write-ahead log), across multiple generations.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::Arc;
+use uucs_harness::TempDir;
+use uucs_protocol::wire::{read_server_msg, write_client_msg};
+use uucs_protocol::{ClientMsg, MachineSnapshot, MonitorSummary, RunOutcome, RunRecord, ServerMsg};
+use uucs_server::{tcp, ResultStore, TestcaseStore, UucsServer};
+use uucs_testcase::{ExerciseSpec, Resource, Testcase};
+use uucs_wal::{SyncPolicy, WalConfig};
+
+const CFG: WalConfig = WalConfig {
+    segment_bytes: 1024,
+    sync: SyncPolicy::Always,
+};
+
+fn record(i: usize) -> RunRecord {
+    RunRecord {
+        client: "client-0001".into(),
+        user: format!("u{i}"),
+        testcase: format!("t{}", i % 3),
+        task: "Word".into(),
+        outcome: if i % 2 == 0 {
+            RunOutcome::Discomfort
+        } else {
+            RunOutcome::Exhausted
+        },
+        offset_secs: 10.0 + i as f64,
+        last_levels: vec![(Resource::Cpu, vec![1.0, 1.5, 2.0])],
+        monitor: MonitorSummary::default(),
+    }
+}
+
+/// Opens both stores from the WAL directories and builds a server,
+/// seeding the library on first boot only — what `uucs-server --wal`
+/// does on startup.
+fn boot(dir: &Path) -> Arc<UucsServer> {
+    let (mut testcases, _) = TestcaseStore::open_wal(&dir.join("testcases"), CFG).unwrap();
+    let (results, _) = ResultStore::open_wal(&dir.join("results"), CFG).unwrap();
+    if testcases.is_empty() {
+        for i in 0..3 {
+            testcases
+                .add(Testcase::single(
+                    format!("t{i}"),
+                    1.0,
+                    Resource::Cpu,
+                    ExerciseSpec::Ramp {
+                        level: 1.0,
+                        duration: 30.0,
+                    },
+                ))
+                .unwrap();
+        }
+    }
+    Arc::new(UucsServer::with_stores(testcases, results, 11))
+}
+
+/// Registers over TCP and uploads `records`, returning the server's ack
+/// count.
+fn upload_over_tcp(addr: std::net::SocketAddr, records: Vec<RunRecord>) -> usize {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write_client_msg(
+        &mut writer,
+        &ClientMsg::Register(MachineSnapshot::study_machine("wal-rt")),
+    )
+    .unwrap();
+    let client = match read_server_msg(&mut reader).unwrap() {
+        ServerMsg::Id(id) => id,
+        other => panic!("expected Id, got {other:?}"),
+    };
+    // A sync must see the recovered library.
+    write_client_msg(
+        &mut writer,
+        &ClientMsg::Sync {
+            client: client.clone(),
+            have: 0,
+            want: 10,
+        },
+    )
+    .unwrap();
+    match read_server_msg(&mut reader).unwrap() {
+        ServerMsg::Testcases(tcs) => assert_eq!(tcs.len(), 3, "library lost across restart"),
+        other => panic!("expected Testcases, got {other:?}"),
+    }
+    write_client_msg(&mut writer, &ClientMsg::Upload { client, records }).unwrap();
+    let n = match read_server_msg(&mut reader).unwrap() {
+        ServerMsg::Ack(n) => n,
+        other => panic!("expected Ack, got {other:?}"),
+    };
+    write_client_msg(&mut writer, &ClientMsg::Bye).unwrap();
+    n
+}
+
+#[test]
+fn acknowledged_uploads_survive_server_death() {
+    let tmp = TempDir::new("uucs-wal-roundtrip");
+    let dir = tmp.path().to_path_buf();
+
+    // Generation 1: boot, upload 4 records over TCP, die without saving.
+    {
+        let server = boot(&dir);
+        let handle = tcp::serve(server, "127.0.0.1:0").unwrap();
+        assert_eq!(upload_over_tcp(handle.addr(), (0..4).map(record).collect()), 4);
+        // The "kill": shut the socket down and drop all in-memory state.
+        // Nothing calls save(); durability rests on the journal alone.
+        handle.shutdown();
+    }
+
+    // Generation 2: recovery sees the 4 acknowledged records; a new
+    // client's sync sees the recovered library; 3 more records arrive,
+    // and this generation also compacts mid-life.
+    {
+        let server = boot(&dir);
+        assert_eq!(server.result_count(), 4, "acknowledged uploads were lost");
+        assert_eq!(server.testcase_count(), 3);
+        let handle = tcp::serve(server.clone(), "127.0.0.1:0").unwrap();
+        assert_eq!(upload_over_tcp(handle.addr(), (4..7).map(record).collect()), 3);
+        assert!(server.compact().unwrap(), "wal-backed stores must compact");
+        handle.shutdown();
+    }
+
+    // Generation 3: the snapshot + tail replay reconstruct all 7, in
+    // upload order, byte-for-byte.
+    {
+        let server = boot(&dir);
+        assert_eq!(server.result_count(), 7);
+        let all = server.results();
+        for (i, rec) in all.iter().enumerate() {
+            assert_eq!(rec, &record(i), "record {i} mutated across recovery");
+        }
+        assert_eq!(server.testcase_count(), 3);
+    }
+}

@@ -109,7 +109,7 @@ impl ControlledStudy {
     /// Runs the study end to end and returns the collected data.
     pub fn run(&self) -> StudyData {
         let server = Arc::new(UucsServer::new(
-            TestcaseStore::from_testcases(Self::library()),
+            TestcaseStore::from_testcases(Self::library()).expect("unique ids"),
             self.config.seed,
         ));
         let population = UserPopulation::generate(self.config.users, self.config.seed);

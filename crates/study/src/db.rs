@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use uucs_protocol::{RunOutcome, RunRecord};
+use uucs_protocol::{RunOutcome, RunRecord, WalEntry};
 use uucs_workloads::Task;
 
 /// The kind of testcase a record came from, judged by id convention.
@@ -25,16 +25,40 @@ pub enum RunKind {
 }
 
 impl RunKind {
-    /// Classifies a testcase id.
+    /// Classifies a testcase id by its structured suffix.
+    ///
+    /// Every generator in the workspace builds ids from `-`-separated
+    /// segments under one of two conventions:
+    ///
+    /// * Internet sweep: `{resource}-{kind}-{params...}`, e.g.
+    ///   `cpu-ramp-7-120`, `disk-step-4-60-30`, `memory-sin-0.5-40`;
+    ///   blanks are `blank-{n}-{duration}`.
+    /// * Controlled study: `{task}-{resource}-{kind}`, e.g.
+    ///   `word-cpu-ramp`, `quake-disk-step`; blanks are
+    ///   `{task}-blank-{n}`.
+    ///
+    /// So the classification is structural, not substring matching: an
+    /// id with an exact `blank` segment is [`RunKind::Blank`];
+    /// otherwise the segment *immediately following the first resource
+    /// segment* (`cpu`/`memory`/`disk`/`network`, per
+    /// [`Resource`](uucs_testcase::Resource)) names the kind — exactly
+    /// `ramp` or `step`, anything else (`sin`, `saw`, `expexp`,
+    /// `exppar`, a missing segment) is [`RunKind::Other`]. Ids with no
+    /// resource segment, such as a hypothetical `step-ramp-mix`, are
+    /// [`RunKind::Other`] rather than whatever substring happens to
+    /// appear first.
     pub fn of(testcase_id: &str) -> RunKind {
-        if testcase_id.contains("blank") {
-            RunKind::Blank
-        } else if testcase_id.contains("ramp") {
-            RunKind::Ramp
-        } else if testcase_id.contains("step") {
-            RunKind::Step
-        } else {
-            RunKind::Other
+        let mut segments = testcase_id.split('-');
+        if segments.clone().any(|s| s == "blank") {
+            return RunKind::Blank;
+        }
+        let kind = segments
+            .find(|s| s.parse::<uucs_testcase::Resource>().is_ok())
+            .and_then(|_| segments.next());
+        match kind {
+            Some("ramp") => RunKind::Ramp,
+            Some("step") => RunKind::Step,
+            _ => RunKind::Other,
         }
     }
 }
@@ -63,11 +87,44 @@ impl ResultDatabase {
         db
     }
 
-    /// Imports a result text file (the server's `results.txt`).
+    /// Imports a result text file (the server's `results.txt`). Parse
+    /// errors carry the file's line number.
     pub fn import(path: &Path) -> std::io::Result<Self> {
         let text = std::fs::read_to_string(path)?;
         let records = RunRecord::parse_many(&text)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(Self::from_records(records))
+    }
+
+    /// Imports a server's result *journal* (the `--wal` mode result
+    /// directory) without going through a text export: folds the newest
+    /// checkpoint, replays the records past it, and tolerates the torn
+    /// final frame a crashed server leaves behind.
+    ///
+    /// The scan is strictly read-only ([`uucs_wal::WalReader`]), so the
+    /// analysis phase can point at the data directory of a *live*
+    /// server — nothing is truncated, renamed, or deleted.
+    pub fn import_wal(dir: &Path) -> std::io::Result<Self> {
+        let invalid =
+            |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+        let mut reader = uucs_wal::WalReader::open(uucs_wal::StdIo::new(), dir)?;
+        let mut records = Vec::new();
+        if let Some(snap) = reader.take_snapshot() {
+            let text = std::str::from_utf8(&snap.state)
+                .map_err(|e| invalid(format!("snapshot is not utf-8: {e}")))?;
+            records = RunRecord::parse_many(text).map_err(invalid)?;
+        }
+        for item in reader.records() {
+            let (lsn, payload) = item?;
+            match WalEntry::decode(&payload).map_err(invalid)? {
+                WalEntry::Result(rec) => records.push(rec),
+                WalEntry::Testcase(_) => {
+                    return Err(invalid(format!(
+                        "record {lsn}: testcase entry in a result journal"
+                    )))
+                }
+            }
+        }
         Ok(Self::from_records(records))
     }
 
@@ -266,22 +323,93 @@ mod tests {
 
     #[test]
     fn run_kind_classification() {
-        assert_eq!(RunKind::of("word-cpu-ramp"), RunKind::Ramp);
-        assert_eq!(RunKind::of("ie-disk-step"), RunKind::Step);
-        assert_eq!(RunKind::of("quake-blank-2"), RunKind::Blank);
-        assert_eq!(RunKind::of("cpu-expexp-0007"), RunKind::Other);
+        // One row per id shape the workspace's generators can emit,
+        // plus the adversarial shapes substring matching used to get
+        // wrong. See the `RunKind::of` docs for the two conventions.
+        let table: &[(&str, RunKind)] = &[
+            // Controlled study: {task}-{resource}-{kind}.
+            ("word-cpu-ramp", RunKind::Ramp),
+            ("ie-disk-step", RunKind::Step),
+            ("quake-network-ramp", RunKind::Ramp),
+            ("quake-blank-2", RunKind::Blank),
+            // Internet sweep: {resource}-{kind}-{params...}.
+            ("cpu-ramp-7-120", RunKind::Ramp),
+            ("disk-step-4-60-30", RunKind::Step),
+            ("memory-sin-0.5-40", RunKind::Other),
+            ("net-saw-0.25-40", RunKind::Other),
+            ("cpu-expexp-0007", RunKind::Other),
+            ("cpu-exppar-0012", RunKind::Other),
+            ("blank-3-60", RunKind::Blank),
+            // Adversarial: `ramp`/`step` segments that do not follow a
+            // resource segment must not classify.
+            ("step-ramp-mix", RunKind::Other),
+            ("ramp-cpu", RunKind::Other),
+            ("trace-17", RunKind::Other),
+            // A resource with no following segment at all.
+            ("cpu", RunKind::Other),
+            ("", RunKind::Other),
+        ];
+        for (id, want) in table {
+            assert_eq!(RunKind::of(id), *want, "id {id:?}");
+        }
     }
 
     #[test]
     fn import_roundtrip() {
         let db = db();
-        let dir = std::env::temp_dir().join(format!("uucs-db-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = uucs_harness::TempDir::new("uucs-db");
         let path = dir.join("results.txt");
         std::fs::write(&path, RunRecord::emit_many(db.all())).unwrap();
         let imported = ResultDatabase::import(&path).unwrap();
         assert_eq!(imported.all(), db.all());
-        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_wal_folds_snapshot_and_tail() {
+        use uucs_protocol::WalEntry;
+        use uucs_wal::{StdIo, SyncPolicy, Wal, WalConfig};
+
+        let db = db();
+        let records = &db.all()[..10];
+        let dir = uucs_harness::TempDir::new("uucs-db-wal");
+        let config = WalConfig {
+            segment_bytes: 512,
+            sync: SyncPolicy::Always,
+        };
+        // Journal records the way the server's result store does: the
+        // first half folded into a checkpoint, the rest left as tail.
+        {
+            let (mut wal, _) = Wal::open(StdIo::new(), dir.path(), config).unwrap();
+            for rec in &records[..5] {
+                wal.append(&WalEntry::Result(rec.clone()).encode()).unwrap();
+            }
+            wal.snapshot(RunRecord::emit_many(&records[..5]).as_bytes())
+                .unwrap();
+            wal.compact().unwrap();
+            for rec in &records[5..] {
+                wal.append(&WalEntry::Result(rec.clone()).encode()).unwrap();
+            }
+        }
+        let imported = ResultDatabase::import_wal(dir.path()).unwrap();
+        assert_eq!(imported.all(), records);
+
+        // A testcase entry in a result journal is a structural error.
+        let dir2 = uucs_harness::TempDir::new("uucs-db-wal-bad");
+        {
+            let (mut wal, _) = Wal::open(StdIo::new(), dir2.path(), config).unwrap();
+            let tc = uucs_testcase::Testcase::single(
+                "t0",
+                1.0,
+                uucs_testcase::Resource::Cpu,
+                uucs_testcase::ExerciseSpec::Ramp {
+                    level: 1.0,
+                    duration: 30.0,
+                },
+            );
+            wal.append(&WalEntry::Testcase(tc).encode()).unwrap();
+        }
+        let err = ResultDatabase::import_wal(dir2.path()).unwrap_err();
+        assert!(err.to_string().contains("testcase entry"), "{err}");
     }
 
     #[test]

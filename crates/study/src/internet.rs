@@ -67,7 +67,7 @@ impl InternetStudy {
     pub fn run(&self) -> InternetStudyData {
         let library = Library::internet_sweep(self.config.seed);
         let server = Arc::new(UucsServer::new(
-            TestcaseStore::from_testcases(library.testcases().to_vec()),
+            TestcaseStore::from_testcases(library.testcases().to_vec()).expect("unique ids"),
             self.config.seed,
         ));
         let population = UserPopulation::generate(self.config.clients, self.config.seed ^ 0xdead);

@@ -1,0 +1,376 @@
+//! # uucs-wal — a durable, crash-recoverable write-ahead log
+//!
+//! The paper's server "hot-syncs" discomfort records from clients in
+//! the field and keeps them "on permanent storage in text files". A
+//! whole-file rewrite per checkpoint loses every record uploaded since
+//! the last rewrite if the server dies, and costs O(total records) per
+//! sync. This crate gives the server stores the usual database answer:
+//! an append-only, segment-rotated log with CRC32-framed records, a
+//! snapshot+compaction path, and recovery that replays committed
+//! records and truncates a torn tail instead of erroring.
+//!
+//! * [`Wal`] — the writer: `append(&[u8]) -> Lsn`, a configurable
+//!   [`SyncPolicy`] (`Always` / `EveryN(n)` / `Never`), segment
+//!   rotation at a size threshold, `snapshot()` / `compact()`, and an
+//!   iterator-based `replay()`.
+//! * [`WalReader`] — read-only validation + replay of a directory
+//!   another process owns (no truncation, no writes).
+//! * [`Io`] — the injectable storage backend: [`StdIo`] for real
+//!   files, [`MemIo`] for deterministic fault injection (fail, short
+//!   write, or crash at the Nth operation) so recovery is testable
+//!   without a real power cut.
+//!
+//! File format, naming, and the recovery algorithm are documented in
+//! the repository's `DESIGN.md` §5b; the durability contract is on
+//! [`wal`](crate::wal) and [`SyncPolicy`].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crc;
+pub mod frame;
+pub mod io;
+pub mod segment;
+pub mod wal;
+
+/// Log sequence number: the 0-based index of a record in the log.
+pub type Lsn = u64;
+
+pub use crate::io::{FaultPlan, Io, MemIo, StdIo};
+pub use crate::wal::{Recovery, Replay, Snapshot, SyncPolicy, TornTail, Wal, WalConfig, WalReader};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn cfg(segment_bytes: u64, sync: SyncPolicy) -> WalConfig {
+        WalConfig {
+            segment_bytes,
+            sync,
+        }
+    }
+
+    fn collect<I: Io>(replay: Replay<'_, I>) -> Vec<(Lsn, Vec<u8>)> {
+        replay.map(|r| r.expect("replay item")).collect()
+    }
+
+    #[test]
+    fn append_assigns_sequential_lsns_and_replays_in_order() {
+        let io = MemIo::new();
+        let (mut wal, rec) = Wal::open(io, "/w", WalConfig::default()).unwrap();
+        assert_eq!(rec.next_lsn, 0);
+        assert!(rec.snapshot.is_none());
+        for i in 0..10u8 {
+            assert_eq!(wal.append(&[i]).unwrap(), i as Lsn);
+        }
+        let got = collect(wal.replay());
+        assert_eq!(got.len(), 10);
+        for (i, (lsn, payload)) in got.iter().enumerate() {
+            assert_eq!(*lsn, i as Lsn);
+            assert_eq!(payload, &vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_everything_without_a_crash() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", WalConfig::default()).unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i, i]).unwrap();
+        }
+        drop(wal);
+        let (wal, rec) = Wal::open(io, "/w", WalConfig::default()).unwrap();
+        assert_eq!(rec.next_lsn, 5);
+        assert_eq!(rec.records, 5);
+        assert!(rec.torn_tail.is_none());
+        assert_eq!(collect(wal.replay()).len(), 5);
+        assert_eq!(wal.next_lsn(), 5);
+    }
+
+    #[test]
+    fn rotation_splits_the_log_across_segments() {
+        let io = MemIo::new();
+        // Tiny segments: every ~2 records rotate.
+        let (mut wal, _) = Wal::open(io.clone(), "/w", cfg(100, SyncPolicy::Always)).unwrap();
+        for i in 0..20u8 {
+            wal.append(&[i; 30]).unwrap();
+        }
+        assert!(
+            wal.segment_count() > 3,
+            "expected several segments, got {}",
+            wal.segment_count()
+        );
+        // Everything still replays, across the rotation boundaries.
+        let got = collect(wal.replay());
+        assert_eq!(got.len(), 20);
+        // And a reopen sees the same thing.
+        drop(wal);
+        let (wal, rec) = Wal::open(io, "/w", cfg(100, SyncPolicy::Always)).unwrap();
+        assert_eq!(rec.records, 20);
+        assert_eq!(collect(wal.replay()).len(), 20);
+    }
+
+    #[test]
+    fn oversized_record_still_appends() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io, "/w", cfg(100, SyncPolicy::Always)).unwrap();
+        wal.append(&[7u8; 500]).unwrap(); // larger than a whole segment
+        wal.append(b"next").unwrap();
+        let got = collect(wal.replay());
+        assert_eq!(got[0].1.len(), 500);
+        assert_eq!(got[1].1, b"next");
+    }
+
+    #[test]
+    fn snapshot_and_compact_fold_the_prefix() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", cfg(80, SyncPolicy::Always)).unwrap();
+        for i in 0..12u8 {
+            wal.append(&[i; 20]).unwrap();
+        }
+        let before = wal.segment_count();
+        assert!(before > 1);
+        let upto = wal.snapshot(b"folded-state-of-12").unwrap();
+        assert_eq!(upto, 12);
+        let removed = wal.compact().unwrap();
+        assert!(removed >= before - 1, "compaction freed {removed} files");
+        assert_eq!(wal.segment_count(), 1);
+        // Records after the snapshot replay; records before are folded.
+        wal.append(b"thirteen").unwrap();
+        let got = collect(wal.replay());
+        assert_eq!(got, vec![(12, b"thirteen".to_vec())]);
+        // Reopen: snapshot state comes back, replay starts after it.
+        drop(wal);
+        let (wal, rec) = Wal::open(io, "/w", cfg(80, SyncPolicy::Always)).unwrap();
+        let snap = rec.snapshot.expect("snapshot survives reopen");
+        assert_eq!(snap.upto, 12);
+        assert_eq!(snap.state, b"folded-state-of-12");
+        assert_eq!(collect(wal.replay()), vec![(12, b"thirteen".to_vec())]);
+    }
+
+    #[test]
+    fn repeated_snapshots_supersede_each_other() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", WalConfig::default()).unwrap();
+        wal.append(b"a").unwrap();
+        wal.snapshot(b"s1").unwrap();
+        wal.append(b"b").unwrap();
+        wal.snapshot(b"s2").unwrap();
+        wal.compact().unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(io, "/w", WalConfig::default()).unwrap();
+        let snap = rec.snapshot.unwrap();
+        assert_eq!(snap.upto, 2);
+        assert_eq!(snap.state, b"s2");
+        assert_eq!(rec.records, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_propagated() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", WalConfig::default()).unwrap();
+        wal.append(b"committed-1").unwrap();
+        wal.append(b"committed-2").unwrap();
+        // A crash mid-append: the failing write keeps 5 bytes.
+        io.set_fault(Some(FaultPlan {
+            fail_at: io.mutating_ops(),
+            short_write: Some(5),
+        }));
+        assert!(wal.append(b"never-acked").is_err());
+        io.crash(1.0); // even the torn bytes reach the platter
+        let (wal, rec) = Wal::open(io, "/w", WalConfig::default()).unwrap();
+        let torn = rec.torn_tail.expect("torn tail detected");
+        assert_eq!(torn.lost_bytes, 5);
+        assert_eq!(rec.next_lsn, 2);
+        assert_eq!(
+            collect(wal.replay()),
+            vec![(0, b"committed-1".to_vec()), (1, b"committed-2".to_vec())]
+        );
+    }
+
+    #[test]
+    fn broken_wal_refuses_further_appends_until_reopen() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", WalConfig::default()).unwrap();
+        wal.append(b"ok").unwrap();
+        io.set_fault(Some(FaultPlan {
+            fail_at: io.mutating_ops(),
+            short_write: None,
+        }));
+        assert!(wal.append(b"fails").is_err());
+        io.crash(0.0);
+        // The in-process handle stays poisoned even though the backend
+        // recovered: building on a half-applied append could interleave
+        // a fresh frame after a torn one.
+        let err = wal.append(b"again").unwrap_err();
+        assert!(err.to_string().contains("reopen"), "{err}");
+        let (mut wal, _) = Wal::open(io, "/w", WalConfig::default()).unwrap();
+        wal.append(b"again").unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_reported_not_truncated() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", WalConfig::default()).unwrap();
+        wal.append(b"aaaa").unwrap();
+        wal.append(b"bbbb").unwrap();
+        wal.append(b"cccc").unwrap();
+        drop(wal);
+        // Flip a bit inside the *middle* record's payload.
+        let seg = Path::new("/w/0000000000000000.wal");
+        let len = io.contents(seg).unwrap().len();
+        io.corrupt(seg, len - 16);
+        let err = Wal::open(io, "/w", WalConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("corrupt"), "{err}");
+    }
+
+    #[test]
+    fn torn_frame_in_non_final_segment_is_an_error() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", cfg(80, SyncPolicy::Always)).unwrap();
+        for i in 0..8u8 {
+            wal.append(&[i; 20]).unwrap();
+        }
+        assert!(wal.segment_count() >= 2);
+        drop(wal);
+        // Chop the FIRST segment short: records it committed are gone,
+        // and later segments prove they were committed.
+        let first = Path::new("/w/0000000000000000.wal");
+        let len = io.contents(first).unwrap().len() as u64;
+        io.truncate(first, len - 3).unwrap();
+        let err = Wal::open(io, "/w", WalConfig::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn crash_during_rotation_recovers_cleanly() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", cfg(80, SyncPolicy::Always)).unwrap();
+        for i in 0..4u8 {
+            wal.append(&[i; 20]).unwrap();
+        }
+        // Fail the create() of the next rotated segment.
+        io.set_fault(Some(FaultPlan {
+            fail_at: io.mutating_ops() + 1, // sync-of-old, then create-of-new
+            short_write: None,
+        }));
+        assert!(wal.append(&[9u8; 20]).is_err());
+        io.crash(0.0);
+        let (wal, rec) = Wal::open(io, "/w", cfg(80, SyncPolicy::Always)).unwrap();
+        assert_eq!(rec.next_lsn, 4);
+        assert_eq!(collect(wal.replay()).len(), 4);
+    }
+
+    #[test]
+    fn crash_before_new_segment_header_is_flushed() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", cfg(80, SyncPolicy::Never)).unwrap();
+        for i in 0..4u8 {
+            wal.append(&[i; 20]).unwrap();
+        }
+        wal.sync().unwrap();
+        // Force a rotation whose header write stays volatile, then lose it.
+        wal.append(&[9u8; 40]).unwrap();
+        io.crash(0.0);
+        let (wal, rec) = Wal::open(io.clone(), "/w", cfg(80, SyncPolicy::Never)).unwrap();
+        // The headerless file is removed; the synced prefix replays.
+        assert_eq!(rec.next_lsn, 4);
+        assert_eq!(collect(wal.replay()).len(), 4);
+        drop(wal);
+    }
+
+    #[test]
+    fn sync_policies_trade_durability_for_speed() {
+        for (policy, expect_survivors) in [
+            (SyncPolicy::Always, 7u64),
+            (SyncPolicy::EveryN(3), 6), // syncs fired after records 2 and 5
+            (SyncPolicy::Never, 0),
+        ] {
+            let io = MemIo::new();
+            let (mut wal, _) = Wal::open(io.clone(), "/w", cfg(1 << 20, policy)).unwrap();
+            for i in 0..7u8 {
+                wal.append(&[i]).unwrap();
+            }
+            io.crash(0.0); // nothing unsynced survives
+            let (_, rec) = Wal::open(io, "/w", cfg(1 << 20, policy)).unwrap();
+            assert_eq!(
+                rec.next_lsn, expect_survivors,
+                "{policy}: {} records survived",
+                rec.next_lsn
+            );
+        }
+    }
+
+    #[test]
+    fn reader_tolerates_torn_tail_without_writing() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", WalConfig::default()).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        io.set_fault(Some(FaultPlan {
+            fail_at: io.mutating_ops(),
+            short_write: Some(4),
+        }));
+        assert!(wal.append(b"torn").is_err());
+        io.crash(1.0);
+        let seg = Path::new("/w/0000000000000000.wal");
+        let len_before = io.contents(seg).unwrap().len();
+        let reader = WalReader::open(io.clone(), "/w").unwrap();
+        assert!(reader.torn_tail().is_some());
+        assert_eq!(reader.record_count(), 2);
+        let got: Vec<_> = reader.records().map(|r| r.unwrap().1).collect();
+        assert_eq!(got, vec![b"one".to_vec(), b"two".to_vec()]);
+        // Read-only: the torn bytes are still on disk afterwards.
+        assert_eq!(io.contents(seg).unwrap().len(), len_before);
+    }
+
+    #[test]
+    fn sync_policy_parsing() {
+        assert_eq!(SyncPolicy::parse("always"), Some(SyncPolicy::Always));
+        assert_eq!(SyncPolicy::parse("never"), Some(SyncPolicy::Never));
+        assert_eq!(SyncPolicy::parse("every=64"), Some(SyncPolicy::EveryN(64)));
+        assert_eq!(SyncPolicy::parse("every=0"), None);
+        assert_eq!(SyncPolicy::parse("sometimes"), None);
+        assert_eq!(SyncPolicy::EveryN(8).to_string(), "every=8");
+    }
+
+    #[test]
+    fn empty_payloads_and_interleaved_snapshot() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", WalConfig::default()).unwrap();
+        wal.append(b"").unwrap();
+        wal.append(b"x").unwrap();
+        wal.snapshot(b"two folded").unwrap();
+        wal.append(b"").unwrap();
+        drop(wal);
+        let (wal, rec) = Wal::open(io, "/w", WalConfig::default()).unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap().upto, 2);
+        assert_eq!(collect(wal.replay()), vec![(2, Vec::new())]);
+    }
+
+    #[test]
+    fn stdio_end_to_end() {
+        let tmp = uucs_harness::TempDir::new("uucs-wal-e2e");
+        let dir = tmp.join("wal");
+        let (mut wal, _) =
+            Wal::open(StdIo::new(), &dir, cfg(256, SyncPolicy::EveryN(4))).unwrap();
+        for i in 0..50u32 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        wal.snapshot(b"25-and-counting").unwrap();
+        for i in 50..60u32 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        wal.compact().unwrap();
+        drop(wal);
+        let (wal, rec) = Wal::open(StdIo::new(), &dir, WalConfig::default()).unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap().upto, 50);
+        assert_eq!(rec.snapshot.as_ref().unwrap().state, b"25-and-counting");
+        let got = collect(wal.replay());
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, 50);
+        assert_eq!(got[9].1, 59u32.to_le_bytes());
+    }
+}

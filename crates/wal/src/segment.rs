@@ -1,0 +1,156 @@
+//! Segment and snapshot file naming and headers.
+//!
+//! A WAL directory contains three kinds of files:
+//!
+//! * `<first_lsn:016x>.wal` — a log segment holding the frames for
+//!   records `first_lsn, first_lsn+1, ...` in order. The 16-byte header
+//!   repeats the first LSN so a misnamed file is detected.
+//! * `<upto:016x>.snap` — a checkpoint: the store's folded state
+//!   covering every record with `lsn < upto`, CRC-framed.
+//! * `*.tmp` — an in-flight snapshot that did not reach its atomic
+//!   rename; removed on recovery.
+
+use crate::frame::{encode_frame_into, FrameError, FrameScanner, FRAME_HEADER};
+use crate::Lsn;
+use std::io;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"UUCSWAL1";
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"UUCSNAP1";
+
+/// Bytes of segment header (magic + first LSN).
+pub const SEGMENT_HEADER: usize = 16;
+
+/// File name of the segment whose first record is `first_lsn`.
+pub fn segment_name(first_lsn: Lsn) -> String {
+    format!("{first_lsn:016x}.wal")
+}
+
+/// Parses a segment file name back to its first LSN.
+pub fn parse_segment_name(name: &str) -> Option<Lsn> {
+    let hex = name.strip_suffix(".wal")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    Lsn::from_str_radix(hex, 16).ok()
+}
+
+/// File name of the snapshot covering records `lsn < upto`.
+pub fn snapshot_name(upto: Lsn) -> String {
+    format!("{upto:016x}.snap")
+}
+
+/// Parses a snapshot file name back to its coverage bound.
+pub fn parse_snapshot_name(name: &str) -> Option<Lsn> {
+    let hex = name.strip_suffix(".snap")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    Lsn::from_str_radix(hex, 16).ok()
+}
+
+/// The 16-byte segment header.
+pub fn segment_header(first_lsn: Lsn) -> [u8; SEGMENT_HEADER] {
+    let mut h = [0u8; SEGMENT_HEADER];
+    h[..8].copy_from_slice(SEGMENT_MAGIC);
+    h[8..].copy_from_slice(&first_lsn.to_le_bytes());
+    h
+}
+
+/// Validates a segment header against the LSN its name declares.
+pub fn check_segment_header(data: &[u8], expect_first: Lsn) -> io::Result<()> {
+    debug_assert!(data.len() >= SEGMENT_HEADER);
+    if &data[..8] != SEGMENT_MAGIC {
+        return Err(corrupt("bad segment magic"));
+    }
+    let first = Lsn::from_le_bytes(data[8..16].try_into().unwrap());
+    if first != expect_first {
+        return Err(corrupt(format!(
+            "segment header lsn {first} disagrees with file name ({expect_first})"
+        )));
+    }
+    Ok(())
+}
+
+/// Serializes a snapshot file: magic, coverage bound, CRC-framed state.
+pub fn encode_snapshot(upto: Lsn, state: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + FRAME_HEADER + state.len());
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&upto.to_le_bytes());
+    encode_frame_into(state, &mut out);
+    out
+}
+
+/// Parses and validates a snapshot file, returning its state payload.
+pub fn decode_snapshot(data: &[u8], expect_upto: Lsn) -> io::Result<Vec<u8>> {
+    if data.len() < 16 || &data[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad snapshot magic"));
+    }
+    let upto = Lsn::from_le_bytes(data[8..16].try_into().unwrap());
+    if upto != expect_upto {
+        return Err(corrupt(format!(
+            "snapshot header lsn {upto} disagrees with file name ({expect_upto})"
+        )));
+    }
+    let mut scanner = FrameScanner::new(&data[16..]);
+    let state = match scanner.next() {
+        Some(Ok((_, payload))) => payload.to_vec(),
+        Some(Err(FrameError::Torn { reason, .. })) => {
+            return Err(corrupt(format!("snapshot truncated: {reason}")))
+        }
+        Some(Err(FrameError::Corrupt { detail, .. })) => {
+            return Err(corrupt(format!("snapshot corrupt: {detail}")))
+        }
+        None => return Err(corrupt("snapshot has no state frame")),
+    };
+    if scanner.next().is_some() {
+        return Err(corrupt("snapshot has trailing data"));
+    }
+    Ok(state)
+}
+
+pub(crate) fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        assert_eq!(segment_name(0), "0000000000000000.wal");
+        assert_eq!(parse_segment_name("0000000000000000.wal"), Some(0));
+        assert_eq!(parse_segment_name(&segment_name(0xdead_beef)), Some(0xdead_beef));
+        assert_eq!(parse_snapshot_name(&snapshot_name(42)), Some(42));
+        assert_eq!(parse_segment_name("x.wal"), None);
+        assert_eq!(parse_segment_name("0000000000000000.snap"), None);
+        assert_eq!(parse_snapshot_name("0000000000000000.wal"), None);
+        assert_eq!(parse_segment_name("0000000000000000.wal.tmp"), None);
+    }
+
+    #[test]
+    fn segment_header_roundtrip() {
+        let h = segment_header(7);
+        check_segment_header(&h, 7).unwrap();
+        assert!(check_segment_header(&h, 8).is_err());
+        let mut bad = h;
+        bad[0] = b'X';
+        assert!(check_segment_header(&bad, 7).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_validation() {
+        let enc = encode_snapshot(9, b"state bytes");
+        assert_eq!(decode_snapshot(&enc, 9).unwrap(), b"state bytes");
+        assert!(decode_snapshot(&enc, 10).is_err(), "name mismatch");
+        assert!(decode_snapshot(&enc[..enc.len() - 1], 9).is_err(), "torn");
+        let mut flipped = enc.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert!(decode_snapshot(&flipped, 9).is_err(), "corrupt");
+        assert!(decode_snapshot(b"short", 0).is_err());
+    }
+}

@@ -1,0 +1,749 @@
+//! The write-ahead log: append, rotate, recover, snapshot, compact.
+//!
+//! # Durability contract
+//!
+//! * Under [`SyncPolicy::Always`], `append` returns only after the
+//!   record's frame is on stable storage: every acknowledged append
+//!   survives a crash.
+//! * Under [`SyncPolicy::EveryN`], at most `n - 1` acknowledged appends
+//!   (plus the in-flight one) can be lost.
+//! * Under [`SyncPolicy::Never`], the log is only as durable as the
+//!   page cache; rotation and snapshots still sync their own files.
+//!
+//! # Recovery policy
+//!
+//! Replaying a directory distinguishes an *interrupted append* from
+//! *corruption* (see [`frame`](crate::frame)):
+//!
+//! * A torn frame at the tail of the **final** segment is the expected
+//!   residue of a crash — [`Wal::open`] silently truncates it and
+//!   reports it in [`Recovery::torn_tail`]. A final segment cut short
+//!   before its header is complete is removed the same way.
+//! * A bad frame **anywhere else** — mid-segment checksum mismatch, a
+//!   torn frame in a non-final segment, a gap in the LSN chain — is
+//!   reported as `InvalidData` and recovery refuses to proceed, because
+//!   committed data is missing rather than merely unflushed.
+
+use crate::frame::{encode_frame, FrameError, FrameScanner, FRAME_HEADER};
+use crate::io::Io;
+use crate::segment::{
+    check_segment_header, corrupt, decode_snapshot, encode_snapshot, parse_segment_name,
+    parse_snapshot_name, segment_header, segment_name, snapshot_name, SEGMENT_HEADER,
+};
+use crate::Lsn;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// When appended frames are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every append; an acknowledged record is durable.
+    Always,
+    /// `fsync` after every `n` appends; bounded loss window.
+    EveryN(u32),
+    /// Never `fsync` on append; fastest, page-cache durability only.
+    Never,
+}
+
+impl SyncPolicy {
+    /// Parses the CLI spelling: `always`, `never`, or `every=N`.
+    pub fn parse(s: &str) -> Option<SyncPolicy> {
+        match s {
+            "always" => Some(SyncPolicy::Always),
+            "never" => Some(SyncPolicy::Never),
+            _ => s
+                .strip_prefix("every=")
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n > 0)
+                .map(SyncPolicy::EveryN),
+        }
+    }
+}
+
+impl std::fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncPolicy::Always => f.write_str("always"),
+            SyncPolicy::EveryN(n) => write!(f, "every={n}"),
+            SyncPolicy::Never => f.write_str("never"),
+        }
+    }
+}
+
+/// Tunables for a [`Wal`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Rotate to a new segment once the active one exceeds this size.
+    pub segment_bytes: u64,
+    /// The sync policy for appends.
+    pub sync: SyncPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_bytes: 1 << 20,
+            sync: SyncPolicy::Always,
+        }
+    }
+}
+
+/// A recovered checkpoint: the folded state covering `lsn < upto`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Records with `lsn < upto` are folded into `state`.
+    pub upto: Lsn,
+    /// The caller-defined serialized state.
+    pub state: Vec<u8>,
+}
+
+/// An interrupted append found (and healed) during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// The segment file that carried the torn frame.
+    pub segment: String,
+    /// File offset the segment was (or should be) truncated to.
+    pub kept_bytes: u64,
+    /// Bytes of interrupted frame that were discarded.
+    pub lost_bytes: u64,
+    /// The scanner's description of what was missing.
+    pub reason: &'static str,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The newest valid checkpoint, if any. Ownership of the state
+    /// bytes passes to the caller, which folds them before replaying.
+    pub snapshot: Option<Snapshot>,
+    /// The torn tail that was truncated away, if any.
+    pub torn_tail: Option<TornTail>,
+    /// Live segment files after recovery.
+    pub segments: usize,
+    /// Records available to [`Wal::replay`] (those past the snapshot).
+    pub records: u64,
+    /// The LSN the next append will receive.
+    pub next_lsn: Lsn,
+}
+
+// ---------------------------------------------------------------------------
+// Directory scan (shared by Wal::open and WalReader::open)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct SegMeta {
+    name: String,
+    first: Lsn,
+    count: u64,
+    /// Absolute offset of the end of the last good frame.
+    good_end: u64,
+    file_len: u64,
+}
+
+#[derive(Debug)]
+struct Scan {
+    snapshot: Option<Snapshot>,
+    segments: Vec<SegMeta>,
+    torn: Option<TornTail>,
+    tmp_files: Vec<String>,
+    /// A final segment with no complete header: no records, remove it.
+    headerless_tail: Option<String>,
+    next_lsn: Lsn,
+    replay_records: u64,
+}
+
+fn scan_dir<I: Io>(io: &I, dir: &Path) -> io::Result<Scan> {
+    let names = io.list(dir)?;
+    let mut seg_names: Vec<(Lsn, String)> = Vec::new();
+    let mut snap_names: Vec<(Lsn, String)> = Vec::new();
+    let mut tmp_files = Vec::new();
+    for name in names {
+        if let Some(first) = parse_segment_name(&name) {
+            seg_names.push((first, name));
+        } else if let Some(upto) = parse_snapshot_name(&name) {
+            snap_names.push((upto, name));
+        } else if name.ends_with(".tmp") {
+            tmp_files.push(name);
+        }
+    }
+    seg_names.sort();
+    snap_names.sort();
+
+    // Newest snapshot that validates wins; older ones are compaction
+    // leftovers, invalid ones are skipped (the chain check below
+    // catches the case where skipping one loses committed records).
+    let mut snapshot = None;
+    for (upto, name) in snap_names.iter().rev() {
+        match io.read(&dir.join(name)).and_then(|d| decode_snapshot(&d, *upto)) {
+            Ok(state) => {
+                snapshot = Some(Snapshot { upto: *upto, state });
+                break;
+            }
+            Err(_) => continue,
+        }
+    }
+    let base = snapshot.as_ref().map(|s| s.upto).unwrap_or(0);
+
+    let mut segments: Vec<SegMeta> = Vec::new();
+    let mut torn = None;
+    let mut headerless_tail = None;
+    let mut replay_records = 0u64;
+    let last_idx = seg_names.len().wrapping_sub(1);
+    for (i, (first, name)) in seg_names.iter().enumerate() {
+        let is_last = i == last_idx;
+        let data = io.read(&dir.join(name))?;
+        if data.len() < SEGMENT_HEADER {
+            if is_last {
+                // Crash between creating the segment and flushing its
+                // header: it never held a record.
+                headerless_tail = Some(name.clone());
+                continue;
+            }
+            return Err(corrupt(format!(
+                "segment {name} is truncated mid-header but later segments exist"
+            )));
+        }
+        check_segment_header(&data, *first)
+            .map_err(|e| corrupt(format!("segment {name}: {e}")))?;
+
+        // Chain check: this segment must start exactly where the
+        // previous one ended (or at/below the snapshot bound for the
+        // first).
+        let expected = segments
+            .last()
+            .map(|s: &SegMeta| s.first + s.count)
+            .unwrap_or(base);
+        match (*first).cmp(&expected) {
+            std::cmp::Ordering::Greater if segments.is_empty() => {
+                return Err(corrupt(format!(
+                    "records {expected}..{first} are missing (no segment or snapshot covers them)"
+                )));
+            }
+            std::cmp::Ordering::Less if segments.is_empty() => {
+                // First segment may straddle or predate the snapshot.
+            }
+            std::cmp::Ordering::Equal => {}
+            _ => {
+                return Err(corrupt(format!(
+                    "segment chain gap: {name} starts at {first}, expected {expected}"
+                )));
+            }
+        }
+
+        let mut scanner = FrameScanner::new(&data[SEGMENT_HEADER..]);
+        let mut count = 0u64;
+        let mut bad = None;
+        for item in scanner.by_ref() {
+            match item {
+                Ok(_) => count += 1,
+                Err(e) => {
+                    bad = Some(e);
+                    break;
+                }
+            }
+        }
+        let good_end = (SEGMENT_HEADER + scanner.offset()) as u64;
+        match bad {
+            None => {}
+            Some(FrameError::Torn { reason, .. }) if is_last => {
+                torn = Some(TornTail {
+                    segment: name.clone(),
+                    kept_bytes: good_end,
+                    lost_bytes: data.len() as u64 - good_end,
+                    reason,
+                });
+            }
+            Some(FrameError::Torn { offset, reason }) => {
+                return Err(corrupt(format!(
+                    "segment {name}: torn frame at offset {} ({reason}) in a non-final segment",
+                    SEGMENT_HEADER + offset
+                )));
+            }
+            Some(FrameError::Corrupt { offset, detail }) => {
+                return Err(corrupt(format!(
+                    "segment {name}: corrupt frame at offset {}: {detail}",
+                    SEGMENT_HEADER + offset
+                )));
+            }
+        }
+        let seg_end = first + count;
+        replay_records += seg_end.saturating_sub(base.max(*first));
+        segments.push(SegMeta {
+            name: name.clone(),
+            first: *first,
+            count,
+            good_end,
+            file_len: data.len() as u64,
+        });
+    }
+
+    let next_lsn = segments
+        .last()
+        .map(|s| s.first + s.count)
+        .unwrap_or(0)
+        .max(base);
+    Ok(Scan {
+        snapshot,
+        segments,
+        torn,
+        tmp_files,
+        headerless_tail,
+        next_lsn,
+        replay_records,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Replay iterator
+// ---------------------------------------------------------------------------
+
+/// Streams `(lsn, payload)` pairs out of a WAL directory, one segment
+/// in memory at a time.
+#[derive(Debug)]
+pub struct Replay<'a, I: Io> {
+    io: &'a I,
+    dir: &'a Path,
+    /// `(first_lsn, name, byte_limit)`; `byte_limit` caps a torn final
+    /// segment in read-only mode.
+    segments: std::collections::VecDeque<(Lsn, String, Option<u64>)>,
+    current: Option<(Vec<u8>, usize, Lsn)>,
+    skip_below: Lsn,
+    failed: bool,
+}
+
+impl<'a, I: Io> Replay<'a, I> {
+    fn new(
+        io: &'a I,
+        dir: &'a Path,
+        segments: std::collections::VecDeque<(Lsn, String, Option<u64>)>,
+        skip_below: Lsn,
+    ) -> Replay<'a, I> {
+        Replay {
+            io,
+            dir,
+            segments,
+            current: None,
+            skip_below,
+            failed: false,
+        }
+    }
+
+    fn load_next_segment(&mut self) -> io::Result<bool> {
+        let Some((first, name, limit)) = self.segments.pop_front() else {
+            return Ok(false);
+        };
+        let mut data = self.io.read(&self.dir.join(&name))?;
+        if let Some(limit) = limit {
+            data.truncate(limit as usize);
+        }
+        if data.len() < SEGMENT_HEADER {
+            return Err(corrupt(format!("segment {name}: missing header")));
+        }
+        check_segment_header(&data, first)?;
+        self.current = Some((data, SEGMENT_HEADER, first));
+        Ok(true)
+    }
+}
+
+impl<'a, I: Io> Iterator for Replay<'a, I> {
+    type Item = io::Result<(Lsn, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        enum Step {
+            SegmentDone,
+            Record(Lsn, Vec<u8>),
+            Fail(String),
+        }
+        loop {
+            if self.failed {
+                return None;
+            }
+            if self.current.is_none() {
+                match self.load_next_segment() {
+                    Ok(true) => {}
+                    Ok(false) => return None,
+                    Err(e) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                }
+            }
+            let step = {
+                let (data, offset, lsn) = self.current.as_mut().expect("segment just loaded");
+                match FrameScanner::new(&data[*offset..]).next() {
+                    None => Step::SegmentDone,
+                    Some(Ok((_, payload))) => {
+                        let record_lsn = *lsn;
+                        *lsn += 1;
+                        *offset += FRAME_HEADER + payload.len();
+                        Step::Record(record_lsn, payload.to_vec())
+                    }
+                    Some(Err(FrameError::Torn { offset: o, reason })) => {
+                        Step::Fail(format!("torn frame at offset {} ({reason})", *offset + o))
+                    }
+                    Some(Err(FrameError::Corrupt { offset: o, detail })) => {
+                        Step::Fail(format!("corrupt frame at offset {}: {detail}", *offset + o))
+                    }
+                }
+            };
+            match step {
+                Step::SegmentDone => self.current = None,
+                Step::Record(lsn, payload) => {
+                    if lsn < self.skip_below {
+                        continue;
+                    }
+                    return Some(Ok((lsn, payload)));
+                }
+                Step::Fail(detail) => {
+                    self.failed = true;
+                    return Some(Err(corrupt(detail)));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wal
+// ---------------------------------------------------------------------------
+
+/// An open, writable write-ahead log.
+#[derive(Debug)]
+pub struct Wal<I: Io> {
+    io: I,
+    dir: PathBuf,
+    config: WalConfig,
+    next_lsn: Lsn,
+    snapshot_upto: Lsn,
+    /// `(first_lsn, file name)` of every live segment; the last is active.
+    segments: Vec<(Lsn, String)>,
+    active_len: u64,
+    appends_since_sync: u32,
+    broken: bool,
+}
+
+impl<I: Io> Wal<I> {
+    /// Opens (creating if necessary) and recovers a WAL directory.
+    ///
+    /// Removes abandoned `.tmp` snapshot files, truncates a torn final
+    /// frame, validates every surviving frame's checksum and the LSN
+    /// chain, and hands the caller the newest checkpoint plus the
+    /// replay position. Mid-log corruption is an `InvalidData` error.
+    pub fn open(io: I, dir: impl Into<PathBuf>, config: WalConfig) -> io::Result<(Wal<I>, Recovery)> {
+        let dir = dir.into();
+        let config = WalConfig {
+            segment_bytes: config.segment_bytes.max(SEGMENT_HEADER as u64 + 64),
+            ..config
+        };
+        io.create_dir_all(&dir)?;
+        let mut scan = scan_dir(&io, &dir)?;
+        for tmp in &scan.tmp_files {
+            io.remove(&dir.join(tmp))?;
+        }
+        if let Some(name) = scan.headerless_tail.take() {
+            io.remove(&dir.join(&name))?;
+        }
+        if let Some(t) = &scan.torn {
+            io.truncate(&dir.join(&t.segment), t.kept_bytes)?;
+            io.sync(&dir.join(&t.segment))?;
+        }
+        let mut segments: Vec<(Lsn, String)> = scan
+            .segments
+            .iter()
+            .map(|s| (s.first, s.name.clone()))
+            .collect();
+        let active_len = match scan.segments.last() {
+            Some(last) => last.good_end,
+            None => {
+                let name = segment_name(scan.next_lsn);
+                let path = dir.join(&name);
+                io.create(&path)?;
+                io.append(&path, &segment_header(scan.next_lsn))?;
+                io.sync(&path)?;
+                segments.push((scan.next_lsn, name));
+                SEGMENT_HEADER as u64
+            }
+        };
+        let recovery = Recovery {
+            snapshot: scan.snapshot.take(),
+            torn_tail: scan.torn.take(),
+            segments: segments.len(),
+            records: scan.replay_records,
+            next_lsn: scan.next_lsn,
+        };
+        let snapshot_upto = recovery.snapshot.as_ref().map(|s| s.upto).unwrap_or(0);
+        Ok((
+            Wal {
+                io,
+                dir,
+                config,
+                next_lsn: scan.next_lsn,
+                snapshot_upto,
+                segments,
+                active_len,
+                appends_since_sync: 0,
+                broken: false,
+            },
+            recovery,
+        ))
+    }
+
+    /// The LSN the next append will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.next_lsn
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+
+    /// Live segment count (including the active one).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The WAL directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn active_path(&self) -> PathBuf {
+        self.dir.join(&self.segments.last().expect("always one segment").1)
+    }
+
+    fn check_broken(&self) -> io::Result<()> {
+        if self.broken {
+            return Err(io::Error::other(
+                "wal is broken after an earlier I/O error; reopen to recover",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Marks the log broken on failure, so a half-applied operation is
+    /// never built upon — recovery is a reopen.
+    fn guard<T>(&mut self, r: io::Result<T>) -> io::Result<T> {
+        if r.is_err() {
+            self.broken = true;
+        }
+        r
+    }
+
+    /// Appends one record, returning its LSN. Durability depends on
+    /// [`SyncPolicy`]; under `Always` a returned LSN is crash-proof.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<Lsn> {
+        self.check_broken()?;
+        let frame = encode_frame(payload);
+        if self.active_len + frame.len() as u64 > self.config.segment_bytes
+            && self.active_len > SEGMENT_HEADER as u64
+        {
+            self.rotate()?;
+        }
+        let path = self.active_path();
+        let append = self.io.append(&path, &frame);
+        self.guard(append)?;
+        self.active_len += frame.len() as u64;
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        match self.config.sync {
+            SyncPolicy::Always => {
+                let sync = self.io.sync(&path);
+                self.guard(sync)?;
+            }
+            SyncPolicy::EveryN(n) => {
+                self.appends_since_sync += 1;
+                if self.appends_since_sync >= n {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(lsn)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.check_broken()?;
+        let path = self.active_path();
+        let sync = self.io.sync(&path);
+        self.guard(sync)?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Closes the active segment and starts a new one at `next_lsn`.
+    fn rotate(&mut self) -> io::Result<()> {
+        // The outgoing segment is synced under EVERY policy: a later
+        // segment may be synced before the earlier one otherwise, and a
+        // crash would then leave a gap in the committed log — which
+        // recovery must (and does) reject — instead of a torn tail at
+        // the end. Rotation is rare, so the extra fsync is cheap.
+        self.sync()?;
+        let name = segment_name(self.next_lsn);
+        let path = self.dir.join(&name);
+        let create = self.io.create(&path);
+        self.guard(create)?;
+        let header = self.io.append(&path, &segment_header(self.next_lsn));
+        self.guard(header)?;
+        if self.config.sync == SyncPolicy::Always {
+            let sync = self.io.sync(&path);
+            self.guard(sync)?;
+        }
+        self.segments.push((self.next_lsn, name));
+        self.active_len = SEGMENT_HEADER as u64;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Writes a checkpoint covering every record appended so far, then
+    /// rotates so [`Wal::compact`] can delete the folded segments.
+    ///
+    /// The active segment is synced first (the checkpoint must never
+    /// claim records the log could still lose), the checkpoint file is
+    /// written and synced under a `.tmp` name, and the atomic rename
+    /// publishes it. Returns the coverage bound.
+    pub fn snapshot(&mut self, state: &[u8]) -> io::Result<Lsn> {
+        self.check_broken()?;
+        let upto = self.next_lsn;
+        self.sync()?;
+        let final_name = snapshot_name(upto);
+        let tmp_path = self.dir.join(format!("{final_name}.tmp"));
+        let create = self.io.create(&tmp_path);
+        self.guard(create)?;
+        let body = encode_snapshot(upto, state);
+        let append = self.io.append(&tmp_path, &body);
+        self.guard(append)?;
+        let sync = self.io.sync(&tmp_path);
+        self.guard(sync)?;
+        let rename = self.io.rename(&tmp_path, &self.dir.join(&final_name));
+        self.guard(rename)?;
+        self.snapshot_upto = upto;
+        // Rotate unless the active segment is already empty and aligned.
+        let (active_first, _) = *self.segments.last().expect("always one segment");
+        if !(active_first == upto && self.active_len == SEGMENT_HEADER as u64) {
+            self.rotate()?;
+        }
+        Ok(upto)
+    }
+
+    /// Deletes segments wholly covered by the newest checkpoint, plus
+    /// superseded checkpoint files. Returns how many files went away.
+    pub fn compact(&mut self) -> io::Result<usize> {
+        self.check_broken()?;
+        let upto = self.snapshot_upto;
+        let mut removed = 0;
+        while self.segments.len() > 1 && self.segments[1].0 <= upto {
+            let name = self.segments[0].1.clone();
+            let remove = self.io.remove(&self.dir.join(&name));
+            self.guard(remove)?;
+            self.segments.remove(0);
+            removed += 1;
+        }
+        for name in self.io.list(&self.dir)? {
+            if parse_snapshot_name(&name).is_some_and(|s| s < upto) {
+                let remove = self.io.remove(&self.dir.join(&name));
+                self.guard(remove)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Iterates the records past the newest checkpoint, in LSN order.
+    pub fn replay(&self) -> Replay<'_, I> {
+        let segments = self
+            .segments
+            .iter()
+            .map(|(first, name)| (*first, name.clone(), None))
+            .collect();
+        Replay::new(&self.io, &self.dir, segments, self.snapshot_upto)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WalReader
+// ---------------------------------------------------------------------------
+
+/// Read-only access to a WAL directory: validates and replays without
+/// truncating the torn tail or touching any file — safe to point at a
+/// directory another process owns.
+#[derive(Debug)]
+pub struct WalReader<I: Io> {
+    io: I,
+    dir: PathBuf,
+    snapshot: Option<Snapshot>,
+    /// Records below this are covered by the snapshot — remembered
+    /// separately so [`WalReader::take_snapshot`] does not change what
+    /// [`WalReader::records`] yields.
+    snapshot_upto: Lsn,
+    segments: Vec<(Lsn, String, Option<u64>)>,
+    torn: Option<TornTail>,
+    next_lsn: Lsn,
+    records: u64,
+}
+
+impl<I: Io> WalReader<I> {
+    /// Scans and validates a WAL directory read-only. A torn final
+    /// frame is tolerated (and reported via [`WalReader::torn_tail`]);
+    /// mid-log corruption is an error, exactly as in [`Wal::open`].
+    pub fn open(io: I, dir: impl Into<PathBuf>) -> io::Result<WalReader<I>> {
+        let dir = dir.into();
+        let scan = scan_dir(&io, &dir)?;
+        let segments = scan
+            .segments
+            .iter()
+            .map(|s| {
+                let limit = (s.good_end < s.file_len).then_some(s.good_end);
+                (s.first, s.name.clone(), limit)
+            })
+            .collect();
+        Ok(WalReader {
+            io,
+            dir,
+            snapshot_upto: scan.snapshot.as_ref().map(|s| s.upto).unwrap_or(0),
+            snapshot: scan.snapshot,
+            segments,
+            torn: scan.torn,
+            next_lsn: scan.next_lsn,
+            records: scan.replay_records,
+        })
+    }
+
+    /// The newest valid checkpoint.
+    pub fn snapshot(&self) -> Option<&Snapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Takes ownership of the checkpoint state.
+    pub fn take_snapshot(&mut self) -> Option<Snapshot> {
+        self.snapshot.take()
+    }
+
+    /// The torn tail found during the scan, if any.
+    pub fn torn_tail(&self) -> Option<&TornTail> {
+        self.torn.as_ref()
+    }
+
+    /// The LSN the owning writer would assign next.
+    pub fn next_lsn(&self) -> Lsn {
+        self.next_lsn
+    }
+
+    /// How many records [`WalReader::records`] will yield.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Iterates the records past the checkpoint, in LSN order —
+    /// regardless of whether the checkpoint state itself has already
+    /// been taken with [`WalReader::take_snapshot`].
+    pub fn records(&self) -> Replay<'_, I> {
+        Replay::new(
+            &self.io,
+            &self.dir,
+            self.segments.iter().cloned().collect(),
+            self.snapshot_upto,
+        )
+    }
+}

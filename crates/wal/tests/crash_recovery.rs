@@ -1,0 +1,225 @@
+//! Crash-recovery property tests: an injected fault at an arbitrary
+//! mutating operation, followed by a power loss that keeps an arbitrary
+//! fraction of the unsynced tail, must never leave the log in a state
+//! [`Wal::open`] refuses to recover — and under [`SyncPolicy::Always`]
+//! every acknowledged append must survive.
+
+use std::path::Path;
+use uucs_harness::prelude::*;
+use uucs_wal::{FaultPlan, MemIo, SyncPolicy, Wal, WalConfig};
+
+/// Deterministic payload for the `i`th append: varied length (so some
+/// runs rotate segments, some don't) and content derived from the index
+/// (so replay mismatches are caught byte-for-byte).
+fn payload(i: u64, spice: u64) -> Vec<u8> {
+    let len = ((i * 7 + spice) % 61) as usize;
+    let mut p = format!("rec-{i:04}-").into_bytes();
+    p.extend((0..len).map(|j| b'a' + ((i as usize + j) % 26) as u8));
+    p
+}
+
+/// Appends up to `n` records, stopping at the first error (the injected
+/// fault). Returns how many appends were acknowledged.
+fn drive(wal: &mut Wal<MemIo>, n: u64, spice: u64) -> u64 {
+    for i in 0..n {
+        if wal.append(&payload(i, spice)).is_err() {
+            return i;
+        }
+    }
+    n
+}
+
+/// Recovers the directory and checks that the replayed records are an
+/// exact LSN-ordered prefix of the attempted append sequence. Returns
+/// the number of replayed records.
+fn check_recovery(
+    io: &MemIo,
+    dir: &Path,
+    config: WalConfig,
+    spice: u64,
+    attempted: u64,
+) -> Result<u64, uucs_harness::prop::CaseError> {
+    let opened = Wal::open(io.clone(), dir, config);
+    prop_assert!(opened.is_ok(), "recovery errored: {:?}", opened.err());
+    let (wal, recovery) = opened.unwrap();
+    prop_assert_eq!(recovery.snapshot, None);
+    let mut replayed = 0u64;
+    for item in wal.replay() {
+        prop_assert!(item.is_ok(), "replay errored: {:?}", item.err());
+        let (lsn, bytes) = item.unwrap();
+        prop_assert_eq!(lsn, replayed);
+        prop_assert_eq!(bytes, payload(lsn, spice));
+        replayed += 1;
+    }
+    prop_assert_eq!(recovery.records, replayed);
+    prop_assert_eq!(recovery.next_lsn, replayed);
+    prop_assert!(
+        replayed <= attempted,
+        "replayed {replayed} of only {attempted} attempts"
+    );
+    Ok(replayed)
+}
+
+proptest! {
+    /// Under `SyncPolicy::Always`, an acknowledged append is durable:
+    /// whatever operation the fault hits and however much of the page
+    /// cache the crash flushes, recovery succeeds and replays at least
+    /// every acknowledged record — plus at most the one in-flight append
+    /// whose frame happened to reach the disk whole.
+    #[test]
+    fn acknowledged_appends_survive_any_crash(
+        n in 1u64..40,
+        fail_at in 0u64..100,
+        short_raw in 0usize..24,
+        frac_pct in 0u32..101,
+        spice in 0u64..1000,
+    ) {
+        let io = MemIo::new();
+        let dir = Path::new("/wal");
+        let config = WalConfig { segment_bytes: 256, sync: SyncPolicy::Always };
+        let (mut wal, _) = Wal::open(io.clone(), dir, config).unwrap();
+        io.set_fault(Some(FaultPlan {
+            fail_at,
+            short_write: (short_raw < 16).then_some(short_raw),
+        }));
+        let acked = drive(&mut wal, n, spice);
+        io.crash(frac_pct as f64 / 100.0);
+
+        let replayed = check_recovery(&io, dir, config, spice, n)?;
+        prop_assert!(
+            replayed >= acked,
+            "lost acknowledged records: acked {acked}, replayed {replayed}"
+        );
+        prop_assert!(
+            replayed <= acked + 1,
+            "more than the in-flight record appeared: acked {acked}, replayed {replayed}"
+        );
+    }
+
+    /// Under `SyncPolicy::EveryN(k)`, recovery still always succeeds and
+    /// the loss window is bounded: at most `k - 1` acknowledged records
+    /// (plus the in-flight one) vanish, and what survives is an exact
+    /// prefix of the append sequence — never a gap, never a reorder.
+    #[test]
+    fn every_n_loses_at_most_a_bounded_suffix(
+        n in 1u64..40,
+        k in 1u32..8,
+        fail_at in 0u64..100,
+        short_raw in 0usize..24,
+        frac_pct in 0u32..101,
+        spice in 0u64..1000,
+    ) {
+        let io = MemIo::new();
+        let dir = Path::new("/wal");
+        let config = WalConfig { segment_bytes: 256, sync: SyncPolicy::EveryN(k) };
+        let (mut wal, _) = Wal::open(io.clone(), dir, config).unwrap();
+        io.set_fault(Some(FaultPlan {
+            fail_at,
+            short_write: (short_raw < 16).then_some(short_raw),
+        }));
+        let acked = drive(&mut wal, n, spice);
+        io.crash(frac_pct as f64 / 100.0);
+
+        let replayed = check_recovery(&io, dir, config, spice, n)?;
+        prop_assert!(
+            replayed + u64::from(k) > acked,
+            "lost more than the sync window: acked {acked}, replayed {replayed}, k {k}"
+        );
+    }
+
+    /// A torn final frame is truncated, never reported as an error, and
+    /// recovery is idempotent: a second open of the healed directory
+    /// finds no torn tail and replays the same records.
+    #[test]
+    fn torn_tail_heals_idempotently(
+        n in 1u64..30,
+        cut in 1usize..8,
+        spice in 0u64..1000,
+    ) {
+        let io = MemIo::new();
+        let dir = Path::new("/wal");
+        let config = WalConfig { segment_bytes: 4096, sync: SyncPolicy::Always };
+        let (mut wal, _) = Wal::open(io.clone(), dir, config).unwrap();
+        let acked = drive(&mut wal, n, spice);
+        prop_assert_eq!(acked, n);
+        prop_assert_eq!(wal.segment_count(), 1);
+        // Tear the tail: one more append whose frame reaches the disk
+        // whole (fault after write, crash flushes the cache), then cut
+        // the durable image mid-frame — the torn-but-partially-flushed
+        // residue of an interrupted append.
+        let extra = payload(n, spice);
+        let frame_len = 8 + extra.len();
+        prop_assume!(cut < frame_len);
+        io.set_fault(Some(FaultPlan { fail_at: io.mutating_ops(), short_write: None }));
+        let _ = wal.append(&extra);
+        io.crash(1.0);
+        let seg = dir.join(format!("{:016x}.wal", 0));
+        let whole = io.contents(&seg).expect("first segment exists");
+        let torn_len = whole.len() - cut;
+        {
+            use uucs_wal::Io;
+            io.truncate(&seg, torn_len as u64).unwrap();
+            io.sync(&seg).unwrap();
+        }
+
+        let (wal2, rec2) = Wal::open(io.clone(), dir, config).unwrap();
+        let torn = rec2.torn_tail.expect("torn tail must be detected");
+        prop_assert_eq!(torn.kept_bytes + torn.lost_bytes, torn_len as u64);
+        prop_assert_eq!(rec2.records, n);
+        drop(wal2);
+
+        let (wal3, rec3) = Wal::open(io.clone(), dir, config).unwrap();
+        prop_assert!(rec3.torn_tail.is_none(), "second open found {:?}", rec3.torn_tail);
+        prop_assert_eq!(rec3.records, n);
+        prop_assert_eq!(wal3.replay().count() as u64, n);
+    }
+
+    /// Several crash/recover/append cycles in a row: the log stays an
+    /// exact prefix-consistent record of every acknowledged append.
+    #[test]
+    fn repeated_crashes_compose(
+        rounds in prop::collection::vec(0u64..1_000_000, 1..5),
+        spice in 0u64..1000,
+    ) {
+        let io = MemIo::new();
+        let dir = Path::new("/wal");
+        let config = WalConfig { segment_bytes: 256, sync: SyncPolicy::Always };
+        let mut durable = 0u64; // lower bound on surviving records
+        let mut written = 0u64; // upper bound (incl. in-flight)
+        for &round in &rounds {
+            // Decode one draw into this round's shape.
+            let n = round % 12 + 1;
+            let fail_offset = (round / 12) % 40;
+            let frac_pct = (round / 480) % 101;
+            let opened = Wal::open(io.clone(), dir, config);
+            prop_assert!(opened.is_ok(), "recovery errored: {:?}", opened.err());
+            let (mut wal, recovery) = opened.unwrap();
+            let base = recovery.next_lsn;
+            prop_assert!(base >= durable, "round lost records: {base} < {durable}");
+            prop_assert!(base <= written, "round invented records: {base} > {written}");
+            io.set_fault(Some(FaultPlan {
+                fail_at: io.mutating_ops() + fail_offset,
+                short_write: None,
+            }));
+            let mut acked = 0u64;
+            for i in 0..n {
+                if wal.append(&payload(base + i, spice)).is_err() {
+                    break;
+                }
+                acked += 1;
+            }
+            durable = base + acked;
+            written = (base + acked + u64::from(acked < n)).max(written);
+            io.crash(frac_pct as f64 / 100.0);
+        }
+        let (wal, recovery) = Wal::open(io.clone(), dir, config).unwrap();
+        prop_assert!(recovery.next_lsn >= durable);
+        prop_assert!(recovery.next_lsn <= written);
+        for (i, item) in wal.replay().enumerate() {
+            prop_assert!(item.is_ok(), "replay errored: {:?}", item.err());
+            let (lsn, bytes) = item.unwrap();
+            prop_assert_eq!(lsn, i as u64);
+            prop_assert_eq!(bytes, payload(lsn, spice));
+        }
+    }
+}

@@ -19,8 +19,11 @@ fi
 echo "== test (workspace) =="
 cargo test -q --workspace
 
-echo "== bench smoke (UUCS_BENCH_QUICK=1, all four targets) =="
-for bench in paper_figures substrate exerciser_accuracy ablations; do
+echo "== wal fault-injection suite (crash points x sync policies) =="
+cargo test -q -p uucs-wal
+
+echo "== bench smoke (UUCS_BENCH_QUICK=1, all five targets) =="
+for bench in paper_figures substrate exerciser_accuracy ablations wal; do
     echo "-- $bench --"
     UUCS_BENCH_QUICK=1 cargo bench -p uucs-bench --bench "$bench"
 done

@@ -33,4 +33,5 @@ pub use uucs_sim as sim;
 pub use uucs_stats as stats;
 pub use uucs_study as study;
 pub use uucs_testcase as testcase;
+pub use uucs_wal as wal;
 pub use uucs_workloads as workloads;

@@ -17,7 +17,7 @@ fn full_pipeline_over_tcp() {
         .flat_map(|&t| calibration::controlled_testcases(t))
         .collect();
     let server = Arc::new(UucsServer::new(
-        TestcaseStore::from_testcases(library.clone()),
+        TestcaseStore::from_testcases(library.clone()).expect("unique ids"),
         7,
     ));
     let handle = tcp::serve(server, "127.0.0.1:0").expect("bind");

@@ -14,7 +14,7 @@ use uucs::workloads::Task;
 fn quake_session_full_fidelity() {
     let library = calibration::controlled_testcases(Task::Quake);
     let server = Arc::new(UucsServer::new(
-        TestcaseStore::from_testcases(library.clone()),
+        TestcaseStore::from_testcases(library.clone()).expect("unique ids"),
         1,
     ));
     let mut transport = LocalTransport::new(server.clone());
