@@ -1,0 +1,121 @@
+//! Resilience-tax benchmarks: end-to-end sync throughput through the
+//! chaos proxy at increasing fault rates. The 0% row is the clean
+//! baseline (proxy in the path, no faults); the 1% and 10% rows show
+//! what retries, reconnects, and backoff cost when the network
+//! misbehaves — the price of the fault-tolerant transport actually
+//! doing its job.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use uucs_chaos::{ChaosPolicy, ChaosProxy, FaultKind};
+use uucs_client::{ClientTransport, ResilientTransport, RetryPolicy};
+use uucs_harness::{bench_group, bench_main, Criterion, Throughput};
+use uucs_protocol::{ClientMsg, MachineSnapshot, MonitorSummary, RunOutcome, RunRecord, ServerMsg};
+use uucs_server::{tcp, TestcaseStore, UucsServer};
+use uucs_testcase::{ExerciseSpec, Resource, Testcase};
+
+fn library() -> Vec<Testcase> {
+    (0..8)
+        .map(|i| {
+            Testcase::single(
+                format!("bench-tc-{i}"),
+                1.0,
+                Resource::Cpu,
+                ExerciseSpec::Ramp {
+                    level: 1.0 + i as f64 * 0.1,
+                    duration: 60.0,
+                },
+            )
+        })
+        .collect()
+}
+
+fn record(i: usize) -> RunRecord {
+    RunRecord {
+        client: "client-0001".into(),
+        user: format!("u{i:03}"),
+        testcase: format!("bench-tc-{}", i % 8),
+        task: "Word".into(),
+        outcome: RunOutcome::Discomfort,
+        offset_secs: 30.0 + i as f64,
+        last_levels: vec![(Resource::Cpu, vec![1.0, 1.25])],
+        monitor: MonitorSummary::default(),
+    }
+}
+
+/// One sync round: upload a batch of `n` records, expecting a full ack
+/// (retrying the same sequence number until it lands).
+fn upload_until_acked(
+    transport: &mut ResilientTransport,
+    client: &str,
+    seq: u64,
+    records: &[RunRecord],
+) {
+    loop {
+        match transport.exchange(&ClientMsg::Upload {
+            client: client.into(),
+            seq,
+            records: records.to_vec(),
+        }) {
+            Ok(ServerMsg::Ack(n)) if n == records.len() => return,
+            _ => continue,
+        }
+    }
+}
+
+/// Sync throughput (records acknowledged per second) at 0%, 1% and 10%
+/// injected-fault rates. Faults draw from the destructive menu (drops,
+/// resets, truncations) so every hit costs a reconnect.
+fn sync_throughput(c: &mut Criterion) {
+    const BATCH: usize = 16;
+    let records: Vec<RunRecord> = (0..BATCH).map(record).collect();
+    let mut group = c.benchmark_group("chaos/sync_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for (name, rate) in [("fault_0pct", 0.0), ("fault_1pct", 0.01), ("fault_10pct", 0.10)] {
+        let server = Arc::new(UucsServer::new(
+            TestcaseStore::from_testcases(library()).expect("unique ids"),
+            7,
+        ));
+        let handle = tcp::serve(server.clone(), "127.0.0.1:0").expect("bind");
+        let policy = ChaosPolicy {
+            rate,
+            faults: vec![FaultKind::Drop, FaultKind::Reset, FaultKind::Truncate],
+            seed: 0xbe,
+            delay: Duration::from_millis(1),
+            budget: None,
+        };
+        let proxy = ChaosProxy::start(handle.addr(), policy).expect("proxy");
+        let mut transport = ResilientTransport::new(proxy.addr().to_string())
+            .with_timeout(Duration::from_millis(500))
+            .with_policy(RetryPolicy {
+                max_attempts: 8,
+                base: Duration::from_micros(200),
+                cap: Duration::from_millis(2),
+                seed: 0xeb,
+            });
+        let id = match transport
+            .exchange(&ClientMsg::register(MachineSnapshot::study_machine("bench")))
+            .expect("register")
+        {
+            ServerMsg::Id(id) => id,
+            other => panic!("expected Id, got {other:?}"),
+        };
+        let mut seq = 0u64;
+        group.bench_function(format!("{BATCH}_records_{name}"), |b| {
+            b.iter(|| {
+                seq += 1;
+                upload_until_acked(&mut transport, &id, seq, &records);
+                black_box(seq)
+            })
+        });
+        transport.bye();
+        proxy.shutdown();
+        handle.shutdown();
+    }
+    group.finish();
+}
+
+bench_group!(benches, sync_throughput);
+bench_main!(benches);

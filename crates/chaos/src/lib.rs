@@ -1,0 +1,513 @@
+//! A fault-injection TCP proxy for torturing the UUCS wire protocol.
+//!
+//! Sits between a client and a server on loopback, forwarding bytes in
+//! both directions, and injects faults drawn from a seeded schedule:
+//! dropped connections, delays, mid-frame truncations, black holes
+//! (bytes swallowed, connection held open), abrupt resets, and byte
+//! corruption. The chaos integration suite points a
+//! `ResilientTransport` through this proxy at a real server and asserts
+//! exactly-once delivery regardless of what the proxy does.
+//!
+//! Everything is std-only and in-process: `ChaosProxy::start` spawns an
+//! accept thread; each proxied connection gets one pump thread per
+//! direction. Fault decisions come from a [`uucs_stats::Pcg64`] split
+//! per connection and direction, so a fixed seed replays the same
+//! torture (modulo OS chunk boundaries).
+//!
+//! Set `UUCS_CHAOS_TRACE=1` to print every chunk the proxy sees —
+//! direction, size, injection decision and a payload prefix — which is
+//! usually enough to reconstruct a failing schedule byte by byte.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use uucs_stats::Pcg64;
+
+/// One kind of injectable network fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Close both directions cleanly without forwarding the chunk.
+    Drop,
+    /// Sleep before forwarding the chunk.
+    Delay,
+    /// Forward only a prefix of the chunk, then close — a torn frame.
+    Truncate,
+    /// Swallow this and every later chunk in this direction, holding the
+    /// connection open — the peer sees silence, not EOF.
+    BlackHole,
+    /// Tear the connection down immediately, mid-whatever.
+    Reset,
+    /// Flip one byte of the chunk and forward it.
+    Corrupt,
+}
+
+impl FaultKind {
+    /// Every fault kind, for building full-menu policies.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::Drop,
+        FaultKind::Delay,
+        FaultKind::Truncate,
+        FaultKind::BlackHole,
+        FaultKind::Reset,
+        FaultKind::Corrupt,
+    ];
+}
+
+/// What the proxy injects, how often, and under which seed.
+#[derive(Debug, Clone)]
+pub struct ChaosPolicy {
+    /// Per-chunk probability of injecting a fault (0.0 = transparent).
+    pub rate: f64,
+    /// The menu of faults to draw from; must be non-empty if `rate > 0`.
+    pub faults: Vec<FaultKind>,
+    /// Seed for the fault schedule; same seed, same decisions.
+    pub seed: u64,
+    /// How long a [`FaultKind::Delay`] stalls the chunk.
+    pub delay: Duration,
+    /// Optional cap on total faults injected across the proxy's life.
+    /// Once spent, the proxy forwards cleanly — this is what lets
+    /// convergence tests terminate.
+    pub budget: Option<u64>,
+}
+
+impl ChaosPolicy {
+    /// A transparent proxy: no faults at all.
+    pub fn transparent() -> Self {
+        ChaosPolicy {
+            rate: 0.0,
+            faults: Vec::new(),
+            seed: 0,
+            delay: Duration::from_millis(20),
+            budget: None,
+        }
+    }
+
+    /// Injects `kind` on every chunk at the given probability.
+    pub fn only(kind: FaultKind, rate: f64, seed: u64) -> Self {
+        ChaosPolicy {
+            rate,
+            faults: vec![kind],
+            seed,
+            delay: Duration::from_millis(20),
+            budget: None,
+        }
+    }
+
+    /// The full menu at the given probability.
+    pub fn all(rate: f64, seed: u64) -> Self {
+        ChaosPolicy {
+            rate,
+            faults: FaultKind::ALL.to_vec(),
+            seed,
+            delay: Duration::from_millis(20),
+            budget: None,
+        }
+    }
+
+    /// Caps the total number of injected faults.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// Counters the proxy keeps while running.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicUsize,
+    faults: AtomicU64,
+    bytes_forwarded: AtomicU64,
+}
+
+/// A point-in-time copy of the proxy's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: usize,
+    /// Faults injected (all kinds).
+    pub faults: u64,
+    /// Payload bytes forwarded (both directions).
+    pub bytes_forwarded: u64,
+}
+
+struct Shared {
+    policy: ChaosPolicy,
+    counters: Counters,
+    stop: AtomicBool,
+    /// Clones of every live socket (both sides), so shutdown can cut
+    /// them and unblock the pump threads.
+    socks: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    /// Tries to spend one unit of fault budget; false means the budget
+    /// is exhausted and the chunk must forward cleanly.
+    fn spend_budget(&self) -> bool {
+        match self.policy.budget {
+            None => true,
+            Some(cap) => self
+                .counters
+                .faults
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < cap).then_some(n + 1)
+                })
+                .is_ok(),
+        }
+    }
+}
+
+/// A running fault-injection proxy. Dropping it does *not* stop the
+/// threads — call [`shutdown`](Self::shutdown).
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Binds a loopback listener and starts proxying every accepted
+    /// connection to `upstream` under `policy`.
+    pub fn start(upstream: SocketAddr, policy: ChaosPolicy) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            policy,
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+            socks: Mutex::new(Vec::new()),
+        });
+        let pumps: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let shared2 = shared.clone();
+        let pumps2 = pumps.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for incoming in listener.incoming() {
+                if shared2.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(down) = incoming else { continue };
+                let Ok(up) = TcpStream::connect(upstream) else {
+                    let _ = down.shutdown(Shutdown::Both);
+                    continue;
+                };
+                // The proxy adds a hop; don't let Nagle add 40 ms too.
+                let _ = down.set_nodelay(true);
+                let _ = up.set_nodelay(true);
+                let conn = shared2.counters.connections.fetch_add(1, Ordering::SeqCst) as u64;
+                if std::env::var("UUCS_CHAOS_TRACE").is_ok() {
+                    eprintln!("[chaos] conn {conn} accepted");
+                }
+                let rng = Pcg64::new(shared2.policy.seed).split(conn);
+                if let (Ok(d2), Ok(u2)) = (down.try_clone(), up.try_clone()) {
+                    let mut socks = shared2.socks.lock().unwrap();
+                    socks.push(d2);
+                    socks.push(u2);
+                }
+                let (Ok(down2), Ok(up2)) = (down.try_clone(), up.try_clone()) else {
+                    continue;
+                };
+                let s_a = shared2.clone();
+                let s_b = shared2.clone();
+                let rng_a = rng.clone().split_str("c2s");
+                let rng_b = rng.clone().split_str("s2c");
+                let mut handles = pumps2.lock().unwrap();
+                handles.push(std::thread::spawn(move || {
+                    pump(down, up, s_a, rng_a, &format!("{conn}:c2s"))
+                }));
+                handles.push(std::thread::spawn(move || {
+                    pump(up2, down2, s_b, rng_b, &format!("{conn}:s2c"))
+                }));
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            pumps,
+        })
+    }
+
+    /// The loopback address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the proxy's counters.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            connections: self.shared.counters.connections.load(Ordering::SeqCst),
+            faults: self.shared.counters.faults.load(Ordering::SeqCst),
+            bytes_forwarded: self.shared.counters.bytes_forwarded.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops accepting, cuts every proxied connection, and joins all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for s in self.shared.socks.lock().unwrap().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        for t in self.pumps.lock().unwrap().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Forwards `src` to `dst` chunk by chunk, rolling the fault dice on
+/// each chunk.
+fn pump(mut src: TcpStream, mut dst: TcpStream, shared: Arc<Shared>, mut rng: Pcg64, tag: &str) {
+    let trace = std::env::var("UUCS_CHAOS_TRACE").is_ok();
+    let mut buf = [0u8; 4096];
+    let mut black_holed = false;
+    loop {
+        let n = match src.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if black_holed {
+            continue;
+        }
+        let policy = &shared.policy;
+        let inject = policy.rate > 0.0
+            && !policy.faults.is_empty()
+            && rng.bernoulli(policy.rate)
+            && shared.spend_budget();
+        if trace {
+            eprintln!(
+                "[chaos] {tag} read {n} bytes, inject={inject}: {:?}",
+                String::from_utf8_lossy(&buf[..n.min(40)])
+            );
+        }
+        if !inject {
+            if dst.write_all(&buf[..n]).is_err() {
+                break;
+            }
+            shared
+                .counters
+                .bytes_forwarded
+                .fetch_add(n as u64, Ordering::SeqCst);
+            continue;
+        }
+        // spend_budget already counted the fault when a budget is set;
+        // count it here otherwise.
+        if policy.budget.is_none() {
+            shared.counters.faults.fetch_add(1, Ordering::SeqCst);
+        }
+        match *rng.choose(&policy.faults) {
+            FaultKind::Drop => {
+                let _ = src.shutdown(Shutdown::Both);
+                let _ = dst.shutdown(Shutdown::Both);
+                break;
+            }
+            FaultKind::Delay => {
+                std::thread::sleep(policy.delay);
+                if dst.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                shared
+                    .counters
+                    .bytes_forwarded
+                    .fetch_add(n as u64, Ordering::SeqCst);
+            }
+            FaultKind::Truncate => {
+                let keep = n / 2;
+                let _ = dst.write_all(&buf[..keep]);
+                shared
+                    .counters
+                    .bytes_forwarded
+                    .fetch_add(keep as u64, Ordering::SeqCst);
+                let _ = src.shutdown(Shutdown::Both);
+                let _ = dst.shutdown(Shutdown::Both);
+                break;
+            }
+            FaultKind::BlackHole => {
+                // Swallow from here on; the connection stays open and
+                // the peer's deadline — not an EOF — must save it.
+                black_holed = true;
+            }
+            FaultKind::Reset => {
+                let _ = src.shutdown(Shutdown::Both);
+                let _ = dst.shutdown(Shutdown::Both);
+                break;
+            }
+            FaultKind::Corrupt => {
+                let i = rng.below(n as u64) as usize;
+                buf[i] ^= 0x20;
+                if dst.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                shared
+                    .counters
+                    .bytes_forwarded
+                    .fetch_add(n as u64, Ordering::SeqCst);
+            }
+        }
+    }
+    // Tear the whole proxied connection down when either direction ends.
+    // The clones held in `shared.socks` keep the fds alive, so merely
+    // dropping `src`/`dst` would leave the peer half-open: it would see
+    // read timeouts instead of an immediate EOF after the far side died.
+    let _ = src.shutdown(Shutdown::Both);
+    let _ = dst.shutdown(Shutdown::Both);
+    if trace {
+        eprintln!("[chaos] {tag} pump exits");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    /// An upstream that echoes lines back, uppercased.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                std::thread::spawn(move || {
+                    let mut w = stream.try_clone().unwrap();
+                    let r = std::io::BufReader::new(stream);
+                    for line in r.lines() {
+                        let Ok(line) = line else { break };
+                        if line == "QUIT" {
+                            break;
+                        }
+                        if w.write_all(format!("{}\n", line.to_uppercase()).as_bytes())
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, t)
+    }
+
+    fn roundtrip(addr: SocketAddr, line: &str) -> std::io::Result<String> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        let mut w = stream.try_clone()?;
+        let mut r = std::io::BufReader::new(stream);
+        w.write_all(format!("{line}\n").as_bytes())?;
+        let mut reply = String::new();
+        r.read_line(&mut reply)?;
+        if reply.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "peer closed",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    #[test]
+    fn transparent_proxy_forwards_faithfully() {
+        let (up, _t) = echo_server();
+        let proxy = ChaosProxy::start(up, ChaosPolicy::transparent()).unwrap();
+        for i in 0..5 {
+            let msg = format!("hello-{i}");
+            assert_eq!(roundtrip(proxy.addr(), &msg).unwrap(), msg.to_uppercase());
+        }
+        let stats = proxy.stats();
+        assert_eq!(stats.faults, 0);
+        assert_eq!(stats.connections, 5);
+        assert!(stats.bytes_forwarded > 0);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn full_rate_faults_break_exchanges_and_are_counted() {
+        let (up, _t) = echo_server();
+        // Rate 1.0 with destructive faults only: no exchange survives.
+        let policy = ChaosPolicy {
+            rate: 1.0,
+            faults: vec![FaultKind::Drop, FaultKind::Reset, FaultKind::Truncate],
+            seed: 42,
+            delay: Duration::from_millis(5),
+            budget: None,
+        };
+        let proxy = ChaosProxy::start(up, policy).unwrap();
+        for i in 0..4 {
+            assert!(
+                roundtrip(proxy.addr(), &format!("doomed-{i}")).is_err(),
+                "exchange {i} should not survive rate-1.0 destruction"
+            );
+        }
+        assert!(proxy.stats().faults >= 4);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn budget_exhausts_and_proxy_heals() {
+        let (up, _t) = echo_server();
+        let policy = ChaosPolicy {
+            rate: 1.0,
+            faults: vec![FaultKind::Drop],
+            seed: 7,
+            delay: Duration::from_millis(5),
+            budget: None,
+        }
+        .with_budget(2);
+        let proxy = ChaosProxy::start(up, policy).unwrap();
+        let mut failures = 0;
+        let mut successes = 0;
+        for i in 0..8 {
+            match roundtrip(proxy.addr(), &format!("m-{i}")) {
+                Ok(_) => successes += 1,
+                Err(_) => failures += 1,
+            }
+        }
+        assert_eq!(failures, 2, "exactly the budget should fail");
+        assert_eq!(successes, 6);
+        assert_eq!(proxy.stats().faults, 2);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn black_hole_stalls_instead_of_closing() {
+        let (up, _t) = echo_server();
+        let proxy = ChaosProxy::start(up, ChaosPolicy::only(FaultKind::BlackHole, 1.0, 3)).unwrap();
+        let err = roundtrip(proxy.addr(), "into-the-void").unwrap_err();
+        // The read deadline fires; the connection was never closed.
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "expected a timeout, got {err:?}"
+        );
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn corruption_mangles_payload_but_delivers() {
+        let (up, _t) = echo_server();
+        let proxy = ChaosProxy::start(up, ChaosPolicy::only(FaultKind::Corrupt, 1.0, 5)).unwrap();
+        // Both directions corrupt one byte, so the reply differs from
+        // the clean echo (flipping 0x20 toggles case/space bits — the
+        // line framing may survive, the payload may not).
+        match roundtrip(proxy.addr(), "abcdefgh") {
+            Ok(reply) => assert_ne!(reply, "ABCDEFGH", "corruption must be visible"),
+            // A corrupted newline stalls the echo loop instead — also a
+            // legitimate mangling.
+            Err(_) => {}
+        }
+        assert!(proxy.stats().faults >= 1);
+        proxy.shutdown();
+    }
+}

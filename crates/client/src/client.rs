@@ -25,10 +25,28 @@ pub struct UucsClient {
     id: Option<String>,
     testcases: Vec<Testcase>,
     pending: Vec<RunRecord>,
+    /// The frozen batch: records assigned a sequence number and sent at
+    /// least once, but not yet acknowledged. Retries resend exactly this
+    /// set — new records queue in `pending` for the *next* sequence
+    /// number, so a retried batch never grows (the server would discard
+    /// the growth as a replay).
+    inflight: Option<(u64, Vec<RunRecord>)>,
+    /// The last batch sequence number assigned; the next freeze uses
+    /// `seq + 1`.
+    seq: u64,
+    /// Optional on-disk store; when attached, fresh records are spooled
+    /// and the seq/in-flight state journaled as it changes, so a crash
+    /// mid-upload resumes safely.
+    store: Option<crate::store::ClientStore>,
     rng: Pcg64,
     /// Size of the next sync's download request; grows per sync ("a
     /// growing random sample of testcases").
     next_batch: usize,
+    /// Registration idempotency token, derived deterministically from
+    /// the seed: a registration retried after a lost `ID` reply (or
+    /// after a client restart with the same seed) resolves to the same
+    /// server-side identity instead of minting a duplicate client.
+    reg_token: String,
 }
 
 impl UucsClient {
@@ -40,9 +58,23 @@ impl UucsClient {
             id: None,
             testcases: Vec::new(),
             pending: Vec::new(),
+            inflight: None,
+            seq: 0,
+            store: None,
             rng: Pcg64::new(seed).split_str("client"),
             next_batch: 8,
+            reg_token: format!(
+                "tok-{:016x}",
+                Pcg64::new(seed).split_str("reg-token").next_u64()
+            ),
         }
+    }
+
+    /// Attaches an on-disk store: from now on every fresh record is
+    /// spooled the moment it exists, and batch state is journaled across
+    /// freeze/ack transitions.
+    pub fn attach_store(&mut self, store: crate::store::ClientStore) {
+        self.store = Some(store);
     }
 
     /// The assigned GUID, once registered.
@@ -55,9 +87,20 @@ impl UucsClient {
         &self.testcases
     }
 
-    /// Results awaiting upload.
+    /// Results awaiting upload (not yet frozen into a batch).
     pub fn pending(&self) -> &[RunRecord] {
         &self.pending
+    }
+
+    /// The frozen, unacknowledged batch, if an upload is in flight.
+    pub fn inflight(&self) -> Option<(u64, &[RunRecord])> {
+        self.inflight.as_ref().map(|(s, r)| (*s, r.as_slice()))
+    }
+
+    /// Every record not yet acknowledged by the server: the in-flight
+    /// batch plus the pending queue.
+    pub fn unsynced(&self) -> usize {
+        self.pending.len() + self.inflight.as_ref().map_or(0, |(_, r)| r.len())
     }
 
     /// Injects testcases directly (deterministic mode gets its set from a
@@ -66,11 +109,21 @@ impl UucsClient {
         self.testcases = tcs;
     }
 
-    /// Restores persisted state (id, testcases, pending results).
+    /// Restores persisted state (id, testcases, pending results, batch
+    /// sequence, and any batch that was in flight when the last session
+    /// died). Records present in both the pending spool and the
+    /// in-flight batch (a crash can land between the spool append and
+    /// the freeze) are kept only in the batch, so nothing uploads twice.
     pub fn restore(&mut self, store: &crate::store::ClientStore) -> io::Result<()> {
         self.id = store.load_id();
         self.testcases = store.load_testcases()?;
         self.pending = store.load_pending()?;
+        self.seq = store.load_seq();
+        self.inflight = store.load_inflight()?;
+        if let Some((seq, records)) = &self.inflight {
+            self.seq = self.seq.max(*seq);
+            self.pending.retain(|r| !records.contains(r));
+        }
         Ok(())
     }
 
@@ -80,7 +133,12 @@ impl UucsClient {
             store.save_id(id)?;
         }
         store.save_testcases(&self.testcases)?;
-        store.save_pending(&self.pending)
+        store.save_pending(&self.pending)?;
+        store.save_seq(self.seq)?;
+        match &self.inflight {
+            Some((seq, records)) => store.save_inflight(*seq, records),
+            None => store.clear_inflight(),
+        }
     }
 
     /// Registers with the server, obtaining a GUID. Idempotent: an
@@ -89,7 +147,11 @@ impl UucsClient {
         if let Some(id) = &self.id {
             return Ok(id.clone());
         }
-        match transport.exchange(&ClientMsg::Register(self.snapshot.clone()))? {
+        let msg = ClientMsg::Register {
+            snapshot: self.snapshot.clone(),
+            token: self.reg_token.clone(),
+        };
+        match transport.exchange(&msg)? {
             ServerMsg::Id(id) => {
                 self.id = Some(id.clone());
                 Ok(id)
@@ -120,23 +182,46 @@ impl UucsClient {
             }
             other => return Err(protocol_err(other)),
         };
-        let uploaded = if self.pending.is_empty() {
-            0
-        } else {
-            let records = std::mem::take(&mut self.pending);
-            let n = records.len();
-            match transport.exchange(&ClientMsg::Upload {
-                client: id,
-                records: records.clone(),
-            })? {
-                ServerMsg::Ack(k) if k == n => n,
-                other => {
-                    // Put the records back; they remain pending.
-                    self.pending = records;
-                    return Err(protocol_err(other));
+        // Upload loop: first re-send any frozen batch from an earlier,
+        // unacknowledged attempt (same seq, same records — the server
+        // dedups), then freeze and send the pending queue as the next
+        // batch. An error leaves the current batch frozen in-flight for
+        // the next sync.
+        let mut uploaded = 0;
+        loop {
+            if self.inflight.is_none() {
+                if self.pending.is_empty() {
+                    break;
+                }
+                self.seq += 1;
+                let records = std::mem::take(&mut self.pending);
+                self.inflight = Some((self.seq, records));
+                if let Some(store) = &self.store {
+                    let (seq, records) = self.inflight.as_ref().expect("just frozen");
+                    store.save_seq(*seq)?;
+                    store.save_inflight(*seq, records)?;
+                    store.save_pending(&self.pending)?;
                 }
             }
-        };
+            let (seq, records) = self.inflight.clone().expect("checked above");
+            let n = records.len();
+            match transport.exchange(&ClientMsg::Upload {
+                client: id.clone(),
+                seq,
+                records,
+            })? {
+                ServerMsg::Ack(k) if k == n => {
+                    uploaded += n;
+                    if let Some((_, records)) = self.inflight.take() {
+                        if let Some(store) = &self.store {
+                            store.archive(&records)?;
+                            store.clear_inflight()?;
+                        }
+                    }
+                }
+                other => return Err(protocol_err(other)),
+            }
+        }
         Ok(SyncReport {
             downloaded,
             uploaded,
@@ -180,6 +265,14 @@ impl UucsClient {
             client_id: self.id.clone().unwrap_or_else(|| "unregistered".into()),
         };
         let record = execute_run(&setup);
+        if let Some(store) = &self.store {
+            // Journal the record the moment it exists; losing a run
+            // because the process died before the next persist() would
+            // waste a user's discomfort.
+            if let Err(e) = store.spool_append(&record) {
+                eprintln!("uucs-client: cannot spool record: {e}");
+            }
+        }
         self.pending.push(record);
         self.pending.last().unwrap()
     }
@@ -216,7 +309,12 @@ impl UucsClient {
                     runs += 1;
                 }
                 Command::Sync => {
-                    self.hot_sync(transport)?;
+                    // A failed sync is not fatal: the records stay
+                    // queued (or frozen in flight) and the next SYNC —
+                    // or the next session — retries them.
+                    if let Err(e) = self.hot_sync(transport) {
+                        eprintln!("uucs-client: sync failed, results kept locally: {e}");
+                    }
                 }
                 Command::Wait(_) => {}
             }
@@ -362,7 +460,7 @@ mod tests {
         impl Endpoint for Flaky {
             fn handle(&self, msg: &ClientMsg) -> ServerMsg {
                 match msg {
-                    ClientMsg::Register(_) => ServerMsg::Id("c-flaky".into()),
+                    ClientMsg::Register { .. } => ServerMsg::Id("c-flaky".into()),
                     ClientMsg::Sync { .. } => ServerMsg::Testcases(vec![]),
                     ClientMsg::Upload { .. } => ServerMsg::Error("storage full".into()),
                     ClientMsg::Bye => ServerMsg::Ack(0),
@@ -377,10 +475,75 @@ mod tests {
         let tc = c.choose_testcase().unwrap();
         c.perform_run(&pop.users()[0], Task::Ie, &tc, Fidelity::Fast, 1);
         assert_eq!(c.pending().len(), 1);
-        // The upload fails; the result must stay pending (the client
-        // "can operate disconnected from the server").
+        // The upload fails; the result stays held locally — frozen in
+        // the in-flight batch — so the client "can operate disconnected
+        // from the server" and retry later.
         assert!(c.hot_sync(&mut t).is_err());
-        assert_eq!(c.pending().len(), 1);
+        assert_eq!(c.unsynced(), 1);
+        let (seq, frozen) = c.inflight().expect("batch stays frozen");
+        assert_eq!(seq, 1);
+        assert_eq!(frozen.len(), 1);
+    }
+
+    /// Once a batch is frozen under a sequence number, retries resend
+    /// exactly that batch; records produced in the meantime queue for the
+    /// next sequence number. (If a retried batch grew, the server would
+    /// drop the growth as a replay.)
+    #[test]
+    fn retried_batch_is_frozen_and_new_records_form_the_next_one() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        use uucs_protocol::wire::Endpoint;
+        /// Fails the first upload attempt, then behaves, recording every
+        /// upload it sees.
+        struct FlakyOnce {
+            failures_left: AtomicUsize,
+            seen: Mutex<Vec<(u64, usize)>>,
+        }
+        impl Endpoint for FlakyOnce {
+            fn handle(&self, msg: &ClientMsg) -> ServerMsg {
+                match msg {
+                    ClientMsg::Register { .. } => ServerMsg::Id("c-flaky".into()),
+                    ClientMsg::Sync { .. } => ServerMsg::Testcases(vec![]),
+                    ClientMsg::Upload { seq, records, .. } => {
+                        if self
+                            .failures_left
+                            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                                n.checked_sub(1)
+                            })
+                            .is_ok()
+                        {
+                            return ServerMsg::Error("injected".into());
+                        }
+                        self.seen.lock().unwrap().push((*seq, records.len()));
+                        ServerMsg::Ack(records.len())
+                    }
+                    ClientMsg::Bye => ServerMsg::Ack(0),
+                }
+            }
+        }
+        let srv = Arc::new(FlakyOnce {
+            failures_left: AtomicUsize::new(1),
+            seen: Mutex::new(Vec::new()),
+        });
+        let mut t = LocalTransport::new(srv.clone());
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 30);
+        c.register(&mut t).unwrap();
+        c.install_testcases(uucs_comfort::calibration::controlled_testcases(Task::Ie));
+        let pop = UserPopulation::generate(1, 31);
+        let tc = c.choose_testcase().unwrap();
+        c.perform_run(&pop.users()[0], Task::Ie, &tc, Fidelity::Fast, 1);
+        assert!(c.hot_sync(&mut t).is_err(), "first attempt must fail");
+        assert_eq!(c.inflight().unwrap().0, 1);
+        // A second record arrives while batch 1 is stuck in flight.
+        c.perform_run(&pop.users()[0], Task::Ie, &tc, Fidelity::Fast, 2);
+        assert_eq!(c.pending().len(), 1, "new record queues outside the batch");
+        let report = c.hot_sync(&mut t).unwrap();
+        assert_eq!(report.uploaded, 2);
+        assert_eq!(c.unsynced(), 0);
+        // The server saw batch 1 with one record, then batch 2 with one:
+        // the retry did not absorb the new record.
+        assert_eq!(*srv.seen.lock().unwrap(), vec![(1, 1), (2, 1)]);
     }
 
     #[test]
@@ -402,6 +565,53 @@ mod tests {
         assert_eq!(c2.id(), c.id());
         assert_eq!(c2.testcases(), c.testcases());
         assert_eq!(c2.pending(), c.pending());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A session that dies with a batch in flight resumes it on restore:
+    /// the frozen batch (and its sequence number) survive, and any spool
+    /// entries duplicated into the batch collapse back to one copy.
+    #[test]
+    fn restore_resumes_inflight_batch_without_duplicates() {
+        use uucs_protocol::wire::Endpoint;
+        struct Reject;
+        impl Endpoint for Reject {
+            fn handle(&self, msg: &ClientMsg) -> ServerMsg {
+                match msg {
+                    ClientMsg::Register { .. } => ServerMsg::Id("c-r".into()),
+                    ClientMsg::Sync { .. } => ServerMsg::Testcases(vec![]),
+                    _ => ServerMsg::Error("down".into()),
+                }
+            }
+        }
+        let dir = std::env::temp_dir().join(format!("uucs-client-ifl-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = crate::store::ClientStore::open(&dir).unwrap();
+        let mut t = LocalTransport::new(Arc::new(Reject));
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 40);
+        c.attach_store(store.clone());
+        c.register(&mut t).unwrap();
+        c.install_testcases(uucs_comfort::calibration::controlled_testcases(Task::Word));
+        let pop = UserPopulation::generate(1, 41);
+        let tc = c.choose_testcase().unwrap();
+        // perform_run spools to disk; the failed sync freezes batch 1 and
+        // journals it. The spool file still holds the same record — the
+        // session "dies" here without a tidy persist().
+        c.perform_run(&pop.users()[0], Task::Word, &tc, Fidelity::Fast, 1);
+        assert!(c.hot_sync(&mut t).is_err());
+        assert_eq!(c.inflight().unwrap().0, 1);
+        // Simulate a crash that landed between the in-flight journal
+        // write and the spool rewrite: the record sits in both files.
+        let frozen_copy = c.inflight().unwrap().1[0].clone();
+        store.spool_append(&frozen_copy).unwrap();
+
+        let mut c2 = UucsClient::new(MachineSnapshot::study_machine("h"), 40);
+        c2.restore(&store).unwrap();
+        assert_eq!(c2.unsynced(), 1, "spool + inflight must dedupe to one");
+        let (seq, frozen) = c2.inflight().expect("batch resumes");
+        assert_eq!(seq, 1);
+        assert_eq!(frozen.len(), 1);
+        assert!(c2.pending().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,11 +16,13 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod resilient;
 pub mod script;
 pub mod store;
 pub mod transport;
 
 pub use client::{SyncReport, UucsClient};
+pub use resilient::{ResilientTransport, RetryPolicy};
 pub use script::{Command, Script};
 pub use store::ClientStore;
 pub use transport::{ClientTransport, LocalTransport, TcpTransport};

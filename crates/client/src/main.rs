@@ -6,13 +6,22 @@
 //! ```text
 //! uucs-client --server 127.0.0.1:4004 [--store DIR] [--runs N]
 //!             [--mean-gap SECS] [--seed N] [--script FILE]
+//!             [--timeout SECS] [--retries N]
 //! ```
 //!
 //! With `--script`, runs in deterministic mode instead: executes the
 //! command file (the controlled study's mode) and exits.
+//!
+//! The daemon degrades gracefully when the server is unreachable: runs
+//! keep executing, results spool to the store directory, and the next
+//! successful sync drains the backlog. The process exits nonzero only
+//! when its *local* ground gives way — the store directory or the script
+//! file cannot be opened — never because the network is having a bad
+//! day.
 
 use std::path::PathBuf;
-use uucs_client::{ClientStore, Script, TcpTransport, UucsClient};
+use std::time::Duration;
+use uucs_client::{ClientStore, ResilientTransport, RetryPolicy, Script, UucsClient};
 use uucs_comfort::{Fidelity, UserPopulation};
 use uucs_protocol::MachineSnapshot;
 use uucs_stats::Pcg64;
@@ -25,6 +34,8 @@ fn main() {
     let mut mean_gap = 2.0f64; // seconds between runs in daemon demo mode
     let mut seed = 1u64;
     let mut script: Option<PathBuf> = None;
+    let mut timeout = 10.0f64;
+    let mut retries = 4u32;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -53,6 +64,14 @@ fn main() {
                 i += 1;
                 script = args.get(i).map(PathBuf::from);
             }
+            "--timeout" => {
+                i += 1;
+                timeout = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(timeout);
+            }
+            "--retries" => {
+                i += 1;
+                retries = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(retries);
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -61,46 +80,81 @@ fn main() {
         i += 1;
     }
 
-    let store = ClientStore::open(&store_dir).expect("open client store");
+    // Local ground: these two failures are fatal. Everything network-side
+    // is survivable.
+    let store = ClientStore::open(&store_dir).unwrap_or_else(|e| {
+        eprintln!("cannot open client store {store_dir:?}: {e}");
+        std::process::exit(1);
+    });
+    let script_text = script.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read script {path:?}: {e}");
+            std::process::exit(1);
+        })
+    });
+
     let mut client = UucsClient::new(
         MachineSnapshot::study_machine(format!("daemon-{seed}")),
         seed,
     );
-    client.restore(&store).expect("restore state");
-    let mut transport = TcpTransport::connect(&server).unwrap_or_else(|e| {
-        eprintln!("cannot connect to {server}: {e}");
-        std::process::exit(1);
-    });
-    let id = client.register(&mut transport).expect("register");
-    eprintln!("registered as {id}");
+    if let Err(e) = client.restore(&store) {
+        eprintln!("store is damaged, starting fresh: {e}");
+    }
+    client.attach_store(store.clone());
+    let mut transport = ResilientTransport::new(server.clone())
+        .with_timeout(Duration::from_secs_f64(timeout.max(0.1)))
+        .with_policy(RetryPolicy {
+            max_attempts: retries.max(1),
+            seed,
+            ..RetryPolicy::default()
+        });
+    match client.register(&mut transport) {
+        Ok(id) => eprintln!("registered as {id}"),
+        Err(e) => eprintln!("server unreachable ({e}); running offline, results will spool"),
+    }
 
     // The synthetic user at this machine.
     let population = UserPopulation::generate(1, seed ^ 0xface);
     let user = &population.users()[0];
     let mut rng = Pcg64::new(seed).split_str("daemon");
 
-    if let Some(path) = script {
-        let text = std::fs::read_to_string(&path).expect("read script");
+    if let Some(text) = script_text {
         let script = Script::parse(&text).unwrap_or_else(|e| {
             eprintln!("bad script: {e}");
             std::process::exit(2);
         });
-        // Deterministic mode needs a local testcase file; hot-sync first
-        // so the store holds something, then run.
-        client.hot_sync(&mut transport).expect("sync");
-        let n = client
-            .execute_script(&script, user, Fidelity::Fast, &mut transport, seed)
-            .expect("script session");
-        eprintln!("deterministic session complete: {n} runs");
+        // Deterministic mode wants a local testcase file; hot-sync first
+        // so the store holds something — offline, whatever the store
+        // already has will do.
+        if let Err(e) = client.hot_sync(&mut transport) {
+            eprintln!("initial sync failed ({e}); using the local testcase store");
+        }
+        match client.execute_script(&script, user, Fidelity::Fast, &mut transport, seed) {
+            Ok(n) => eprintln!("deterministic session complete: {n} runs"),
+            Err(e) => eprintln!("script session stopped early: {e}"),
+        }
     } else {
-        client.hot_sync(&mut transport).expect("sync");
-        eprintln!("synced {} testcases", client.testcases().len());
+        match client.hot_sync(&mut transport) {
+            Ok(_) => eprintln!("synced {} testcases", client.testcases().len()),
+            Err(e) => eprintln!(
+                "sync failed ({e}); continuing with {} local testcases",
+                client.testcases().len()
+            ),
+        }
         for k in 0..runs {
             let gap = client.next_arrival_gap(mean_gap);
             std::thread::sleep(std::time::Duration::from_secs_f64(gap.min(10.0)));
             if k % 5 == 4 {
-                let r = client.hot_sync(&mut transport).expect("sync");
-                eprintln!("hot sync: +{} testcases, {} results uploaded", r.downloaded, r.uploaded);
+                match client.hot_sync(&mut transport) {
+                    Ok(r) => eprintln!(
+                        "hot sync: +{} testcases, {} results uploaded",
+                        r.downloaded, r.uploaded
+                    ),
+                    Err(e) => eprintln!(
+                        "hot sync failed ({e}); {} results spooled locally",
+                        client.unsynced()
+                    ),
+                }
             }
             let Some(tc) = client.choose_testcase() else {
                 continue;
@@ -115,9 +169,16 @@ fn main() {
                 rec.offset_secs
             );
         }
-        let r = client.hot_sync(&mut transport).expect("final sync");
-        eprintln!("final sync: {} results uploaded", r.uploaded);
+        match client.hot_sync(&mut transport) {
+            Ok(r) => eprintln!("final sync: {} results uploaded", r.uploaded),
+            Err(e) => eprintln!(
+                "final sync failed ({e}); {} results spooled for the next session",
+                client.unsynced()
+            ),
+        }
     }
-    client.persist(&store).expect("persist");
-    transport.bye().ok();
+    if let Err(e) = client.persist(&store) {
+        eprintln!("warning: could not persist session state: {e}");
+    }
+    transport.bye();
 }

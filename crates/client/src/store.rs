@@ -72,6 +72,69 @@ impl ClientStore {
         }
     }
 
+    /// Appends one freshly measured record to the pending spool. Unlike
+    /// [`save_pending`](Self::save_pending), which rewrites the file,
+    /// this journals the record the moment it exists — a crash between
+    /// runs loses nothing.
+    pub fn spool_append(&self, record: &RunRecord) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join("results-pending.txt"))?;
+        f.write_all(RunRecord::emit_many(std::slice::from_ref(record)).as_bytes())
+    }
+
+    /// Persists the last batch sequence number this client assigned.
+    pub fn save_seq(&self, seq: u64) -> std::io::Result<()> {
+        std::fs::write(self.dir.join("seq.txt"), format!("{seq}\n"))
+    }
+
+    /// Loads the last assigned batch sequence number (0 if never synced).
+    pub fn load_seq(&self) -> u64 {
+        std::fs::read_to_string(self.dir.join("seq.txt"))
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Persists the in-flight batch: records frozen under `seq`, sent
+    /// but not yet acknowledged. On restart the client re-uploads this
+    /// exact batch — the server's dedup horizon makes the retry safe.
+    pub fn save_inflight(&self, seq: u64, records: &[RunRecord]) -> std::io::Result<()> {
+        let mut text = format!("BATCH {seq}\n");
+        text.push_str(&RunRecord::emit_many(records));
+        std::fs::write(self.dir.join("inflight.txt"), text)
+    }
+
+    /// Loads the in-flight batch, if an upload was cut off mid-ack.
+    pub fn load_inflight(&self) -> std::io::Result<Option<(u64, Vec<RunRecord>)>> {
+        let text = match std::fs::read_to_string(self.dir.join("inflight.txt")) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let (header, rest) = text
+            .split_once('\n')
+            .ok_or_else(|| bad("inflight file missing header"))?;
+        let seq = header
+            .strip_prefix("BATCH ")
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad("inflight header is not 'BATCH <seq>'"))?;
+        let records = RunRecord::parse_many(rest).map_err(|e| bad(&e))?;
+        Ok(Some((seq, records)))
+    }
+
+    /// Forgets the in-flight batch (it was acknowledged).
+    pub fn clear_inflight(&self) -> std::io::Result<()> {
+        match std::fs::remove_file(self.dir.join("inflight.txt")) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Appends uploaded results to the local archive (the client keeps
     /// what it measured).
     pub fn archive(&self, records: &[RunRecord]) -> std::io::Result<()> {
@@ -143,6 +206,48 @@ mod tests {
         )];
         s.save_testcases(&tcs).unwrap();
         assert_eq!(s.load_testcases().unwrap(), tcs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spool_append_accumulates_without_rewrites() {
+        let dir = tmp("spool");
+        let s = ClientStore::open(&dir).unwrap();
+        s.spool_append(&rec(1)).unwrap();
+        s.spool_append(&rec(2)).unwrap();
+        assert_eq!(s.load_pending().unwrap(), vec![rec(1), rec(2)]);
+        // save_pending still rewrites, so the two paths compose.
+        s.save_pending(&[rec(3)]).unwrap();
+        s.spool_append(&rec(4)).unwrap();
+        assert_eq!(s.load_pending().unwrap(), vec![rec(3), rec(4)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seq_and_inflight_roundtrip() {
+        let dir = tmp("inflight");
+        let s = ClientStore::open(&dir).unwrap();
+        assert_eq!(s.load_seq(), 0);
+        assert!(s.load_inflight().unwrap().is_none());
+        s.save_seq(7).unwrap();
+        s.save_inflight(7, &[rec(1), rec(2)]).unwrap();
+        assert_eq!(s.load_seq(), 7);
+        assert_eq!(s.load_inflight().unwrap(), Some((7, vec![rec(1), rec(2)])));
+        s.clear_inflight().unwrap();
+        assert!(s.load_inflight().unwrap().is_none());
+        // Clearing twice is fine.
+        s.clear_inflight().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_inflight_file_is_an_error_not_a_panic() {
+        let dir = tmp("torn-inflight");
+        let s = ClientStore::open(&dir).unwrap();
+        std::fs::write(dir.join("inflight.txt"), "BATCH not-a-number\n").unwrap();
+        assert!(s.load_inflight().is_err());
+        std::fs::write(dir.join("inflight.txt"), "no header at all").unwrap();
+        assert!(s.load_inflight().is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -22,11 +22,42 @@ impl TcpTransport {
     /// Connects to a server address.
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        // The protocol is strictly request/reply; Nagle only adds
+        // latency to the many small line writes a frame is made of.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(TcpTransport {
             writer,
             reader: BufReader::new(stream),
         })
+    }
+
+    /// Connects with `deadline` bounding the dial and every subsequent
+    /// read and write — no exchange over this transport can block
+    /// forever on a black-holed peer.
+    pub fn connect_with_deadline(
+        addr: impl std::net::ToSocketAddrs,
+        deadline: std::time::Duration,
+    ) -> io::Result<Self> {
+        let mut last_err = None;
+        for sa in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sa, deadline) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(deadline))?;
+                    stream.set_write_timeout(Some(deadline))?;
+                    let writer = stream.try_clone()?;
+                    return Ok(TcpTransport {
+                        writer,
+                        reader: BufReader::new(stream),
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
     }
 
     /// Ends the session politely.

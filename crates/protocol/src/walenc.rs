@@ -8,14 +8,25 @@
 //!
 //! * `b'R'` + [`RunRecord`] text — a result appended to the result store.
 //! * `b'T'` + testcase text — a testcase added to the testcase store.
+//! * `b'B'` + `BATCH <client> <seq> <n>` line + `n` record blocks — an
+//!   idempotent upload batch: the records *and* the client's batch
+//!   sequence number, journaled as one atomic entry so recovery restores
+//!   the dedup horizon along with the data.
+//! * `b'C'` + `CLIENT <id>` line + snapshot block — a registration, so a
+//!   recovered server still knows its clients and their ids.
 
 use crate::record::RunRecord;
+use crate::snapshot::MachineSnapshot;
 use uucs_testcase::{format as tcformat, Testcase};
 
 /// Tag byte for a result entry.
 pub const TAG_RESULT: u8 = b'R';
 /// Tag byte for a testcase entry.
 pub const TAG_TESTCASE: u8 = b'T';
+/// Tag byte for an idempotent upload batch.
+pub const TAG_BATCH: u8 = b'B';
+/// Tag byte for a client registration.
+pub const TAG_CLIENT: u8 = b'C';
 
 /// One logical mutation of the server's stores, as journaled in the WAL.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +35,26 @@ pub enum WalEntry {
     Result(RunRecord),
     /// A testcase added to the testcase store.
     Testcase(Testcase),
+    /// An idempotent upload batch accepted into the result store: the
+    /// per-client sequence number and every record, as one atomic entry.
+    Batch {
+        /// The uploading client's GUID.
+        client: String,
+        /// The client's batch sequence number (never 0 — legacy
+        /// non-idempotent uploads journal as [`WalEntry::Result`]).
+        seq: u64,
+        /// The records in the batch.
+        records: Vec<RunRecord>,
+    },
+    /// A client registration accepted into the registry.
+    Client {
+        /// The assigned GUID.
+        id: String,
+        /// The client's registration idempotency token ("" = legacy).
+        token: String,
+        /// The machine snapshot the client registered with.
+        snapshot: MachineSnapshot,
+    },
 }
 
 impl WalEntry {
@@ -38,6 +69,32 @@ impl WalEntry {
             WalEntry::Testcase(tc) => {
                 let mut out = vec![TAG_TESTCASE];
                 out.extend_from_slice(tcformat::emit(tc).as_bytes());
+                out
+            }
+            WalEntry::Batch {
+                client,
+                seq,
+                records,
+            } => {
+                let mut out = vec![TAG_BATCH];
+                out.extend_from_slice(
+                    format!("BATCH {client} {seq} {}\n", records.len()).as_bytes(),
+                );
+                out.extend_from_slice(RunRecord::emit_many(records).as_bytes());
+                out
+            }
+            WalEntry::Client {
+                id,
+                token,
+                snapshot,
+            } => {
+                let mut out = vec![TAG_CLIENT];
+                if token.is_empty() {
+                    out.extend_from_slice(format!("CLIENT {id}\n").as_bytes());
+                } else {
+                    out.extend_from_slice(format!("CLIENT {id} {token}\n").as_bytes());
+                }
+                out.extend_from_slice(snapshot.emit().as_bytes());
                 out
             }
         }
@@ -61,6 +118,60 @@ impl WalEntry {
             TAG_TESTCASE => tcformat::parse(text)
                 .map(WalEntry::Testcase)
                 .map_err(|e| format!("bad testcase payload: {e}")),
+            TAG_BATCH => {
+                let (header, body) = text
+                    .split_once('\n')
+                    .ok_or_else(|| "batch payload missing header line".to_string())?;
+                let mut toks = header.split_whitespace();
+                if toks.next() != Some("BATCH") {
+                    return Err(format!("bad batch header {header:?}"));
+                }
+                let client = toks
+                    .next()
+                    .ok_or_else(|| "batch header missing client".to_string())?
+                    .to_string();
+                let seq: u64 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| "batch header missing seq".to_string())?;
+                let n: usize = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| "batch header missing count".to_string())?;
+                let records = RunRecord::parse_many(body)?;
+                if records.len() != n {
+                    return Err(format!(
+                        "batch promised {n} records, parsed {}",
+                        records.len()
+                    ));
+                }
+                Ok(WalEntry::Batch {
+                    client,
+                    seq,
+                    records,
+                })
+            }
+            TAG_CLIENT => {
+                let (header, body) = text
+                    .split_once('\n')
+                    .ok_or_else(|| "client payload missing header line".to_string())?;
+                let rest = header
+                    .strip_prefix("CLIENT ")
+                    .ok_or_else(|| format!("bad client header {header:?}"))?;
+                let mut toks = rest.split_whitespace();
+                let id = toks.next().unwrap_or("").to_string();
+                if id.is_empty() {
+                    return Err("client header missing id".to_string());
+                }
+                let token = toks.next().unwrap_or("").to_string();
+                let snapshot =
+                    MachineSnapshot::parse(body).map_err(|e| format!("bad client snapshot: {e}"))?;
+                Ok(WalEntry::Client {
+                    id,
+                    token,
+                    snapshot,
+                })
+            }
             other => Err(format!("unknown wal entry tag {other:#04x}")),
         }
     }
@@ -98,8 +209,31 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_both_variants() {
-        for entry in [WalEntry::Result(record()), WalEntry::Testcase(testcase())] {
+    fn roundtrip_all_variants() {
+        for entry in [
+            WalEntry::Result(record()),
+            WalEntry::Testcase(testcase()),
+            WalEntry::Batch {
+                client: "client-0007".into(),
+                seq: 42,
+                records: vec![record(), record()],
+            },
+            WalEntry::Batch {
+                client: "client-0007".into(),
+                seq: 43,
+                records: vec![],
+            },
+            WalEntry::Client {
+                id: "client-0001".into(),
+                token: String::new(),
+                snapshot: MachineSnapshot::study_machine("optiplex-9"),
+            },
+            WalEntry::Client {
+                id: "client-0002".into(),
+                token: "tok-deadbeef".into(),
+                snapshot: MachineSnapshot::study_machine("optiplex-9"),
+            },
+        ] {
             let bytes = entry.encode();
             assert_eq!(WalEntry::decode(&bytes).unwrap(), entry);
         }
@@ -109,6 +243,18 @@ mod tests {
     fn tags_are_first_byte() {
         assert_eq!(WalEntry::Result(record()).encode()[0], TAG_RESULT);
         assert_eq!(WalEntry::Testcase(testcase()).encode()[0], TAG_TESTCASE);
+        let batch = WalEntry::Batch {
+            client: "c".into(),
+            seq: 1,
+            records: vec![],
+        };
+        assert_eq!(batch.encode()[0], TAG_BATCH);
+        let client = WalEntry::Client {
+            id: "c".into(),
+            token: String::new(),
+            snapshot: MachineSnapshot::study_machine("h"),
+        };
+        assert_eq!(client.encode()[0], TAG_CLIENT);
     }
 
     #[test]
@@ -121,5 +267,15 @@ mod tests {
         // Two records in one payload: the journal is one-entry-per-record.
         let two = format!("R{}{}", record().emit(), record().emit());
         assert!(WalEntry::decode(two.as_bytes()).is_err());
+        // Batch defects: bad header, count mismatch, torn body.
+        assert!(WalEntry::decode(b"B").is_err());
+        assert!(WalEntry::decode(b"BNOPE x y\n").is_err());
+        assert!(WalEntry::decode(b"BBATCH c1 notanumber 1\nRESULT\nEND\n").is_err());
+        let short = format!("BBATCH c1 9 2\n{}", record().emit());
+        assert!(WalEntry::decode(short.as_bytes()).is_err());
+        // Client defects: no header, empty id, torn snapshot.
+        assert!(WalEntry::decode(b"C").is_err());
+        assert!(WalEntry::decode(b"CCLIENT \nSNAPSHOT\nEND\n").is_err());
+        assert!(WalEntry::decode(b"CCLIENT c1\nSNAPSHOT\nHOST x\n").is_err());
     }
 }

@@ -5,14 +5,28 @@
 //! production, an in-memory duplex in tests):
 //!
 //! ```text
-//! client -> server                server -> client
-//! ----------------                ----------------
-//! REGISTER + snapshot block       ID <guid>
-//! SYNC <client-id> <have> <want>  TESTCASES <n> + n testcase blocks
-//! UPLOAD <client-id> <n> + blocks ACK <n>
-//! BYE                             (connection closes)
-//!                                 ERROR <message>   (any time)
+//! client -> server                  server -> client
+//! ----------------                  ----------------
+//! REGISTER + snapshot block         ID <guid>
+//! SYNC <client-id> <have> <want>    TESTCASES <n> + n testcase blocks
+//! UPLOAD <client-id> <n> <seq>      ACK <n>
+//!   + n record blocks
+//! BYE                               (connection closes)
+//!                                   ERROR <message>   (any time)
 //! ```
+//!
+//! `seq` is the client's monotonically increasing batch sequence number;
+//! it makes `UPLOAD` idempotent (a server that already applied the batch
+//! acks again without storing a second copy, so retrying after a lost
+//! `ACK` is safe). A missing `seq` token (older clients) parses as `0`,
+//! which means "no idempotency" and is always applied.
+//!
+//! Forward compatibility: an unknown *header* tag is reported as
+//! [`std::io::ErrorKind::Unsupported`], distinct from the
+//! `InvalidData` used for malformed known messages. A server can answer
+//! `ERROR` and keep the connection alive after `Unsupported` (the read
+//! stopped at a clean line boundary), but must drop it after
+//! `InvalidData` (framing may be torn mid-block).
 
 use crate::record::RunRecord;
 use crate::snapshot::MachineSnapshot;
@@ -32,7 +46,16 @@ pub trait Endpoint: Send + Sync {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
     /// Register this machine; expects [`ServerMsg::Id`].
-    Register(MachineSnapshot),
+    Register {
+        /// The machine being registered.
+        snapshot: MachineSnapshot,
+        /// A client-generated idempotency token (empty = legacy
+        /// registration). Re-registering with a token the server has
+        /// seen returns the *same* GUID instead of minting a new one,
+        /// so a registration retried after a lost `ID` reply cannot
+        /// create a duplicate client.
+        token: String,
+    },
     /// Request up to `want` testcases the client does not yet have (it
     /// holds `have`); expects [`ServerMsg::Testcases`].
     Sync {
@@ -47,6 +70,11 @@ pub enum ClientMsg {
     Upload {
         /// The client's GUID.
         client: String,
+        /// The client's batch sequence number: strictly increasing per
+        /// client, `0` for legacy non-idempotent uploads. Retransmitting
+        /// a `(client, seq)` batch the server already applied yields a
+        /// fresh `ACK` and no second copy.
+        seq: u64,
         /// The result records.
         records: Vec<RunRecord>,
     },
@@ -67,18 +95,37 @@ pub enum ServerMsg {
     Error(String),
 }
 
+impl ClientMsg {
+    /// A registration with no idempotency token (the pre-token wire
+    /// format): every such registration mints a fresh GUID.
+    pub fn register(snapshot: MachineSnapshot) -> Self {
+        ClientMsg::Register {
+            snapshot,
+            token: String::new(),
+        }
+    }
+}
+
 /// Writes a client message to a stream.
 pub fn write_client_msg(w: &mut impl Write, msg: &ClientMsg) -> std::io::Result<()> {
     match msg {
-        ClientMsg::Register(snap) => {
-            writeln!(w, "REGISTER")?;
-            w.write_all(snap.emit().as_bytes())?;
+        ClientMsg::Register { snapshot, token } => {
+            if token.is_empty() {
+                writeln!(w, "REGISTER")?;
+            } else {
+                writeln!(w, "REGISTER {token}")?;
+            }
+            w.write_all(snapshot.emit().as_bytes())?;
         }
         ClientMsg::Sync { client, have, want } => {
             writeln!(w, "SYNC {client} {have} {want}")?;
         }
-        ClientMsg::Upload { client, records } => {
-            writeln!(w, "UPLOAD {client} {}", records.len())?;
+        ClientMsg::Upload {
+            client,
+            seq,
+            records,
+        } => {
+            writeln!(w, "UPLOAD {client} {} {seq}", records.len())?;
             w.write_all(RunRecord::emit_many(records).as_bytes())?;
         }
         ClientMsg::Bye => writeln!(w, "BYE")?,
@@ -114,6 +161,16 @@ fn read_blocks(r: &mut impl BufRead, n: usize) -> std::io::Result<String> {
                 "stream ended mid-block",
             ));
         }
+        if !line.ends_with('\n') {
+            // A line without its terminator is a torn frame: the stream
+            // died mid-line, and the fragment must not be interpreted
+            // (a content line cut down to exactly "END" would otherwise
+            // falsely close the block).
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "stream ended mid-line inside block",
+            ));
+        }
         if line.trim() == "END" {
             remaining -= 1;
         }
@@ -126,6 +183,22 @@ fn proto_err(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
 }
 
+/// A header line that arrived without its `'\n'` terminator means the
+/// stream ended mid-frame. The fragment must never be parsed: `"ID
+/// client-0001\n"` cut after three bytes would otherwise read as a valid
+/// registration reply carrying an empty id, which the client would cache
+/// forever.
+fn torn_err(what: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        format!("stream ended mid-line reading {what} (torn frame)"),
+    )
+}
+
+fn unsupported_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::Unsupported, msg.into())
+}
+
 /// Reads one client message. Returns `Ok(None)` on clean EOF before any
 /// header line.
 pub fn read_client_msg(r: &mut impl BufRead) -> std::io::Result<Option<ClientMsg>> {
@@ -135,6 +208,9 @@ pub fn read_client_msg(r: &mut impl BufRead) -> std::io::Result<Option<ClientMsg
         if r.read_line(&mut header)? == 0 {
             return Ok(None);
         }
+        if !header.ends_with('\n') {
+            return Err(torn_err("client header"));
+        }
         if !header.trim().is_empty() {
             break;
         }
@@ -143,9 +219,10 @@ pub fn read_client_msg(r: &mut impl BufRead) -> std::io::Result<Option<ClientMsg
     let mut toks = header.split_whitespace();
     match toks.next() {
         Some("REGISTER") => {
+            let token = toks.next().unwrap_or("").to_string();
             let body = read_blocks(r, 1)?;
-            let snap = MachineSnapshot::parse(&body).map_err(proto_err)?;
-            Ok(Some(ClientMsg::Register(snap)))
+            let snapshot = MachineSnapshot::parse(&body).map_err(proto_err)?;
+            Ok(Some(ClientMsg::Register { snapshot, token }))
         }
         Some("SYNC") => {
             let client = toks.next().ok_or_else(|| proto_err("SYNC missing id"))?;
@@ -169,6 +246,12 @@ pub fn read_client_msg(r: &mut impl BufRead) -> std::io::Result<Option<ClientMsg
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| proto_err("UPLOAD missing count"))?;
+            // Optional 4th token: the batch sequence number (0 = legacy
+            // non-idempotent upload from an older client).
+            let seq: u64 = match toks.next() {
+                Some(t) => t.parse().map_err(|_| proto_err("bad UPLOAD seq"))?,
+                None => 0,
+            };
             let body = read_blocks(r, n)?;
             let records = RunRecord::parse_many(&body).map_err(proto_err)?;
             if records.len() != n {
@@ -179,11 +262,12 @@ pub fn read_client_msg(r: &mut impl BufRead) -> std::io::Result<Option<ClientMsg
             }
             Ok(Some(ClientMsg::Upload {
                 client: client.to_string(),
+                seq,
                 records,
             }))
         }
         Some("BYE") => Ok(Some(ClientMsg::Bye)),
-        other => Err(proto_err(format!("unknown client message {other:?}"))),
+        other => Err(unsupported_err(format!("unknown client message {other:?}"))),
     }
 }
 
@@ -195,6 +279,9 @@ pub fn read_server_msg(r: &mut impl BufRead) -> std::io::Result<ServerMsg> {
         if r.read_line(&mut header)? == 0 {
             return Err(proto_err("connection closed awaiting server message"));
         }
+        if !header.ends_with('\n') {
+            return Err(torn_err("server header"));
+        }
         if !header.trim().is_empty() {
             break;
         }
@@ -202,7 +289,12 @@ pub fn read_server_msg(r: &mut impl BufRead) -> std::io::Result<ServerMsg> {
     let header = header.trim().to_string();
     let (kind, rest) = header.split_once(' ').unwrap_or((header.as_str(), ""));
     match kind {
-        "ID" => Ok(ServerMsg::Id(rest.to_string())),
+        "ID" => {
+            if rest.trim().is_empty() {
+                return Err(proto_err("ID missing client id"));
+            }
+            Ok(ServerMsg::Id(rest.to_string()))
+        }
         "TESTCASES" => {
             let n: usize = rest
                 .trim()
@@ -221,7 +313,7 @@ pub fn read_server_msg(r: &mut impl BufRead) -> std::io::Result<ServerMsg> {
             Ok(ServerMsg::Ack(n))
         }
         "ERROR" => Ok(ServerMsg::Error(rest.to_string())),
-        other => Err(proto_err(format!("unknown server message {other:?}"))),
+        other => Err(unsupported_err(format!("unknown server message {other:?}"))),
     }
 }
 
@@ -263,7 +355,11 @@ mod tests {
 
     #[test]
     fn register_roundtrip() {
-        roundtrip_client(ClientMsg::Register(MachineSnapshot::study_machine("h1")));
+        roundtrip_client(ClientMsg::register(MachineSnapshot::study_machine("h1")));
+        roundtrip_client(ClientMsg::Register {
+            snapshot: MachineSnapshot::study_machine("h1"),
+            token: "tok-00c0ffee".into(),
+        });
     }
 
     #[test]
@@ -279,12 +375,29 @@ mod tests {
     fn upload_roundtrip() {
         roundtrip_client(ClientMsg::Upload {
             client: "c-9".into(),
+            seq: 17,
             records: vec![record(), record()],
         });
         roundtrip_client(ClientMsg::Upload {
             client: "c-9".into(),
+            seq: 0,
             records: vec![],
         });
+    }
+
+    #[test]
+    fn upload_without_seq_parses_as_legacy_zero() {
+        // An older client omits the 4th token; it must still parse.
+        let mut buf = Vec::new();
+        write!(buf, "UPLOAD c1 0\n").unwrap();
+        let mut cur = Cursor::new(buf);
+        match read_client_msg(&mut cur).unwrap().unwrap() {
+            ClientMsg::Upload { seq, records, .. } => {
+                assert_eq!(seq, 0);
+                assert!(records.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -333,6 +446,38 @@ mod tests {
     }
 
     #[test]
+    fn unknown_tag_is_unsupported_and_stream_stays_usable() {
+        // The unknown-header error is distinguishable from torn framing,
+        // and the reader stops at the line boundary: the next message on
+        // the same stream still parses — the basis for the server's
+        // reply-ERROR-and-keep-going forward compatibility.
+        let mut buf = Vec::new();
+        write!(buf, "JUMP high\n").unwrap();
+        write_client_msg(
+            &mut buf,
+            &ClientMsg::Sync {
+                client: "c".into(),
+                have: 1,
+                want: 2,
+            },
+        )
+        .unwrap();
+        let mut cur = Cursor::new(buf);
+        let err = read_client_msg(&mut cur).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
+        assert!(matches!(
+            read_client_msg(&mut cur).unwrap().unwrap(),
+            ClientMsg::Sync { have: 1, want: 2, .. }
+        ));
+        // Malformed known messages stay InvalidData (framing unsafe).
+        let mut cur = Cursor::new(b"SYNC c1 nope 4\n".to_vec());
+        assert_eq!(
+            read_client_msg(&mut cur).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
     fn multiple_messages_in_sequence() {
         let mut buf = Vec::new();
         write_client_msg(&mut buf, &ClientMsg::Sync { client: "c".into(), have: 0, want: 5 })
@@ -341,6 +486,7 @@ mod tests {
             &mut buf,
             &ClientMsg::Upload {
                 client: "c".into(),
+                seq: 1,
                 records: vec![record()],
             },
         )
@@ -357,5 +503,59 @@ mod tests {
         ));
         assert_eq!(read_client_msg(&mut cur).unwrap().unwrap(), ClientMsg::Bye);
         assert_eq!(read_client_msg(&mut cur).unwrap(), None);
+    }
+
+    /// A reply cut mid-line must never parse. `writeln!` can put `"ID "`
+    /// and the id in separate TCP segments, so a fault between them
+    /// leaves exactly this torn prefix on the wire — parsing it as
+    /// `Id("")` once poisoned a client's cached registration for good.
+    #[test]
+    fn torn_server_header_is_rejected() {
+        for torn in ["ID ", "ID client-00", "ACK 4", "ERROR boo", "TESTCASES 2"] {
+            let mut cur = Cursor::new(torn.as_bytes().to_vec());
+            let err = read_server_msg(&mut cur).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "torn {torn:?} must be UnexpectedEof, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_client_header_is_rejected() {
+        for torn in ["SYNC c1 0 8", "UPLOAD c1 1 3", "BYE", "REGISTER"] {
+            let mut cur = Cursor::new(torn.as_bytes().to_vec());
+            let err = read_client_msg(&mut cur).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "torn {torn:?} must be UnexpectedEof, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_id_is_rejected() {
+        let mut cur = Cursor::new(b"ID \n".to_vec());
+        assert_eq!(
+            read_server_msg(&mut cur).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        let mut cur = Cursor::new(b"ID\n".to_vec());
+        assert!(read_server_msg(&mut cur).is_err());
+    }
+
+    /// A block body cut mid-line must not be interpreted: a content line
+    /// truncated to exactly "END" would otherwise close the block early.
+    #[test]
+    fn torn_block_line_is_rejected() {
+        // A TESTCASES frame whose body dies mid-line.
+        let torn = b"TESTCASES 1\nTESTCASE t 1\nEND".to_vec();
+        let mut cur = Cursor::new(torn);
+        assert_eq!(
+            read_server_msg(&mut cur).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
     }
 }

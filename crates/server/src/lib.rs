@@ -29,4 +29,4 @@ pub mod store;
 pub mod tcp;
 
 pub use server::UucsServer;
-pub use store::{ResultStore, StoreError, TestcaseStore};
+pub use store::{BatchStatus, RegistryStore, ResultStore, StoreError, TestcaseStore};

@@ -12,15 +12,17 @@
 //! Without `--wal`, state is saved to `--data` (default
 //! `uucs-server-data/`) on periodic whole-file checkpoints (every 30 s)
 //! — the paper's design, which can lose up to 30 s of acknowledged
-//! uploads on a crash. With `--wal`, both stores journal through a
-//! write-ahead log under `--data` (`wal/testcases/`, `wal/results/`):
-//! every acknowledged mutation is recovered on restart, and the 30 s
-//! tick compacts the journal instead of rewriting the world. `--sync`
-//! picks the fsync policy: `always` (default), `every=N`, or `never`.
+//! uploads on a crash. With `--wal`, the stores journal through a
+//! write-ahead log under `--data` (`wal/testcases/`, `wal/results/`,
+//! `wal/registry/`): every acknowledged mutation — including client
+//! registrations and per-client upload dedup horizons — is recovered on
+//! restart, and the 30 s tick compacts the journal instead of rewriting
+//! the world. `--sync` picks the fsync policy: `always` (default),
+//! `every=N`, or `never`.
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use uucs_server::{tcp, ResultStore, TestcaseStore, UucsServer};
+use uucs_server::{tcp, RegistryStore, ResultStore, TestcaseStore, UucsServer};
 use uucs_wal::{SyncPolicy, WalConfig};
 
 fn main() {
@@ -105,7 +107,12 @@ fn main() {
                 eprintln!("result journal is unrecoverable: {e}");
                 std::process::exit(1);
             });
-        for r in [&tc_rec, &res_rec] {
+        let (registry, reg_rec) =
+            RegistryStore::open_wal(&data.join("wal/registry"), config).unwrap_or_else(|e| {
+                eprintln!("registry journal is unrecoverable: {e}");
+                std::process::exit(1);
+            });
+        for r in [&tc_rec, &res_rec, &reg_rec] {
             if let Some(t) = &r.torn_tail {
                 eprintln!(
                     "  truncated a torn append in {} ({} bytes, {})",
@@ -121,11 +128,14 @@ fn main() {
                 }
             }
         }
-        let server = Arc::new(UucsServer::with_stores(testcases, results, 0x5e17));
+        let server = Arc::new(UucsServer::with_all_stores(
+            testcases, results, registry, 0x5e17,
+        ));
         eprintln!(
-            "recovered {} testcases, {} results (sync policy {sync})",
+            "recovered {} testcases, {} results, {} clients (sync policy {sync})",
             server.testcase_count(),
-            server.result_count()
+            server.result_count(),
+            server.client_count()
         );
         server
     } else {

@@ -1,6 +1,6 @@
 //! The server's message handler and registry.
 
-use crate::store::{ResultStore, TestcaseStore};
+use crate::store::{RegistryStore, ResultStore, TestcaseStore};
 use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use uucs_protocol::wire::Endpoint;
 use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg};
@@ -23,7 +23,7 @@ fn read_recovered<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
 pub struct UucsServer {
     testcases: RwLock<TestcaseStore>,
     results: RwLock<ResultStore>,
-    registry: RwLock<Vec<(String, MachineSnapshot)>>,
+    registry: RwLock<RegistryStore>,
     /// Seed for the per-client sampling permutations.
     sample_seed: u64,
 }
@@ -52,15 +52,28 @@ impl UucsServer {
         Self::with_stores(testcases, ResultStore::new(), sample_seed)
     }
 
-    /// Creates a server around explicit stores — the entry point for
-    /// WAL-backed durability, where both stores were just recovered via
-    /// `open_wal` and every accepted mutation is journaled before it is
-    /// acknowledged.
+    /// Creates a server around explicit testcase/result stores with a
+    /// fresh in-memory registry — the entry point for WAL-backed
+    /// durability of the data stores, where every accepted mutation is
+    /// journaled before it is acknowledged.
     pub fn with_stores(testcases: TestcaseStore, results: ResultStore, sample_seed: u64) -> Self {
+        Self::with_all_stores(testcases, results, RegistryStore::new(), sample_seed)
+    }
+
+    /// Creates a server around all three stores, including a (typically
+    /// WAL-recovered) client registry, so a restarted server still
+    /// recognizes every id it handed out and every client's upload
+    /// dedup horizon.
+    pub fn with_all_stores(
+        testcases: TestcaseStore,
+        results: ResultStore,
+        registry: RegistryStore,
+        sample_seed: u64,
+    ) -> Self {
         UucsServer {
             testcases: RwLock::new(testcases),
             results: RwLock::new(results),
-            registry: RwLock::new(Vec::new()),
+            registry: RwLock::new(registry),
             sample_seed,
         }
     }
@@ -75,7 +88,7 @@ impl UucsServer {
             .add(tc)
     }
 
-    /// Folds both stores' journals into checkpoints and drops the
+    /// Folds every store's journal into a checkpoint and drops the
     /// covered segments. A no-op (returning `false`) for plain stores.
     pub fn compact(&self) -> std::io::Result<bool> {
         let a = self
@@ -88,7 +101,12 @@ impl UucsServer {
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .compact()?;
-        Ok(a || b)
+        let c = self
+            .registry
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .compact()?;
+        Ok(a || b || c)
     }
 
     /// Number of testcases in the library.
@@ -113,10 +131,12 @@ impl UucsServer {
 
     /// The registered snapshot for a client id.
     pub fn snapshot_of(&self, client: &str) -> Option<MachineSnapshot> {
-        read_recovered(&self.registry)
-            .iter()
-            .find(|(id, _)| id == client)
-            .map(|(_, s)| s.clone())
+        read_recovered(&self.registry).get(client).cloned()
+    }
+
+    /// The highest upload batch sequence number applied for a client.
+    pub fn applied_seq(&self, client: &str) -> u64 {
+        read_recovered(&self.results).applied_seq(client)
     }
 
     /// Saves both stores under a directory (`testcases.txt`,
@@ -141,14 +161,15 @@ impl UucsServer {
 impl Endpoint for UucsServer {
     fn handle(&self, msg: &ClientMsg) -> ServerMsg {
         match msg {
-            ClientMsg::Register(snapshot) => {
+            ClientMsg::Register { snapshot, token } => {
                 let mut reg = match self.try_write(&self.registry, "registry") {
                     Ok(guard) => guard,
                     Err(err) => return err,
                 };
-                let id = format!("client-{:04}", reg.len() + 1);
-                reg.push((id.clone(), snapshot.clone()));
-                ServerMsg::Id(id)
+                match reg.register(snapshot.clone(), token) {
+                    Ok(id) => ServerMsg::Id(id),
+                    Err(e) => ServerMsg::Error(format!("registration rejected: {e}")),
+                }
             }
             ClientMsg::Sync { client, have, want } => {
                 if self.snapshot_of(client).is_none() {
@@ -164,7 +185,11 @@ impl Endpoint for UucsServer {
                     .collect();
                 ServerMsg::Testcases(slice)
             }
-            ClientMsg::Upload { client, records } => {
+            ClientMsg::Upload {
+                client,
+                seq,
+                records,
+            } => {
                 if self.snapshot_of(client).is_none() {
                     return ServerMsg::Error(format!("unregistered client {client}"));
                 }
@@ -172,9 +197,11 @@ impl Endpoint for UucsServer {
                     // Ack only what the store accepted: with a WAL-backed
                     // store an Ack means the records are journaled, so a
                     // crash after this reply loses nothing the client
-                    // was told is safe.
-                    Ok(mut results) => match results.append(records.clone()) {
-                        Ok(n) => ServerMsg::Ack(n),
+                    // was told is safe. A replayed batch (retransmit
+                    // after a lost Ack) is re-acknowledged without
+                    // storing a second copy.
+                    Ok(mut results) => match results.append_batch(client, *seq, records.clone()) {
+                        Ok(status) => ServerMsg::Ack(status.acked()),
                         Err(e) => ServerMsg::Error(format!("upload rejected: {e}")),
                     },
                     Err(err) => err,
@@ -210,7 +237,7 @@ mod tests {
     }
 
     fn register(s: &UucsServer) -> String {
-        match s.handle(&ClientMsg::Register(MachineSnapshot::study_machine("h"))) {
+        match s.handle(&ClientMsg::register(MachineSnapshot::study_machine("h"))) {
             ServerMsg::Id(id) => id,
             other => panic!("expected Id, got {other:?}"),
         }
@@ -303,6 +330,7 @@ mod tests {
         assert!(matches!(
             s.handle(&ClientMsg::Upload {
                 client: "ghost".into(),
+                seq: 1,
                 records: vec![]
             }),
             ServerMsg::Error(_)
@@ -326,12 +354,40 @@ mod tests {
         };
         match s.handle(&ClientMsg::Upload {
             client: id.clone(),
+            seq: 0,
             records: vec![rec.clone(), rec.clone()],
         }) {
             ServerMsg::Ack(2) => {}
             other => panic!("{other:?}"),
         }
         assert_eq!(s.result_count(), 2);
+    }
+
+    #[test]
+    fn sequenced_upload_replay_is_acked_but_not_stored() {
+        use uucs_protocol::{MonitorSummary, RunOutcome, RunRecord};
+        let s = UucsServer::new(library(1), 9);
+        let id = register(&s);
+        let rec = RunRecord {
+            client: id.clone(),
+            user: "u".into(),
+            testcase: "tc-000".into(),
+            task: "Word".into(),
+            outcome: RunOutcome::Exhausted,
+            offset_secs: 10.0,
+            last_levels: vec![],
+            monitor: MonitorSummary::default(),
+        };
+        let upload = ClientMsg::Upload {
+            client: id.clone(),
+            seq: 1,
+            records: vec![rec.clone(), rec],
+        };
+        assert!(matches!(s.handle(&upload), ServerMsg::Ack(2)));
+        // The retransmit (lost Ack) gets a fresh Ack, one stored copy.
+        assert!(matches!(s.handle(&upload), ServerMsg::Ack(2)));
+        assert_eq!(s.result_count(), 2);
+        assert_eq!(s.applied_seq(&id), 1);
     }
 
     #[test]
@@ -348,7 +404,7 @@ mod tests {
         // The first mutating request maps the poisoning to a protocol
         // error instead of panicking the handler thread...
         assert!(matches!(
-            s.handle(&ClientMsg::Register(MachineSnapshot::study_machine("h"))),
+            s.handle(&ClientMsg::register(MachineSnapshot::study_machine("h"))),
             ServerMsg::Error(_)
         ));
         // ...and clears the poison, so the server keeps serving.

@@ -19,10 +19,11 @@
 //! nothing and point at the damaged line (`line 41: bad outcome ...`),
 //! because a checkpoint file has no append-in-flight excuse.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 use std::path::Path;
-use uucs_protocol::{RunRecord, WalEntry};
+use uucs_protocol::{MachineSnapshot, RunRecord, WalEntry};
 use uucs_testcase::{format as tcformat, Testcase};
 use uucs_wal::{Recovery, StdIo, Wal, WalConfig};
 
@@ -98,9 +99,9 @@ impl TestcaseStore {
             let (lsn, payload) = item?;
             match WalEntry::decode(&payload).map_err(invalid)? {
                 WalEntry::Testcase(tc) => store.add(tc).map_err(invalid)?,
-                WalEntry::Result(_) => {
+                _ => {
                     return Err(invalid(format!(
-                        "record {lsn}: result entry in a testcase journal"
+                        "record {lsn}: foreign entry in a testcase journal"
                     )))
                 }
             }
@@ -174,10 +175,40 @@ impl TestcaseStore {
     }
 }
 
+/// What [`ResultStore::append_batch`] did with an upload batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStatus {
+    /// The batch was new: `n` records journaled and applied.
+    Applied(usize),
+    /// The batch's sequence number was already applied: nothing stored,
+    /// but the caller should re-acknowledge all `n` records — the
+    /// previous `ACK` was evidently lost in transit.
+    Replayed(usize),
+}
+
+impl BatchStatus {
+    /// The record count to acknowledge, either way.
+    pub fn acked(self) -> usize {
+        match self {
+            BatchStatus::Applied(n) | BatchStatus::Replayed(n) => n,
+        }
+    }
+}
+
 /// The server's result store.
+///
+/// Beyond the records themselves it tracks, per client, the highest
+/// *batch sequence number* applied ([`ResultStore::append_batch`]), which
+/// is what makes `UPLOAD` idempotent: a batch retransmitted because its
+/// `ACK` was lost is recognized and re-acknowledged without storing a
+/// second copy. In durable mode the sequence horizon rides in the same
+/// WAL entry as the records (one atomic [`WalEntry::Batch`]) and in the
+/// compaction snapshot, so dedup survives crashes and checkpoints alike.
 #[derive(Debug, Default)]
 pub struct ResultStore {
     records: Vec<RunRecord>,
+    /// Per-client highest applied batch sequence number.
+    applied: BTreeMap<String, u64>,
     wal: Option<Wal<StdIo>>,
 }
 
@@ -193,17 +224,27 @@ impl ResultStore {
     pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
         let (wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
         let mut records = Vec::new();
+        let mut applied = BTreeMap::new();
         if let Some(snap) = recovery.snapshot.take() {
             let text = std::str::from_utf8(&snap.state).map_err(invalid)?;
-            records = RunRecord::parse_many(text).map_err(invalid)?;
+            (records, applied) = Self::parse_state(text)?;
         }
         for item in wal.replay() {
             let (lsn, payload) = item?;
             match WalEntry::decode(&payload).map_err(invalid)? {
                 WalEntry::Result(rec) => records.push(rec),
-                WalEntry::Testcase(_) => {
+                WalEntry::Batch {
+                    client,
+                    seq,
+                    records: batch,
+                } => {
+                    records.extend(batch);
+                    let horizon = applied.entry(client).or_insert(0);
+                    *horizon = (*horizon).max(seq);
+                }
+                WalEntry::Testcase(_) | WalEntry::Client { .. } => {
                     return Err(invalid(format!(
-                        "record {lsn}: testcase entry in a result journal"
+                        "record {lsn}: foreign entry in a result journal"
                     )))
                 }
             }
@@ -211,10 +252,45 @@ impl ResultStore {
         Ok((
             ResultStore {
                 records,
+                applied,
                 wal: Some(wal),
             },
             recovery,
         ))
+    }
+
+    /// The compaction-snapshot text: `SEQ <client> <n>` header lines (the
+    /// idempotency horizon) followed by the record blocks.
+    fn emit_state(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (client, seq) in &self.applied {
+            writeln!(out, "SEQ {client} {seq}").unwrap();
+        }
+        out.push_str(&RunRecord::emit_many(&self.records));
+        out
+    }
+
+    /// Parses [`ResultStore::emit_state`] output. Snapshots from before
+    /// sequence tracking have no `SEQ` lines and parse to an empty map.
+    fn parse_state(text: &str) -> io::Result<(Vec<RunRecord>, BTreeMap<String, u64>)> {
+        let mut applied = BTreeMap::new();
+        let mut offset = 0usize;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("SEQ ") else {
+                break;
+            };
+            let (client, seq) = rest
+                .rsplit_once(' ')
+                .ok_or_else(|| invalid(format!("bad snapshot seq line {line:?}")))?;
+            let seq: u64 = seq
+                .parse()
+                .map_err(|_| invalid(format!("bad snapshot seq line {line:?}")))?;
+            applied.insert(client.to_string(), seq);
+            offset += line.len() + 1;
+        }
+        let records = RunRecord::parse_many(&text[offset.min(text.len())..]).map_err(invalid)?;
+        Ok((records, applied))
     }
 
     /// True when mutations are journaled through a WAL.
@@ -238,13 +314,59 @@ impl ResultStore {
         Ok(n)
     }
 
+    /// Appends an upload batch idempotently. `seq` is the client's batch
+    /// sequence number: if it is at or below the client's applied
+    /// horizon the batch is a retransmit — nothing is stored and
+    /// [`BatchStatus::Replayed`] tells the caller to re-acknowledge.
+    /// `seq == 0` is the legacy non-idempotent path (always applied).
+    ///
+    /// In durable mode a new batch is journaled as a single atomic
+    /// [`WalEntry::Batch`] carrying both records and horizon, *before*
+    /// being applied: an acknowledged batch can neither be lost nor
+    /// double-applied across a crash.
+    pub fn append_batch(
+        &mut self,
+        client: &str,
+        seq: u64,
+        records: Vec<RunRecord>,
+    ) -> Result<BatchStatus, StoreError> {
+        if seq == 0 {
+            return self.append(records).map(BatchStatus::Applied);
+        }
+        if self.applied.get(client).copied().unwrap_or(0) >= seq {
+            return Ok(BatchStatus::Replayed(records.len()));
+        }
+        if let Some(wal) = &mut self.wal {
+            wal.append(
+                &WalEntry::Batch {
+                    client: client.to_string(),
+                    seq,
+                    records: records.clone(),
+                }
+                .encode(),
+            )?;
+        }
+        self.applied.insert(client.to_string(), seq);
+        let n = records.len();
+        self.records.extend(records);
+        Ok(BatchStatus::Applied(n))
+    }
+
+    /// The highest batch sequence number applied for `client` (0 if the
+    /// client never uploaded with sequence numbers).
+    pub fn applied_seq(&self, client: &str) -> u64 {
+        self.applied.get(client).copied().unwrap_or(0)
+    }
+
     /// Folds the journal into a checkpoint and deletes the segments it
     /// covers. Returns `false` (doing nothing) in plain mode.
     pub fn compact(&mut self) -> io::Result<bool> {
-        let Some(wal) = &mut self.wal else {
+        if self.wal.is_none() {
             return Ok(false);
-        };
-        wal.snapshot(RunRecord::emit_many(&self.records).as_bytes())?;
+        }
+        let state = self.emit_state();
+        let wal = self.wal.as_mut().expect("checked above");
+        wal.snapshot(state.as_bytes())?;
         wal.compact()?;
         Ok(true)
     }
@@ -283,8 +405,192 @@ impl ResultStore {
             .map_err(|e| invalid(format!("{}: {e}", path.display())))?;
         Ok(ResultStore {
             records,
+            applied: BTreeMap::new(),
             wal: None,
         })
+    }
+}
+
+/// What a registry snapshot parses into: the `(id, snapshot)` rows and
+/// the `(token, id)` idempotency pairs.
+type RegistryState = (Vec<(String, MachineSnapshot)>, Vec<(String, String)>);
+
+/// The server's client registry: `(GUID, machine snapshot)` pairs in
+/// registration order, optionally journaled through a WAL so a restarted
+/// server still recognizes the clients it handed ids to — without it,
+/// every server restart would orphan every client in the field.
+#[derive(Debug, Default)]
+pub struct RegistryStore {
+    clients: Vec<(String, MachineSnapshot)>,
+    /// `(token, id)` for every registration that carried an idempotency
+    /// token: a re-registration presenting a known token gets the same
+    /// id back instead of a new row. Rebuilt from the journal and the
+    /// snapshot on recovery, so the guarantee survives a server restart.
+    tokens: Vec<(String, String)>,
+    wal: Option<Wal<StdIo>>,
+}
+
+impl RegistryStore {
+    /// An empty, non-durable registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens (creating if necessary) a WAL-backed registry: replays the
+    /// journal under `dir` and journals every subsequent registration
+    /// before applying it.
+    pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
+        let (wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        let mut store = Self::new();
+        if let Some(snap) = recovery.snapshot.take() {
+            let text = std::str::from_utf8(&snap.state).map_err(invalid)?;
+            (store.clients, store.tokens) = Self::parse_state(text)?;
+        }
+        for item in wal.replay() {
+            let (lsn, payload) = item?;
+            match WalEntry::decode(&payload).map_err(invalid)? {
+                WalEntry::Client {
+                    id,
+                    token,
+                    snapshot,
+                } => {
+                    if !token.is_empty() {
+                        store.tokens.push((token, id.clone()));
+                    }
+                    store.clients.push((id, snapshot));
+                }
+                _ => {
+                    return Err(invalid(format!(
+                        "record {lsn}: foreign entry in a registry journal"
+                    )))
+                }
+            }
+        }
+        store.wal = Some(wal);
+        Ok((store, recovery))
+    }
+
+    fn emit_state(&self) -> String {
+        let mut out = String::new();
+        for (id, snap) in &self.clients {
+            match self.tokens.iter().find(|(_, tid)| tid == id) {
+                Some((token, _)) => out.push_str(&format!("CLIENT {id} {token}\n")),
+                None => out.push_str(&format!("CLIENT {id}\n")),
+            }
+            out.push_str(&snap.emit());
+        }
+        out
+    }
+
+    fn parse_state(text: &str) -> io::Result<RegistryState> {
+        let mut clients = Vec::new();
+        let mut tokens = Vec::new();
+        // (id, pending block text) for the entry being accumulated.
+        let mut current: Option<(String, String)> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("CLIENT ") {
+                if let Some((id, block)) = current.take() {
+                    let snap = MachineSnapshot::parse(&block).map_err(invalid)?;
+                    clients.push((id, snap));
+                }
+                let mut toks = rest.split_whitespace();
+                let id = toks.next().unwrap_or("").to_string();
+                if id.is_empty() {
+                    return Err(invalid("registry snapshot: CLIENT line missing id"));
+                }
+                if let Some(token) = toks.next() {
+                    tokens.push((token.to_string(), id.clone()));
+                }
+                current = Some((id, String::new()));
+            } else if let Some((_, block)) = &mut current {
+                block.push_str(line);
+                block.push('\n');
+            } else {
+                return Err(invalid(format!("registry snapshot: stray line {line:?}")));
+            }
+        }
+        if let Some((id, block)) = current.take() {
+            let snap = MachineSnapshot::parse(&block).map_err(invalid)?;
+            clients.push((id, snap));
+        }
+        Ok((clients, tokens))
+    }
+
+    /// True when registrations are journaled through a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Registers a machine, assigning the next GUID. In durable mode the
+    /// registration is journaled before it is applied, so an id handed
+    /// out survives a server restart.
+    ///
+    /// A non-empty `token` makes the call idempotent: if this token has
+    /// registered before, the *original* id comes back and nothing is
+    /// journaled. A client whose `ID` reply was lost in transit can
+    /// therefore retry the registration without becoming two clients.
+    pub fn register(
+        &mut self,
+        snapshot: MachineSnapshot,
+        token: &str,
+    ) -> Result<String, StoreError> {
+        if !token.is_empty() {
+            if let Some((_, id)) = self.tokens.iter().find(|(t, _)| t == token) {
+                return Ok(id.clone());
+            }
+        }
+        let id = format!("client-{:04}", self.clients.len() + 1);
+        if let Some(wal) = &mut self.wal {
+            wal.append(
+                &WalEntry::Client {
+                    id: id.clone(),
+                    token: token.to_string(),
+                    snapshot: snapshot.clone(),
+                }
+                .encode(),
+            )?;
+        }
+        self.clients.push((id.clone(), snapshot));
+        if !token.is_empty() {
+            self.tokens.push((token.to_string(), id.clone()));
+        }
+        Ok(id)
+    }
+
+    /// The registered snapshot for an id.
+    pub fn get(&self, id: &str) -> Option<&MachineSnapshot> {
+        self.clients
+            .iter()
+            .find(|(cid, _)| cid == id)
+            .map(|(_, s)| s)
+    }
+
+    /// All registrations in order.
+    pub fn all(&self) -> &[(String, MachineSnapshot)] {
+        &self.clients
+    }
+
+    /// Number of registered clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// True if no client ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Folds the journal into a checkpoint and deletes the segments it
+    /// covers. Returns `false` (doing nothing) in plain mode.
+    pub fn compact(&mut self) -> io::Result<bool> {
+        if self.wal.is_none() {
+            return Ok(false);
+        }
+        let state = self.emit_state();
+        let wal = self.wal.as_mut().expect("checked above");
+        wal.snapshot(state.as_bytes())?;
+        wal.compact()?;
+        Ok(true)
     }
 }
 
@@ -453,5 +759,176 @@ mod tests {
         assert!(!s.is_durable());
         let mut r = ResultStore::new();
         assert!(!r.compact().unwrap());
+        let mut g = RegistryStore::new();
+        assert!(!g.compact().unwrap());
+        assert!(!g.is_durable());
+    }
+
+    #[test]
+    fn append_batch_is_idempotent() {
+        let mut r = ResultStore::new();
+        let batch = vec![rec("u1"), rec("u2")];
+        assert_eq!(
+            r.append_batch("c1", 1, batch.clone()).unwrap(),
+            BatchStatus::Applied(2)
+        );
+        // The retransmit (lost ACK) is recognized and re-acked, and the
+        // store holds exactly one copy.
+        assert_eq!(
+            r.append_batch("c1", 1, batch.clone()).unwrap(),
+            BatchStatus::Replayed(2)
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.applied_seq("c1"), 1);
+        // A later batch applies; an earlier replay is still discarded.
+        assert_eq!(
+            r.append_batch("c1", 2, vec![rec("u3")]).unwrap(),
+            BatchStatus::Applied(1)
+        );
+        assert_eq!(
+            r.append_batch("c1", 1, batch).unwrap(),
+            BatchStatus::Replayed(2)
+        );
+        assert_eq!(r.len(), 3);
+        // Horizons are per client.
+        assert_eq!(
+            r.append_batch("c2", 1, vec![rec("u4")]).unwrap(),
+            BatchStatus::Applied(1)
+        );
+        assert_eq!(r.applied_seq("c2"), 1);
+        // seq 0 is the legacy always-apply path.
+        assert_eq!(
+            r.append_batch("c1", 0, vec![rec("u5")]).unwrap(),
+            BatchStatus::Applied(1)
+        );
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.applied_seq("c1"), 2, "legacy path leaves the horizon alone");
+    }
+
+    #[test]
+    fn batch_horizon_survives_reopen_and_compaction() {
+        let dir = TempDir::new("uucs-rstore-seq");
+        let cfg = WalConfig {
+            segment_bytes: 512,
+            sync: SyncPolicy::Always,
+        };
+        {
+            let (mut r, _) = ResultStore::open_wal(dir.path(), cfg).unwrap();
+            r.append_batch("c1", 1, vec![rec("u1"), rec("u2")]).unwrap();
+            r.append_batch("c2", 5, vec![rec("u3")]).unwrap();
+        }
+        // Reopen: the horizon came back with the records, so the same
+        // retransmit is still discarded — retry-after-lost-Ack is safe
+        // across a server restart.
+        {
+            let (mut r, _) = ResultStore::open_wal(dir.path(), cfg).unwrap();
+            assert_eq!(r.len(), 3);
+            assert_eq!(r.applied_seq("c1"), 1);
+            assert_eq!(r.applied_seq("c2"), 5);
+            assert_eq!(
+                r.append_batch("c1", 1, vec![rec("u1"), rec("u2")]).unwrap(),
+                BatchStatus::Replayed(2)
+            );
+            assert_eq!(r.len(), 3);
+            // Compaction folds the horizon into the snapshot.
+            assert!(r.compact().unwrap());
+            r.append_batch("c1", 2, vec![rec("u4")]).unwrap();
+        }
+        let (r, recovery) = ResultStore::open_wal(dir.path(), cfg).unwrap();
+        assert!(recovery.snapshot.is_none(), "open_wal folds the snapshot");
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.applied_seq("c1"), 2);
+        assert_eq!(r.applied_seq("c2"), 5, "horizon survived compaction");
+    }
+
+    #[test]
+    fn registry_store_survives_reopen_and_compaction() {
+        let dir = TempDir::new("uucs-registry");
+        let cfg = WalConfig {
+            segment_bytes: 512,
+            sync: SyncPolicy::Always,
+        };
+        let (a, b) = {
+            let (mut g, _) = RegistryStore::open_wal(dir.path(), cfg).unwrap();
+            assert!(g.is_durable());
+            let a = g.register(MachineSnapshot::study_machine("h1"), "").unwrap();
+            let b = g.register(MachineSnapshot::study_machine("h2"), "").unwrap();
+            assert_ne!(a, b);
+            (a, b)
+        };
+        {
+            let (mut g, _) = RegistryStore::open_wal(dir.path(), cfg).unwrap();
+            assert_eq!(g.len(), 2);
+            assert_eq!(g.get(&a).unwrap().hostname, "h1");
+            assert_eq!(g.get(&b).unwrap().hostname, "h2");
+            // New ids keep advancing past recovered ones: no collision
+            // with an id handed out before the restart.
+            let c = g.register(MachineSnapshot::study_machine("h3"), "").unwrap();
+            assert!(c != a && c != b);
+            assert!(g.compact().unwrap());
+            g.register(MachineSnapshot::study_machine("h4"), "").unwrap();
+        }
+        let (g, _) = RegistryStore::open_wal(dir.path(), cfg).unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.get(&a).unwrap().hostname, "h1");
+        assert_eq!(g.all()[3].1.hostname, "h4");
+    }
+
+    /// A registration retried with the same token (lost `ID` reply) must
+    /// resolve to the same id — in memory, across a WAL recovery, and
+    /// across a compaction that folds the token into the snapshot.
+    #[test]
+    fn registration_token_is_idempotent() {
+        let mut g = RegistryStore::new();
+        let a = g
+            .register(MachineSnapshot::study_machine("h"), "tok-a")
+            .unwrap();
+        let again = g
+            .register(MachineSnapshot::study_machine("h"), "tok-a")
+            .unwrap();
+        assert_eq!(a, again, "same token must return the same id");
+        assert_eq!(g.len(), 1, "retry must not add a second client");
+        // Distinct tokens are distinct identities even from an identical
+        // snapshot (the controlled study registers 33 identical machines).
+        let b = g
+            .register(MachineSnapshot::study_machine("h"), "tok-b")
+            .unwrap();
+        assert_ne!(a, b);
+        // Legacy tokenless registrations never dedup.
+        let c = g.register(MachineSnapshot::study_machine("h"), "").unwrap();
+        let d = g.register(MachineSnapshot::study_machine("h"), "").unwrap();
+        assert_ne!(c, d);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn registration_token_dedup_survives_recovery_and_compaction() {
+        let dir = TempDir::new("uucs-registry-token");
+        let cfg = WalConfig {
+            segment_bytes: 512,
+            sync: SyncPolicy::Always,
+        };
+        let a = {
+            let (mut g, _) = RegistryStore::open_wal(dir.path(), cfg).unwrap();
+            g.register(MachineSnapshot::study_machine("h"), "tok-a")
+                .unwrap()
+        };
+        {
+            // Recovery from the journal alone.
+            let (mut g, _) = RegistryStore::open_wal(dir.path(), cfg).unwrap();
+            let again = g
+                .register(MachineSnapshot::study_machine("h"), "tok-a")
+                .unwrap();
+            assert_eq!(a, again, "token dedup lost in WAL recovery");
+            assert_eq!(g.len(), 1);
+            // Fold everything into a snapshot; the token must ride along.
+            assert!(g.compact().unwrap());
+        }
+        let (mut g, _) = RegistryStore::open_wal(dir.path(), cfg).unwrap();
+        let again = g
+            .register(MachineSnapshot::study_machine("h"), "tok-a")
+            .unwrap();
+        assert_eq!(a, again, "token dedup lost in compaction snapshot");
+        assert_eq!(g.len(), 1);
     }
 }

@@ -1,14 +1,95 @@
 //! The TCP front end: one thread per connection, each speaking the
 //! line-oriented wire protocol against the shared [`UucsServer`].
+//!
+//! Hardened for the open internet the paper's clients lived on:
+//!
+//! * **Per-connection read deadlines** — a stalled or black-holed peer
+//!   releases its thread after [`ServeConfig::read_timeout`] instead of
+//!   holding it forever.
+//! * **Connection cap** — past [`ServeConfig::max_connections`] live
+//!   connections, new arrivals get `ERROR server at capacity` and are
+//!   closed, so an accept storm degrades politely instead of exhausting
+//!   threads.
+//! * **Accept-error backoff** — a transient `accept(2)` failure (EMFILE,
+//!   ECONNABORTED, ...) sleeps [`ServeConfig::accept_retry`] and
+//!   retries; it does not kill the listener.
+//! * **Graceful drain** — [`ServerHandle::shutdown`] tracks every
+//!   connection thread (no detached leaks), closes their sockets to
+//!   unblock reads, and joins them within a deadline.
+//! * **Forward compatibility** — a message tag this server does not know
+//!   ([`std::io::ErrorKind::Unsupported`]) is answered with
+//!   `ERROR unsupported message ...` and the connection stays alive, so
+//!   an old server degrades gracefully against a newer client. Torn
+//!   framing (`InvalidData`) still closes the connection: the stream
+//!   position is unknown.
 
 use crate::server::UucsServer;
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use uucs_protocol::wire::{read_client_msg, write_server_msg, Endpoint};
-use uucs_protocol::ClientMsg;
+use uucs_protocol::{ClientMsg, ServerMsg};
+
+/// Tuning knobs for the TCP front end.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Per-connection read deadline: a connection idle (or stalled
+    /// mid-message) longer than this is closed. `None` waits forever —
+    /// the pre-hardening behaviour.
+    pub read_timeout: Option<Duration>,
+    /// Maximum simultaneously served connections; arrivals beyond it are
+    /// answered `ERROR server at capacity` and closed.
+    pub max_connections: usize,
+    /// Backoff after a transient `accept(2)` error.
+    pub accept_retry: Duration,
+    /// How long [`ServerHandle::shutdown`] waits for connection threads
+    /// to drain before giving up on the stragglers.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            max_connections: 256,
+            accept_retry: Duration::from_millis(50),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One tracked connection: its thread and a handle to its socket so
+/// shutdown can unblock a pending read.
+struct Conn {
+    thread: JoinHandle<()>,
+    stream: TcpStream,
+}
+
+/// Shared connection bookkeeping between the accept loop and shutdown.
+#[derive(Default)]
+struct Tracker {
+    conns: Mutex<Vec<Conn>>,
+    live: AtomicUsize,
+}
+
+impl Tracker {
+    /// Drops finished threads from the table (joining them is instant).
+    fn reap(&self) {
+        let mut conns = self.conns.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut kept = Vec::with_capacity(conns.len());
+        for c in conns.drain(..) {
+            if c.thread.is_finished() {
+                let _ = c.thread.join();
+            } else {
+                kept.push(c);
+            }
+        }
+        *conns = kept;
+    }
+}
 
 /// A running TCP server; dropping it (after [`ServerHandle::shutdown`])
 /// joins the accept loop.
@@ -16,6 +97,8 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    tracker: Arc<Tracker>,
+    drain_deadline: Duration,
     /// The shared server state, for inspection by tests and drivers.
     pub server: Arc<UucsServer>,
 }
@@ -26,26 +109,71 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests shutdown and joins the accept loop. In-flight connections
-    /// finish their current message exchange.
-    pub fn shutdown(mut self) {
+    /// Number of connections currently being served.
+    pub fn live_connections(&self) -> usize {
+        self.tracker.live.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and drains: stops accepting, closes every
+    /// tracked connection's socket (unblocking pending reads), and joins
+    /// the connection threads within the configured deadline. Returns
+    /// `true` if everything drained, `false` if stragglers were left
+    /// behind (their threads die with the process).
+    pub fn shutdown(mut self) -> bool {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+        let deadline = Instant::now() + self.drain_deadline;
+        let mut conns = std::mem::take(
+            &mut *self
+                .tracker
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for c in &conns {
+            let _ = c.stream.shutdown(Shutdown::Both);
+        }
+        let mut drained = true;
+        for c in conns.drain(..) {
+            // `JoinHandle` has no timed join; poll `is_finished` against
+            // the deadline — the socket shutdown above guarantees the
+            // thread is already unblocking.
+            while !c.thread.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if c.thread.is_finished() {
+                let _ = c.thread.join();
+            } else {
+                drained = false;
+            }
+        }
+        drained
     }
 }
 
 /// Binds `127.0.0.1:0` (or a specific address) and serves the given
-/// server state until shutdown.
+/// server state until shutdown, with default hardening ([`ServeConfig`]).
 pub fn serve(server: Arc<UucsServer>, addr: &str) -> std::io::Result<ServerHandle> {
+    serve_with(server, addr, ServeConfig::default())
+}
+
+/// [`serve`] with explicit tuning.
+pub fn serve_with(
+    server: Arc<UucsServer>,
+    addr: &str,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
     let server2 = server.clone();
+    let tracker = Arc::new(Tracker::default());
+    let tracker2 = tracker.clone();
     let accept_thread = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if stop2.load(Ordering::SeqCst) {
@@ -53,10 +181,48 @@ pub fn serve(server: Arc<UucsServer>, addr: &str) -> std::io::Result<ServerHandl
             }
             match conn {
                 Ok(stream) => {
+                    tracker2.reap();
+                    if tracker2.live.load(Ordering::SeqCst) >= config.max_connections {
+                        // Over the cap: answer and close without
+                        // spending a thread on the peer.
+                        let mut w = stream;
+                        let _ = write_server_msg(
+                            &mut w,
+                            &ServerMsg::Error("server at capacity".into()),
+                        );
+                        continue;
+                    }
+    let Ok(tracked) = stream.try_clone() else {
+                        continue;
+                    };
                     let server = server2.clone();
-                    std::thread::spawn(move || handle_connection(stream, &*server));
+                    let tracker3 = tracker2.clone();
+                    tracker3.live.fetch_add(1, Ordering::SeqCst);
+                    let t4 = tracker3.clone();
+                    let closer = tracked.try_clone().ok();
+                    let thread = std::thread::spawn(move || {
+                        handle_connection(stream, &*server, config.read_timeout);
+                        // The tracker holds another clone of this socket,
+                        // so dropping ours does not close it — shut it
+                        // down explicitly so the peer sees EOF now.
+                        if let Some(s) = closer {
+                            let _ = s.shutdown(Shutdown::Both);
+                        }
+                        t4.live.fetch_sub(1, Ordering::SeqCst);
+                    });
+                    tracker2
+                        .conns
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(Conn {
+                            thread,
+                            stream: tracked,
+                        });
                 }
-                Err(_) => break,
+                // A transient accept failure (EMFILE, ECONNABORTED, a
+                // half-open handshake torn down...) must not kill the
+                // whole server: back off briefly and keep listening.
+                Err(_) => std::thread::sleep(config.accept_retry),
             }
         }
     });
@@ -64,12 +230,17 @@ pub fn serve(server: Arc<UucsServer>, addr: &str) -> std::io::Result<ServerHandl
         addr: local,
         stop,
         accept_thread: Some(accept_thread),
+        tracker,
+        drain_deadline: config.drain_deadline,
         server,
     })
 }
 
 /// Runs the message loop for one connection.
-fn handle_connection(stream: TcpStream, server: &dyn Endpoint) {
+fn handle_connection(stream: TcpStream, server: &dyn Endpoint, read_timeout: Option<Duration>) {
+    let _ = stream.set_read_timeout(read_timeout);
+    // Replies are small multi-write frames; don't let Nagle sit on them.
+    let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -84,6 +255,17 @@ fn handle_connection(stream: TcpStream, server: &dyn Endpoint) {
                     return;
                 }
             }
+            // An unknown message tag from a newer client: the read
+            // stopped at a clean line boundary, so report it and keep
+            // serving the connection.
+            Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+                let reply = ServerMsg::Error(format!("unsupported message: {e}"));
+                if write_server_msg(&mut writer, &reply).is_err() {
+                    return;
+                }
+            }
+            // Read deadline expired (either error kind, depending on
+            // platform), torn framing, or a dead peer: close.
             Err(_) => return,
         }
     }
@@ -93,12 +275,16 @@ fn handle_connection(stream: TcpStream, server: &dyn Endpoint) {
 mod tests {
     use super::*;
     use crate::store::TestcaseStore;
-    use std::io::BufReader;
+    use std::io::{BufReader, Write};
     use uucs_protocol::wire::{read_server_msg, write_client_msg};
     use uucs_protocol::{MachineSnapshot, ServerMsg};
     use uucs_testcase::{ExerciseSpec, Resource, Testcase};
 
     fn start() -> ServerHandle {
+        start_with(ServeConfig::default())
+    }
+
+    fn start_with(config: ServeConfig) -> ServerHandle {
         let lib = TestcaseStore::from_testcases(
             (0..10)
                 .map(|i| {
@@ -115,7 +301,7 @@ mod tests {
                 .collect(),
         )
         .expect("generated ids are unique");
-        serve(Arc::new(UucsServer::new(lib, 9)), "127.0.0.1:0").unwrap()
+        serve_with(Arc::new(UucsServer::new(lib, 9)), "127.0.0.1:0", config).unwrap()
     }
 
     #[test]
@@ -127,7 +313,7 @@ mod tests {
 
         write_client_msg(
             &mut writer,
-            &ClientMsg::Register(MachineSnapshot::study_machine("tcp-test")),
+            &ClientMsg::register(MachineSnapshot::study_machine("tcp-test")),
         )
         .unwrap();
         let id = match read_server_msg(&mut reader).unwrap() {
@@ -153,6 +339,7 @@ mod tests {
             &mut writer,
             &ClientMsg::Upload {
                 client: id,
+                seq: 1,
                 records: vec![],
             },
         )
@@ -179,7 +366,7 @@ mod tests {
                     let mut reader = BufReader::new(stream);
                     write_client_msg(
                         &mut writer,
-                        &ClientMsg::Register(MachineSnapshot::study_machine(format!("h{i}"))),
+                        &ClientMsg::register(MachineSnapshot::study_machine(format!("h{i}"))),
                     )
                     .unwrap();
                     match read_server_msg(&mut reader).unwrap() {
@@ -205,5 +392,106 @@ mod tests {
         // After shutdown the listener is gone; connecting fails or the
         // connection is immediately useless. Either way no panic.
         let _ = TcpStream::connect(addr);
+    }
+
+    #[test]
+    fn unknown_message_answered_and_connection_survives() {
+        let handle = start();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // A message tag from the future.
+        writer.write_all(b"TELEPORT now\n").unwrap();
+        writer.flush().unwrap();
+        match read_server_msg(&mut reader).unwrap() {
+            ServerMsg::Error(e) => assert!(e.contains("unsupported"), "{e}"),
+            other => panic!("{other:?}"),
+        }
+        // The connection is still alive and serves known messages.
+        write_client_msg(
+            &mut writer,
+            &ClientMsg::register(MachineSnapshot::study_machine("future")),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_server_msg(&mut reader).unwrap(),
+            ServerMsg::Id(_)
+        ));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn stalled_connection_is_closed_after_read_timeout() {
+        let handle = start_with(ServeConfig {
+            read_timeout: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        });
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        write_client_msg(
+            &mut writer,
+            &ClientMsg::register(MachineSnapshot::study_machine("staller")),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_server_msg(&mut reader).unwrap(),
+            ServerMsg::Id(_)
+        ));
+        // ... then go silent. The server must hang up on us.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        let hung_up = matches!(std::io::Read::read(&mut reader, &mut buf), Ok(0));
+        assert!(hung_up, "server kept a stalled connection alive");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_rejects_politely() {
+        let handle = start_with(ServeConfig {
+            max_connections: 1,
+            ..ServeConfig::default()
+        });
+        // First connection occupies the only slot.
+        let first = TcpStream::connect(handle.addr()).unwrap();
+        let mut w1 = first.try_clone().unwrap();
+        let mut r1 = BufReader::new(first);
+        write_client_msg(
+            &mut w1,
+            &ClientMsg::register(MachineSnapshot::study_machine("holder")),
+        )
+        .unwrap();
+        assert!(matches!(read_server_msg(&mut r1).unwrap(), ServerMsg::Id(_)));
+        // Second arrival is told the server is full, not silently hung.
+        let second = TcpStream::connect(handle.addr()).unwrap();
+        let mut r2 = BufReader::new(second);
+        match read_server_msg(&mut r2).unwrap() {
+            ServerMsg::Error(e) => assert!(e.contains("capacity"), "{e}"),
+            other => panic!("{other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_open_connections() {
+        let handle = start();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write_client_msg(
+            &mut writer,
+            &ClientMsg::register(MachineSnapshot::study_machine("lingerer")),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_server_msg(&mut reader).unwrap(),
+            ServerMsg::Id(_)
+        ));
+        assert_eq!(handle.live_connections(), 1);
+        // The connection is idle-open; shutdown must still drain it
+        // within the deadline rather than leak the thread.
+        assert!(handle.shutdown(), "connection thread did not drain");
     }
 }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use uucs_harness::TempDir;
 use uucs_protocol::wire::{read_server_msg, write_client_msg};
 use uucs_protocol::{ClientMsg, MachineSnapshot, MonitorSummary, RunOutcome, RunRecord, ServerMsg};
-use uucs_server::{tcp, ResultStore, TestcaseStore, UucsServer};
+use uucs_server::{tcp, RegistryStore, ResultStore, TestcaseStore, UucsServer};
 use uucs_testcase::{ExerciseSpec, Resource, Testcase};
 use uucs_wal::{SyncPolicy, WalConfig};
 
@@ -41,6 +41,7 @@ fn record(i: usize) -> RunRecord {
 fn boot(dir: &Path) -> Arc<UucsServer> {
     let (mut testcases, _) = TestcaseStore::open_wal(&dir.join("testcases"), CFG).unwrap();
     let (results, _) = ResultStore::open_wal(&dir.join("results"), CFG).unwrap();
+    let (registry, _) = RegistryStore::open_wal(&dir.join("registry"), CFG).unwrap();
     if testcases.is_empty() {
         for i in 0..3 {
             testcases
@@ -56,18 +57,18 @@ fn boot(dir: &Path) -> Arc<UucsServer> {
                 .unwrap();
         }
     }
-    Arc::new(UucsServer::with_stores(testcases, results, 11))
+    Arc::new(UucsServer::with_all_stores(testcases, results, registry, 11))
 }
 
-/// Registers over TCP and uploads `records`, returning the server's ack
-/// count.
-fn upload_over_tcp(addr: std::net::SocketAddr, records: Vec<RunRecord>) -> usize {
+/// Registers over TCP and uploads `records` as batch `seq`, returning
+/// the server's ack count.
+fn upload_over_tcp(addr: std::net::SocketAddr, seq: u64, records: Vec<RunRecord>) -> usize {
     let stream = TcpStream::connect(addr).unwrap();
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);
     write_client_msg(
         &mut writer,
-        &ClientMsg::Register(MachineSnapshot::study_machine("wal-rt")),
+        &ClientMsg::register(MachineSnapshot::study_machine("wal-rt")),
     )
     .unwrap();
     let client = match read_server_msg(&mut reader).unwrap() {
@@ -88,7 +89,7 @@ fn upload_over_tcp(addr: std::net::SocketAddr, records: Vec<RunRecord>) -> usize
         ServerMsg::Testcases(tcs) => assert_eq!(tcs.len(), 3, "library lost across restart"),
         other => panic!("expected Testcases, got {other:?}"),
     }
-    write_client_msg(&mut writer, &ClientMsg::Upload { client, records }).unwrap();
+    write_client_msg(&mut writer, &ClientMsg::Upload { client, seq, records }).unwrap();
     let n = match read_server_msg(&mut reader).unwrap() {
         ServerMsg::Ack(n) => n,
         other => panic!("expected Ack, got {other:?}"),
@@ -106,21 +107,29 @@ fn acknowledged_uploads_survive_server_death() {
     {
         let server = boot(&dir);
         let handle = tcp::serve(server, "127.0.0.1:0").unwrap();
-        assert_eq!(upload_over_tcp(handle.addr(), (0..4).map(record).collect()), 4);
+        assert_eq!(
+            upload_over_tcp(handle.addr(), 1, (0..4).map(record).collect()),
+            4
+        );
         // The "kill": shut the socket down and drop all in-memory state.
         // Nothing calls save(); durability rests on the journal alone.
         handle.shutdown();
     }
 
-    // Generation 2: recovery sees the 4 acknowledged records; a new
-    // client's sync sees the recovered library; 3 more records arrive,
-    // and this generation also compacts mid-life.
+    // Generation 2: recovery sees the 4 acknowledged records *and* the
+    // generation-1 registration; a new client's sync sees the recovered
+    // library; 3 more records arrive, and this generation also compacts
+    // mid-life.
     {
         let server = boot(&dir);
         assert_eq!(server.result_count(), 4, "acknowledged uploads were lost");
         assert_eq!(server.testcase_count(), 3);
+        assert_eq!(server.client_count(), 1, "registration lost across restart");
         let handle = tcp::serve(server.clone(), "127.0.0.1:0").unwrap();
-        assert_eq!(upload_over_tcp(handle.addr(), (4..7).map(record).collect()), 3);
+        assert_eq!(
+            upload_over_tcp(handle.addr(), 1, (4..7).map(record).collect()),
+            3
+        );
         assert!(server.compact().unwrap(), "wal-backed stores must compact");
         handle.shutdown();
     }
@@ -130,10 +139,86 @@ fn acknowledged_uploads_survive_server_death() {
     {
         let server = boot(&dir);
         assert_eq!(server.result_count(), 7);
+        assert_eq!(server.client_count(), 2);
         let all = server.results();
         for (i, rec) in all.iter().enumerate() {
             assert_eq!(rec, &record(i), "record {i} mutated across recovery");
         }
         assert_eq!(server.testcase_count(), 3);
+    }
+}
+
+/// The lost-Ack retransmit is safe even across a server kill: the batch
+/// horizon rides in the WAL, so the recovered server re-acks the replay
+/// and stores nothing twice.
+#[test]
+fn retransmit_after_lost_ack_is_deduped_across_restart() {
+    let tmp = TempDir::new("uucs-wal-retransmit");
+    let dir = tmp.path().to_path_buf();
+    let records: Vec<RunRecord> = (0..3).map(record).collect();
+
+    // Generation 1: the batch is applied and journaled, but pretend the
+    // Ack never reached the client (we simply ignore it), and the server
+    // dies.
+    let client = {
+        let server = boot(&dir);
+        let handle = tcp::serve(server.clone(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write_client_msg(
+            &mut writer,
+            &ClientMsg::register(MachineSnapshot::study_machine("retrans")),
+        )
+        .unwrap();
+        let client = match read_server_msg(&mut reader).unwrap() {
+            ServerMsg::Id(id) => id,
+            other => panic!("{other:?}"),
+        };
+        write_client_msg(
+            &mut writer,
+            &ClientMsg::Upload {
+                client: client.clone(),
+                seq: 1,
+                records: records.clone(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_server_msg(&mut reader).unwrap(),
+            ServerMsg::Ack(3)
+        ));
+        handle.shutdown();
+        client
+    };
+
+    // Generation 2: the client retries the identical batch. The
+    // recovered server recognizes (client, seq) and re-acks without a
+    // second copy.
+    {
+        let server = boot(&dir);
+        assert_eq!(server.result_count(), 3);
+        assert_eq!(server.applied_seq(&client), 1);
+        let handle = tcp::serve(server.clone(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write_client_msg(
+            &mut writer,
+            &ClientMsg::Upload {
+                client: client.clone(),
+                seq: 1,
+                records: records.clone(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_server_msg(&mut reader).unwrap(),
+            ServerMsg::Ack(3)
+        ));
+        assert_eq!(server.result_count(), 3, "replay stored a duplicate");
+        // The records are byte-for-byte the originals.
+        assert_eq!(server.results(), records);
+        handle.shutdown();
     }
 }

@@ -112,15 +112,28 @@ impl ResultDatabase {
         if let Some(snap) = reader.take_snapshot() {
             let text = std::str::from_utf8(&snap.state)
                 .map_err(|e| invalid(format!("snapshot is not utf-8: {e}")))?;
-            records = RunRecord::parse_many(text).map_err(invalid)?;
+            // The result store's checkpoints lead with `SEQ <client> <n>`
+            // dedup-horizon lines; the analysis phase only wants the
+            // records below them.
+            let mut body = text;
+            while let Some(rest) = body.strip_prefix("SEQ ") {
+                body = rest.split_once('\n').map_or("", |(_, tail)| tail);
+            }
+            records = RunRecord::parse_many(body).map_err(invalid)?;
         }
         for item in reader.records() {
             let (lsn, payload) = item?;
             match WalEntry::decode(&payload).map_err(invalid)? {
                 WalEntry::Result(rec) => records.push(rec),
+                WalEntry::Batch { records: batch, .. } => records.extend(batch),
                 WalEntry::Testcase(_) => {
                     return Err(invalid(format!(
                         "record {lsn}: testcase entry in a result journal"
+                    )))
+                }
+                WalEntry::Client { .. } => {
+                    return Err(invalid(format!(
+                        "record {lsn}: registry entry in a result journal"
                     )))
                 }
             }
@@ -386,9 +399,20 @@ mod tests {
             wal.snapshot(RunRecord::emit_many(&records[..5]).as_bytes())
                 .unwrap();
             wal.compact().unwrap();
-            for rec in &records[5..] {
+            for rec in &records[5..8] {
                 wal.append(&WalEntry::Result(rec.clone()).encode()).unwrap();
             }
+            // Idempotent uploads journal whole batches; the importer
+            // folds those too.
+            wal.append(
+                &WalEntry::Batch {
+                    client: "client-0001".into(),
+                    seq: 1,
+                    records: records[8..].to_vec(),
+                }
+                .encode(),
+            )
+            .unwrap();
         }
         let imported = ResultDatabase::import_wal(dir.path()).unwrap();
         assert_eq!(imported.all(), records);

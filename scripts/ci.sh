@@ -10,7 +10,9 @@ export CARGO_NET_OFFLINE=true
 echo "== build (release, offline, warnings are fatal) =="
 build_log=$(mktemp)
 trap 'rm -f "$build_log"' EXIT
-cargo build --release 2>&1 | tee "$build_log"
+# --workspace matters: with a root package, a bare `cargo build` skips
+# every other member's binaries (uucs-server, uucs-client, ...).
+cargo build --release --workspace 2>&1 | tee "$build_log"
 if grep -q "^warning" "$build_log"; then
     echo "ci: cargo build emitted warnings (see above)" >&2
     exit 1
@@ -22,8 +24,14 @@ cargo test -q --workspace
 echo "== wal fault-injection suite (crash points x sync policies) =="
 cargo test -q -p uucs-wal
 
-echo "== bench smoke (UUCS_BENCH_QUICK=1, all five targets) =="
-for bench in paper_figures substrate exerciser_accuracy ablations wal; do
+echo "== chaos suite (network faults, exactly-once, kill/recover) =="
+cargo test -q --test chaos
+
+echo "== wire fuzz (garbage/truncated/interleaved frames) =="
+cargo test -q --test wire_fuzz
+
+echo "== bench smoke (UUCS_BENCH_QUICK=1, all six targets) =="
+for bench in paper_figures substrate exerciser_accuracy ablations wal chaos; do
     echo "-- $bench --"
     UUCS_BENCH_QUICK=1 cargo bench -p uucs-bench --bench "$bench"
 done

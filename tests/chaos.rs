@@ -1,0 +1,345 @@
+//! Chaos suite: the client/server sync path under injected network
+//! faults, proving exactly-once delivery and eventual convergence.
+//!
+//! Every session here runs through [`uucs_chaos::ChaosProxy`] with a
+//! seeded fault schedule and a fault *budget*: once the budget is
+//! spent the network heals, so a converging protocol must converge.
+//! "Exactly once" is checked byte-for-byte: the server's result store
+//! must equal the client's acknowledged-record archive, in order.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+use uucs::client::{ClientStore, ResilientTransport, RetryPolicy, UucsClient};
+use uucs::comfort::{calibration, Fidelity, UserPopulation, UserProfile};
+use uucs::protocol::MachineSnapshot;
+use uucs::server::{tcp, RegistryStore, ResultStore, TestcaseStore, UucsServer};
+use uucs::workloads::Task;
+use uucs_chaos::{ChaosPolicy, ChaosProxy, FaultKind};
+use uucs_harness::TempDir;
+use uucs_wal::{SyncPolicy, WalConfig};
+
+const WAL_CFG: WalConfig = WalConfig {
+    segment_bytes: 4096,
+    sync: SyncPolicy::Always,
+};
+
+/// An impatient retry policy: the chaos tests should fail fast and
+/// retry fast, not wait out production backoffs.
+fn snappy_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 6,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(10),
+        seed,
+    }
+}
+
+fn snappy_transport(addr: std::net::SocketAddr, seed: u64) -> ResilientTransport {
+    // The deadline must beat a black-holed connection quickly, but not
+    // so quickly that a *healthy* exchange times out when the whole
+    // workspace test suite is saturating the machine.
+    ResilientTransport::new(addr.to_string())
+        .with_timeout(Duration::from_secs(1))
+        .with_policy(snappy_policy(seed))
+}
+
+fn plain_server() -> Arc<UucsServer> {
+    let library: Vec<_> = calibration::controlled_testcases(Task::Word);
+    Arc::new(UucsServer::new(
+        TestcaseStore::from_testcases(library).expect("unique ids"),
+        7,
+    ))
+}
+
+/// Boots a WAL-backed server from `dir`, seeding the library on first
+/// boot only (the kill/recover tests reuse this across generations).
+fn wal_server(dir: &Path) -> Arc<UucsServer> {
+    let (mut testcases, _) = TestcaseStore::open_wal(&dir.join("testcases"), WAL_CFG).unwrap();
+    let (results, _) = ResultStore::open_wal(&dir.join("results"), WAL_CFG).unwrap();
+    let (registry, _) = RegistryStore::open_wal(&dir.join("registry"), WAL_CFG).unwrap();
+    if testcases.is_empty() {
+        for tc in calibration::controlled_testcases(Task::Word) {
+            testcases.add(tc).unwrap();
+        }
+    }
+    Arc::new(UucsServer::with_all_stores(testcases, results, registry, 7))
+}
+
+/// Executes `n` runs on the client (each spooled to the store).
+fn run_n(client: &mut UucsClient, user: &UserProfile, n: usize, seed: u64) {
+    for k in 0..n {
+        let tc = client.choose_testcase().expect("has testcases");
+        client.perform_run(user, Task::Word, &tc, Fidelity::Fast, seed * 1000 + k as u64);
+    }
+}
+
+/// How long a convergence loop may keep retrying. Generous on purpose:
+/// the whole workspace test suite saturates every core for a minute or
+/// more, and a chaos session sharing the machine with it is *exactly*
+/// the hostile environment these tests claim to survive. The budgeted
+/// fault schedule guarantees the network heals; the deadline only
+/// bounds a genuinely broken protocol.
+const CONVERGE_WITHIN: Duration = Duration::from_secs(120);
+
+/// Registers, retrying until the deadline.
+fn register_within(client: &mut UucsClient, transport: &mut ResilientTransport) {
+    let start = std::time::Instant::now();
+    while start.elapsed() < CONVERGE_WITHIN {
+        if client.register(transport).is_ok() {
+            return;
+        }
+    }
+    panic!("registration never succeeded within {CONVERGE_WITHIN:?}");
+}
+
+/// Hot-syncs until the client holds testcases, retrying until the
+/// deadline.
+fn sync_library_within(client: &mut UucsClient, transport: &mut ResilientTransport) {
+    let start = std::time::Instant::now();
+    let mut last_err = None;
+    while start.elapsed() < CONVERGE_WITHIN {
+        match client.hot_sync(transport) {
+            Ok(_) if !client.testcases().is_empty() => return,
+            Ok(_) => {}
+            Err(e) => last_err = Some(e),
+        }
+    }
+    panic!("no testcases downloaded within {CONVERGE_WITHIN:?} (last error: {last_err:?})");
+}
+
+/// Syncs until everything unsynced is acknowledged. Returns the number
+/// of rounds it took.
+fn sync_until_drained(client: &mut UucsClient, transport: &mut ResilientTransport) -> usize {
+    let start = std::time::Instant::now();
+    let mut round = 0;
+    while start.elapsed() < CONVERGE_WITHIN {
+        round += 1;
+        if client.hot_sync(transport).is_ok() && client.unsynced() == 0 {
+            return round;
+        }
+    }
+    panic!(
+        "did not converge within {CONVERGE_WITHIN:?} ({round} rounds); {} records still unsynced",
+        client.unsynced()
+    );
+}
+
+/// One full client session against `server_addr` through a chaos proxy
+/// with the given policy. Asserts convergence and returns
+/// (server-visible results, client archive) for the caller's
+/// exactly-once check.
+fn chaotic_session(
+    name: &str,
+    server: &Arc<UucsServer>,
+    server_addr: std::net::SocketAddr,
+    policy: ChaosPolicy,
+    runs: usize,
+    seed: u64,
+) -> (Vec<uucs::protocol::RunRecord>, Vec<uucs::protocol::RunRecord>) {
+    let tmp = TempDir::new(&format!("uucs-chaos-{name}"));
+    let store = ClientStore::open(tmp.path()).unwrap();
+    let proxy = ChaosProxy::start(server_addr, policy).unwrap();
+
+    let mut client = UucsClient::new(MachineSnapshot::study_machine(name), seed);
+    client.attach_store(store.clone());
+    let mut transport = snappy_transport(proxy.addr(), seed);
+    // Registration and the library download must survive the chaos too.
+    register_within(&mut client, &mut transport);
+    sync_library_within(&mut client, &mut transport);
+
+    let pop = UserPopulation::generate(1, seed);
+    run_n(&mut client, &pop.users()[0], runs, seed);
+    let rounds = sync_until_drained(&mut client, &mut transport);
+    eprintln!("[{name}] converged in {rounds} sync rounds");
+    transport.bye();
+    proxy.shutdown();
+
+    (server.results(), store.load_archive().unwrap())
+}
+
+/// Every fault class, one at a time: the session converges and the
+/// server's store equals the client's acknowledged archive
+/// byte-for-byte. (Corruption is the exception — see the dedicated
+/// test below.)
+#[test]
+fn exactly_once_under_each_fault_class() {
+    for (i, kind) in [
+        FaultKind::Drop,
+        FaultKind::Delay,
+        FaultKind::Truncate,
+        FaultKind::BlackHole,
+        FaultKind::Reset,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let server = plain_server();
+        let handle = tcp::serve(server.clone(), "127.0.0.1:0").unwrap();
+        let policy = ChaosPolicy::only(kind, 0.4, 100 + i as u64).with_budget(6);
+        let (on_server, archived) =
+            chaotic_session(&format!("{kind:?}"), &server, handle.addr(), policy, 4, i as u64);
+        assert_eq!(
+            on_server.len(),
+            4,
+            "[{kind:?}] server holds {} records, wanted 4",
+            on_server.len()
+        );
+        assert_eq!(
+            on_server, archived,
+            "[{kind:?}] server store and client archive diverged"
+        );
+        handle.shutdown();
+    }
+}
+
+/// The whole menu at once, at a higher rate.
+#[test]
+fn exactly_once_under_mixed_faults() {
+    let server = plain_server();
+    let handle = tcp::serve(server.clone(), "127.0.0.1:0").unwrap();
+    let policy = ChaosPolicy {
+        rate: 0.5,
+        faults: vec![
+            FaultKind::Drop,
+            FaultKind::Delay,
+            FaultKind::Truncate,
+            FaultKind::BlackHole,
+            FaultKind::Reset,
+        ],
+        seed: 0xbad,
+        delay: Duration::from_millis(10),
+        budget: None,
+    }
+    .with_budget(10);
+    let (on_server, archived) = chaotic_session("mixed", &server, handle.addr(), policy, 6, 9);
+    assert_eq!(on_server.len(), 6);
+    assert_eq!(on_server, archived);
+    handle.shutdown();
+}
+
+/// Byte corruption: the text protocol carries no checksum (faithful to
+/// the paper), so a mangled-but-parseable payload can change content —
+/// but it can never change *count*: the batch sequence number still
+/// dedupes, so each batch lands exactly once or not at all.
+#[test]
+fn corruption_never_duplicates_or_loses_batches() {
+    let server = plain_server();
+    let handle = tcp::serve(server.clone(), "127.0.0.1:0").unwrap();
+    let policy = ChaosPolicy::only(FaultKind::Corrupt, 0.4, 0xc0).with_budget(6);
+    let (on_server, archived) =
+        chaotic_session("corrupt", &server, handle.addr(), policy, 4, 11);
+    assert_eq!(on_server.len(), 4, "a batch duplicated or vanished");
+    assert_eq!(archived.len(), 4);
+    handle.shutdown();
+}
+
+/// Convergence across a server kill: the session starts under chaos,
+/// the server dies mid-study, a new generation recovers from the WAL,
+/// and the client — same store, same sequence state — drains into it.
+/// Nothing is lost, nothing lands twice.
+#[test]
+fn convergence_across_server_kill_and_wal_recovery() {
+    let tmp = TempDir::new("uucs-chaos-kill");
+    let server_dir = tmp.path().join("server");
+    let client_dir = tmp.path().join("client");
+    let store = ClientStore::open(&client_dir).unwrap();
+    let pop = UserPopulation::generate(1, 17);
+
+    let mut client = UucsClient::new(MachineSnapshot::study_machine("kill"), 17);
+    client.attach_store(store.clone());
+
+    // Generation 1, through a chaotic proxy.
+    {
+        let server = wal_server(&server_dir);
+        let handle = tcp::serve(server.clone(), "127.0.0.1:0").unwrap();
+        let proxy = ChaosProxy::start(
+            handle.addr(),
+            ChaosPolicy::only(FaultKind::Drop, 0.3, 21).with_budget(3),
+        )
+        .unwrap();
+        let mut transport = snappy_transport(proxy.addr(), 17);
+        register_within(&mut client, &mut transport);
+        sync_library_within(&mut client, &mut transport);
+        run_n(&mut client, &pop.users()[0], 3, 17);
+        sync_until_drained(&mut client, &mut transport);
+        assert_eq!(server.result_count(), 3);
+
+        // More results arrive — and the server is killed before they
+        // sync. The ResilientTransport gives up after bounded retries;
+        // the records stay frozen/spooled.
+        run_n(&mut client, &pop.users()[0], 2, 18);
+        proxy.shutdown();
+        handle.shutdown();
+        assert!(client.hot_sync(&mut transport).is_err(), "server is dead");
+        assert_eq!(client.unsynced(), 2);
+        client.persist(&store).unwrap();
+    }
+
+    // Generation 2: recovered from the journal; a *fresh* client
+    // process restores the same store and drains into it.
+    {
+        let server = wal_server(&server_dir);
+        assert_eq!(server.result_count(), 3, "gen-1 results lost in recovery");
+        assert_eq!(server.client_count(), 1, "registration lost in recovery");
+        let handle = tcp::serve(server.clone(), "127.0.0.1:0").unwrap();
+        let proxy = ChaosProxy::start(
+            handle.addr(),
+            ChaosPolicy::only(FaultKind::Reset, 0.3, 22).with_budget(3),
+        )
+        .unwrap();
+        let mut client2 = UucsClient::new(MachineSnapshot::study_machine("kill"), 17);
+        client2.restore(&store).unwrap();
+        client2.attach_store(store.clone());
+        assert_eq!(client2.id(), client.id(), "client id must survive restart");
+        assert_eq!(client2.unsynced(), 2);
+        let mut transport = snappy_transport(proxy.addr(), 18);
+        sync_until_drained(&mut client2, &mut transport);
+
+        // Exactly once, across the kill: all 5 records, no duplicates,
+        // byte-for-byte what the client archived.
+        assert_eq!(server.result_count(), 5);
+        assert_eq!(server.results(), store.load_archive().unwrap());
+        transport.bye();
+        proxy.shutdown();
+        handle.shutdown();
+    }
+}
+
+/// A dead server: the session must fail fast (bounded deterministic
+/// retries, no hang) and leave every record spooled for later.
+#[test]
+fn dead_server_session_spools_offline() {
+    use std::sync::Mutex;
+
+    // Bind-then-drop: an address that refuses connections.
+    let dead_addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let tmp = TempDir::new("uucs-chaos-dead");
+    let store = ClientStore::open(tmp.path()).unwrap();
+    let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+    let rec = slept.clone();
+    let policy = snappy_policy(33);
+    let expected_schedule = policy.delays();
+
+    let mut client = UucsClient::new(MachineSnapshot::study_machine("offline"), 33);
+    client.attach_store(store.clone());
+    client.install_testcases(calibration::controlled_testcases(Task::Word));
+    let mut transport = ResilientTransport::new(dead_addr.to_string())
+        .with_timeout(Duration::from_millis(200))
+        .with_policy(policy)
+        .with_sleeper(Box::new(move |d| rec.lock().unwrap().push(d)));
+
+    assert!(client.register(&mut transport).is_err(), "nothing listens");
+    // The retry schedule is exactly the policy's deterministic delays.
+    assert_eq!(*slept.lock().unwrap(), expected_schedule);
+
+    // The session continues offline: runs execute, records spool.
+    let pop = UserPopulation::generate(1, 34);
+    run_n(&mut client, &pop.users()[0], 3, 35);
+    assert_eq!(client.unsynced(), 3);
+    client.persist(&store).unwrap();
+    assert_eq!(store.load_pending().unwrap().len(), 3, "records not spooled");
+}

@@ -1,0 +1,159 @@
+//! Wire-protocol fuzzing: arbitrary, truncated, and interleaved byte
+//! streams fed to the frame readers must produce clean errors or clean
+//! EOF — never a panic, never an infinite loop.
+
+use std::io::BufReader;
+use uucs::protocol::wire::{read_client_msg, read_server_msg, write_client_msg, write_server_msg};
+use uucs::protocol::{
+    ClientMsg, MachineSnapshot, MonitorSummary, RunOutcome, RunRecord, ServerMsg,
+};
+use uucs::testcase::Resource;
+use uucs_harness::prelude::*;
+
+fn sample_record(i: u64) -> RunRecord {
+    RunRecord {
+        client: "client-0001".into(),
+        user: format!("u{i}"),
+        testcase: format!("t{i}"),
+        task: "Word".into(),
+        outcome: RunOutcome::Discomfort,
+        offset_secs: i as f64,
+        last_levels: vec![(Resource::Cpu, vec![1.0, 2.0])],
+        monitor: MonitorSummary::default(),
+    }
+}
+
+/// A valid client-message byte stream, selected by index.
+fn client_msg(which: u64) -> ClientMsg {
+    match which % 4 {
+        0 => ClientMsg::Register {
+            snapshot: MachineSnapshot::study_machine("fuzz"),
+            token: "tok-fuzz".into(),
+        },
+        1 => ClientMsg::Sync {
+            client: "client-0001".into(),
+            have: (which / 4) as usize,
+            want: 8,
+        },
+        2 => ClientMsg::Upload {
+            client: "client-0001".into(),
+            seq: which,
+            records: vec![sample_record(which), sample_record(which + 1)],
+        },
+        _ => ClientMsg::Bye,
+    }
+}
+
+fn server_msg(which: u64) -> ServerMsg {
+    match which % 4 {
+        0 => ServerMsg::Id("client-0001".into()),
+        1 => ServerMsg::Testcases(vec![]),
+        2 => ServerMsg::Ack((which / 4) as usize),
+        _ => ServerMsg::Error("fuzzed".into()),
+    }
+}
+
+fn client_bytes(which: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_client_msg(&mut buf, &client_msg(which)).unwrap();
+    buf
+}
+
+fn server_bytes(which: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_server_msg(&mut buf, &server_msg(which)).unwrap();
+    buf
+}
+
+/// Reads messages until error or EOF; the bound proves termination (the
+/// reader must consume at least one line per call, and there are at
+/// most `len` lines).
+fn drain_client(bytes: &[u8]) -> usize {
+    let mut r = BufReader::new(bytes);
+    let mut parsed = 0;
+    for _ in 0..=bytes.len() {
+        match read_client_msg(&mut r) {
+            Ok(Some(_)) => parsed += 1,
+            Ok(None) => return parsed,
+            Err(_) => return parsed,
+        }
+    }
+    panic!("reader failed to make progress on {} bytes", bytes.len());
+}
+
+fn drain_server(bytes: &[u8]) -> usize {
+    let mut r = BufReader::new(bytes);
+    let mut parsed = 0;
+    // read_server_msg has no EOF-is-fine form (a client always expects
+    // a reply), so exhaustion surfaces as a clean Err.
+    for _ in 0..=bytes.len() {
+        match read_server_msg(&mut r) {
+            Ok(_) => parsed += 1,
+            Err(_) => return parsed,
+        }
+    }
+    panic!("reader failed to make progress on {} bytes", bytes.len());
+}
+
+proptest! {
+    /// Pure garbage never panics or hangs either reader.
+    #[test]
+    fn garbage_bytes_are_rejected_cleanly(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        drain_client(&bytes);
+        drain_server(&bytes);
+    }
+
+    /// A single valid message truncated anywhere *strictly before its
+    /// end* must never parse as a message. "Never panics" is not
+    /// enough: a cut inside `"ID client-0001\n"` once yielded a *valid*
+    /// `Id("")` or `Id("client-00")`, which a client then cached as its
+    /// identity forever. Every strict prefix must error (or, for the
+    /// client reader at cut 0, report clean EOF).
+    #[test]
+    fn truncated_messages_never_parse(which in any::<u64>(), cut_frac in 0.0f64..1.0) {
+        let full = client_bytes(which);
+        let cut = (((full.len() as f64) * cut_frac) as usize).min(full.len() - 1);
+        prop_assert_eq!(drain_client(&full[..cut]), 0);
+        let full = server_bytes(which);
+        let cut = (((full.len() as f64) * cut_frac) as usize).min(full.len() - 1);
+        prop_assert_eq!(drain_server(&full[..cut]), 0);
+    }
+
+    /// Garbage interleaved between valid messages: the readers never
+    /// panic, and everything *before* the garbage parses.
+    #[test]
+    fn interleaved_garbage_never_panics(
+        which in any::<u64>(),
+        garbage in prop::collection::vec(any::<u8>(), 1..60),
+    ) {
+        let clean = client_bytes(which);
+        let mut stream = clean.clone();
+        stream.extend_from_slice(&garbage);
+        stream.extend_from_slice(&client_bytes(which + 1));
+        // The leading valid message always parses; what happens after
+        // the garbage depends on whether it forms a clean line.
+        prop_assert!(drain_client(&stream) >= 1);
+
+        let mut stream = server_bytes(which);
+        stream.extend_from_slice(&garbage);
+        stream.extend_from_slice(&server_bytes(which + 1));
+        prop_assert!(drain_server(&stream) >= 1);
+    }
+
+    /// Valid frames glued back to back all parse, whatever the mix —
+    /// the framing is self-delimiting.
+    #[test]
+    fn concatenated_valid_frames_all_parse(which in prop::collection::vec(any::<u64>(), 1..8)) {
+        let mut stream = Vec::new();
+        for &w in &which {
+            stream.extend_from_slice(&client_bytes(w));
+        }
+        prop_assert_eq!(drain_client(&stream), which.len());
+
+        let mut stream = Vec::new();
+        for &w in &which {
+            stream.extend_from_slice(&server_bytes(w));
+        }
+        prop_assert_eq!(drain_server(&stream), which.len());
+    }
+}
