@@ -99,7 +99,7 @@ fn sync_throughput(c: &mut Criterion) {
             .exchange(&ClientMsg::register(MachineSnapshot::study_machine("bench")))
             .expect("register")
         {
-            ServerMsg::Id(id) => id,
+            ServerMsg::Id { id, .. } => id,
             other => panic!("expected Id, got {other:?}"),
         };
         let mut seq = 0u64;

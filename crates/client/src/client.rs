@@ -10,6 +10,11 @@ use uucs_stats::Pcg64;
 use uucs_testcase::Testcase;
 use uucs_workloads::Task;
 
+/// The client-id stamp on records measured before registration ever
+/// succeeded; [`UucsClient::register`] re-stamps such records with the
+/// real id so they do not enter the study misattributed.
+const UNREGISTERED: &str = "unregistered";
+
 /// What a hot sync accomplished.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyncReport {
@@ -42,10 +47,15 @@ pub struct UucsClient {
     /// Size of the next sync's download request; grows per sync ("a
     /// growing random sample of testcases").
     next_batch: usize,
-    /// Registration idempotency token, derived deterministically from
-    /// the seed: a registration retried after a lost `ID` reply (or
-    /// after a client restart with the same seed) resolves to the same
-    /// server-side identity instead of minting a duplicate client.
+    /// Registration idempotency token: a registration retried after a
+    /// lost `ID` reply (or after a client restart against the same
+    /// store) resolves to the same server-side identity instead of
+    /// minting a duplicate client. A store-less client derives it from
+    /// the seed and hostname; attaching a store replaces it with the
+    /// store's persisted machine-unique token
+    /// ([`ClientStore::reg_token`](crate::store::ClientStore::reg_token)),
+    /// so two machines that happen to share a seed never collapse into
+    /// one identity.
     reg_token: String,
 }
 
@@ -53,6 +63,19 @@ impl UucsClient {
     /// Creates a client for a machine, seeded for reproducible local
     /// random choices.
     pub fn new(snapshot: MachineSnapshot, seed: u64) -> Self {
+        // Seed AND hostname: a seed alone is a footgun (the daemon's
+        // --seed defaults to a constant), and two machines presenting
+        // the same token would share one server identity — and one
+        // upload dedup horizon, silently discarding each other's
+        // batches. Store-backed clients get a stronger, persisted
+        // machine-unique token in `attach_store`/`restore`.
+        let reg_token = format!(
+            "tok-{:016x}",
+            Pcg64::new(seed)
+                .split_str("reg-token")
+                .split_str(&snapshot.hostname)
+                .next_u64()
+        );
         UucsClient {
             snapshot,
             id: None,
@@ -63,17 +86,23 @@ impl UucsClient {
             store: None,
             rng: Pcg64::new(seed).split_str("client"),
             next_batch: 8,
-            reg_token: format!(
-                "tok-{:016x}",
-                Pcg64::new(seed).split_str("reg-token").next_u64()
-            ),
+            reg_token,
         }
     }
 
     /// Attaches an on-disk store: from now on every fresh record is
     /// spooled the moment it exists, and batch state is journaled across
-    /// freeze/ack transitions.
+    /// freeze/ack transitions. The store's persisted machine-unique
+    /// registration token replaces the seed-derived default, so seed
+    /// collisions across machines cannot merge identities.
     pub fn attach_store(&mut self, store: crate::store::ClientStore) {
+        match store.reg_token() {
+            Ok(token) => self.reg_token = token,
+            // Keep the seed-derived token: weaker against collision,
+            // but the session must not die because one file write
+            // failed.
+            Err(e) => eprintln!("uucs-client: cannot persist registration token: {e}"),
+        }
         self.store = Some(store);
     }
 
@@ -115,14 +144,28 @@ impl UucsClient {
     /// in-flight batch (a crash can land between the spool append and
     /// the freeze) are kept only in the batch, so nothing uploads twice.
     pub fn restore(&mut self, store: &crate::store::ClientStore) -> io::Result<()> {
+        self.reg_token = store.reg_token()?;
         self.id = store.load_id();
         self.testcases = store.load_testcases()?;
         self.pending = store.load_pending()?;
-        self.seq = store.load_seq();
+        let seq = store.try_load_seq();
+        self.seq = seq.unwrap_or(0);
         self.inflight = store.load_inflight()?;
         if let Some((seq, records)) = &self.inflight {
             self.seq = self.seq.max(*seq);
             self.pending.retain(|r| !records.contains(r));
+        }
+        // An id without a counter file means the store lost its sequence
+        // state (registration journals them together). Keeping the
+        // cached id would skip the registration exchange — the only
+        // place the server's applied horizon is learned — so the first
+        // batch would reuse a burned seq and be acknowledged as a
+        // replay, never stored. Drop the id (the persisted token brings
+        // the same identity back) to force that exchange. A surviving
+        // in-flight batch carries the exact last-assigned seq, so it
+        // heals the counter on its own.
+        if self.id.is_some() && seq.is_none() && self.inflight.is_none() {
+            self.id = None;
         }
         Ok(())
     }
@@ -143,6 +186,15 @@ impl UucsClient {
 
     /// Registers with the server, obtaining a GUID. Idempotent: an
     /// already-registered client keeps its id.
+    ///
+    /// Registration is also where a client resynchronizes with its
+    /// server-side past: the `ID` reply carries the server's applied
+    /// upload horizon for the identity, and the batch counter
+    /// fast-forwards to it — a client whose local store was wiped would
+    /// otherwise restart at seq 1 and have every new batch ACKed as a
+    /// replay of one the server already holds, acknowledged but never
+    /// stored. Records measured before registration succeeded (stamped
+    /// "unregistered") are re-stamped with the real id here.
     pub fn register(&mut self, transport: &mut dyn ClientTransport) -> io::Result<String> {
         if let Some(id) = &self.id {
             return Ok(id.clone());
@@ -152,8 +204,40 @@ impl UucsClient {
             token: self.reg_token.clone(),
         };
         match transport.exchange(&msg)? {
-            ServerMsg::Id(id) => {
+            ServerMsg::Id { id, applied_seq } => {
                 self.id = Some(id.clone());
+                self.seq = self.seq.max(applied_seq);
+                let mut restamped = false;
+                for rec in self
+                    .pending
+                    .iter_mut()
+                    .chain(self.inflight.iter_mut().flat_map(|(_, r)| r.iter_mut()))
+                {
+                    if rec.client == UNREGISTERED {
+                        rec.client = id.clone();
+                        restamped = true;
+                    }
+                }
+                // Journal the identity now rather than waiting for the
+                // session's final persist(): best-effort, like the
+                // spool — a failed write must not undo a successful
+                // registration.
+                if let Some(store) = &self.store {
+                    let journal = || -> io::Result<()> {
+                        store.save_id(&id)?;
+                        store.save_seq(self.seq)?;
+                        if restamped {
+                            store.save_pending(&self.pending)?;
+                            if let Some((seq, records)) = &self.inflight {
+                                store.save_inflight(*seq, records)?;
+                            }
+                        }
+                        Ok(())
+                    };
+                    if let Err(e) = journal() {
+                        eprintln!("uucs-client: cannot journal registration: {e}");
+                    }
+                }
                 Ok(id)
             }
             other => Err(protocol_err(other)),
@@ -460,7 +544,7 @@ mod tests {
         impl Endpoint for Flaky {
             fn handle(&self, msg: &ClientMsg) -> ServerMsg {
                 match msg {
-                    ClientMsg::Register { .. } => ServerMsg::Id("c-flaky".into()),
+                    ClientMsg::Register { .. } => ServerMsg::id("c-flaky"),
                     ClientMsg::Sync { .. } => ServerMsg::Testcases(vec![]),
                     ClientMsg::Upload { .. } => ServerMsg::Error("storage full".into()),
                     ClientMsg::Bye => ServerMsg::Ack(0),
@@ -503,7 +587,7 @@ mod tests {
         impl Endpoint for FlakyOnce {
             fn handle(&self, msg: &ClientMsg) -> ServerMsg {
                 match msg {
-                    ClientMsg::Register { .. } => ServerMsg::Id("c-flaky".into()),
+                    ClientMsg::Register { .. } => ServerMsg::id("c-flaky"),
                     ClientMsg::Sync { .. } => ServerMsg::Testcases(vec![]),
                     ClientMsg::Upload { seq, records, .. } => {
                         if self
@@ -546,6 +630,151 @@ mod tests {
         assert_eq!(*srv.seen.lock().unwrap(), vec![(1, 1), (2, 1)]);
     }
 
+    /// Two machines launched with the same seed (the daemon's `--seed`
+    /// defaults to a constant) but their own stores must register as two
+    /// identities. Seed-derived tokens used to collide here, fusing the
+    /// fleet into one server-side client whose shared dedup horizon
+    /// silently discarded the second machine's uploads as replays.
+    #[test]
+    fn same_seed_different_stores_are_distinct_identities() {
+        let base = std::env::temp_dir().join(format!("uucs-client-twins-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let srv = server(3);
+        let mut t = LocalTransport::new(srv.clone());
+        let mut a = UucsClient::new(MachineSnapshot::study_machine("h"), 1);
+        a.attach_store(crate::store::ClientStore::open(base.join("a")).unwrap());
+        let mut b = UucsClient::new(MachineSnapshot::study_machine("h"), 1);
+        b.attach_store(crate::store::ClientStore::open(base.join("b")).unwrap());
+        assert_ne!(a.register(&mut t).unwrap(), b.register(&mut t).unwrap());
+        assert_eq!(srv.client_count(), 2);
+        // Store-less clients at least distinguish by hostname.
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h-other"), 1);
+        assert_ne!(c.register(&mut t).unwrap(), a.id().unwrap());
+        assert_eq!(srv.client_count(), 3);
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    /// A client that lost its local batch counter but kept its identity
+    /// (wiped or damaged store, surviving registration token) must
+    /// resume *above* the server's applied horizon. Without the
+    /// fast-forward in the `ID` reply, its new batches would restart at
+    /// seq 1 — at or below the horizon — and be ACKed as replays
+    /// without being stored: silent, acknowledged data loss.
+    #[test]
+    fn registration_fast_forwards_seq_past_server_horizon() {
+        let srv = server(5);
+        let mut t = LocalTransport::new(srv.clone());
+        let pop = UserPopulation::generate(1, 50);
+        let mut c1 = UucsClient::new(MachineSnapshot::study_machine("h"), 50);
+        c1.register(&mut t).unwrap();
+        c1.hot_sync(&mut t).unwrap();
+        let tc = c1.choose_testcase().unwrap();
+        for run in 0..2 {
+            c1.perform_run(&pop.users()[0], Task::Ie, &tc, Fidelity::Fast, run);
+            c1.hot_sync(&mut t).unwrap();
+        }
+        assert_eq!(srv.result_count(), 2);
+        assert_eq!(srv.applied_seq(c1.id().unwrap()), 2);
+
+        // The "wipe": a fresh client presenting the same token (same
+        // seed and hostname, no restored state) — all counters lost.
+        let mut c2 = UucsClient::new(MachineSnapshot::study_machine("h"), 50);
+        assert_eq!(c2.register(&mut t).unwrap(), c1.id().unwrap());
+        c2.hot_sync(&mut t).unwrap();
+        let tc = c2.choose_testcase().unwrap();
+        c2.perform_run(&pop.users()[0], Task::Ie, &tc, Fidelity::Fast, 9);
+        let report = c2.hot_sync(&mut t).unwrap();
+        assert_eq!(report.uploaded, 1);
+        assert_eq!(
+            srv.result_count(),
+            3,
+            "post-wipe upload was discarded as a replay"
+        );
+        assert_eq!(srv.applied_seq(c1.id().unwrap()), 3);
+    }
+
+    /// Partial store damage: the seq counter file is lost but `id.txt`
+    /// survives. A cached id short-circuits registration — the only
+    /// exchange that carries the server's applied horizon — so restore
+    /// must refuse the orphaned id and force a re-registration (the
+    /// persisted token brings the same identity back). Otherwise the
+    /// next batch reuses a burned seq and is ACKed as a replay: the
+    /// client archives records the server never stored.
+    #[test]
+    fn lost_seq_counter_forces_reregistration() {
+        let dir = std::env::temp_dir().join(format!("uucs-client-lostseq-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = crate::store::ClientStore::open(&dir).unwrap();
+        let srv = server(7);
+        let mut t = LocalTransport::new(srv.clone());
+        let pop = UserPopulation::generate(1, 70);
+        let mut c1 = UucsClient::new(MachineSnapshot::study_machine("h"), 70);
+        c1.attach_store(store.clone());
+        c1.register(&mut t).unwrap();
+        c1.hot_sync(&mut t).unwrap();
+        let tc = c1.choose_testcase().unwrap();
+        for run in 0..2 {
+            c1.perform_run(&pop.users()[0], Task::Ie, &tc, Fidelity::Fast, run);
+            c1.hot_sync(&mut t).unwrap();
+        }
+        let id = c1.id().unwrap().to_string();
+        assert_eq!(srv.applied_seq(&id), 2);
+
+        // The damage: the counter file vanishes, the id survives.
+        std::fs::remove_file(dir.join("seq.txt")).unwrap();
+        let mut c2 = UucsClient::new(MachineSnapshot::study_machine("h"), 70);
+        c2.restore(&store).unwrap();
+        assert_eq!(c2.id(), None, "orphaned id must not be trusted");
+        c2.attach_store(store.clone());
+        assert_eq!(c2.register(&mut t).unwrap(), id, "token restores identity");
+
+        c2.install_testcases(uucs_comfort::calibration::controlled_testcases(Task::Ie));
+        let tc = c2.choose_testcase().unwrap();
+        c2.perform_run(&pop.users()[0], Task::Ie, &tc, Fidelity::Fast, 9);
+        let report = c2.hot_sync(&mut t).unwrap();
+        assert_eq!(report.uploaded, 1);
+        assert_eq!(
+            srv.result_count(),
+            3,
+            "post-damage upload was discarded as a replay"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Records measured before registration ever succeeded (offline
+    /// start) are stamped "unregistered" at creation; registration must
+    /// re-stamp them — in memory and in the spool — so they enter the
+    /// study attributed to the client that measured them.
+    #[test]
+    fn offline_records_are_restamped_at_registration() {
+        let dir = std::env::temp_dir().join(format!("uucs-client-restamp-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = crate::store::ClientStore::open(&dir).unwrap();
+        let srv = server(2);
+        let mut t = LocalTransport::new(srv.clone());
+        let mut c = UucsClient::new(MachineSnapshot::study_machine("h"), 60);
+        c.attach_store(store.clone());
+        c.install_testcases(uucs_comfort::calibration::controlled_testcases(Task::Word));
+        let pop = UserPopulation::generate(1, 61);
+        let tc = c.choose_testcase().unwrap();
+        c.perform_run(&pop.users()[0], Task::Word, &tc, Fidelity::Fast, 1);
+        assert_eq!(c.pending()[0].client, "unregistered");
+
+        let id = c.register(&mut t).unwrap();
+        assert!(c.pending().iter().all(|r| r.client == id));
+        let spooled = store.load_pending().unwrap();
+        assert!(
+            spooled.iter().all(|r| r.client == id),
+            "spool still holds the placeholder stamp"
+        );
+        assert_eq!(store.load_id().as_deref(), Some(id.as_str()));
+
+        let report = c.hot_sync(&mut t).unwrap();
+        assert_eq!(report.uploaded, 1);
+        assert!(srv.results().iter().all(|r| r.client == id));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn persistence_roundtrip() {
         let dir = std::env::temp_dir().join(format!("uucs-client-{}", std::process::id()));
@@ -578,7 +807,7 @@ mod tests {
         impl Endpoint for Reject {
             fn handle(&self, msg: &ClientMsg) -> ServerMsg {
                 match msg {
-                    ClientMsg::Register { .. } => ServerMsg::Id("c-r".into()),
+                    ClientMsg::Register { .. } => ServerMsg::id("c-r"),
                     ClientMsg::Sync { .. } => ServerMsg::Testcases(vec![]),
                     _ => ServerMsg::Error("down".into()),
                 }

@@ -17,6 +17,13 @@
 //! deduplicates on, and a re-`REGISTER` merely burns an id. The backoff
 //! schedule is a pure function of the policy (including its jitter
 //! seed), so tests replay identical timing decisions.
+//!
+//! Only *transient* failures are retried (timeouts, refused dials,
+//! resets, torn frames). A peer that speaks an unknown protocol
+//! ([`std::io::ErrorKind::Unsupported`]) or emits unparseable bytes
+//! (`InvalidData`) fails the exchange immediately: it would answer
+//! every retry the same way, and the caller's offline spool is the
+//! right fallback.
 
 use crate::transport::{ClientTransport, TcpTransport};
 use std::io;
@@ -163,6 +170,20 @@ impl ClientTransport for ResilientTransport {
                     // reply, a timeout mid-frame): drop it and reconnect
                     // on the next attempt.
                     self.conn = None;
+                    // Permanent failures don't earn a retry: a peer that
+                    // speaks an unknown protocol (`Unsupported`) or
+                    // emits bytes that cannot parse (`InvalidData`)
+                    // will say the same thing after every backoff —
+                    // burning the whole schedule per message just delays
+                    // the caller's fallback to the offline spool.
+                    // (Timeouts, refused dials, resets, and torn frames
+                    // — `UnexpectedEof` — all stay retryable.)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::Unsupported | io::ErrorKind::InvalidData
+                    ) {
+                        return Err(e);
+                    }
                     last_err = Some(e);
                 }
             }
@@ -234,6 +255,50 @@ mod tests {
             ),
             "unexpected error: {err}"
         );
+    }
+
+    /// A protocol-mismatched peer is a *permanent* failure: the error
+    /// must surface on the first attempt, not after burning the whole
+    /// backoff schedule against a server that will answer the same way
+    /// every time.
+    #[test]
+    fn protocol_mismatch_fails_without_retries() {
+        use std::io::Write;
+
+        // A "server" from another planet: answers every connection with
+        // an unknown tag, which the wire reader reports as Unsupported.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            // One connection is all a non-retrying transport makes; a
+            // regression that retries would find the listener gone and
+            // surface ConnectionRefused instead of Unsupported, failing
+            // the kind assertion below.
+            if let Ok((mut stream, _)) = listener.accept() {
+                let _ = stream.write_all(b"WARP speed 9\n");
+            }
+        });
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let rec = slept.clone();
+        let mut t = ResilientTransport::new(addr.to_string())
+            .with_timeout(Duration::from_millis(500))
+            .with_policy(RetryPolicy {
+                max_attempts: 5,
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(20),
+                seed: 11,
+            })
+            .with_sleeper(Box::new(move |d| rec.lock().unwrap().push(d)));
+        let err = t.exchange(&ClientMsg::Bye).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported, "{err}");
+        assert!(
+            slept.lock().unwrap().is_empty(),
+            "permanent failure was retried: {:?}",
+            slept.lock().unwrap()
+        );
+        assert!(!t.is_connected());
+        drop(t);
+        h.join().unwrap();
     }
 
     #[test]

@@ -26,6 +26,35 @@ impl ClientStore {
         &self.dir
     }
 
+    /// Loads this store's registration idempotency token, minting and
+    /// persisting one on the first call.
+    ///
+    /// The token is what the server keys client identity on, so it must
+    /// be (a) stable across restarts of *this* installation — hence
+    /// persisted in the store directory — and (b) unique across
+    /// machines, hence minted from machine-local entropy rather than
+    /// the RNG seed: two participants launched with the same `--seed`
+    /// (the default is a constant) must not collapse into one
+    /// server-side identity, where their independent batch counters
+    /// would fight over a single dedup horizon and one machine's
+    /// uploads would be ACKed as replays without ever being stored.
+    pub fn reg_token(&self) -> std::io::Result<String> {
+        let path = self.dir.join("reg-token.txt");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let token = text.trim();
+                if !token.is_empty() {
+                    return Ok(token.to_string());
+                }
+            }
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e),
+            Err(_) => {}
+        }
+        let token = mint_token();
+        std::fs::write(&path, format!("{token}\n"))?;
+        Ok(token)
+    }
+
     /// Persists the assigned client id.
     pub fn save_id(&self, id: &str) -> std::io::Result<()> {
         std::fs::write(self.dir.join("id.txt"), format!("{id}\n"))
@@ -92,10 +121,17 @@ impl ClientStore {
 
     /// Loads the last assigned batch sequence number (0 if never synced).
     pub fn load_seq(&self) -> u64 {
+        self.try_load_seq().unwrap_or(0)
+    }
+
+    /// Loads the batch sequence number, or `None` if the counter file is
+    /// missing or unreadable. The distinction matters during restore: a
+    /// store that has an id but no counter has *lost* state, and must
+    /// not be allowed to reuse burned sequence numbers.
+    pub fn try_load_seq(&self) -> Option<u64> {
         std::fs::read_to_string(self.dir.join("seq.txt"))
             .ok()
             .and_then(|s| s.trim().parse().ok())
-            .unwrap_or(0)
     }
 
     /// Persists the in-flight batch: records frozen under `seq`, sent
@@ -157,6 +193,29 @@ impl ClientStore {
     }
 }
 
+/// Mints a fresh 128-bit registration token from machine-local entropy:
+/// wall clock, process id, and an ASLR-randomized stack address, each
+/// whitened through splitmix64. No cryptographic strength is claimed —
+/// the token only needs to make accidental cross-machine collision
+/// (the seed-collision failure mode) implausible, not resist forgery.
+fn mint_token() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+    use uucs_stats::rng::splitmix64;
+    // Distinguishes stores minted in the same process within one clock
+    // tick (test suites open many stores back to back).
+    static MINTED: AtomicU64 = AtomicU64::new(0);
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let stack_marker = 0u8;
+    let hi = splitmix64(now.as_secs()) ^ splitmix64(u64::from(std::process::id()).rotate_left(32));
+    let lo = splitmix64(now.subsec_nanos() as u64)
+        ^ splitmix64(&stack_marker as *const u8 as u64)
+        ^ splitmix64(!MINTED.fetch_add(1, Ordering::Relaxed));
+    format!("tok-{hi:016x}{lo:016x}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +247,26 @@ mod tests {
         s.save_id("client-0042").unwrap();
         assert_eq!(s.load_id(), Some("client-0042".into()));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The registration token is minted once per store (stable across
+    /// reopens — that is what keeps a reinstalled client the same
+    /// server-side identity) and distinct across stores (that is what
+    /// keeps two machines with the same seed *different* identities).
+    #[test]
+    fn reg_token_is_stable_per_store_and_distinct_across_stores() {
+        let dir_a = tmp("tok-a");
+        let dir_b = tmp("tok-b");
+        let a = ClientStore::open(&dir_a).unwrap();
+        let tok_a = a.reg_token().unwrap();
+        assert!(tok_a.starts_with("tok-"), "odd token {tok_a:?}");
+        assert_eq!(a.reg_token().unwrap(), tok_a, "token changed in place");
+        let reopened = ClientStore::open(&dir_a).unwrap();
+        assert_eq!(reopened.reg_token().unwrap(), tok_a, "token lost on reopen");
+        let b = ClientStore::open(&dir_b).unwrap();
+        assert_ne!(b.reg_token().unwrap(), tok_a, "two stores, one identity");
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```text
 //! client -> server                  server -> client
 //! ----------------                  ----------------
-//! REGISTER + snapshot block         ID <guid>
+//! REGISTER + snapshot block         ID <guid> <applied-seq>
 //! SYNC <client-id> <have> <want>    TESTCASES <n> + n testcase blocks
 //! UPLOAD <client-id> <n> <seq>      ACK <n>
 //!   + n record blocks
@@ -20,6 +20,14 @@
 //! acks again without storing a second copy, so retrying after a lost
 //! `ACK` is safe). A missing `seq` token (older clients) parses as `0`,
 //! which means "no idempotency" and is always applied.
+//!
+//! `applied-seq` in the `ID` reply is the server's upload dedup horizon
+//! for the (possibly pre-existing) identity it just resolved: the
+//! highest batch sequence number it has applied for that client. A
+//! client whose local counter was lost (wiped store) fast-forwards to
+//! it at registration, so its next batch lands *above* the horizon
+//! instead of being silently discarded as a replay. A missing token
+//! (older servers) parses as `0`, which never fast-forwards anything.
 //!
 //! Forward compatibility: an unknown *header* tag is reported as
 //! [`std::io::ErrorKind::Unsupported`], distinct from the
@@ -85,8 +93,20 @@ pub enum ClientMsg {
 /// Messages a server sends.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerMsg {
-    /// The GUID assigned at registration.
-    Id(String),
+    /// The GUID assigned (or re-resolved, for a known idempotency token)
+    /// at registration, together with the server's applied upload-batch
+    /// horizon for that identity.
+    Id {
+        /// The client's GUID.
+        id: String,
+        /// The highest upload batch sequence number the server has
+        /// applied for this client (0 if it never uploaded with
+        /// sequence numbers). A re-registering client fast-forwards its
+        /// own counter to this, so a wiped client cannot resume below
+        /// the dedup horizon and have its new batches discarded as
+        /// replays.
+        applied_seq: u64,
+    },
     /// New testcases for the client.
     Testcases(Vec<Testcase>),
     /// Acknowledgment of `n` uploaded records.
@@ -102,6 +122,17 @@ impl ClientMsg {
         ClientMsg::Register {
             snapshot,
             token: String::new(),
+        }
+    }
+}
+
+impl ServerMsg {
+    /// An `ID` reply for a fresh identity (applied horizon 0) — the
+    /// common case in tests and mock endpoints.
+    pub fn id(id: impl Into<String>) -> Self {
+        ServerMsg::Id {
+            id: id.into(),
+            applied_seq: 0,
         }
     }
 }
@@ -136,7 +167,7 @@ pub fn write_client_msg(w: &mut impl Write, msg: &ClientMsg) -> std::io::Result<
 /// Writes a server message to a stream.
 pub fn write_server_msg(w: &mut impl Write, msg: &ServerMsg) -> std::io::Result<()> {
     match msg {
-        ServerMsg::Id(id) => writeln!(w, "ID {id}")?,
+        ServerMsg::Id { id, applied_seq } => writeln!(w, "ID {id} {applied_seq}")?,
         ServerMsg::Testcases(tcs) => {
             writeln!(w, "TESTCASES {}", tcs.len())?;
             w.write_all(tcformat::emit_many(tcs).as_bytes())?;
@@ -277,7 +308,15 @@ pub fn read_server_msg(r: &mut impl BufRead) -> std::io::Result<ServerMsg> {
     loop {
         header.clear();
         if r.read_line(&mut header)? == 0 {
-            return Err(proto_err("connection closed awaiting server message"));
+            // EOF where a reply was due is a *connection* failure, not
+            // malformed data: the peer (or a middlebox) closed on us,
+            // which a resilient client should treat as retryable —
+            // unlike `InvalidData`, which marks bytes that can never
+            // parse no matter how often they are re-requested.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed awaiting server message",
+            ));
         }
         if !header.ends_with('\n') {
             return Err(torn_err("server header"));
@@ -290,10 +329,20 @@ pub fn read_server_msg(r: &mut impl BufRead) -> std::io::Result<ServerMsg> {
     let (kind, rest) = header.split_once(' ').unwrap_or((header.as_str(), ""));
     match kind {
         "ID" => {
-            if rest.trim().is_empty() {
-                return Err(proto_err("ID missing client id"));
-            }
-            Ok(ServerMsg::Id(rest.to_string()))
+            let mut toks = rest.split_whitespace();
+            let id = toks
+                .next()
+                .ok_or_else(|| proto_err("ID missing client id"))?;
+            // Optional 2nd token: the applied upload horizon (0 = an
+            // older server that does not report one).
+            let applied_seq: u64 = match toks.next() {
+                Some(t) => t.parse().map_err(|_| proto_err("bad ID applied-seq"))?,
+                None => 0,
+            };
+            Ok(ServerMsg::Id {
+                id: id.to_string(),
+                applied_seq,
+            })
         }
         "TESTCASES" => {
             let n: usize = rest
@@ -407,7 +456,11 @@ mod tests {
 
     #[test]
     fn server_messages_roundtrip() {
-        roundtrip_server(ServerMsg::Id("guid-42".into()));
+        roundtrip_server(ServerMsg::id("guid-42"));
+        roundtrip_server(ServerMsg::Id {
+            id: "guid-42".into(),
+            applied_seq: 17,
+        });
         roundtrip_server(ServerMsg::Ack(7));
         roundtrip_server(ServerMsg::Error("nope".into()));
         let tc = uucs_testcase::Testcase::single(
@@ -533,6 +586,38 @@ mod tests {
                 "torn {torn:?} must be UnexpectedEof, got {err:?}"
             );
         }
+    }
+
+    /// An `ID` reply from an older server omits the applied-seq token;
+    /// it must parse as horizon 0 (never fast-forward). A garbled
+    /// horizon is malformed, not silently zero.
+    #[test]
+    fn id_without_applied_seq_parses_as_legacy_zero() {
+        let mut cur = Cursor::new(b"ID client-0007\n".to_vec());
+        assert_eq!(
+            read_server_msg(&mut cur).unwrap(),
+            ServerMsg::Id {
+                id: "client-0007".into(),
+                applied_seq: 0
+            }
+        );
+        let mut cur = Cursor::new(b"ID client-0007 nope\n".to_vec());
+        assert_eq!(
+            read_server_msg(&mut cur).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn eof_awaiting_server_reply_is_unexpected_eof() {
+        // A cleanly closed connection where a reply was due must be
+        // distinguishable from malformed data: the former is retryable
+        // (server restarting), the latter is not.
+        let mut cur = Cursor::new(Vec::<u8>::new());
+        assert_eq!(
+            read_server_msg(&mut cur).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
     }
 
     #[test]

@@ -167,7 +167,18 @@ impl Endpoint for UucsServer {
                     Err(err) => return err,
                 };
                 match reg.register(snapshot.clone(), token) {
-                    Ok(id) => ServerMsg::Id(id),
+                    Ok(id) => {
+                        drop(reg);
+                        // Report the upload dedup horizon alongside the
+                        // id: a token-matched re-registration may be a
+                        // client whose local store (and batch counter)
+                        // was wiped, and without the horizon its new
+                        // batches would restart at seq 1 — at or below
+                        // the horizon — and be ACKed as replays without
+                        // ever being stored.
+                        let applied_seq = read_recovered(&self.results).applied_seq(&id);
+                        ServerMsg::Id { id, applied_seq }
+                    }
                     Err(e) => ServerMsg::Error(format!("registration rejected: {e}")),
                 }
             }
@@ -238,7 +249,7 @@ mod tests {
 
     fn register(s: &UucsServer) -> String {
         match s.handle(&ClientMsg::register(MachineSnapshot::study_machine("h"))) {
-            ServerMsg::Id(id) => id,
+            ServerMsg::Id { id, .. } => id,
             other => panic!("expected Id, got {other:?}"),
         }
     }
@@ -388,6 +399,61 @@ mod tests {
         assert!(matches!(s.handle(&upload), ServerMsg::Ack(2)));
         assert_eq!(s.result_count(), 2);
         assert_eq!(s.applied_seq(&id), 1);
+    }
+
+    /// A token-matched re-registration reports the identity's applied
+    /// upload horizon, so a client that lost its local batch counter
+    /// (wiped store) can fast-forward instead of resuming below the
+    /// horizon — where its new, different batches would be ACKed as
+    /// replays and silently discarded.
+    #[test]
+    fn reregistration_reports_applied_horizon() {
+        use uucs_protocol::{MonitorSummary, RunOutcome, RunRecord};
+        let s = UucsServer::new(library(1), 10);
+        let register = |token: &str| match s.handle(&ClientMsg::Register {
+            snapshot: MachineSnapshot::study_machine("h"),
+            token: token.into(),
+        }) {
+            ServerMsg::Id { id, applied_seq } => (id, applied_seq),
+            other => panic!("expected Id, got {other:?}"),
+        };
+        let (id, horizon) = register("tok-wipe");
+        assert_eq!(horizon, 0, "fresh identity has no horizon");
+        let rec = RunRecord {
+            client: id.clone(),
+            user: "u".into(),
+            testcase: "tc-000".into(),
+            task: "Word".into(),
+            outcome: RunOutcome::Exhausted,
+            offset_secs: 10.0,
+            last_levels: vec![],
+            monitor: MonitorSummary::default(),
+        };
+        for seq in 1..=3u64 {
+            assert!(matches!(
+                s.handle(&ClientMsg::Upload {
+                    client: id.clone(),
+                    seq,
+                    records: vec![rec.clone()],
+                }),
+                ServerMsg::Ack(1)
+            ));
+        }
+        // The "wiped" client re-registers with the same token: same id,
+        // and the horizon it must resume above.
+        let (id2, horizon) = register("tok-wipe");
+        assert_eq!(id2, id);
+        assert_eq!(horizon, 3);
+        // Resuming above the horizon stores; at it, discards.
+        assert!(matches!(
+            s.handle(&ClientMsg::Upload {
+                client: id.clone(),
+                seq: 4,
+                records: vec![rec.clone()],
+            }),
+            ServerMsg::Ack(1)
+        ));
+        assert_eq!(s.result_count(), 4);
     }
 
     #[test]

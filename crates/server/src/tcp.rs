@@ -317,7 +317,7 @@ mod tests {
         )
         .unwrap();
         let id = match read_server_msg(&mut reader).unwrap() {
-            ServerMsg::Id(id) => id,
+            ServerMsg::Id { id, .. } => id,
             other => panic!("{other:?}"),
         };
 
@@ -370,7 +370,7 @@ mod tests {
                     )
                     .unwrap();
                     match read_server_msg(&mut reader).unwrap() {
-                        ServerMsg::Id(id) => id,
+                        ServerMsg::Id { id, .. } => id,
                         other => panic!("{other:?}"),
                     }
                 })
@@ -415,7 +415,7 @@ mod tests {
         .unwrap();
         assert!(matches!(
             read_server_msg(&mut reader).unwrap(),
-            ServerMsg::Id(_)
+            ServerMsg::Id { .. }
         ));
         handle.shutdown();
     }
@@ -436,7 +436,7 @@ mod tests {
         .unwrap();
         assert!(matches!(
             read_server_msg(&mut reader).unwrap(),
-            ServerMsg::Id(_)
+            ServerMsg::Id { .. }
         ));
         // ... then go silent. The server must hang up on us.
         stream
@@ -463,7 +463,7 @@ mod tests {
             &ClientMsg::register(MachineSnapshot::study_machine("holder")),
         )
         .unwrap();
-        assert!(matches!(read_server_msg(&mut r1).unwrap(), ServerMsg::Id(_)));
+        assert!(matches!(read_server_msg(&mut r1).unwrap(), ServerMsg::Id { .. }));
         // Second arrival is told the server is full, not silently hung.
         let second = TcpStream::connect(handle.addr()).unwrap();
         let mut r2 = BufReader::new(second);
@@ -487,7 +487,7 @@ mod tests {
         .unwrap();
         assert!(matches!(
             read_server_msg(&mut reader).unwrap(),
-            ServerMsg::Id(_)
+            ServerMsg::Id { .. }
         ));
         assert_eq!(handle.live_connections(), 1);
         // The connection is idle-open; shutdown must still drain it

@@ -72,7 +72,7 @@ fn upload_over_tcp(addr: std::net::SocketAddr, seq: u64, records: Vec<RunRecord>
     )
     .unwrap();
     let client = match read_server_msg(&mut reader).unwrap() {
-        ServerMsg::Id(id) => id,
+        ServerMsg::Id { id, .. } => id,
         other => panic!("expected Id, got {other:?}"),
     };
     // A sync must see the recovered library.
@@ -172,7 +172,7 @@ fn retransmit_after_lost_ack_is_deduped_across_restart() {
         )
         .unwrap();
         let client = match read_server_msg(&mut reader).unwrap() {
-            ServerMsg::Id(id) => id,
+            ServerMsg::Id { id, .. } => id,
             other => panic!("{other:?}"),
         };
         write_client_msg(

@@ -46,7 +46,7 @@ fn client_msg(which: u64) -> ClientMsg {
 
 fn server_msg(which: u64) -> ServerMsg {
     match which % 4 {
-        0 => ServerMsg::Id("client-0001".into()),
+        0 => ServerMsg::id("client-0001"),
         1 => ServerMsg::Testcases(vec![]),
         2 => ServerMsg::Ack((which / 4) as usize),
         _ => ServerMsg::Error("fuzzed".into()),
