@@ -84,7 +84,7 @@ fn sync_throughput(c: &mut Criterion) {
             faults: vec![FaultKind::Drop, FaultKind::Reset, FaultKind::Truncate],
             seed: 0xbe,
             delay: Duration::from_millis(1),
-            budget: None,
+            ..ChaosPolicy::transparent()
         };
         let proxy = ChaosProxy::start(handle.addr(), policy).expect("proxy");
         let mut transport = ResilientTransport::new(proxy.addr().to_string())

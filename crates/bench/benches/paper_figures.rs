@@ -107,7 +107,7 @@ fn fig10_12_aggregate_cdfs(c: &mut Criterion) {
         print_once(&format!("Figure {fig}: CDF of discomfort for {r}"), || {
             figures::render_aggregate_cdf(data, r)
         });
-        c.bench_function(&format!("fig{fig}/cdf_{r}"), |b| {
+        c.bench_function(format!("fig{fig}/cdf_{r}"), |b| {
             b.iter(|| black_box(figures::aggregate_cdf(data, r).total()))
         });
     }

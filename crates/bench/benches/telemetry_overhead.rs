@@ -1,0 +1,100 @@
+//! Telemetry hot-path overhead: what a counter bump, a histogram
+//! record, and a span cost on the paths the fleet instruments — and
+//! what they cost when telemetry is disabled. The disabled path is the
+//! contract that matters: it must collapse to one relaxed atomic load
+//! and a branch (single-digit nanoseconds), so shipping instrumented
+//! binaries costs nothing when nobody is looking.
+//!
+//! Pre-registered handles (what the server/client hot paths actually
+//! hold, via `OnceLock`) are benchmarked separately from by-name
+//! lookups, which pay a registry read-lock + map probe per call.
+
+use std::hint::black_box;
+use uucs_harness::{bench_group, bench_main, Criterion, Throughput};
+use uucs_telemetry::{metrics, trace};
+
+/// Counter and gauge updates through pre-registered handles.
+fn handles(c: &mut Criterion) {
+    let counter = metrics::counter("bench.telemetry.counter");
+    let gauge = metrics::gauge("bench.telemetry.gauge");
+    let hist = metrics::histogram("bench.telemetry.hist");
+    let mut group = c.benchmark_group("telemetry/handle");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    group.bench_function("gauge_set", |b| {
+        let mut v = 0i64;
+        b.iter(|| {
+            v = v.wrapping_add(1);
+            gauge.set(black_box(v))
+        })
+    });
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(997);
+            hist.record(black_box(v))
+        })
+    });
+    group.bench_function("histogram_timer", |b| {
+        b.iter(|| drop(hist.start_timer()))
+    });
+    group.finish();
+}
+
+/// By-name lookups: registry read-lock + BTreeMap probe, then the
+/// update. This is the cold-path cost a cold caller pays.
+fn lookups(c: &mut Criterion) {
+    metrics::counter("bench.telemetry.lookup").inc();
+    let mut group = c.benchmark_group("telemetry/lookup");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_by_name", |b| {
+        b.iter(|| metrics::counter(black_box("bench.telemetry.lookup")).inc())
+    });
+    group.bench_function("span_by_name", |b| {
+        b.iter(|| drop(trace::span(black_box("bench.telemetry.span"))))
+    });
+    group.finish();
+}
+
+/// The disabled path: one relaxed load + branch. This is what every
+/// instrumented hot path costs when `UUCS_TELEMETRY=0`.
+fn disabled(c: &mut Criterion) {
+    let counter = metrics::counter("bench.telemetry.disabled.counter");
+    let hist = metrics::histogram("bench.telemetry.disabled.hist");
+    metrics::set_enabled(false);
+    let mut group = c.benchmark_group("telemetry/disabled");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| hist.record(black_box(42)))
+    });
+    group.bench_function("span", |b| {
+        b.iter(|| drop(trace::span(black_box("bench.telemetry.disabled.span"))))
+    });
+    group.bench_function("event", |b| {
+        b.iter(|| trace::event(black_box("bench.telemetry.disabled.event"), &[]))
+    });
+    group.finish();
+    metrics::set_enabled(true);
+}
+
+/// What a whole instrumented exchange adds: the server's verb wrapper
+/// pattern (count + timer around a no-op body).
+fn verb_wrapper(c: &mut Criterion) {
+    let count = metrics::counter("bench.telemetry.verb.count");
+    let ns = metrics::histogram("bench.telemetry.verb.ns");
+    let mut group = c.benchmark_group("telemetry/verb_wrapper");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("count_plus_timer", |b| {
+        b.iter(|| {
+            count.inc();
+            let t = ns.start_timer();
+            black_box(17u64);
+            drop(t);
+        })
+    });
+    group.finish();
+}
+
+bench_group!(benches, handles, lookups, disabled, verb_wrapper);
+bench_main!(benches);

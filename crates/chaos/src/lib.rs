@@ -28,6 +28,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use uucs_stats::Pcg64;
+use uucs_telemetry::{metrics, trace};
 
 /// One kind of injectable network fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +58,19 @@ impl FaultKind {
         FaultKind::Reset,
         FaultKind::Corrupt,
     ];
+
+    /// Stable lowercase name, used in telemetry counter names
+    /// (`chaos.<label>.fault.<name>`) and flight-recorder events.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Truncate => "truncate",
+            FaultKind::BlackHole => "black_hole",
+            FaultKind::Reset => "reset",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
 }
 
 /// What the proxy injects, how often, and under which seed.
@@ -74,6 +88,10 @@ pub struct ChaosPolicy {
     /// Once spent, the proxy forwards cleanly — this is what lets
     /// convergence tests terminate.
     pub budget: Option<u64>,
+    /// Label used to namespace this proxy's telemetry counters
+    /// (`chaos.<label>.fault.<kind>`), so concurrent proxies in one
+    /// process stay distinguishable in a STATS snapshot.
+    pub label: String,
 }
 
 impl ChaosPolicy {
@@ -85,6 +103,7 @@ impl ChaosPolicy {
             seed: 0,
             delay: Duration::from_millis(20),
             budget: None,
+            label: "chaos".to_string(),
         }
     }
 
@@ -96,6 +115,7 @@ impl ChaosPolicy {
             seed,
             delay: Duration::from_millis(20),
             budget: None,
+            label: "chaos".to_string(),
         }
     }
 
@@ -107,12 +127,19 @@ impl ChaosPolicy {
             seed,
             delay: Duration::from_millis(20),
             budget: None,
+            label: "chaos".to_string(),
         }
     }
 
     /// Caps the total number of injected faults.
     pub fn with_budget(mut self, budget: u64) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Renames the telemetry namespace for this proxy's fault counters.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
         self
     }
 }
@@ -248,8 +275,9 @@ impl ChaosProxy {
     }
 
     /// Stops accepting, cuts every proxied connection, and joins all
-    /// threads.
-    pub fn shutdown(mut self) {
+    /// threads. Returns the final counters — read *after* the join, so
+    /// the tally is exact, with no pump thread racing it.
+    pub fn shutdown(mut self) -> ChaosStats {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
@@ -262,6 +290,7 @@ impl ChaosProxy {
         for t in self.pumps.lock().unwrap().drain(..) {
             let _ = t.join();
         }
+        self.stats()
     }
 }
 
@@ -305,7 +334,13 @@ fn pump(mut src: TcpStream, mut dst: TcpStream, shared: Arc<Shared>, mut rng: Pc
         if policy.budget.is_none() {
             shared.counters.faults.fetch_add(1, Ordering::SeqCst);
         }
-        match *rng.choose(&policy.faults) {
+        let kind = *rng.choose(&policy.faults);
+        metrics::counter(&format!("chaos.{}.fault.{}", policy.label, kind.name())).inc();
+        trace::event(
+            "chaos.fault",
+            &[("label", &policy.label), ("kind", kind.name()), ("tag", tag)],
+        );
+        match kind {
             FaultKind::Drop => {
                 let _ = src.shutdown(Shutdown::Both);
                 let _ = dst.shutdown(Shutdown::Both);
@@ -439,7 +474,7 @@ mod tests {
             faults: vec![FaultKind::Drop, FaultKind::Reset, FaultKind::Truncate],
             seed: 42,
             delay: Duration::from_millis(5),
-            budget: None,
+            ..ChaosPolicy::transparent()
         };
         let proxy = ChaosProxy::start(up, policy).unwrap();
         for i in 0..4 {
@@ -460,7 +495,7 @@ mod tests {
             faults: vec![FaultKind::Drop],
             seed: 7,
             delay: Duration::from_millis(5),
-            budget: None,
+            ..ChaosPolicy::transparent()
         }
         .with_budget(2);
         let proxy = ChaosProxy::start(up, policy).unwrap();
@@ -495,17 +530,53 @@ mod tests {
     }
 
     #[test]
+    fn per_class_fault_counters_namespace_by_label() {
+        let (up, _t) = echo_server();
+        let policy = ChaosPolicy::only(FaultKind::Drop, 1.0, 11)
+            .with_budget(3)
+            .with_label("libtest_drop_only");
+        let proxy = ChaosProxy::start(up, policy).unwrap();
+        // Drive exchanges until the budget is spent, then one clean one.
+        let mut spent = 0;
+        for i in 0..32 {
+            let _ = roundtrip(proxy.addr(), &format!("x-{i}"));
+            spent = proxy.stats().faults;
+            if spent == 3 {
+                break;
+            }
+        }
+        assert_eq!(spent, 3, "budget should be spendable");
+        // The telemetry counter mirrors the proxy's own tally, and only
+        // the injected class under only *this* proxy's label moved.
+        let label = "libtest_drop_only";
+        assert_eq!(
+            metrics::counter(&format!("chaos.{label}.fault.drop")).get(),
+            3
+        );
+        for kind in FaultKind::ALL {
+            if kind != FaultKind::Drop {
+                assert_eq!(
+                    metrics::counter(&format!("chaos.{label}.fault.{}", kind.name())).get(),
+                    0,
+                    "no {} fault should be counted",
+                    kind.name()
+                );
+            }
+        }
+        proxy.shutdown();
+    }
+
+    #[test]
     fn corruption_mangles_payload_but_delivers() {
         let (up, _t) = echo_server();
         let proxy = ChaosProxy::start(up, ChaosPolicy::only(FaultKind::Corrupt, 1.0, 5)).unwrap();
         // Both directions corrupt one byte, so the reply differs from
         // the clean echo (flipping 0x20 toggles case/space bits — the
         // line framing may survive, the payload may not).
-        match roundtrip(proxy.addr(), "abcdefgh") {
-            Ok(reply) => assert_ne!(reply, "ABCDEFGH", "corruption must be visible"),
-            // A corrupted newline stalls the echo loop instead — also a
-            // legitimate mangling.
-            Err(_) => {}
+        // A corrupted newline stalls the echo loop instead (an Err from
+        // the roundtrip) — also a legitimate mangling.
+        if let Ok(reply) = roundtrip(proxy.addr(), "abcdefgh") {
+            assert_ne!(reply, "ABCDEFGH", "corruption must be visible");
         }
         assert!(proxy.stats().faults >= 1);
         proxy.shutdown();

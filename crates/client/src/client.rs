@@ -4,11 +4,36 @@
 use crate::script::{Command, Script};
 use crate::transport::ClientTransport;
 use std::io;
+use std::sync::OnceLock;
 use uucs_comfort::{execute_run, Fidelity, RunSetup, RunStyle, UserProfile};
 use uucs_protocol::{ClientMsg, MachineSnapshot, RunRecord, ServerMsg};
 use uucs_stats::Pcg64;
+use uucs_telemetry::{metrics, Counter, Gauge};
 use uucs_testcase::Testcase;
 use uucs_workloads::Task;
+
+/// Pre-registered session telemetry (`client.register.*`,
+/// `client.upload.*`, `client.spool.depth`). The spool gauge tracks
+/// [`UucsClient::unsynced`] — how many records would be lost if the
+/// disk store also vanished — updated wherever that count changes.
+struct ClientMetrics {
+    register_ok: Counter,
+    register_err: Counter,
+    upload_ok: Counter,
+    upload_err: Counter,
+    spool_depth: Gauge,
+}
+
+fn client_metrics() -> &'static ClientMetrics {
+    static METRICS: OnceLock<ClientMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ClientMetrics {
+        register_ok: metrics::counter("client.register.ok"),
+        register_err: metrics::counter("client.register.err"),
+        upload_ok: metrics::counter("client.upload.ok"),
+        upload_err: metrics::counter("client.upload.err"),
+        spool_depth: metrics::gauge("client.spool.depth"),
+    })
+}
 
 /// The client-id stamp on records measured before registration ever
 /// succeeded; [`UucsClient::register`] re-stamps such records with the
@@ -203,8 +228,13 @@ impl UucsClient {
             snapshot: self.snapshot.clone(),
             token: self.reg_token.clone(),
         };
-        match transport.exchange(&msg)? {
+        let reply = transport.exchange(&msg);
+        if reply.is_err() {
+            client_metrics().register_err.inc();
+        }
+        match reply? {
             ServerMsg::Id { id, applied_seq } => {
+                client_metrics().register_ok.inc();
                 self.id = Some(id.clone());
                 self.seq = self.seq.max(applied_seq);
                 let mut restamped = false;
@@ -240,7 +270,10 @@ impl UucsClient {
                 }
                 Ok(id)
             }
-            other => Err(protocol_err(other)),
+            other => {
+                client_metrics().register_err.inc();
+                Err(protocol_err(other))
+            }
         }
     }
 
@@ -289,12 +322,17 @@ impl UucsClient {
             }
             let (seq, records) = self.inflight.clone().expect("checked above");
             let n = records.len();
-            match transport.exchange(&ClientMsg::Upload {
+            let reply = transport.exchange(&ClientMsg::Upload {
                 client: id.clone(),
                 seq,
                 records,
-            })? {
+            });
+            if reply.is_err() {
+                client_metrics().upload_err.inc();
+            }
+            match reply? {
                 ServerMsg::Ack(k) if k == n => {
+                    client_metrics().upload_ok.add(n as u64);
                     uploaded += n;
                     if let Some((_, records)) = self.inflight.take() {
                         if let Some(store) = &self.store {
@@ -302,8 +340,12 @@ impl UucsClient {
                             store.clear_inflight()?;
                         }
                     }
+                    client_metrics().spool_depth.set(self.unsynced() as i64);
                 }
-                other => return Err(protocol_err(other)),
+                other => {
+                    client_metrics().upload_err.inc();
+                    return Err(protocol_err(other));
+                }
             }
         }
         Ok(SyncReport {
@@ -358,6 +400,7 @@ impl UucsClient {
             }
         }
         self.pending.push(record);
+        client_metrics().spool_depth.set(self.unsynced() as i64);
         self.pending.last().unwrap()
     }
 
@@ -547,6 +590,7 @@ mod tests {
                     ClientMsg::Register { .. } => ServerMsg::id("c-flaky"),
                     ClientMsg::Sync { .. } => ServerMsg::Testcases(vec![]),
                     ClientMsg::Upload { .. } => ServerMsg::Error("storage full".into()),
+                    ClientMsg::Stats { .. } => ServerMsg::Stats("{}".into()),
                     ClientMsg::Bye => ServerMsg::Ack(0),
                 }
             }
@@ -602,6 +646,7 @@ mod tests {
                         self.seen.lock().unwrap().push((*seq, records.len()));
                         ServerMsg::Ack(records.len())
                     }
+                    ClientMsg::Stats { .. } => ServerMsg::Stats("{}".into()),
                     ClientMsg::Bye => ServerMsg::Ack(0),
                 }
             }

@@ -4,20 +4,27 @@
 //! Internet-study participant in a box.
 //!
 //! ```text
-//! uucs-client --server 127.0.0.1:4004 [--store DIR] [--runs N]
-//!             [--mean-gap SECS] [--seed N] [--script FILE]
+//! uucs-client --server 127.0.0.1:4004 [--store DIR] [--no-store]
+//!             [--runs N] [--mean-gap SECS] [--seed N] [--script FILE]
 //!             [--timeout SECS] [--retries N]
 //! ```
 //!
 //! With `--script`, runs in deterministic mode instead: executes the
-//! command file (the controlled study's mode) and exits.
+//! command file (the controlled study's mode) and exits. With
+//! `--no-store`, runs ephemerally: nothing is spooled or persisted, and
+//! the registration identity is derived only from `--seed` + hostname —
+//! running that way with the *default* seed earns a loud warning, since
+//! every defaulted store-less daemon on a host would present the same
+//! identity token.
 //!
 //! The daemon degrades gracefully when the server is unreachable: runs
 //! keep executing, results spool to the store directory, and the next
 //! successful sync drains the backlog. The process exits nonzero only
 //! when its *local* ground gives way — the store directory or the script
 //! file cannot be opened — never because the network is having a bad
-//! day.
+//! day. If any exchange failed along the way, the telemetry flight
+//! recorder is dumped to `<store>/flight-recorder.jsonl` as a
+//! post-mortem artifact.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -25,6 +32,7 @@ use uucs_client::{ClientStore, ResilientTransport, RetryPolicy, Script, UucsClie
 use uucs_comfort::{Fidelity, UserPopulation};
 use uucs_protocol::MachineSnapshot;
 use uucs_stats::Pcg64;
+use uucs_telemetry::{flight, trace};
 use uucs_workloads::Task;
 
 fn main() {
@@ -33,6 +41,8 @@ fn main() {
     let mut runs = 10usize;
     let mut mean_gap = 2.0f64; // seconds between runs in daemon demo mode
     let mut seed = 1u64;
+    let mut seed_explicit = false;
+    let mut no_store = false;
     let mut script: Option<PathBuf> = None;
     let mut timeout = 10.0f64;
     let mut retries = 4u32;
@@ -48,6 +58,9 @@ fn main() {
                 i += 1;
                 store_dir = args.get(i).map(PathBuf::from).unwrap_or(store_dir);
             }
+            "--no-store" => {
+                no_store = true;
+            }
             "--runs" => {
                 i += 1;
                 runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(runs);
@@ -58,7 +71,10 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(seed);
+                if let Some(s) = args.get(i).and_then(|s| s.parse().ok()) {
+                    seed = s;
+                    seed_explicit = true;
+                }
             }
             "--script" => {
                 i += 1;
@@ -82,10 +98,28 @@ fn main() {
 
     // Local ground: these two failures are fatal. Everything network-side
     // is survivable.
-    let store = ClientStore::open(&store_dir).unwrap_or_else(|e| {
-        eprintln!("cannot open client store {store_dir:?}: {e}");
-        std::process::exit(1);
-    });
+    let store = if no_store {
+        None
+    } else {
+        Some(ClientStore::open(&store_dir).unwrap_or_else(|e| {
+            eprintln!("cannot open client store {store_dir:?}: {e}");
+            std::process::exit(1);
+        }))
+    };
+    if no_store && !seed_explicit {
+        // Store-less, the seed+hostname token is the ONLY identity this
+        // daemon presents — and the seed just defaulted. Every defaulted
+        // store-less daemon on this host collapses into one server-side
+        // identity (and one upload dedup horizon, which silently
+        // discards "replayed" batches the others actually never sent).
+        eprintln!(
+            "warning: running store-less with the default --seed {seed}; \
+             the registration identity is derived only from the seed and \
+             hostname, so concurrent defaulted daemons on this host would \
+             share one server identity. Pass an explicit --seed (or drop \
+             --no-store) to get a distinct, persistent identity."
+        );
+    }
     let script_text = script.as_ref().map(|path| {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read script {path:?}: {e}");
@@ -97,10 +131,12 @@ fn main() {
         MachineSnapshot::study_machine(format!("daemon-{seed}")),
         seed,
     );
-    if let Err(e) = client.restore(&store) {
-        eprintln!("store is damaged, starting fresh: {e}");
+    if let Some(store) = &store {
+        if let Err(e) = client.restore(store) {
+            eprintln!("store is damaged, starting fresh: {e}");
+        }
+        client.attach_store(store.clone());
     }
-    client.attach_store(store.clone());
     let mut transport = ResilientTransport::new(server.clone())
         .with_timeout(Duration::from_secs_f64(timeout.max(0.1)))
         .with_policy(RetryPolicy {
@@ -108,9 +144,16 @@ fn main() {
             seed,
             ..RetryPolicy::default()
         });
+    // Any failed exchange flips this; the session then leaves the
+    // flight-recorder tail in the store directory as a post-mortem.
+    let mut had_errors = false;
     match client.register(&mut transport) {
         Ok(id) => eprintln!("registered as {id}"),
-        Err(e) => eprintln!("server unreachable ({e}); running offline, results will spool"),
+        Err(e) => {
+            had_errors = true;
+            trace::event("client.register.failed", &[("error", &e.to_string())]);
+            eprintln!("server unreachable ({e}); running offline, results will spool");
+        }
     }
 
     // The synthetic user at this machine.
@@ -127,19 +170,29 @@ fn main() {
         // so the store holds something — offline, whatever the store
         // already has will do.
         if let Err(e) = client.hot_sync(&mut transport) {
+            had_errors = true;
+            trace::event("client.sync.failed", &[("error", &e.to_string())]);
             eprintln!("initial sync failed ({e}); using the local testcase store");
         }
         match client.execute_script(&script, user, Fidelity::Fast, &mut transport, seed) {
             Ok(n) => eprintln!("deterministic session complete: {n} runs"),
-            Err(e) => eprintln!("script session stopped early: {e}"),
+            Err(e) => {
+                had_errors = true;
+                trace::event("client.script.failed", &[("error", &e.to_string())]);
+                eprintln!("script session stopped early: {e}");
+            }
         }
     } else {
         match client.hot_sync(&mut transport) {
             Ok(_) => eprintln!("synced {} testcases", client.testcases().len()),
-            Err(e) => eprintln!(
-                "sync failed ({e}); continuing with {} local testcases",
-                client.testcases().len()
-            ),
+            Err(e) => {
+                had_errors = true;
+                trace::event("client.sync.failed", &[("error", &e.to_string())]);
+                eprintln!(
+                    "sync failed ({e}); continuing with {} local testcases",
+                    client.testcases().len()
+                );
+            }
         }
         for k in 0..runs {
             let gap = client.next_arrival_gap(mean_gap);
@@ -150,10 +203,14 @@ fn main() {
                         "hot sync: +{} testcases, {} results uploaded",
                         r.downloaded, r.uploaded
                     ),
-                    Err(e) => eprintln!(
-                        "hot sync failed ({e}); {} results spooled locally",
-                        client.unsynced()
-                    ),
+                    Err(e) => {
+                        had_errors = true;
+                        trace::event("client.sync.failed", &[("error", &e.to_string())]);
+                        eprintln!(
+                            "hot sync failed ({e}); {} results spooled locally",
+                            client.unsynced()
+                        );
+                    }
                 }
             }
             let Some(tc) = client.choose_testcase() else {
@@ -171,14 +228,28 @@ fn main() {
         }
         match client.hot_sync(&mut transport) {
             Ok(r) => eprintln!("final sync: {} results uploaded", r.uploaded),
-            Err(e) => eprintln!(
-                "final sync failed ({e}); {} results spooled for the next session",
-                client.unsynced()
-            ),
+            Err(e) => {
+                had_errors = true;
+                trace::event("client.sync.failed", &[("error", &e.to_string())]);
+                eprintln!(
+                    "final sync failed ({e}); {} results spooled for the next session",
+                    client.unsynced()
+                );
+            }
         }
     }
-    if let Err(e) = client.persist(&store) {
-        eprintln!("warning: could not persist session state: {e}");
+    if let Some(store) = &store {
+        if let Err(e) = client.persist(store) {
+            eprintln!("warning: could not persist session state: {e}");
+        }
+    }
+    if had_errors && !no_store {
+        // Post-mortem artifact: the last telemetry events (what failed,
+        // with what error, in what order) next to the spooled records.
+        match flight::dump_global_to_dir(&store_dir) {
+            Ok(path) => eprintln!("flight recorder dumped to {}", path.display()),
+            Err(e) => eprintln!("warning: could not dump flight recorder: {e}"),
+        }
     }
     transport.bye();
 }

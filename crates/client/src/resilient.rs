@@ -27,9 +27,34 @@
 
 use crate::transport::{ClientTransport, TcpTransport};
 use std::io;
+use std::sync::OnceLock;
 use std::time::Duration;
 use uucs_protocol::{ClientMsg, ServerMsg};
 use uucs_stats::Pcg64;
+use uucs_telemetry::{metrics, Counter};
+
+/// Pre-registered transport telemetry (`client.transport.*`): one
+/// registry lookup per process, a few atomic ops per exchange.
+struct TransportMetrics {
+    attempts: Counter,
+    retries: Counter,
+    backoff_ns: Counter,
+    timeouts: Counter,
+    exchanges_ok: Counter,
+    failures: Counter,
+}
+
+fn transport_metrics() -> &'static TransportMetrics {
+    static METRICS: OnceLock<TransportMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| TransportMetrics {
+        attempts: metrics::counter("client.transport.attempts"),
+        retries: metrics::counter("client.transport.retries"),
+        backoff_ns: metrics::counter("client.transport.backoff_ns"),
+        timeouts: metrics::counter("client.transport.timeouts"),
+        exchanges_ok: metrics::counter("client.transport.exchanges_ok"),
+        failures: metrics::counter("client.transport.failures"),
+    })
+}
 
 /// Bounded-retry schedule: exponential backoff with multiplicative
 /// jitter, deterministic under a fixed seed.
@@ -150,6 +175,7 @@ impl ClientTransport for ResilientTransport {
     /// sleeps the (deterministic) backoff delay. The last error surfaces
     /// after `max_attempts` failures.
     fn exchange(&mut self, msg: &ClientMsg) -> io::Result<ServerMsg> {
+        let tm = transport_metrics();
         let delays = self.policy.delays();
         let mut last_err: Option<io::Error> = None;
         for attempt in 0..self.policy.max_attempts.max(1) {
@@ -158,14 +184,23 @@ impl ClientTransport for ResilientTransport {
                     .get(attempt as usize - 1)
                     .copied()
                     .unwrap_or(self.policy.cap);
+                tm.retries.inc();
+                tm.backoff_ns.add(delay.as_nanos() as u64);
                 (self.sleeper)(delay);
             }
+            tm.attempts.inc();
             let result = self
                 .ensure_connected()
                 .and_then(|conn| conn.exchange(msg));
             match result {
-                Ok(reply) => return Ok(reply),
+                Ok(reply) => {
+                    tm.exchanges_ok.inc();
+                    return Ok(reply);
+                }
                 Err(e) => {
+                    if matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) {
+                        tm.timeouts.inc();
+                    }
                     // Connection state is unknown (torn write, half a
                     // reply, a timeout mid-frame): drop it and reconnect
                     // on the next attempt.
@@ -182,15 +217,16 @@ impl ClientTransport for ResilientTransport {
                         e.kind(),
                         io::ErrorKind::Unsupported | io::ErrorKind::InvalidData
                     ) {
+                        tm.failures.inc();
                         return Err(e);
                     }
                     last_err = Some(e);
                 }
             }
         }
-        Err(last_err.unwrap_or_else(|| {
-            io::Error::new(io::ErrorKind::Other, "retry policy allows zero attempts")
-        }))
+        tm.failures.inc();
+        Err(last_err
+            .unwrap_or_else(|| io::Error::other("retry policy allows zero attempts")))
     }
 }
 

@@ -174,7 +174,10 @@ macro_rules! float_range_strategy {
             fn shrink(&self, value: &$t) -> Vec<$t> {
                 let lo = self.start;
                 let v = *value;
-                if !(v > lo) || (v - lo).abs() < 1e-9 {
+                // NaN (incomparable) and v <= lo both shrink to nothing.
+                if v.partial_cmp(&lo) != Some(core::cmp::Ordering::Greater)
+                    || (v - lo).abs() < 1e-9
+                {
                     return Vec::new();
                 }
                 // Same delta-halving ladder as the integer ranges, with

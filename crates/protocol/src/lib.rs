@@ -5,7 +5,12 @@
 //! client-initiated exchanges: an initial *registration* (sending a
 //! detailed hardware/software snapshot, receiving a globally unique
 //! identifier) and periodic *hot syncs* (downloading a growing random
-//! sample of new testcases, uploading new results).
+//! sample of new testcases, uploading new results). A third,
+//! operator-facing exchange — `STATS` — returns the server's telemetry
+//! registry (per-verb request counts and latency histograms, WAL
+//! timings, connection gauges) as a single line of JSON; `STATS RESET`
+//! additionally zeroes the metrics after snapshotting. See
+//! [`wire::ClientMsg::Stats`] and the `uucs-telemetry` crate.
 //!
 //! This crate defines:
 //! * [`record::RunRecord`] — the result of one testcase run: how it ended

@@ -11,9 +11,19 @@
 //! SYNC <client-id> <have> <want>    TESTCASES <n> + n testcase blocks
 //! UPLOAD <client-id> <n> <seq>      ACK <n>
 //!   + n record blocks
+//! STATS [RESET]                     STATS <json>
 //! BYE                               (connection closes)
 //!                                   ERROR <message>   (any time)
 //! ```
+//!
+//! `STATS` is the observability verb: the server answers with its
+//! telemetry registry encoded as a single line of JSON (sorted keys,
+//! integer values — see `uucs-telemetry`), covering per-verb request
+//! counts and latency histograms, WAL append/fsync/compaction timings,
+//! and connection gauges. `STATS RESET` zeroes every metric *after*
+//! taking the snapshot, so tests can fence measurement windows. Being a
+//! plain header line, the verb rides the existing forward-compatibility
+//! rule: an older server answers `ERROR` and keeps the connection.
 //!
 //! `seq` is the client's monotonically increasing batch sequence number;
 //! it makes `UPLOAD` idempotent (a server that already applied the batch
@@ -86,6 +96,14 @@ pub enum ClientMsg {
         /// The result records.
         records: Vec<RunRecord>,
     },
+    /// Request the server's telemetry snapshot; expects
+    /// [`ServerMsg::Stats`].
+    Stats {
+        /// Zero every metric after snapshotting, so the next `STATS`
+        /// reflects only traffic since this one — used by tests to
+        /// fence measurement windows.
+        reset: bool,
+    },
     /// Close the session.
     Bye,
 }
@@ -111,6 +129,10 @@ pub enum ServerMsg {
     Testcases(Vec<Testcase>),
     /// Acknowledgment of `n` uploaded records.
     Ack(usize),
+    /// The server's telemetry snapshot: one line of JSON (the
+    /// `uucs-telemetry` registry encoding). Opaque to the protocol
+    /// layer — it is framed, not parsed, here.
+    Stats(String),
     /// Protocol error.
     Error(String),
 }
@@ -159,6 +181,13 @@ pub fn write_client_msg(w: &mut impl Write, msg: &ClientMsg) -> std::io::Result<
             writeln!(w, "UPLOAD {client} {} {seq}", records.len())?;
             w.write_all(RunRecord::emit_many(records).as_bytes())?;
         }
+        ClientMsg::Stats { reset } => {
+            if *reset {
+                writeln!(w, "STATS RESET")?;
+            } else {
+                writeln!(w, "STATS")?;
+            }
+        }
         ClientMsg::Bye => writeln!(w, "BYE")?,
     }
     w.flush()
@@ -173,6 +202,14 @@ pub fn write_server_msg(w: &mut impl Write, msg: &ServerMsg) -> std::io::Result<
             w.write_all(tcformat::emit_many(tcs).as_bytes())?;
         }
         ServerMsg::Ack(n) => writeln!(w, "ACK {n}")?,
+        ServerMsg::Stats(json) => {
+            // The snapshot is one line by construction; a stray newline
+            // would tear the frame, so refuse to emit one.
+            if json.contains('\n') {
+                return Err(proto_err("STATS payload must be a single line"));
+            }
+            writeln!(w, "STATS {json}")?;
+        }
         ServerMsg::Error(e) => writeln!(w, "ERROR {e}")?,
     }
     w.flush()
@@ -297,6 +334,14 @@ pub fn read_client_msg(r: &mut impl BufRead) -> std::io::Result<Option<ClientMsg
                 records,
             }))
         }
+        Some("STATS") => {
+            let reset = match toks.next() {
+                None => false,
+                Some("RESET") => true,
+                Some(other) => return Err(proto_err(format!("bad STATS modifier {other:?}"))),
+            };
+            Ok(Some(ClientMsg::Stats { reset }))
+        }
         Some("BYE") => Ok(Some(ClientMsg::Bye)),
         other => Err(unsupported_err(format!("unknown client message {other:?}"))),
     }
@@ -361,6 +406,9 @@ pub fn read_server_msg(r: &mut impl BufRead) -> std::io::Result<ServerMsg> {
             let n: usize = rest.trim().parse().map_err(|_| proto_err("bad ACK"))?;
             Ok(ServerMsg::Ack(n))
         }
+        // The whole rest-of-line is the JSON payload: it contains spaces
+        // of its own, so it is captured raw rather than tokenized.
+        "STATS" => Ok(ServerMsg::Stats(rest.to_string())),
         "ERROR" => Ok(ServerMsg::Error(rest.to_string())),
         other => Err(unsupported_err(format!("unknown server message {other:?}"))),
     }
@@ -438,7 +486,7 @@ mod tests {
     fn upload_without_seq_parses_as_legacy_zero() {
         // An older client omits the 4th token; it must still parse.
         let mut buf = Vec::new();
-        write!(buf, "UPLOAD c1 0\n").unwrap();
+        writeln!(buf, "UPLOAD c1 0").unwrap();
         let mut cur = Cursor::new(buf);
         match read_client_msg(&mut cur).unwrap().unwrap() {
             ClientMsg::Upload { seq, records, .. } => {
@@ -452,6 +500,29 @@ mod tests {
     #[test]
     fn bye_roundtrip() {
         roundtrip_client(ClientMsg::Bye);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        roundtrip_client(ClientMsg::Stats { reset: false });
+        roundtrip_client(ClientMsg::Stats { reset: true });
+        roundtrip_server(ServerMsg::Stats(
+            "{\"counters\":{\"server.verb.sync.count\":3},\"gauges\":{},\"histograms\":{}}"
+                .into(),
+        ));
+        roundtrip_server(ServerMsg::Stats(String::new()));
+    }
+
+    #[test]
+    fn stats_rejects_garbled_modifier_and_torn_payload() {
+        let mut cur = Cursor::new(b"STATS SPLAT\n".to_vec());
+        assert_eq!(
+            read_client_msg(&mut cur).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        // A multi-line payload would tear the frame; the writer refuses.
+        let mut buf = Vec::new();
+        assert!(write_server_msg(&mut buf, &ServerMsg::Stats("{}\n{}".into())).is_err());
     }
 
     #[test]
@@ -505,7 +576,7 @@ mod tests {
         // the same stream still parses — the basis for the server's
         // reply-ERROR-and-keep-going forward compatibility.
         let mut buf = Vec::new();
-        write!(buf, "JUMP high\n").unwrap();
+        writeln!(buf, "JUMP high").unwrap();
         write_client_msg(
             &mut buf,
             &ClientMsg::Sync {
@@ -564,7 +635,14 @@ mod tests {
     /// `Id("")` once poisoned a client's cached registration for good.
     #[test]
     fn torn_server_header_is_rejected() {
-        for torn in ["ID ", "ID client-00", "ACK 4", "ERROR boo", "TESTCASES 2"] {
+        for torn in [
+            "ID ",
+            "ID client-00",
+            "ACK 4",
+            "ERROR boo",
+            "TESTCASES 2",
+            "STATS {\"counters\":{}",
+        ] {
             let mut cur = Cursor::new(torn.as_bytes().to_vec());
             let err = read_server_msg(&mut cur).unwrap_err();
             assert_eq!(
@@ -577,7 +655,7 @@ mod tests {
 
     #[test]
     fn torn_client_header_is_rejected() {
-        for torn in ["SYNC c1 0 8", "UPLOAD c1 1 3", "BYE", "REGISTER"] {
+        for torn in ["SYNC c1 0 8", "UPLOAD c1 1 3", "BYE", "REGISTER", "STATS RESET"] {
             let mut cur = Cursor::new(torn.as_bytes().to_vec());
             let err = read_client_msg(&mut cur).unwrap_err();
             assert_eq!(

@@ -1,10 +1,50 @@
 //! The server's message handler and registry.
 
 use crate::store::{RegistryStore, ResultStore, TestcaseStore};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use uucs_protocol::wire::Endpoint;
 use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg};
 use uucs_stats::Pcg64;
+use uucs_telemetry::{metrics, Counter, Histogram};
+
+/// Pre-registered telemetry handles for one wire verb: request count,
+/// error count, handling-latency histogram. Registered once at first
+/// request so the per-request cost is three atomic ops, not a registry
+/// lookup.
+struct VerbMetrics {
+    count: Counter,
+    errors: Counter,
+    ns: Histogram,
+}
+
+impl VerbMetrics {
+    fn new(verb: &str) -> Self {
+        VerbMetrics {
+            count: metrics::counter(&format!("server.verb.{verb}.count")),
+            errors: metrics::counter(&format!("server.verb.{verb}.errors")),
+            ns: metrics::histogram(&format!("server.verb.{verb}.ns")),
+        }
+    }
+}
+
+struct ServerMetrics {
+    register: VerbMetrics,
+    sync: VerbMetrics,
+    upload: VerbMetrics,
+    stats: VerbMetrics,
+    bye: VerbMetrics,
+}
+
+fn server_metrics() -> &'static ServerMetrics {
+    static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ServerMetrics {
+        register: VerbMetrics::new("register"),
+        sync: VerbMetrics::new("sync"),
+        upload: VerbMetrics::new("upload"),
+        stats: VerbMetrics::new("stats"),
+        bye: VerbMetrics::new("bye"),
+    })
+}
 
 /// Reads a store lock, recovering from poisoning.
 ///
@@ -159,7 +199,32 @@ impl UucsServer {
 }
 
 impl Endpoint for UucsServer {
+    /// Handles one message, instrumented: every verb counts its
+    /// requests, errors, and handling latency into the process-global
+    /// telemetry registry (the payload of the `STATS` verb). Both the
+    /// TCP front end and the in-memory test transport route through
+    /// here, so the numbers cover every transport identically.
     fn handle(&self, msg: &ClientMsg) -> ServerMsg {
+        let verb = match msg {
+            ClientMsg::Register { .. } => &server_metrics().register,
+            ClientMsg::Sync { .. } => &server_metrics().sync,
+            ClientMsg::Upload { .. } => &server_metrics().upload,
+            ClientMsg::Stats { .. } => &server_metrics().stats,
+            ClientMsg::Bye => &server_metrics().bye,
+        };
+        verb.count.inc();
+        let timer = verb.ns.start_timer();
+        let reply = self.handle_inner(msg);
+        drop(timer);
+        if matches!(reply, ServerMsg::Error(_)) {
+            verb.errors.inc();
+        }
+        reply
+    }
+}
+
+impl UucsServer {
+    fn handle_inner(&self, msg: &ClientMsg) -> ServerMsg {
         match msg {
             ClientMsg::Register { snapshot, token } => {
                 let mut reg = match self.try_write(&self.registry, "registry") {
@@ -217,6 +282,16 @@ impl Endpoint for UucsServer {
                     },
                     Err(err) => err,
                 }
+            }
+            ClientMsg::Stats { reset } => {
+                // Snapshot first, then optionally zero: `STATS RESET`
+                // returns the counts it is about to clear, so no window
+                // is ever unobservable.
+                let json = metrics::snapshot_json();
+                if *reset {
+                    metrics::reset();
+                }
+                ServerMsg::Stats(json)
             }
             ClientMsg::Bye => ServerMsg::Ack(0),
         }
@@ -479,6 +554,46 @@ mod tests {
         assert!(s.snapshot_of(&id).is_some());
         // Read-side observers recover throughout.
         assert_eq!(s.testcase_count(), 2);
+    }
+
+    /// `STATS` answers with the telemetry snapshot, and the verbs that
+    /// served this very test show up in it. Counts are asserted as
+    /// presence, not exact values: the registry is process-global and
+    /// other tests in this binary run concurrently.
+    #[test]
+    fn stats_verb_reports_verb_telemetry() {
+        let s = UucsServer::new(library(2), 11);
+        let id = register(&s);
+        let _ = s.handle(&ClientMsg::Sync {
+            client: id,
+            have: 0,
+            want: 1,
+        });
+        let json = match s.handle(&ClientMsg::Stats { reset: false }) {
+            ServerMsg::Stats(json) => json,
+            other => panic!("expected Stats, got {other:?}"),
+        };
+        assert!(json.starts_with("{\"counters\":{"), "{json}");
+        for key in [
+            "server.verb.register.count",
+            "server.verb.sync.count",
+            "server.verb.sync.ns",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains('\n'));
+        // Errors are attributed to their verb.
+        let _ = s.handle(&ClientMsg::Sync {
+            client: "ghost".into(),
+            have: 0,
+            want: 1,
+        });
+        match s.handle(&ClientMsg::Stats { reset: false }) {
+            ServerMsg::Stats(json) => {
+                assert!(json.contains("server.verb.sync.errors"), "{json}")
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

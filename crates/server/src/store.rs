@@ -24,8 +24,58 @@ use std::fmt;
 use std::io;
 use std::path::Path;
 use uucs_protocol::{MachineSnapshot, RunRecord, WalEntry};
+use uucs_telemetry::{metrics, Counter, Histogram};
 use uucs_testcase::{format as tcformat, Testcase};
-use uucs_wal::{Recovery, StdIo, Wal, WalConfig};
+use uucs_wal::{Recovery, StdIo, Wal, WalConfig, WalObserver};
+
+/// The telemetry bridge for one store's WAL: every observer hook lands
+/// in the global registry under `server.wal.<flavor>.*`, so `STATS`
+/// exposes append/fsync/snapshot/compaction timings per store. Handles
+/// are registered once at `open_wal`, keeping the per-I/O cost at a few
+/// atomic ops.
+struct WalTelemetry {
+    append_ns: Histogram,
+    append_bytes: Counter,
+    fsync_ns: Histogram,
+    rotations: Counter,
+    snapshot_ns: Histogram,
+    compact_ns: Histogram,
+    compact_removed: Counter,
+}
+
+impl WalTelemetry {
+    fn install(wal: &mut Wal<StdIo>, flavor: &str) {
+        wal.set_observer(Box::new(WalTelemetry {
+            append_ns: metrics::histogram(&format!("server.wal.{flavor}.append.ns")),
+            append_bytes: metrics::counter(&format!("server.wal.{flavor}.append.bytes")),
+            fsync_ns: metrics::histogram(&format!("server.wal.{flavor}.fsync.ns")),
+            rotations: metrics::counter(&format!("server.wal.{flavor}.rotations")),
+            snapshot_ns: metrics::histogram(&format!("server.wal.{flavor}.snapshot.ns")),
+            compact_ns: metrics::histogram(&format!("server.wal.{flavor}.compact.ns")),
+            compact_removed: metrics::counter(&format!("server.wal.{flavor}.compact.removed")),
+        }));
+    }
+}
+
+impl WalObserver for WalTelemetry {
+    fn on_append(&mut self, bytes: usize, dur_ns: u64) {
+        self.append_ns.record(dur_ns);
+        self.append_bytes.add(bytes as u64);
+    }
+    fn on_sync(&mut self, dur_ns: u64) {
+        self.fsync_ns.record(dur_ns);
+    }
+    fn on_rotate(&mut self) {
+        self.rotations.inc();
+    }
+    fn on_snapshot(&mut self, _bytes: usize, dur_ns: u64) {
+        self.snapshot_ns.record(dur_ns);
+    }
+    fn on_compact(&mut self, removed: usize, dur_ns: u64) {
+        self.compact_ns.record(dur_ns);
+        self.compact_removed.add(removed as u64);
+    }
+}
 
 /// Why a store rejected a mutation.
 #[derive(Debug)]
@@ -87,7 +137,8 @@ impl TestcaseStore {
     ///
     /// [`add`]: TestcaseStore::add
     pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
-        let (wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        let (mut wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        WalTelemetry::install(&mut wal, "testcases");
         let mut store = Self::new();
         if let Some(snap) = recovery.snapshot.take() {
             let text = std::str::from_utf8(&snap.state).map_err(invalid)?;
@@ -222,7 +273,8 @@ impl ResultStore {
     /// journal under `dir` and journals every subsequent upload before
     /// applying it.
     pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
-        let (wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        let (mut wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        WalTelemetry::install(&mut wal, "results");
         let mut records = Vec::new();
         let mut applied = BTreeMap::new();
         if let Some(snap) = recovery.snapshot.take() {
@@ -440,7 +492,8 @@ impl RegistryStore {
     /// journal under `dir` and journals every subsequent registration
     /// before applying it.
     pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
-        let (wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        let (mut wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        WalTelemetry::install(&mut wal, "registry");
         let mut store = Self::new();
         if let Some(snap) = recovery.snapshot.take() {
             let text = std::str::from_utf8(&snap.state).map_err(invalid)?;

@@ -32,6 +32,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use uucs_protocol::wire::{read_client_msg, write_server_msg, Endpoint};
 use uucs_protocol::{ClientMsg, ServerMsg};
+use uucs_telemetry::metrics;
 
 /// Tuning knobs for the TCP front end.
 #[derive(Debug, Clone, Copy)]
@@ -174,6 +175,11 @@ pub fn serve_with(
     let server2 = server.clone();
     let tracker = Arc::new(Tracker::default());
     let tracker2 = tracker.clone();
+    // Connection telemetry: the live gauge mirrors `Tracker::live`, the
+    // counters record accept/reject outcomes — all surfaced by `STATS`.
+    let live_gauge = metrics::gauge("server.connections.live");
+    let accepted = metrics::counter("server.connections.accepted");
+    let rejected = metrics::counter("server.connections.rejected");
     let accept_thread = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if stop2.load(Ordering::SeqCst) {
@@ -185,6 +191,7 @@ pub fn serve_with(
                     if tracker2.live.load(Ordering::SeqCst) >= config.max_connections {
                         // Over the cap: answer and close without
                         // spending a thread on the peer.
+                        rejected.inc();
                         let mut w = stream;
                         let _ = write_server_msg(
                             &mut w,
@@ -192,13 +199,16 @@ pub fn serve_with(
                         );
                         continue;
                     }
-    let Ok(tracked) = stream.try_clone() else {
+                    let Ok(tracked) = stream.try_clone() else {
                         continue;
                     };
                     let server = server2.clone();
                     let tracker3 = tracker2.clone();
                     tracker3.live.fetch_add(1, Ordering::SeqCst);
+                    accepted.inc();
+                    live_gauge.inc();
                     let t4 = tracker3.clone();
+                    let live2 = live_gauge.clone();
                     let closer = tracked.try_clone().ok();
                     let thread = std::thread::spawn(move || {
                         handle_connection(stream, &*server, config.read_timeout);
@@ -209,6 +219,7 @@ pub fn serve_with(
                             let _ = s.shutdown(Shutdown::Both);
                         }
                         t4.live.fetch_sub(1, Ordering::SeqCst);
+                        live2.dec();
                     });
                     tracker2
                         .conns
@@ -446,6 +457,13 @@ mod tests {
         let hung_up = matches!(std::io::Read::read(&mut reader, &mut buf), Ok(0));
         assert!(hung_up, "server kept a stalled connection alive");
         handle.shutdown();
+    }
+
+    /// The documented production cap: changing it is a protocol-level
+    /// decision, not a refactoring accident.
+    #[test]
+    fn default_connection_cap_is_256() {
+        assert_eq!(ServeConfig::default().max_connections, 256);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use uucs_comfort::{calibration, Fidelity, UserPopulation};
 use uucs_protocol::{MachineSnapshot, RunRecord};
 use uucs_server::{TestcaseStore, UucsServer};
 use uucs_stats::Pcg64;
+use uucs_telemetry::metrics;
 use uucs_workloads::Task;
 
 /// Study parameters.
@@ -108,6 +109,7 @@ impl ControlledStudy {
 
     /// Runs the study end to end and returns the collected data.
     pub fn run(&self) -> StudyData {
+        let t0 = std::time::Instant::now();
         let server = Arc::new(UucsServer::new(
             TestcaseStore::from_testcases(Self::library()).expect("unique ids"),
             self.config.seed,
@@ -139,8 +141,17 @@ impl ControlledStudy {
                 .expect("scripted session");
         }
 
+        let records = server.results();
+        // Fleet telemetry: total runs driven and this study's throughput
+        // (visible in a STATS snapshot alongside server/WAL timings).
+        metrics::counter("study.runs").add(records.len() as u64);
+        let secs = t0.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            metrics::gauge("study.runs_per_sec").set((records.len() as f64 / secs) as i64);
+        }
+
         StudyData {
-            records: server.results(),
+            records,
             population,
             config: self.config.clone(),
         }

@@ -1,0 +1,106 @@
+//! The telemetry clock: monotonic nanoseconds, pluggable for
+//! determinism.
+//!
+//! Every telemetry timestamp — span durations, flight-recorder event
+//! stamps — comes from [`now_ns`]. In the default *real* mode that is
+//! nanoseconds since the first call, measured with
+//! [`std::time::Instant`]. Installing the *virtual* clock replaces it
+//! with a plain atomic the caller advances explicitly: deterministic
+//! tests (and `uucs-sim`, which mirrors simulated time into it via
+//! [`set_virtual_ns`]) then produce byte-identical traces under a fixed
+//! seed, because no wall-clock jitter ever reaches a timestamp.
+//!
+//! The mode is process-global — one fleet component's traces should all
+//! share one timeline — so tests that install the virtual clock must
+//! not run concurrently with tests asserting real-clock behaviour.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+const REAL: u8 = 0;
+const VIRTUAL: u8 = 1;
+
+static MODE: AtomicU8 = AtomicU8::new(REAL);
+static VIRT_NS: AtomicU64 = AtomicU64::new(0);
+
+fn real_base() -> Instant {
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    *BASE.get_or_init(Instant::now)
+}
+
+/// Current time in nanoseconds: monotonic process time in real mode,
+/// the explicitly driven counter in virtual mode.
+pub fn now_ns() -> u64 {
+    if MODE.load(Ordering::Relaxed) == VIRTUAL {
+        VIRT_NS.load(Ordering::Relaxed)
+    } else {
+        real_base().elapsed().as_nanos() as u64
+    }
+}
+
+/// Switches the process to the virtual clock, starting at `start_ns`.
+pub fn install_virtual(start_ns: u64) {
+    VIRT_NS.store(start_ns, Ordering::Relaxed);
+    MODE.store(VIRTUAL, Ordering::Relaxed);
+}
+
+/// Switches back to the real monotonic clock.
+pub fn uninstall_virtual() {
+    MODE.store(REAL, Ordering::Relaxed);
+}
+
+/// Whether the virtual clock is installed.
+pub fn is_virtual() -> bool {
+    MODE.load(Ordering::Relaxed) == VIRTUAL
+}
+
+/// Advances the virtual clock by `delta_ns`. No-op in real mode.
+pub fn advance_virtual(delta_ns: u64) {
+    if is_virtual() {
+        VIRT_NS.fetch_add(delta_ns, Ordering::Relaxed);
+    }
+}
+
+/// Sets the virtual clock to an absolute value. No-op in real mode, so
+/// a driver (the simulator's event loop) can call it unconditionally.
+pub fn set_virtual_ns(ns: u64) {
+    if is_virtual() {
+        VIRT_NS.store(ns, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        // Runs under whatever mode other tests left — only meaningful
+        // when real, and the virtual-clock test below restores realness.
+        let guard = crate::metrics::test_guard();
+        uninstall_virtual();
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        drop(guard);
+    }
+
+    #[test]
+    fn virtual_clock_is_driven_exactly() {
+        let guard = crate::metrics::test_guard();
+        install_virtual(1_000);
+        assert!(is_virtual());
+        assert_eq!(now_ns(), 1_000);
+        advance_virtual(500);
+        assert_eq!(now_ns(), 1_500);
+        set_virtual_ns(9_999);
+        assert_eq!(now_ns(), 9_999);
+        uninstall_virtual();
+        assert!(!is_virtual());
+        // set_virtual_ns must be inert in real mode.
+        set_virtual_ns(5);
+        assert!(now_ns() > 5);
+        drop(guard);
+    }
+}

@@ -1,0 +1,241 @@
+//! The flight recorder: a fixed-capacity ring of recent events, dumped
+//! as JSONL for post-mortems.
+//!
+//! A crashing or chaos-faulted run rarely gets to attach a debugger;
+//! what it *can* do is leave the last N interesting events on disk. The
+//! recorder keeps them in a bounded ring (old events are dropped, and
+//! the drop count is itself recorded), and [`FlightRecorder::dump_to_dir`]
+//! writes them as one JSON object per line to `flight-recorder.jsonl`
+//! in a store directory — the same directory the client/server already
+//! own, so no new filesystem surface.
+//!
+//! Timestamps come from the telemetry [`clock`](crate::clock): under the
+//! virtual clock two identically seeded runs dump byte-identical files.
+
+use crate::json::escape;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Default ring capacity; override with `UUCS_FLIGHT_CAPACITY=N`.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// One recorded event: a clock stamp, a name, and ordered string fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Telemetry-clock timestamp in nanoseconds.
+    pub t_ns: u64,
+    /// Event name, e.g. `"chaos.fault"`.
+    pub name: String,
+    /// Key/value fields in recording order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl EventRecord {
+    /// Encodes the event as one line of JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"t_ns\":{},\"event\":\"{}\"", self.t_ns, escape(&self.name));
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<EventRecord>,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of [`EventRecord`]s.
+///
+/// The process-global one (via [`global`]) is what
+/// [`trace::event`](crate::trace::event) feeds; tests needing isolation
+/// construct their own.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.ring.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records an event stamped with the current telemetry clock,
+    /// evicting the oldest event if the ring is full.
+    pub fn record(&self, name: &str, fields: &[(&str, &str)]) {
+        if !crate::metrics::enabled() {
+            return;
+        }
+        let rec = EventRecord {
+            t_ns: crate::clock::now_ns(),
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        };
+        let mut ring = self.lock();
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(rec);
+    }
+
+    /// Events currently held (oldest first).
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted due to capacity since the last [`clear`](Self::clear).
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Empties the ring and zeroes the dropped count.
+    pub fn clear(&self) {
+        let mut ring = self.lock();
+        ring.events.clear();
+        ring.dropped = 0;
+    }
+
+    /// Encodes the ring as JSONL: one event per line, oldest first. If
+    /// any events were evicted, the first line is a `flight.dropped`
+    /// marker event carrying the count.
+    pub fn to_jsonl(&self) -> String {
+        let ring = self.lock();
+        let mut out = String::new();
+        if ring.dropped > 0 {
+            out.push_str(&format!(
+                "{{\"t_ns\":0,\"event\":\"flight.dropped\",\"fields\":{{\"count\":\"{}\"}}}}\n",
+                ring.dropped
+            ));
+        }
+        for ev in &ring.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`to_jsonl`](Self::to_jsonl) to `dir/flight-recorder.jsonl`
+    /// (creating `dir` if needed) and returns the path. Best-effort by
+    /// design — dump sites are error paths, and a dump failure must not
+    /// mask the original error.
+    pub fn dump_to_dir(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("flight-recorder.jsonl");
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_jsonl().as_bytes())?;
+        f.sync_all()?;
+        Ok(path)
+    }
+}
+
+/// The process-global flight recorder, sized by `UUCS_FLIGHT_CAPACITY`
+/// (default [`DEFAULT_CAPACITY`]) at first touch.
+pub fn global() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let cap = std::env::var("UUCS_FLIGHT_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CAPACITY);
+        FlightRecorder::new(cap)
+    })
+}
+
+/// Dumps the global recorder to `dir` (see [`FlightRecorder::dump_to_dir`]).
+pub fn dump_global_to_dir(dir: &Path) -> std::io::Result<PathBuf> {
+    global().dump_to_dir(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let guard = crate::metrics::test_guard();
+        let fr = FlightRecorder::new(3);
+        for i in 0..5 {
+            fr.record("ev", &[("i", &i.to_string())]);
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let names: Vec<String> = fr
+            .events()
+            .iter()
+            .map(|e| e.fields[0].1.clone())
+            .collect();
+        assert_eq!(names, ["2", "3", "4"]);
+        fr.clear();
+        assert!(fr.is_empty());
+        assert_eq!(fr.dropped(), 0);
+        drop(guard);
+    }
+
+    #[test]
+    fn jsonl_dump_is_deterministic_under_virtual_clock() {
+        let guard = crate::metrics::test_guard();
+        crate::clock::install_virtual(10);
+        let dump = |fr: &FlightRecorder| {
+            crate::clock::set_virtual_ns(10);
+            fr.record("start", &[("phase", "a")]);
+            crate::clock::advance_virtual(5);
+            fr.record("stop", &[("phase", "b"), ("ok", "true")]);
+            fr.to_jsonl()
+        };
+        let one = dump(&FlightRecorder::new(8));
+        let two = dump(&FlightRecorder::new(8));
+        crate::clock::uninstall_virtual();
+        assert_eq!(one, two, "same seed, same bytes");
+        assert_eq!(
+            one,
+            "{\"t_ns\":10,\"event\":\"start\",\"fields\":{\"phase\":\"a\"}}\n\
+             {\"t_ns\":15,\"event\":\"stop\",\"fields\":{\"phase\":\"b\",\"ok\":\"true\"}}\n"
+        );
+        drop(guard);
+    }
+
+    #[test]
+    fn dump_to_dir_writes_jsonl_file() {
+        let guard = crate::metrics::test_guard();
+        let fr = FlightRecorder::new(4);
+        fr.record("disk", &[]);
+        let dir = std::env::temp_dir().join(format!("uucs-flight-{}", std::process::id()));
+        let path = fr.dump_to_dir(&dir).expect("dump");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert!(body.contains("\"event\":\"disk\""));
+        std::fs::remove_dir_all(&dir).ok();
+        drop(guard);
+    }
+}

@@ -1,0 +1,28 @@
+//! Minimal JSON string escaping shared by the snapshot encoder and the
+//! flight recorder. Std-only; only what our own emitters need.
+
+/// Escapes `s` as the contents of a JSON string (no surrounding quotes).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn escapes_controls_and_quotes() {
+        assert_eq!(super::escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+        assert_eq!(super::escape("plain"), "plain");
+    }
+}

@@ -1,0 +1,43 @@
+//! Std-only observability for the UUCS fleet: metrics, tracing, and a
+//! flight recorder.
+//!
+//! The paper's client is itself an in-the-field monitoring system, and
+//! the in-the-field monitoring literature's hard constraint is bounded,
+//! *quantified* overhead on interactive workloads. This crate is built
+//! around that constraint:
+//!
+//! * [`metrics`] — a process-global, lock-cheap registry of counters,
+//!   gauges, and log-bucketed histograms (p50/p90/p99/max). Handles are
+//!   cheap `Arc`s around atomics; the registry lock is touched only at
+//!   registration. [`metrics::snapshot_json`] encodes the whole registry
+//!   as one stable (sorted-key, integer-valued, single-line) JSON
+//!   object — the payload of the server's `STATS` wire verb.
+//! * [`clock`] — the monotonic nanosecond clock every timestamp comes
+//!   from. Pluggable: installing the *virtual* clock makes time a plain
+//!   atomic that deterministic tests (and `uucs-sim`, which can drive it
+//!   from simulated time) control exactly, so two runs under the same
+//!   seed produce byte-identical traces.
+//! * [`trace`] — lightweight spans (RAII timers recording into a latency
+//!   histogram) and events (appended to the flight recorder). When
+//!   telemetry is disabled the whole surface degrades to a single
+//!   relaxed atomic load per call — nanoseconds, proven by the
+//!   `telemetry_overhead` bench.
+//! * [`flight`] — a fixed-capacity ring buffer of recent events, dumped
+//!   as JSONL to a store directory on error paths and on demand, so a
+//!   failed chaos run leaves a post-mortem artifact.
+//!
+//! Env knobs: `UUCS_TELEMETRY=0` disables all recording at startup;
+//! `UUCS_FLIGHT_CAPACITY=N` sizes the global flight-recorder ring
+//! (default 1024 events).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod flight;
+mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use flight::{EventRecord, FlightRecorder};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Timer};

@@ -1,0 +1,75 @@
+//! Lightweight tracing: spans that time themselves into histograms, and
+//! events that land in the flight recorder.
+//!
+//! Both entry points check the global enabled flag *first*: with
+//! telemetry off, [`span`] is one relaxed load plus an inert struct, and
+//! [`event`] is one relaxed load — no clock read, no registry lookup, no
+//! allocation. Hot paths that run many times per request should instead
+//! pre-register a [`Histogram`](crate::Histogram) handle and use
+//! [`Histogram::start_timer`](crate::Histogram::start_timer), skipping
+//! even the name lookup.
+
+use crate::metrics::{self, Timer};
+
+/// Opens a span named `name`: an RAII timer that records its elapsed
+/// nanoseconds into the global histogram `name` when dropped.
+///
+/// ```
+/// let _span = uucs_telemetry::trace::span("demo.span");
+/// // ... work ...
+/// // drop records elapsed ns into histogram "demo.span"
+/// ```
+pub fn span(name: &str) -> Timer {
+    if !metrics::enabled() {
+        return Timer::inert();
+    }
+    metrics::histogram(name).start_timer()
+}
+
+/// Records a point event with key/value fields into the global flight
+/// recorder, stamped with the telemetry clock.
+///
+/// ```
+/// uucs_telemetry::trace::event("demo.event", &[("phase", "warmup")]);
+/// ```
+pub fn event(name: &str, fields: &[(&str, &str)]) {
+    if !metrics::enabled() {
+        return;
+    }
+    crate::flight::global().record(name, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics;
+
+    #[test]
+    fn span_times_into_named_histogram() {
+        let guard = metrics::test_guard();
+        crate::clock::install_virtual(0);
+        {
+            let _span = super::span("trace.test.span");
+            crate::clock::advance_virtual(42);
+        }
+        crate::clock::uninstall_virtual();
+        let h = metrics::histogram("trace.test.span");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 42);
+        drop(guard);
+    }
+
+    #[test]
+    fn disabled_span_and_event_are_inert() {
+        let guard = metrics::test_guard();
+        let before = crate::flight::global().len();
+        metrics::set_enabled(false);
+        {
+            let _span = super::span("trace.test.disabled");
+            super::event("trace.test.disabled.event", &[("k", "v")]);
+        }
+        metrics::set_enabled(true);
+        assert_eq!(metrics::histogram("trace.test.disabled").count(), 0);
+        assert_eq!(crate::flight::global().len(), before);
+        drop(guard);
+    }
+}

@@ -37,7 +37,9 @@ pub mod wal;
 pub type Lsn = u64;
 
 pub use crate::io::{FaultPlan, Io, MemIo, StdIo};
-pub use crate::wal::{Recovery, Replay, Snapshot, SyncPolicy, TornTail, Wal, WalConfig, WalReader};
+pub use crate::wal::{
+    Recovery, Replay, Snapshot, SyncPolicy, TornTail, Wal, WalConfig, WalObserver, WalReader,
+};
 
 #[cfg(test)]
 mod tests {
@@ -53,6 +55,68 @@ mod tests {
 
     fn collect<I: Io>(replay: Replay<'_, I>) -> Vec<(Lsn, Vec<u8>)> {
         replay.map(|r| r.expect("replay item")).collect()
+    }
+
+    /// A recording observer sees every successful I/O class exactly as
+    /// often as the log performed it — the contract the server's
+    /// telemetry hookup builds on.
+    #[test]
+    fn observer_sees_appends_syncs_rotations_snapshots_compactions() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default, Debug)]
+        struct Tally {
+            appends: usize,
+            append_bytes: usize,
+            syncs: usize,
+            rotations: usize,
+            snapshots: usize,
+            compactions: usize,
+            removed: usize,
+        }
+        struct Recorder(Arc<Mutex<Tally>>);
+        impl WalObserver for Recorder {
+            fn on_append(&mut self, bytes: usize, _dur_ns: u64) {
+                let mut t = self.0.lock().unwrap();
+                t.appends += 1;
+                t.append_bytes += bytes;
+            }
+            fn on_sync(&mut self, _dur_ns: u64) {
+                self.0.lock().unwrap().syncs += 1;
+            }
+            fn on_rotate(&mut self) {
+                self.0.lock().unwrap().rotations += 1;
+            }
+            fn on_snapshot(&mut self, _bytes: usize, _dur_ns: u64) {
+                self.0.lock().unwrap().snapshots += 1;
+            }
+            fn on_compact(&mut self, removed: usize, _dur_ns: u64) {
+                let mut t = self.0.lock().unwrap();
+                t.compactions += 1;
+                t.removed += removed;
+            }
+        }
+
+        let tally = Arc::new(Mutex::new(Tally::default()));
+        let io = MemIo::new();
+        // Tiny segments force rotations; Always-sync makes sync counts
+        // deterministic (one per append, plus rotation/snapshot syncs).
+        let (mut wal, _) = Wal::open(io, "/w", cfg(96, SyncPolicy::Always)).unwrap();
+        wal.set_observer(Box::new(Recorder(tally.clone())));
+        for i in 0..6u8 {
+            wal.append(&[i; 8]).unwrap();
+        }
+        wal.snapshot(b"state").unwrap();
+        let removed = wal.compact().unwrap();
+        assert!(removed > 0, "compaction had covered segments to drop");
+        let t = tally.lock().unwrap();
+        assert_eq!(t.appends, 6);
+        assert!(t.append_bytes >= 6 * 8, "frame bytes include payloads");
+        assert!(t.rotations > 0, "96-byte segments must have rotated");
+        assert!(t.syncs >= t.appends, "Always policy syncs every append");
+        assert_eq!(t.snapshots, 1);
+        assert_eq!(t.compactions, 1);
+        assert_eq!(t.removed, removed);
     }
 
     #[test]

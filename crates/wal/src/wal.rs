@@ -33,6 +33,68 @@ use crate::segment::{
 use crate::Lsn;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Observation hooks for a [`Wal`]'s I/O: appends, fsyncs, rotations,
+/// snapshots, compactions, each with the bytes involved and the wall
+/// time the underlying I/O took.
+///
+/// Every method has a no-op default, so observers implement only what
+/// they chart. The WAL itself stays dependency-free: a telemetry stack
+/// (or a test) plugs in via [`Wal::set_observer`], and when no observer
+/// is installed no clock is ever read — observation costs nothing
+/// unless asked for.
+///
+/// Hooks fire only for I/O that *succeeded*; a failed operation marks
+/// the log broken and reports through its `Err` instead.
+///
+/// `Send + Sync` because a `Wal` travels with its store behind the
+/// server's shared locks.
+pub trait WalObserver: Send + Sync {
+    /// One record's frame was appended: `bytes` on disk, in `dur_ns`.
+    fn on_append(&mut self, bytes: usize, dur_ns: u64) {
+        let _ = (bytes, dur_ns);
+    }
+    /// The active segment was fsynced in `dur_ns`.
+    fn on_sync(&mut self, dur_ns: u64) {
+        let _ = dur_ns;
+    }
+    /// The active segment was closed and a fresh one started.
+    fn on_rotate(&mut self) {}
+    /// A checkpoint of `bytes` of state was published in `dur_ns`.
+    fn on_snapshot(&mut self, bytes: usize, dur_ns: u64) {
+        let _ = (bytes, dur_ns);
+    }
+    /// Compaction removed `removed` files in `dur_ns`.
+    fn on_compact(&mut self, removed: usize, dur_ns: u64) {
+        let _ = (removed, dur_ns);
+    }
+}
+
+/// The observer slot: `Option<Box<dyn ...>>` behind a newtype so `Wal`
+/// can keep deriving `Debug`.
+struct ObserverSlot(Option<Box<dyn WalObserver>>);
+
+impl std::fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ObserverSlot(installed)"
+        } else {
+            "ObserverSlot(none)"
+        })
+    }
+}
+
+impl ObserverSlot {
+    /// Starts timing iff someone is listening.
+    fn t0(&self) -> Option<Instant> {
+        self.0.is_some().then(Instant::now)
+    }
+
+    fn elapsed_ns(t0: Option<Instant>) -> u64 {
+        t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0)
+    }
+}
 
 /// When appended frames are forced to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -420,6 +482,7 @@ pub struct Wal<I: Io> {
     active_len: u64,
     appends_since_sync: u32,
     broken: bool,
+    observer: ObserverSlot,
 }
 
 impl<I: Io> Wal<I> {
@@ -483,9 +546,16 @@ impl<I: Io> Wal<I> {
                 active_len,
                 appends_since_sync: 0,
                 broken: false,
+                observer: ObserverSlot(None),
             },
             recovery,
         ))
+    }
+
+    /// Installs (or replaces) the observer notified of this log's I/O.
+    /// Without one, no timing clock is ever read.
+    pub fn set_observer(&mut self, observer: Box<dyn WalObserver>) {
+        self.observer = ObserverSlot(Some(observer));
     }
 
     /// The LSN the next append will receive.
@@ -541,15 +611,23 @@ impl<I: Io> Wal<I> {
             self.rotate()?;
         }
         let path = self.active_path();
+        let t0 = self.observer.t0();
         let append = self.io.append(&path, &frame);
         self.guard(append)?;
+        if let Some(obs) = self.observer.0.as_mut() {
+            obs.on_append(frame.len(), ObserverSlot::elapsed_ns(t0));
+        }
         self.active_len += frame.len() as u64;
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         match self.config.sync {
             SyncPolicy::Always => {
+                let t0 = self.observer.t0();
                 let sync = self.io.sync(&path);
                 self.guard(sync)?;
+                if let Some(obs) = self.observer.0.as_mut() {
+                    obs.on_sync(ObserverSlot::elapsed_ns(t0));
+                }
             }
             SyncPolicy::EveryN(n) => {
                 self.appends_since_sync += 1;
@@ -566,8 +644,12 @@ impl<I: Io> Wal<I> {
     pub fn sync(&mut self) -> io::Result<()> {
         self.check_broken()?;
         let path = self.active_path();
+        let t0 = self.observer.t0();
         let sync = self.io.sync(&path);
         self.guard(sync)?;
+        if let Some(obs) = self.observer.0.as_mut() {
+            obs.on_sync(ObserverSlot::elapsed_ns(t0));
+        }
         self.appends_since_sync = 0;
         Ok(())
     }
@@ -593,6 +675,9 @@ impl<I: Io> Wal<I> {
         self.segments.push((self.next_lsn, name));
         self.active_len = SEGMENT_HEADER as u64;
         self.appends_since_sync = 0;
+        if let Some(obs) = self.observer.0.as_mut() {
+            obs.on_rotate();
+        }
         Ok(())
     }
 
@@ -605,6 +690,7 @@ impl<I: Io> Wal<I> {
     /// publishes it. Returns the coverage bound.
     pub fn snapshot(&mut self, state: &[u8]) -> io::Result<Lsn> {
         self.check_broken()?;
+        let t_snap = self.observer.t0();
         let upto = self.next_lsn;
         self.sync()?;
         let final_name = snapshot_name(upto);
@@ -624,6 +710,9 @@ impl<I: Io> Wal<I> {
         if !(active_first == upto && self.active_len == SEGMENT_HEADER as u64) {
             self.rotate()?;
         }
+        if let Some(obs) = self.observer.0.as_mut() {
+            obs.on_snapshot(state.len(), ObserverSlot::elapsed_ns(t_snap));
+        }
         Ok(upto)
     }
 
@@ -631,6 +720,7 @@ impl<I: Io> Wal<I> {
     /// superseded checkpoint files. Returns how many files went away.
     pub fn compact(&mut self) -> io::Result<usize> {
         self.check_broken()?;
+        let t0 = self.observer.t0();
         let upto = self.snapshot_upto;
         let mut removed = 0;
         while self.segments.len() > 1 && self.segments[1].0 <= upto {
@@ -646,6 +736,9 @@ impl<I: Io> Wal<I> {
                 self.guard(remove)?;
                 removed += 1;
             }
+        }
+        if let Some(obs) = self.observer.0.as_mut() {
+            obs.on_compact(removed, ObserverSlot::elapsed_ns(t0));
         }
         Ok(removed)
     }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# The tier-1 gate, hermetically: offline warning-free build, full test
-# suite, and a quick-mode smoke pass over every bench target (which also
-# regenerates the paper artifacts).
+# The tier-1 gate, hermetically: offline warning-free build, lint gate,
+# full test suite, and a quick-mode smoke pass over every bench target
+# (which also regenerates the paper artifacts and the bench summary).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +18,13 @@ if grep -q "^warning" "$build_log"; then
     exit 1
 fi
 
+echo "== clippy (deny warnings) =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "ci: clippy unavailable in this toolchain; skipping the lint gate" >&2
+fi
+
 echo "== test (workspace) =="
 cargo test -q --workspace
 
@@ -27,13 +34,35 @@ cargo test -q -p uucs-wal
 echo "== chaos suite (network faults, exactly-once, kill/recover) =="
 cargo test -q --test chaos
 
+echo "== telemetry e2e (STATS verb, gauges, deterministic traces) =="
+cargo test -q --test telemetry_e2e
+
 echo "== wire fuzz (garbage/truncated/interleaved frames) =="
 cargo test -q --test wire_fuzz
 
-echo "== bench smoke (UUCS_BENCH_QUICK=1, all six targets) =="
-for bench in paper_figures substrate exerciser_accuracy ablations wal chaos; do
+echo "== bench smoke (UUCS_BENCH_QUICK=1, all seven targets) =="
+for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead; do
     echo "-- $bench --"
     UUCS_BENCH_QUICK=1 cargo bench -p uucs-bench --bench "$bench"
 done
+
+echo "== bench summary =="
+# Collect the per-target JSON reports the harness wrote under
+# target/uucs-bench/ into one stable artifact at the repo root.
+summary=BENCH_SUMMARY.json
+{
+    printf '{\n'
+    first=1
+    for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead; do
+        report="target/uucs-bench/$bench.json"
+        [ -f "$report" ] || continue
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        printf '  "%s": ' "$bench"
+        cat "$report"
+    done
+    printf '\n}\n'
+} >"$summary"
+echo "ci: wrote $summary"
 
 echo "ci: all gates passed"

@@ -21,6 +21,9 @@
 //! * [`server`] / [`client`] — the distributed measurement application.
 //! * [`study`] — the controlled-study and Internet-study drivers plus the
 //!   figure/table renderers for every result in the paper.
+//! * [`telemetry`] — std-only metrics (counters/gauges/histograms),
+//!   spans on a pluggable clock, and the flight recorder; surfaced over
+//!   the wire by the `STATS` verb.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -32,6 +35,7 @@ pub use uucs_server as server;
 pub use uucs_sim as sim;
 pub use uucs_stats as stats;
 pub use uucs_study as study;
+pub use uucs_telemetry as telemetry;
 pub use uucs_testcase as testcase;
 pub use uucs_wal as wal;
 pub use uucs_workloads as workloads;

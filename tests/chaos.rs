@@ -10,10 +10,11 @@
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
-use uucs::client::{ClientStore, ResilientTransport, RetryPolicy, UucsClient};
+use uucs::client::{ClientStore, ClientTransport, ResilientTransport, RetryPolicy, UucsClient};
 use uucs::comfort::{calibration, Fidelity, UserPopulation, UserProfile};
-use uucs::protocol::MachineSnapshot;
+use uucs::protocol::{ClientMsg, MachineSnapshot};
 use uucs::server::{tcp, RegistryStore, ResultStore, TestcaseStore, UucsServer};
+use uucs::telemetry::{flight, metrics};
 use uucs::workloads::Task;
 use uucs_chaos::{ChaosPolicy, ChaosProxy, FaultKind};
 use uucs_harness::TempDir;
@@ -139,6 +140,11 @@ fn chaotic_session(
 ) -> (Vec<uucs::protocol::RunRecord>, Vec<uucs::protocol::RunRecord>) {
     let tmp = TempDir::new(&format!("uucs-chaos-{name}"));
     let store = ClientStore::open(tmp.path()).unwrap();
+    // Namespace this session's fault counters by its (unique) name so
+    // the cross-validation below is immune to concurrently running
+    // chaos tests in this binary.
+    let policy = policy.with_label(format!("session_{name}"));
+    let kinds = policy.faults.clone();
     let proxy = ChaosProxy::start(server_addr, policy).unwrap();
 
     let mut client = UucsClient::new(MachineSnapshot::study_machine(name), seed);
@@ -153,7 +159,17 @@ fn chaotic_session(
     let rounds = sync_until_drained(&mut client, &mut transport);
     eprintln!("[{name}] converged in {rounds} sync rounds");
     transport.bye();
-    proxy.shutdown();
+    let stats = proxy.shutdown();
+    // The telemetry counters must mirror the proxy's own tally: every
+    // injected fault was counted under exactly one class.
+    let counted: u64 = kinds
+        .iter()
+        .map(|k| metrics::counter(&format!("chaos.session_{name}.fault.{}", k.name())).get())
+        .sum();
+    assert_eq!(
+        counted, stats.faults,
+        "[{name}] per-class telemetry disagrees with the proxy's fault tally"
+    );
 
     (server.results(), store.load_archive().unwrap())
 }
@@ -209,7 +225,7 @@ fn exactly_once_under_mixed_faults() {
         ],
         seed: 0xbad,
         delay: Duration::from_millis(10),
-        budget: None,
+        ..ChaosPolicy::transparent()
     }
     .with_budget(10);
     let (on_server, archived) = chaotic_session("mixed", &server, handle.addr(), policy, 6, 9);
@@ -231,6 +247,63 @@ fn corruption_never_duplicates_or_loses_batches() {
         chaotic_session("corrupt", &server, handle.addr(), policy, 4, 11);
     assert_eq!(on_server.len(), 4, "a batch duplicated or vanished");
     assert_eq!(archived.len(), 4);
+    handle.shutdown();
+}
+
+/// A budgeted single-class run: the per-class telemetry counter lands
+/// exactly on the budget, every other class stays at zero, and the
+/// flight recorder's JSONL dump replays the fault sequence — one
+/// `chaos.fault` event per injection, in order, under this run's label.
+#[test]
+fn telemetry_counts_faults_per_class_and_flight_dump_replays_them() {
+    let server = plain_server();
+    let handle = tcp::serve(server, "127.0.0.1:0").unwrap();
+    let policy = ChaosPolicy::only(FaultKind::Drop, 1.0, 77)
+        .with_budget(3)
+        .with_label("budget_drop");
+    let proxy = ChaosProxy::start(handle.addr(), policy).unwrap();
+
+    // Rate 1.0 drops every chunk until the budget of 3 is spent, then
+    // the network heals; a resilient exchange with more attempts than
+    // budget must therefore spend it all and then succeed.
+    let mut transport = snappy_transport(proxy.addr(), 77);
+    transport
+        .exchange(&ClientMsg::Stats { reset: false })
+        .expect("the proxy heals once the fault budget is spent");
+    let stats = proxy.shutdown();
+    assert_eq!(stats.faults, 3, "the whole budget should be spent");
+    assert_eq!(
+        metrics::counter("chaos.budget_drop.fault.drop").get(),
+        3,
+        "drop faults must be counted under their class"
+    );
+    for kind in FaultKind::ALL {
+        if kind != FaultKind::Drop {
+            assert_eq!(
+                metrics::counter(&format!("chaos.budget_drop.fault.{}", kind.name())).get(),
+                0,
+                "{} was never injected",
+                kind.name()
+            );
+        }
+    }
+
+    // The flight recorder holds one event per injection; its dump to
+    // disk replays the sequence. Other tests in this binary share the
+    // global ring, so filter by this run's label.
+    let tmp = TempDir::new("uucs-chaos-flight");
+    let path = flight::dump_global_to_dir(tmp.path()).expect("dump flight recorder");
+    assert!(path.exists(), "dump file should exist");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let ours: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"label\":\"budget_drop\""))
+        .collect();
+    assert_eq!(ours.len(), 3, "one flight event per injected fault:\n{text}");
+    for line in ours {
+        assert!(line.contains("\"event\":\"chaos.fault\""), "{line}");
+        assert!(line.contains("\"kind\":\"drop\""), "{line}");
+    }
     handle.shutdown();
 }
 
