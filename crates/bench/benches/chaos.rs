@@ -37,6 +37,7 @@ fn record(i: usize) -> RunRecord {
         user: format!("u{i:03}"),
         testcase: format!("bench-tc-{}", i % 8),
         task: "Word".into(),
+        skill: "Typical".into(),
         outcome: RunOutcome::Discomfort,
         offset_secs: 30.0 + i as f64,
         last_levels: vec![(Resource::Cpu, vec![1.0, 1.25])],

@@ -1,0 +1,199 @@
+//! Model-service benchmarks: quantile-sketch insert/merge/query
+//! throughput, and what the comfort-model update costs the server's
+//! `UPLOAD` path (model updates on versus off).
+
+use std::hint::black_box;
+use std::sync::Arc;
+use uucs_client::{ClientTransport, LocalTransport};
+use uucs_comfort::calibration;
+use uucs_harness::{bench_group, bench_main, Criterion, Throughput};
+use uucs_modelsvc::{ComfortModel, Observation, QuantileSketch};
+use uucs_protocol::{ClientMsg, MonitorSummary, RunOutcome, RunRecord, ServerMsg};
+use uucs_server::{TestcaseStore, UucsServer};
+use uucs_stats::Pcg64;
+use uucs_testcase::Resource;
+use uucs_workloads::Task;
+
+/// A deterministic stream of contention levels over the CPU axis.
+fn levels(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Pcg64::new(seed);
+    (0..n).map(|_| rng.uniform(0.0, 10.0)).collect()
+}
+
+/// Inserts per second into one sketch.
+fn sketch_insert(c: &mut Criterion) {
+    let values = levels(4096, 11);
+    let mut group = c.benchmark_group("modelsvc/sketch");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("insert_4096", |b| {
+        b.iter(|| {
+            let mut sketch = QuantileSketch::for_resource(Resource::Cpu);
+            for &v in &values {
+                sketch.insert(v);
+            }
+            black_box(sketch.observed())
+        })
+    });
+    group.finish();
+}
+
+/// Pairwise merges per second (the server does one per cohort per
+/// `MODEL` query that misses the cache).
+fn sketch_merge(c: &mut Criterion) {
+    let mut sketches = Vec::new();
+    for i in 0..64u64 {
+        let mut s = QuantileSketch::for_resource(Resource::Cpu);
+        for v in levels(64, i) {
+            s.insert(v);
+        }
+        sketches.push(s);
+    }
+    let mut group = c.benchmark_group("modelsvc/sketch");
+    group.throughput(Throughput::Elements(sketches.len() as u64));
+    group.bench_function("merge_64_sketches", |b| {
+        b.iter(|| {
+            let mut acc = QuantileSketch::for_resource(Resource::Cpu);
+            for s in &sketches {
+                acc.merge(s).unwrap();
+            }
+            black_box(acc.total())
+        })
+    });
+    group.finish();
+}
+
+/// Quantile queries per second against a populated sketch, plus the
+/// encode/decode round-trip cost of a `MODEL` reply body.
+fn sketch_query(c: &mut Criterion) {
+    let mut sketch = QuantileSketch::for_resource(Resource::Cpu);
+    for v in levels(4096, 17) {
+        sketch.insert(v);
+    }
+    let ps: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
+    let mut group = c.benchmark_group("modelsvc/sketch");
+    group.throughput(Throughput::Elements(ps.len() as u64));
+    group.bench_function("quantile_99_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &p in &ps {
+                acc += sketch.quantile(p).unwrap_or(0.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("encode_decode_roundtrip", |b| {
+        b.iter(|| {
+            let text = sketch.encode();
+            black_box(QuantileSketch::decode(&text).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// Model-delta application throughput: what one upload batch costs the
+/// cohort model (journal encoding excluded — that's the WAL bench).
+fn model_apply(c: &mut Criterion) {
+    let observations: Vec<Observation> = levels(256, 23)
+        .into_iter()
+        .enumerate()
+        .map(|(i, level)| Observation {
+            resource: Resource::Cpu,
+            task: "Word".into(),
+            skill: ["Beginner", "Typical", "Power"][i % 3].into(),
+            level,
+            censored: i % 7 == 0,
+        })
+        .collect();
+    let mut group = c.benchmark_group("modelsvc/model");
+    group.throughput(Throughput::Elements(observations.len() as u64));
+    group.bench_function("apply_delta_256_obs", |b| {
+        b.iter(|| {
+            let mut model = ComfortModel::new();
+            let delta = model.next_delta(observations.clone());
+            model.apply(&delta).unwrap();
+            black_box(model.epoch())
+        })
+    });
+    group.finish();
+}
+
+/// One upload record with a CPU feedback level.
+fn record(i: usize) -> RunRecord {
+    RunRecord {
+        client: "client-0001".into(),
+        user: format!("u{i:03}"),
+        testcase: "word-cpu-ramp".into(),
+        task: "Word".into(),
+        skill: "Typical".into(),
+        outcome: RunOutcome::Discomfort,
+        offset_secs: 60.0,
+        last_levels: vec![(Resource::Cpu, vec![1.0, 2.0, 2.0 + (i % 8) as f64])],
+        monitor: MonitorSummary::default(),
+    }
+}
+
+/// The `UPLOAD` path end to end through a local transport, with the
+/// model service folding observations versus disabled — the marginal
+/// cost of comfort-model aggregation per acknowledged batch.
+fn upload_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modelsvc/upload");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(16));
+    for (name, with_models) in [("model_updates_on", true), ("model_updates_off", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut server = UucsServer::new(
+                    TestcaseStore::from_testcases(calibration::controlled_testcases(Task::Word))
+                        .unwrap(),
+                    7,
+                );
+                if !with_models {
+                    server = server.without_model_updates();
+                }
+                let mut transport = LocalTransport::new(Arc::new(server));
+                let ServerMsg::Id { id, .. } = transport
+                    .exchange(&ClientMsg::register(
+                        uucs_protocol::MachineSnapshot::study_machine("bench"),
+                    ))
+                    .unwrap()
+                else {
+                    panic!("registration failed")
+                };
+                let mut acked = 0;
+                for seq in 1..=16u64 {
+                    let records: Vec<RunRecord> = (0..16)
+                        .map(|i| {
+                            let mut r = record(i);
+                            r.client = id.clone();
+                            r.user = format!("u{seq}-{i}");
+                            r
+                        })
+                        .collect();
+                    let reply = transport
+                        .exchange(&ClientMsg::Upload {
+                            client: id.clone(),
+                            seq,
+                            records,
+                        })
+                        .unwrap();
+                    if let ServerMsg::Ack(n) = reply {
+                        acked += n;
+                    }
+                }
+                black_box(acked)
+            })
+        });
+    }
+    group.finish();
+}
+
+bench_group!(
+    benches,
+    sketch_insert,
+    sketch_merge,
+    sketch_query,
+    model_apply,
+    upload_path
+);
+bench_main!(benches);

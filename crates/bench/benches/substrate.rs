@@ -164,6 +164,7 @@ fn protocol(c: &mut Criterion) {
             user: format!("u{i:02}"),
             testcase: "quake-cpu-ramp".into(),
             task: "Quake".into(),
+            skill: "Power".into(),
             outcome: RunOutcome::Discomfort,
             offset_secs: 63.0 + i as f64,
             last_levels: vec![(uucs_testcase::Resource::Cpu, vec![0.6, 0.62, 0.64, 0.66, 0.68])],

@@ -15,6 +15,7 @@ fn payload(i: usize) -> Vec<u8> {
         user: format!("u{i:03}"),
         testcase: "cpu-ramp-7-120".into(),
         task: "Word".into(),
+        skill: "Typical".into(),
         outcome: RunOutcome::Discomfort,
         offset_secs: 60.0 + i as f64,
         last_levels: vec![(uucs_testcase::Resource::Cpu, vec![1.0, 1.25, 1.5])],

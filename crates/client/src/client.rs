@@ -591,6 +591,9 @@ mod tests {
                     ClientMsg::Sync { .. } => ServerMsg::Testcases(vec![]),
                     ClientMsg::Upload { .. } => ServerMsg::Error("storage full".into()),
                     ClientMsg::Stats { .. } => ServerMsg::Stats("{}".into()),
+                    ClientMsg::Model { .. } | ClientMsg::Advice { .. } => {
+                        ServerMsg::Error("no model".into())
+                    }
                     ClientMsg::Bye => ServerMsg::Ack(0),
                 }
             }
@@ -647,6 +650,9 @@ mod tests {
                         ServerMsg::Ack(records.len())
                     }
                     ClientMsg::Stats { .. } => ServerMsg::Stats("{}".into()),
+                    ClientMsg::Model { .. } | ClientMsg::Advice { .. } => {
+                        ServerMsg::Error("no model".into())
+                    }
                     ClientMsg::Bye => ServerMsg::Ack(0),
                 }
             }

@@ -1,0 +1,352 @@
+//! Closed-loop borrowing governor: turns server-side comfort models
+//! into a local contention cap.
+//!
+//! The paper measures *how much* resource can be borrowed before users
+//! object; the governor closes the loop by asking the server's model
+//! service (`ADVICE`) for the highest borrowing level whose predicted
+//! discomfort probability stays under a target `epsilon`, and capping
+//! the local exerciser's contention at that level. Between refreshes —
+//! and whenever the server is unreachable — it falls back to the last
+//! cached model snapshot, so a disconnected client degrades gracefully
+//! instead of borrowing blind.
+//!
+//! Epoch handling is monotone: the governor only adopts advice stamped
+//! with an epoch at least as new as the newest it has ever seen. A lagging
+//! replica (or a chaos-delayed duplicate reply) can therefore never roll
+//! the cap back to a stale model.
+
+use crate::transport::ClientTransport;
+use std::sync::OnceLock;
+use uucs_modelsvc::QuantileSketch;
+use uucs_protocol::{ClientMsg, ServerMsg};
+use uucs_telemetry::{metrics, Counter};
+use uucs_testcase::{ExerciseSpec, Resource};
+
+/// Pre-registered governor telemetry (`client.governor.*`).
+struct GovernorMetrics {
+    ok: Counter,
+    stale: Counter,
+    nomodel: Counter,
+    offline: Counter,
+}
+
+fn governor_metrics() -> &'static GovernorMetrics {
+    static METRICS: OnceLock<GovernorMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| GovernorMetrics {
+        ok: metrics::counter("client.governor.refresh.ok"),
+        stale: metrics::counter("client.governor.refresh.stale"),
+        nomodel: metrics::counter("client.governor.refresh.nomodel"),
+        offline: metrics::counter("client.governor.refresh.offline"),
+    })
+}
+
+/// What a [`BorrowingGovernor::refresh`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshOutcome {
+    /// Fresh advice adopted (epoch ≥ newest previously seen).
+    Adopted,
+    /// The reply carried an older epoch than one already seen; the
+    /// current level was kept.
+    Stale,
+    /// The server answered but has no model for this resource yet; the
+    /// governor keeps its current (fallback or cached) level.
+    NoModel,
+    /// The exchange failed in transport; the governor degraded to the
+    /// last cached model snapshot (or the static fallback).
+    Offline,
+}
+
+/// A client-side controller that caps exerciser contention at the level
+/// the server's comfort model recommends for a target discomfort
+/// probability.
+#[derive(Debug, Clone)]
+pub struct BorrowingGovernor {
+    resource: Resource,
+    task: String,
+    epsilon: f64,
+    fallback: f64,
+    level: f64,
+    epoch: Option<u64>,
+    cached: Option<QuantileSketch>,
+}
+
+impl BorrowingGovernor {
+    /// Creates a governor targeting discomfort probability `epsilon` for
+    /// one (resource, task) cell. Until the first successful refresh the
+    /// cap is `fallback` — choose it conservatively (e.g. zero).
+    ///
+    /// # Panics
+    ///
+    /// If `epsilon` is not strictly between 0 and 1, or `fallback` is
+    /// negative or non-finite: both are programming errors, and the wire
+    /// layer would reject the epsilon anyway.
+    pub fn new(resource: Resource, task: &str, epsilon: f64, fallback: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1)"
+        );
+        assert!(
+            fallback.is_finite() && fallback >= 0.0,
+            "fallback level must be finite and non-negative"
+        );
+        BorrowingGovernor {
+            resource,
+            task: task.to_string(),
+            epsilon,
+            fallback,
+            level: fallback,
+            epoch: None,
+            cached: None,
+        }
+    }
+
+    /// The resource this governor caps.
+    pub fn resource(&self) -> Resource {
+        self.resource
+    }
+
+    /// The target discomfort probability.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The current recommended borrowing cap.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// The newest model epoch ever adopted, if any advice has arrived.
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    /// The last cached model snapshot, used when the server is offline.
+    pub fn cached_model(&self) -> Option<&QuantileSketch> {
+        self.cached.as_ref()
+    }
+
+    /// Caps a requested contention level at the governed level.
+    pub fn cap(&self, requested: f64) -> f64 {
+        requested.min(self.level)
+    }
+
+    /// An exercise spec borrowing steadily at the governed cap for
+    /// `duration` seconds — the closed-loop replacement for a fixed-level
+    /// step testcase.
+    pub fn governed_spec(&self, duration: f64) -> ExerciseSpec {
+        ExerciseSpec::Step {
+            level: self.level,
+            duration,
+            start: 0.0,
+        }
+    }
+
+    /// Fetches fresh advice from the server and updates the cap.
+    ///
+    /// On success the advice is adopted only if its epoch is at least as
+    /// new as the newest epoch previously seen (monotone adoption), and a
+    /// best-effort `MODEL` fetch caches the full sketch for offline use.
+    /// On a transport failure the governor recomputes the cap from the
+    /// cached sketch (or keeps the static fallback) — it never errors and
+    /// never panics, because it *is* the degradation layer.
+    pub fn refresh<T: ClientTransport>(&mut self, transport: &mut T) -> RefreshOutcome {
+        let gm = governor_metrics();
+        let ask = ClientMsg::Advice {
+            resource: self.resource,
+            task: self.task.clone(),
+            epsilon: self.epsilon,
+        };
+        match transport.exchange(&ask) {
+            Ok(ServerMsg::Advice { epoch, level }) => {
+                if self.epoch.is_some_and(|seen| epoch < seen) {
+                    gm.stale.inc();
+                    return RefreshOutcome::Stale;
+                }
+                self.epoch = Some(epoch);
+                self.level = level;
+                self.cache_snapshot(transport, epoch);
+                gm.ok.inc();
+                RefreshOutcome::Adopted
+            }
+            Ok(_) => {
+                // The server answered but has nothing for us (most often
+                // an Error("no comfort model …") before any uploads).
+                // The current level — fallback or previously adopted —
+                // stays in force.
+                gm.nomodel.inc();
+                RefreshOutcome::NoModel
+            }
+            Err(_) => {
+                self.degrade();
+                gm.offline.inc();
+                RefreshOutcome::Offline
+            }
+        }
+    }
+
+    /// Best-effort `MODEL` fetch so the governor can answer from cache
+    /// while offline. Ignores failures and replies from older epochs.
+    fn cache_snapshot<T: ClientTransport>(&mut self, transport: &mut T, adopted_epoch: u64) {
+        let ask = ClientMsg::Model {
+            resource: self.resource,
+            task: Some(self.task.clone()),
+        };
+        if let Ok(ServerMsg::Model { epoch, sketch, .. }) = transport.exchange(&ask) {
+            if epoch >= adopted_epoch {
+                if let Ok(decoded) = QuantileSketch::decode(&sketch) {
+                    self.cached = Some(decoded);
+                }
+            }
+        }
+    }
+
+    /// Recomputes the cap from the cached sketch; without one, the static
+    /// fallback applies (the level may already be fallback or a previously
+    /// adopted value — both are safe to keep, but recomputing pins the cap
+    /// to data the client actually holds).
+    fn degrade(&mut self) {
+        if let Some(sketch) = &self.cached {
+            if let Some(level) = sketch.advice_level(self.epsilon) {
+                self.level = level;
+                return;
+            }
+        }
+        if self.epoch.is_none() {
+            self.level = self.fallback;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LocalTransport;
+    use std::io;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use uucs_protocol::wire::Endpoint;
+
+    /// A transport that always fails, simulating a black-holed server.
+    struct Dead;
+    impl ClientTransport for Dead {
+        fn exchange(&mut self, _msg: &ClientMsg) -> io::Result<ServerMsg> {
+            Err(io::Error::new(io::ErrorKind::TimedOut, "black hole"))
+        }
+    }
+
+    /// Serves advice at a controllable epoch, with a matching sketch.
+    struct Advisor {
+        epoch: AtomicU64,
+        level: f64,
+    }
+    impl Endpoint for Advisor {
+        fn handle(&self, msg: &ClientMsg) -> ServerMsg {
+            let epoch = self.epoch.load(Ordering::SeqCst);
+            match msg {
+                ClientMsg::Advice { .. } => ServerMsg::Advice {
+                    epoch,
+                    level: self.level,
+                },
+                ClientMsg::Model { resource, .. } => {
+                    let mut s = QuantileSketch::for_resource(*resource);
+                    s.insert(self.level);
+                    ServerMsg::Model {
+                        epoch,
+                        observed: s.observed(),
+                        censored: s.censored(),
+                        sketch: s.encode(),
+                    }
+                }
+                _ => ServerMsg::Error("unexpected".into()),
+            }
+        }
+    }
+
+    #[test]
+    fn governor_starts_at_fallback_and_adopts_advice() {
+        let srv = Arc::new(Advisor {
+            epoch: AtomicU64::new(3),
+            level: 2.5,
+        });
+        let mut t = LocalTransport::new(srv.clone());
+        let mut g = BorrowingGovernor::new(Resource::Cpu, "Word", 0.05, 0.25);
+        assert_eq!(g.level(), 0.25);
+        assert_eq!(g.epoch(), None);
+        assert_eq!(g.refresh(&mut t), RefreshOutcome::Adopted);
+        assert_eq!(g.level(), 2.5);
+        assert_eq!(g.epoch(), Some(3));
+        assert!(g.cached_model().is_some());
+        assert_eq!(g.cap(10.0), 2.5);
+        assert_eq!(g.cap(1.0), 1.0);
+        match g.governed_spec(60.0) {
+            ExerciseSpec::Step {
+                level, duration, ..
+            } => {
+                assert_eq!(level, 2.5);
+                assert_eq!(duration, 60.0);
+            }
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_epochs_are_never_adopted() {
+        let srv = Arc::new(Advisor {
+            epoch: AtomicU64::new(7),
+            level: 4.0,
+        });
+        let mut t = LocalTransport::new(srv.clone());
+        let mut g = BorrowingGovernor::new(Resource::Cpu, "Word", 0.05, 0.0);
+        assert_eq!(g.refresh(&mut t), RefreshOutcome::Adopted);
+        assert_eq!(g.epoch(), Some(7));
+        srv.epoch.store(5, Ordering::SeqCst);
+        assert_eq!(g.refresh(&mut t), RefreshOutcome::Stale);
+        assert_eq!(g.epoch(), Some(7), "epoch never regresses");
+        srv.epoch.store(7, Ordering::SeqCst);
+        assert_eq!(g.refresh(&mut t), RefreshOutcome::Adopted);
+    }
+
+    #[test]
+    fn offline_refresh_degrades_to_cached_model() {
+        let srv = Arc::new(Advisor {
+            epoch: AtomicU64::new(1),
+            level: 3.0,
+        });
+        let mut t = LocalTransport::new(srv);
+        let mut g = BorrowingGovernor::new(Resource::Cpu, "Quake", 0.1, 0.5);
+        assert_eq!(g.refresh(&mut t), RefreshOutcome::Adopted);
+        let cached = g.cached_model().expect("sketch cached").clone();
+        let expected = cached.advice_level(0.1).expect("non-empty sketch");
+        assert_eq!(g.refresh(&mut Dead), RefreshOutcome::Offline);
+        assert_eq!(g.level(), expected);
+        assert_eq!(g.epoch(), Some(1), "offline keeps the adopted epoch");
+    }
+
+    #[test]
+    fn offline_before_any_model_keeps_the_fallback() {
+        let mut g = BorrowingGovernor::new(Resource::Memory, "Ie", 0.05, 0.125);
+        assert_eq!(g.refresh(&mut Dead), RefreshOutcome::Offline);
+        assert_eq!(g.level(), 0.125);
+        assert_eq!(g.epoch(), None);
+    }
+
+    #[test]
+    fn no_model_reply_keeps_current_level() {
+        struct Empty;
+        impl Endpoint for Empty {
+            fn handle(&self, _msg: &ClientMsg) -> ServerMsg {
+                ServerMsg::Error("no comfort model for cpu yet".into())
+            }
+        }
+        let mut t = LocalTransport::new(Arc::new(Empty));
+        let mut g = BorrowingGovernor::new(Resource::Cpu, "Word", 0.05, 0.75);
+        assert_eq!(g.refresh(&mut t), RefreshOutcome::NoModel);
+        assert_eq!(g.level(), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn rejects_out_of_range_epsilon() {
+        let _ = BorrowingGovernor::new(Resource::Cpu, "Word", 1.0, 0.0);
+    }
+}

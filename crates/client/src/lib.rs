@@ -16,12 +16,14 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod governor;
 pub mod resilient;
 pub mod script;
 pub mod store;
 pub mod transport;
 
 pub use client::{SyncReport, UucsClient};
+pub use governor::{BorrowingGovernor, RefreshOutcome};
 pub use resilient::{ResilientTransport, RetryPolicy};
 pub use script::{Command, Script};
 pub use store::ClientStore;

@@ -232,6 +232,7 @@ mod tests {
             user: format!("u{n}"),
             testcase: "t".into(),
             task: "IE".into(),
+            skill: "Typical".into(),
             outcome: RunOutcome::Discomfort,
             offset_secs: n as f64,
             last_levels: vec![],

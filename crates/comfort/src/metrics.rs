@@ -159,6 +159,7 @@ mod tests {
             user: "u".into(),
             testcase: "t".into(),
             task: "Word".into(),
+            skill: "Typical".into(),
             outcome,
             offset_secs: 10.0,
             last_levels: vec![(resource, vec![level - 0.1, level])],

@@ -228,6 +228,7 @@ pub fn execute_perception_run_configured(
         user: setup.user.id.clone(),
         testcase: setup.testcase.id.to_string(),
         task: setup.task.name().to_string(),
+        skill: setup.user.skill_class(setup.task).name().to_string(),
         outcome,
         offset_secs: offset,
         last_levels,

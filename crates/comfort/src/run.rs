@@ -159,6 +159,7 @@ pub fn execute_run(setup: &RunSetup<'_>) -> RunRecord {
         user: setup.user.id.clone(),
         testcase: setup.testcase.id.to_string(),
         task: setup.task.name().to_string(),
+        skill: setup.user.skill_class(setup.task).name().to_string(),
         outcome,
         offset_secs: offset,
         last_levels,

@@ -66,6 +66,19 @@ impl RatingDim {
         RatingDim::Quake,
     ];
 
+    /// The rating dimension that describes skill *at a task* — the
+    /// cohort axis the model service aggregates on (§4.4 correlates
+    /// discomfort with the task-specific self-rating, not the general
+    /// PC/Windows ones).
+    pub fn for_task(task: Task) -> RatingDim {
+        match task {
+            Task::Word => RatingDim::Word,
+            Task::Powerpoint => RatingDim::Powerpoint,
+            Task::Ie => RatingDim::Ie,
+            Task::Quake => RatingDim::Quake,
+        }
+    }
+
     /// Display name matching the paper's Figure 17 ("PC", "Windows",
     /// "Word", "Powerpoint", "IE", "Quake").
     pub fn name(self) -> &'static str {
@@ -154,6 +167,13 @@ impl UserProfile {
     pub fn step_threshold(&self, task: Task, resource: Resource, ceiling: f64) -> f64 {
         (self.threshold(task, resource) - self.ramp_bonus_frac * ceiling).max(1e-6)
     }
+
+    /// The user's self-rated skill class for a task — the cohort key the
+    /// model service aggregates discomfort models on, stamped into every
+    /// run record this user produces.
+    pub fn skill_class(&self, task: Task) -> SkillLevel {
+        self.ratings.get(RatingDim::for_task(task))
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +193,28 @@ mod tests {
         assert_eq!(r.get(RatingDim::Pc), SkillLevel::Power);
         assert_eq!(r.get(RatingDim::Word), SkillLevel::Beginner);
         assert_eq!(r.get(RatingDim::Quake), SkillLevel::Beginner);
+    }
+
+    #[test]
+    fn task_skill_class_uses_the_task_dimension() {
+        let u = UserProfile {
+            id: "u1".into(),
+            ratings: SelfRatings::new([
+                SkillLevel::Power,    // Pc
+                SkillLevel::Power,    // Windows
+                SkillLevel::Beginner, // Word
+                SkillLevel::Typical,  // Powerpoint
+                SkillLevel::Power,    // Ie
+                SkillLevel::Beginner, // Quake
+            ]),
+            thresholds: HashMap::new(),
+            noise_propensity: 1.0,
+            ramp_bonus_frac: 0.0,
+            reaction_secs: 1.0,
+        };
+        assert_eq!(u.skill_class(Task::Word), SkillLevel::Beginner);
+        assert_eq!(u.skill_class(Task::Ie), SkillLevel::Power);
+        assert_eq!(RatingDim::for_task(Task::Quake), RatingDim::Quake);
     }
 
     #[test]

@@ -1,0 +1,577 @@
+//! A deterministic, mergeable streaming quantile sketch over a bounded
+//! contention domain.
+//!
+//! The paper's discomfort CDFs (§4) live on known, bounded axes: a
+//! contention level between 0 and the resource's calibrated maximum
+//! (10 competing threads for CPU, a memory fraction of 1.0, 7 for
+//! disk). That boundedness buys a sketch with properties a general
+//! GK/KLL summary cannot offer simultaneously:
+//!
+//! * **Exactly commutative and associative merges.** The state is a
+//!   fixed grid of `u64` bin counts plus an exact running maximum;
+//!   merging adds counts and takes the max, so any merge order of any
+//!   grouping yields bit-identical state. Fleet aggregation can proceed
+//!   in whatever order uploads arrive.
+//! * **A deterministic, documented error bound.** Every inserted level
+//!   is attributed to the bin whose *upper edge* is the least grid
+//!   point at or above it, so a quantile answer is always an upper
+//!   bound on the true quantile and overshoots it by less than one bin
+//!   width ([`QuantileSketch::value_error`]). CDF evaluation at grid
+//!   points is exact. There is no randomness anywhere, so two servers
+//!   fed the same uploads hold byte-identical models.
+//! * **Bounded size.** The sketch never grows past its
+//!   [`DEFAULT_BINS`] counters no matter how many samples stream in,
+//!   and the sparse text encoding only pays for occupied bins.
+//!
+//! Censoring follows `uucs-stats::Ecdf`: a run that exhausted without
+//! feedback raises only the *total* (its discomfort level is known to
+//! lie above everything explored), so low quantiles stay honest and
+//! high quantiles refuse to extrapolate ([`QuantileSketch::quantile`]
+//! returns `None` when the requested rank falls in censored mass).
+
+use std::fmt;
+use uucs_testcase::Resource;
+
+/// Grid resolution used by [`QuantileSketch::for_resource`]: the rank
+/// answers of a 256-bin sketch are off by at most `max_contention/256`
+/// in level (≈0.04 contention for CPU), far below the ~0.5-level grain
+/// of the paper's testcase ramps.
+pub const DEFAULT_BINS: usize = 256;
+
+/// Upper bound on the bin count a decoder will accept, so a corrupt
+/// header cannot make recovery allocate gigabytes.
+pub const MAX_BINS: usize = 1 << 16;
+
+/// Why two sketches could not be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    /// Human-readable description of the mismatch.
+    pub what: String,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sketch merge mismatch: {}", self.what)
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// A fixed-grid streaming quantile sketch for discomfort levels.
+///
+/// See the module docs for the design rationale. The documented error
+/// bound: for any `p` with an uncensored answer, `quantile(p)` returns
+/// a grid point `v` such that the exact p-quantile `q` (in the sense of
+/// `uucs-stats::Ecdf::quantile` over the same inserts) satisfies
+/// `q <= v < q + value_error()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    observed: u64,
+    censored: u64,
+    /// Exact maximum observed (post-clamp) level; `lo` while empty.
+    max_seen: f64,
+}
+
+impl QuantileSketch {
+    /// A sketch over `[lo, hi]` with `nbins` equal-width bins.
+    ///
+    /// # Panics
+    /// If the domain is not finite and non-empty or `nbins` is not in
+    /// `1..=MAX_BINS` — sketch configurations are code, not data, so a
+    /// bad one is a programming error.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "sketch domain must be a finite non-empty interval"
+        );
+        assert!(
+            (1..=MAX_BINS).contains(&nbins),
+            "sketch bin count must be in 1..={MAX_BINS}"
+        );
+        QuantileSketch {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            observed: 0,
+            censored: 0,
+            max_seen: lo,
+        }
+    }
+
+    /// The standard sketch for a resource's contention axis:
+    /// `[0, max_contention]` at [`DEFAULT_BINS`] resolution. Every
+    /// cohort of the same resource shares this configuration, so their
+    /// sketches always merge.
+    pub fn for_resource(resource: Resource) -> Self {
+        Self::new(0.0, resource.max_contention(), DEFAULT_BINS)
+    }
+
+    /// The bin width — also the sketch's documented quantile error
+    /// bound in level space ([`QuantileSketch::value_error`]).
+    pub fn width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// The documented error bound: `quantile(p)` never undershoots the
+    /// exact quantile and overshoots it by less than this.
+    pub fn value_error(&self) -> f64 {
+        self.width()
+    }
+
+    /// The domain `(lo, hi)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Number of grid bins.
+    pub fn resolution(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count of uncensored (discomfort-level) observations.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Count of right-censored observations (runs exhausted without
+    /// feedback).
+    pub fn censored(&self) -> u64 {
+        self.censored
+    }
+
+    /// Total observations, censored included — the quantile denominator.
+    pub fn total(&self) -> u64 {
+        self.observed + self.censored
+    }
+
+    /// True when nothing was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// The exact maximum observed level, if any level was observed.
+    pub fn max_observed(&self) -> Option<f64> {
+        (self.observed > 0).then_some(self.max_seen)
+    }
+
+    /// The bin index a level lands in: the bin whose upper edge is the
+    /// least grid point at or above the (clamped) level.
+    fn bin_index(&self, level: f64) -> usize {
+        let v = level.clamp(self.lo, self.hi);
+        let i = ((v - self.lo) / self.width()).ceil() as usize;
+        i.saturating_sub(1).min(self.bins.len() - 1)
+    }
+
+    /// The upper grid edge of bin `i` — the value quantile queries
+    /// answer with.
+    fn upper_edge(&self, i: usize) -> f64 {
+        if i + 1 == self.bins.len() {
+            // Computed edges can land a ULP past `hi`; the last edge is
+            // `hi` by definition.
+            self.hi
+        } else {
+            self.lo + (i as f64 + 1.0) * self.width()
+        }
+    }
+
+    /// Inserts one observed discomfort level (clamped into the domain).
+    pub fn insert(&mut self, level: f64) {
+        let v = if level.is_finite() {
+            level.clamp(self.lo, self.hi)
+        } else {
+            // A non-finite level carries no usable position; attribute
+            // it to the nearest end of the domain deterministically.
+            if level > 0.0 {
+                self.hi
+            } else {
+                self.lo
+            }
+        };
+        let i = self.bin_index(v);
+        self.bins[i] += 1;
+        self.observed += 1;
+        self.max_seen = self.max_seen.max(v);
+    }
+
+    /// Records one right-censored run: it raises the total without
+    /// contributing a level, exactly like `Ecdf`'s censored runs.
+    pub fn insert_censored(&mut self) {
+        self.censored += 1;
+    }
+
+    /// Merges another sketch of the *same configuration* into this one.
+    /// Exactly commutative and associative: counts add, the maximum is
+    /// the max of maxima.
+    pub fn merge(&mut self, other: &QuantileSketch) -> Result<(), MergeError> {
+        if self.lo != other.lo || self.hi != other.hi || self.bins.len() != other.bins.len() {
+            return Err(MergeError {
+                what: format!(
+                    "[{}, {}]x{} vs [{}, {}]x{}",
+                    self.lo,
+                    self.hi,
+                    self.bins.len(),
+                    other.lo,
+                    other.hi,
+                    other.bins.len()
+                ),
+            });
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.observed += other.observed;
+        self.censored += other.censored;
+        // Both maxima are >= lo (the empty-sketch sentinel), so a plain
+        // max is correct whether either side is empty or not.
+        self.max_seen = self.max_seen.max(other.max_seen);
+        Ok(())
+    }
+
+    /// The p-quantile with `Ecdf` semantics: rank `max(ceil(p·total), 1)`
+    /// over observed *and* censored mass. `None` when the sketch is
+    /// empty or the rank falls into censored mass (the level lies above
+    /// everything explored — refusing to extrapolate is the point of
+    /// censoring). The answer is a grid point within
+    /// [`QuantileSketch::value_error`] above the exact quantile.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 || !p.is_finite() {
+            return None;
+        }
+        let need = ((p * total as f64).ceil() as u64).max(1);
+        if need > self.observed {
+            return None;
+        }
+        let mut cum = 0u64;
+        for (i, c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= need {
+                return Some(self.upper_edge(i));
+            }
+        }
+        None
+    }
+
+    /// The borrowing level for a target discomfort probability:
+    /// the p-quantile, or — when censoring saturates the query — the
+    /// maximum explored level (mirroring
+    /// `comfort::ThrottleAdvisor`: if nobody objected anywhere we
+    /// looked, the best supportable answer is the highest level looked
+    /// at). `None` only when no level was ever observed.
+    pub fn advice_level(&self, p: f64) -> Option<f64> {
+        self.quantile(p).or(self.max_observed())
+    }
+
+    /// The fraction of total mass at or below `c`, counting whole bins
+    /// (exact when `c` is a grid point, conservative otherwise).
+    pub fn eval(&self, c: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut cum = 0u64;
+        for (i, n) in self.bins.iter().enumerate() {
+            if self.upper_edge(i) <= c {
+                cum += n;
+            } else {
+                break;
+            }
+        }
+        cum as f64 / total as f64
+    }
+
+    /// Evaluates several quantiles at once — the "quantile table" the
+    /// `MODEL` verb's callers print.
+    pub fn quantile_table(&self, ps: &[f64]) -> Vec<(f64, Option<f64>)> {
+        ps.iter().map(|&p| (p, self.quantile(p))).collect()
+    }
+
+    /// Encodes the sketch as one whitespace-free line:
+    ///
+    /// ```text
+    /// q1;<lo>;<hi>;<nbins>;<observed>;<censored>;<max>;<i>:<n>,<i>:<n>,...
+    /// ```
+    ///
+    /// Floats use Rust's shortest round-trip formatting, so
+    /// decode∘encode is the identity and encode∘decode is
+    /// byte-identical. Empty bins are omitted (the final field may be
+    /// empty). The same line is journaled in the WAL snapshot and sent
+    /// on the wire.
+    pub fn encode(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        write!(
+            out,
+            "q1;{};{};{};{};{};{};",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            self.observed,
+            self.censored,
+            self.max_seen
+        )
+        .unwrap();
+        let mut first = true;
+        for (i, n) in self.bins.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(out, "{i}:{n}").unwrap();
+        }
+        out
+    }
+
+    /// Decodes [`QuantileSketch::encode`] output, validating every
+    /// invariant (finite non-empty domain, bins strictly increasing and
+    /// in range, bin counts summing to the observed count, maximum
+    /// inside the domain) so a truncated or garbled line never yields a
+    /// plausible-looking sketch.
+    pub fn decode(text: &str) -> Result<QuantileSketch, String> {
+        let fields: Vec<&str> = text.split(';').collect();
+        if fields.len() != 8 {
+            return Err(format!("sketch line has {} fields, want 8", fields.len()));
+        }
+        if fields[0] != "q1" {
+            return Err(format!("unknown sketch version {:?}", fields[0]));
+        }
+        let pf = |what: &str, s: &str| -> Result<f64, String> {
+            let v: f64 = s.parse().map_err(|_| format!("bad sketch {what} {s:?}"))?;
+            if !v.is_finite() {
+                return Err(format!("non-finite sketch {what} {s:?}"));
+            }
+            Ok(v)
+        };
+        let lo = pf("lo", fields[1])?;
+        let hi = pf("hi", fields[2])?;
+        if lo >= hi {
+            return Err(format!("empty sketch domain [{lo}, {hi}]"));
+        }
+        let nbins: usize = fields[3]
+            .parse()
+            .map_err(|_| format!("bad sketch bin count {:?}", fields[3]))?;
+        if !(1..=MAX_BINS).contains(&nbins) {
+            return Err(format!("sketch bin count {nbins} out of range"));
+        }
+        let observed: u64 = fields[4]
+            .parse()
+            .map_err(|_| format!("bad sketch observed count {:?}", fields[4]))?;
+        let censored: u64 = fields[5]
+            .parse()
+            .map_err(|_| format!("bad sketch censored count {:?}", fields[5]))?;
+        let max_seen = pf("max", fields[6])?;
+        if max_seen < lo || max_seen > hi {
+            return Err(format!("sketch max {max_seen} outside [{lo}, {hi}]"));
+        }
+        if observed == 0 && max_seen != lo {
+            return Err("empty sketch must carry max = lo".to_string());
+        }
+        let mut bins = vec![0u64; nbins];
+        let mut sum = 0u64;
+        let mut prev: Option<usize> = None;
+        if !fields[7].is_empty() {
+            for seg in fields[7].split(',') {
+                let (i, n) = seg
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad sketch bin segment {seg:?}"))?;
+                let i: usize = i
+                    .parse()
+                    .map_err(|_| format!("bad sketch bin index {i:?}"))?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("bad sketch bin count {n:?}"))?;
+                if i >= nbins {
+                    return Err(format!("sketch bin index {i} out of range"));
+                }
+                if n == 0 {
+                    return Err("sketch encodes an empty bin".to_string());
+                }
+                if prev.is_some_and(|p| i <= p) {
+                    return Err("sketch bin indices not strictly increasing".to_string());
+                }
+                prev = Some(i);
+                bins[i] = n;
+                sum = sum
+                    .checked_add(n)
+                    .ok_or_else(|| "sketch bin counts overflow".to_string())?;
+            }
+        }
+        if sum != observed {
+            return Err(format!(
+                "sketch bins sum to {sum} but observed count is {observed}"
+            ));
+        }
+        Ok(QuantileSketch {
+            lo,
+            hi,
+            bins,
+            observed,
+            censored,
+            max_seen,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> QuantileSketch {
+        QuantileSketch::for_resource(Resource::Cpu)
+    }
+
+    #[test]
+    fn empty_sketch_answers_nothing() {
+        let s = cpu();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.advice_level(0.5), None);
+        assert_eq!(s.max_observed(), None);
+        assert_eq!(s.eval(10.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_tracks_exact_within_one_bin() {
+        let mut s = cpu();
+        let levels = [0.5, 1.25, 2.0, 3.75, 4.0, 4.0, 6.5, 8.0, 9.1, 10.0];
+        for l in levels {
+            s.insert(l);
+        }
+        // Exact quantile (Ecdf semantics): rank ceil(p*n).max(1).
+        let mut sorted = levels.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let need = ((p * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[need - 1];
+            let got = s.quantile(p).unwrap();
+            assert!(
+                got >= exact && got < exact + s.value_error() + 1e-12,
+                "p={p}: got {got}, exact {exact}, bound {}",
+                s.value_error()
+            );
+        }
+    }
+
+    #[test]
+    fn censoring_blocks_extrapolation_and_advice_falls_back() {
+        let mut s = cpu();
+        s.insert(2.0);
+        s.insert(3.0);
+        for _ in 0..8 {
+            s.insert_censored();
+        }
+        assert_eq!(s.total(), 10);
+        // Rank 1..=2 is observed; deeper ranks are censored mass.
+        assert!(s.quantile(0.2).is_some());
+        assert_eq!(s.quantile(0.5), None);
+        // Advice falls back to the maximum explored level.
+        assert_eq!(s.advice_level(0.5), Some(3.0));
+    }
+
+    #[test]
+    fn merge_is_exact_and_rejects_mismatches() {
+        let mut a = cpu();
+        let mut b = cpu();
+        a.insert(1.0);
+        a.insert_censored();
+        b.insert(9.0);
+        b.insert(2.0);
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 4);
+        assert_eq!(ab.max_observed(), Some(9.0));
+        let mem = QuantileSketch::for_resource(Resource::Memory);
+        assert!(a.merge(&mem).is_err());
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_the_maximum() {
+        let mut empty = cpu();
+        let mut b = cpu();
+        b.insert(4.5);
+        empty.merge(&b).unwrap();
+        assert_eq!(empty.max_observed(), Some(4.5));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut s = cpu();
+        for l in [0.0, 0.01, 3.3, 9.99, 10.0] {
+            s.insert(l);
+        }
+        s.insert_censored();
+        let line = s.encode();
+        assert!(!line.contains(char::is_whitespace));
+        let back = QuantileSketch::decode(&line).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.encode(), line);
+        // Empty sketch too.
+        let e = cpu();
+        assert_eq!(QuantileSketch::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncations() {
+        let mut s = cpu();
+        s.insert(5.0);
+        s.insert(7.5);
+        let line = s.encode();
+        for cut in 0..line.len() {
+            assert!(
+                QuantileSketch::decode(&line[..cut]).is_err(),
+                "prefix {:?} decoded",
+                &line[..cut]
+            );
+        }
+        for bad in [
+            "",
+            "q2;0;10;4;0;0;0;",
+            "q1;0;10;4;0;0;0",           // 7 fields
+            "q1;0;0;4;0;0;0;",           // empty domain
+            "q1;0;10;0;0;0;0;",          // zero bins
+            "q1;0;10;99999999;0;0;0;",   // absurd bins
+            "q1;0;10;4;1;0;0;",          // sum mismatch
+            "q1;0;10;4;1;0;11;0:1",      // max outside domain
+            "q1;0;10;4;0;0;3;",          // empty sketch with max != lo
+            "q1;0;10;4;2;0;9;1:1,1:1",   // non-increasing indices
+            "q1;0;10;4;1;0;9;9:1",       // index out of range
+            "q1;0;10;4;1;0;9;3:0",       // zero-count bin
+            "q1;nan;10;4;0;0;0;",        // non-finite domain
+            "q1;0;10;4;0;x;0;",          // garbled count
+        ] {
+            assert!(QuantileSketch::decode(bad).is_err(), "{bad:?} decoded");
+        }
+    }
+
+    #[test]
+    fn eval_is_exact_at_grid_points() {
+        let mut s = QuantileSketch::new(0.0, 10.0, 10);
+        for l in [0.5, 1.0, 1.5, 7.0] {
+            s.insert(l);
+        }
+        // Grid point 1.0 covers levels in (0,1]: 0.5 and 1.0.
+        assert_eq!(s.eval(1.0), 0.5);
+        assert_eq!(s.eval(10.0), 1.0);
+        assert_eq!(s.eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn non_finite_inserts_are_clamped_deterministically() {
+        let mut s = cpu();
+        s.insert(f64::INFINITY);
+        s.insert(f64::NEG_INFINITY);
+        assert_eq!(s.observed(), 2);
+        assert_eq!(s.max_observed(), Some(10.0));
+        let line = s.encode();
+        assert_eq!(QuantileSketch::decode(&line).unwrap(), s);
+    }
+}

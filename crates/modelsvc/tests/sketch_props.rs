@@ -1,0 +1,154 @@
+//! Property tests for the quantile sketch: merge algebra, quantile
+//! monotonicity, the documented rank/value error bound against an exact
+//! `stats::Ecdf`, and byte-identical encode/decode round-trips.
+
+use uucs_harness::prelude::*;
+use uucs_modelsvc::QuantileSketch;
+use uucs_stats::Ecdf;
+
+const LO: f64 = 0.0;
+const HI: f64 = 10.0;
+const BINS: usize = 64;
+
+fn sketch_of(levels: &[f64], censored: usize) -> QuantileSketch {
+    let mut s = QuantileSketch::new(LO, HI, BINS);
+    for &v in levels {
+        s.insert(v);
+    }
+    for _ in 0..censored {
+        s.insert_censored();
+    }
+    s
+}
+
+proptest! {
+    /// Merging is commutative and associative, exactly (bit-for-bit):
+    /// the sketch is a counter vector plus a max, both of which are
+    /// order-independent.
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in prop::collection::vec(LO..HI, 0..60),
+        b in prop::collection::vec(LO..HI, 0..60),
+        c in prop::collection::vec(LO..HI, 0..60),
+        ca in 0usize..5,
+        cb in 0usize..5,
+        cc in 0usize..5,
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a, ca), sketch_of(&b, cb), sketch_of(&c, cc));
+
+        let mut ab = sa.clone();
+        ab.merge(&sb).unwrap();
+        let mut ba = sb.clone();
+        ba.merge(&sa).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.encode(), ba.encode());
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = ab.clone();
+        left.merge(&sc).unwrap();
+        let mut bc = sb.clone();
+        bc.merge(&sc).unwrap();
+        let mut right = sa.clone();
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.encode(), right.encode());
+
+        // Merging equals inserting everything into one sketch.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let direct = sketch_of(&all, ca + cb + cc);
+        prop_assert_eq!(&left, &direct);
+    }
+
+    /// quantile(p) is monotone non-decreasing in p wherever defined.
+    #[test]
+    fn quantiles_are_monotone(
+        levels in prop::collection::vec(LO..HI, 1..120),
+        censored in 0usize..30,
+    ) {
+        let s = sketch_of(&levels, censored);
+        let mut prev: Option<f64> = None;
+        for i in 1..=20 {
+            let p = i as f64 / 20.0;
+            match (prev, s.quantile(p)) {
+                (Some(lo), Some(q)) => {
+                    prop_assert!(q >= lo, "quantile({p}) = {q} < {lo}");
+                    prev = Some(q);
+                }
+                (_, got) => {
+                    // Once censoring saturates a quantile, all higher
+                    // quantiles must be saturated too.
+                    if prev.is_some() && got.is_none() {
+                        for j in i..=20 {
+                            prop_assert_eq!(s.quantile(j as f64 / 20.0), None);
+                        }
+                        break;
+                    }
+                    prev = got;
+                }
+            }
+        }
+    }
+
+    /// The documented error bound holds against the exact ECDF: the
+    /// sketch quantile is >= the exact quantile and within one bin
+    /// width above it, and both censor at exactly the same ranks.
+    #[test]
+    fn rank_error_stays_within_bound(
+        levels in prop::collection::vec(LO..HI, 1..120),
+        censored in 0usize..30,
+    ) {
+        let s = sketch_of(&levels, censored);
+        let mut sorted = levels.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let exact = Ecdf::new(sorted, censored);
+        for i in 1..=20 {
+            let p = i as f64 / 20.0;
+            match (exact.quantile(p), s.quantile(p)) {
+                (Some(eq), Some(sq)) => {
+                    prop_assert!(
+                        sq >= eq - 1e-12 && sq < eq + s.value_error() + 1e-12,
+                        "p={p}: sketch {sq} vs exact {eq} (bound {})",
+                        s.value_error()
+                    );
+                }
+                (None, None) => {}
+                (eq, sq) => prop_assert!(
+                    false,
+                    "p={p}: censoring disagrees (exact {eq:?}, sketch {sq:?})"
+                ),
+            }
+        }
+    }
+
+    /// encode ∘ decode is the identity on sketches and decode ∘ encode
+    /// is the identity on encoded lines (byte-identical).
+    #[test]
+    fn encode_decode_roundtrips_byte_identically(
+        levels in prop::collection::vec(LO..HI, 0..120),
+        censored in 0usize..30,
+    ) {
+        let s = sketch_of(&levels, censored);
+        let line = s.encode();
+        let back = QuantileSketch::decode(&line).unwrap();
+        prop_assert_eq!(&back, &s);
+        prop_assert_eq!(back.encode(), line);
+    }
+
+    /// No strict prefix of a valid encoding ever decodes — a torn write
+    /// or truncated frame cannot masquerade as a smaller valid sketch.
+    #[test]
+    fn strict_prefixes_never_decode(
+        levels in prop::collection::vec(LO..HI, 0..60),
+        censored in 0usize..10,
+    ) {
+        let line = sketch_of(&levels, censored).encode();
+        for cut in 0..line.len() {
+            prop_assert!(
+                QuantileSketch::decode(&line[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+}

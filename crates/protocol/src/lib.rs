@@ -12,6 +12,14 @@
 //! additionally zeroes the metrics after snapshotting. See
 //! [`wire::ClientMsg::Stats`] and the `uucs-telemetry` crate.
 //!
+//! Two model-service exchanges close the borrowing loop (`uucs-modelsvc`):
+//! `MODEL <resource> [<task>]` returns the server's merged discomfort
+//! model (epoch, sample counts, and the quantile sketch in its text
+//! encoding), and `ADVICE <resource> <task> <epsilon>` returns the
+//! recommended borrowing level whose predicted discomfort probability
+//! stays under `epsilon`. See [`wire::ClientMsg::Model`] and
+//! [`wire::ClientMsg::Advice`].
+//!
 //! This crate defines:
 //! * [`record::RunRecord`] — the result of one testcase run: how it ended
 //!   (discomfort vs exhaustion), the time offset of the feedback, the

@@ -65,6 +65,10 @@ pub struct RunRecord {
     pub testcase: String,
     /// Foreground task name (the user's context), or `-` if unknown.
     pub task: String,
+    /// The user's self-rated skill class in the task's rating dimension
+    /// (the model-service cohort key), or `-` if unrated. Legacy records
+    /// without a `SKILL` line parse as unrated.
+    pub skill: String,
     /// How the run ended.
     pub outcome: RunOutcome,
     /// Seconds into the testcase at which feedback or exhaustion occurred.
@@ -101,6 +105,11 @@ impl RunRecord {
         writeln!(out, "USER {}", nonempty(&self.user)).unwrap();
         writeln!(out, "TESTCASE {}", nonempty(&self.testcase)).unwrap();
         writeln!(out, "TASK {}", nonempty(&self.task)).unwrap();
+        // Emitted only when rated, so records round-trip byte-identically
+        // through stores written before the field existed.
+        if !self.skill.is_empty() {
+            writeln!(out, "SKILL {}", self.skill).unwrap();
+        }
         writeln!(out, "OUTCOME {}", self.outcome.token()).unwrap();
         writeln!(out, "OFFSET {}", self.offset_secs).unwrap();
         for (r, levels) in &self.last_levels {
@@ -152,6 +161,7 @@ impl RunRecord {
             user: String::new(),
             testcase: String::new(),
             task: String::new(),
+            skill: String::new(),
             outcome: RunOutcome::Exhausted,
             offset_secs: 0.0,
             last_levels: Vec::new(),
@@ -175,6 +185,7 @@ impl RunRecord {
                 "USER" => rec.user = de_nonempty(rest),
                 "TESTCASE" => rec.testcase = de_nonempty(rest),
                 "TASK" => rec.task = de_nonempty(rest),
+                "SKILL" => rec.skill = de_nonempty(rest),
                 "OUTCOME" => {
                     rec.outcome = RunOutcome::parse(rest)
                         .ok_or_else(|| format!("bad outcome {rest:?}"))?;
@@ -286,6 +297,7 @@ mod tests {
             user: "u7".into(),
             testcase: "cpu-ramp-7-120".into(),
             task: "Word".into(),
+            skill: "Typical".into(),
             outcome: RunOutcome::Discomfort,
             offset_secs: 74.5,
             last_levels: vec![(Resource::Cpu, vec![4.0, 4.1, 4.2, 4.3, 4.4])],
@@ -322,6 +334,15 @@ mod tests {
         let text = RunRecord::emit_many(&[a.clone(), b.clone()]);
         let parsed = RunRecord::parse_many(&text).unwrap();
         assert_eq!(parsed, vec![a, b]);
+    }
+
+    #[test]
+    fn legacy_records_without_skill_parse_as_unrated() {
+        let mut r = sample();
+        r.skill = String::new();
+        let text = r.emit();
+        assert!(!text.contains("SKILL"), "unrated records omit the line");
+        assert_eq!(RunRecord::parse_many(&text).unwrap(), vec![r]);
     }
 
     #[test]

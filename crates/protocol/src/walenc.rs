@@ -14,9 +14,14 @@
 //!   the dedup horizon along with the data.
 //! * `b'C'` + `CLIENT <id>` line + snapshot block — a registration, so a
 //!   recovered server still knows its clients and their ids.
+//! * `b'M'` + [`ModelDelta`] text — one epoch's comfort-model update
+//!   (the observations minted from an accepted upload batch), journaled
+//!   by the model store before the delta is applied so replaying the
+//!   journal reproduces the exact epoch sequence.
 
 use crate::record::RunRecord;
 use crate::snapshot::MachineSnapshot;
+use uucs_modelsvc::ModelDelta;
 use uucs_testcase::{format as tcformat, Testcase};
 
 /// Tag byte for a result entry.
@@ -27,6 +32,8 @@ pub const TAG_TESTCASE: u8 = b'T';
 pub const TAG_BATCH: u8 = b'B';
 /// Tag byte for a client registration.
 pub const TAG_CLIENT: u8 = b'C';
+/// Tag byte for a comfort-model delta.
+pub const TAG_MODEL: u8 = b'M';
 
 /// One logical mutation of the server's stores, as journaled in the WAL.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +62,8 @@ pub enum WalEntry {
         /// The machine snapshot the client registered with.
         snapshot: MachineSnapshot,
     },
+    /// One epoch's comfort-model update accepted into the model store.
+    Model(ModelDelta),
 }
 
 impl WalEntry {
@@ -95,6 +104,11 @@ impl WalEntry {
                     out.extend_from_slice(format!("CLIENT {id} {token}\n").as_bytes());
                 }
                 out.extend_from_slice(snapshot.emit().as_bytes());
+                out
+            }
+            WalEntry::Model(delta) => {
+                let mut out = vec![TAG_MODEL];
+                out.extend_from_slice(delta.encode().as_bytes());
                 out
             }
         }
@@ -172,6 +186,7 @@ impl WalEntry {
                     snapshot,
                 })
             }
+            TAG_MODEL => ModelDelta::decode(text).map(WalEntry::Model),
             other => Err(format!("unknown wal entry tag {other:#04x}")),
         }
     }
@@ -189,10 +204,24 @@ mod tests {
             user: "u1".into(),
             testcase: "cpu-ramp-3-60".into(),
             task: "Word".into(),
+            skill: "Typical".into(),
             outcome: RunOutcome::Discomfort,
             offset_secs: 12.25,
             last_levels: vec![(Resource::Cpu, vec![1.0, 2.0])],
             monitor: MonitorSummary::default(),
+        }
+    }
+
+    fn delta() -> ModelDelta {
+        ModelDelta {
+            epoch: 7,
+            observations: vec![uucs_modelsvc::Observation {
+                resource: Resource::Cpu,
+                task: "Word".into(),
+                skill: "Typical".into(),
+                level: 3.5,
+                censored: false,
+            }],
         }
     }
 
@@ -233,6 +262,11 @@ mod tests {
                 token: "tok-deadbeef".into(),
                 snapshot: MachineSnapshot::study_machine("optiplex-9"),
             },
+            WalEntry::Model(delta()),
+            WalEntry::Model(ModelDelta {
+                epoch: 8,
+                observations: vec![],
+            }),
         ] {
             let bytes = entry.encode();
             assert_eq!(WalEntry::decode(&bytes).unwrap(), entry);
@@ -255,6 +289,7 @@ mod tests {
             snapshot: MachineSnapshot::study_machine("h"),
         };
         assert_eq!(client.encode()[0], TAG_CLIENT);
+        assert_eq!(WalEntry::Model(delta()).encode()[0], TAG_MODEL);
     }
 
     #[test]
@@ -277,5 +312,9 @@ mod tests {
         assert!(WalEntry::decode(b"C").is_err());
         assert!(WalEntry::decode(b"CCLIENT \nSNAPSHOT\nEND\n").is_err());
         assert!(WalEntry::decode(b"CCLIENT c1\nSNAPSHOT\nHOST x\n").is_err());
+        // Model defects: not a delta, count mismatch, missing END.
+        assert!(WalEntry::decode(b"Mnot a delta").is_err());
+        assert!(WalEntry::decode(b"MMODELDELTA 1 2\nEND\n").is_err());
+        assert!(WalEntry::decode(b"MMODELDELTA 1 0\n").is_err());
     }
 }

@@ -11,10 +11,27 @@
 //! SYNC <client-id> <have> <want>    TESTCASES <n> + n testcase blocks
 //! UPLOAD <client-id> <n> <seq>      ACK <n>
 //!   + n record blocks
+//! MODEL <resource> [<task>]         MODEL <epoch> <observed> <censored> <sketch>
+//! ADVICE <resource> <task> <eps>    ADVICE <epoch> <level>
 //! STATS [RESET]                     STATS <json>
 //! BYE                               (connection closes)
 //!                                   ERROR <message>   (any time)
 //! ```
+//!
+//! `MODEL` and `ADVICE` are the model-service verbs (`uucs-modelsvc`).
+//! `MODEL` returns the server's merged comfort model for a resource
+//! (optionally narrowed to one foreground task): the model epoch, the
+//! observed/censored sample counts, and the merged quantile sketch as
+//! its single-token text encoding — the same bytes the server journals,
+//! so a client can cache and re-decode it offline. `ADVICE` asks the
+//! server to evaluate the model instead: it answers with the epoch and
+//! the recommended borrowing level whose predicted discomfort
+//! probability stays under `eps` (the paper's `c_0.05` statistic is
+//! `eps = 0.05`). `eps` must be a finite probability strictly inside
+//! `(0, 1)`; anything else is malformed, not a boundary case — an
+//! epsilon of 0 or 1 would always/never censor and signals a confused
+//! client. Both replies are single lines, so the framing inherits the
+//! strict-prefix-never-parses property of every other header.
 //!
 //! `STATS` is the observability verb: the server answers with its
 //! telemetry registry encoded as a single line of JSON (sorted keys,
@@ -49,7 +66,8 @@
 use crate::record::RunRecord;
 use crate::snapshot::MachineSnapshot;
 use std::io::{BufRead, Write};
-use uucs_testcase::{format as tcformat, Testcase};
+use uucs_modelsvc::QuantileSketch;
+use uucs_testcase::{format as tcformat, Resource, Testcase};
 
 /// Anything that can answer client messages — the server implements this,
 /// and the client's in-memory transport calls it directly (the same
@@ -96,6 +114,26 @@ pub enum ClientMsg {
         /// The result records.
         records: Vec<RunRecord>,
     },
+    /// Request the merged comfort model for a resource (optionally
+    /// narrowed to one foreground task); expects [`ServerMsg::Model`].
+    Model {
+        /// The borrowed resource the model describes.
+        resource: Resource,
+        /// Narrow to this foreground task's cohorts; `None` merges
+        /// every cohort of the resource. Task names are single wire
+        /// tokens (the record format already guarantees this).
+        task: Option<String>,
+    },
+    /// Request a recommended borrowing level; expects
+    /// [`ServerMsg::Advice`].
+    Advice {
+        /// The borrowed resource.
+        resource: Resource,
+        /// The foreground task the client is about to run under.
+        task: String,
+        /// Target discomfort probability, strictly inside `(0, 1)`.
+        epsilon: f64,
+    },
     /// Request the server's telemetry snapshot; expects
     /// [`ServerMsg::Stats`].
     Stats {
@@ -129,6 +167,27 @@ pub enum ServerMsg {
     Testcases(Vec<Testcase>),
     /// Acknowledgment of `n` uploaded records.
     Ack(usize),
+    /// The merged comfort model for a [`ClientMsg::Model`] query.
+    Model {
+        /// The model epoch the sketch was merged at.
+        epoch: u64,
+        /// Observed (feedback) samples in the merged sketch.
+        observed: u64,
+        /// Censored (exhausted-without-feedback) samples.
+        censored: u64,
+        /// The merged quantile sketch, in its single-token text
+        /// encoding (`uucs_modelsvc::QuantileSketch::encode`). The
+        /// reader deep-validates it, so a [`ServerMsg::Model`] in hand
+        /// always decodes.
+        sketch: String,
+    },
+    /// The recommendation for a [`ClientMsg::Advice`] query.
+    Advice {
+        /// The model epoch the recommendation was computed at.
+        epoch: u64,
+        /// The recommended borrowing level (contention value).
+        level: f64,
+    },
     /// The server's telemetry snapshot: one line of JSON (the
     /// `uucs-telemetry` registry encoding). Opaque to the protocol
     /// layer — it is framed, not parsed, here.
@@ -181,6 +240,22 @@ pub fn write_client_msg(w: &mut impl Write, msg: &ClientMsg) -> std::io::Result<
             writeln!(w, "UPLOAD {client} {} {seq}", records.len())?;
             w.write_all(RunRecord::emit_many(records).as_bytes())?;
         }
+        ClientMsg::Model { resource, task } => match task {
+            Some(task) => {
+                check_token("MODEL task", task)?;
+                writeln!(w, "MODEL {resource} {task}")?;
+            }
+            None => writeln!(w, "MODEL {resource}")?,
+        },
+        ClientMsg::Advice {
+            resource,
+            task,
+            epsilon,
+        } => {
+            check_token("ADVICE task", task)?;
+            check_epsilon(*epsilon)?;
+            writeln!(w, "ADVICE {resource} {task} {epsilon}")?;
+        }
         ClientMsg::Stats { reset } => {
             if *reset {
                 writeln!(w, "STATS RESET")?;
@@ -202,6 +277,23 @@ pub fn write_server_msg(w: &mut impl Write, msg: &ServerMsg) -> std::io::Result<
             w.write_all(tcformat::emit_many(tcs).as_bytes())?;
         }
         ServerMsg::Ack(n) => writeln!(w, "ACK {n}")?,
+        ServerMsg::Model {
+            epoch,
+            observed,
+            censored,
+            sketch,
+        } => {
+            // The sketch encoding is one whitespace-free token by
+            // construction; anything else would tear the frame.
+            check_token("MODEL sketch", sketch)?;
+            writeln!(w, "MODEL {epoch} {observed} {censored} {sketch}")?;
+        }
+        ServerMsg::Advice { epoch, level } => {
+            if !level.is_finite() {
+                return Err(proto_err("ADVICE level must be finite"));
+            }
+            writeln!(w, "ADVICE {epoch} {level}")?;
+        }
         ServerMsg::Stats(json) => {
             // The snapshot is one line by construction; a stray newline
             // would tear the frame, so refuse to emit one.
@@ -249,6 +341,28 @@ fn read_blocks(r: &mut impl BufRead, n: usize) -> std::io::Result<String> {
 
 fn proto_err(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Fields spliced into a header line must be single non-empty tokens —
+/// embedded whitespace would shift every later token and tear the frame.
+fn check_token(what: &str, s: &str) -> std::io::Result<()> {
+    if s.is_empty() || s.chars().any(|c| c.is_whitespace()) {
+        return Err(proto_err(format!("{what} must be one non-empty token")));
+    }
+    Ok(())
+}
+
+/// A target discomfort probability must lie strictly inside `(0, 1)`:
+/// 0 asks for a level no user would ever mind (always the minimum), 1
+/// for one every user minds — both signal a confused client, and NaN
+/// or an infinity would poison every comparison downstream.
+fn check_epsilon(epsilon: f64) -> std::io::Result<()> {
+    if !epsilon.is_finite() || epsilon <= 0.0 || epsilon >= 1.0 {
+        return Err(proto_err(format!(
+            "ADVICE epsilon must be in (0, 1), got {epsilon}"
+        )));
+    }
+    Ok(())
 }
 
 /// A header line that arrived without its `'\n'` terminator means the
@@ -334,6 +448,42 @@ pub fn read_client_msg(r: &mut impl BufRead) -> std::io::Result<Option<ClientMsg
                 records,
             }))
         }
+        Some("MODEL") => {
+            let resource: Resource = toks
+                .next()
+                .ok_or_else(|| proto_err("MODEL missing resource"))?
+                .parse()
+                .map_err(|_| proto_err("bad MODEL resource"))?;
+            let task = toks.next().map(str::to_string);
+            if toks.next().is_some() {
+                return Err(proto_err("trailing tokens after MODEL"));
+            }
+            Ok(Some(ClientMsg::Model { resource, task }))
+        }
+        Some("ADVICE") => {
+            let resource: Resource = toks
+                .next()
+                .ok_or_else(|| proto_err("ADVICE missing resource"))?
+                .parse()
+                .map_err(|_| proto_err("bad ADVICE resource"))?;
+            let task = toks
+                .next()
+                .ok_or_else(|| proto_err("ADVICE missing task"))?
+                .to_string();
+            let epsilon: f64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad ADVICE epsilon"))?;
+            check_epsilon(epsilon)?;
+            if toks.next().is_some() {
+                return Err(proto_err("trailing tokens after ADVICE"));
+            }
+            Ok(Some(ClientMsg::Advice {
+                resource,
+                task,
+                epsilon,
+            }))
+        }
         Some("STATS") => {
             let reset = match toks.next() {
                 None => false,
@@ -406,6 +556,56 @@ pub fn read_server_msg(r: &mut impl BufRead) -> std::io::Result<ServerMsg> {
             let n: usize = rest.trim().parse().map_err(|_| proto_err("bad ACK"))?;
             Ok(ServerMsg::Ack(n))
         }
+        "MODEL" => {
+            let mut toks = rest.split_whitespace();
+            let epoch: u64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad MODEL epoch"))?;
+            let observed: u64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad MODEL observed count"))?;
+            let censored: u64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad MODEL censored count"))?;
+            let sketch = toks
+                .next()
+                .ok_or_else(|| proto_err("MODEL missing sketch"))?
+                .to_string();
+            if toks.next().is_some() {
+                return Err(proto_err("trailing tokens after MODEL reply"));
+            }
+            // Deep-validate: a MODEL reply in hand must always decode,
+            // and its counts must agree with the header's.
+            let decoded = QuantileSketch::decode(&sketch)
+                .map_err(|e| proto_err(format!("bad MODEL sketch: {e}")))?;
+            if decoded.observed() != observed || decoded.censored() != censored {
+                return Err(proto_err("MODEL counts disagree with sketch"));
+            }
+            Ok(ServerMsg::Model {
+                epoch,
+                observed,
+                censored,
+                sketch,
+            })
+        }
+        "ADVICE" => {
+            let mut toks = rest.split_whitespace();
+            let epoch: u64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad ADVICE epoch"))?;
+            let level: f64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad ADVICE level"))?;
+            if !level.is_finite() || toks.next().is_some() {
+                return Err(proto_err("bad ADVICE reply"));
+            }
+            Ok(ServerMsg::Advice { epoch, level })
+        }
         // The whole rest-of-line is the JSON payload: it contains spaces
         // of its own, so it is captured raw rather than tokenized.
         "STATS" => Ok(ServerMsg::Stats(rest.to_string())),
@@ -443,6 +643,7 @@ mod tests {
             user: "u1".into(),
             testcase: "t1".into(),
             task: "Quake".into(),
+            skill: "Power".into(),
             outcome: RunOutcome::Discomfort,
             offset_secs: 33.0,
             last_levels: vec![(Resource::Cpu, vec![0.5, 0.55])],
@@ -500,6 +701,145 @@ mod tests {
     #[test]
     fn bye_roundtrip() {
         roundtrip_client(ClientMsg::Bye);
+    }
+
+    /// A valid single-token sketch encoding for reply fixtures.
+    fn sketch_token(observed: u64, censored: u64) -> String {
+        let mut s = uucs_modelsvc::QuantileSketch::new(0.0, 10.0, 8);
+        for i in 0..observed {
+            s.insert(1.0 + i as f64 % 8.0);
+        }
+        for _ in 0..censored {
+            s.insert_censored();
+        }
+        s.encode()
+    }
+
+    #[test]
+    fn model_and_advice_roundtrip() {
+        roundtrip_client(ClientMsg::Model {
+            resource: Resource::Cpu,
+            task: None,
+        });
+        roundtrip_client(ClientMsg::Model {
+            resource: Resource::Disk,
+            task: Some("Word".into()),
+        });
+        roundtrip_client(ClientMsg::Advice {
+            resource: Resource::Memory,
+            task: "Quake".into(),
+            epsilon: 0.05,
+        });
+        roundtrip_server(ServerMsg::Model {
+            epoch: 9,
+            observed: 5,
+            censored: 2,
+            sketch: sketch_token(5, 2),
+        });
+        roundtrip_server(ServerMsg::Advice {
+            epoch: 9,
+            level: 4.25,
+        });
+    }
+
+    #[test]
+    fn model_rejects_truncated_and_garbled_args() {
+        for bad in [
+            "MODEL\n",                   // missing resource
+            "MODEL gpu\n",               // unknown resource
+            "MODEL cpu Word extra\n",    // trailing tokens
+            "ADVICE\n",                  // missing everything
+            "ADVICE cpu\n",              // missing task + epsilon
+            "ADVICE cpu Word\n",         // missing epsilon
+            "ADVICE cpu Word nope\n",    // unparseable epsilon
+            "ADVICE cpu Word nan\n",     // non-finite epsilon
+            "ADVICE cpu Word inf\n",     // non-finite epsilon
+            "ADVICE cpu Word 0\n",       // boundary: never uncomfortable
+            "ADVICE cpu Word 1\n",       // boundary: always uncomfortable
+            "ADVICE cpu Word 1.5\n",     // out of range
+            "ADVICE cpu Word -0.05\n",   // out of range
+            "ADVICE cpu Word 0.05 x\n",  // trailing tokens
+        ] {
+            let mut cur = Cursor::new(bad.as_bytes().to_vec());
+            assert_eq!(
+                read_client_msg(&mut cur).unwrap_err().kind(),
+                std::io::ErrorKind::InvalidData,
+                "{bad:?} must be InvalidData"
+            );
+        }
+    }
+
+    #[test]
+    fn model_reply_is_deep_validated() {
+        let good = sketch_token(3, 1);
+        for bad in [
+            "MODEL 1 3 1\n".to_string(),                 // missing sketch
+            "MODEL 1 3 1 garbage\n".to_string(),         // undecodable sketch
+            format!("MODEL x 3 1 {good}\n"),             // bad epoch
+            format!("MODEL 1 9 1 {good}\n"),             // observed disagrees
+            format!("MODEL 1 3 9 {good}\n"),             // censored disagrees
+            format!("MODEL 1 3 1 {good} extra\n"),       // trailing tokens
+            "ADVICE 1\n".to_string(),                    // missing level
+            "ADVICE 1 nan\n".to_string(),                // non-finite level
+            "ADVICE 1 2.5 extra\n".to_string(),          // trailing tokens
+        ] {
+            let mut cur = Cursor::new(bad.as_bytes().to_vec());
+            assert_eq!(
+                read_server_msg(&mut cur).unwrap_err().kind(),
+                std::io::ErrorKind::InvalidData,
+                "{bad:?} must be InvalidData"
+            );
+        }
+        // Truncating the sketch token anywhere keeps the reply invalid
+        // (the sketch encoding itself never parses from a strict prefix).
+        let line = format!("MODEL 1 3 1 {good}\n");
+        let full = line.trim_end();
+        for cut in (full.len() - good.len() + 1)..full.len() {
+            let torn = format!("{}\n", &full[..cut]);
+            let mut cur = Cursor::new(torn.into_bytes());
+            assert!(read_server_msg(&mut cur).is_err(), "cut at {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn model_writer_refuses_frame_tearing_fields() {
+        let mut buf = Vec::new();
+        assert!(write_client_msg(
+            &mut buf,
+            &ClientMsg::Model {
+                resource: Resource::Cpu,
+                task: Some("two words".into()),
+            }
+        )
+        .is_err());
+        assert!(write_client_msg(
+            &mut buf,
+            &ClientMsg::Advice {
+                resource: Resource::Cpu,
+                task: "Word".into(),
+                epsilon: f64::NAN,
+            }
+        )
+        .is_err());
+        assert!(write_server_msg(
+            &mut buf,
+            &ServerMsg::Model {
+                epoch: 1,
+                observed: 0,
+                censored: 0,
+                sketch: "q1;0;1 0;8".into(),
+            }
+        )
+        .is_err());
+        assert!(write_server_msg(
+            &mut buf,
+            &ServerMsg::Advice {
+                epoch: 1,
+                level: f64::INFINITY,
+            }
+        )
+        .is_err());
+        assert!(buf.is_empty(), "refused writes must emit nothing");
     }
 
     #[test]
@@ -642,6 +982,8 @@ mod tests {
             "ERROR boo",
             "TESTCASES 2",
             "STATS {\"counters\":{}",
+            "MODEL 3 1 0 q1;0;10;8;1",
+            "ADVICE 3 2.5",
         ] {
             let mut cur = Cursor::new(torn.as_bytes().to_vec());
             let err = read_server_msg(&mut cur).unwrap_err();
@@ -655,7 +997,15 @@ mod tests {
 
     #[test]
     fn torn_client_header_is_rejected() {
-        for torn in ["SYNC c1 0 8", "UPLOAD c1 1 3", "BYE", "REGISTER", "STATS RESET"] {
+        for torn in [
+            "SYNC c1 0 8",
+            "UPLOAD c1 1 3",
+            "BYE",
+            "REGISTER",
+            "STATS RESET",
+            "MODEL cpu Word",
+            "ADVICE cpu Word 0.05",
+        ] {
             let mut cur = Cursor::new(torn.as_bytes().to_vec());
             let err = read_client_msg(&mut cur).unwrap_err();
             assert_eq!(

@@ -20,13 +20,20 @@
 //! before the client sees an `Ack`, and restarting the server replays
 //! the journal — so a crash between the paper's periodic whole-file
 //! checkpoints no longer loses acknowledged results.
+//!
+//! The [`models`] module closes the borrowing loop (`uucs-modelsvc`):
+//! every applied upload batch is folded into cohort-keyed discomfort
+//! quantile sketches as one model epoch, journaled in its own WAL, and
+//! served back through the `MODEL` and `ADVICE` verbs.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod models;
 pub mod server;
 pub mod store;
 pub mod tcp;
 
+pub use models::ModelStore;
 pub use server::UucsServer;
 pub use store::{BatchStatus, RegistryStore, ResultStore, StoreError, TestcaseStore};

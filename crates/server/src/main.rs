@@ -22,7 +22,7 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use uucs_server::{tcp, RegistryStore, ResultStore, TestcaseStore, UucsServer};
+use uucs_server::{tcp, ModelStore, RegistryStore, ResultStore, TestcaseStore, UucsServer};
 use uucs_wal::{SyncPolicy, WalConfig};
 
 fn main() {
@@ -112,7 +112,12 @@ fn main() {
                 eprintln!("registry journal is unrecoverable: {e}");
                 std::process::exit(1);
             });
-        for r in [&tc_rec, &res_rec, &reg_rec] {
+        let (models, mdl_rec) =
+            ModelStore::open_wal(&data.join("wal/models"), config).unwrap_or_else(|e| {
+                eprintln!("model journal is unrecoverable: {e}");
+                std::process::exit(1);
+            });
+        for r in [&tc_rec, &res_rec, &reg_rec, &mdl_rec] {
             if let Some(t) = &r.torn_tail {
                 eprintln!(
                     "  truncated a torn append in {} ({} bytes, {})",
@@ -128,14 +133,16 @@ fn main() {
                 }
             }
         }
-        let server = Arc::new(UucsServer::with_all_stores(
-            testcases, results, registry, 0x5e17,
-        ));
+        let server = Arc::new(
+            UucsServer::with_all_stores(testcases, results, registry, 0x5e17)
+                .with_model_store(models),
+        );
         eprintln!(
-            "recovered {} testcases, {} results, {} clients (sync policy {sync})",
+            "recovered {} testcases, {} results, {} clients, model epoch {} (sync policy {sync})",
             server.testcase_count(),
             server.result_count(),
-            server.client_count()
+            server.client_count(),
+            server.model_epoch()
         );
         server
     } else {

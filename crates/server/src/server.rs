@@ -1,6 +1,7 @@
 //! The server's message handler and registry.
 
-use crate::store::{RegistryStore, ResultStore, TestcaseStore};
+use crate::models::{observations_of, ModelStore};
+use crate::store::{BatchStatus, RegistryStore, ResultStore, TestcaseStore};
 use std::sync::{OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use uucs_protocol::wire::Endpoint;
 use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg};
@@ -31,6 +32,8 @@ struct ServerMetrics {
     register: VerbMetrics,
     sync: VerbMetrics,
     upload: VerbMetrics,
+    model: VerbMetrics,
+    advice: VerbMetrics,
     stats: VerbMetrics,
     bye: VerbMetrics,
 }
@@ -41,6 +44,8 @@ fn server_metrics() -> &'static ServerMetrics {
         register: VerbMetrics::new("register"),
         sync: VerbMetrics::new("sync"),
         upload: VerbMetrics::new("upload"),
+        model: VerbMetrics::new("model"),
+        advice: VerbMetrics::new("advice"),
         stats: VerbMetrics::new("stats"),
         bye: VerbMetrics::new("bye"),
     })
@@ -64,6 +69,11 @@ pub struct UucsServer {
     testcases: RwLock<TestcaseStore>,
     results: RwLock<ResultStore>,
     registry: RwLock<RegistryStore>,
+    models: RwLock<ModelStore>,
+    /// When false, the `UPLOAD` path skips comfort-model updates (the
+    /// `MODEL`/`ADVICE` verbs then serve a frozen — typically empty —
+    /// model). Benchmarks use this to isolate the update cost.
+    model_updates: bool,
     /// Seed for the per-client sampling permutations.
     sample_seed: u64,
 }
@@ -114,8 +124,40 @@ impl UucsServer {
             testcases: RwLock::new(testcases),
             results: RwLock::new(results),
             registry: RwLock::new(registry),
+            models: RwLock::new(ModelStore::new()),
+            model_updates: true,
             sample_seed,
         }
+    }
+
+    /// Replaces the comfort-model store — the entry point for WAL-backed
+    /// model durability, paired with the data stores' `open_wal`.
+    pub fn with_model_store(mut self, models: ModelStore) -> Self {
+        self.models = RwLock::new(models);
+        self
+    }
+
+    /// Disables comfort-model updates on the `UPLOAD` path. The model
+    /// verbs keep answering from whatever model the server holds; used
+    /// by benchmarks to measure the upload path with aggregation off.
+    pub fn without_model_updates(mut self) -> Self {
+        self.model_updates = false;
+        self
+    }
+
+    /// The comfort model's current epoch.
+    pub fn model_epoch(&self) -> u64 {
+        read_recovered(&self.models).epoch()
+    }
+
+    /// The merged comfort-model sketch for a resource (optionally one
+    /// task) — offline analysis and test cross-checks.
+    pub fn model_sketch(
+        &self,
+        resource: uucs_testcase::Resource,
+        task: Option<&str>,
+    ) -> uucs_modelsvc::QuantileSketch {
+        read_recovered(&self.models).merged_sketch(resource, task)
     }
 
     /// Adds a testcase to the library at runtime ("new testcases ... can
@@ -146,7 +188,12 @@ impl UucsServer {
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .compact()?;
-        Ok(a || b || c)
+        let d = self
+            .models
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .compact()?;
+        Ok(a || b || c || d)
     }
 
     /// Number of testcases in the library.
@@ -209,6 +256,8 @@ impl Endpoint for UucsServer {
             ClientMsg::Register { .. } => &server_metrics().register,
             ClientMsg::Sync { .. } => &server_metrics().sync,
             ClientMsg::Upload { .. } => &server_metrics().upload,
+            ClientMsg::Model { .. } => &server_metrics().model,
+            ClientMsg::Advice { .. } => &server_metrics().advice,
             ClientMsg::Stats { .. } => &server_metrics().stats,
             ClientMsg::Bye => &server_metrics().bye,
         };
@@ -277,12 +326,55 @@ impl UucsServer {
                     // after a lost Ack) is re-acknowledged without
                     // storing a second copy.
                     Ok(mut results) => match results.append_batch(client, *seq, records.clone()) {
-                        Ok(status) => ServerMsg::Ack(status.acked()),
+                        Ok(status) => {
+                            drop(results);
+                            // Fold the batch into the comfort model —
+                            // only when it was *applied*: a replayed
+                            // retransmit must not double-count its
+                            // observations. A model journal failure
+                            // still acks (the records are the source of
+                            // truth; the model is derived state) but is
+                            // counted for the operator.
+                            if self.model_updates && matches!(status, BatchStatus::Applied(_)) {
+                                let obs = observations_of(records);
+                                if !obs.is_empty() {
+                                    match self.try_write(&self.models, "model") {
+                                        Ok(mut models) => {
+                                            if models.observe_batch(obs).is_err() {
+                                                ModelStore::count_update_error();
+                                            }
+                                        }
+                                        Err(_) => ModelStore::count_update_error(),
+                                    }
+                                }
+                            }
+                            ServerMsg::Ack(status.acked())
+                        }
                         Err(e) => ServerMsg::Error(format!("upload rejected: {e}")),
                     },
                     Err(err) => err,
                 }
             }
+            ClientMsg::Model { resource, task } => {
+                let (epoch, observed, censored, sketch) =
+                    read_recovered(&self.models).merged(*resource, task.as_deref());
+                ServerMsg::Model {
+                    epoch,
+                    observed,
+                    censored,
+                    sketch,
+                }
+            }
+            ClientMsg::Advice {
+                resource,
+                task,
+                epsilon,
+            } => match read_recovered(&self.models).advice(*resource, task, *epsilon) {
+                Some((epoch, level)) => ServerMsg::Advice { epoch, level },
+                None => ServerMsg::Error(format!(
+                    "no comfort model for {resource} yet (no observations uploaded)"
+                )),
+            },
             ClientMsg::Stats { reset } => {
                 // Snapshot first, then optionally zero: `STATS RESET`
                 // returns the counts it is about to clear, so no window
@@ -433,6 +525,7 @@ mod tests {
             user: "u".into(),
             testcase: "tc-000".into(),
             task: "Word".into(),
+            skill: "Typical".into(),
             outcome: RunOutcome::Exhausted,
             offset_secs: 10.0,
             last_levels: vec![],
@@ -459,6 +552,7 @@ mod tests {
             user: "u".into(),
             testcase: "tc-000".into(),
             task: "Word".into(),
+            skill: "Typical".into(),
             outcome: RunOutcome::Exhausted,
             offset_secs: 10.0,
             last_levels: vec![],
@@ -499,6 +593,7 @@ mod tests {
             user: "u".into(),
             testcase: "tc-000".into(),
             task: "Word".into(),
+            skill: "Typical".into(),
             outcome: RunOutcome::Exhausted,
             offset_secs: 10.0,
             last_levels: vec![],

@@ -33,7 +33,7 @@ use uucs_wal::{Recovery, StdIo, Wal, WalConfig, WalObserver};
 /// exposes append/fsync/snapshot/compaction timings per store. Handles
 /// are registered once at `open_wal`, keeping the per-I/O cost at a few
 /// atomic ops.
-struct WalTelemetry {
+pub(crate) struct WalTelemetry {
     append_ns: Histogram,
     append_bytes: Counter,
     fsync_ns: Histogram,
@@ -44,7 +44,7 @@ struct WalTelemetry {
 }
 
 impl WalTelemetry {
-    fn install(wal: &mut Wal<StdIo>, flavor: &str) {
+    pub(crate) fn install(wal: &mut Wal<StdIo>, flavor: &str) {
         wal.set_observer(Box::new(WalTelemetry {
             append_ns: metrics::histogram(&format!("server.wal.{flavor}.append.ns")),
             append_bytes: metrics::counter(&format!("server.wal.{flavor}.append.bytes")),
@@ -104,7 +104,7 @@ impl From<io::Error> for StoreError {
     }
 }
 
-fn invalid(msg: impl fmt::Display) -> io::Error {
+pub(crate) fn invalid(msg: impl fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
@@ -294,7 +294,7 @@ impl ResultStore {
                     let horizon = applied.entry(client).or_insert(0);
                     *horizon = (*horizon).max(seq);
                 }
-                WalEntry::Testcase(_) | WalEntry::Client { .. } => {
+                WalEntry::Testcase(_) | WalEntry::Client { .. } | WalEntry::Model(_) => {
                     return Err(invalid(format!(
                         "record {lsn}: foreign entry in a result journal"
                     )))
@@ -673,6 +673,7 @@ mod tests {
             user: user.into(),
             testcase: "t".into(),
             task: "IE".into(),
+            skill: "Typical".into(),
             outcome: RunOutcome::Exhausted,
             offset_secs: 10.0,
             last_levels: vec![],

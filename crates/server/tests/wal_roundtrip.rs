@@ -24,6 +24,7 @@ fn record(i: usize) -> RunRecord {
         user: format!("u{i}"),
         testcase: format!("t{}", i % 3),
         task: "Word".into(),
+        skill: "Typical".into(),
         outcome: if i.is_multiple_of(2) {
             RunOutcome::Discomfort
         } else {

@@ -136,6 +136,11 @@ impl ResultDatabase {
                         "record {lsn}: registry entry in a result journal"
                     )))
                 }
+                WalEntry::Model(_) => {
+                    return Err(invalid(format!(
+                        "record {lsn}: model entry in a result journal"
+                    )))
+                }
             }
         }
         Ok(Self::from_records(records))

@@ -10,6 +10,9 @@
 //! * [`frog`] — the §3.3.5 ramp-vs-step ("frog in the pot") analysis.
 //! * [`report`] — fixed-width table rendering and the paper-vs-measured
 //!   comparison report behind EXPERIMENTS.md.
+//! * [`closedloop`] — the closed-loop borrowing evaluation: the
+//!   server-aggregated comfort model driving a client-side
+//!   `BorrowingGovernor`, scored against fixed borrowing levels.
 //! * [`db`] — the Figure 2 analysis database: indexed, queryable run
 //!   records importable from the server's text store.
 //! * [`export`] — CSV series for every figure, for external plotting.
@@ -24,6 +27,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod closedloop;
 pub mod controlled;
 pub mod db;
 pub mod dynamics;
@@ -35,5 +39,6 @@ pub mod perception_study;
 pub mod report;
 pub mod skill;
 
+pub use closedloop::{ClosedLoop, ClosedLoopConfig, ClosedLoopData};
 pub use controlled::{ControlledStudy, StudyConfig, StudyData};
 pub use internet::{InternetStudy, InternetStudyConfig};

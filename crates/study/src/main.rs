@@ -5,7 +5,7 @@
 //! uucs-study [--seed N] [--users N] [--full-fidelity] <selector>...
 //!   selectors: fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
 //!              fig17 fig17rank fig18 frog compare internet dynamics
-//!              perception verify --all
+//!              perception closedloop verify --all
 //!   other:     export <dir>   (write every figure's CSV series)
 //! ```
 
@@ -174,6 +174,18 @@ fn main() {
                 )
             );
         }
+    }
+
+    if wants("closedloop") {
+        eprintln!("running the closed-loop borrowing evaluation ...");
+        let data = uucs_study::closedloop::ClosedLoop::new(
+            uucs_study::closedloop::ClosedLoopConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+        .run();
+        println!("{}", uucs_study::closedloop::render_closed_loop(&data));
     }
 
     if wants("perception") {

@@ -1,0 +1,99 @@
+//! Closed-loop adaptive borrowing, end to end.
+//!
+//! Boots a real TCP server, feeds it a population's uploads (building
+//! the server-side comfort model), then drives a
+//! [`BorrowingGovernor`](uucs::client::BorrowingGovernor) through the
+//! resilient transport: fetch advice, cap the exerciser, survive the
+//! server going away. Finishes with the borrowed-versus-discomfort
+//! frontier that shows where the governor landed.
+//!
+//! ```text
+//! cargo run --release --example adaptive_borrowing
+//! ```
+
+use std::sync::Arc;
+use uucs::client::{BorrowingGovernor, RefreshOutcome, ResilientTransport, UucsClient};
+use uucs::comfort::{calibration, Fidelity, UserPopulation};
+use uucs::protocol::MachineSnapshot;
+use uucs::server::{tcp, TestcaseStore, UucsServer};
+use uucs::study::closedloop::{render_closed_loop, ClosedLoop, ClosedLoopConfig};
+use uucs::testcase::{ExerciseSpec, Resource};
+use uucs::workloads::Task;
+
+fn main() {
+    let task = Task::Word;
+    let resource = Resource::Cpu;
+    let epsilon = 0.05;
+
+    // A real server over real TCP, with the Word calibration library.
+    let server = Arc::new(UucsServer::new(
+        TestcaseStore::from_testcases(calibration::controlled_testcases(task))
+            .expect("unique ids"),
+        2004,
+    ));
+    let handle = tcp::serve(server.clone(), "127.0.0.1:0").expect("bind");
+    eprintln!("server listening on {}", handle.addr());
+
+    // A small fleet uploads: this is what trains the comfort model.
+    eprintln!("uploading a 16-subject fleet's runs ...");
+    let population = UserPopulation::generate(16, 2004);
+    for (i, user) in population.users().iter().enumerate() {
+        let mut transport = ResilientTransport::new(handle.addr().to_string());
+        let mut client = UucsClient::new(
+            MachineSnapshot::study_machine(format!("borrower-{i:02}")),
+            i as u64,
+        );
+        client.register(&mut transport).expect("register");
+        for tc in calibration::controlled_testcases(task) {
+            client.perform_run(user, task, &tc, Fidelity::Fast, 77 + i as u64);
+        }
+        client.hot_sync(&mut transport).expect("upload");
+    }
+    eprintln!(
+        "model epoch {} after {} records",
+        server.model_epoch(),
+        server.result_count()
+    );
+
+    // The governor: ask for the highest level that keeps predicted
+    // discomfort under epsilon, and cap the exerciser with it.
+    let mut transport = ResilientTransport::new(handle.addr().to_string());
+    let mut governor = BorrowingGovernor::new(resource, task.name(), epsilon, 0.5);
+    let outcome = governor.refresh(&mut transport);
+    println!(
+        "governor refresh: {outcome:?} -> cap {:.3} at epoch {:?}",
+        governor.level(),
+        governor.epoch()
+    );
+    match governor.governed_spec(60.0) {
+        ExerciseSpec::Step { level, duration, .. } => println!(
+            "governed exerciser: steady step at contention {level:.3} for {duration}s"
+        ),
+        other => println!("governed exerciser: {other:?}"),
+    }
+    println!(
+        "a greedy request for contention 8.0 is capped to {:.3}",
+        governor.cap(8.0)
+    );
+
+    // Kill the server: the governor degrades to its cached model.
+    handle.shutdown();
+    drop(server);
+    let outcome = governor.refresh(&mut transport);
+    assert_eq!(outcome, RefreshOutcome::Offline);
+    println!(
+        "server gone: refresh -> {outcome:?}, cap {:.3} from the cached model (epoch {:?})",
+        governor.level(),
+        governor.epoch()
+    );
+
+    // The frontier: governor versus every fixed level, scored on a
+    // simulated population (see DESIGN.md section 5e).
+    eprintln!("\nscoring governor vs fixed levels ...");
+    let data = ClosedLoop::new(ClosedLoopConfig {
+        epsilon,
+        ..ClosedLoopConfig::default()
+    })
+    .run();
+    println!("{}", render_closed_loop(&data));
+}

@@ -40,8 +40,12 @@ cargo test -q --test telemetry_e2e
 echo "== wire fuzz (garbage/truncated/interleaved frames) =="
 cargo test -q --test wire_fuzz
 
-echo "== bench smoke (UUCS_BENCH_QUICK=1, all seven targets) =="
-for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead; do
+echo "== model service (sketch properties, e2e, closed-loop governor) =="
+cargo test -q -p uucs-modelsvc
+cargo test -q --test modelsvc_e2e
+
+echo "== bench smoke (UUCS_BENCH_QUICK=1, all eight targets) =="
+for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc; do
     echo "-- $bench --"
     UUCS_BENCH_QUICK=1 cargo bench -p uucs-bench --bench "$bench"
 done
@@ -53,7 +57,7 @@ summary=BENCH_SUMMARY.json
 {
     printf '{\n'
     first=1
-    for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead; do
+    for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc; do
         report="target/uucs-bench/$bench.json"
         [ -f "$report" ] || continue
         [ "$first" -eq 1 ] || printf ',\n'

@@ -17,6 +17,9 @@
 //! * [`comfort`] — the core contribution: synthetic user comfort models,
 //!   the run engine, comfort metrics (`f_d`, `c_p`, `c_a`), and the
 //!   throttle advisor.
+//! * [`modelsvc`] — mergeable streaming quantile sketches and the
+//!   cohort-keyed comfort model behind the `MODEL`/`ADVICE` verbs and
+//!   the client's closed-loop borrowing governor.
 //! * [`protocol`] — the client/server text record formats and framing.
 //! * [`server`] / [`client`] — the distributed measurement application.
 //! * [`study`] — the controlled-study and Internet-study drivers plus the
@@ -30,6 +33,7 @@
 pub use uucs_client as client;
 pub use uucs_comfort as comfort;
 pub use uucs_exercisers as exercisers;
+pub use uucs_modelsvc as modelsvc;
 pub use uucs_protocol as protocol;
 pub use uucs_server as server;
 pub use uucs_sim as sim;

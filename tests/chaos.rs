@@ -416,3 +416,98 @@ fn dead_server_session_spools_offline() {
     client.persist(&store).unwrap();
     assert_eq!(store.load_pending().unwrap().len(), 3, "records not spooled");
 }
+
+/// The borrowing governor under chaos: `ADVICE`/`MODEL` refreshes
+/// through a 10% mixed-fault proxy never panic and never regress to a
+/// stale epoch — even when the model advances mid-session — and once
+/// the server is fully black-holed the governor degrades to its cached
+/// model snapshot instead of hanging or erroring.
+#[test]
+fn governor_survives_chaos_and_degrades_to_cached_model() {
+    use uucs::client::{BorrowingGovernor, RefreshOutcome};
+    use uucs::testcase::Resource;
+
+    let server = plain_server();
+    let handle = tcp::serve(server.clone(), "127.0.0.1:0").unwrap();
+
+    // Trains the model over a healthy link: each subject runs every
+    // Word calibration testcase and uploads.
+    let train = |subjects: std::ops::Range<usize>, seed: u64| {
+        let mut transport = snappy_transport(handle.addr(), seed);
+        let pop = UserPopulation::generate(8, 0xfeed);
+        for i in subjects {
+            let mut client =
+                UucsClient::new(MachineSnapshot::study_machine(format!("gov-{i}")), seed + i as u64);
+            client.register(&mut transport).expect("healthy link");
+            for tc in calibration::controlled_testcases(Task::Word) {
+                client.perform_run(&pop.users()[i], Task::Word, &tc, Fidelity::Fast, seed ^ i as u64);
+            }
+            client.hot_sync(&mut transport).expect("upload");
+        }
+        transport.bye();
+    };
+    train(0..3, 1000);
+    let first_epoch = server.model_epoch();
+    assert!(first_epoch > 0, "training must build a model");
+
+    // Phase 1: a 10% mixed-fault proxy between governor and server.
+    let policy = ChaosPolicy {
+        rate: 0.1,
+        faults: vec![
+            FaultKind::Drop,
+            FaultKind::Delay,
+            FaultKind::Truncate,
+            FaultKind::BlackHole,
+            FaultKind::Reset,
+        ],
+        seed: 0x907,
+        delay: Duration::from_millis(10),
+        ..ChaosPolicy::transparent()
+    }
+    .with_budget(8)
+    .with_label("governor");
+    let proxy = ChaosProxy::start(handle.addr(), policy).unwrap();
+    let mut transport = snappy_transport(proxy.addr(), 0x907);
+
+    let mut governor = BorrowingGovernor::new(Resource::Cpu, "Word", 0.1, 0.0);
+    let mut newest = 0u64;
+    for round in 0..10 {
+        // The model advances mid-session; a chaos-delayed duplicate of
+        // an older reply must never roll the governor back.
+        if round == 5 {
+            train(3..6, 2000);
+            assert!(server.model_epoch() > first_epoch);
+        }
+        let _ = governor.refresh(&mut transport); // must never panic
+        if let Some(epoch) = governor.epoch() {
+            assert!(epoch >= newest, "epoch regressed: {epoch} < {newest}");
+            newest = epoch;
+        }
+    }
+    assert!(
+        newest > first_epoch,
+        "refreshes after the mid-session training must adopt the newer epoch"
+    );
+    let cached = governor
+        .cached_model()
+        .expect("an adopted refresh caches the sketch")
+        .clone();
+    proxy.shutdown();
+
+    // Phase 2: the server black-holed — every refresh times out fast,
+    // reports Offline, and pins the cap to the cached model's advice.
+    let blackhole = ChaosProxy::start(
+        handle.addr(),
+        ChaosPolicy::only(FaultKind::BlackHole, 1.0, 7).with_label("governor_bh"),
+    )
+    .unwrap();
+    let mut dead = ResilientTransport::new(blackhole.addr().to_string())
+        .with_timeout(Duration::from_millis(200))
+        .with_policy(snappy_policy(7));
+    let expected = cached.advice_level(0.1).expect("trained sketch advises");
+    assert_eq!(governor.refresh(&mut dead), RefreshOutcome::Offline);
+    assert_eq!(governor.level(), expected, "offline cap comes from the cache");
+    assert_eq!(governor.epoch(), Some(newest), "offline keeps the adopted epoch");
+    blackhole.shutdown();
+    handle.shutdown();
+}

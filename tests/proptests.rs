@@ -219,6 +219,7 @@ proptest! {
             user: "u-1".into(),
             testcase: "tc-1".into(),
             task: "IE".into(),
+            skill: "Typical".into(),
             outcome: if discomfort { RunOutcome::Discomfort } else { RunOutcome::Exhausted },
             offset_secs: offset,
             last_levels: vec![(Resource::Cpu, levels)],

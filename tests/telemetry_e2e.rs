@@ -38,12 +38,15 @@ fn wal_server(dir: &std::path::Path) -> Arc<UucsServer> {
     let (mut testcases, _) = TestcaseStore::open_wal(&dir.join("testcases"), WAL_CFG).unwrap();
     let (results, _) = ResultStore::open_wal(&dir.join("results"), WAL_CFG).unwrap();
     let (registry, _) = RegistryStore::open_wal(&dir.join("registry"), WAL_CFG).unwrap();
+    let (models, _) = uucs::server::ModelStore::open_wal(&dir.join("models"), WAL_CFG).unwrap();
     if testcases.is_empty() {
         for tc in calibration::controlled_testcases(Task::Word) {
             testcases.add(tc).unwrap();
         }
     }
-    Arc::new(UucsServer::with_all_stores(testcases, results, registry, 7))
+    Arc::new(
+        UucsServer::with_all_stores(testcases, results, registry, 7).with_model_store(models),
+    )
 }
 
 /// Registers, runs a few testcases, and hot-syncs the results up.
@@ -193,6 +196,71 @@ fn connection_cap_rejects_politely_and_gauge_drains_to_zero() {
         "gauge should drain with the tracker"
     );
     handle.shutdown();
+}
+
+/// Model-service telemetry: uploads drive the `modelsvc.*` gauge and
+/// histogram, and the `MODEL`/`ADVICE` verbs are counted and timed like
+/// every other verb — all visible through the STATS payload.
+#[test]
+fn model_service_metrics_cover_verbs_epoch_and_update_latency() {
+    use uucs::server::ModelStore;
+    use uucs::testcase::Resource;
+
+    let _guard = serialize();
+    let dir = TempDir::new("uucs-telemetry-model");
+    let server = wal_server(dir.path());
+    let mut transport = LocalTransport::new(server.clone());
+    drive_session(&mut transport, 43);
+
+    // The upload path updated the model: the epoch gauge tracks the
+    // store and the update histogram recorded one timing per batch.
+    let epoch = server.model_epoch();
+    assert!(epoch > 0, "uploads must advance the model");
+    assert_eq!(metrics::gauge("modelsvc.epoch").get(), epoch as i64);
+    assert!(metrics::histogram("modelsvc.update.ns").count() > 0);
+    assert!(metrics::counter("modelsvc.observations").get() > 0);
+
+    // MODEL and ADVICE are first-class verbs in the telemetry.
+    for resource in [Resource::Cpu, Resource::Memory] {
+        transport
+            .exchange(&ClientMsg::Model {
+                resource,
+                task: None,
+            })
+            .expect("model query");
+    }
+    transport
+        .exchange(&ClientMsg::Advice {
+            resource: Resource::Cpu,
+            task: "Word".into(),
+            epsilon: 0.05,
+        })
+        .expect("advice query");
+    assert_eq!(metrics::counter("server.verb.model.count").get(), 2);
+    assert_eq!(metrics::counter("server.verb.advice.count").get(), 1);
+    assert!(metrics::histogram("server.verb.model.ns").count() >= 2);
+
+    // All of it shows up in the STATS payload.
+    let ServerMsg::Stats(json) = transport
+        .exchange(&ClientMsg::Stats { reset: false })
+        .expect("stats")
+    else {
+        panic!("expected STATS reply");
+    };
+    for key in [
+        "\"server.verb.model.count\"",
+        "\"server.verb.advice.count\"",
+        "\"modelsvc.epoch\"",
+        "\"modelsvc.update.ns\"",
+    ] {
+        assert!(json.contains(key), "STATS JSON missing {key}: {json}");
+    }
+    // A recovered boot from the same WAL re-arms the gauge without
+    // replaying the uploads.
+    metrics::reset();
+    let (recovered, _) = ModelStore::open_wal(&dir.path().join("models"), WAL_CFG).unwrap();
+    assert_eq!(recovered.epoch(), epoch);
+    assert_eq!(metrics::gauge("modelsvc.epoch").get(), epoch as i64);
 }
 
 /// Runs a simulated machine that emits one flight event per nap, with

@@ -16,6 +16,7 @@ fn sample_record(i: u64) -> RunRecord {
         user: format!("u{i}"),
         testcase: format!("t{i}"),
         task: "Word".into(),
+        skill: "Typical".into(),
         outcome: RunOutcome::Discomfort,
         offset_secs: i as f64,
         last_levels: vec![(Resource::Cpu, vec![1.0, 2.0])],
@@ -25,14 +26,14 @@ fn sample_record(i: u64) -> RunRecord {
 
 /// A valid client-message byte stream, selected by index.
 fn client_msg(which: u64) -> ClientMsg {
-    match which % 4 {
+    match which % 6 {
         0 => ClientMsg::Register {
             snapshot: MachineSnapshot::study_machine("fuzz"),
             token: "tok-fuzz".into(),
         },
         1 => ClientMsg::Sync {
             client: "client-0001".into(),
-            have: (which / 4) as usize,
+            have: (which / 6) as usize,
             want: 8,
         },
         2 => ClientMsg::Upload {
@@ -40,15 +41,49 @@ fn client_msg(which: u64) -> ClientMsg {
             seq: which,
             records: vec![sample_record(which), sample_record(which + 1)],
         },
+        3 => ClientMsg::Model {
+            resource: Resource::Cpu,
+            task: if which.is_multiple_of(2) {
+                None
+            } else {
+                Some("Word".into())
+            },
+        },
+        4 => ClientMsg::Advice {
+            resource: Resource::Disk,
+            task: "Quake".into(),
+            epsilon: 0.05,
+        },
         _ => ClientMsg::Bye,
     }
 }
 
+/// A valid, non-empty sketch token for [`ServerMsg::Model`] fuzz frames.
+fn sample_sketch(which: u64) -> uucs::modelsvc::QuantileSketch {
+    let mut sketch = uucs::modelsvc::QuantileSketch::for_resource(Resource::Cpu);
+    sketch.insert((which % 10) as f64);
+    sketch.insert_censored();
+    sketch
+}
+
 fn server_msg(which: u64) -> ServerMsg {
-    match which % 4 {
+    match which % 6 {
         0 => ServerMsg::id("client-0001"),
         1 => ServerMsg::Testcases(vec![]),
-        2 => ServerMsg::Ack((which / 4) as usize),
+        2 => ServerMsg::Ack((which / 6) as usize),
+        3 => {
+            let sketch = sample_sketch(which);
+            ServerMsg::Model {
+                epoch: which,
+                observed: sketch.observed(),
+                censored: sketch.censored(),
+                sketch: sketch.encode(),
+            }
+        }
+        4 => ServerMsg::Advice {
+            epoch: which,
+            level: (which % 7) as f64 + 0.5,
+        },
         _ => ServerMsg::Error("fuzzed".into()),
     }
 }
