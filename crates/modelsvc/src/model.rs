@@ -227,6 +227,19 @@ impl ComfortModel {
         self.cohorts.iter()
     }
 
+    /// Reassembles a model from an epoch counter and cohort sketches —
+    /// the inverse of [`ComfortModel::into_parts`]. Used by the server's
+    /// shard-migration path, which repartitions cohorts by hash without
+    /// replaying the original observations (the sketches are the state).
+    pub fn from_parts(epoch: u64, cohorts: BTreeMap<CohortKey, QuantileSketch>) -> Self {
+        ComfortModel { epoch, cohorts }
+    }
+
+    /// Decomposes the model into its epoch and cohort sketches.
+    pub fn into_parts(self) -> (u64, BTreeMap<CohortKey, QuantileSketch>) {
+        (self.epoch, self.cohorts)
+    }
+
     /// Stamps a batch of observations as the *next* epoch's delta. The
     /// caller journals the delta, then [`ComfortModel::apply`]s it.
     pub fn next_delta(&self, observations: Vec<Observation>) -> ModelDelta {

@@ -29,11 +29,15 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod commit;
 pub mod models;
 pub mod server;
+pub mod shard;
 pub mod store;
 pub mod tcp;
 
+pub use commit::{CommitTicket, GroupCommitter, StoreFlavor};
 pub use models::ModelStore;
 pub use server::UucsServer;
+pub use shard::{shard_of, Sharded, StoreSet};
 pub use store::{BatchStatus, RegistryStore, ResultStore, StoreError, TestcaseStore};

@@ -4,6 +4,8 @@
 //! ```text
 //! uucs-server [--addr 127.0.0.1:4004] [--library FILE] [--data DIR]
 //!             [--generate-library N-seed] [--wal] [--sync POLICY]
+//!             [--shards N] [--commit-interval-us N]
+//!             [--max-conns N] [--workers N] [--engine pool|threads]
 //! ```
 //!
 //! With `--library`, serves the testcases in the given text file; with
@@ -14,15 +16,35 @@
 //! — the paper's design, which can lose up to 30 s of acknowledged
 //! uploads on a crash. With `--wal`, the stores journal through a
 //! write-ahead log under `--data` (`wal/testcases/`, `wal/results/`,
-//! `wal/registry/`): every acknowledged mutation — including client
-//! registrations and per-client upload dedup horizons — is recovered on
-//! restart, and the 30 s tick compacts the journal instead of rewriting
-//! the world. `--sync` picks the fsync policy: `always` (default),
-//! `every=N`, or `never`.
+//! `wal/registry/`, `wal/models/`): every acknowledged mutation —
+//! including client registrations and per-client upload dedup horizons —
+//! is recovered on restart, and the 30 s tick compacts the journal
+//! instead of rewriting the world. `--sync` picks the fsync policy:
+//! `always` (default), `every=N`, or `never`.
+//!
+//! Engine knobs:
+//!
+//! * `--shards N` splits every store (and its journal) into N
+//!   hash-routed shards, each behind its own lock and WAL segment
+//!   stream. Restarting with a different N migrates the layout;
+//!   state is preserved exactly.
+//! * `--commit-interval-us N` turns on group commit: appends stop
+//!   fsyncing individually and a dedicated commit thread batches all
+//!   pending appends into one fsync per shard every N microseconds.
+//!   Acks still wait for the fsync — same durability, amortized cost.
+//! * `--max-conns N`, `--workers N`, `--engine pool|threads` tune the
+//!   TCP front end (worker pool over nonblocking sockets by default;
+//!   `threads` restores one-thread-per-connection).
+//!
+//! All engine settings are surfaced in `STATS` as `server.config.*`
+//! gauges.
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use uucs_server::{tcp, ModelStore, RegistryStore, ResultStore, TestcaseStore, UucsServer};
+use std::time::Duration;
+use uucs_server::tcp::{EngineMode, ServeConfig};
+use uucs_server::{tcp, StoreSet, TestcaseStore, UucsServer};
+use uucs_telemetry::metrics;
 use uucs_wal::{SyncPolicy, WalConfig};
 
 fn main() {
@@ -32,6 +54,9 @@ fn main() {
     let mut gen_seed: Option<u64> = None;
     let mut wal = false;
     let mut sync = SyncPolicy::Always;
+    let mut shards: usize = 1;
+    let mut commit_interval_us: u64 = 0;
+    let mut serve_config = ServeConfig::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +90,54 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --shards (want an integer >= 1)");
+                        std::process::exit(2);
+                    });
+            }
+            "--commit-interval-us" => {
+                i += 1;
+                commit_interval_us = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --commit-interval-us (want microseconds, 0 disables)");
+                    std::process::exit(2);
+                });
+            }
+            "--max-conns" => {
+                i += 1;
+                serve_config.max_connections = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --max-conns (want an integer >= 1)");
+                        std::process::exit(2);
+                    });
+            }
+            "--workers" => {
+                i += 1;
+                serve_config.workers =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("bad --workers (want an integer, 0 = auto)");
+                        std::process::exit(2);
+                    });
+            }
+            "--engine" => {
+                i += 1;
+                serve_config.engine = match args.get(i).map(String::as_str) {
+                    Some("pool") => EngineMode::WorkerPool,
+                    Some("threads") => EngineMode::ThreadPerConn,
+                    _ => {
+                        eprintln!("bad --engine (want pool or threads)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -72,6 +145,21 @@ fn main() {
         }
         i += 1;
     }
+    if commit_interval_us > 0 && !wal {
+        eprintln!("--commit-interval-us needs --wal (group commit batches journal fsyncs)");
+        std::process::exit(2);
+    }
+
+    // Surface the engine configuration in STATS so fleet drivers can
+    // confirm what they are actually talking to.
+    metrics::gauge("server.config.shards").set(shards as i64);
+    metrics::gauge("server.config.max_connections").set(serve_config.max_connections as i64);
+    metrics::gauge("server.config.workers").set(serve_config.workers as i64);
+    metrics::gauge("server.config.commit_interval_us").set(commit_interval_us as i64);
+    metrics::gauge("server.config.engine_pool").set(i64::from(matches!(
+        serve_config.engine,
+        EngineMode::WorkerPool
+    )));
 
     let seed_library = || -> Vec<uucs_testcase::Testcase> {
         if let Some(path) = &library {
@@ -92,32 +180,24 @@ fn main() {
     };
 
     let server = if wal {
+        // Under group commit the per-append policy is Never: the commit
+        // thread owns durability (one batched fsync per shard, acks wait
+        // on the watermark).
         let config = WalConfig {
-            sync,
+            sync: if commit_interval_us > 0 {
+                SyncPolicy::Never
+            } else {
+                sync
+            },
             ..WalConfig::default()
         };
-        eprintln!("recovering journals under {:?} ...", data.join("wal"));
-        let (mut testcases, tc_rec) =
-            TestcaseStore::open_wal(&data.join("wal/testcases"), config).unwrap_or_else(|e| {
-                eprintln!("testcase journal is unrecoverable: {e}");
+        eprintln!("recovering journals under {:?} ({shards} shard(s)) ...", data.join("wal"));
+        let (stores, recoveries) =
+            StoreSet::open(&data.join("wal"), config, shards).unwrap_or_else(|e| {
+                eprintln!("journal is unrecoverable: {e}");
                 std::process::exit(1);
             });
-        let (results, res_rec) =
-            ResultStore::open_wal(&data.join("wal/results"), config).unwrap_or_else(|e| {
-                eprintln!("result journal is unrecoverable: {e}");
-                std::process::exit(1);
-            });
-        let (registry, reg_rec) =
-            RegistryStore::open_wal(&data.join("wal/registry"), config).unwrap_or_else(|e| {
-                eprintln!("registry journal is unrecoverable: {e}");
-                std::process::exit(1);
-            });
-        let (models, mdl_rec) =
-            ModelStore::open_wal(&data.join("wal/models"), config).unwrap_or_else(|e| {
-                eprintln!("model journal is unrecoverable: {e}");
-                std::process::exit(1);
-            });
-        for r in [&tc_rec, &res_rec, &reg_rec, &mdl_rec] {
+        for r in &recoveries {
             if let Some(t) = &r.torn_tail {
                 eprintln!(
                     "  truncated a torn append in {} ({} bytes, {})",
@@ -125,18 +205,19 @@ fn main() {
                 );
             }
         }
-        if testcases.is_empty() {
+        let mut server = UucsServer::with_store_set(stores, 0x5e17);
+        if commit_interval_us > 0 {
+            server = server.with_group_commit(Duration::from_micros(commit_interval_us));
+        }
+        let server = Arc::new(server);
+        if server.testcase_count() == 0 {
             for tc in seed_library() {
-                if let Err(e) = testcases.add(tc) {
+                if let Err(e) = server.add_testcase(tc) {
                     eprintln!("cannot seed library: {e}");
                     std::process::exit(1);
                 }
             }
         }
-        let server = Arc::new(
-            UucsServer::with_all_stores(testcases, results, registry, 0x5e17)
-                .with_model_store(models),
-        );
         eprintln!(
             "recovered {} testcases, {} results, {} clients, model epoch {} (sync policy {sync})",
             server.testcase_count(),
@@ -154,7 +235,7 @@ fn main() {
     };
 
     eprintln!("serving {} testcases on {addr}", server.testcase_count());
-    let handle = tcp::serve(server.clone(), &addr).unwrap_or_else(|e| {
+    let handle = tcp::serve_with(server.clone(), &addr, serve_config).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");
         std::process::exit(1);
     });

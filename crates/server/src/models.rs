@@ -241,6 +241,43 @@ impl ModelStore {
         self.model.merged(resource, task)
     }
 
+    /// The LSN the next journal append would get (`None` in plain mode)
+    /// — the group-commit durability watermark.
+    pub fn wal_next_lsn(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.next_lsn())
+    }
+
+    /// Forces everything journaled so far to stable storage, returning
+    /// the covered watermark. `Ok(0)` in plain mode.
+    pub fn sync_wal(&mut self) -> io::Result<u64> {
+        match &mut self.wal {
+            Some(wal) => {
+                wal.sync()?;
+                Ok(wal.next_lsn())
+            }
+            None => Ok(0),
+        }
+    }
+
+    /// Consumes the store, yielding the model (shard migration).
+    pub fn into_model(self) -> ComfortModel {
+        self.model
+    }
+
+    /// Replaces the model wholesale and, in durable mode, checkpoints it
+    /// immediately — the shard-migration path, where the new state does
+    /// not arrive as deltas. The snapshot supersedes any journal tail,
+    /// so a reopened store serves exactly the installed model.
+    pub fn install_model(&mut self, model: ComfortModel) -> io::Result<()> {
+        self.model = model;
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        model_metrics().epoch.set(self.model.epoch() as i64);
+        if self.wal.is_some() {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
     /// Folds the journal into a full-model checkpoint and deletes the
     /// segments it covers. Returns `false` (doing nothing) in plain mode.
     pub fn compact(&mut self) -> io::Result<bool> {

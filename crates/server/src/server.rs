@@ -1,12 +1,30 @@
-//! The server's message handler and registry.
+//! The server's message handler and registry, over sharded stores.
+//!
+//! Requests route to a shard by a stable hash of their key (client id,
+//! testcase id — see [`crate::shard`]), so unrelated clients never
+//! contend on a lock. With group commit enabled
+//! ([`UucsServer::with_group_commit`]) the durable verbs split into two
+//! halves: [`UucsServer::handle_deferred`] appends under the shard lock
+//! and returns a [`CommitTicket`] alongside the provisional reply, and
+//! the caller redeems the ticket (blocking [`GroupCommitter::wait`] in
+//! `Endpoint::handle`, nonblocking `poll` in the worker-pool front end)
+//! before the client sees the ack — preserving the invariant that an
+//! `Ack` means "journaled on stable storage".
 
+use crate::commit::{CommitTicket, GroupCommitter, StoreFlavor};
 use crate::models::{observations_of, ModelStore};
-use crate::store::{BatchStatus, RegistryStore, ResultStore, TestcaseStore};
-use std::sync::{OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use crate::shard::{Sharded, StoreSet};
+use crate::store::{BatchStatus, RegistryStore, ResultStore, StoreError, TestcaseStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use uucs_modelsvc::QuantileSketch;
 use uucs_protocol::wire::Endpoint;
 use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg};
 use uucs_stats::Pcg64;
-use uucs_telemetry::{metrics, Counter, Histogram};
+use uucs_telemetry::{metrics, Counter, Gauge, Histogram};
+use uucs_testcase::format as tcformat;
 
 /// Pre-registered telemetry handles for one wire verb: request count,
 /// error count, handling-latency histogram. Registered once at first
@@ -51,51 +69,67 @@ fn server_metrics() -> &'static ServerMetrics {
     })
 }
 
-/// Reads a store lock, recovering from poisoning.
-///
-/// A poisoned lock means some handler panicked mid-update. The stores
-/// are append-only collections whose elements are written before being
-/// linked in, so a reader can never observe torn data — recovery by
-/// `into_inner` is safe for observers. Mutating protocol paths instead
-/// surface the poisoning to the client as a recoverable
-/// [`ServerMsg::Error`] via [`UucsServer::try_write`].
-fn read_recovered<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(PoisonError::into_inner)
+/// Per-shard occupancy gauges, pre-registered so the hot paths pay one
+/// atomic store. `server.shard.results.<i>.records` and
+/// `server.shard.registry.<i>.clients`.
+struct ShardGauges {
+    results: Vec<Gauge>,
+    registry: Vec<Gauge>,
+}
+
+impl ShardGauges {
+    fn new(stores: &StoreSet) -> Self {
+        let results: Vec<Gauge> = (0..stores.results.count())
+            .map(|i| metrics::gauge(&format!("server.shard.results.{i}.records")))
+            .collect();
+        let registry: Vec<Gauge> = (0..stores.registry.count())
+            .map(|i| metrics::gauge(&format!("server.shard.registry.{i}.clients")))
+            .collect();
+        for (i, g) in results.iter().enumerate() {
+            g.set(stores.results.read(i).len() as i64);
+        }
+        for (i, g) in registry.iter().enumerate() {
+            g.set(stores.registry.read(i).len() as i64);
+        }
+        ShardGauges { results, registry }
+    }
+}
+
+/// The error a mutating verb reports when its shard's lock was poisoned
+/// by an earlier panic. The shard has already healed for the next
+/// request (see [`Sharded::try_write`]).
+fn poisoned(what: &str) -> ServerMsg {
+    ServerMsg::Error(format!(
+        "internal: {what} store was poisoned by an earlier panic; recovered, retry"
+    ))
 }
 
 /// The UUCS server state. Thread-safe: the TCP front end shares one
-/// instance across connections.
+/// instance across connections; each verb locks only the one shard its
+/// key routes to.
 pub struct UucsServer {
-    testcases: RwLock<TestcaseStore>,
-    results: RwLock<ResultStore>,
-    registry: RwLock<RegistryStore>,
-    models: RwLock<ModelStore>,
+    stores: Arc<StoreSet>,
+    /// Group-commit coordinator (None = the stores fsync per their own
+    /// `SyncPolicy`, as before).
+    committer: Option<Arc<GroupCommitter>>,
+    commit_thread: Option<JoinHandle<()>>,
     /// When false, the `UPLOAD` path skips comfort-model updates (the
     /// `MODEL`/`ADVICE` verbs then serve a frozen — typically empty —
     /// model). Benchmarks use this to isolate the update cost.
     model_updates: bool,
     /// Seed for the per-client sampling permutations.
     sample_seed: u64,
+    /// Last assigned client-id number; ids are globally unique across
+    /// shards, so assignment is a global atomic, not a per-shard count.
+    next_client: AtomicU64,
+    /// Serializes registrations: token dedup must scan every shard
+    /// before a new id is minted, and two concurrent registrations with
+    /// the same token must not both mint.
+    reg_lock: Mutex<()>,
+    shard_gauges: ShardGauges,
 }
 
 impl UucsServer {
-    /// Write-locks `lock` for a protocol mutation, mapping poisoning to
-    /// the error the wire protocol reports instead of propagating the
-    /// panic to every future connection. The poison flag is cleared so
-    /// the server heals: the failed request sees an error, the next one
-    /// proceeds.
-    fn try_write<'a, T>(
-        &self,
-        lock: &'a RwLock<T>,
-        what: &str,
-    ) -> Result<RwLockWriteGuard<'a, T>, ServerMsg> {
-        lock.write().map_err(|_| {
-            lock.clear_poison();
-            ServerMsg::Error(format!(
-                "internal: {what} store was poisoned by an earlier panic; recovered, retry"
-            ))
-        })
-    }
     /// Creates a server around a testcase library, with a fresh
     /// non-durable result store.
     pub fn new(testcases: TestcaseStore, sample_seed: u64) -> Self {
@@ -113,27 +147,52 @@ impl UucsServer {
     /// Creates a server around all three stores, including a (typically
     /// WAL-recovered) client registry, so a restarted server still
     /// recognizes every id it handed out and every client's upload
-    /// dedup horizon.
+    /// dedup horizon. Single-shard: the legacy layout.
     pub fn with_all_stores(
         testcases: TestcaseStore,
         results: ResultStore,
         registry: RegistryStore,
         sample_seed: u64,
     ) -> Self {
+        Self::with_store_set(
+            StoreSet::from_single(testcases, results, registry, ModelStore::new()),
+            sample_seed,
+        )
+    }
+
+    /// Creates a server over an explicit (typically sharded, see
+    /// [`StoreSet::open`]) store set.
+    pub fn with_store_set(stores: StoreSet, sample_seed: u64) -> Self {
+        let stores = Arc::new(stores);
+        let mut max_id = 0u64;
+        for i in 0..stores.registry.count() {
+            for (id, _) in stores.registry.read(i).all() {
+                if let Some(n) = id.strip_prefix("client-").and_then(|s| s.parse::<u64>().ok()) {
+                    max_id = max_id.max(n);
+                }
+            }
+        }
+        let shard_gauges = ShardGauges::new(&stores);
         UucsServer {
-            testcases: RwLock::new(testcases),
-            results: RwLock::new(results),
-            registry: RwLock::new(registry),
-            models: RwLock::new(ModelStore::new()),
+            stores,
+            committer: None,
+            commit_thread: None,
             model_updates: true,
             sample_seed,
+            next_client: AtomicU64::new(max_id),
+            reg_lock: Mutex::new(()),
+            shard_gauges,
         }
     }
 
     /// Replaces the comfort-model store — the entry point for WAL-backed
-    /// model durability, paired with the data stores' `open_wal`.
+    /// model durability, paired with the data stores' `open_wal`. Must
+    /// run before [`UucsServer::with_group_commit`] (the committer
+    /// captures the store set).
     pub fn with_model_store(mut self, models: ModelStore) -> Self {
-        self.models = RwLock::new(models);
+        let set = Arc::get_mut(&mut self.stores)
+            .expect("install the model store before starting group commit");
+        set.models = Sharded::new(vec![models]);
         self
     }
 
@@ -145,113 +204,183 @@ impl UucsServer {
         self
     }
 
-    /// The comfort model's current epoch.
+    /// Starts the group-commit thread: store WALs should then run at
+    /// `SyncPolicy::Never`, and every durable verb's ack waits for the
+    /// committer's batched fsync instead of paying its own. `interval`
+    /// is the gathering window per fsync pass.
+    pub fn with_group_commit(mut self, interval: Duration) -> Self {
+        let (committer, handle) = GroupCommitter::start(self.stores.clone(), interval);
+        self.committer = Some(committer);
+        self.commit_thread = Some(handle);
+        self
+    }
+
+    /// The group-commit coordinator, when enabled — the worker-pool
+    /// front end polls it to finish deferred acks without blocking.
+    pub fn group_committer(&self) -> Option<Arc<GroupCommitter>> {
+        self.committer.clone()
+    }
+
+    /// The store shard count (all families open with the same count).
+    pub fn shard_count(&self) -> usize {
+        self.stores.results.count()
+    }
+
+    /// The comfort model's current epoch: the sum over shards (each
+    /// shard mints its own epochs; only the sum — still monotone — is
+    /// client-visible).
     pub fn model_epoch(&self) -> u64 {
-        read_recovered(&self.models).epoch()
+        (0..self.stores.models.count())
+            .map(|i| self.stores.models.read(i).epoch())
+            .sum()
     }
 
     /// The merged comfort-model sketch for a resource (optionally one
-    /// task) — offline analysis and test cross-checks.
+    /// task) — offline analysis and test cross-checks. Merges across
+    /// shards; sketch merges are exact, so sharding is invisible here.
     pub fn model_sketch(
         &self,
         resource: uucs_testcase::Resource,
         task: Option<&str>,
-    ) -> uucs_modelsvc::QuantileSketch {
-        read_recovered(&self.models).merged_sketch(resource, task)
+    ) -> QuantileSketch {
+        let guards = self.stores.models.read_all();
+        let mut out = QuantileSketch::for_resource(resource);
+        for g in &guards {
+            out.merge(&g.merged_sketch(resource, task))
+                .expect("shard sketches of one resource share a config");
+        }
+        out
     }
 
     /// Adds a testcase to the library at runtime ("new testcases ... can
     /// be added to the server at any time"). Rejects duplicates; with a
-    /// WAL-backed store the addition is durable once this returns `Ok`.
-    pub fn add_testcase(&self, tc: uucs_testcase::Testcase) -> Result<(), crate::store::StoreError> {
-        self.testcases
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .add(tc)
+    /// WAL-backed store the addition is durable once this returns `Ok`
+    /// (under group commit, this waits for the covering fsync).
+    pub fn add_testcase(&self, tc: uucs_testcase::Testcase) -> Result<(), StoreError> {
+        let shard = self.stores.testcases.shard_for(tc.id.as_str());
+        let mut guard = self.stores.testcases.write_recovered(shard);
+        guard.add(tc)?;
+        let lsn = guard.wal_next_lsn();
+        drop(guard);
+        if let Some(ticket) = self.ticket(StoreFlavor::Testcases, shard, lsn) {
+            self.committer
+                .as_ref()
+                .expect("ticket implies committer")
+                .wait(ticket)
+                .map_err(|e| StoreError::Io(crate::store::invalid(e)))?;
+        }
+        Ok(())
     }
 
     /// Folds every store's journal into a checkpoint and drops the
     /// covered segments. A no-op (returning `false`) for plain stores.
     pub fn compact(&self) -> std::io::Result<bool> {
-        let a = self
-            .testcases
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .compact()?;
-        let b = self
-            .results
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .compact()?;
-        let c = self
-            .registry
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .compact()?;
-        let d = self
-            .models
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .compact()?;
-        Ok(a || b || c || d)
+        let mut any = false;
+        for i in 0..self.stores.testcases.count() {
+            any |= self.stores.testcases.write_recovered(i).compact()?;
+        }
+        for i in 0..self.stores.results.count() {
+            any |= self.stores.results.write_recovered(i).compact()?;
+        }
+        for i in 0..self.stores.registry.count() {
+            any |= self.stores.registry.write_recovered(i).compact()?;
+        }
+        for i in 0..self.stores.models.count() {
+            any |= self.stores.models.write_recovered(i).compact()?;
+        }
+        Ok(any)
     }
 
     /// Number of testcases in the library.
     pub fn testcase_count(&self) -> usize {
-        read_recovered(&self.testcases).len()
+        (0..self.stores.testcases.count())
+            .map(|i| self.stores.testcases.read(i).len())
+            .sum()
     }
 
     /// Number of uploaded result records.
     pub fn result_count(&self) -> usize {
-        read_recovered(&self.results).len()
+        (0..self.stores.results.count())
+            .map(|i| self.stores.results.read(i).len())
+            .sum()
     }
 
-    /// Snapshot of all uploaded results (cloned).
+    /// Snapshot of all uploaded results (cloned), shard order.
     pub fn results(&self) -> Vec<uucs_protocol::RunRecord> {
-        read_recovered(&self.results).all().to_vec()
+        let mut out = Vec::new();
+        for g in self.stores.results.read_all() {
+            out.extend(g.all().iter().cloned());
+        }
+        out
     }
 
     /// Number of registered clients.
     pub fn client_count(&self) -> usize {
-        read_recovered(&self.registry).len()
+        (0..self.stores.registry.count())
+            .map(|i| self.stores.registry.read(i).len())
+            .sum()
     }
 
     /// The registered snapshot for a client id.
     pub fn snapshot_of(&self, client: &str) -> Option<MachineSnapshot> {
-        read_recovered(&self.registry).get(client).cloned()
+        let shard = self.stores.registry.shard_for(client);
+        self.stores.registry.read(shard).get(client).cloned()
     }
 
     /// The highest upload batch sequence number applied for a client.
     pub fn applied_seq(&self, client: &str) -> u64 {
-        read_recovered(&self.results).applied_seq(client)
+        let shard = self.stores.results.shard_for(client);
+        self.stores.results.read(shard).applied_seq(client)
     }
 
-    /// Saves both stores under a directory (`testcases.txt`,
-    /// `results.txt`).
+    /// Saves the merged stores under a directory (`testcases.txt`,
+    /// `results.txt`) — the paper's whole-file text checkpoints.
     pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        read_recovered(&self.testcases).save(&dir.join("testcases.txt"))?;
-        read_recovered(&self.results).save(&dir.join("results.txt"))
+        let mut tcs = Vec::new();
+        for g in self.stores.testcases.read_all() {
+            tcs.extend(g.all().iter().cloned());
+        }
+        std::fs::write(dir.join("testcases.txt"), tcformat::emit_many(&tcs))?;
+        let mut recs = Vec::new();
+        for g in self.stores.results.read_all() {
+            recs.extend(g.all().iter().cloned());
+        }
+        std::fs::write(
+            dir.join("results.txt"),
+            uucs_protocol::RunRecord::emit_many(&recs),
+        )
     }
 
     /// The client-specific random order of the library. Deterministic per
     /// (server seed, client id), so each sync extends the client's sample
-    /// without duplicates — the paper's "growing random sample".
+    /// without duplicates — the paper's "growing random sample". The
+    /// global order is the concatenation of the shards in index order.
     fn client_order(&self, client: &str, total: usize) -> Vec<usize> {
         let mut rng = Pcg64::new(self.sample_seed).split_str(client);
         let mut idx: Vec<usize> = (0..total).collect();
         rng.shuffle(&mut idx);
         idx
     }
-}
 
-impl Endpoint for UucsServer {
-    /// Handles one message, instrumented: every verb counts its
-    /// requests, errors, and handling latency into the process-global
-    /// telemetry registry (the payload of the `STATS` verb). Both the
-    /// TCP front end and the in-memory test transport route through
-    /// here, so the numbers cover every transport identically.
-    fn handle(&self, msg: &ClientMsg) -> ServerMsg {
+    /// Registers a durability request with the committer, when one is
+    /// running and the store is WAL-backed.
+    fn ticket(&self, flavor: StoreFlavor, shard: usize, lsn: Option<u64>) -> Option<CommitTicket> {
+        match (&self.committer, lsn) {
+            (Some(c), Some(upto)) => Some(c.submit(flavor, shard, upto)),
+            _ => None,
+        }
+    }
+
+    /// Handles one message up to (but not including) the durability
+    /// wait: the reply is provisional until the returned ticket — if
+    /// any — is redeemed against the committer. The worker-pool front
+    /// end uses this to keep a worker serving other connections while
+    /// an fsync is in flight; [`Endpoint::handle`] wraps it with a
+    /// blocking wait. Verb telemetry is recorded here (the appended
+    /// latency excludes the commit wait, which `server.commit.ns`
+    /// covers separately).
+    pub fn handle_deferred(&self, msg: &ClientMsg) -> (ServerMsg, Option<CommitTicket>) {
         let verb = match msg {
             ClientMsg::Register { .. } => &server_metrics().register,
             ClientMsg::Sync { .. } => &server_metrics().sync,
@@ -263,118 +392,119 @@ impl Endpoint for UucsServer {
         };
         verb.count.inc();
         let timer = verb.ns.start_timer();
-        let reply = self.handle_inner(msg);
+        let (reply, ticket) = self.handle_inner(msg);
         drop(timer);
         if matches!(reply, ServerMsg::Error(_)) {
             verb.errors.inc();
         }
-        reply
+        (reply, ticket)
     }
-}
 
-impl UucsServer {
-    fn handle_inner(&self, msg: &ClientMsg) -> ServerMsg {
+    fn handle_inner(&self, msg: &ClientMsg) -> (ServerMsg, Option<CommitTicket>) {
         match msg {
-            ClientMsg::Register { snapshot, token } => {
-                let mut reg = match self.try_write(&self.registry, "registry") {
-                    Ok(guard) => guard,
-                    Err(err) => return err,
-                };
-                match reg.register(snapshot.clone(), token) {
-                    Ok(id) => {
-                        drop(reg);
-                        // Report the upload dedup horizon alongside the
-                        // id: a token-matched re-registration may be a
-                        // client whose local store (and batch counter)
-                        // was wiped, and without the horizon its new
-                        // batches would restart at seq 1 — at or below
-                        // the horizon — and be ACKed as replays without
-                        // ever being stored.
-                        let applied_seq = read_recovered(&self.results).applied_seq(&id);
-                        ServerMsg::Id { id, applied_seq }
-                    }
-                    Err(e) => ServerMsg::Error(format!("registration rejected: {e}")),
-                }
-            }
+            ClientMsg::Register { snapshot, token } => self.handle_register(snapshot, token),
             ClientMsg::Sync { client, have, want } => {
                 if self.snapshot_of(client).is_none() {
-                    return ServerMsg::Error(format!("unregistered client {client}"));
+                    return (
+                        ServerMsg::Error(format!("unregistered client {client}")),
+                        None,
+                    );
                 }
-                let store = read_recovered(&self.testcases);
-                let order = self.client_order(client, store.len());
-                let slice: Vec<_> = order
-                    .iter()
-                    .skip(*have)
-                    .take(*want)
-                    .map(|&i| store.all()[i].clone())
-                    .collect();
-                ServerMsg::Testcases(slice)
+                // One consistent view across shards: all read guards in
+                // index order. Writers take one shard lock at a time, so
+                // this cannot deadlock against them.
+                let guards = self.stores.testcases.read_all();
+                let total: usize = guards.iter().map(|g| g.len()).sum();
+                let order = self.client_order(client, total);
+                let mut slice = Vec::new();
+                for &global in order.iter().skip(*have).take(*want) {
+                    let mut idx = global;
+                    for g in &guards {
+                        if idx < g.len() {
+                            slice.push(g.all()[idx].clone());
+                            break;
+                        }
+                        idx -= g.len();
+                    }
+                }
+                (ServerMsg::Testcases(slice), None)
             }
             ClientMsg::Upload {
                 client,
                 seq,
                 records,
-            } => {
-                if self.snapshot_of(client).is_none() {
-                    return ServerMsg::Error(format!("unregistered client {client}"));
-                }
-                match self.try_write(&self.results, "result") {
-                    // Ack only what the store accepted: with a WAL-backed
-                    // store an Ack means the records are journaled, so a
-                    // crash after this reply loses nothing the client
-                    // was told is safe. A replayed batch (retransmit
-                    // after a lost Ack) is re-acknowledged without
-                    // storing a second copy.
-                    Ok(mut results) => match results.append_batch(client, *seq, records.clone()) {
-                        Ok(status) => {
-                            drop(results);
-                            // Fold the batch into the comfort model —
-                            // only when it was *applied*: a replayed
-                            // retransmit must not double-count its
-                            // observations. A model journal failure
-                            // still acks (the records are the source of
-                            // truth; the model is derived state) but is
-                            // counted for the operator.
-                            if self.model_updates && matches!(status, BatchStatus::Applied(_)) {
-                                let obs = observations_of(records);
-                                if !obs.is_empty() {
-                                    match self.try_write(&self.models, "model") {
-                                        Ok(mut models) => {
-                                            if models.observe_batch(obs).is_err() {
-                                                ModelStore::count_update_error();
-                                            }
-                                        }
-                                        Err(_) => ModelStore::count_update_error(),
-                                    }
-                                }
-                            }
-                            ServerMsg::Ack(status.acked())
-                        }
-                        Err(e) => ServerMsg::Error(format!("upload rejected: {e}")),
-                    },
-                    Err(err) => err,
-                }
-            }
+            } => self.handle_upload(client, *seq, records),
             ClientMsg::Model { resource, task } => {
-                let (epoch, observed, censored, sketch) =
-                    read_recovered(&self.models).merged(*resource, task.as_deref());
-                ServerMsg::Model {
-                    epoch,
-                    observed,
-                    censored,
-                    sketch,
-                }
+                let reply = if self.stores.models.count() == 1 {
+                    let (epoch, observed, censored, sketch) =
+                        self.stores.models.read(0).merged(*resource, task.as_deref());
+                    ServerMsg::Model {
+                        epoch,
+                        observed,
+                        censored,
+                        sketch,
+                    }
+                } else {
+                    let guards = self.stores.models.read_all();
+                    let epoch: u64 = guards.iter().map(|g| g.epoch()).sum();
+                    let mut merged = QuantileSketch::for_resource(*resource);
+                    for g in &guards {
+                        merged
+                            .merge(&g.merged_sketch(*resource, task.as_deref()))
+                            .expect("shard sketches of one resource share a config");
+                    }
+                    ServerMsg::Model {
+                        epoch,
+                        observed: merged.observed(),
+                        censored: merged.censored(),
+                        sketch: merged.encode(),
+                    }
+                };
+                (reply, None)
             }
             ClientMsg::Advice {
                 resource,
                 task,
                 epsilon,
-            } => match read_recovered(&self.models).advice(*resource, task, *epsilon) {
-                Some((epoch, level)) => ServerMsg::Advice { epoch, level },
-                None => ServerMsg::Error(format!(
-                    "no comfort model for {resource} yet (no observations uploaded)"
-                )),
-            },
+            } => {
+                let reply = if self.stores.models.count() == 1 {
+                    match self.stores.models.read(0).advice(*resource, task, *epsilon) {
+                        Some((epoch, level)) => ServerMsg::Advice { epoch, level },
+                        None => ServerMsg::Error(format!(
+                            "no comfort model for {resource} yet (no observations uploaded)"
+                        )),
+                    }
+                } else {
+                    // Same preference as the single-store path: the
+                    // task-contextual sketch when it has observations,
+                    // else the resource aggregate — each merged across
+                    // every shard first.
+                    let guards = self.stores.models.read_all();
+                    let epoch: u64 = guards.iter().map(|g| g.epoch()).sum();
+                    let mut contextual = QuantileSketch::for_resource(*resource);
+                    let mut aggregate = QuantileSketch::for_resource(*resource);
+                    for g in &guards {
+                        contextual
+                            .merge(&g.merged_sketch(*resource, Some(task)))
+                            .expect("shard sketches of one resource share a config");
+                        aggregate
+                            .merge(&g.merged_sketch(*resource, None))
+                            .expect("shard sketches of one resource share a config");
+                    }
+                    let pick = if contextual.observed() > 0 {
+                        &contextual
+                    } else {
+                        &aggregate
+                    };
+                    match pick.advice_level(*epsilon) {
+                        Some(level) => ServerMsg::Advice { epoch, level },
+                        None => ServerMsg::Error(format!(
+                            "no comfort model for {resource} yet (no observations uploaded)"
+                        )),
+                    }
+                };
+                (reply, None)
+            }
             ClientMsg::Stats { reset } => {
                 // Snapshot first, then optionally zero: `STATS RESET`
                 // returns the counts it is about to clear, so no window
@@ -383,10 +513,150 @@ impl UucsServer {
                 if *reset {
                     metrics::reset();
                 }
-                ServerMsg::Stats(json)
+                (ServerMsg::Stats(json), None)
             }
-            ClientMsg::Bye => ServerMsg::Ack(0),
+            ClientMsg::Bye => (ServerMsg::Ack(0), None),
         }
+    }
+
+    fn handle_register(
+        &self,
+        snapshot: &MachineSnapshot,
+        token: &str,
+    ) -> (ServerMsg, Option<CommitTicket>) {
+        // Registration is globally serialized: the token scan must see
+        // every in-flight registration, and the id counter must only
+        // advance for registrations that go on to insert.
+        let _serial = self.reg_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        if !token.is_empty() {
+            // Token-matched re-registration: same identity, and the
+            // upload dedup horizon it must resume above — a client
+            // whose local store (and batch counter) was wiped would
+            // otherwise restart at seq 1, at or below the horizon, and
+            // have its new batches ACKed as replays without being
+            // stored.
+            for i in 0..self.stores.registry.count() {
+                let hit = self
+                    .stores
+                    .registry
+                    .read(i)
+                    .id_for_token(token)
+                    .map(str::to_string);
+                if let Some(id) = hit {
+                    let applied_seq = self.applied_seq(&id);
+                    return (ServerMsg::Id { id, applied_seq }, None);
+                }
+            }
+        }
+        let n = self.next_client.fetch_add(1, Ordering::SeqCst) + 1;
+        let id = format!("client-{n:04}");
+        let shard = self.stores.registry.shard_for(&id);
+        let mut reg = match self.stores.registry.try_write(shard) {
+            Ok(guard) => guard,
+            Err(_) => return (poisoned("registry"), None),
+        };
+        match reg.register_with_id(id.clone(), snapshot.clone(), token) {
+            Ok(()) => {
+                let lsn = reg.wal_next_lsn();
+                let len = reg.len();
+                drop(reg);
+                self.shard_gauges.registry[shard].set(len as i64);
+                let applied_seq = self.applied_seq(&id);
+                let ticket = self.ticket(StoreFlavor::Registry, shard, lsn);
+                (ServerMsg::Id { id, applied_seq }, ticket)
+            }
+            Err(e) => (
+                ServerMsg::Error(format!("registration rejected: {e}")),
+                None,
+            ),
+        }
+    }
+
+    fn handle_upload(
+        &self,
+        client: &str,
+        seq: u64,
+        records: &[uucs_protocol::RunRecord],
+    ) -> (ServerMsg, Option<CommitTicket>) {
+        if self.snapshot_of(client).is_none() {
+            return (
+                ServerMsg::Error(format!("unregistered client {client}")),
+                None,
+            );
+        }
+        let shard = self.stores.results.shard_for(client);
+        let mut results = match self.stores.results.try_write(shard) {
+            Ok(guard) => guard,
+            Err(_) => return (poisoned("result"), None),
+        };
+        // Ack only what the store accepted: with a WAL-backed store an
+        // Ack means the records are journaled (and, under group commit,
+        // fsynced by the time the ticket is redeemed), so a crash after
+        // this reply loses nothing the client was told is safe. A
+        // replayed batch (retransmit after a lost Ack) is
+        // re-acknowledged without storing a second copy — its ticket
+        // carries the *current* watermark, so the re-ack is never less
+        // durable than the original.
+        match results.append_batch(client, seq, records.to_vec()) {
+            Ok(status) => {
+                let lsn = results.wal_next_lsn();
+                let len = results.len();
+                drop(results);
+                self.shard_gauges.results[shard].set(len as i64);
+                // Fold the batch into the comfort model — only when it
+                // was *applied*: a replayed retransmit must not
+                // double-count its observations. A model journal failure
+                // still acks (the records are the source of truth; the
+                // model is derived state) but is counted for the
+                // operator. Model appends are not ticketed for the same
+                // reason.
+                if self.model_updates && matches!(status, BatchStatus::Applied(_)) {
+                    let obs = observations_of(records);
+                    if !obs.is_empty() {
+                        let mshard = self.stores.models.shard_for(client);
+                        match self.stores.models.try_write(mshard) {
+                            Ok(mut models) => {
+                                if models.observe_batch(obs).is_err() {
+                                    ModelStore::count_update_error();
+                                }
+                            }
+                            Err(_) => ModelStore::count_update_error(),
+                        }
+                    }
+                }
+                let ticket = self.ticket(StoreFlavor::Results, shard, lsn);
+                (ServerMsg::Ack(status.acked()), ticket)
+            }
+            Err(e) => (ServerMsg::Error(format!("upload rejected: {e}")), None),
+        }
+    }
+}
+
+impl Drop for UucsServer {
+    fn drop(&mut self) {
+        if let Some(committer) = &self.committer {
+            committer.stop();
+        }
+        if let Some(handle) = self.commit_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Endpoint for UucsServer {
+    /// Handles one message end to end, including the group-commit wait
+    /// when the verb journaled something — an `Ack` through this path
+    /// is always durable. Both the TCP front end and the in-memory test
+    /// transport route through the same deferred core, so telemetry
+    /// covers every transport identically.
+    fn handle(&self, msg: &ClientMsg) -> ServerMsg {
+        let (reply, ticket) = self.handle_deferred(msg);
+        if let (Some(ticket), Some(committer)) = (ticket, &self.committer) {
+            if let Err(e) = committer.wait(ticket) {
+                return ServerMsg::Error(format!("journal commit failed: {e}"));
+            }
+        }
+        reply
     }
 }
 
@@ -629,14 +899,15 @@ mod tests {
     #[test]
     fn poisoned_lock_degrades_to_error_then_recovers() {
         let s = std::sync::Arc::new(UucsServer::new(library(2), 8));
-        // Poison the registry lock: panic while holding the write guard.
+        // Poison the (single) registry shard: panic while holding the
+        // write guard.
         let s2 = s.clone();
         let _ = std::thread::spawn(move || {
-            let _guard = s2.registry.write().unwrap();
+            let _guard = s2.stores.registry.raw(0).write().unwrap();
             panic!("poison the registry");
         })
         .join();
-        assert!(s.registry.is_poisoned());
+        assert!(s.stores.registry.raw(0).is_poisoned());
         // The first mutating request maps the poisoning to a protocol
         // error instead of panicking the handler thread...
         assert!(matches!(
@@ -644,11 +915,81 @@ mod tests {
             ServerMsg::Error(_)
         ));
         // ...and clears the poison, so the server keeps serving.
-        assert!(!s.registry.is_poisoned());
+        assert!(!s.stores.registry.raw(0).is_poisoned());
         let id = register(&s);
         assert!(s.snapshot_of(&id).is_some());
         // Read-side observers recover throughout.
         assert_eq!(s.testcase_count(), 2);
+    }
+
+    /// Sharded layout: poisoning one shard degrades requests routed to
+    /// *that shard only*; every other shard keeps serving, and the
+    /// poisoned one heals after a single failed request.
+    #[test]
+    fn per_shard_poisoning_is_isolated() {
+        use uucs_protocol::{MonitorSummary, RunOutcome, RunRecord};
+        let s = std::sync::Arc::new(UucsServer::with_store_set(StoreSet::plain(4), 12));
+        for i in 0..4 {
+            s.add_testcase(Testcase::blank(format!("tc-{i}"), 1.0, 60.0))
+                .unwrap();
+        }
+        // Register clients until two land on different result shards.
+        let mut ids = vec![register(&s)];
+        while s.stores.results.shard_for(ids.last().unwrap())
+            == s.stores.results.shard_for(&ids[0])
+        {
+            ids.push(register(&s));
+        }
+        let (victim, bystander) = (ids[0].clone(), ids.last().unwrap().clone());
+        let victim_shard = s.stores.results.shard_for(&victim);
+        let s2 = s.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = s2.stores.results.raw(victim_shard).write().unwrap();
+            panic!("poison one result shard");
+        })
+        .join();
+        assert!(s.stores.results.raw(victim_shard).is_poisoned());
+        let rec = |client: &str| RunRecord {
+            client: client.into(),
+            user: "u".into(),
+            testcase: "tc-0".into(),
+            task: "Word".into(),
+            skill: "Typical".into(),
+            outcome: RunOutcome::Exhausted,
+            offset_secs: 10.0,
+            last_levels: vec![],
+            monitor: MonitorSummary::default(),
+        };
+        // The bystander's shard is untouched: upload succeeds while the
+        // victim shard is still poisoned.
+        assert!(matches!(
+            s.handle(&ClientMsg::Upload {
+                client: bystander.clone(),
+                seq: 1,
+                records: vec![rec(&bystander)],
+            }),
+            ServerMsg::Ack(1)
+        ));
+        // The victim's shard fails one request...
+        assert!(matches!(
+            s.handle(&ClientMsg::Upload {
+                client: victim.clone(),
+                seq: 1,
+                records: vec![rec(&victim)],
+            }),
+            ServerMsg::Error(_)
+        ));
+        // ...heals, and serves the retry.
+        assert!(!s.stores.results.raw(victim_shard).is_poisoned());
+        assert!(matches!(
+            s.handle(&ClientMsg::Upload {
+                client: victim.clone(),
+                seq: 1,
+                records: vec![rec(&victim)],
+            }),
+            ServerMsg::Ack(1)
+        ));
+        assert_eq!(s.result_count(), 2);
     }
 
     /// `STATS` answers with the telemetry snapshot, and the verbs that
@@ -702,5 +1043,82 @@ mod tests {
         let err = s.add_testcase(Testcase::blank("late", 1.0, 60.0)).unwrap_err();
         assert!(err.to_string().contains("duplicate"));
         assert_eq!(s.testcase_count(), 3);
+    }
+
+    /// The sharded server answers every verb with the same contract as
+    /// the single-store one: uploads land on the uploader's shard, reads
+    /// merge across shards.
+    #[test]
+    fn sharded_server_serves_all_verbs() {
+        use uucs_protocol::{MonitorSummary, RunOutcome, RunRecord};
+        let s = UucsServer::with_store_set(StoreSet::plain(4), 13);
+        for i in 0..8 {
+            s.add_testcase(Testcase::blank(format!("case-{i}"), 1.0, 60.0))
+                .unwrap();
+        }
+        let a = register(&s);
+        let b = register(&s);
+        // Sync: the growing sample covers the whole sharded library.
+        let mut seen = Vec::new();
+        for have in [0usize, 4] {
+            match s.handle(&ClientMsg::Sync {
+                client: a.clone(),
+                have,
+                want: 4,
+            }) {
+                ServerMsg::Testcases(tcs) => {
+                    for tc in tcs {
+                        assert!(!seen.contains(&tc.id.to_string()));
+                        seen.push(tc.id.to_string());
+                    }
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(seen.len(), 8);
+        // Uploads from both clients (different shards or not) all count.
+        let rec = |client: &str, level: f64| RunRecord {
+            client: client.into(),
+            user: "u".into(),
+            testcase: "case-0".into(),
+            task: "Word".into(),
+            skill: "Typical".into(),
+            outcome: RunOutcome::Discomfort,
+            offset_secs: 10.0,
+            last_levels: vec![(Resource::Cpu, vec![level])],
+            monitor: MonitorSummary::default(),
+        };
+        for (i, id) in [&a, &b].into_iter().enumerate() {
+            assert!(matches!(
+                s.handle(&ClientMsg::Upload {
+                    client: id.clone(),
+                    seq: 1,
+                    records: vec![rec(id, 1.0 + i as f64)],
+                }),
+                ServerMsg::Ack(1)
+            ));
+        }
+        assert_eq!(s.result_count(), 2);
+        // Model/advice merge across shards: both observations visible.
+        match s.handle(&ClientMsg::Model {
+            resource: Resource::Cpu,
+            task: None,
+        }) {
+            ServerMsg::Model {
+                epoch, observed, ..
+            } => {
+                assert_eq!(epoch, s.model_epoch());
+                assert_eq!(observed, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        match s.handle(&ClientMsg::Advice {
+            resource: Resource::Cpu,
+            task: "Word".into(),
+            epsilon: 0.05,
+        }) {
+            ServerMsg::Advice { .. } => {}
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -1,0 +1,749 @@
+//! Store sharding: per-shard `RwLock`s and per-shard WAL streams.
+//!
+//! A [`Sharded<T>`] holds `n` independent copies of a store behind `n`
+//! independent locks, keyed by a stable FNV-1a hash of the routing key
+//! (client id, testcase id, cohort). Unrelated clients therefore never
+//! contend on a lock or an fsync — the single-store server serialized
+//! every upload behind one `RwLock<ResultStore>` and one WAL file.
+//!
+//! # On-disk layout and resharding
+//!
+//! A sharded family lives under `dir/by-N/shard-XXX/`, one WAL per
+//! shard. The layout is **committed** by a `READY` marker file carrying
+//! a monotonically increasing generation number; a `by-N` directory
+//! without `READY` is an interrupted migration and is discarded. A
+//! single-shard family with no committed layout uses the legacy flat
+//! WAL directly in `dir` — byte-compatible with pre-sharding data dirs.
+//!
+//! Changing the shard count **migrates**: the current layout (or the
+//! flat legacy WAL) is replayed, its logical state is repartitioned by
+//! hash into fresh per-shard stores, each is checkpointed, and only
+//! then is the new `READY` written (generation = source + 1) and the
+//! source layout removed. A crash at any point leaves either the old
+//! committed layout (marker not yet written) or the new one (marker
+//! written); the highest generation wins, so recovery always sees
+//! exactly one logical state — the property the reshard recovery test
+//! pins down.
+
+use crate::models::ModelStore;
+use crate::store::{invalid, RegistryStore, ResultStore, TestcaseStore};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use uucs_modelsvc::{CohortKey, ComfortModel, QuantileSketch};
+use uucs_wal::{Recovery, WalConfig};
+
+/// Stable shard routing: FNV-1a over the key, reduced modulo the shard
+/// count. Must never change — recovery with an unchanged shard count
+/// reopens each shard's WAL in place, assuming every key still routes
+/// where it was written.
+pub fn shard_of(key: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// The shard's lock was poisoned by an earlier panic. The flag has been
+/// cleared — this shard (and only this shard) failed the one request
+/// that observed the poisoning and serves the next one normally.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPoisoned;
+
+/// `n` copies of a store behind `n` independent `RwLock`s.
+pub struct Sharded<T> {
+    shards: Vec<RwLock<T>>,
+}
+
+impl<T> Sharded<T> {
+    /// Wraps pre-built shard states (one entry = the unsharded layout).
+    pub fn new(parts: Vec<T>) -> Self {
+        assert!(!parts.is_empty(), "a sharded store needs at least 1 shard");
+        Sharded {
+            shards: parts.into_iter().map(RwLock::new).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a routing key lands on.
+    pub fn shard_for(&self, key: &str) -> usize {
+        shard_of(key, self.count())
+    }
+
+    /// Read-locks one shard, recovering from poisoning: the stores are
+    /// append-only collections whose elements are fully written before
+    /// being linked in, so a reader can never observe torn data.
+    pub fn read(&self, shard: usize) -> RwLockReadGuard<'_, T> {
+        self.shards[shard]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Read-locks every shard (in index order), for whole-family
+    /// queries that need one consistent view — e.g. the global testcase
+    /// order a `SYNC` samples from.
+    pub fn read_all(&self) -> Vec<RwLockReadGuard<'_, T>> {
+        (0..self.count()).map(|i| self.read(i)).collect()
+    }
+
+    /// Write-locks one shard for a protocol mutation. Poisoning fails
+    /// *this* request (the caller maps [`ShardPoisoned`] to a protocol
+    /// error) and clears the flag, so the shard heals — and every other
+    /// shard keeps serving throughout.
+    pub fn try_write(&self, shard: usize) -> Result<RwLockWriteGuard<'_, T>, ShardPoisoned> {
+        self.shards[shard].write().map_err(|_| {
+            self.shards[shard].clear_poison();
+            ShardPoisoned
+        })
+    }
+
+    /// Write-locks one shard for maintenance (compaction, group-commit
+    /// fsync), recovering from — and clearing — poisoning: maintenance
+    /// must proceed even if a handler panicked, and the append-only
+    /// store invariant makes the recovered state safe to use.
+    pub fn write_recovered(&self, shard: usize) -> RwLockWriteGuard<'_, T> {
+        let guard = self.shards[shard]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.shards[shard].clear_poison();
+        guard
+    }
+
+    /// The raw lock of one shard — tests use it to poison a shard.
+    #[cfg(test)]
+    pub(crate) fn raw(&self, shard: usize) -> &RwLock<T> {
+        &self.shards[shard]
+    }
+}
+
+fn shard_dirname(i: usize) -> String {
+    format!("shard-{i:03}")
+}
+
+const READY_MARKER: &str = "READY";
+
+/// One committed `by-N` layout found on disk.
+#[derive(Debug, Clone)]
+struct Layout {
+    shards: usize,
+    generation: u64,
+    path: PathBuf,
+}
+
+/// Finds every *committed* (READY-marked) layout under `dir`.
+fn scan_layouts(dir: &Path) -> io::Result<Vec<Layout>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(n) = name.strip_prefix("by-").and_then(|s| s.parse::<usize>().ok()) else {
+            continue;
+        };
+        if n == 0 || !entry.path().is_dir() {
+            continue;
+        }
+        let marker = entry.path().join(READY_MARKER);
+        let Ok(text) = std::fs::read_to_string(&marker) else {
+            continue; // no READY: an interrupted migration, not a layout
+        };
+        let Ok(generation) = text.trim().parse::<u64>() else {
+            continue;
+        };
+        out.push(Layout {
+            shards: n,
+            generation,
+            path: entry.path(),
+        });
+    }
+    Ok(out)
+}
+
+/// True when `dir` holds loose files — a legacy flat WAL predating the
+/// sharded layout.
+fn has_flat_files(dir: &Path) -> io::Result<bool> {
+    for entry in std::fs::read_dir(dir)? {
+        if entry?.path().is_file() {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Writes the commit marker: generation number, fsynced.
+fn write_ready(layout_dir: &Path, generation: u64) -> io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(layout_dir.join(READY_MARKER))?;
+    f.write_all(generation.to_string().as_bytes())?;
+    f.sync_all()
+}
+
+/// What a store family must provide to live under [`Sharded`] with a
+/// per-shard WAL: how to open one shard's journal, and how to
+/// repartition recovered state when the shard count changes.
+trait ShardFamily: Sized {
+    /// The merged logical state of the whole family, hash-partitionable.
+    type State;
+    /// Opens (replaying) one shard's WAL directory.
+    fn open_dir(dir: &Path, cfg: WalConfig) -> io::Result<(Self, Recovery)>;
+    /// Merges recovered source shards into the family's logical state.
+    fn extract(stores: Vec<Self>) -> io::Result<Self::State>;
+    /// Loads shard `shard`-of-`n`'s partition of `state` into a fresh
+    /// (just-opened, empty) store.
+    fn load_part(&mut self, state: &Self::State, shard: usize, n: usize) -> io::Result<()>;
+    /// Folds the freshly loaded state into a checkpoint.
+    fn checkpoint(&mut self) -> io::Result<()>;
+}
+
+/// Opens a family of `n` WAL shards under `dir`, migrating from a
+/// different committed shard count (or the legacy flat layout) when
+/// needed. See the module docs for the crash-safety protocol.
+fn open_sharded<F: ShardFamily>(
+    dir: &Path,
+    cfg: WalConfig,
+    n: usize,
+) -> io::Result<(Sharded<F>, Vec<Recovery>)> {
+    if n == 0 {
+        return Err(invalid("shard count must be at least 1"));
+    }
+    std::fs::create_dir_all(dir)?;
+    let current = scan_layouts(dir)?
+        .into_iter()
+        .max_by_key(|l| (l.generation, l.shards));
+
+    // Fast path: one shard, nothing ever sharded — the legacy flat WAL,
+    // byte-compatible with pre-sharding data directories.
+    if n == 1 && current.is_none() {
+        let (store, rec) = F::open_dir(dir, cfg)?;
+        return Ok((Sharded::new(vec![store]), vec![rec]));
+    }
+
+    let target = dir.join(format!("by-{n}"));
+    if current.as_ref().map(|c| c.shards) != Some(n) {
+        // Migrate: replay the source, repartition by hash, rebuild.
+        let state = match &current {
+            Some(cur) => {
+                let mut sources = Vec::with_capacity(cur.shards);
+                for i in 0..cur.shards {
+                    let (s, _) = F::open_dir(&cur.path.join(shard_dirname(i)), cfg)?;
+                    sources.push(s);
+                }
+                Some(F::extract(sources)?)
+            }
+            None if has_flat_files(dir)? => {
+                let (s, _) = F::open_dir(dir, cfg)?;
+                Some(F::extract(vec![s])?)
+            }
+            None => None,
+        };
+        if target.exists() {
+            // A previous migration to this count died before READY.
+            std::fs::remove_dir_all(&target)?;
+        }
+        for i in 0..n {
+            let (mut s, _) = F::open_dir(&target.join(shard_dirname(i)), cfg)?;
+            if let Some(state) = &state {
+                s.load_part(state, i, n)?;
+            }
+            s.checkpoint()?;
+        }
+        // Commit point. Until this marker lands, recovery still sees the
+        // source layout; after it, the higher generation wins even if
+        // the source removal below never runs.
+        let generation = current.as_ref().map(|c| c.generation).unwrap_or(0) + 1;
+        write_ready(&target, generation)?;
+        if let Some(cur) = &current {
+            std::fs::remove_dir_all(&cur.path)?;
+        }
+    }
+
+    // Clear stale siblings: superseded layouts and interrupted builds.
+    // (A legacy flat WAL that was migrated away stays on disk inertly —
+    // any committed layout takes precedence over flat files.)
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("by-") && entry.path() != target && entry.path().is_dir() {
+            std::fs::remove_dir_all(entry.path())?;
+        }
+    }
+
+    let mut stores = Vec::with_capacity(n);
+    let mut recoveries = Vec::with_capacity(n);
+    for i in 0..n {
+        let (s, r) = F::open_dir(&target.join(shard_dirname(i)), cfg)?;
+        stores.push(s);
+        recoveries.push(r);
+    }
+    Ok((Sharded::new(stores), recoveries))
+}
+
+impl ShardFamily for TestcaseStore {
+    type State = Vec<uucs_testcase::Testcase>;
+
+    fn open_dir(dir: &Path, cfg: WalConfig) -> io::Result<(Self, Recovery)> {
+        TestcaseStore::open_wal(dir, cfg)
+    }
+
+    fn extract(stores: Vec<Self>) -> io::Result<Self::State> {
+        Ok(stores
+            .into_iter()
+            .flat_map(TestcaseStore::into_testcases)
+            .collect())
+    }
+
+    fn load_part(&mut self, state: &Self::State, shard: usize, n: usize) -> io::Result<()> {
+        for tc in state {
+            if shard_of(tc.id.as_str(), n) == shard {
+                self.add(tc.clone()).map_err(invalid)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> io::Result<()> {
+        self.compact().map(|_| ())
+    }
+}
+
+impl ShardFamily for ResultStore {
+    type State = (Vec<uucs_protocol::RunRecord>, BTreeMap<String, u64>);
+
+    fn open_dir(dir: &Path, cfg: WalConfig) -> io::Result<(Self, Recovery)> {
+        ResultStore::open_wal(dir, cfg)
+    }
+
+    fn extract(stores: Vec<Self>) -> io::Result<Self::State> {
+        let mut records = Vec::new();
+        let mut horizons: BTreeMap<String, u64> = BTreeMap::new();
+        for s in stores {
+            let (recs, applied) = s.into_parts();
+            records.extend(recs);
+            for (client, seq) in applied {
+                let h = horizons.entry(client).or_insert(0);
+                *h = (*h).max(seq);
+            }
+        }
+        Ok((records, horizons))
+    }
+
+    fn load_part(&mut self, state: &Self::State, shard: usize, n: usize) -> io::Result<()> {
+        let (records, horizons) = state;
+        // Horizons first: an empty batch at the horizon seq journals the
+        // idempotency watermark without touching the record stream.
+        for (client, seq) in horizons {
+            if shard_of(client, n) == shard {
+                self.append_batch(client, *seq, Vec::new()).map_err(invalid)?;
+            }
+        }
+        let mine: Vec<_> = records
+            .iter()
+            .filter(|r| shard_of(&r.client, n) == shard)
+            .cloned()
+            .collect();
+        if !mine.is_empty() {
+            self.append(mine).map_err(invalid)?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> io::Result<()> {
+        self.compact().map(|_| ())
+    }
+}
+
+impl ShardFamily for RegistryStore {
+    type State = (
+        Vec<(String, uucs_protocol::MachineSnapshot)>,
+        Vec<(String, String)>,
+    );
+
+    fn open_dir(dir: &Path, cfg: WalConfig) -> io::Result<(Self, Recovery)> {
+        RegistryStore::open_wal(dir, cfg)
+    }
+
+    fn extract(stores: Vec<Self>) -> io::Result<Self::State> {
+        let mut clients = Vec::new();
+        let mut tokens = Vec::new();
+        for s in stores {
+            let (c, t) = s.into_parts();
+            clients.extend(c);
+            tokens.extend(t);
+        }
+        Ok((clients, tokens))
+    }
+
+    fn load_part(&mut self, state: &Self::State, shard: usize, n: usize) -> io::Result<()> {
+        let (clients, tokens) = state;
+        for (id, snap) in clients {
+            if shard_of(id, n) != shard {
+                continue;
+            }
+            let token = tokens
+                .iter()
+                .find(|(_, tid)| tid == id)
+                .map(|(t, _)| t.as_str())
+                .unwrap_or("");
+            self.register_with_id(id.clone(), snap.clone(), token)
+                .map_err(invalid)?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&mut self) -> io::Result<()> {
+        self.compact().map(|_| ())
+    }
+}
+
+/// The routing key of a model cohort.
+pub(crate) fn cohort_key_token(key: &CohortKey) -> String {
+    format!("{}|{}|{}", key.resource, key.task, key.skill)
+}
+
+impl ShardFamily for ModelStore {
+    type State = (u64, BTreeMap<CohortKey, QuantileSketch>);
+
+    fn open_dir(dir: &Path, cfg: WalConfig) -> io::Result<(Self, Recovery)> {
+        ModelStore::open_wal(dir, cfg)
+    }
+
+    fn extract(stores: Vec<Self>) -> io::Result<Self::State> {
+        // The global epoch is the *sum* of shard epochs (each shard
+        // mints its own); cohort sketches merge exactly, so the merged
+        // model is identical no matter how the cohorts were spread.
+        let mut epoch = 0u64;
+        let mut cohorts: BTreeMap<CohortKey, QuantileSketch> = BTreeMap::new();
+        for s in stores {
+            let (e, cs) = s.into_model().into_parts();
+            epoch += e;
+            for (key, sketch) in cs {
+                match cohorts.entry(key) {
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        o.get_mut().merge(&sketch).map_err(invalid)?;
+                    }
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(sketch);
+                    }
+                }
+            }
+        }
+        Ok((epoch, cohorts))
+    }
+
+    fn load_part(&mut self, state: &Self::State, shard: usize, n: usize) -> io::Result<()> {
+        let (epoch, cohorts) = state;
+        let mine: BTreeMap<CohortKey, QuantileSketch> = cohorts
+            .iter()
+            .filter(|(k, _)| shard_of(&cohort_key_token(k), n) == shard)
+            .map(|(k, s)| (k.clone(), s.clone()))
+            .collect();
+        // The epoch sum rides on shard 0; splitting it has no meaning,
+        // and only the sum is client-visible.
+        let e = if shard == 0 { *epoch } else { 0 };
+        self.install_model(ComfortModel::from_parts(e, mine))
+    }
+
+    fn checkpoint(&mut self) -> io::Result<()> {
+        self.compact().map(|_| ())
+    }
+}
+
+/// The server's four store families, sharded. The committer thread and
+/// the request handlers share one instance behind an `Arc`.
+pub struct StoreSet {
+    /// The testcase library, sharded by testcase id.
+    pub testcases: Sharded<TestcaseStore>,
+    /// Uploaded results and dedup horizons, sharded by client id.
+    pub results: Sharded<ResultStore>,
+    /// The client registry, sharded by client id.
+    pub registry: Sharded<RegistryStore>,
+    /// The comfort model, sharded by uploading client id (queries merge
+    /// every shard's sketches — sketch merges are exact).
+    pub models: Sharded<ModelStore>,
+}
+
+impl StoreSet {
+    /// Wraps single (unsharded) stores — the layout every legacy
+    /// constructor produces, behaviorally identical to the old server.
+    pub fn from_single(
+        testcases: TestcaseStore,
+        results: ResultStore,
+        registry: RegistryStore,
+        models: ModelStore,
+    ) -> Self {
+        StoreSet {
+            testcases: Sharded::new(vec![testcases]),
+            results: Sharded::new(vec![results]),
+            registry: Sharded::new(vec![registry]),
+            models: Sharded::new(vec![models]),
+        }
+    }
+
+    /// `n` empty in-memory shards per family (tests, benches).
+    pub fn plain(shards: usize) -> Self {
+        assert!(shards > 0);
+        StoreSet {
+            testcases: Sharded::new((0..shards).map(|_| TestcaseStore::new()).collect()),
+            results: Sharded::new((0..shards).map(|_| ResultStore::new()).collect()),
+            registry: Sharded::new((0..shards).map(|_| RegistryStore::new()).collect()),
+            models: Sharded::new((0..shards).map(|_| ModelStore::new()).collect()),
+        }
+    }
+
+    /// Opens all four WAL-backed families under `dir`
+    /// (`dir/testcases`, `dir/results`, `dir/registry`, `dir/models`),
+    /// each sharded `shards` ways — migrating any previously committed
+    /// layout with a different count. Returns the per-shard recoveries
+    /// (testcases, then results, registry, models) for torn-tail
+    /// reporting.
+    pub fn open(dir: &Path, cfg: WalConfig, shards: usize) -> io::Result<(Self, Vec<Recovery>)> {
+        let (testcases, mut recs) =
+            open_sharded::<TestcaseStore>(&dir.join("testcases"), cfg, shards)?;
+        let (results, r) = open_sharded::<ResultStore>(&dir.join("results"), cfg, shards)?;
+        recs.extend(r);
+        let (registry, r) = open_sharded::<RegistryStore>(&dir.join("registry"), cfg, shards)?;
+        recs.extend(r);
+        let (models, r) = open_sharded::<ModelStore>(&dir.join("models"), cfg, shards)?;
+        recs.extend(r);
+        Ok((
+            StoreSet {
+                testcases,
+                results,
+                registry,
+                models,
+            },
+            recs,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uucs_harness::TempDir;
+    use uucs_protocol::{MachineSnapshot, MonitorSummary, RunOutcome, RunRecord};
+    use uucs_testcase::{ExerciseSpec, Resource, Testcase};
+    use uucs_wal::SyncPolicy;
+
+    fn cfg() -> WalConfig {
+        WalConfig {
+            segment_bytes: 1024,
+            sync: SyncPolicy::Always,
+        }
+    }
+
+    fn tc(id: &str) -> Testcase {
+        Testcase::single(
+            id,
+            1.0,
+            Resource::Cpu,
+            ExerciseSpec::Ramp {
+                level: 1.0,
+                duration: 10.0,
+            },
+        )
+    }
+
+    fn rec(client: &str, user: &str) -> RunRecord {
+        RunRecord {
+            client: client.into(),
+            user: user.into(),
+            testcase: "t".into(),
+            task: "IE".into(),
+            skill: "Typical".into(),
+            outcome: RunOutcome::Discomfort,
+            offset_secs: 10.0,
+            last_levels: vec![(Resource::Cpu, vec![2.0])],
+            monitor: MonitorSummary::default(),
+        }
+    }
+
+    #[test]
+    fn hashing_is_stable_and_in_range() {
+        for n in 1..=16 {
+            for key in ["client-0001", "client-0002", "x", ""] {
+                let s = shard_of(key, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(key, n), "stable");
+            }
+        }
+        // The hash actually spreads keys (not all on one shard).
+        let spread: std::collections::BTreeSet<usize> = (0..100)
+            .map(|i| shard_of(&format!("client-{i:04}"), 8))
+            .collect();
+        assert!(spread.len() > 4, "poor spread: {spread:?}");
+    }
+
+    #[test]
+    fn single_shard_uses_legacy_flat_layout() {
+        let dir = TempDir::new("uucs-shard-flat");
+        {
+            let (tcs, _) = open_sharded::<TestcaseStore>(dir.path(), cfg(), 1).unwrap();
+            tcs.write_recovered(0).add(tc("a")).unwrap();
+        }
+        // The flat files live directly in the dir — same as pre-sharding.
+        assert!(has_flat_files(dir.path()).unwrap());
+        // And a plain single-store open reads them back.
+        let (store, _) = TestcaseStore::open_wal(dir.path(), cfg()).unwrap();
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn reshard_preserves_merged_state() {
+        let dir = TempDir::new("uucs-shard-reshard");
+        let ids: Vec<String> = (0..20).map(|i| format!("case-{i:02}")).collect();
+        {
+            let (tcs, _) = open_sharded::<TestcaseStore>(dir.path(), cfg(), 2).unwrap();
+            for id in &ids {
+                let shard = tcs.shard_for(id);
+                tcs.write_recovered(shard).add(tc(id)).unwrap();
+            }
+        }
+        for n in [5usize, 3, 1, 4] {
+            let (tcs, _) = open_sharded::<TestcaseStore>(dir.path(), cfg(), n).unwrap();
+            assert_eq!(tcs.count(), n);
+            let mut seen: Vec<String> = Vec::new();
+            for i in 0..n {
+                let g = tcs.read(i);
+                for t in g.all() {
+                    // Every testcase sits on the shard its id hashes to.
+                    assert_eq!(shard_of(t.id.as_str(), n), i);
+                    seen.push(t.id.as_str().to_string());
+                }
+            }
+            seen.sort();
+            let mut want = ids.clone();
+            want.sort();
+            assert_eq!(seen, want, "reshard to {n} lost or duplicated state");
+        }
+    }
+
+    #[test]
+    fn flat_layout_migrates_to_sharded() {
+        let dir = TempDir::new("uucs-shard-flatmig");
+        {
+            let (mut store, _) = ResultStore::open_wal(dir.path(), cfg()).unwrap();
+            store.append_batch("c1", 3, vec![rec("c1", "u1")]).unwrap();
+            store.append_batch("c2", 7, vec![rec("c2", "u2")]).unwrap();
+        }
+        let (res, _) = open_sharded::<ResultStore>(dir.path(), cfg(), 4).unwrap();
+        let total: usize = (0..4).map(|i| res.read(i).len()).sum();
+        assert_eq!(total, 2);
+        assert_eq!(res.read(res.shard_for("c1")).applied_seq("c1"), 3);
+        assert_eq!(res.read(res.shard_for("c2")).applied_seq("c2"), 7);
+        // The committed layout wins over the (stale, still present) flat
+        // files on every subsequent open.
+        let (res, _) = open_sharded::<ResultStore>(dir.path(), cfg(), 4).unwrap();
+        let total: usize = (0..4).map(|i| res.read(i).len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn interrupted_migration_is_discarded() {
+        let dir = TempDir::new("uucs-shard-interrupt");
+        {
+            let (reg, _) = open_sharded::<RegistryStore>(dir.path(), cfg(), 2).unwrap();
+            let shard = reg.shard_for("client-0001");
+            reg.write_recovered(shard)
+                .register_with_id(
+                    "client-0001".into(),
+                    MachineSnapshot::study_machine("h1"),
+                    "tok",
+                )
+                .unwrap();
+        }
+        // Fake a migration to 3 shards that died before READY: a target
+        // directory with garbage and no marker.
+        let partial = dir.join("by-3");
+        std::fs::create_dir_all(partial.join("shard-000")).unwrap();
+        std::fs::write(partial.join("shard-000/junk"), b"half-written").unwrap();
+        // Opening with 3 shards rebuilds from the committed 2-shard
+        // layout; the junk is gone.
+        let (reg, _) = open_sharded::<RegistryStore>(dir.path(), cfg(), 3).unwrap();
+        let shard = reg.shard_for("client-0001");
+        assert_eq!(reg.read(shard).id_for_token("tok"), Some("client-0001"));
+        assert!(!partial.join("shard-000/junk").exists());
+    }
+
+    #[test]
+    fn model_reshard_preserves_merged_sketches_and_epoch_sum() {
+        use uucs_modelsvc::Observation;
+        let dir = TempDir::new("uucs-shard-model");
+        let obs = |task: &str, level: f64| Observation {
+            resource: Resource::Cpu,
+            task: task.into(),
+            skill: "Typical".into(),
+            level,
+            censored: false,
+        };
+        let baseline = {
+            let (models, _) = open_sharded::<ModelStore>(dir.path(), cfg(), 3).unwrap();
+            models
+                .write_recovered(0)
+                .observe_batch(vec![obs("Word", 2.0), obs("Quake", 1.0)])
+                .unwrap();
+            models
+                .write_recovered(1)
+                .observe_batch(vec![obs("Word", 4.0)])
+                .unwrap();
+            models
+                .write_recovered(2)
+                .observe_batch(vec![obs("Quake", 1.5)])
+                .unwrap();
+            let mut merged = QuantileSketch::for_resource(Resource::Cpu);
+            for i in 0..3 {
+                merged
+                    .merge(&models.read(i).merged_sketch(Resource::Cpu, None))
+                    .unwrap();
+            }
+            let epoch: u64 = (0..3).map(|i| models.read(i).epoch()).sum();
+            (epoch, merged.encode())
+        };
+        for n in [1usize, 4, 2] {
+            let (models, _) = open_sharded::<ModelStore>(dir.path(), cfg(), n).unwrap();
+            let mut merged = QuantileSketch::for_resource(Resource::Cpu);
+            for i in 0..n {
+                merged
+                    .merge(&models.read(i).merged_sketch(Resource::Cpu, None))
+                    .unwrap();
+            }
+            let epoch: u64 = (0..n).map(|i| models.read(i).epoch()).sum();
+            assert_eq!(epoch, baseline.0, "epoch sum changed at {n} shards");
+            assert_eq!(merged.encode(), baseline.1, "sketch changed at {n} shards");
+        }
+    }
+
+    #[test]
+    fn per_shard_poisoning_is_isolated() {
+        let sharded: Sharded<Vec<u32>> = Sharded::new(vec![vec![], vec![], vec![]]);
+        let poison = |s: &Sharded<Vec<u32>>, i: usize| {
+            let lock: &RwLock<Vec<u32>> = s.raw(i);
+            std::thread::scope(|scope| {
+                let _ = scope
+                    .spawn(|| {
+                        let _g = lock.write().unwrap();
+                        panic!("poison shard");
+                    })
+                    .join();
+            });
+        };
+        poison(&sharded, 1);
+        assert!(sharded.raw(1).is_poisoned());
+        // Other shards are untouched.
+        sharded.try_write(0).unwrap().push(1);
+        sharded.try_write(2).unwrap().push(2);
+        // The poisoned shard fails one request and heals.
+        assert!(sharded.try_write(1).is_err());
+        sharded.try_write(1).unwrap().push(3);
+        assert_eq!(*sharded.read(1), vec![3]);
+    }
+}

@@ -211,6 +211,31 @@ impl TestcaseStore {
         self.testcases.iter().find(|t| t.id.as_str() == id)
     }
 
+    /// The LSN the next journal append would get, or `None` in plain
+    /// mode. Captured under the store's write lock right after an
+    /// append, it is the durability watermark a group-commit waiter
+    /// needs: once a sync covers it, the append is on stable storage.
+    pub fn wal_next_lsn(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.next_lsn())
+    }
+
+    /// Forces everything journaled so far to stable storage, returning
+    /// the covered watermark (the next LSN). `Ok(0)` in plain mode.
+    pub fn sync_wal(&mut self) -> io::Result<u64> {
+        match &mut self.wal {
+            Some(wal) => {
+                wal.sync()?;
+                Ok(wal.next_lsn())
+            }
+            None => Ok(0),
+        }
+    }
+
+    /// Consumes the store, yielding its testcases (shard migration).
+    pub fn into_testcases(self) -> Vec<Testcase> {
+        self.testcases
+    }
+
     /// Saves the library to a text file.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         std::fs::write(path, tcformat::emit_many(&self.testcases))
@@ -410,6 +435,32 @@ impl ResultStore {
         self.applied.get(client).copied().unwrap_or(0)
     }
 
+    /// The per-client applied-sequence horizons (shard migration).
+    pub fn applied_horizons(&self) -> &BTreeMap<String, u64> {
+        &self.applied
+    }
+
+    /// See [`TestcaseStore::wal_next_lsn`].
+    pub fn wal_next_lsn(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.next_lsn())
+    }
+
+    /// See [`TestcaseStore::sync_wal`].
+    pub fn sync_wal(&mut self) -> io::Result<u64> {
+        match &mut self.wal {
+            Some(wal) => {
+                wal.sync()?;
+                Ok(wal.next_lsn())
+            }
+            None => Ok(0),
+        }
+    }
+
+    /// Consumes the store, yielding records and horizons (migration).
+    pub fn into_parts(self) -> (Vec<RunRecord>, BTreeMap<String, u64>) {
+        (self.records, self.applied)
+    }
+
     /// Folds the journal into a checkpoint and deletes the segments it
     /// covers. Returns `false` (doing nothing) in plain mode.
     pub fn compact(&mut self) -> io::Result<bool> {
@@ -593,6 +644,21 @@ impl RegistryStore {
             }
         }
         let id = format!("client-{:04}", self.clients.len() + 1);
+        self.register_with_id(id.clone(), snapshot, token)?;
+        Ok(id)
+    }
+
+    /// Registers a machine under a caller-chosen id — the sharded
+    /// registry's entry point, where ids come from a global counter
+    /// rather than this shard's row count. Journals before applying;
+    /// token dedup is the *caller's* job (it requires a cross-shard
+    /// scan).
+    pub fn register_with_id(
+        &mut self,
+        id: String,
+        snapshot: MachineSnapshot,
+        token: &str,
+    ) -> Result<(), StoreError> {
         if let Some(wal) = &mut self.wal {
             wal.append(
                 &WalEntry::Client {
@@ -605,9 +671,41 @@ impl RegistryStore {
         }
         self.clients.push((id.clone(), snapshot));
         if !token.is_empty() {
-            self.tokens.push((token.to_string(), id.clone()));
+            self.tokens.push((token.to_string(), id));
         }
-        Ok(id)
+        Ok(())
+    }
+
+    /// The id a registration token resolved to, if it registered before.
+    pub fn id_for_token(&self, token: &str) -> Option<&str> {
+        if token.is_empty() {
+            return None;
+        }
+        self.tokens
+            .iter()
+            .find(|(t, _)| t == token)
+            .map(|(_, id)| id.as_str())
+    }
+
+    /// See [`TestcaseStore::wal_next_lsn`].
+    pub fn wal_next_lsn(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.next_lsn())
+    }
+
+    /// See [`TestcaseStore::sync_wal`].
+    pub fn sync_wal(&mut self) -> io::Result<u64> {
+        match &mut self.wal {
+            Some(wal) => {
+                wal.sync()?;
+                Ok(wal.next_lsn())
+            }
+            None => Ok(0),
+        }
+    }
+
+    /// Consumes the registry, yielding rows and token pairs (migration).
+    pub fn into_parts(self) -> RegistryState {
+        (self.clients, self.tokens)
     }
 
     /// The registered snapshot for an id.

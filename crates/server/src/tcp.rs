@@ -1,30 +1,40 @@
-//! The TCP front end: one thread per connection, each speaking the
-//! line-oriented wire protocol against the shared [`UucsServer`].
+//! The TCP front end: a fixed worker pool sweeping nonblocking sockets
+//! (default), or the legacy thread-per-connection engine.
+//!
+//! The worker pool decouples the connection count from the thread
+//! count: each worker owns a set of connections and sweeps them in a
+//! readiness loop — drain readable bytes into a per-connection buffer,
+//! parse complete frames with the torn-frame-rejecting wire readers
+//! (a strict prefix of a valid frame never parses, so a partial read
+//! just waits for more bytes), hand complete messages to the shared
+//! [`UucsServer`], and flush replies. A connection whose reply awaits a
+//! group-commit fsync parks on its [`CommitTicket`] and is polled
+//! nonblockingly, so a worker keeps serving its other connections while
+//! the disk catches up. This raises the practical ceiling from
+//! hundreds of threads to tens of thousands of sockets.
 //!
 //! Hardened for the open internet the paper's clients lived on:
 //!
 //! * **Per-connection read deadlines** — a stalled or black-holed peer
-//!   releases its thread after [`ServeConfig::read_timeout`] instead of
-//!   holding it forever.
+//!   is dropped after [`ServeConfig::read_timeout`].
 //! * **Connection cap** — past [`ServeConfig::max_connections`] live
 //!   connections, new arrivals get `ERROR server at capacity` and are
-//!   closed, so an accept storm degrades politely instead of exhausting
-//!   threads.
+//!   closed, so an accept storm degrades politely.
 //! * **Accept-error backoff** — a transient `accept(2)` failure (EMFILE,
 //!   ECONNABORTED, ...) sleeps [`ServeConfig::accept_retry`] and
 //!   retries; it does not kill the listener.
-//! * **Graceful drain** — [`ServerHandle::shutdown`] tracks every
-//!   connection thread (no detached leaks), closes their sockets to
-//!   unblock reads, and joins them within a deadline.
+//! * **Graceful drain** — [`ServerHandle::shutdown`] stops accepting,
+//!   closes every connection, and joins the workers within a deadline.
 //! * **Forward compatibility** — a message tag this server does not know
 //!   ([`std::io::ErrorKind::Unsupported`]) is answered with
-//!   `ERROR unsupported message ...` and the connection stays alive, so
-//!   an old server degrades gracefully against a newer client. Torn
-//!   framing (`InvalidData`) still closes the connection: the stream
-//!   position is unknown.
+//!   `ERROR unsupported message ...` and the connection stays alive.
+//!   Torn framing (`InvalidData`) still closes the connection: the
+//!   stream position is unknown.
 
+use crate::commit::{CommitTicket, GroupCommitter};
 use crate::server::UucsServer;
-use std::io::BufReader;
+use std::collections::VecDeque;
+use std::io::{BufReader, Cursor, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -32,7 +42,18 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use uucs_protocol::wire::{read_client_msg, write_server_msg, Endpoint};
 use uucs_protocol::{ClientMsg, ServerMsg};
-use uucs_telemetry::metrics;
+use uucs_telemetry::{metrics, Gauge};
+
+/// Which connection engine serves the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Fixed worker pool over nonblocking sockets (the default): the
+    /// connection ceiling is file descriptors, not threads.
+    WorkerPool,
+    /// One thread per connection — the original engine, kept for
+    /// comparison benchmarks and as a fallback.
+    ThreadPerConn,
+}
 
 /// Tuning knobs for the TCP front end.
 #[derive(Debug, Clone, Copy)]
@@ -49,21 +70,39 @@ pub struct ServeConfig {
     /// How long [`ServerHandle::shutdown`] waits for connection threads
     /// to drain before giving up on the stragglers.
     pub drain_deadline: Duration,
+    /// The connection engine.
+    pub engine: EngineMode,
+    /// Worker threads for [`EngineMode::WorkerPool`]; `0` sizes from
+    /// the machine's available parallelism.
+    pub workers: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             read_timeout: Some(Duration::from_secs(30)),
-            max_connections: 256,
+            // The worker pool spends a file descriptor, not a thread,
+            // per connection — the default cap is sized for fleets, not
+            // for the old 256-thread budget.
+            max_connections: 4096,
             accept_retry: Duration::from_millis(50),
             drain_deadline: Duration::from_secs(5),
+            engine: EngineMode::WorkerPool,
+            workers: 0,
         }
     }
 }
 
-/// One tracked connection: its thread and a handle to its socket so
-/// shutdown can unblock a pending read.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+/// One tracked connection of the thread-per-connection engine: its
+/// thread and a handle to its socket so shutdown can unblock a pending
+/// read.
 struct Conn {
     thread: JoinHandle<()>,
     stream: TcpStream,
@@ -99,6 +138,7 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     tracker: Arc<Tracker>,
+    workers: Vec<JoinHandle<()>>,
     drain_deadline: Duration,
     /// The shared server state, for inspection by tests and drivers.
     pub server: Arc<UucsServer>,
@@ -116,10 +156,10 @@ impl ServerHandle {
     }
 
     /// Requests shutdown and drains: stops accepting, closes every
-    /// tracked connection's socket (unblocking pending reads), and joins
-    /// the connection threads within the configured deadline. Returns
-    /// `true` if everything drained, `false` if stragglers were left
-    /// behind (their threads die with the process).
+    /// connection, and joins the connection/worker threads within the
+    /// configured deadline. Returns `true` if everything drained,
+    /// `false` if stragglers were left behind (their threads die with
+    /// the process).
     pub fn shutdown(mut self) -> bool {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the accept loop with a throwaway connection.
@@ -128,6 +168,7 @@ impl ServerHandle {
             let _ = h.join();
         }
         let deadline = Instant::now() + self.drain_deadline;
+        // Thread-per-connection drains by socket shutdown + join.
         let mut conns = std::mem::take(
             &mut *self
                 .tracker
@@ -152,6 +193,18 @@ impl ServerHandle {
                 drained = false;
             }
         }
+        // Pool workers notice the stop flag on their next sweep and
+        // close their connections themselves.
+        for w in std::mem::take(&mut self.workers) {
+            while !w.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if w.is_finished() {
+                let _ = w.join();
+            } else {
+                drained = false;
+            }
+        }
         drained
     }
 }
@@ -164,6 +217,367 @@ pub fn serve(server: Arc<UucsServer>, addr: &str) -> std::io::Result<ServerHandl
 
 /// [`serve`] with explicit tuning.
 pub fn serve_with(
+    server: Arc<UucsServer>,
+    addr: &str,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    match config.engine {
+        EngineMode::WorkerPool => serve_pool(server, addr, config),
+        EngineMode::ThreadPerConn => serve_threaded(server, addr, config),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker-pool engine
+// ---------------------------------------------------------------------
+
+/// Cap on a connection's buffered unparsed input: a peer that streams
+/// this much without ever completing a frame is hostile or broken.
+const MAX_INBUF: usize = 4 * 1024 * 1024;
+
+/// Worker idle sleep: the sweep granularity when no socket had bytes.
+/// Well under client retry timeouts (the chaos transports use 1s), and
+/// coarse enough that an idle fleet costs ~no CPU.
+const IDLE_SLEEP: Duration = Duration::from_micros(300);
+
+/// Queues handing accepted sockets from the accept loop to the workers.
+struct PoolShared {
+    queues: Vec<Mutex<VecDeque<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+}
+
+fn serve_pool(
+    server: Arc<UucsServer>,
+    addr: &str,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let tracker = Arc::new(Tracker::default());
+    let nworkers = if config.workers == 0 {
+        default_workers()
+    } else {
+        config.workers
+    };
+    let shared = Arc::new(PoolShared {
+        queues: (0..nworkers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        stop: stop.clone(),
+    });
+    let live_gauge = metrics::gauge("server.connections.live");
+    let accepted = metrics::counter("server.connections.accepted");
+    let rejected = metrics::counter("server.connections.rejected");
+
+    let mut workers = Vec::with_capacity(nworkers);
+    for i in 0..nworkers {
+        let shared = shared.clone();
+        let server = server.clone();
+        let tracker = tracker.clone();
+        let live_gauge = live_gauge.clone();
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("uucs-worker-{i}"))
+                .spawn(move || worker_loop(i, shared, server, tracker, live_gauge, config))
+                .expect("spawn pool worker"),
+        );
+    }
+
+    let stop2 = stop.clone();
+    let shared2 = shared.clone();
+    let tracker2 = tracker.clone();
+    let live2 = live_gauge.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("uucs-accept".into())
+        .spawn(move || {
+            let mut next = 0usize;
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        if tracker2.live.load(Ordering::SeqCst) >= config.max_connections {
+                            // Over the cap: answer and close without
+                            // spending a descriptor slot on the peer.
+                            rejected.inc();
+                            let mut w = stream;
+                            let _ = write_server_msg(
+                                &mut w,
+                                &ServerMsg::Error("server at capacity".into()),
+                            );
+                            continue;
+                        }
+                        tracker2.live.fetch_add(1, Ordering::SeqCst);
+                        accepted.inc();
+                        live2.inc();
+                        let q = next % shared2.queues.len();
+                        next = next.wrapping_add(1);
+                        shared2.queues[q]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push_back(stream);
+                    }
+                    // A transient accept failure (EMFILE, ECONNABORTED,
+                    // a half-open handshake torn down...) must not kill
+                    // the whole server: back off briefly, keep listening.
+                    Err(_) => std::thread::sleep(config.accept_retry),
+                }
+            }
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+        tracker,
+        workers,
+        drain_deadline: config.drain_deadline,
+        server,
+    })
+}
+
+/// Per-connection state machine of the worker pool.
+struct PoolConn {
+    stream: TcpStream,
+    /// Unparsed input bytes (possibly a partial frame at the tail).
+    inbuf: Vec<u8>,
+    /// Serialized replies not yet flushed to the socket.
+    outbuf: Vec<u8>,
+    /// A reply parked on a group-commit fsync: redeemed by polling,
+    /// serialized only once the watermark is durable. While parked, no
+    /// further input is parsed (replies stay ordered).
+    pending: Option<(CommitTicket, ServerMsg)>,
+    /// Peer closed its write side; serve what is buffered, then close.
+    eof: bool,
+    /// `BYE` received (or torn input on an eof'd stream): close after
+    /// the outbuf flushes.
+    closing: bool,
+    last_activity: Instant,
+}
+
+/// What one sweep step decided about a connection.
+enum Step {
+    Keep { progressed: bool },
+    Close,
+}
+
+impl PoolConn {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        // Replies are small multi-write frames; don't let Nagle sit on
+        // them.
+        let _ = stream.set_nodelay(true);
+        Ok(PoolConn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            pending: None,
+            eof: false,
+            closing: false,
+            last_activity: Instant::now(),
+        })
+    }
+
+    fn step(
+        &mut self,
+        server: &UucsServer,
+        committer: Option<&GroupCommitter>,
+        read_timeout: Option<Duration>,
+    ) -> Step {
+        let mut progressed = false;
+
+        // 1. Redeem a parked reply once its fsync landed.
+        if let Some((ticket, reply)) = self.pending.take() {
+            match committer.map(|c| c.poll(ticket)) {
+                // No committer can't really happen (tickets come from
+                // one), but degrade to an immediate reply, never a wedge.
+                None | Some(Some(Ok(()))) => {
+                    let _ = write_server_msg(&mut self.outbuf, &reply);
+                    progressed = true;
+                }
+                Some(Some(Err(e))) => {
+                    let err = ServerMsg::Error(format!("journal commit failed: {e}"));
+                    let _ = write_server_msg(&mut self.outbuf, &err);
+                    progressed = true;
+                }
+                Some(None) => self.pending = Some((ticket, reply)),
+            }
+        }
+
+        // 2. Flush buffered replies.
+        while !self.outbuf.is_empty() {
+            match self.stream.write(&self.outbuf) {
+                Ok(0) => return Step::Close,
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Step::Close,
+            }
+        }
+
+        // 3. Drain readable bytes (unless a reply is parked: replies
+        // stay ordered, so the next request waits).
+        if self.pending.is_none() && !self.eof && !self.closing {
+            let mut buf = [0u8; 4096];
+            loop {
+                match self.stream.read(&mut buf) {
+                    Ok(0) => {
+                        self.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.inbuf.extend_from_slice(&buf[..n]);
+                        progressed = true;
+                        if self.inbuf.len() > MAX_INBUF {
+                            return Step::Close;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return Step::Close,
+                }
+            }
+        }
+
+        // 4. Parse and handle every complete frame in the buffer.
+        while self.pending.is_none() && !self.closing && !self.inbuf.is_empty() {
+            let mut cursor = Cursor::new(&self.inbuf[..]);
+            let parsed = read_client_msg(&mut cursor);
+            let consumed = cursor.position() as usize;
+            match parsed {
+                Ok(Some(ClientMsg::Bye)) => {
+                    self.inbuf.drain(..consumed);
+                    self.closing = true;
+                    progressed = true;
+                }
+                Ok(Some(msg)) => {
+                    self.inbuf.drain(..consumed);
+                    let (reply, ticket) = server.handle_deferred(&msg);
+                    match ticket {
+                        Some(t) => self.pending = Some((t, reply)),
+                        None => {
+                            let _ = write_server_msg(&mut self.outbuf, &reply);
+                        }
+                    }
+                    progressed = true;
+                }
+                // Only whitespace left: consumed cleanly.
+                Ok(None) => {
+                    self.inbuf.clear();
+                    break;
+                }
+                // An unknown message tag from a newer client: the read
+                // stopped at a clean line boundary, so report it and
+                // keep serving the connection.
+                Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+                    self.inbuf.drain(..consumed);
+                    let reply = ServerMsg::Error(format!("unsupported message: {e}"));
+                    let _ = write_server_msg(&mut self.outbuf, &reply);
+                    progressed = true;
+                }
+                // A strict prefix of a valid frame: wait for the rest.
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                // Torn framing: the stream position is unknown. Close.
+                Err(_) => return Step::Close,
+            }
+        }
+
+        // 5. Lifecycle: a finished conversation closes once everything
+        // owed has been flushed.
+        let flushed = self.outbuf.is_empty() && self.pending.is_none();
+        if self.closing && flushed {
+            return Step::Close;
+        }
+        if self.eof && flushed && self.inbuf.is_empty() {
+            return Step::Close;
+        }
+        if self.eof && self.pending.is_none() && !self.inbuf.is_empty() {
+            // Bytes that can never complete a frame (peer is gone).
+            let mut cursor = Cursor::new(&self.inbuf[..]);
+            if matches!(read_client_msg(&mut cursor),
+                        Err(ref e) if e.kind() == std::io::ErrorKind::UnexpectedEof)
+            {
+                return Step::Close;
+            }
+        }
+
+        if progressed {
+            self.last_activity = Instant::now();
+        } else if let Some(t) = read_timeout {
+            if self.pending.is_none() && self.last_activity.elapsed() > t {
+                return Step::Close;
+            }
+        }
+        Step::Keep { progressed }
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    shared: Arc<PoolShared>,
+    server: Arc<UucsServer>,
+    tracker: Arc<Tracker>,
+    live_gauge: Gauge,
+    config: ServeConfig,
+) {
+    let committer = server.group_committer();
+    let mut conns: Vec<PoolConn> = Vec::new();
+    let close = |_c: PoolConn| {
+        // Dropping the stream closes the socket; the peer sees EOF.
+        tracker.live.fetch_sub(1, Ordering::SeqCst);
+        live_gauge.dec();
+    };
+    loop {
+        // Intake newly accepted sockets.
+        {
+            let mut q = shared.queues[index]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while let Some(stream) = q.pop_front() {
+                match PoolConn::new(stream) {
+                    Ok(conn) => conns.push(conn),
+                    Err(_) => {
+                        tracker.live.fetch_sub(1, Ordering::SeqCst);
+                        live_gauge.dec();
+                    }
+                }
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            for c in conns.drain(..) {
+                close(c);
+            }
+            return;
+        }
+        let mut any_progress = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match conns[i].step(&server, committer.as_deref(), config.read_timeout) {
+                Step::Keep { progressed } => {
+                    any_progress |= progressed;
+                    i += 1;
+                }
+                Step::Close => {
+                    close(conns.swap_remove(i));
+                    any_progress = true;
+                }
+            }
+        }
+        if !any_progress {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-per-connection engine (legacy)
+// ---------------------------------------------------------------------
+
+fn serve_threaded(
     server: Arc<UucsServer>,
     addr: &str,
     config: ServeConfig,
@@ -242,12 +656,13 @@ pub fn serve_with(
         stop,
         accept_thread: Some(accept_thread),
         tracker,
+        workers: Vec::new(),
         drain_deadline: config.drain_deadline,
         server,
     })
 }
 
-/// Runs the message loop for one connection.
+/// Runs the message loop for one connection (thread-per-conn engine).
 fn handle_connection(stream: TcpStream, server: &dyn Endpoint, read_timeout: Option<Duration>) {
     let _ = stream.set_read_timeout(read_timeout);
     // Replies are small multi-write frames; don't let Nagle sit on them.
@@ -365,6 +780,31 @@ mod tests {
         handle.shutdown();
     }
 
+    /// The same conversation over the legacy engine: flag round-trip
+    /// plus behavioral parity.
+    #[test]
+    fn legacy_thread_per_conn_engine_still_serves() {
+        let config = ServeConfig {
+            engine: EngineMode::ThreadPerConn,
+            ..ServeConfig::default()
+        };
+        assert_eq!(config.engine, EngineMode::ThreadPerConn);
+        let handle = start_with(config);
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        write_client_msg(
+            &mut writer,
+            &ClientMsg::register(MachineSnapshot::study_machine("legacy")),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_server_msg(&mut reader).unwrap(),
+            ServerMsg::Id { .. }
+        ));
+        handle.shutdown();
+    }
+
     #[test]
     fn concurrent_clients() {
         let handle = start();
@@ -459,11 +899,55 @@ mod tests {
         handle.shutdown();
     }
 
-    /// The documented production cap: changing it is a protocol-level
-    /// decision, not a refactoring accident.
+    /// The production defaults: the worker pool is the engine, and the
+    /// connection budget is sized for fleets (descriptors, not threads).
+    /// Changing either is a protocol-level decision, not a refactoring
+    /// accident.
     #[test]
-    fn default_connection_cap_is_256() {
-        assert_eq!(ServeConfig::default().max_connections, 256);
+    fn default_engine_and_cap_are_fleet_scale() {
+        let config = ServeConfig::default();
+        assert_eq!(config.engine, EngineMode::WorkerPool);
+        assert_eq!(config.max_connections, 4096);
+        assert_eq!(config.workers, 0, "0 = size from the machine");
+    }
+
+    /// Flag round-trips: explicit engine/cap/worker settings survive
+    /// into the running server's behavior.
+    #[test]
+    fn config_round_trips_through_serve() {
+        let handle = start_with(ServeConfig {
+            max_connections: 2,
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        // Two connections fit ...
+        let hold: Vec<TcpStream> = (0..2)
+            .map(|i| {
+                let s = TcpStream::connect(handle.addr()).unwrap();
+                let mut w = s.try_clone().unwrap();
+                let mut r = BufReader::new(s.try_clone().unwrap());
+                write_client_msg(
+                    &mut w,
+                    &ClientMsg::register(MachineSnapshot::study_machine(format!("cap{i}"))),
+                )
+                .unwrap();
+                assert!(matches!(
+                    read_server_msg(&mut r).unwrap(),
+                    ServerMsg::Id { .. }
+                ));
+                s
+            })
+            .collect();
+        assert_eq!(handle.live_connections(), 2);
+        // ... the third is told the server is full.
+        let third = TcpStream::connect(handle.addr()).unwrap();
+        let mut r3 = BufReader::new(third);
+        match read_server_msg(&mut r3).unwrap() {
+            ServerMsg::Error(e) => assert!(e.contains("capacity"), "{e}"),
+            other => panic!("{other:?}"),
+        }
+        drop(hold);
+        handle.shutdown();
     }
 
     #[test]
@@ -511,5 +995,30 @@ mod tests {
         // The connection is idle-open; shutdown must still drain it
         // within the deadline rather than leak the thread.
         assert!(handle.shutdown(), "connection thread did not drain");
+    }
+
+    /// A request split across many tiny writes parses once complete —
+    /// the pool's buffer state machine reassembles partial frames.
+    #[test]
+    fn fragmented_frames_reassemble() {
+        let handle = start();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut msg = Vec::new();
+        write_client_msg(
+            &mut msg,
+            &ClientMsg::register(MachineSnapshot::study_machine("dribbler")),
+        )
+        .unwrap();
+        for chunk in msg.chunks(3) {
+            stream.write_all(chunk).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut reader = BufReader::new(stream);
+        assert!(matches!(
+            read_server_msg(&mut reader).unwrap(),
+            ServerMsg::Id { .. }
+        ));
+        handle.shutdown();
     }
 }

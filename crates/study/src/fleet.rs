@@ -1,0 +1,414 @@
+//! Fleet load driver: thousands of client state machines multiplexed
+//! over a bounded worker pool, hammering a live `uucs-server` over TCP.
+//!
+//! The paper's Internet study topped out at dozens of volunteer
+//! machines; this driver asks what the same server engine can sustain
+//! at fleet scale. Each simulated client keeps one persistent TCP
+//! connection (register → sync → a stream of sequenced uploads), but
+//! the driver spends only [`FleetConfig::workers`] threads: a worker
+//! owns a slice of clients and pipelines them — it writes one upload on
+//! every socket of its slice, then collects every reply — so thousands
+//! of requests are in flight at once against the server's worker pool
+//! and group-commit batcher.
+//!
+//! The run reports sustained acked uploads/sec (measured client-side)
+//! and the server's own p99 verb/commit latency, pulled over the wire
+//! with the `STATS` verb at the end of the window.
+
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uucs_protocol::wire::{read_server_msg, write_client_msg};
+use uucs_protocol::{ClientMsg, MachineSnapshot, MonitorSummary, RunOutcome, RunRecord, ServerMsg};
+use uucs_server::tcp::{self, EngineMode, ServeConfig};
+use uucs_server::{StoreSet, UucsServer};
+use uucs_testcase::{ExerciseSpec, Resource, Testcase};
+use uucs_wal::{SyncPolicy, WalConfig};
+
+/// Tuning for a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Simulated clients (each holds one persistent connection).
+    pub clients: usize,
+    /// Driver worker threads multiplexing the clients.
+    pub workers: usize,
+    /// Measurement window (after registration and a stats reset).
+    pub duration: Duration,
+    /// Records per upload batch.
+    pub batch: usize,
+    /// Talk to an already-running server instead of self-hosting one.
+    pub addr: Option<String>,
+    /// Self-hosted server: store shards.
+    pub shards: usize,
+    /// Self-hosted server: group-commit interval (zero = per-append
+    /// fsync, the pre-group-commit engine).
+    pub commit_interval: Duration,
+    /// Self-hosted server: TCP engine.
+    pub engine: EngineMode,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            clients: 2000,
+            workers: 4,
+            duration: Duration::from_secs(10),
+            batch: 2,
+            addr: None,
+            shards: 8,
+            commit_interval: Duration::from_millis(1),
+            engine: EngineMode::WorkerPool,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The CI smoke shape: small fleet, short window.
+    pub fn quick() -> Self {
+        FleetConfig {
+            clients: 200,
+            duration: Duration::from_secs(2),
+            ..FleetConfig::default()
+        }
+    }
+}
+
+/// What a fleet run measured.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Clients that completed registration and held a connection.
+    pub clients: usize,
+    /// Upload exchanges acknowledged inside the window.
+    pub uploads_acked: u64,
+    /// Records carried by those uploads.
+    pub records: u64,
+    /// The measured window.
+    pub elapsed: Duration,
+    /// Sustained acked uploads per second.
+    pub uploads_per_sec: f64,
+    /// Server-side p99 of the upload verb (handling, excluding the
+    /// commit wait), from `STATS`.
+    pub upload_p99_us: Option<u64>,
+    /// Server-side p99 of the group-commit fsync pass, from `STATS`.
+    pub commit_p99_us: Option<u64>,
+}
+
+impl FleetReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "fleet: {} clients, {} uploads acked in {:.2}s = {:.0} uploads/s ({} records; upload p99 {}, commit p99 {})",
+            self.clients,
+            self.uploads_acked,
+            self.elapsed.as_secs_f64(),
+            self.uploads_per_sec,
+            self.records,
+            self.upload_p99_us
+                .map_or("n/a".to_string(), |u| format!("{u}us")),
+            self.commit_p99_us
+                .map_or("n/a".to_string(), |u| format!("{u}us")),
+        )
+    }
+}
+
+/// One fleet client's half-duplex connection: requests and replies move
+/// independently so a worker can pipeline its whole slice.
+struct FleetConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    id: String,
+    seq: u64,
+}
+
+impl FleetConn {
+    fn connect(addr: &str, name: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        let mut conn = FleetConn {
+            writer,
+            reader: BufReader::new(stream),
+            id: String::new(),
+            seq: 0,
+        };
+        write_client_msg(
+            &mut conn.writer,
+            &ClientMsg::register(MachineSnapshot::study_machine(name)),
+        )?;
+        match read_server_msg(&mut conn.reader)? {
+            ServerMsg::Id { id, .. } => conn.id = id,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("registration refused: {other:?}"),
+                ))
+            }
+        }
+        Ok(conn)
+    }
+
+    fn send_upload(&mut self, batch: usize) -> io::Result<()> {
+        self.seq += 1;
+        let records = (0..batch)
+            .map(|i| RunRecord {
+                client: self.id.clone(),
+                user: String::new(),
+                testcase: format!("fleet-{}-{}", self.seq, i),
+                task: "IE".into(),
+                skill: "Typical".into(),
+                outcome: RunOutcome::Discomfort,
+                offset_secs: 10.0,
+                last_levels: vec![(Resource::Cpu, vec![2.0])],
+                monitor: MonitorSummary::default(),
+            })
+            .collect();
+        write_client_msg(
+            &mut self.writer,
+            &ClientMsg::Upload {
+                client: self.id.clone(),
+                seq: self.seq,
+                records,
+            },
+        )
+    }
+
+    fn recv_ack(&mut self) -> io::Result<bool> {
+        Ok(matches!(
+            read_server_msg(&mut self.reader)?,
+            ServerMsg::Ack(_)
+        ))
+    }
+}
+
+/// Pulls the server's metrics snapshot over the wire and extracts the
+/// p99 of one histogram, in microseconds.
+fn stats_p99_us(addr: &str, hist: &str) -> Option<u64> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(stream);
+    write_client_msg(&mut writer, &ClientMsg::Stats { reset: false }).ok()?;
+    let json = match read_server_msg(&mut reader).ok()? {
+        ServerMsg::Stats(json) => json,
+        _ => return None,
+    };
+    hist_p99_ns(&json, hist).map(|ns| ns / 1000)
+}
+
+/// Extracts `"name":{..."p99_ns":N...}` from the snapshot JSON with a
+/// plain string scan (the format is machine-generated and stable).
+fn hist_p99_ns(json: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":{{");
+    let start = json.find(&key)? + key.len();
+    let body = &json[start..json[start..].find('}')? + start];
+    let p = body.find("\"p99_ns\":")? + "\"p99_ns\":".len();
+    let digits: String = body[p..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// A self-hosted server for fleet runs without an external `--addr`:
+/// WAL-backed sharded stores in a scratch directory, group commit when
+/// the interval is nonzero, and the requested TCP engine.
+struct HostedServer {
+    handle: Option<tcp::ServerHandle>,
+    dir: std::path::PathBuf,
+}
+
+impl HostedServer {
+    fn start(config: &FleetConfig) -> io::Result<Self> {
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "uucs-fleet-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let group_commit = !config.commit_interval.is_zero();
+        let wal = WalConfig {
+            sync: if group_commit {
+                SyncPolicy::Never
+            } else {
+                SyncPolicy::Always
+            },
+            ..WalConfig::default()
+        };
+        let (stores, _) = StoreSet::open(&dir, wal, config.shards)?;
+        let mut server = UucsServer::with_store_set(stores, 0x5e17).without_model_updates();
+        if group_commit {
+            server = server.with_group_commit(config.commit_interval);
+        }
+        let server = Arc::new(server);
+        for i in 0..8 {
+            server
+                .add_testcase(Testcase::single(
+                    format!("fleet-lib-{i}"),
+                    1.0,
+                    Resource::Cpu,
+                    ExerciseSpec::Ramp {
+                        level: 2.0,
+                        duration: 10.0,
+                    },
+                ))
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        }
+        let handle = tcp::serve_with(
+            server,
+            "127.0.0.1:0",
+            ServeConfig {
+                engine: config.engine,
+                max_connections: config.clients + 64,
+                ..ServeConfig::default()
+            },
+        )?;
+        Ok(HostedServer {
+            handle: Some(handle),
+            dir,
+        })
+    }
+
+    fn addr(&self) -> String {
+        self.handle.as_ref().expect("running").addr().to_string()
+    }
+}
+
+impl Drop for HostedServer {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            h.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Runs the fleet against `config.addr` (or a self-hosted server) and
+/// reports sustained throughput and server-side tail latency.
+pub fn run(config: &FleetConfig) -> io::Result<FleetReport> {
+    let hosted = match &config.addr {
+        Some(_) => None,
+        None => Some(HostedServer::start(config)?),
+    };
+    let addr: String = config
+        .addr
+        .clone()
+        .unwrap_or_else(|| hosted.as_ref().expect("self-hosted").addr());
+
+    // Phase 1: bring the whole fleet online (register + hold the
+    // connection). Workers connect their slices concurrently.
+    let workers = config.workers.clamp(1, config.clients.max(1));
+    let mut slices: Vec<Vec<FleetConn>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let addr = &addr;
+                s.spawn(move || -> io::Result<Vec<FleetConn>> {
+                    let mut conns = Vec::new();
+                    for c in (w..config.clients).step_by(workers) {
+                        conns.push(FleetConn::connect(addr, &format!("fleet-{c:05}"))?);
+                    }
+                    Ok(conns)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet worker panicked"))
+            .collect::<io::Result<Vec<_>>>()
+    })?;
+    let online: usize = slices.iter().map(Vec::len).sum();
+
+    // Reset the server's verb/commit telemetry so STATS reflects only
+    // the measured window.
+    {
+        let stream = TcpStream::connect(&addr)?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        write_client_msg(&mut writer, &ClientMsg::Stats { reset: true })?;
+        let _ = read_server_msg(&mut reader)?;
+    }
+
+    // Phase 2: pipelined upload rounds until the deadline. A worker
+    // writes an upload on every connection of its slice, then drains the
+    // replies — keeping its whole slice in flight at once.
+    let acked = AtomicU64::new(0);
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    std::thread::scope(|s| {
+        for slice in &mut slices {
+            let acked = &acked;
+            s.spawn(move || {
+                while Instant::now() < deadline {
+                    let mut sent = 0u64;
+                    for conn in slice.iter_mut() {
+                        if conn.send_upload(config.batch).is_ok() {
+                            sent += 1;
+                        }
+                    }
+                    let mut ok = 0u64;
+                    for conn in slice.iter_mut().take(sent as usize) {
+                        if matches!(conn.recv_ack(), Ok(true)) {
+                            ok += 1;
+                        }
+                    }
+                    acked.fetch_add(ok, Ordering::Relaxed);
+                    if sent == 0 {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let uploads = acked.load(Ordering::Relaxed);
+
+    let report = FleetReport {
+        clients: online,
+        uploads_acked: uploads,
+        records: uploads * config.batch as u64,
+        elapsed,
+        uploads_per_sec: uploads as f64 / elapsed.as_secs_f64().max(1e-9),
+        upload_p99_us: stats_p99_us(&addr, "server.verb.upload.ns"),
+        commit_p99_us: stats_p99_us(&addr, "server.commit.ns"),
+    };
+    for slice in &mut slices {
+        for conn in slice.iter_mut() {
+            let _ = write_client_msg(&mut conn.writer, &ClientMsg::Bye);
+        }
+    }
+    drop(slices);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_p99_extraction() {
+        let json = r#"{"histograms":{"a.ns":{"count":5,"mean_ns":10,"p50_ns":9,"p90_ns":12,"p99_ns":14000,"max_ns":20000},"b.ns":{"count":1,"mean_ns":1,"p50_ns":1,"p90_ns":1,"p99_ns":2,"max_ns":3}}}"#;
+        assert_eq!(hist_p99_ns(json, "a.ns"), Some(14000));
+        assert_eq!(hist_p99_ns(json, "b.ns"), Some(2));
+        assert_eq!(hist_p99_ns(json, "c.ns"), None);
+    }
+
+    /// A miniature fleet end to end against a self-hosted sharded
+    /// group-commit server: everyone registers, uploads flow, the report
+    /// adds up.
+    #[test]
+    fn tiny_fleet_round_trips() {
+        let config = FleetConfig {
+            clients: 12,
+            workers: 3,
+            duration: Duration::from_millis(300),
+            shards: 2,
+            ..FleetConfig::default()
+        };
+        let report = run(&config).expect("fleet run");
+        assert_eq!(report.clients, 12);
+        assert!(report.uploads_acked > 0, "no upload was acked");
+        assert_eq!(report.records, report.uploads_acked * 2);
+    }
+}

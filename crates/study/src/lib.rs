@@ -33,6 +33,7 @@ pub mod db;
 pub mod dynamics;
 pub mod export;
 pub mod figures;
+pub mod fleet;
 pub mod frog;
 pub mod internet;
 pub mod perception_study;
@@ -40,5 +41,6 @@ pub mod report;
 pub mod skill;
 
 pub use closedloop::{ClosedLoop, ClosedLoopConfig, ClosedLoopData};
+pub use fleet::{FleetConfig, FleetReport};
 pub use controlled::{ControlledStudy, StudyConfig, StudyData};
 pub use internet::{InternetStudy, InternetStudyConfig};

@@ -7,7 +7,18 @@
 //!              fig17 fig17rank fig18 frog compare internet dynamics
 //!              perception closedloop verify --all
 //!   other:     export <dir>   (write every figure's CSV series)
+//!
+//! uucs-study fleet [--quick] [--clients N] [--fleet-workers N]
+//!                  [--secs S] [--addr HOST:PORT] [--shards N]
+//!                  [--commit-interval-us N] [--engine pool|threads]
 //! ```
+//!
+//! `fleet` is the load driver: it multiplexes N client state machines
+//! (persistent connections, sequenced uploads) over a bounded worker
+//! pool against a live server — `--addr` to target a running one,
+//! otherwise a sharded group-commit server is self-hosted for the run —
+//! and reports sustained uploads/sec plus the server's p99 verb and
+//! commit latency from `STATS`. `--quick` is the CI smoke shape.
 
 use uucs_comfort::Fidelity;
 use uucs_study::controlled::{ControlledStudy, StudyConfig};
@@ -16,8 +27,83 @@ use uucs_study::{figures, frog, report, skill};
 use uucs_testcase::Resource;
 use uucs_workloads::Task;
 
+fn run_fleet(args: &[String]) -> ! {
+    use uucs_server::tcp::EngineMode;
+    let mut config = uucs_study::FleetConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let int = |args: &[String], i: usize, what: &str| -> u64 {
+            args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{what} needs an integer");
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--quick" => config = uucs_study::FleetConfig::quick(),
+            "--clients" => {
+                i += 1;
+                config.clients = int(args, i, "--clients") as usize;
+            }
+            "--fleet-workers" => {
+                i += 1;
+                config.workers = int(args, i, "--fleet-workers").max(1) as usize;
+            }
+            "--secs" => {
+                i += 1;
+                config.duration = std::time::Duration::from_secs(int(args, i, "--secs"));
+            }
+            "--addr" => {
+                i += 1;
+                config.addr = args.get(i).cloned();
+            }
+            "--shards" => {
+                i += 1;
+                config.shards = int(args, i, "--shards").max(1) as usize;
+            }
+            "--commit-interval-us" => {
+                i += 1;
+                config.commit_interval =
+                    std::time::Duration::from_micros(int(args, i, "--commit-interval-us"));
+            }
+            "--engine" => {
+                i += 1;
+                config.engine = match args.get(i).map(String::as_str) {
+                    Some("pool") => EngineMode::WorkerPool,
+                    Some("threads") => EngineMode::ThreadPerConn,
+                    _ => {
+                        eprintln!("bad --engine (want pool or threads)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown fleet flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    match uucs_study::fleet::run(&config) {
+        Ok(report) => {
+            println!("{}", report.summary());
+            if report.uploads_acked == 0 {
+                eprintln!("fleet sustained zero acked uploads");
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fleet") {
+        run_fleet(&args[1..]);
+    }
     let mut seed = 2004u64;
     let mut users = 33usize;
     let mut fidelity = Fidelity::Fast;

@@ -44,8 +44,14 @@ echo "== model service (sketch properties, e2e, closed-loop governor) =="
 cargo test -q -p uucs-modelsvc
 cargo test -q --test modelsvc_e2e
 
-echo "== bench smoke (UUCS_BENCH_QUICK=1, all eight targets) =="
-for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc; do
+echo "== engine e2e (>1024 conns, group-commit kill chaos, reshard replay) =="
+cargo test -q --test engine_e2e
+
+echo "== fleet smoke (200 multiplexed clients vs a live sharded server) =="
+cargo run -q --release -p uucs-study -- fleet --quick
+
+echo "== bench smoke (UUCS_BENCH_QUICK=1, all nine targets) =="
+for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc engine; do
     echo "-- $bench --"
     UUCS_BENCH_QUICK=1 cargo bench -p uucs-bench --bench "$bench"
 done
@@ -57,7 +63,7 @@ summary=BENCH_SUMMARY.json
 {
     printf '{\n'
     first=1
-    for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc; do
+    for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc engine; do
         report="target/uucs-bench/$bench.json"
         [ -f "$report" ] || continue
         [ "$first" -eq 1 ] || printf ',\n'

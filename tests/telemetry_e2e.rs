@@ -144,8 +144,9 @@ fn connection_cap_rejects_politely_and_gauge_drains_to_zero() {
             .expect("unique ids"),
         7,
     ));
-    // The default cap is 256 (pinned by a uucs-server unit test); a
-    // small explicit cap keeps this test from juggling 257 sockets.
+    // The default cap is 4096 (pinned by a uucs-server unit test); a
+    // small explicit cap keeps this test from juggling thousands of
+    // sockets.
     let cap = 8;
     let handle = tcp::serve_with(
         server,
