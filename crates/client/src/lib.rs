@@ -24,7 +24,7 @@ pub mod transport;
 
 pub use client::{SyncReport, UucsClient};
 pub use governor::{BorrowingGovernor, RefreshOutcome};
-pub use resilient::{ResilientTransport, RetryPolicy};
+pub use resilient::{classify, FailureClass, ResilientTransport, RetryPolicy};
 pub use script::{Command, Script};
 pub use store::ClientStore;
 pub use transport::{ClientTransport, LocalTransport, TcpTransport};

@@ -4,7 +4,7 @@
 //! Internet-study participant in a box.
 //!
 //! ```text
-//! uucs-client --server 127.0.0.1:4004 [--store DIR] [--no-store]
+//! uucs-client --server 127.0.0.1:4004[,HOST:PORT...] [--store DIR] [--no-store]
 //!             [--runs N] [--mean-gap SECS] [--seed N] [--script FILE]
 //!             [--timeout SECS] [--retries N]
 //! ```
@@ -137,7 +137,10 @@ fn main() {
         }
         client.attach_store(store.clone());
     }
-    let mut transport = ResilientTransport::new(server.clone())
+    // `--server` accepts a comma-separated list; exchanges fail over
+    // down the list, so a replicated tier's follower can take over.
+    let addrs: Vec<String> = server.split(',').map(str::to_string).collect();
+    let mut transport = ResilientTransport::multi(addrs)
         .with_timeout(Duration::from_secs_f64(timeout.max(0.1)))
         .with_policy(RetryPolicy {
             max_attempts: retries.max(1),

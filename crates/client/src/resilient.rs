@@ -42,6 +42,7 @@ struct TransportMetrics {
     timeouts: Counter,
     exchanges_ok: Counter,
     failures: Counter,
+    failovers: Counter,
 }
 
 fn transport_metrics() -> &'static TransportMetrics {
@@ -53,7 +54,35 @@ fn transport_metrics() -> &'static TransportMetrics {
         timeouts: metrics::counter("client.transport.timeouts"),
         exchanges_ok: metrics::counter("client.transport.exchanges_ok"),
         failures: metrics::counter("client.transport.failures"),
+        failovers: metrics::counter("client.failover.count"),
     })
+}
+
+/// What a failed exchange attempt means for the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The peer would answer every retry identically (unknown protocol,
+    /// unparseable bytes): surface the error now.
+    Permanent,
+    /// Nobody is home at *this* address — the OS refused the dial
+    /// without waiting. With a server list, the next address deserves
+    /// an immediate try: a refused dial costs milliseconds, unlike a
+    /// timeout, so backing off before pivoting just delays failover.
+    FastFailover,
+    /// A transient fault where the server may yet answer (timeout,
+    /// reset, torn frame): back off, then retry.
+    Backoff,
+}
+
+/// The retry classification table. Pure, total, and unit-tested — the
+/// one place deciding which failures burn backoff time, which pivot to
+/// the next server immediately, and which give up.
+pub fn classify(kind: io::ErrorKind) -> FailureClass {
+    match kind {
+        io::ErrorKind::Unsupported | io::ErrorKind::InvalidData => FailureClass::Permanent,
+        io::ErrorKind::ConnectionRefused => FailureClass::FastFailover,
+        _ => FailureClass::Backoff,
+    }
 }
 
 /// Bounded-retry schedule: exponential backoff with multiplicative
@@ -104,9 +133,16 @@ impl RetryPolicy {
 /// How long a `ResilientTransport` waits for connect, read, and write.
 const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// A reconnecting TCP transport with deadlines and bounded retries.
+/// A reconnecting TCP transport with deadlines, bounded retries, and
+/// multi-address failover: give it every node of a replicated server
+/// tier and it pivots to the next address when the current one refuses
+/// the dial or answers "not leader".
 pub struct ResilientTransport {
-    addr: String,
+    addrs: Vec<String>,
+    current: usize,
+    /// Index of the address the last successful exchange used; a
+    /// success elsewhere counts one failover.
+    last_good: Option<usize>,
     timeout: Duration,
     policy: RetryPolicy,
     conn: Option<TcpTransport>,
@@ -117,13 +153,35 @@ impl ResilientTransport {
     /// Creates a transport for `addr` with the default deadline and
     /// retry policy. Does not connect — the first exchange does.
     pub fn new(addr: impl Into<String>) -> Self {
+        Self::multi(vec![addr.into()])
+    }
+
+    /// Creates a transport over a server list (at least one address).
+    /// Exchanges start at the first address and fail over in list order,
+    /// wrapping around.
+    pub fn multi(addrs: Vec<String>) -> Self {
+        assert!(!addrs.is_empty(), "at least one server address required");
         ResilientTransport {
-            addr: addr.into(),
+            addrs,
+            current: 0,
+            last_good: None,
             timeout: DEFAULT_TIMEOUT,
             policy: RetryPolicy::default(),
             conn: None,
             sleeper: Box::new(std::thread::sleep),
         }
+    }
+
+    /// The address the next exchange will dial.
+    pub fn current_addr(&self) -> &str {
+        &self.addrs[self.current]
+    }
+
+    /// Drops the connection and advances to the next address in the
+    /// list (a no-op rotation with a single address).
+    fn rotate(&mut self) {
+        self.conn = None;
+        self.current = (self.current + 1) % self.addrs.len();
     }
 
     /// Replaces the retry policy.
@@ -161,7 +219,7 @@ impl ResilientTransport {
     fn ensure_connected(&mut self) -> io::Result<&mut TcpTransport> {
         if self.conn.is_none() {
             self.conn = Some(TcpTransport::connect_with_deadline(
-                &self.addr,
+                &self.addrs[self.current],
                 self.timeout,
             )?);
         }
@@ -169,17 +227,33 @@ impl ResilientTransport {
     }
 }
 
+/// A server-side refusal that means "this node is a follower" — the
+/// reply every read-only cluster node gives mutating verbs. Worth a
+/// pivot, not a backoff: some other node in the list leads.
+fn is_not_leader(reply: &ServerMsg) -> bool {
+    matches!(reply, ServerMsg::Error(msg) if msg.starts_with("not leader"))
+}
+
 impl ClientTransport for ResilientTransport {
-    /// Sends `msg`, reconnecting and retrying per the policy. Each
-    /// attempt is bounded by the deadline; between attempts the transport
-    /// sleeps the (deterministic) backoff delay. The last error surfaces
-    /// after `max_attempts` failures.
+    /// Sends `msg`, reconnecting, failing over, and retrying per the
+    /// policy. Failures route through the [`classify`] table: permanent
+    /// ones surface immediately, refused dials (and "not leader"
+    /// refusals) pivot to the next address without burning backoff
+    /// time — bounded to one lap of the list per attempt — and
+    /// everything else sleeps the (deterministic) backoff delay, also
+    /// rotating so the retry lands on a different server when there is
+    /// one. The last error surfaces after `max_attempts` failures.
     fn exchange(&mut self, msg: &ClientMsg) -> io::Result<ServerMsg> {
         let tm = transport_metrics();
         let delays = self.policy.delays();
         let mut last_err: Option<io::Error> = None;
-        for attempt in 0..self.policy.max_attempts.max(1) {
-            if attempt > 0 {
+        let mut attempt = 0u32;
+        // Fast pivots taken since the last backoff-class failure; one
+        // full lap of dead addresses forfeits the fast path (otherwise
+        // a fully-down cluster would spin instead of backing off).
+        let mut fast_hops = 0usize;
+        while attempt < self.policy.max_attempts.max(1) {
+            if attempt > 0 && fast_hops == 0 {
                 let delay = delays
                     .get(attempt as usize - 1)
                     .copied()
@@ -194,7 +268,20 @@ impl ClientTransport for ResilientTransport {
                 .and_then(|conn| conn.exchange(msg));
             match result {
                 Ok(reply) => {
+                    if is_not_leader(&reply) && fast_hops + 1 < self.addrs.len() {
+                        // A healthy follower answered: the leader is
+                        // some other list entry. Pivot like a refused
+                        // dial — this costs one round trip, not a
+                        // backoff window.
+                        fast_hops += 1;
+                        self.rotate();
+                        continue;
+                    }
                     tm.exchanges_ok.inc();
+                    if self.last_good.is_some_and(|i| i != self.current) {
+                        tm.failovers.inc();
+                    }
+                    self.last_good = Some(self.current);
                     return Ok(reply);
                 }
                 Err(e) => {
@@ -205,22 +292,33 @@ impl ClientTransport for ResilientTransport {
                     // reply, a timeout mid-frame): drop it and reconnect
                     // on the next attempt.
                     self.conn = None;
-                    // Permanent failures don't earn a retry: a peer that
-                    // speaks an unknown protocol (`Unsupported`) or
-                    // emits bytes that cannot parse (`InvalidData`)
-                    // will say the same thing after every backoff —
-                    // burning the whole schedule per message just delays
-                    // the caller's fallback to the offline spool.
-                    // (Timeouts, refused dials, resets, and torn frames
-                    // — `UnexpectedEof` — all stay retryable.)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::Unsupported | io::ErrorKind::InvalidData
-                    ) {
-                        tm.failures.inc();
-                        return Err(e);
+                    match classify(e.kind()) {
+                        // A peer that speaks an unknown protocol
+                        // (`Unsupported`) or emits bytes that cannot
+                        // parse (`InvalidData`) will say the same thing
+                        // after every backoff — burning the whole
+                        // schedule per message just delays the caller's
+                        // fallback to the offline spool.
+                        FailureClass::Permanent => {
+                            tm.failures.inc();
+                            return Err(e);
+                        }
+                        FailureClass::FastFailover if fast_hops + 1 < self.addrs.len() => {
+                            fast_hops += 1;
+                            self.rotate();
+                            last_err = Some(e);
+                            continue;
+                        }
+                        // Timeouts, resets, torn frames (`UnexpectedEof`)
+                        // — and refused dials once the whole list
+                        // refused: back off, then try the next address.
+                        FailureClass::FastFailover | FailureClass::Backoff => {
+                            fast_hops = 0;
+                            self.rotate();
+                            last_err = Some(e);
+                            attempt += 1;
+                        }
                     }
-                    last_err = Some(e);
                 }
             }
         }
@@ -380,8 +478,109 @@ mod tests {
         let listener2 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr2 = listener2.local_addr().unwrap();
         let h2 = one_shot(listener2);
-        t.addr = addr2.to_string();
+        t.addrs = vec![addr2.to_string()];
+        t.current = 0;
         assert_eq!(t.exchange(&msg).unwrap(), ServerMsg::Ack(1));
         h2.join().unwrap();
+    }
+
+    /// The classification table, pinned: exactly which error kinds are
+    /// permanent, which pivot to the next address without backoff, and
+    /// which sleep. A regression here silently changes failover latency
+    /// across the whole fleet.
+    #[test]
+    fn failure_classification_table() {
+        use io::ErrorKind::*;
+        for (kind, want) in [
+            (Unsupported, FailureClass::Permanent),
+            (InvalidData, FailureClass::Permanent),
+            (ConnectionRefused, FailureClass::FastFailover),
+            (TimedOut, FailureClass::Backoff),
+            (WouldBlock, FailureClass::Backoff),
+            (ConnectionReset, FailureClass::Backoff),
+            (ConnectionAborted, FailureClass::Backoff),
+            (UnexpectedEof, FailureClass::Backoff),
+            (BrokenPipe, FailureClass::Backoff),
+            (NotConnected, FailureClass::Backoff),
+            (AddrNotAvailable, FailureClass::Backoff),
+            (Other, FailureClass::Backoff),
+        ] {
+            assert_eq!(classify(kind), want, "{kind:?}");
+        }
+    }
+
+    /// A refused dial on the first address must reach the second
+    /// address *without* sleeping: fast failover is the difference
+    /// between a sub-millisecond pivot and a multi-second backoff lap
+    /// while a perfectly healthy replica sits in the list.
+    #[test]
+    fn connection_refused_fails_over_without_backoff() {
+        use std::io::BufReader;
+        use uucs_protocol::wire::{read_client_msg, write_server_msg};
+
+        // A dead first address and a live second one.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            if read_client_msg(&mut reader).unwrap().is_some() {
+                write_server_msg(&mut writer, &ServerMsg::Ack(7)).unwrap();
+            }
+        });
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let rec = slept.clone();
+        let mut t = ResilientTransport::multi(vec![dead.to_string(), live.to_string()])
+            .with_timeout(Duration::from_millis(500))
+            .with_sleeper(Box::new(move |d| rec.lock().unwrap().push(d)));
+        let msg = ClientMsg::Sync {
+            client: "c".into(),
+            have: 0,
+            want: 1,
+        };
+        assert_eq!(t.exchange(&msg).unwrap(), ServerMsg::Ack(7));
+        assert!(
+            slept.lock().unwrap().is_empty(),
+            "fast failover must not sleep: {:?}",
+            slept.lock().unwrap()
+        );
+        assert_eq!(t.current_addr(), live.to_string());
+        h.join().unwrap();
+    }
+
+    /// With every address refusing, the transport must not spin on the
+    /// fast path forever: one lap of the list forfeits it, and the
+    /// bounded backoff schedule runs as in the single-address case.
+    #[test]
+    fn all_addresses_dead_still_fails_in_bounded_time() {
+        let dead = |_: ()| {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let rec = slept.clone();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(20),
+            seed: 7,
+        };
+        let expected = policy.delays();
+        let mut t = ResilientTransport::multi(vec![dead(()), dead(())])
+            .with_timeout(Duration::from_millis(200))
+            .with_policy(policy)
+            .with_sleeper(Box::new(move |d| rec.lock().unwrap().push(d)));
+        let err = t.exchange(&ClientMsg::Bye).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused, "{err}");
+        assert_eq!(
+            *slept.lock().unwrap(),
+            expected,
+            "backoff schedule must still bound a fully-dead list"
+        );
     }
 }

@@ -1,0 +1,200 @@
+//! The `uucs-clusterd` daemon: one node of the replicated server tier.
+//!
+//! ```text
+//! uucs-clusterd --node NAME --cluster-dir DIR
+//!               [--addr 127.0.0.1:4004] [--repl-listen 127.0.0.1:4104]
+//!               [--follow HOST:PORT[,HOST:PORT...]]
+//!               [--repl-ack local|quorum] [--data DIR] [--shards N]
+//!               [--library FILE] [--generate-library N-seed]
+//! ```
+//!
+//! Without `--follow` the node boots as the leader: it claims the next
+//! takeover epoch in `--cluster-dir` and serves read-write. With
+//! `--follow` it boots read-only, streams the leader's WAL over the
+//! `REPL` channel at one of the given addresses, and — should every
+//! candidate go silent — races for the takeover file and promotes
+//! itself.
+//!
+//! Stores are WAL-backed under `--data` exactly like `uucs-server
+//! --wal`; replication logs and follower progress live next to them.
+//! A two-node quickstart is in the README ("Running a cluster").
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use uucs_cluster::{AckMode, ClusterConfig, ClusterNode, Role};
+use uucs_server::{tcp, StoreSet, TestcaseStore, UucsServer};
+use uucs_wal::WalConfig;
+
+fn main() {
+    let mut node = String::new();
+    let mut cluster_dir: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:4004".to_string();
+    let mut repl_listen = "127.0.0.1:4104".to_string();
+    let mut follow: Vec<String> = Vec::new();
+    let mut ack = AckMode::Local;
+    let mut data = PathBuf::from("uucs-cluster-data");
+    let mut shards: usize = 4;
+    let mut library: Option<PathBuf> = None;
+    let mut gen_seed: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--node" => {
+                i += 1;
+                node = args.get(i).cloned().unwrap_or_default();
+            }
+            "--cluster-dir" => {
+                i += 1;
+                cluster_dir = args.get(i).map(PathBuf::from);
+            }
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().unwrap_or(addr);
+            }
+            "--repl-listen" => {
+                i += 1;
+                repl_listen = args.get(i).cloned().unwrap_or(repl_listen);
+            }
+            "--follow" => {
+                i += 1;
+                follow = args
+                    .get(i)
+                    .map(|s| s.split(',').map(str::to_string).collect())
+                    .unwrap_or_default();
+            }
+            "--repl-ack" => {
+                i += 1;
+                ack = args
+                    .get(i)
+                    .and_then(|s| AckMode::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --repl-ack (want local or quorum)");
+                        std::process::exit(2);
+                    });
+            }
+            "--data" => {
+                i += 1;
+                data = args.get(i).map(PathBuf::from).unwrap_or(data);
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --shards (want an integer >= 1)");
+                        std::process::exit(2);
+                    });
+            }
+            "--library" => {
+                i += 1;
+                library = args.get(i).map(PathBuf::from);
+            }
+            "--generate-library" => {
+                i += 1;
+                gen_seed = args.get(i).and_then(|s| s.parse().ok()).or(Some(42));
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if node.is_empty() {
+        eprintln!("--node NAME is required (the node's identity in the cluster)");
+        std::process::exit(2);
+    }
+    let Some(cluster_dir) = cluster_dir else {
+        eprintln!("--cluster-dir DIR is required (the shared takeover directory)");
+        std::process::exit(2);
+    };
+
+    eprintln!(
+        "recovering journals under {:?} ({shards} shard(s)) ...",
+        data.join("wal")
+    );
+    let (stores, _recoveries) = StoreSet::open(&data.join("wal"), WalConfig::default(), shards)
+        .unwrap_or_else(|e| {
+            eprintln!("journal is unrecoverable: {e}");
+            std::process::exit(1);
+        });
+    let server = Arc::new(UucsServer::with_store_set(stores, 0x5e17));
+
+    let role = if follow.is_empty() {
+        Role::Leader
+    } else {
+        Role::Follower
+    };
+    // Only a leader seeds the library; a follower receives it over the
+    // replication stream.
+    if role == Role::Leader && server.testcase_count() == 0 {
+        let testcases = if let Some(path) = &library {
+            match TestcaseStore::load(path) {
+                Ok(store) => store.all().to_vec(),
+                Err(e) => {
+                    eprintln!("cannot load library {path:?}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            let seed = gen_seed.unwrap_or(42);
+            eprintln!("generating internet-sweep library (seed {seed}) ...");
+            uucs_testcase::generate::Library::internet_sweep(seed)
+                .testcases()
+                .to_vec()
+        };
+        for tc in testcases {
+            if let Err(e) = server.add_testcase(tc) {
+                eprintln!("cannot seed library: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut config = ClusterConfig::new(node.clone(), cluster_dir, data.clone());
+    config.peers = follow.clone();
+    config.ack = ack;
+    let cluster = ClusterNode::start(config, Arc::clone(&server), &repl_listen, role)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start cluster node: {e}");
+            std::process::exit(1);
+        });
+    eprintln!(
+        "node {node} is {:?} (REPL on {}, epoch dir shared)",
+        cluster.role(),
+        cluster.repl_addr()
+    );
+
+    let handle = tcp::serve(Arc::clone(&server), &addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("serving clients on {} (data dir {data:?})", handle.addr());
+
+    loop {
+        std::thread::sleep(Duration::from_secs(30));
+        let role = cluster.role();
+        if role == Role::Leader {
+            // Fold the journals and the replication logs; a follower
+            // further behind than this checkpoint gets a snapshot.
+            if let Err(e) = server
+                .compact()
+                .and_then(|_| cluster.hub().checkpoint_logs())
+            {
+                eprintln!("checkpoint failed: {e}");
+                continue;
+            }
+        }
+        eprintln!(
+            "{role:?}: {} clients, {} results, {} follower(s)",
+            server.client_count(),
+            server.result_count(),
+            cluster.hub().follower_nodes().len()
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! The follower half of WAL shipping: connect to whoever leads, resume
+//! from persisted watermarks, apply the stream into the local engine,
+//! ack with per-shard commits, and gossip the node's own model
+//! contribution on a timer.
+//!
+//! The follower also doubles as the cluster's failure detector: when a
+//! full sweep of the peer list finds no leader (`connect` refused or
+//! every node answered `NOTLEADER`) enough times in a row, it reports
+//! leader loss to the [`crate::node::ClusterNode`], which races for the
+//! takeover file.
+
+use crate::hub::ReplHub;
+use std::io::{self, BufReader, BufWriter};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use uucs_protocol::repl::{read_repl_msg, write_repl_msg, ReplMsg};
+use uucs_protocol::WalEntry;
+use uucs_server::UucsServer;
+use uucs_telemetry::metrics;
+
+/// Durable follower progress: the cluster epoch the watermarks were
+/// earned under and, per leader shard, the next wanted sequence.
+/// Persisted as one small text file, rewritten after every applied
+/// message — being *behind* on disk is always safe (re-application is
+/// idempotent), being ahead never happens.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FollowerProgress {
+    /// The cluster epoch of the leader the watermarks came from.
+    pub epoch: u64,
+    /// Next wanted sequence per leader shard.
+    pub watermarks: Vec<u64>,
+}
+
+impl FollowerProgress {
+    /// Loads progress from `path` (default: never synced).
+    pub fn load(path: &std::path::Path) -> FollowerProgress {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return FollowerProgress::default();
+        };
+        let mut lines = text.lines();
+        let epoch = lines
+            .next()
+            .and_then(|l| l.strip_prefix("EPOCH "))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let watermarks = lines
+            .filter_map(|l| l.strip_prefix("SHARD "))
+            .filter_map(|l| l.split_whitespace().nth(1))
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        FollowerProgress { epoch, watermarks }
+    }
+
+    /// Persists progress to `path` (best-effort; an unwritable file
+    /// only costs a bigger backfill after restart).
+    pub fn save(&self, path: &std::path::Path) {
+        let mut out = format!("EPOCH {}\n", self.epoch);
+        for (i, w) in self.watermarks.iter().enumerate() {
+            out.push_str(&format!("SHARD {i} {w}\n"));
+        }
+        let _ = std::fs::write(path, out);
+    }
+}
+
+/// Configuration for the follower runtime.
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// This node's name (the `HELLO` identity).
+    pub node: String,
+    /// `REPL` addresses of every peer that might lead.
+    pub leaders: Vec<String>,
+    /// Where [`FollowerProgress`] persists.
+    pub progress_path: PathBuf,
+    /// Socket read timeout; each expiry sends one gossip beat.
+    pub gossip_interval: Duration,
+    /// Consecutive no-leader sweeps of the peer list before reporting
+    /// leader loss (the promotion trigger).
+    pub promote_after: u32,
+}
+
+/// The follower runtime: a background thread driving the connect /
+/// apply / ack / gossip loop.
+pub struct ReplFollower {
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ReplFollower {
+    /// Starts following. `on_leader_lost` runs on the follower thread
+    /// after `promote_after` consecutive leaderless sweeps; returning
+    /// `true` means this node was promoted and the loop must end.
+    pub fn start(
+        config: FollowerConfig,
+        server: Arc<UucsServer>,
+        hub: Arc<ReplHub>,
+        on_leader_lost: impl Fn() -> bool + Send + 'static,
+    ) -> ReplFollower {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("repl-follower-{}", config.node))
+            .spawn(move || {
+                run_follower(&config, &server, &hub, &stop2, on_leader_lost);
+            })
+            .expect("spawn follower thread");
+        ReplFollower {
+            stop,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Stops the loop and joins the thread.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = lock(&self.handle).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReplFollower {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn run_follower(
+    config: &FollowerConfig,
+    server: &Arc<UucsServer>,
+    hub: &Arc<ReplHub>,
+    stop: &AtomicBool,
+    on_leader_lost: impl Fn() -> bool,
+) {
+    let mut leaderless_sweeps = 0u32;
+    while !stop.load(Ordering::SeqCst) {
+        let mut synced_any = false;
+        for addr in &config.leaders {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Ok(true) = follow_once(config, server, hub, stop, addr) {
+                synced_any = true;
+                leaderless_sweeps = 0;
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if !synced_any {
+            leaderless_sweeps += 1;
+            if leaderless_sweeps >= config.promote_after {
+                if on_leader_lost() {
+                    return;
+                }
+                leaderless_sweeps = 0;
+            }
+            // Brief pause between sweeps so a restarting leader has a
+            // chance to bind before the next round (and the promotion
+            // count reflects real time, not a hot loop).
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+/// Reads the next framed message without losing stream sync to the
+/// gossip timer: the read timeout only applies *between* frames (a
+/// `fill_buf` peek); once a frame's first byte arrived the rest is read
+/// with no deadline — the sender writes whole frames with one flush, so
+/// the wait is bounded by the leader's liveness, which is exactly what
+/// a blocked read should be bounded by.
+///
+/// Returns `Ok(None)` on a timeout beat, `Ok(Some(None))` on clean EOF,
+/// `Ok(Some(Some(msg)))` on a message.
+#[allow(clippy::option_option)]
+fn next_msg(
+    reader: &mut BufReader<TcpStream>,
+    sock: &TcpStream,
+    timeout: Duration,
+) -> io::Result<Option<Option<ReplMsg>>> {
+    use std::io::BufRead;
+    match reader.fill_buf() {
+        Ok([]) => Ok(Some(None)),
+        Ok(_) => {
+            sock.set_read_timeout(None)?;
+            let msg = read_repl_msg(reader);
+            sock.set_read_timeout(Some(timeout))?;
+            msg.map(Some)
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// One connection attempt against one candidate leader. `Ok(true)`
+/// means a session was established and later ended (leader died or we
+/// are stopping); `Ok(false)` means this peer is not the leader.
+fn follow_once(
+    config: &FollowerConfig,
+    server: &Arc<UucsServer>,
+    hub: &Arc<ReplHub>,
+    stop: &AtomicBool,
+    addr: &str,
+) -> io::Result<bool> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(config.gossip_interval))?;
+    let sock = stream.try_clone()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut progress = FollowerProgress::load(&config.progress_path);
+    write_repl_msg(
+        &mut writer,
+        &ReplMsg::Hello {
+            node: config.node.clone(),
+            epoch: progress.epoch,
+            watermarks: progress
+                .watermarks
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (i, w))
+                .collect(),
+        },
+    )?;
+    let (epoch, shards) = loop {
+        match next_msg(&mut reader, &sock, config.gossip_interval) {
+            Ok(Some(Some(ReplMsg::Welcome { epoch, shards, .. }))) => break (epoch, shards),
+            Ok(Some(_)) => return Ok(false),
+            Ok(None) => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(_) => return Ok(false),
+        }
+    };
+    if progress.epoch != epoch || progress.watermarks.len() != shards {
+        // New leader (or first contact): the old sequence space is
+        // meaningless. The leader will send a snapshot; expect from 0.
+        progress = FollowerProgress {
+            epoch,
+            watermarks: vec![0; shards],
+        };
+        progress.save(&config.progress_path);
+    }
+    let applied = metrics::counter("server.repl.applied");
+    // The apply / ack / gossip loop. A read timeout is the gossip beat;
+    // a torn frame or reset ends the session (the leader died).
+    let session = loop {
+        if stop.load(Ordering::SeqCst) {
+            break true;
+        }
+        match next_msg(&mut reader, &sock, config.gossip_interval) {
+            Ok(Some(Some(ReplMsg::Entry { shard, seq, bytes }))) => {
+                if shard >= shards {
+                    break true;
+                }
+                let expected = progress.watermarks[shard];
+                if seq < expected {
+                    continue; // Backfill overlap: already applied.
+                }
+                if seq > expected {
+                    break true; // Gap: resync via reconnect.
+                }
+                let entry = WalEntry::decode(&bytes)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                server.apply_entry(&entry)?;
+                applied.inc();
+                progress.watermarks[shard] = seq + 1;
+                progress.save(&config.progress_path);
+                write_repl_msg(
+                    &mut writer,
+                    &ReplMsg::Commit {
+                        shard,
+                        upto: seq + 1,
+                    },
+                )?;
+            }
+            Ok(Some(Some(ReplMsg::SnapEntry { bytes, .. }))) => {
+                let entry = WalEntry::decode(&bytes)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                server.apply_snapshot_entry(&entry)?;
+                applied.inc();
+            }
+            Ok(Some(Some(ReplMsg::SnapDone { shard, upto }))) => {
+                if shard >= shards {
+                    break true;
+                }
+                progress.watermarks[shard] = progress.watermarks[shard].max(upto);
+                progress.save(&config.progress_path);
+                write_repl_msg(
+                    &mut writer,
+                    &ReplMsg::Commit {
+                        shard,
+                        upto: progress.watermarks[shard],
+                    },
+                )?;
+            }
+            Ok(Some(Some(ReplMsg::Gossip { node, epoch, model }))) => {
+                lock(hub.gossip()).absorb(&node, epoch, &model);
+            }
+            Ok(Some(Some(ReplMsg::Ping { .. }))) => {}
+            Ok(Some(_)) => break true,
+            Ok(None) => {
+                // Gossip beat: send our own latest contribution.
+                let own = server.model_contribution();
+                lock(hub.gossip()).record_own(&own);
+                if write_repl_msg(
+                    &mut writer,
+                    &ReplMsg::Gossip {
+                        node: config.node.clone(),
+                        epoch: own.epoch(),
+                        model: own.encode(),
+                    },
+                )
+                .is_err()
+                {
+                    break true;
+                }
+            }
+            Err(_) => break true, // Torn frame / reset: leader died.
+        }
+    };
+    Ok(session)
+}

@@ -1,0 +1,390 @@
+//! Integration tests of the replicated tier over real sockets: WAL
+//! shipping leader → follower, backfill edge cases (mid-rotation joins,
+//! watermarks behind a compaction), and deterministic promotion.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use uucs_cluster::node::{claim_epoch, current_epoch};
+use uucs_cluster::{ClusterConfig, ClusterNode, Role};
+use uucs_harness::TempDir;
+use uucs_protocol::{ClientMsg, MachineSnapshot, MonitorSummary, RunOutcome, RunRecord, ServerMsg};
+use uucs_server::{StoreSet, UucsServer};
+
+fn rec(client: &str, tag: &str) -> RunRecord {
+    RunRecord {
+        client: client.into(),
+        user: String::new(),
+        testcase: tag.into(),
+        task: "IE".into(),
+        skill: "Typical".into(),
+        outcome: RunOutcome::Discomfort,
+        offset_secs: 10.0,
+        last_levels: vec![(uucs_testcase::Resource::Cpu, vec![2.0])],
+        monitor: MonitorSummary::default(),
+    }
+}
+
+/// Polls `f` until it holds or `timeout` passes (then panics naming
+/// `what`). The replication stream is asynchronous by design, so every
+/// convergence assertion goes through here.
+fn wait_until(what: &str, timeout: Duration, mut f: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !f() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn fresh_server() -> Arc<UucsServer> {
+    Arc::new(UucsServer::with_store_set(StoreSet::plain(4), 9))
+}
+
+fn config(
+    name: &str,
+    cluster_dir: &std::path::Path,
+    data_dir: &std::path::Path,
+    peers: Vec<String>,
+    segment_bytes: u64,
+) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(name, cluster_dir, data_dir.join(name));
+    cfg.peers = peers;
+    cfg.gossip_interval = Duration::from_millis(40);
+    cfg.promote_after = 2;
+    cfg.segment_bytes = segment_bytes;
+    cfg
+}
+
+fn register(server: &UucsServer, host: &str) -> String {
+    let (reply, _) = server.handle_deferred(&ClientMsg::Register {
+        snapshot: MachineSnapshot::study_machine(host),
+        token: format!("tok-{host}"),
+    });
+    match reply {
+        ServerMsg::Id { id, .. } => id,
+        other => panic!("register answered {other:?}"),
+    }
+}
+
+fn upload(server: &UucsServer, client: &str, seq: u64, tag: &str) {
+    let (reply, _) = server.handle_deferred(&ClientMsg::Upload {
+        client: client.into(),
+        seq,
+        records: vec![rec(client, tag)],
+    });
+    assert!(matches!(reply, ServerMsg::Ack(1)), "upload answered {reply:?}");
+}
+
+/// Each testcase tag must appear exactly once — the store-level
+/// spelling of "no acknowledged upload lost, none duplicated".
+fn assert_exactly_once(server: &UucsServer, tags: &[String]) {
+    let records = server.results();
+    assert_eq!(records.len(), tags.len(), "record count");
+    for tag in tags {
+        let copies = records.iter().filter(|r| &r.testcase == tag).count();
+        assert_eq!(copies, 1, "tag {tag} appears {copies} times");
+    }
+}
+
+/// The base case: a follower connected from the start applies the
+/// leader's live stream, converges to the same store, and refuses
+/// writes of its own with a `not leader` error the client-side
+/// failover recognises.
+#[test]
+fn follower_applies_the_leaders_stream() {
+    let dir = TempDir::new("cluster-stream");
+    let leader_srv = fresh_server();
+    let leader = ClusterNode::start(
+        config("a", &dir.path().join("epochs"), dir.path(), vec![], 1 << 20),
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        Role::Leader,
+    )
+    .unwrap();
+
+    let follower_srv = fresh_server();
+    let follower = ClusterNode::start(
+        config(
+            "b",
+            &dir.path().join("epochs"),
+            dir.path(),
+            vec![leader.repl_addr().to_string()],
+            1 << 20,
+        ),
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        Role::Follower,
+    )
+    .unwrap();
+
+    let id = register(&leader_srv, "m1");
+    let mut tags = Vec::new();
+    for seq in 1..=10u64 {
+        let tag = format!("tc-{seq}");
+        upload(&leader_srv, &id, seq, &tag);
+        tags.push(tag);
+    }
+
+    wait_until("follower to apply 10 batches", Duration::from_secs(10), || {
+        follower_srv.result_count() == 10
+    });
+    assert_eq!(follower_srv.client_count(), 1);
+    assert_eq!(follower_srv.applied_seq(&id), 10, "seq horizon replicated");
+    assert_exactly_once(&follower_srv, &tags);
+
+    // The follower's engine is read-only: writes bounce with the
+    // `not leader` marker clients pivot on.
+    let (reply, _) = follower_srv.handle_deferred(&ClientMsg::Upload {
+        client: id.clone(),
+        seq: 99,
+        records: vec![rec(&id, "nope")],
+    });
+    match reply {
+        ServerMsg::Error(msg) => assert!(msg.starts_with("not leader"), "got {msg:?}"),
+        other => panic!("follower accepted a write: {other:?}"),
+    }
+
+    follower.shutdown();
+    leader.shutdown();
+}
+
+/// Backfill edge case (satellite): a follower that first connects
+/// after the leader's replication logs have rotated through several
+/// segments tails the whole multi-segment log, then rides the live
+/// stream without a seam.
+#[test]
+fn follower_joining_mid_segment_rotation_tails_the_whole_log() {
+    let dir = TempDir::new("cluster-rotate");
+    let leader_srv = fresh_server();
+    // 256-byte segments: every couple of entries forces a rotation.
+    let leader = ClusterNode::start(
+        config("a", &dir.path().join("epochs"), dir.path(), vec![], 256),
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        Role::Leader,
+    )
+    .unwrap();
+
+    let id = register(&leader_srv, "m1");
+    let mut tags = Vec::new();
+    for seq in 1..=30u64 {
+        let tag = format!("pre-{seq}");
+        upload(&leader_srv, &id, seq, &tag);
+        tags.push(tag);
+    }
+
+    // Join mid-history: everything so far must arrive by log tail.
+    let follower_srv = fresh_server();
+    let follower = ClusterNode::start(
+        config(
+            "b",
+            &dir.path().join("epochs"),
+            dir.path(),
+            vec![leader.repl_addr().to_string()],
+            256,
+        ),
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        Role::Follower,
+    )
+    .unwrap();
+    wait_until("backfill of 30 batches", Duration::from_secs(10), || {
+        follower_srv.result_count() == 30
+    });
+
+    // ... and the live stream continues past the backfill seam.
+    for seq in 31..=40u64 {
+        let tag = format!("post-{seq}");
+        upload(&leader_srv, &id, seq, &tag);
+        tags.push(tag);
+    }
+    wait_until("live stream after backfill", Duration::from_secs(10), || {
+        follower_srv.result_count() == 40
+    });
+    assert_exactly_once(&follower_srv, &tags);
+
+    follower.shutdown();
+    leader.shutdown();
+}
+
+/// Backfill edge case (satellite): a follower whose persisted watermark
+/// predates a leader-side checkpoint+compaction cannot be served by log
+/// tail — the leader streams a full store snapshot, the follower dedups
+/// it against what it already holds, and the watermark jumps past the
+/// compacted range. No record is lost or duplicated.
+#[test]
+fn watermark_behind_a_compaction_gets_snapshot_then_tail() {
+    let dir = TempDir::new("cluster-compact");
+    let leader_srv = fresh_server();
+    let leader = ClusterNode::start(
+        config("a", &dir.path().join("epochs"), dir.path(), vec![], 512),
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        Role::Leader,
+    )
+    .unwrap();
+
+    let id = register(&leader_srv, "m1");
+    let mut tags = Vec::new();
+
+    // Phase 1: follower online, syncs the first 10 batches.
+    let follower_srv = fresh_server();
+    let follower = ClusterNode::start(
+        config(
+            "b",
+            &dir.path().join("epochs"),
+            dir.path(),
+            vec![leader.repl_addr().to_string()],
+            512,
+        ),
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        Role::Follower,
+    )
+    .unwrap();
+    for seq in 1..=10u64 {
+        let tag = format!("early-{seq}");
+        upload(&leader_srv, &id, seq, &tag);
+        tags.push(tag);
+    }
+    wait_until("initial sync", Duration::from_secs(10), || {
+        follower_srv.result_count() == 10
+    });
+
+    // Phase 2: follower partitioned (shut down); the leader keeps
+    // committing, then checkpoints and compacts its replication logs,
+    // dropping the tail the follower would have wanted.
+    follower.shutdown();
+    drop(follower);
+    for seq in 11..=20u64 {
+        let tag = format!("mid-{seq}");
+        upload(&leader_srv, &id, seq, &tag);
+        tags.push(tag);
+    }
+    leader.hub().checkpoint_logs().unwrap();
+    for seq in 21..=25u64 {
+        let tag = format!("late-{seq}");
+        upload(&leader_srv, &id, seq, &tag);
+        tags.push(tag);
+    }
+
+    // Phase 3: the follower returns with its old engine state and its
+    // persisted watermark (same data_dir). The watermark predates the
+    // checkpoint, so the leader must go snapshot-then-tail; the dedup
+    // in `apply_snapshot_entry` keeps the 10 already-held records
+    // single copies.
+    let follower = ClusterNode::start(
+        config(
+            "b",
+            &dir.path().join("epochs"),
+            dir.path(),
+            vec![leader.repl_addr().to_string()],
+            512,
+        ),
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        Role::Follower,
+    )
+    .unwrap();
+    wait_until("snapshot-then-tail catch-up", Duration::from_secs(10), || {
+        follower_srv.result_count() == 25
+    });
+    assert_eq!(follower_srv.applied_seq(&id), 25);
+    assert_exactly_once(&follower_srv, &tags);
+
+    follower.shutdown();
+    leader.shutdown();
+}
+
+/// Leader death promotes the follower: it notices the silence, wins the
+/// takeover file, flips read-write, and starts serving — with every
+/// record the old leader acknowledged still present exactly once.
+#[test]
+fn leader_loss_promotes_the_follower() {
+    let dir = TempDir::new("cluster-promote");
+    let epochs = dir.path().join("epochs");
+    let leader_srv = fresh_server();
+    let leader = ClusterNode::start(
+        config("a", &epochs, dir.path(), vec![], 1 << 20),
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        Role::Leader,
+    )
+    .unwrap();
+
+    let follower_srv = fresh_server();
+    let follower = ClusterNode::start(
+        config(
+            "b",
+            &epochs,
+            dir.path(),
+            vec![leader.repl_addr().to_string()],
+            1 << 20,
+        ),
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        Role::Follower,
+    )
+    .unwrap();
+
+    let id = register(&leader_srv, "m1");
+    let mut tags = Vec::new();
+    for seq in 1..=8u64 {
+        let tag = format!("tc-{seq}");
+        upload(&leader_srv, &id, seq, &tag);
+        tags.push(tag);
+    }
+    wait_until("replication before the kill", Duration::from_secs(10), || {
+        follower_srv.result_count() == 8
+    });
+
+    leader.shutdown();
+    wait_until("follower promotion", Duration::from_secs(10), || {
+        follower.was_promoted()
+    });
+    assert_eq!(follower.role(), Role::Leader);
+    assert_eq!(current_epoch(&epochs), 2, "promotion claimed epoch 2");
+    assert_exactly_once(&follower_srv, &tags);
+
+    // The promoted node serves writes: the client re-registers with its
+    // token (same GUID, fast-forwarded seq) and keeps uploading.
+    let (reply, _) = follower_srv.handle_deferred(&ClientMsg::Register {
+        snapshot: MachineSnapshot::study_machine("m1"),
+        token: "tok-m1".into(),
+    });
+    match reply {
+        ServerMsg::Id { id: id2, applied_seq } => {
+            assert_eq!(id2, id, "token maps to the same GUID after failover");
+            assert_eq!(applied_seq, 8, "seq horizon survives failover");
+        }
+        other => panic!("re-register answered {other:?}"),
+    }
+    upload(&follower_srv, &id, 9, "tc-9");
+    tags.push("tc-9".into());
+    assert_exactly_once(&follower_srv, &tags);
+
+    follower.shutdown();
+}
+
+/// The takeover file is atomic: any number of concurrent claimants for
+/// the same epoch produce exactly one winner.
+#[test]
+fn takeover_race_has_exactly_one_winner() {
+    let dir = TempDir::new("cluster-race");
+    let epochs = dir.path().join("epochs");
+    std::fs::create_dir_all(&epochs).unwrap();
+    let wins: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let epochs = epochs.clone();
+                s.spawn(move || claim_epoch(&epochs, &format!("n{i}"), 1).is_ok())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&won| won)
+            .count()
+    });
+    assert_eq!(wins, 1, "exactly one claimant may win an epoch");
+    assert_eq!(current_epoch(&epochs), 1);
+}

@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 
 pub mod record;
+pub mod repl;
 pub mod snapshot;
 pub mod walenc;
 pub mod wire;
 
 pub use record::{MonitorSummary, RunOutcome, RunRecord};
+pub use repl::{read_repl_msg, write_repl_msg, ReplMsg};
 pub use snapshot::MachineSnapshot;
 pub use walenc::WalEntry;
 pub use wire::{ClientMsg, ServerMsg};

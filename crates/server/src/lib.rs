@@ -38,6 +38,6 @@ pub mod tcp;
 
 pub use commit::{CommitTicket, GroupCommitter, StoreFlavor};
 pub use models::ModelStore;
-pub use server::UucsServer;
+pub use server::{ReplicationSink, UucsServer};
 pub use shard::{shard_of, Sharded, StoreSet};
 pub use store::{BatchStatus, RegistryStore, ResultStore, StoreError, TestcaseStore};

@@ -264,6 +264,12 @@ impl ModelStore {
         self.model
     }
 
+    /// The model this shard holds — gossip reads it to build the node's
+    /// own contribution without disturbing the store.
+    pub fn model(&self) -> &ComfortModel {
+        &self.model
+    }
+
     /// Replaces the model wholesale and, in durable mode, checkpoints it
     /// immediately — the shard-migration path, where the new state does
     /// not arrive as deltas. The snapshot supersedes any journal tail,

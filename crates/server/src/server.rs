@@ -15,13 +15,13 @@ use crate::commit::{CommitTicket, GroupCommitter, StoreFlavor};
 use crate::models::{observations_of, ModelStore};
 use crate::shard::{Sharded, StoreSet};
 use crate::store::{BatchStatus, RegistryStore, ResultStore, StoreError, TestcaseStore};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use uucs_modelsvc::QuantileSketch;
+use uucs_modelsvc::{ComfortModel, QuantileSketch};
 use uucs_protocol::wire::Endpoint;
-use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg};
+use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg, WalEntry};
 use uucs_stats::Pcg64;
 use uucs_telemetry::{metrics, Counter, Gauge, Histogram};
 use uucs_testcase::format as tcformat;
@@ -104,6 +104,22 @@ fn poisoned(what: &str) -> ServerMsg {
     ))
 }
 
+/// Where a leader ships every committed mutation. Implemented by the
+/// cluster tier's replication hub; the server stays ignorant of wire
+/// details and ack policy — under `--repl-ack=quorum` the sink blocks
+/// until a follower acknowledged the entry, under `local` it returns as
+/// soon as the entry is queued.
+///
+/// The sink is invoked *after* the local store accepted the mutation
+/// but *before* the client's ack. Shipping ahead of the local fsync is
+/// safe: if the leader dies in the gap, the follower holds an entry the
+/// client was never acked — the client retries with the same sequence
+/// number and the per-client horizon dedups it, so exactly-once holds.
+pub trait ReplicationSink: Send + Sync {
+    /// Ships one entry; an `Err` under quorum ack fails the client op.
+    fn replicate(&self, entry: &WalEntry) -> std::io::Result<()>;
+}
+
 /// The UUCS server state. Thread-safe: the TCP front end shares one
 /// instance across connections; each verb locks only the one shard its
 /// key routes to.
@@ -127,6 +143,16 @@ pub struct UucsServer {
     /// the same token must not both mint.
     reg_lock: Mutex<()>,
     shard_gauges: ShardGauges,
+    /// Committed mutations are mirrored here when the node leads a
+    /// replication tier (see [`ReplicationSink`]). Set once, after
+    /// construction — the sink (the cluster hub) is built around the
+    /// server, so it cannot exist at constructor time.
+    replication: OnceLock<Arc<dyn ReplicationSink>>,
+    /// A follower's engine: mutating verbs (`REGISTER`, `UPLOAD`) are
+    /// refused with a retryable error while reads (`SYNC`, `MODEL`,
+    /// `ADVICE`, `STATS`) keep serving — degraded advice is acceptable,
+    /// divergent writes are not. Flipped off at promotion.
+    read_only: AtomicBool,
 }
 
 impl UucsServer {
@@ -182,7 +208,27 @@ impl UucsServer {
             next_client: AtomicU64::new(max_id),
             reg_lock: Mutex::new(()),
             shard_gauges,
+            replication: OnceLock::new(),
+            read_only: AtomicBool::new(false),
         }
+    }
+
+    /// Mirrors every committed mutation into `sink` from now on — the
+    /// leader side of the replication tier. One-shot: a second call is
+    /// ignored (the first sink stays wired).
+    pub fn set_replication(&self, sink: Arc<dyn ReplicationSink>) {
+        let _ = self.replication.set(sink);
+    }
+
+    /// Switches the mutating verbs on (`false`, a leader) or off
+    /// (`true`, a follower). Takes effect for the next request.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.read_only.store(read_only, Ordering::SeqCst);
+    }
+
+    /// Whether mutating verbs are currently refused (follower mode).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
     }
 
     /// Replaces the comfort-model store — the entry point for WAL-backed
@@ -259,9 +305,11 @@ impl UucsServer {
     pub fn add_testcase(&self, tc: uucs_testcase::Testcase) -> Result<(), StoreError> {
         let shard = self.stores.testcases.shard_for(tc.id.as_str());
         let mut guard = self.stores.testcases.write_recovered(shard);
-        guard.add(tc)?;
+        guard.add(tc.clone())?;
         let lsn = guard.wal_next_lsn();
         drop(guard);
+        self.replicate(&WalEntry::Testcase(tc))
+            .map_err(StoreError::Io)?;
         if let Some(ticket) = self.ticket(StoreFlavor::Testcases, shard, lsn) {
             self.committer
                 .as_ref()
@@ -352,6 +400,198 @@ impl UucsServer {
         )
     }
 
+    /// Applies one replicated WAL entry into this node's own stores —
+    /// the follower half of WAL shipping. Idempotent: a re-delivered
+    /// entry (reconnect overlap, snapshot-then-tail seam) is absorbed
+    /// without a second copy, so the stream only has to be at-least-once.
+    ///
+    /// Comfort-model state is deliberately *not* minted here: the model
+    /// converges through gossip of each node's own contribution, and
+    /// folding replicated batches locally would double-count them after
+    /// a promotion. `Model` entries are ignored for the same reason.
+    pub fn apply_entry(&self, entry: &WalEntry) -> std::io::Result<()> {
+        match entry {
+            WalEntry::Testcase(tc) => {
+                let shard = self.stores.testcases.shard_for(tc.id.as_str());
+                let mut guard = self.stores.testcases.write_recovered(shard);
+                if guard.get(tc.id.as_str()).is_none() {
+                    guard
+                        .add(tc.clone())
+                        .map_err(|e| crate::store::invalid(e.to_string()))?;
+                }
+                Ok(())
+            }
+            WalEntry::Client {
+                id,
+                token,
+                snapshot,
+            } => {
+                let _serial = self.reg_lock.lock().unwrap_or_else(PoisonError::into_inner);
+                let shard = self.stores.registry.shard_for(id);
+                let mut reg = self.stores.registry.write_recovered(shard);
+                if reg.get(id).is_none() {
+                    reg.register_with_id(id.clone(), snapshot.clone(), token)
+                        .map_err(|e| crate::store::invalid(e.to_string()))?;
+                    let len = reg.len();
+                    drop(reg);
+                    self.shard_gauges.registry[shard].set(len as i64);
+                    // Keep the id counter ahead of every replicated id so
+                    // a promoted follower never re-mints one.
+                    if let Some(n) = id.strip_prefix("client-").and_then(|s| s.parse().ok()) {
+                        self.next_client.fetch_max(n, Ordering::SeqCst);
+                    }
+                }
+                Ok(())
+            }
+            WalEntry::Batch {
+                client,
+                seq,
+                records,
+            } => {
+                let shard = self.stores.results.shard_for(client);
+                let mut results = self.stores.results.write_recovered(shard);
+                results
+                    .append_batch(client, *seq, records.clone())
+                    .map_err(|e| crate::store::invalid(e.to_string()))?;
+                let len = results.len();
+                drop(results);
+                self.shard_gauges.results[shard].set(len as i64);
+                Ok(())
+            }
+            WalEntry::Result(rec) => {
+                let shard = self.stores.results.shard_for(rec.client.as_str());
+                self.stores
+                    .results
+                    .write_recovered(shard)
+                    .append(vec![rec.clone()])
+                    .map_err(|e| crate::store::invalid(e.to_string()))?;
+                Ok(())
+            }
+            WalEntry::Model(_) => Ok(()),
+        }
+    }
+
+    /// Applies one entry of a *snapshot* backfill stream. Snapshot
+    /// `Batch` entries are synthetic — the client's full record set at
+    /// its current sequence horizon — so a follower holding partial
+    /// state (it was tailing the old leader before the seam) must
+    /// absorb them record-by-record: records it already applied are
+    /// skipped by equality, the rest append, and the horizon jumps to
+    /// the snapshot's sequence. All other entries apply as in
+    /// [`UucsServer::apply_entry`].
+    pub fn apply_snapshot_entry(&self, entry: &WalEntry) -> std::io::Result<()> {
+        let WalEntry::Batch {
+            client,
+            seq,
+            records,
+        } = entry
+        else {
+            return self.apply_entry(entry);
+        };
+        let shard = self.stores.results.shard_for(client);
+        let mut results = self.stores.results.write_recovered(shard);
+        if results.applied_seq(client) >= *seq {
+            return Ok(());
+        }
+        let fresh: Vec<_> = records
+            .iter()
+            .filter(|r| !results.all().iter().any(|have| have == *r))
+            .cloned()
+            .collect();
+        results
+            .append_batch(client, *seq, fresh)
+            .map_err(|e| crate::store::invalid(e.to_string()))?;
+        let len = results.len();
+        drop(results);
+        self.shard_gauges.results[shard].set(len as i64);
+        Ok(())
+    }
+
+    /// Folds the current store state into a stream of self-contained
+    /// WAL entries — the backfill snapshot a leader sends a follower
+    /// whose watermark predates the retained replication log. One
+    /// `Client` entry per registration (token included, so the promoted
+    /// follower honors re-registrations), then one synthetic `Batch`
+    /// per client at its current applied sequence carrying all its
+    /// records — applying it installs both the records and the upload
+    /// dedup horizon in one step — then every `Testcase`.
+    pub fn export_entries(&self) -> Vec<WalEntry> {
+        let mut out = Vec::new();
+        let mut clients = Vec::new();
+        for i in 0..self.stores.registry.count() {
+            let reg = self.stores.registry.read(i);
+            for (id, snapshot) in reg.all() {
+                let token = reg.token_of(id).unwrap_or("").to_string();
+                out.push(WalEntry::Client {
+                    id: id.clone(),
+                    token,
+                    snapshot: snapshot.clone(),
+                });
+                clients.push(id.clone());
+            }
+        }
+        for id in clients {
+            let shard = self.stores.results.shard_for(&id);
+            let results = self.stores.results.read(shard);
+            let seq = results.applied_seq(&id);
+            let records: Vec<_> = results
+                .all()
+                .iter()
+                .filter(|r| r.client == id)
+                .cloned()
+                .collect();
+            if seq > 0 || !records.is_empty() {
+                out.push(WalEntry::Batch {
+                    client: id,
+                    seq: seq.max(1),
+                    records,
+                });
+            }
+        }
+        for g in self.stores.testcases.read_all() {
+            for tc in g.all() {
+                out.push(WalEntry::Testcase(tc.clone()));
+            }
+        }
+        out
+    }
+
+    /// This node's own comfort-model contribution for gossip: the fold
+    /// of its model shards (epochs summed, cohorts merged per key).
+    /// Deterministic — `BTreeMap` ordering makes the encode canonical.
+    pub fn model_contribution(&self) -> ComfortModel {
+        let guards = self.stores.models.read_all();
+        let mut epoch = 0u64;
+        let mut cohorts: std::collections::BTreeMap<_, QuantileSketch> =
+            std::collections::BTreeMap::new();
+        for g in &guards {
+            let model = g.model();
+            epoch += model.epoch();
+            for (key, sketch) in model.cohorts() {
+                match cohorts.entry(key.clone()) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(sketch.clone());
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        o.get_mut()
+                            .merge(sketch)
+                            .expect("cohort sketches of one key share a config");
+                    }
+                }
+            }
+        }
+        ComfortModel::from_parts(epoch, cohorts)
+    }
+
+    /// Installs a merged cluster-wide comfort model (shard 0; the other
+    /// shards stay empty — [`UucsServer::model_epoch`] sums, so the
+    /// installed epoch is the one clients see). The promotion path:
+    /// a follower never minted local model state, so this replaces
+    /// nothing.
+    pub fn install_model(&self, model: ComfortModel) -> std::io::Result<()> {
+        self.stores.models.write_recovered(0).install_model(model)
+    }
+
     /// The client-specific random order of the library. Deterministic per
     /// (server seed, client id), so each sync extends the client's sample
     /// without duplicates — the paper's "growing random sample". The
@@ -400,7 +640,28 @@ impl UucsServer {
         (reply, ticket)
     }
 
+    /// Mirrors one committed mutation to the replication sink, if any.
+    /// Counted on failure; under quorum ack the error propagates so the
+    /// client is *not* acked for an entry no follower holds.
+    fn replicate(&self, entry: &WalEntry) -> std::io::Result<()> {
+        match self.replication.get() {
+            Some(sink) => sink.replicate(entry),
+            None => Ok(()),
+        }
+    }
+
     fn handle_inner(&self, msg: &ClientMsg) -> (ServerMsg, Option<CommitTicket>) {
+        if self.is_read_only()
+            && matches!(msg, ClientMsg::Register { .. } | ClientMsg::Upload { .. })
+        {
+            // Same wording every follower uses: clients classify this as
+            // a retryable server-side refusal and fail over to the next
+            // address in their list.
+            return (
+                ServerMsg::Error("not leader: node is read-only (try another server)".into()),
+                None,
+            );
+        }
         match msg {
             ClientMsg::Register { snapshot, token } => self.handle_register(snapshot, token),
             ClientMsg::Sync { client, have, want } => {
@@ -561,6 +822,13 @@ impl UucsServer {
                 let len = reg.len();
                 drop(reg);
                 self.shard_gauges.registry[shard].set(len as i64);
+                if let Err(e) = self.replicate(&WalEntry::Client {
+                    id: id.clone(),
+                    token: token.to_string(),
+                    snapshot: snapshot.clone(),
+                }) {
+                    return (ServerMsg::Error(format!("replication failed: {e}")), None);
+                }
                 let applied_seq = self.applied_seq(&id);
                 let ticket = self.ticket(StoreFlavor::Registry, shard, lsn);
                 (ServerMsg::Id { id, applied_seq }, ticket)
@@ -622,6 +890,18 @@ impl UucsServer {
                             }
                             Err(_) => ModelStore::count_update_error(),
                         }
+                    }
+                }
+                // Ship the batch before the ack, and only when it was
+                // applied — a replayed retransmit was already shipped
+                // the first time around.
+                if matches!(status, BatchStatus::Applied(_)) {
+                    if let Err(e) = self.replicate(&WalEntry::Batch {
+                        client: client.to_string(),
+                        seq,
+                        records: records.to_vec(),
+                    }) {
+                        return (ServerMsg::Error(format!("replication failed: {e}")), None);
                     }
                 }
                 let ticket = self.ticket(StoreFlavor::Results, shard, lsn);

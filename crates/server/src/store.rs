@@ -687,6 +687,16 @@ impl RegistryStore {
             .map(|(_, id)| id.as_str())
     }
 
+    /// The registration token a client id presented, if any — the
+    /// replication tier ships it alongside the snapshot so a promoted
+    /// follower still honors token-matched re-registrations.
+    pub fn token_of(&self, id: &str) -> Option<&str> {
+        self.tokens
+            .iter()
+            .find(|(_, tid)| tid == id)
+            .map(|(t, _)| t.as_str())
+    }
+
     /// See [`TestcaseStore::wal_next_lsn`].
     pub fn wal_next_lsn(&self) -> Option<u64> {
         self.wal.as_ref().map(|w| w.next_lsn())

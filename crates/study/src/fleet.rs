@@ -14,16 +14,28 @@
 //! The run reports sustained acked uploads/sec (measured client-side)
 //! and the server's own p99 verb/commit latency, pulled over the wire
 //! with the `STATS` verb at the end of the window.
+//!
+//! The driver survives its server: every client registers with an
+//! idempotency token and, when its connection dies, fails over across
+//! [`FleetConfig::failover`] addresses — re-registering with the same
+//! token (same GUID back) and fast-forwarding its upload sequence past
+//! the server's applied horizon, so a promoted replica neither loses
+//! the identity nor double-applies a batch. A server death with no
+//! surviving replica does not fail the run either: the outage window is
+//! recorded and the report comes back partial with
+//! [`FleetReport::interrupted`] set.
 
 use std::io::{self, BufReader};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use uucs_protocol::wire::{read_server_msg, write_client_msg};
 use uucs_protocol::{ClientMsg, MachineSnapshot, MonitorSummary, RunOutcome, RunRecord, ServerMsg};
+use uucs_cluster::{AckMode, ClusterConfig, ClusterNode, Role};
 use uucs_server::tcp::{self, EngineMode, ServeConfig};
 use uucs_server::{StoreSet, UucsServer};
+use uucs_telemetry::metrics;
 use uucs_testcase::{ExerciseSpec, Resource, Testcase};
 use uucs_wal::{SyncPolicy, WalConfig};
 
@@ -40,6 +52,9 @@ pub struct FleetConfig {
     pub batch: usize,
     /// Talk to an already-running server instead of self-hosting one.
     pub addr: Option<String>,
+    /// Additional server addresses a client fails over to when its
+    /// current connection dies (a replicated tier's other nodes).
+    pub failover: Vec<String>,
     /// Self-hosted server: store shards.
     pub shards: usize,
     /// Self-hosted server: group-commit interval (zero = per-append
@@ -57,6 +72,7 @@ impl Default for FleetConfig {
             duration: Duration::from_secs(10),
             batch: 2,
             addr: None,
+            failover: Vec::new(),
             shards: 8,
             commit_interval: Duration::from_millis(1),
             engine: EngineMode::WorkerPool,
@@ -69,6 +85,16 @@ impl FleetConfig {
     pub fn quick() -> Self {
         FleetConfig {
             clients: 200,
+            duration: Duration::from_secs(2),
+            ..FleetConfig::default()
+        }
+    }
+
+    /// The CI cluster-smoke shape: 50 clients against a two-node tier
+    /// with one induced failover (see [`run_cluster`]).
+    pub fn cluster_quick() -> Self {
+        FleetConfig {
+            clients: 50,
             duration: Duration::from_secs(2),
             ..FleetConfig::default()
         }
@@ -93,12 +119,19 @@ pub struct FleetReport {
     pub upload_p99_us: Option<u64>,
     /// Server-side p99 of the group-commit fsync pass, from `STATS`.
     pub commit_p99_us: Option<u64>,
+    /// The fleet ended the window without a reachable server: the
+    /// numbers are a partial report up to the outage, not a failure.
+    pub interrupted: bool,
+    /// Total wall time the whole fleet was dark (no server reachable).
+    pub outage: Duration,
+    /// Successful client failovers to a different server address.
+    pub failovers: u64,
 }
 
 impl FleetReport {
     /// One-line human summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "fleet: {} clients, {} uploads acked in {:.2}s = {:.0} uploads/s ({} records; upload p99 {}, commit p99 {})",
             self.clients,
             self.uploads_acked,
@@ -109,45 +142,122 @@ impl FleetReport {
                 .map_or("n/a".to_string(), |u| format!("{u}us")),
             self.commit_p99_us
                 .map_or("n/a".to_string(), |u| format!("{u}us")),
-        )
+        );
+        if self.failovers > 0 || !self.outage.is_zero() {
+            line.push_str(&format!(
+                "; {} failover(s), {:.2}s outage",
+                self.failovers,
+                self.outage.as_secs_f64()
+            ));
+        }
+        if self.interrupted {
+            line.push_str(" [INTERRUPTED: server unreachable at window end]");
+        }
+        line
     }
 }
 
 /// One fleet client's half-duplex connection: requests and replies move
-/// independently so a worker can pipeline its whole slice.
+/// independently so a worker can pipeline its whole slice. The client
+/// knows every server address and its own idempotency token, so a dead
+/// connection is survivable: [`FleetConn::reconnect`] re-registers with
+/// the token (the server answers with the *same* GUID and the applied
+/// upload horizon) and fast-forwards `seq` so nothing is double-applied
+/// on the node it failed over to.
 struct FleetConn {
+    addrs: Vec<String>,
+    current: usize,
+    name: String,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     id: String,
     seq: u64,
+    alive: bool,
+    pending: bool,
 }
 
 impl FleetConn {
-    fn connect(addr: &str, name: &str) -> io::Result<Self> {
+    /// Dials one address and registers `name`'s token. Returns the
+    /// sockets, the resolved GUID, and the seq to resume from (the
+    /// server's applied horizon, never below `seq_floor`).
+    fn dial(
+        addr: &str,
+        name: &str,
+        seq_floor: u64,
+    ) -> io::Result<(TcpStream, BufReader<TcpStream>, String, u64)> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let writer = stream.try_clone()?;
-        let mut conn = FleetConn {
-            writer,
-            reader: BufReader::new(stream),
-            id: String::new(),
-            seq: 0,
-        };
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
         write_client_msg(
-            &mut conn.writer,
-            &ClientMsg::register(MachineSnapshot::study_machine(name)),
+            &mut writer,
+            &ClientMsg::Register {
+                snapshot: MachineSnapshot::study_machine(name),
+                token: format!("fleet-token-{name}"),
+            },
         )?;
-        match read_server_msg(&mut conn.reader)? {
-            ServerMsg::Id { id, .. } => conn.id = id,
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("registration refused: {other:?}"),
-                ))
+        match read_server_msg(&mut reader)? {
+            ServerMsg::Id { id, applied_seq } => {
+                Ok((writer, reader, id, applied_seq.max(seq_floor)))
+            }
+            // A read-only replica answers `not leader`: to the dialer
+            // that address is simply not accepting yet.
+            other => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("registration refused: {other:?}"),
+            )),
+        }
+    }
+
+    fn connect(addrs: Vec<String>, name: &str) -> io::Result<Self> {
+        let mut last: Option<io::Error> = None;
+        for (i, addr) in addrs.iter().enumerate() {
+            match Self::dial(addr, name, 0) {
+                Ok((writer, reader, id, seq)) => {
+                    return Ok(FleetConn {
+                        current: i,
+                        name: name.to_string(),
+                        addrs,
+                        writer,
+                        reader,
+                        id,
+                        seq,
+                        alive: true,
+                        pending: false,
+                    })
+                }
+                Err(e) => last = Some(e),
             }
         }
-        Ok(conn)
+        Err(last
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::AddrNotAvailable, "no address")))
+    }
+
+    /// One failover pass: every address tried once, next one first.
+    /// `Ok(true)` means the client came back on a *different* address.
+    fn reconnect(&mut self) -> io::Result<bool> {
+        let n = self.addrs.len();
+        let mut last: Option<io::Error> = None;
+        for hop in 0..n {
+            let i = (self.current + 1 + hop) % n;
+            match Self::dial(&self.addrs[i], &self.name, self.seq) {
+                Ok((writer, reader, id, seq)) => {
+                    let moved = i != self.current;
+                    self.current = i;
+                    self.writer = writer;
+                    self.reader = reader;
+                    self.id = id;
+                    self.seq = seq;
+                    self.alive = true;
+                    self.pending = false;
+                    return Ok(moved);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        self.alive = false;
+        Err(last.unwrap_or_else(|| io::Error::new(io::ErrorKind::AddrNotAvailable, "no address")))
     }
 
     fn send_upload(&mut self, batch: usize) -> io::Result<()> {
@@ -296,6 +406,8 @@ pub fn run(config: &FleetConfig) -> io::Result<FleetReport> {
         .addr
         .clone()
         .unwrap_or_else(|| hosted.as_ref().expect("self-hosted").addr());
+    let mut addrs = vec![addr.clone()];
+    addrs.extend(config.failover.iter().cloned());
 
     // Phase 1: bring the whole fleet online (register + hold the
     // connection). Workers connect their slices concurrently.
@@ -303,11 +415,11 @@ pub fn run(config: &FleetConfig) -> io::Result<FleetReport> {
     let mut slices: Vec<Vec<FleetConn>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let addr = &addr;
+                let addrs = &addrs;
                 s.spawn(move || -> io::Result<Vec<FleetConn>> {
                     let mut conns = Vec::new();
                     for c in (w..config.clients).step_by(workers) {
-                        conns.push(FleetConn::connect(addr, &format!("fleet-{c:05}"))?);
+                        conns.push(FleetConn::connect(addrs.clone(), &format!("fleet-{c:05}"))?);
                     }
                     Ok(conns)
                 })
@@ -331,31 +443,68 @@ pub fn run(config: &FleetConfig) -> io::Result<FleetReport> {
     }
 
     // Phase 2: pipelined upload rounds until the deadline. A worker
-    // writes an upload on every connection of its slice, then drains the
-    // replies — keeping its whole slice in flight at once.
+    // writes an upload on every live connection of its slice, then
+    // drains the replies — keeping its whole slice in flight at once. A
+    // dead connection is failed over at the top of the next round; a
+    // round with *nothing* reachable marks the fleet dark and keeps
+    // polling (the window runs to its end either way, so a server that
+    // comes back — or a replica that promotes — picks the fleet back
+    // up, and the report carries the outage instead of an error).
     let acked = AtomicU64::new(0);
+    let failovers = AtomicU64::new(0);
+    let dark_since: Mutex<Option<Instant>> = Mutex::new(None);
+    let outage_ns = AtomicU64::new(0);
     let started = Instant::now();
     let deadline = started + config.duration;
     std::thread::scope(|s| {
         for slice in &mut slices {
             let acked = &acked;
+            let failovers = &failovers;
+            let dark_since = &dark_since;
+            let outage_ns = &outage_ns;
             s.spawn(move || {
                 while Instant::now() < deadline {
                     let mut sent = 0u64;
                     for conn in slice.iter_mut() {
+                        if !conn.alive {
+                            match conn.reconnect() {
+                                Ok(moved) => {
+                                    if moved {
+                                        failovers.fetch_add(1, Ordering::Relaxed);
+                                        metrics::counter("client.failover.count").inc();
+                                    }
+                                }
+                                Err(_) => continue,
+                            }
+                        }
                         if conn.send_upload(config.batch).is_ok() {
+                            conn.pending = true;
                             sent += 1;
+                        } else {
+                            conn.alive = false;
                         }
                     }
                     let mut ok = 0u64;
-                    for conn in slice.iter_mut().take(sent as usize) {
-                        if matches!(conn.recv_ack(), Ok(true)) {
-                            ok += 1;
+                    for conn in slice.iter_mut().filter(|c| c.pending) {
+                        conn.pending = false;
+                        match conn.recv_ack() {
+                            Ok(true) => ok += 1,
+                            _ => conn.alive = false,
                         }
                     }
                     acked.fetch_add(ok, Ordering::Relaxed);
-                    if sent == 0 {
-                        break;
+                    if ok > 0 {
+                        // Light again: close any open outage window.
+                        if let Some(t0) = dark_since.lock().unwrap().take() {
+                            outage_ns
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                    } else if sent == 0 {
+                        // Nothing reachable: open the outage window
+                        // (first worker to notice wins) and back off so
+                        // the retry loop is not hot.
+                        dark_since.lock().unwrap().get_or_insert_with(Instant::now);
+                        std::thread::sleep(Duration::from_millis(20));
                     }
                 }
             });
@@ -363,6 +512,16 @@ pub fn run(config: &FleetConfig) -> io::Result<FleetReport> {
     });
     let elapsed = started.elapsed();
     let uploads = acked.load(Ordering::Relaxed);
+    // An outage still open at the window's end means the run was
+    // interrupted: report partial numbers rather than failing.
+    let (interrupted, outage) = {
+        let open = dark_since.lock().unwrap().take();
+        let mut total = Duration::from_nanos(outage_ns.load(Ordering::Relaxed));
+        if let Some(t0) = open {
+            total += t0.elapsed();
+        }
+        (open.is_some(), total)
+    };
 
     let report = FleetReport {
         clients: online,
@@ -370,8 +529,13 @@ pub fn run(config: &FleetConfig) -> io::Result<FleetReport> {
         records: uploads * config.batch as u64,
         elapsed,
         uploads_per_sec: uploads as f64 / elapsed.as_secs_f64().max(1e-9),
-        upload_p99_us: stats_p99_us(&addr, "server.verb.upload.ns"),
-        commit_p99_us: stats_p99_us(&addr, "server.commit.ns"),
+        upload_p99_us: addrs
+            .iter()
+            .find_map(|a| stats_p99_us(a, "server.verb.upload.ns")),
+        commit_p99_us: addrs.iter().find_map(|a| stats_p99_us(a, "server.commit.ns")),
+        interrupted,
+        outage,
+        failovers: failovers.load(Ordering::Relaxed),
     };
     for slice in &mut slices {
         for conn in slice.iter_mut() {
@@ -379,6 +543,122 @@ pub fn run(config: &FleetConfig) -> io::Result<FleetReport> {
         }
     }
     drop(slices);
+    Ok(report)
+}
+
+/// The two-node replicated-tier smoke: an in-process leader and
+/// follower (full [`ClusterNode`]s — WAL shipping, gossip, promotion —
+/// each with its own TCP front end), a fleet spread across both
+/// addresses, and one induced failover: two fifths into the window the
+/// leader's front end is torn down with a zero drain deadline and its
+/// replication tier severed. The follower must promote itself and
+/// finish the fleet; the report must show the failover happened and the
+/// fleet ended the window served (not interrupted).
+///
+/// Quorum acks are on, so every upload a client saw acknowledged before
+/// the kill had already been applied by the follower.
+pub fn run_cluster(config: &FleetConfig) -> io::Result<FleetReport> {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "uucs-fleet-cluster-{}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir)?;
+    let node_config = |name: &str, peers: Vec<String>, ack: AckMode| {
+        let mut cfg = ClusterConfig::new(name, dir.join("epochs"), dir.join(name));
+        cfg.peers = peers;
+        cfg.ack = ack;
+        cfg.gossip_interval = Duration::from_millis(40);
+        cfg.promote_after = 2;
+        cfg
+    };
+
+    let leader_srv = Arc::new(
+        UucsServer::with_store_set(StoreSet::plain(config.shards), 0x5e17)
+            .without_model_updates(),
+    );
+    let leader = ClusterNode::start(
+        node_config("fleet-a", Vec::new(), AckMode::Quorum),
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        Role::Leader,
+    )?;
+    let leader_front = tcp::serve_with(
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        ServeConfig {
+            drain_deadline: Duration::ZERO,
+            max_connections: config.clients + 64,
+            ..ServeConfig::default()
+        },
+    )?;
+
+    let follower_srv = Arc::new(
+        UucsServer::with_store_set(StoreSet::plain(config.shards), 0x5e17)
+            .without_model_updates(),
+    );
+    let follower = ClusterNode::start(
+        node_config(
+            "fleet-b",
+            vec![leader.repl_addr().to_string()],
+            AckMode::Local,
+        ),
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        Role::Follower,
+    )?;
+    let follower_front = tcp::serve_with(
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        ServeConfig {
+            max_connections: config.clients + 64,
+            ..ServeConfig::default()
+        },
+    )?;
+
+    // No fleet before replication is live: quorum waits would burn
+    // their timeout on every early upload.
+    let live = Instant::now() + Duration::from_secs(10);
+    while leader.hub().follower_nodes().is_empty() {
+        if Instant::now() > live {
+            return Err(io::Error::other("follower never connected to the leader"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut fleet_config = config.clone();
+    fleet_config.addr = Some(leader_front.addr().to_string());
+    fleet_config.failover = vec![follower_front.addr().to_string()];
+
+    let kill_after = config.duration.mul_f64(0.4);
+    let report = std::thread::scope(|s| {
+        let leader_node = Arc::clone(&leader);
+        let killer = s.spawn(move || {
+            std::thread::sleep(kill_after);
+            leader_front.shutdown();
+            leader_node.shutdown();
+        });
+        let report = run(&fleet_config);
+        let _ = killer.join();
+        report
+    })?;
+
+    let promoted = follower.was_promoted();
+    follower_front.shutdown();
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !promoted {
+        return Err(io::Error::other(
+            "the follower never promoted itself after the leader kill",
+        ));
+    }
+    if report.failovers == 0 {
+        return Err(io::Error::other(
+            "no client failed over: the kill never reached the fleet",
+        ));
+    }
     Ok(report)
 }
 
@@ -410,5 +690,63 @@ mod tests {
         assert_eq!(report.clients, 12);
         assert!(report.uploads_acked > 0, "no upload was acked");
         assert_eq!(report.records, report.uploads_acked * 2);
+        assert!(!report.interrupted, "nothing died, nothing to interrupt");
+        assert_eq!(report.failovers, 0);
+    }
+
+    /// The server dies mid-window with nowhere to fail over to: the run
+    /// still returns `Ok` — a partial report with the `interrupted`
+    /// flag and the outage window — instead of an error.
+    #[test]
+    fn server_death_mid_run_yields_a_partial_report() {
+        let server = Arc::new(
+            UucsServer::with_store_set(StoreSet::plain(2), 7).without_model_updates(),
+        );
+        let front = tcp::serve_with(
+            server,
+            "127.0.0.1:0",
+            ServeConfig {
+                drain_deadline: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind");
+        let config = FleetConfig {
+            clients: 8,
+            workers: 2,
+            duration: Duration::from_millis(700),
+            addr: Some(front.addr().to_string()),
+            ..FleetConfig::default()
+        };
+        let report = std::thread::scope(|s| {
+            let killer = s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(250));
+                front.shutdown();
+            });
+            let report = run(&config);
+            let _ = killer.join();
+            report
+        })
+        .expect("a dead server must still yield a partial report");
+        assert!(report.interrupted, "the outage was still open at the end");
+        assert!(report.uploads_acked > 0, "partial numbers before the kill");
+        assert!(!report.outage.is_zero(), "the outage window was recorded");
+    }
+
+    /// The two-node smoke end to end: leader killed mid-window, the
+    /// fleet fails over to the promoted follower and finishes served.
+    #[test]
+    fn cluster_fleet_survives_the_leader_kill() {
+        let config = FleetConfig {
+            clients: 8,
+            workers: 2,
+            duration: Duration::from_millis(900),
+            shards: 2,
+            ..FleetConfig::default()
+        };
+        let report = run_cluster(&config).expect("cluster fleet run");
+        assert!(report.failovers > 0, "the kill never reached the fleet");
+        assert!(!report.interrupted, "the promoted follower served the tail");
+        assert!(report.uploads_acked > 0);
     }
 }

@@ -8,8 +8,9 @@
 //!              perception closedloop verify --all
 //!   other:     export <dir>   (write every figure's CSV series)
 //!
-//! uucs-study fleet [--quick] [--clients N] [--fleet-workers N]
-//!                  [--secs S] [--addr HOST:PORT] [--shards N]
+//! uucs-study fleet [--quick] [--cluster] [--clients N]
+//!                  [--fleet-workers N] [--secs S] [--addr HOST:PORT]
+//!                  [--failover-addr HOST:PORT] [--shards N]
 //!                  [--commit-interval-us N] [--engine pool|threads]
 //! ```
 //!
@@ -19,6 +20,14 @@
 //! otherwise a sharded group-commit server is self-hosted for the run —
 //! and reports sustained uploads/sec plus the server's p99 verb and
 //! commit latency from `STATS`. `--quick` is the CI smoke shape.
+//!
+//! `--failover-addr` gives every client a second (third, ...) server
+//! address to fail over to; a run whose server dies with no replica
+//! left still exits zero, with a partial report flagged `INTERRUPTED`
+//! and the outage window measured. `--cluster` self-hosts a two-node
+//! replicated tier (leader + follower, quorum acks) and kills the
+//! leader mid-window: the fleet must ride the failover onto the
+//! promoted follower, or the run exits nonzero.
 
 use uucs_comfort::Fidelity;
 use uucs_study::controlled::{ControlledStudy, StudyConfig};
@@ -30,6 +39,7 @@ use uucs_workloads::Task;
 fn run_fleet(args: &[String]) -> ! {
     use uucs_server::tcp::EngineMode;
     let mut config = uucs_study::FleetConfig::default();
+    let mut cluster = false;
     let mut i = 0;
     while i < args.len() {
         let int = |args: &[String], i: usize, what: &str| -> u64 {
@@ -39,7 +49,26 @@ fn run_fleet(args: &[String]) -> ! {
             })
         };
         match args[i].as_str() {
-            "--quick" => config = uucs_study::FleetConfig::quick(),
+            "--quick" => {
+                config = if cluster {
+                    uucs_study::FleetConfig::cluster_quick()
+                } else {
+                    uucs_study::FleetConfig::quick()
+                }
+            }
+            "--cluster" => {
+                cluster = true;
+                // `--quick` may have come first; re-shape for the tier.
+                if config.clients == uucs_study::FleetConfig::quick().clients {
+                    config = uucs_study::FleetConfig::cluster_quick();
+                }
+            }
+            "--failover-addr" => {
+                i += 1;
+                if let Some(a) = args.get(i) {
+                    config.failover.push(a.clone());
+                }
+            }
             "--clients" => {
                 i += 1;
                 config.clients = int(args, i, "--clients") as usize;
@@ -83,9 +112,29 @@ fn run_fleet(args: &[String]) -> ! {
         }
         i += 1;
     }
-    match uucs_study::fleet::run(&config) {
+    let result = if cluster {
+        uucs_study::fleet::run_cluster(&config)
+    } else {
+        uucs_study::fleet::run(&config)
+    };
+    match result {
         Ok(report) => {
             println!("{}", report.summary());
+            if report.interrupted {
+                // The server died mid-run with nothing to fail over to.
+                // A partial report is the deliverable, not a failure —
+                // unless this was the cluster smoke, where an unserved
+                // window end means the failover itself broke.
+                if cluster {
+                    eprintln!("cluster smoke ended interrupted: the promoted node never served");
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "fleet interrupted: server unreachable for the last {:.2}s of the window",
+                    report.outage.as_secs_f64()
+                );
+                std::process::exit(0);
+            }
             if report.uploads_acked == 0 {
                 eprintln!("fleet sustained zero acked uploads");
                 std::process::exit(1);

@@ -47,11 +47,20 @@ cargo test -q --test modelsvc_e2e
 echo "== engine e2e (>1024 conns, group-commit kill chaos, reshard replay) =="
 cargo test -q --test engine_e2e
 
+echo "== cluster suite (WAL shipping, backfill edge cases, promotion race) =="
+cargo test -q -p uucs-cluster
+
+echo "== cluster e2e (kill-the-leader exactly-once, partitioned follower) =="
+cargo test -q --test cluster_e2e
+
 echo "== fleet smoke (200 multiplexed clients vs a live sharded server) =="
 cargo run -q --release -p uucs-study -- fleet --quick
 
-echo "== bench smoke (UUCS_BENCH_QUICK=1, all nine targets) =="
-for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc engine; do
+echo "== cluster fleet smoke (2-node tier, leader killed mid-run, failover) =="
+cargo run -q --release -p uucs-study -- fleet --cluster --quick
+
+echo "== bench smoke (UUCS_BENCH_QUICK=1, all ten targets) =="
+for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc engine cluster; do
     echo "-- $bench --"
     UUCS_BENCH_QUICK=1 cargo bench -p uucs-bench --bench "$bench"
 done
@@ -63,7 +72,7 @@ summary=BENCH_SUMMARY.json
 {
     printf '{\n'
     first=1
-    for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc engine; do
+    for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc engine cluster; do
         report="target/uucs-bench/$bench.json"
         [ -f "$report" ] || continue
         [ "$first" -eq 1 ] || printf ',\n'

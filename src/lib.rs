@@ -22,6 +22,8 @@
 //!   the client's closed-loop borrowing governor.
 //! * [`protocol`] — the client/server text record formats and framing.
 //! * [`server`] / [`client`] — the distributed measurement application.
+//! * [`cluster`] — the replicated server tier: WAL shipping to
+//!   followers, model gossip, and deterministic leader takeover.
 //! * [`study`] — the controlled-study and Internet-study drivers plus the
 //!   figure/table renderers for every result in the paper.
 //! * [`telemetry`] — std-only metrics (counters/gauges/histograms),
@@ -31,6 +33,7 @@
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use uucs_client as client;
+pub use uucs_cluster as cluster;
 pub use uucs_comfort as comfort;
 pub use uucs_exercisers as exercisers;
 pub use uucs_modelsvc as modelsvc;

@@ -1,0 +1,338 @@
+//! End-to-end chaos tests of the replicated tier: kill the leader under
+//! a live client fleet and prove no acknowledged upload is lost or
+//! duplicated on the promoted follower; partition a follower and prove
+//! bounded staleness plus automatic catch-up via WAL backfill.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use uucs::client::{ClientTransport, ResilientTransport, RetryPolicy};
+use uucs::cluster::{AckMode, ClusterConfig, ClusterNode, Role};
+use uucs::protocol::{
+    ClientMsg, MachineSnapshot, MonitorSummary, RunOutcome, RunRecord, ServerMsg,
+};
+use uucs::server::tcp::{self, ServeConfig};
+use uucs::server::{StoreSet, UucsServer};
+use uucs_chaos::{ChaosPolicy, ChaosProxy};
+use uucs_harness::TempDir;
+
+fn rec(client: &str, tag: &str) -> RunRecord {
+    RunRecord {
+        client: client.into(),
+        user: String::new(),
+        testcase: tag.into(),
+        task: "IE".into(),
+        skill: "Typical".into(),
+        outcome: RunOutcome::Discomfort,
+        offset_secs: 10.0,
+        last_levels: vec![(uucs::testcase::Resource::Cpu, vec![2.0])],
+        monitor: MonitorSummary::default(),
+    }
+}
+
+fn wait_until(what: &str, timeout: Duration, mut f: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !f() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn fresh_server() -> Arc<UucsServer> {
+    Arc::new(UucsServer::with_store_set(StoreSet::plain(4), 9))
+}
+
+fn node_config(
+    name: &str,
+    dir: &TempDir,
+    peers: Vec<String>,
+    ack: AckMode,
+) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(
+        name,
+        dir.path().join("epochs"),
+        dir.path().join(name),
+    );
+    cfg.peers = peers;
+    cfg.ack = ack;
+    cfg.gossip_interval = Duration::from_millis(40);
+    cfg.promote_after = 2;
+    cfg
+}
+
+/// Retries `exchange` until it answers (rides out the failover window).
+fn must_exchange(
+    t: &mut ResilientTransport,
+    msg: &ClientMsg,
+    deadline: Duration,
+) -> ServerMsg {
+    let stop = Instant::now() + deadline;
+    loop {
+        match t.exchange(msg) {
+            Ok(reply) => return reply,
+            Err(e) => {
+                assert!(
+                    Instant::now() < stop,
+                    "exchange never succeeded before the deadline: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// The headline robustness proof. A leader (quorum acks) and a follower
+/// each serve a client front end; a fleet of clients uploads through a
+/// chaos proxy pointed at the leader, with the follower's address as
+/// the failover target. Mid-fleet the leader is killed abruptly —
+/// client front end torn down with a zero drain deadline, replication
+/// sockets severed — while uploads are in flight. The follower detects
+/// the silence, wins the takeover file, and starts serving; every
+/// upload any client ever saw acknowledged must be present on the
+/// promoted node exactly once, and the fleet must finish against it.
+#[test]
+fn kill_the_leader_loses_no_acknowledged_upload() {
+    const CLIENTS: usize = 6;
+    const BATCHES: u64 = 12;
+
+    let dir = TempDir::new("cluster-e2e-kill");
+    let leader_srv = fresh_server();
+    // Quorum acks: an `ACK` a client saw implies the follower applied
+    // the batch, so killing the leader cannot erase it.
+    let leader = ClusterNode::start(
+        node_config("a", &dir, vec![], AckMode::Quorum),
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        Role::Leader,
+    )
+    .unwrap();
+    let leader_front = tcp::serve_with(
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        ServeConfig {
+            // The kill must be abrupt: no draining of in-flight
+            // connections, like a SIGKILL mid-group-commit.
+            drain_deadline: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let follower_srv = fresh_server();
+    let follower = ClusterNode::start(
+        node_config("b", &dir, vec![leader.repl_addr().to_string()], AckMode::Local),
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        Role::Follower,
+    )
+    .unwrap();
+    let follower_front = tcp::serve(Arc::clone(&follower_srv), "127.0.0.1:0").unwrap();
+
+    // Don't start the fleet until replication is live, or every early
+    // quorum wait burns its full timeout.
+    wait_until("follower to connect", Duration::from_secs(10), || {
+        !leader.hub().follower_nodes().is_empty()
+    });
+
+    // Client traffic reaches the leader through a chaos proxy (light
+    // faults with a budget, so the network heals), and fails over to
+    // the follower's front end.
+    let proxy = ChaosProxy::start(
+        leader_front.addr(),
+        ChaosPolicy::all(0.05, 42).with_budget(30).with_label("fleet"),
+    )
+    .unwrap();
+    let addrs = vec![proxy.addr().to_string(), follower_front.addr().to_string()];
+
+    let acked: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let kill_gate = Arc::new(AtomicBool::new(false));
+    let leader_dead = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addrs = addrs.clone();
+            let acked = Arc::clone(&acked);
+            let kill_gate = Arc::clone(&kill_gate);
+            let leader_dead = Arc::clone(&leader_dead);
+            std::thread::spawn(move || {
+                let mut t = ResilientTransport::multi(addrs)
+                    .with_timeout(Duration::from_secs(1))
+                    .with_policy(RetryPolicy {
+                        max_attempts: 8,
+                        base: Duration::from_millis(2),
+                        cap: Duration::from_millis(50),
+                        seed: c as u64,
+                    });
+                let id = match must_exchange(
+                    &mut t,
+                    &ClientMsg::Register {
+                        snapshot: MachineSnapshot::study_machine(format!("m{c}")),
+                        token: format!("tok-{c}"),
+                    },
+                    Duration::from_secs(30),
+                ) {
+                    ServerMsg::Id { id, .. } => id,
+                    other => panic!("register answered {other:?}"),
+                };
+                for seq in 1..=BATCHES {
+                    let tag = format!("c{c}-b{seq}");
+                    let reply = must_exchange(
+                        &mut t,
+                        &ClientMsg::Upload {
+                            client: id.clone(),
+                            seq,
+                            records: vec![rec(&id, &tag)],
+                        },
+                        Duration::from_secs(30),
+                    );
+                    match reply {
+                        ServerMsg::Ack(1) => acked.lock().unwrap().push(tag),
+                        other => panic!("upload answered {other:?}"),
+                    }
+                    if seq == BATCHES / 3 {
+                        // A third of the way in, signal the killer and
+                        // hold until the leader is actually down — so
+                        // every worker's remaining batches cross the
+                        // failover boundary.
+                        kill_gate.store(true, Ordering::SeqCst);
+                        let gate = Instant::now() + Duration::from_secs(30);
+                        while !leader_dead.load(Ordering::SeqCst) {
+                            assert!(Instant::now() < gate, "killer never fired");
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                    }
+                }
+                id
+            })
+        })
+        .collect();
+
+    // Kill the leader once the fleet is mid-flight: front end torn down
+    // with zero drain (in-flight connections die mid-exchange), then
+    // the replication tier severed.
+    wait_until("fleet to reach mid-flight", Duration::from_secs(30), || {
+        kill_gate.load(Ordering::SeqCst)
+    });
+    leader_front.shutdown();
+    leader.shutdown();
+    leader_dead.store(true, Ordering::SeqCst);
+
+    let ids: Vec<String> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let acked = acked.lock().unwrap().clone();
+
+    // The follower must have promoted itself to finish the fleet.
+    assert!(follower.was_promoted(), "follower never promoted");
+    assert_eq!(follower.role(), Role::Leader);
+
+    // Exactly-once: every acknowledged upload is present on the
+    // promoted node once — none lost to the kill, none duplicated by
+    // the retries that rode through it.
+    let records = follower_srv.results();
+    for tag in &acked {
+        let copies = records.iter().filter(|r| &r.testcase == tag).count();
+        assert_eq!(copies, 1, "acked upload {tag} found {copies} times");
+    }
+    // Every client identity survived the failover too, and the whole
+    // fleet finished: all batches acked, all on the promoted node.
+    for id in &ids {
+        assert_eq!(
+            follower_srv.applied_seq(id),
+            BATCHES,
+            "client {id} lost part of its seq horizon"
+        );
+    }
+    assert_eq!(acked.len(), CLIENTS * BATCHES as usize);
+
+    let stats = proxy.shutdown();
+    assert!(stats.connections > 0, "the fleet never touched the proxy");
+    follower_front.shutdown();
+    follower.shutdown();
+}
+
+/// Bounded staleness and automatic catch-up. A follower in sync with
+/// the leader is partitioned (its node torn down); the leader keeps
+/// committing — replication lag is visible but the leader stays
+/// available (quorum degrades to local with a counted timeout). When
+/// the follower returns it catches up purely from the leader's
+/// replication-log tail, converging to byte-equal record sets.
+#[test]
+fn partitioned_follower_catches_up_from_the_wal_tail() {
+    let dir = TempDir::new("cluster-e2e-partition");
+    let leader_srv = fresh_server();
+    let leader = ClusterNode::start(
+        node_config("a", &dir, vec![], AckMode::Local),
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        Role::Leader,
+    )
+    .unwrap();
+
+    let follower_srv = fresh_server();
+    let follower = ClusterNode::start(
+        node_config("b", &dir, vec![leader.repl_addr().to_string()], AckMode::Local),
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        Role::Follower,
+    )
+    .unwrap();
+
+    let (reply, _) = leader_srv.handle_deferred(&ClientMsg::Register {
+        snapshot: MachineSnapshot::study_machine("m1"),
+        token: "tok-1".into(),
+    });
+    let id = match reply {
+        ServerMsg::Id { id, .. } => id,
+        other => panic!("register answered {other:?}"),
+    };
+    let upload = |seq: u64, tag: &str| {
+        let (reply, _) = leader_srv.handle_deferred(&ClientMsg::Upload {
+            client: id.clone(),
+            seq,
+            records: vec![rec(&id, tag)],
+        });
+        assert!(matches!(reply, ServerMsg::Ack(1)));
+    };
+
+    for seq in 1..=5u64 {
+        upload(seq, &format!("pre-{seq}"));
+    }
+    wait_until("initial sync", Duration::from_secs(10), || {
+        follower_srv.result_count() == 5
+    });
+
+    // Partition: the follower drops off; the leader keeps committing.
+    follower.shutdown();
+    drop(follower);
+    for seq in 6..=20u64 {
+        upload(seq, &format!("dark-{seq}"));
+    }
+    // Staleness is bounded by what was synced pre-partition — the
+    // follower's stale store still answers (read-only availability),
+    // it just lags.
+    assert_eq!(follower_srv.result_count(), 5);
+    assert!(leader.hub().min_acked(0).is_none(), "no follower connected");
+
+    // Heal: same node name, same data dir (progress file intact). The
+    // watermarks are mid-log and nothing was compacted, so catch-up is
+    // a pure WAL tail replay — no snapshot.
+    let follower = ClusterNode::start(
+        node_config("b", &dir, vec![leader.repl_addr().to_string()], AckMode::Local),
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        Role::Follower,
+    )
+    .unwrap();
+    wait_until("catch-up after the partition", Duration::from_secs(10), || {
+        follower_srv.result_count() == 20
+    });
+    assert_eq!(follower_srv.applied_seq(&id), 20);
+
+    // Byte-equal convergence: same records, same per-client horizon.
+    let mut l: Vec<String> = leader_srv.results().iter().map(|r| r.testcase.clone()).collect();
+    let mut f: Vec<String> = follower_srv.results().iter().map(|r| r.testcase.clone()).collect();
+    l.sort();
+    f.sort();
+    assert_eq!(l, f);
+
+    follower.shutdown();
+    leader.shutdown();
+}
