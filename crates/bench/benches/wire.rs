@@ -1,0 +1,236 @@
+//! Wire-protocol benchmarks: what the negotiated binary framing buys
+//! over the legacy text lines, against the same live TCP server.
+//!
+//! * `wire/uploads` — acked uploads through one connection: `text`
+//!   (v1 lines, one request in flight), `binary` (v2 frames, one in
+//!   flight), and `binary_pipelined_x8` (v2 frames, a burst kept in
+//!   flight and drained in request order). The text→binary spread is
+//!   the codec; binary→pipelined is what reply correlation buys.
+//! * `wire/model_sync` — one model download per iteration on a warm
+//!   model: `full` ships the whole encoded sketch, `delta` the
+//!   steady-state `MODELDELTA` poll (nothing changed since the
+//!   client's epoch, so the reply is a handful of bytes).
+
+use std::hint::black_box;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+use uucs_harness::bench::quick_mode;
+use uucs_harness::{bench_group, bench_main, Criterion, Throughput};
+use uucs_protocol::wire::{read_server_msg, write_client_msg};
+use uucs_protocol::{
+    ClientMsg, MachineSnapshot, MonitorSummary, RunOutcome, RunRecord, ServerMsg,
+    WIRE_VERSION_BINARY,
+};
+use uucs_server::{tcp, StoreSet, UucsServer};
+use uucs_testcase::Resource;
+use uucs_wire::conn::{negotiate, Negotiated};
+use uucs_wire::crc32;
+use uucs_wire::frame::{read_server_frame, write_client_frame};
+
+fn record(id: &str, seq: u64, i: u64) -> RunRecord {
+    RunRecord {
+        client: id.to_string(),
+        user: format!("u{i:03}"),
+        testcase: "cpu-ramp-7-120".into(),
+        task: "Word".into(),
+        skill: "Typical".into(),
+        outcome: RunOutcome::Discomfort,
+        offset_secs: 60.0,
+        last_levels: vec![(Resource::Cpu, vec![(seq % 7) as f64 + 0.5])],
+        monitor: MonitorSummary::default(),
+    }
+}
+
+/// One registered connection to a live server, over either framing.
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    id: String,
+    seq: u64,
+}
+
+fn dial(addr: std::net::SocketAddr, binary: bool, name: &str) -> Conn {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    if binary {
+        let got = negotiate(&mut writer, &mut reader, WIRE_VERSION_BINARY).expect("negotiate");
+        assert_eq!(got, Negotiated::Version(WIRE_VERSION_BINARY));
+    }
+    let register = ClientMsg::Register {
+        snapshot: MachineSnapshot::study_machine(name),
+        token: format!("bench-{name}"),
+    };
+    let reply = if binary {
+        write_client_frame(&mut writer, 0, &register).unwrap();
+        read_server_frame(&mut reader).unwrap().1
+    } else {
+        write_client_msg(&mut writer, &register).unwrap();
+        read_server_msg(&mut reader).unwrap()
+    };
+    let ServerMsg::Id { id, .. } = reply else {
+        panic!("registration failed: {reply:?}");
+    };
+    Conn {
+        writer,
+        reader,
+        id,
+        seq: 0,
+    }
+}
+
+impl Conn {
+    fn next_upload(&mut self) -> ClientMsg {
+        self.seq += 1;
+        ClientMsg::Upload {
+            client: self.id.clone(),
+            seq: self.seq,
+            records: vec![record(&self.id, self.seq, self.seq % 8)],
+        }
+    }
+}
+
+/// Acked uploads through one connection: text vs binary vs pipelined
+/// binary on the same server.
+fn uploads(c: &mut Criterion) {
+    let per_iter: u64 = if quick_mode() { 16 } else { 64 };
+    let depth: u64 = 8;
+    let server =
+        Arc::new(UucsServer::with_store_set(StoreSet::plain(4), 9).without_model_updates());
+    let handle = tcp::serve(server, "127.0.0.1:0").expect("bind");
+    let mut group = c.benchmark_group("wire/uploads");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(per_iter));
+
+    group.bench_function("text", |b| {
+        let mut conn = dial(handle.addr(), false, "text");
+        b.iter(|| {
+            for _ in 0..per_iter {
+                let msg = conn.next_upload();
+                write_client_msg(&mut conn.writer, &msg).unwrap();
+                match read_server_msg(&mut conn.reader).unwrap() {
+                    ServerMsg::Ack(n) => black_box(n),
+                    other => panic!("upload not acked: {other:?}"),
+                };
+            }
+        })
+    });
+
+    group.bench_function("binary", |b| {
+        let mut conn = dial(handle.addr(), true, "binary");
+        b.iter(|| {
+            for _ in 0..per_iter {
+                let msg = conn.next_upload();
+                let req = conn.seq as u32;
+                write_client_frame(&mut conn.writer, req, &msg).unwrap();
+                let (got, reply) = read_server_frame(&mut conn.reader).unwrap();
+                assert_eq!(got, req, "reply must echo the request id");
+                match reply {
+                    ServerMsg::Ack(n) => black_box(n),
+                    other => panic!("upload not acked: {other:?}"),
+                };
+            }
+        })
+    });
+
+    group.bench_function(format!("binary_pipelined_x{depth}"), |b| {
+        let mut conn = dial(handle.addr(), true, "pipelined");
+        b.iter(|| {
+            let mut done = 0u64;
+            while done < per_iter {
+                let burst = depth.min(per_iter - done);
+                let first = conn.seq + 1;
+                for _ in 0..burst {
+                    let msg = conn.next_upload();
+                    let req = conn.seq as u32;
+                    write_client_frame(&mut conn.writer, req, &msg).unwrap();
+                }
+                for k in 0..burst {
+                    let (got, reply) = read_server_frame(&mut conn.reader).unwrap();
+                    assert_eq!(got as u64, first + k, "replies must stay in request order");
+                    match reply {
+                        ServerMsg::Ack(n) => black_box(n),
+                        other => panic!("upload not acked: {other:?}"),
+                    };
+                }
+                done += burst;
+            }
+        })
+    });
+    group.finish();
+    handle.shutdown();
+}
+
+/// One model download per iteration on a warm model: the full sketch
+/// vs the steady-state epoch-delta poll.
+fn model_sync(c: &mut Criterion) {
+    let server = Arc::new(UucsServer::with_store_set(StoreSet::plain(4), 9));
+    let handle = tcp::serve(server, "127.0.0.1:0").expect("bind");
+    let mut conn = dial(handle.addr(), true, "model");
+
+    // Warm the model with a spread of comfort observations, then grab
+    // the current epoch and sketch so the delta poll has a valid base.
+    let seed_uploads = if quick_mode() { 8 } else { 32 };
+    for _ in 0..seed_uploads {
+        let msg = conn.next_upload();
+        let req = conn.seq as u32;
+        write_client_frame(&mut conn.writer, req, &msg).unwrap();
+        let (_, reply) = read_server_frame(&mut conn.reader).unwrap();
+        assert!(matches!(reply, ServerMsg::Ack(_)), "seed upload: {reply:?}");
+    }
+    let model_ask = ClientMsg::Model {
+        resource: Resource::Cpu,
+        task: None,
+    };
+    write_client_frame(&mut conn.writer, 9000, &model_ask).unwrap();
+    let (_, reply) = read_server_frame(&mut conn.reader).unwrap();
+    let ServerMsg::Model { epoch, sketch, .. } = reply else {
+        panic!("MODEL failed: {reply:?}");
+    };
+    let basecrc = crc32(sketch.as_bytes());
+
+    let mut group = c.benchmark_group("wire/model_sync");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1));
+    let mut req = 10_000u32;
+
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            req += 1;
+            write_client_frame(&mut conn.writer, req, &model_ask).unwrap();
+            let (_, reply) = read_server_frame(&mut conn.reader).unwrap();
+            match reply {
+                ServerMsg::Model { sketch, .. } => black_box(sketch.len()),
+                other => panic!("MODEL failed: {other:?}"),
+            };
+        })
+    });
+
+    group.bench_function("delta", |b| {
+        let ask = ClientMsg::ModelDelta {
+            resource: Resource::Cpu,
+            task: None,
+            since: epoch,
+            basecrc,
+        };
+        b.iter(|| {
+            req += 1;
+            write_client_frame(&mut conn.writer, req, &ask).unwrap();
+            let (_, reply) = read_server_frame(&mut conn.reader).unwrap();
+            match reply {
+                ServerMsg::ModelDelta { delta, .. } => black_box(delta.len()),
+                // A base the server stopped retaining would fall back
+                // to the full sketch and defeat the comparison.
+                other => panic!("delta not served: {other:?}"),
+            };
+        })
+    });
+    group.finish();
+    write_client_frame(&mut conn.writer, 0, &ClientMsg::Bye).ok();
+    handle.shutdown();
+}
+
+bench_group!(benches, uploads, model_sync);
+bench_main!(benches);

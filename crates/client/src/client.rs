@@ -591,9 +591,10 @@ mod tests {
                     ClientMsg::Sync { .. } => ServerMsg::Testcases(vec![]),
                     ClientMsg::Upload { .. } => ServerMsg::Error("storage full".into()),
                     ClientMsg::Stats { .. } => ServerMsg::Stats("{}".into()),
-                    ClientMsg::Model { .. } | ClientMsg::Advice { .. } => {
-                        ServerMsg::Error("no model".into())
-                    }
+                    ClientMsg::Model { .. }
+                    | ClientMsg::ModelDelta { .. }
+                    | ClientMsg::Advice { .. } => ServerMsg::Error("no model".into()),
+                    ClientMsg::Hello { .. } => ServerMsg::Error("unknown client message".into()),
                     ClientMsg::Bye => ServerMsg::Ack(0),
                 }
             }
@@ -650,9 +651,10 @@ mod tests {
                         ServerMsg::Ack(records.len())
                     }
                     ClientMsg::Stats { .. } => ServerMsg::Stats("{}".into()),
-                    ClientMsg::Model { .. } | ClientMsg::Advice { .. } => {
-                        ServerMsg::Error("no model".into())
-                    }
+                    ClientMsg::Model { .. }
+                    | ClientMsg::ModelDelta { .. }
+                    | ClientMsg::Advice { .. } => ServerMsg::Error("no model".into()),
+                    ClientMsg::Hello { .. } => ServerMsg::Error("unknown client message".into()),
                     ClientMsg::Bye => ServerMsg::Ack(0),
                 }
             }

@@ -17,10 +17,11 @@
 
 use crate::transport::ClientTransport;
 use std::sync::OnceLock;
-use uucs_modelsvc::QuantileSketch;
+use uucs_modelsvc::{QuantileSketch, SketchDelta};
 use uucs_protocol::{ClientMsg, ServerMsg};
 use uucs_telemetry::{metrics, Counter};
 use uucs_testcase::{ExerciseSpec, Resource};
+use uucs_wire::crc32;
 
 /// Pre-registered governor telemetry (`client.governor.*`).
 struct GovernorMetrics {
@@ -28,6 +29,12 @@ struct GovernorMetrics {
     stale: Counter,
     nomodel: Counter,
     offline: Counter,
+    /// Snapshot refreshes satisfied by an epoch delta applied onto the
+    /// cached sketch.
+    delta_applied: Counter,
+    /// Snapshot refreshes that fell back to a full `MODEL` fetch
+    /// (first snapshot, CRC mismatch, legacy server, failed apply).
+    delta_fullsync: Counter,
 }
 
 fn governor_metrics() -> &'static GovernorMetrics {
@@ -37,6 +44,8 @@ fn governor_metrics() -> &'static GovernorMetrics {
         stale: metrics::counter("client.governor.refresh.stale"),
         nomodel: metrics::counter("client.governor.refresh.nomodel"),
         offline: metrics::counter("client.governor.refresh.offline"),
+        delta_applied: metrics::counter("client.governor.delta.applied"),
+        delta_fullsync: metrics::counter("client.governor.delta.fullsync"),
     })
 }
 
@@ -68,6 +77,10 @@ pub struct BorrowingGovernor {
     level: f64,
     epoch: Option<u64>,
     cached: Option<QuantileSketch>,
+    /// The model epoch [`BorrowingGovernor::cached`] corresponds to —
+    /// the `since` a delta request diffs from. Tracked separately from
+    /// the advice epoch: the two verbs can observe different epochs.
+    cached_epoch: Option<u64>,
 }
 
 impl BorrowingGovernor {
@@ -97,6 +110,7 @@ impl BorrowingGovernor {
             level: fallback,
             epoch: None,
             cached: None,
+            cached_epoch: None,
         }
     }
 
@@ -123,6 +137,11 @@ impl BorrowingGovernor {
     /// The last cached model snapshot, used when the server is offline.
     pub fn cached_model(&self) -> Option<&QuantileSketch> {
         self.cached.as_ref()
+    }
+
+    /// The epoch the cached snapshot was taken at, if one is cached.
+    pub fn cached_epoch(&self) -> Option<u64> {
+        self.cached_epoch
     }
 
     /// Caps a requested contention level at the governed level.
@@ -184,18 +203,71 @@ impl BorrowingGovernor {
         }
     }
 
-    /// Best-effort `MODEL` fetch so the governor can answer from cache
-    /// while offline. Ignores failures and replies from older epochs.
+    /// Best-effort snapshot refresh so the governor can answer from
+    /// cache while offline. With a cached sketch it asks `MODELDELTA`
+    /// for just the bins that changed since the cached epoch — the CRC
+    /// of the cached encoding identifies the base, so a server whose
+    /// epoch numbering diverged (failover) fails the match and
+    /// full-syncs instead of corrupting the cache. Without a cache, on
+    /// any delta mismatch, or against a legacy server (which answers
+    /// `ERROR` to the unknown verb), it falls back to a full `MODEL`
+    /// fetch. Ignores transport failures and replies from older epochs.
     fn cache_snapshot<T: ClientTransport>(&mut self, transport: &mut T, adopted_epoch: u64) {
+        let gm = governor_metrics();
+        if let (Some(sketch), Some(since)) = (&self.cached, self.cached_epoch) {
+            let ask = ClientMsg::ModelDelta {
+                resource: self.resource,
+                task: Some(self.task.clone()),
+                since,
+                basecrc: crc32(sketch.encode().as_bytes()),
+            };
+            match transport.exchange(&ask) {
+                Ok(ServerMsg::ModelDelta {
+                    epoch,
+                    since: base,
+                    delta,
+                }) if base == since && epoch >= since => {
+                    let applied = SketchDelta::decode(&delta).ok().and_then(|d| {
+                        self.cached.as_mut().and_then(|c| c.apply_delta(&d).ok())
+                    });
+                    if applied.is_some() {
+                        self.cached_epoch = Some(epoch);
+                        gm.delta_applied.inc();
+                        return;
+                    }
+                    // A delta that does not apply is a divergence
+                    // signal: full-sync below.
+                }
+                Ok(ServerMsg::Model { epoch, sketch, .. }) => {
+                    // The server chose (or had) to full-sync.
+                    gm.delta_fullsync.inc();
+                    self.adopt_snapshot(epoch, &sketch, adopted_epoch);
+                    return;
+                }
+                // A legacy server answers ERROR for the unknown verb
+                // (connection intact): full-fetch below.
+                Ok(_) => {}
+                // Best-effort: keep the existing cache.
+                Err(_) => return,
+            }
+        }
+        gm.delta_fullsync.inc();
         let ask = ClientMsg::Model {
             resource: self.resource,
             task: Some(self.task.clone()),
         };
         if let Ok(ServerMsg::Model { epoch, sketch, .. }) = transport.exchange(&ask) {
-            if epoch >= adopted_epoch {
-                if let Ok(decoded) = QuantileSketch::decode(&sketch) {
-                    self.cached = Some(decoded);
-                }
+            self.adopt_snapshot(epoch, &sketch, adopted_epoch);
+        }
+    }
+
+    /// Installs a full snapshot, monotone in epoch: replies older than
+    /// the advice just adopted (a lagging replica) are discarded.
+    fn adopt_snapshot(&mut self, epoch: u64, sketch: &str, adopted_epoch: u64) {
+        if epoch >= adopted_epoch {
+            if let Ok(decoded) = QuantileSketch::decode(sketch) {
+                self.cached = Some(decoded);
+                self.cached_epoch = Some(epoch);
             }
         }
     }

@@ -28,3 +28,4 @@ pub use resilient::{classify, FailureClass, ResilientTransport, RetryPolicy};
 pub use script::{Command, Script};
 pub use store::ClientStore;
 pub use transport::{ClientTransport, LocalTransport, TcpTransport};
+pub use uucs_wire::WireMode;

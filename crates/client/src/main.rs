@@ -6,7 +6,7 @@
 //! ```text
 //! uucs-client --server 127.0.0.1:4004[,HOST:PORT...] [--store DIR] [--no-store]
 //!             [--runs N] [--mean-gap SECS] [--seed N] [--script FILE]
-//!             [--timeout SECS] [--retries N]
+//!             [--timeout SECS] [--retries N] [--wire text|binary|auto]
 //! ```
 //!
 //! With `--script`, runs in deterministic mode instead: executes the
@@ -28,7 +28,7 @@
 
 use std::path::PathBuf;
 use std::time::Duration;
-use uucs_client::{ClientStore, ResilientTransport, RetryPolicy, Script, UucsClient};
+use uucs_client::{ClientStore, ResilientTransport, RetryPolicy, Script, UucsClient, WireMode};
 use uucs_comfort::{Fidelity, UserPopulation};
 use uucs_protocol::MachineSnapshot;
 use uucs_stats::Pcg64;
@@ -46,6 +46,7 @@ fn main() {
     let mut script: Option<PathBuf> = None;
     let mut timeout = 10.0f64;
     let mut retries = 4u32;
+    let mut wire = WireMode::Auto;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -87,6 +88,16 @@ fn main() {
             "--retries" => {
                 i += 1;
                 retries = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(retries);
+            }
+            "--wire" => {
+                i += 1;
+                wire = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --wire mode (want text, binary, or auto)");
+                        std::process::exit(2);
+                    });
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -141,6 +152,7 @@ fn main() {
     // down the list, so a replicated tier's follower can take over.
     let addrs: Vec<String> = server.split(',').map(str::to_string).collect();
     let mut transport = ResilientTransport::multi(addrs)
+        .with_wire_mode(wire)
         .with_timeout(Duration::from_secs_f64(timeout.max(0.1)))
         .with_policy(RetryPolicy {
             max_attempts: retries.max(1),

@@ -29,9 +29,11 @@ use crate::transport::{ClientTransport, TcpTransport};
 use std::io;
 use std::sync::OnceLock;
 use std::time::Duration;
-use uucs_protocol::{ClientMsg, ServerMsg};
+use uucs_protocol::{ClientMsg, ServerMsg, WIRE_VERSION_BINARY, WIRE_VERSION_TEXT};
 use uucs_stats::Pcg64;
-use uucs_telemetry::{metrics, Counter};
+use uucs_telemetry::{metrics, Counter, Gauge};
+use uucs_wire::conn::{negotiate, Negotiated};
+use uucs_wire::{BinaryConn, WireMode};
 
 /// Pre-registered transport telemetry (`client.transport.*`): one
 /// registry lookup per process, a few atomic ops per exchange.
@@ -43,6 +45,9 @@ struct TransportMetrics {
     exchanges_ok: Counter,
     failures: Counter,
     failovers: Counter,
+    /// The wire version the current connection negotiated (1 = text,
+    /// 2 = binary, 0 = no connection yet).
+    negotiated: Gauge,
 }
 
 fn transport_metrics() -> &'static TransportMetrics {
@@ -55,7 +60,27 @@ fn transport_metrics() -> &'static TransportMetrics {
         exchanges_ok: metrics::counter("client.transport.exchanges_ok"),
         failures: metrics::counter("client.transport.failures"),
         failovers: metrics::counter("client.failover.count"),
+        negotiated: metrics::gauge("client.wire.negotiated"),
     })
+}
+
+/// One live connection, in whichever framing negotiation settled on.
+enum WireConn {
+    /// Wire v1: the text line protocol, byte-identical to a legacy
+    /// client (and the only framing a [`WireMode::Text`] transport
+    /// ever speaks — no `HELLO` is sent at all).
+    Text(TcpTransport),
+    /// Wire v2: negotiated binary framing.
+    Binary(BinaryConn),
+}
+
+impl WireConn {
+    fn exchange(&mut self, msg: &ClientMsg) -> io::Result<ServerMsg> {
+        match self {
+            WireConn::Text(t) => t.exchange(msg),
+            WireConn::Binary(b) => b.exchange(msg),
+        }
+    }
 }
 
 /// What a failed exchange attempt means for the retry loop.
@@ -145,7 +170,8 @@ pub struct ResilientTransport {
     last_good: Option<usize>,
     timeout: Duration,
     policy: RetryPolicy,
-    conn: Option<TcpTransport>,
+    wire: WireMode,
+    conn: Option<WireConn>,
     sleeper: Box<dyn FnMut(Duration) + Send>,
 }
 
@@ -167,6 +193,7 @@ impl ResilientTransport {
             last_good: None,
             timeout: DEFAULT_TIMEOUT,
             policy: RetryPolicy::default(),
+            wire: WireMode::default(),
             conn: None,
             sleeper: Box::new(std::thread::sleep),
         }
@@ -196,6 +223,26 @@ impl ResilientTransport {
         self
     }
 
+    /// Selects the wire framing. [`WireMode::Text`] (the default) never
+    /// sends `HELLO` and stays byte-identical to a legacy client;
+    /// [`WireMode::Auto`] negotiates per fresh connection — so a
+    /// failover to a legacy server renegotiates and degrades to text,
+    /// and a failover back upgrades again; [`WireMode::Binary`] fails
+    /// the exchange (permanently, no retries) when the server cannot
+    /// speak binary.
+    pub fn with_wire_mode(mut self, wire: WireMode) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// The framing the current connection speaks, if connected.
+    pub fn negotiated_wire(&self) -> Option<u32> {
+        self.conn.as_ref().map(|c| match c {
+            WireConn::Text(_) => WIRE_VERSION_TEXT,
+            WireConn::Binary(_) => WIRE_VERSION_BINARY,
+        })
+    }
+
     /// Replaces the sleep function used between attempts (tests inject a
     /// recorder to assert the schedule without waiting it out).
     pub fn with_sleeper(mut self, sleeper: Box<dyn FnMut(Duration) + Send>) -> Self {
@@ -210,18 +257,57 @@ impl ResilientTransport {
 
     /// Ends the session politely if a connection is up.
     pub fn bye(&mut self) {
-        if let Some(conn) = &mut self.conn {
-            let _ = conn.bye();
+        match self.conn.take() {
+            Some(WireConn::Text(mut t)) => {
+                let _ = t.bye();
+            }
+            Some(WireConn::Binary(b)) => b.bye(),
+            None => {}
         }
-        self.conn = None;
+        transport_metrics().negotiated.set(0);
     }
 
-    fn ensure_connected(&mut self) -> io::Result<&mut TcpTransport> {
+    fn ensure_connected(&mut self) -> io::Result<&mut WireConn> {
         if self.conn.is_none() {
-            self.conn = Some(TcpTransport::connect_with_deadline(
-                &self.addrs[self.current],
-                self.timeout,
-            )?);
+            let text = TcpTransport::connect_with_deadline(&self.addrs[self.current], self.timeout)?;
+            let conn = match self.wire {
+                // Text mode sends no HELLO: the byte stream is exactly
+                // what a pre-negotiation client produced.
+                WireMode::Text => WireConn::Text(text),
+                WireMode::Binary | WireMode::Auto => {
+                    // Negotiation runs per fresh connection, so each
+                    // address in the failover list gets its own verdict.
+                    let (mut writer, mut reader) = text.into_parts();
+                    match negotiate(&mut writer, &mut reader, WIRE_VERSION_BINARY)? {
+                        Negotiated::Version(v) if v >= WIRE_VERSION_BINARY => {
+                            WireConn::Binary(BinaryConn::new(writer, reader))
+                        }
+                        // The server spoke HELLO but settled on text, or
+                        // is a legacy server that answered ERROR.
+                        Negotiated::Version(_) | Negotiated::LegacyText => {
+                            if self.wire == WireMode::Binary {
+                                // Forced binary: classified Permanent
+                                // (InvalidData), so the retry loop
+                                // surfaces it instead of burning backoff
+                                // against a server that cannot comply.
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!(
+                                        "server {} cannot speak the binary wire (--wire binary)",
+                                        self.addrs[self.current]
+                                    ),
+                                ));
+                            }
+                            WireConn::Text(TcpTransport::from_parts(writer, reader))
+                        }
+                    }
+                }
+            };
+            transport_metrics().negotiated.set(match conn {
+                WireConn::Text(_) => WIRE_VERSION_TEXT as i64,
+                WireConn::Binary(_) => WIRE_VERSION_BINARY as i64,
+            });
+            self.conn = Some(conn);
         }
         Ok(self.conn.as_mut().expect("just connected"))
     }

@@ -64,6 +64,19 @@ impl TcpTransport {
     pub fn bye(&mut self) -> io::Result<()> {
         write_client_msg(&mut self.writer, &ClientMsg::Bye)
     }
+
+    /// Splits the transport into its socket halves — what the wire
+    /// negotiation needs to run the text `HELLO` exchange and then hand
+    /// the same socket to a binary connection.
+    pub fn into_parts(self) -> (TcpStream, BufReader<TcpStream>) {
+        (self.writer, self.reader)
+    }
+
+    /// Reassembles a transport from socket halves (the text fallback
+    /// after a negotiation that settled on wire v1).
+    pub fn from_parts(writer: TcpStream, reader: BufReader<TcpStream>) -> Self {
+        TcpTransport { writer, reader }
+    }
 }
 
 impl ClientTransport for TcpTransport {

@@ -31,4 +31,4 @@ mod model;
 mod sketch;
 
 pub use model::{CohortKey, ComfortModel, ModelDelta, Observation, SKILL_UNRATED};
-pub use sketch::{MergeError, QuantileSketch, DEFAULT_BINS, MAX_BINS};
+pub use sketch::{MergeError, QuantileSketch, SketchDelta, DEFAULT_BINS, MAX_BINS};

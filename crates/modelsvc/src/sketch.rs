@@ -418,6 +418,288 @@ impl QuantileSketch {
     }
 }
 
+/// The changed-bin difference between two snapshots of one *growing*
+/// sketch — the payload of an epoch-delta `MODELDELTA` download.
+///
+/// Bin counts only ever increase and the configuration never changes,
+/// so the delta from a cached base to the current sketch is the per-bin
+/// **growth** of the bins that moved, plus the base and target totals.
+/// Growth encoding makes the line self-checking: the changed-bin
+/// growths must sum *exactly* to the observed-count growth, so a
+/// truncated changed list (even one cut at a comma boundary) can never
+/// decode. [`QuantileSketch::apply_delta`] additionally requires the
+/// base totals to match the sketch it is applied to, so a delta
+/// computed against a *different* base (a renumbered epoch after
+/// failover, say) is rejected instead of silently merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchDelta {
+    lo: f64,
+    hi: f64,
+    nbins: usize,
+    /// The totals of the base this delta was computed against.
+    base_observed: u64,
+    base_censored: u64,
+    /// The target totals and maximum — what the base advances to.
+    observed: u64,
+    censored: u64,
+    max_seen: f64,
+    /// `(bin index, count growth)` for every bin that changed,
+    /// strictly increasing by index, every growth >= 1.
+    changed: Vec<(usize, u64)>,
+}
+
+impl SketchDelta {
+    /// Number of bins that changed between base and target.
+    pub fn changed_bins(&self) -> usize {
+        self.changed.len()
+    }
+
+    /// The target's observed (uncensored) count.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// The target's censored count.
+    pub fn censored(&self) -> u64 {
+        self.censored
+    }
+
+    /// True when base and target were identical (the common polling
+    /// case: the model has not advanced since the client's cached
+    /// epoch, so the delta carries nothing but the unchanged totals).
+    pub fn is_noop(&self) -> bool {
+        self.changed.is_empty() && self.censored == self.base_censored
+    }
+
+    /// Encodes the delta as one whitespace-free line, mirroring
+    /// [`QuantileSketch::encode`] with a `qd1` version tag:
+    ///
+    /// ```text
+    /// qd1;<lo>;<hi>;<nbins>;<base-obs>;<base-cens>;<obs>;<cens>;<max>;<i>:<growth>,...
+    /// ```
+    pub fn encode(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        write!(
+            out,
+            "qd1;{};{};{};{};{};{};{};{};",
+            self.lo,
+            self.hi,
+            self.nbins,
+            self.base_observed,
+            self.base_censored,
+            self.observed,
+            self.censored,
+            self.max_seen
+        )
+        .unwrap();
+        let mut first = true;
+        for (i, g) in &self.changed {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(out, "{i}:{g}").unwrap();
+        }
+        out
+    }
+
+    /// Decodes [`SketchDelta::encode`] output with the same paranoia as
+    /// the sketch decoder: a truncated or garbled line never yields a
+    /// plausible-looking delta, because the changed-bin growths must
+    /// account exactly for the observed-count growth.
+    pub fn decode(text: &str) -> Result<SketchDelta, String> {
+        let fields: Vec<&str> = text.split(';').collect();
+        if fields.len() != 10 {
+            return Err(format!("delta line has {} fields, want 10", fields.len()));
+        }
+        if fields[0] != "qd1" {
+            return Err(format!("unknown delta version {:?}", fields[0]));
+        }
+        let pf = |what: &str, s: &str| -> Result<f64, String> {
+            let v: f64 = s.parse().map_err(|_| format!("bad delta {what} {s:?}"))?;
+            if !v.is_finite() {
+                return Err(format!("non-finite delta {what} {s:?}"));
+            }
+            Ok(v)
+        };
+        let pu = |what: &str, s: &str| -> Result<u64, String> {
+            s.parse().map_err(|_| format!("bad delta {what} {s:?}"))
+        };
+        let lo = pf("lo", fields[1])?;
+        let hi = pf("hi", fields[2])?;
+        if lo >= hi {
+            return Err(format!("empty delta domain [{lo}, {hi}]"));
+        }
+        let nbins: usize = fields[3]
+            .parse()
+            .map_err(|_| format!("bad delta bin count {:?}", fields[3]))?;
+        if !(1..=MAX_BINS).contains(&nbins) {
+            return Err(format!("delta bin count {nbins} out of range"));
+        }
+        let base_observed = pu("base observed count", fields[4])?;
+        let base_censored = pu("base censored count", fields[5])?;
+        let observed = pu("observed count", fields[6])?;
+        let censored = pu("censored count", fields[7])?;
+        if observed < base_observed || censored < base_censored {
+            return Err("delta shrinks a total count".to_string());
+        }
+        let max_seen = pf("max", fields[8])?;
+        if max_seen < lo || max_seen > hi {
+            return Err(format!("delta max {max_seen} outside [{lo}, {hi}]"));
+        }
+        let mut changed = Vec::new();
+        let mut sum = 0u64;
+        let mut prev: Option<usize> = None;
+        if !fields[9].is_empty() {
+            for seg in fields[9].split(',') {
+                let (i, g) = seg
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad delta bin segment {seg:?}"))?;
+                let i: usize = i
+                    .parse()
+                    .map_err(|_| format!("bad delta bin index {i:?}"))?;
+                let g: u64 = g
+                    .parse()
+                    .map_err(|_| format!("bad delta bin growth {g:?}"))?;
+                if i >= nbins {
+                    return Err(format!("delta bin index {i} out of range"));
+                }
+                if g == 0 {
+                    return Err("delta encodes a zero-growth bin".to_string());
+                }
+                if prev.is_some_and(|p| i <= p) {
+                    return Err("delta bin indices not strictly increasing".to_string());
+                }
+                prev = Some(i);
+                sum = sum
+                    .checked_add(g)
+                    .ok_or_else(|| "delta bin growths overflow".to_string())?;
+                changed.push((i, g));
+            }
+        }
+        if sum != observed - base_observed {
+            return Err(format!(
+                "delta changed bins grow by {sum} but the observed count by {}",
+                observed - base_observed
+            ));
+        }
+        Ok(SketchDelta {
+            lo,
+            hi,
+            nbins,
+            base_observed,
+            base_censored,
+            observed,
+            censored,
+            max_seen,
+            changed,
+        })
+    }
+}
+
+impl QuantileSketch {
+    /// The delta that advances `base` to `self`. Fails when the
+    /// configurations differ or `base` is not an ancestor of `self`
+    /// (some count shrank) — both mean the two sketches do not belong
+    /// to the same growth history and a delta would corrupt the base.
+    pub fn delta_since(&self, base: &QuantileSketch) -> Result<SketchDelta, MergeError> {
+        if self.lo != base.lo || self.hi != base.hi || self.bins.len() != base.bins.len() {
+            return Err(MergeError {
+                what: format!(
+                    "[{}, {}]x{} vs [{}, {}]x{}",
+                    self.lo,
+                    self.hi,
+                    self.bins.len(),
+                    base.lo,
+                    base.hi,
+                    base.bins.len()
+                ),
+            });
+        }
+        if base.observed > self.observed
+            || base.censored > self.censored
+            || base.max_seen > self.max_seen
+        {
+            return Err(MergeError {
+                what: "delta base is ahead of the target (not an ancestor)".to_string(),
+            });
+        }
+        let mut changed = Vec::new();
+        for (i, (&new, &old)) in self.bins.iter().zip(&base.bins).enumerate() {
+            if new < old {
+                return Err(MergeError {
+                    what: format!("bin {i} shrank {old} -> {new} (base is not an ancestor)"),
+                });
+            }
+            if new != old {
+                changed.push((i, new - old));
+            }
+        }
+        Ok(SketchDelta {
+            lo: self.lo,
+            hi: self.hi,
+            nbins: self.bins.len(),
+            base_observed: base.observed,
+            base_censored: base.censored,
+            observed: self.observed,
+            censored: self.censored,
+            max_seen: self.max_seen,
+            changed,
+        })
+    }
+
+    /// Advances this sketch by a delta computed against it. Validates
+    /// everything *before* mutating — configuration match, exact
+    /// base-total match, grow-only maximum — so a delta computed
+    /// against a different base leaves the sketch untouched and the
+    /// caller falls back to a full download.
+    pub fn apply_delta(&mut self, delta: &SketchDelta) -> Result<(), MergeError> {
+        if self.lo != delta.lo || self.hi != delta.hi || self.bins.len() != delta.nbins {
+            return Err(MergeError {
+                what: format!(
+                    "[{}, {}]x{} vs delta [{}, {}]x{}",
+                    self.lo,
+                    self.hi,
+                    self.bins.len(),
+                    delta.lo,
+                    delta.hi,
+                    delta.nbins
+                ),
+            });
+        }
+        if self.observed != delta.base_observed || self.censored != delta.base_censored {
+            return Err(MergeError {
+                what: format!(
+                    "delta base is {}+{} records but this sketch is {}+{} — \
+                     it was computed against a different base",
+                    delta.base_observed, delta.base_censored, self.observed, self.censored
+                ),
+            });
+        }
+        if delta.max_seen < self.max_seen {
+            return Err(MergeError {
+                what: format!(
+                    "delta shrinks the maximum {} -> {}",
+                    self.max_seen, delta.max_seen
+                ),
+            });
+        }
+        if delta.changed.iter().any(|&(i, _)| i >= self.bins.len()) {
+            return Err(MergeError {
+                what: "delta bin index out of range".to_string(),
+            });
+        }
+        for &(i, g) in &delta.changed {
+            self.bins[i] += g;
+        }
+        self.observed = delta.observed;
+        self.censored = delta.censored;
+        self.max_seen = delta.max_seen;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,5 +855,114 @@ mod tests {
         assert_eq!(s.max_observed(), Some(10.0));
         let line = s.encode();
         assert_eq!(QuantileSketch::decode(&line).unwrap(), s);
+    }
+
+    #[test]
+    fn delta_advances_base_to_target_exactly() {
+        let mut base = cpu();
+        base.insert(1.0);
+        base.insert(4.5);
+        base.insert_censored();
+        let mut target = base.clone();
+        target.insert(4.5);
+        target.insert(9.0);
+        target.insert_censored();
+        let delta = target.delta_since(&base).unwrap();
+        assert!(!delta.is_noop());
+        assert!(delta.changed_bins() >= 1);
+        let mut applied = base.clone();
+        applied.apply_delta(&delta).unwrap();
+        assert_eq!(applied, target);
+        assert_eq!(applied.encode(), target.encode());
+    }
+
+    #[test]
+    fn delta_roundtrips_through_text_including_noop() {
+        let mut base = cpu();
+        base.insert(2.0);
+        let mut target = base.clone();
+        target.insert(7.7);
+        let delta = target.delta_since(&base).unwrap();
+        let line = delta.encode();
+        assert!(!line.contains(char::is_whitespace));
+        let back = SketchDelta::decode(&line).unwrap();
+        assert_eq!(back, delta);
+        assert_eq!(back.encode(), line);
+        // The no-op delta (polling an unchanged model) roundtrips too.
+        let noop = target.delta_since(&target).unwrap();
+        assert!(noop.is_noop());
+        let back = SketchDelta::decode(&noop.encode()).unwrap();
+        let mut applied = target.clone();
+        applied.apply_delta(&back).unwrap();
+        assert_eq!(applied, target);
+    }
+
+    #[test]
+    fn delta_rejects_non_ancestor_bases() {
+        let mut a = cpu();
+        a.insert(1.0);
+        let mut b = cpu();
+        b.insert(9.0);
+        // a is not an ancestor of b: a's bin for 1.0 would shrink.
+        assert!(b.delta_since(&a).is_err());
+        // Mismatched configuration fails on either side.
+        let mem = QuantileSketch::for_resource(Resource::Memory);
+        assert!(b.delta_since(&mem).is_err());
+        let mut m = mem.clone();
+        let d = b.delta_since(&cpu()).unwrap();
+        assert!(m.apply_delta(&d).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_deltas_from_a_different_base_without_mutating() {
+        let mut real_base = cpu();
+        real_base.insert(3.0);
+        real_base.insert(3.0);
+        let mut target = real_base.clone();
+        target.insert(6.0);
+        let delta = target.delta_since(&real_base).unwrap();
+        // A client whose cache diverged (same config, different counts)
+        // must not silently adopt the delta.
+        let mut other = cpu();
+        other.insert(3.0);
+        let snapshot = other.clone();
+        assert!(other.apply_delta(&delta).is_err());
+        assert_eq!(other, snapshot, "failed apply must leave the base untouched");
+    }
+
+    #[test]
+    fn delta_decode_rejects_garbage_and_truncations() {
+        let mut base = cpu();
+        base.insert(1.0);
+        let mut target = base.clone();
+        target.insert(2.0);
+        target.insert(8.0);
+        let line = target.delta_since(&base).unwrap().encode();
+        for cut in 0..line.len() {
+            assert!(
+                SketchDelta::decode(&line[..cut]).is_err(),
+                "prefix {:?} decoded",
+                &line[..cut]
+            );
+        }
+        for bad in [
+            "",
+            "q1;0;10;4;0;0;1;0;5;0:1",      // sketch tag, not delta tag
+            "qd2;0;10;4;0;0;1;0;5;0:1",     // unknown version
+            "qd1;0;10;4;0;0;1;0;5",         // 9 fields
+            "qd1;0;0;4;0;0;1;0;0;0:1",      // empty domain
+            "qd1;0;10;0;0;0;1;0;5;0:1",     // zero bins
+            "qd1;0;10;4;0;0;1;0;11;0:1",    // max outside domain
+            "qd1;0;10;4;0;0;1;0;5;9:1",     // index out of range
+            "qd1;0;10;4;0;0;1;0;5;0:0",     // zero-growth bin
+            "qd1;0;10;4;0;0;2;0;5;1:1,1:1", // non-increasing indices
+            "qd1;0;10;4;0;0;1;0;5;0:2",     // growth above observed growth
+            "qd1;0;10;4;0;0;2;0;5;0:1",     // growth below observed growth
+            "qd1;0;10;4;2;0;1;0;5;",        // shrinking observed total
+            "qd1;nan;10;4;0;0;1;0;5;0:1",   // non-finite domain
+            "qd1;0;10;4;x;0;1;0;5;0:1",     // garbled count
+        ] {
+            assert!(SketchDelta::decode(bad).is_err(), "{bad:?} decoded");
+        }
     }
 }

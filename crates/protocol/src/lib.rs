@@ -20,6 +20,16 @@
 //! stays under `epsilon`. See [`wire::ClientMsg::Model`] and
 //! [`wire::ClientMsg::Advice`].
 //!
+//! Two versioning exchanges keep the protocol evolvable without ever
+//! breaking a deployed client: `HELLO <version>` negotiates the wire
+//! version (agreeing on [`wire::WIRE_VERSION_BINARY`] switches the
+//! connection to the `uucs-wire` binary framing; a legacy peer answers
+//! `ERROR` and the connection stays text), and
+//! `MODELDELTA <resource> <task|-> <since> <basecrc>` downloads only
+//! the changed bins of a cached model (full-model fallback when the
+//! server no longer retains — or cannot CRC-verify — the client's
+//! epoch). See the *Protocol versioning* section of [`wire`].
+//!
 //! This crate defines:
 //! * [`record::RunRecord`] — the result of one testcase run: how it ended
 //!   (discomfort vs exhaustion), the time offset of the feedback, the
@@ -44,4 +54,4 @@ pub use record::{MonitorSummary, RunOutcome, RunRecord};
 pub use repl::{read_repl_msg, write_repl_msg, ReplMsg};
 pub use snapshot::MachineSnapshot;
 pub use walenc::WalEntry;
-pub use wire::{ClientMsg, ServerMsg};
+pub use wire::{ClientMsg, ServerMsg, WIRE_VERSION_BINARY, WIRE_VERSION_TEXT};

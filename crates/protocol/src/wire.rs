@@ -62,12 +62,57 @@
 //! `ERROR` and keep the connection alive after `Unsupported` (the read
 //! stopped at a clean line boundary), but must drop it after
 //! `InvalidData` (framing may be torn mid-block).
+//!
+//! # Protocol versioning
+//!
+//! The text protocol above is **wire version 1** and is never
+//! renegotiated away: a connection always *starts* in text, and a
+//! server must keep answering v1 clients byte-for-byte forever. Two
+//! verbs ride the forward-compatibility rule to let newer peers opt
+//! into more:
+//!
+//! * `HELLO <version>` ([`ClientMsg::Hello`]) — version negotiation.
+//!   A v2-capable client sends it as its *first* message; a v2 server
+//!   answers `HELLO <min(2, requested)>` and, when the agreed version
+//!   is [`WIRE_VERSION_BINARY`], both sides switch the connection to
+//!   the length-prefixed CRC-checked binary framing of `uucs-wire`
+//!   (request pipelining, typed encodings). A legacy server answers
+//!   `ERROR` — the unknown-header rule — and the client simply stays
+//!   in text. Legacy clients never send `HELLO`, so their byte stream
+//!   is untouched by this extension.
+//! * `MODELDELTA <resource> <task|-> <since> <basecrc>`
+//!   ([`ClientMsg::ModelDelta`]) — epoch-delta model download: "I hold
+//!   the merged sketch of model epoch `since`, whose encoded form has
+//!   CRC32 `basecrc`; send only what changed." A v2 server that still
+//!   retains that epoch *and* whose retained encoding matches the CRC
+//!   answers [`ServerMsg::ModelDelta`] with a changed-bin delta
+//!   (`uucs_modelsvc::SketchDelta`); otherwise it falls back to a full
+//!   [`ServerMsg::Model`] reply, which a delta-aware client must also
+//!   accept. A legacy server answers `ERROR`, and the client retries
+//!   as a plain `MODEL` query. The CRC guard matters after failover: a
+//!   freshly promoted leader may reuse epoch numbers for different
+//!   model states, and a delta applied to the wrong base would
+//!   silently diverge — the CRC (plus the delta's own base-total
+//!   cross-checks) turns that into a clean full-download.
+//!
+//! Version constants live here ([`WIRE_VERSION_TEXT`],
+//! [`WIRE_VERSION_BINARY`]); the binary framing itself lives in the
+//! `uucs-wire` crate so this crate stays transport-agnostic.
 
 use crate::record::RunRecord;
 use crate::snapshot::MachineSnapshot;
 use std::io::{BufRead, Write};
-use uucs_modelsvc::QuantileSketch;
+use uucs_modelsvc::{QuantileSketch, SketchDelta};
 use uucs_testcase::{format as tcformat, Resource, Testcase};
+
+/// Wire version 1: the line-oriented text protocol this module frames.
+/// Every connection starts here; it is the permanent fallback.
+pub const WIRE_VERSION_TEXT: u32 = 1;
+
+/// Wire version 2: the negotiated binary framing implemented by the
+/// `uucs-wire` crate (length-prefixed CRC-checked frames, request
+/// pipelining, typed encodings, batched uploads).
+pub const WIRE_VERSION_BINARY: u32 = 2;
 
 /// Anything that can answer client messages — the server implements this,
 /// and the client's in-memory transport calls it directly (the same
@@ -81,6 +126,16 @@ pub trait Endpoint: Send + Sync {
 /// Messages a client sends.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMsg {
+    /// Negotiate the wire version (`HELLO <version>`): "I speak up to
+    /// `version`." Expects [`ServerMsg::Hello`] with the agreed version
+    /// (the minimum of both sides), or `ERROR` from a legacy server —
+    /// which means "text only". Must be the first message on a
+    /// connection; the agreed version takes effect for everything
+    /// after the reply.
+    Hello {
+        /// The highest wire version the client speaks.
+        version: u32,
+    },
     /// Register this machine; expects [`ServerMsg::Id`].
     Register {
         /// The machine being registered.
@@ -124,6 +179,26 @@ pub enum ClientMsg {
         /// tokens (the record format already guarantees this).
         task: Option<String>,
     },
+    /// Request only what changed in the merged comfort model since the
+    /// epoch the client already holds
+    /// (`MODELDELTA <resource> <task|-> <since> <basecrc>`); expects
+    /// [`ServerMsg::ModelDelta`], or a full [`ServerMsg::Model`] when
+    /// the server no longer retains that epoch (or its retained
+    /// encoding's CRC32 disagrees with `basecrc`).
+    ModelDelta {
+        /// The borrowed resource the model describes.
+        resource: Resource,
+        /// Narrow to this foreground task's cohorts; `None` (wire
+        /// token `-`) merges every cohort of the resource.
+        task: Option<String>,
+        /// The model epoch of the client's cached merged sketch.
+        since: u64,
+        /// CRC32 (the WAL polynomial, `uucs_wal::crc::crc32`) of the
+        /// cached sketch's text encoding — proof the client's base is
+        /// the same bytes the server retained for `since`, not a
+        /// different server's coincidentally equal epoch number.
+        basecrc: u32,
+    },
     /// Request a recommended borrowing level; expects
     /// [`ServerMsg::Advice`].
     Advice {
@@ -149,6 +224,14 @@ pub enum ClientMsg {
 /// Messages a server sends.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerMsg {
+    /// The negotiated wire version for this connection, answering a
+    /// [`ClientMsg::Hello`]: `min(server max, client requested)`. When
+    /// it names [`WIRE_VERSION_BINARY`], both sides switch framing
+    /// immediately after this reply.
+    Hello {
+        /// The agreed wire version.
+        version: u32,
+    },
     /// The GUID assigned (or re-resolved, for a known idempotency token)
     /// at registration, together with the server's applied upload-batch
     /// horizon for that identity.
@@ -180,6 +263,22 @@ pub enum ServerMsg {
         /// reader deep-validates it, so a [`ServerMsg::Model`] in hand
         /// always decodes.
         sketch: String,
+    },
+    /// The changed-bin delta for a [`ClientMsg::ModelDelta`] query
+    /// (`MODELDELTA <epoch> <since> <delta>`): what advances the
+    /// client's cached epoch-`since` sketch to the server's current
+    /// `epoch`. Only sent when the server verified the client's base
+    /// CRC; otherwise the server answers a full [`ServerMsg::Model`].
+    ModelDelta {
+        /// The model epoch the delta advances the client to.
+        epoch: u64,
+        /// The base epoch the delta was computed against (echoes the
+        /// query, so a pipelining client can sanity-check pairing).
+        since: u64,
+        /// The delta in its single-token text encoding
+        /// (`uucs_modelsvc::SketchDelta::encode`). The reader
+        /// deep-validates it, so a reply in hand always decodes.
+        delta: String,
     },
     /// The recommendation for a [`ClientMsg::Advice`] query.
     Advice {
@@ -221,6 +320,9 @@ impl ServerMsg {
 /// Writes a client message to a stream.
 pub fn write_client_msg(w: &mut impl Write, msg: &ClientMsg) -> std::io::Result<()> {
     match msg {
+        ClientMsg::Hello { version } => {
+            writeln!(w, "HELLO {version}")?;
+        }
         ClientMsg::Register { snapshot, token } => {
             if token.is_empty() {
                 writeln!(w, "REGISTER")?;
@@ -247,6 +349,27 @@ pub fn write_client_msg(w: &mut impl Write, msg: &ClientMsg) -> std::io::Result<
             }
             None => writeln!(w, "MODEL {resource}")?,
         },
+        ClientMsg::ModelDelta {
+            resource,
+            task,
+            since,
+            basecrc,
+        } => {
+            let task = match task {
+                Some(task) => {
+                    check_token("MODELDELTA task", task)?;
+                    if task == "-" {
+                        // "-" is the on-wire spelling of "no task"; a
+                        // task literally named "-" would read back as
+                        // None and silently widen the query.
+                        return Err(proto_err("MODELDELTA task must not be \"-\""));
+                    }
+                    task.as_str()
+                }
+                None => "-",
+            };
+            writeln!(w, "MODELDELTA {resource} {task} {since} {basecrc}")?;
+        }
         ClientMsg::Advice {
             resource,
             task,
@@ -271,6 +394,7 @@ pub fn write_client_msg(w: &mut impl Write, msg: &ClientMsg) -> std::io::Result<
 /// Writes a server message to a stream.
 pub fn write_server_msg(w: &mut impl Write, msg: &ServerMsg) -> std::io::Result<()> {
     match msg {
+        ServerMsg::Hello { version } => writeln!(w, "HELLO {version}")?,
         ServerMsg::Id { id, applied_seq } => writeln!(w, "ID {id} {applied_seq}")?,
         ServerMsg::Testcases(tcs) => {
             writeln!(w, "TESTCASES {}", tcs.len())?;
@@ -287,6 +411,16 @@ pub fn write_server_msg(w: &mut impl Write, msg: &ServerMsg) -> std::io::Result<
             // construction; anything else would tear the frame.
             check_token("MODEL sketch", sketch)?;
             writeln!(w, "MODEL {epoch} {observed} {censored} {sketch}")?;
+        }
+        ServerMsg::ModelDelta {
+            epoch,
+            since,
+            delta,
+        } => {
+            // The delta encoding is one whitespace-free token by
+            // construction; anything else would tear the frame.
+            check_token("MODELDELTA delta", delta)?;
+            writeln!(w, "MODELDELTA {epoch} {since} {delta}")?;
         }
         ServerMsg::Advice { epoch, level } => {
             if !level.is_finite() {
@@ -400,6 +534,19 @@ pub fn read_client_msg(r: &mut impl BufRead) -> std::io::Result<Option<ClientMsg
     let header = header.trim().to_string();
     let mut toks = header.split_whitespace();
     match toks.next() {
+        Some("HELLO") => {
+            let version: u32 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad HELLO version"))?;
+            if version == 0 {
+                return Err(proto_err("HELLO version must be positive"));
+            }
+            if toks.next().is_some() {
+                return Err(proto_err("trailing tokens after HELLO"));
+            }
+            Ok(Some(ClientMsg::Hello { version }))
+        }
         Some("REGISTER") => {
             let token = toks.next().unwrap_or("").to_string();
             let body = read_blocks(r, 1)?;
@@ -459,6 +606,35 @@ pub fn read_client_msg(r: &mut impl BufRead) -> std::io::Result<Option<ClientMsg
                 return Err(proto_err("trailing tokens after MODEL"));
             }
             Ok(Some(ClientMsg::Model { resource, task }))
+        }
+        Some("MODELDELTA") => {
+            let resource: Resource = toks
+                .next()
+                .ok_or_else(|| proto_err("MODELDELTA missing resource"))?
+                .parse()
+                .map_err(|_| proto_err("bad MODELDELTA resource"))?;
+            let task = match toks.next() {
+                Some("-") => None,
+                Some(t) => Some(t.to_string()),
+                None => return Err(proto_err("MODELDELTA missing task")),
+            };
+            let since: u64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad MODELDELTA since epoch"))?;
+            let basecrc: u32 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad MODELDELTA base crc"))?;
+            if toks.next().is_some() {
+                return Err(proto_err("trailing tokens after MODELDELTA"));
+            }
+            Ok(Some(ClientMsg::ModelDelta {
+                resource,
+                task,
+                since,
+                basecrc,
+            }))
         }
         Some("ADVICE") => {
             let resource: Resource = toks
@@ -523,6 +699,17 @@ pub fn read_server_msg(r: &mut impl BufRead) -> std::io::Result<ServerMsg> {
     let header = header.trim().to_string();
     let (kind, rest) = header.split_once(' ').unwrap_or((header.as_str(), ""));
     match kind {
+        "HELLO" => {
+            let mut toks = rest.split_whitespace();
+            let version: u32 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad HELLO version"))?;
+            if version == 0 || toks.next().is_some() {
+                return Err(proto_err("bad HELLO reply"));
+            }
+            Ok(ServerMsg::Hello { version })
+        }
         "ID" => {
             let mut toks = rest.split_whitespace();
             let id = toks
@@ -589,6 +776,34 @@ pub fn read_server_msg(r: &mut impl BufRead) -> std::io::Result<ServerMsg> {
                 observed,
                 censored,
                 sketch,
+            })
+        }
+        "MODELDELTA" => {
+            let mut toks = rest.split_whitespace();
+            let epoch: u64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad MODELDELTA epoch"))?;
+            let since: u64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| proto_err("bad MODELDELTA since epoch"))?;
+            let delta = toks
+                .next()
+                .ok_or_else(|| proto_err("MODELDELTA missing delta"))?
+                .to_string();
+            if toks.next().is_some() {
+                return Err(proto_err("trailing tokens after MODELDELTA reply"));
+            }
+            // Deep-validate: a MODELDELTA reply in hand must always
+            // decode (the delta encoding is self-checking, so a torn
+            // token can never pass).
+            SketchDelta::decode(&delta)
+                .map_err(|e| proto_err(format!("bad MODELDELTA delta: {e}")))?;
+            Ok(ServerMsg::ModelDelta {
+                epoch,
+                since,
+                delta,
             })
         }
         "ADVICE" => {
@@ -740,6 +955,145 @@ mod tests {
             epoch: 9,
             level: 4.25,
         });
+    }
+
+    /// A valid single-token delta encoding for reply fixtures: the
+    /// delta that adds `extra` observations to a `(observed, censored)`
+    /// base built by [`sketch_token`]'s construction.
+    fn delta_token(observed: u64, censored: u64, extra: u64) -> String {
+        let mut base = uucs_modelsvc::QuantileSketch::new(0.0, 10.0, 8);
+        for i in 0..observed {
+            base.insert(1.0 + i as f64 % 8.0);
+        }
+        for _ in 0..censored {
+            base.insert_censored();
+        }
+        let mut target = base.clone();
+        for i in 0..extra {
+            target.insert(2.0 + i as f64 % 7.0);
+        }
+        target.delta_since(&base).unwrap().encode()
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        roundtrip_client(ClientMsg::Hello {
+            version: WIRE_VERSION_BINARY,
+        });
+        roundtrip_client(ClientMsg::Hello { version: 7 });
+        roundtrip_server(ServerMsg::Hello {
+            version: WIRE_VERSION_TEXT,
+        });
+        roundtrip_server(ServerMsg::Hello {
+            version: WIRE_VERSION_BINARY,
+        });
+    }
+
+    #[test]
+    fn hello_rejects_garbled_and_zero_versions() {
+        for bad in ["HELLO\n", "HELLO x\n", "HELLO 0\n", "HELLO 2 3\n", "HELLO -1\n"] {
+            let mut cur = Cursor::new(bad.as_bytes().to_vec());
+            assert_eq!(
+                read_client_msg(&mut cur).unwrap_err().kind(),
+                std::io::ErrorKind::InvalidData,
+                "{bad:?} must be InvalidData"
+            );
+            let mut cur = Cursor::new(bad.as_bytes().to_vec());
+            assert_eq!(
+                read_server_msg(&mut cur).unwrap_err().kind(),
+                std::io::ErrorKind::InvalidData,
+                "{bad:?} must be InvalidData"
+            );
+        }
+    }
+
+    #[test]
+    fn modeldelta_roundtrip() {
+        roundtrip_client(ClientMsg::ModelDelta {
+            resource: Resource::Cpu,
+            task: None,
+            since: 12,
+            basecrc: 0xdead_beef,
+        });
+        roundtrip_client(ClientMsg::ModelDelta {
+            resource: Resource::Disk,
+            task: Some("Word".into()),
+            since: 0,
+            basecrc: 0,
+        });
+        roundtrip_server(ServerMsg::ModelDelta {
+            epoch: 14,
+            since: 12,
+            delta: delta_token(5, 2, 3),
+        });
+        // The no-op delta (model unchanged since the client's epoch).
+        roundtrip_server(ServerMsg::ModelDelta {
+            epoch: 12,
+            since: 12,
+            delta: delta_token(5, 2, 0),
+        });
+    }
+
+    #[test]
+    fn modeldelta_rejects_truncated_and_garbled_args() {
+        for bad in [
+            "MODELDELTA\n",                  // missing everything
+            "MODELDELTA cpu\n",              // missing task
+            "MODELDELTA gpu - 1 2\n",        // unknown resource
+            "MODELDELTA cpu - 1\n",          // missing crc
+            "MODELDELTA cpu Word x 2\n",     // garbled since
+            "MODELDELTA cpu Word 1 x\n",     // garbled crc
+            "MODELDELTA cpu - 1 2 extra\n",  // trailing tokens
+        ] {
+            let mut cur = Cursor::new(bad.as_bytes().to_vec());
+            assert_eq!(
+                read_client_msg(&mut cur).unwrap_err().kind(),
+                std::io::ErrorKind::InvalidData,
+                "{bad:?} must be InvalidData"
+            );
+        }
+        // A task literally named "-" would read back as None; the
+        // writer refuses instead of silently widening the query.
+        let mut buf = Vec::new();
+        assert!(write_client_msg(
+            &mut buf,
+            &ClientMsg::ModelDelta {
+                resource: Resource::Cpu,
+                task: Some("-".into()),
+                since: 1,
+                basecrc: 2,
+            }
+        )
+        .is_err());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn modeldelta_reply_is_deep_validated() {
+        let good = delta_token(3, 1, 2);
+        for bad in [
+            "MODELDELTA 2 1\n".to_string(),            // missing delta
+            "MODELDELTA 2 1 garbage\n".to_string(),    // undecodable delta
+            format!("MODELDELTA x 1 {good}\n"),        // bad epoch
+            format!("MODELDELTA 2 x {good}\n"),        // bad since
+            format!("MODELDELTA 2 1 {good} extra\n"),  // trailing tokens
+        ] {
+            let mut cur = Cursor::new(bad.as_bytes().to_vec());
+            assert_eq!(
+                read_server_msg(&mut cur).unwrap_err().kind(),
+                std::io::ErrorKind::InvalidData,
+                "{bad:?} must be InvalidData"
+            );
+        }
+        // Truncating the delta token anywhere keeps the reply invalid
+        // (the growth accounting makes the encoding self-checking).
+        let line = format!("MODELDELTA 2 1 {good}\n");
+        let full = line.trim_end();
+        for cut in (full.len() - good.len() + 1)..full.len() {
+            let torn = format!("{}\n", &full[..cut]);
+            let mut cur = Cursor::new(torn.into_bytes());
+            assert!(read_server_msg(&mut cur).is_err(), "cut at {cut} parsed");
+        }
     }
 
     #[test]
@@ -983,7 +1337,9 @@ mod tests {
             "TESTCASES 2",
             "STATS {\"counters\":{}",
             "MODEL 3 1 0 q1;0;10;8;1",
+            "MODELDELTA 3 2 qd1;0;10;8",
             "ADVICE 3 2.5",
+            "HELLO 2",
         ] {
             let mut cur = Cursor::new(torn.as_bytes().to_vec());
             let err = read_server_msg(&mut cur).unwrap_err();
@@ -1004,7 +1360,9 @@ mod tests {
             "REGISTER",
             "STATS RESET",
             "MODEL cpu Word",
+            "MODELDELTA cpu - 3 77",
             "ADVICE cpu Word 0.05",
+            "HELLO 2",
         ] {
             let mut cur = Cursor::new(torn.as_bytes().to_vec());
             let err = read_client_msg(&mut cur).unwrap_err();

@@ -15,14 +15,16 @@ use crate::commit::{CommitTicket, GroupCommitter, StoreFlavor};
 use crate::models::{observations_of, ModelStore};
 use crate::shard::{Sharded, StoreSet};
 use crate::store::{BatchStatus, RegistryStore, ResultStore, StoreError, TestcaseStore};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use uucs_modelsvc::{ComfortModel, QuantileSketch};
 use uucs_protocol::wire::Endpoint;
-use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg, WalEntry};
+use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg, WalEntry, WIRE_VERSION_BINARY};
 use uucs_stats::Pcg64;
+use uucs_wal::crc::crc32;
 use uucs_telemetry::{metrics, Counter, Gauge, Histogram};
 use uucs_testcase::format as tcformat;
 
@@ -47,10 +49,12 @@ impl VerbMetrics {
 }
 
 struct ServerMetrics {
+    hello: VerbMetrics,
     register: VerbMetrics,
     sync: VerbMetrics,
     upload: VerbMetrics,
     model: VerbMetrics,
+    modeldelta: VerbMetrics,
     advice: VerbMetrics,
     stats: VerbMetrics,
     bye: VerbMetrics,
@@ -59,15 +63,51 @@ struct ServerMetrics {
 fn server_metrics() -> &'static ServerMetrics {
     static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
     METRICS.get_or_init(|| ServerMetrics {
+        hello: VerbMetrics::new("hello"),
         register: VerbMetrics::new("register"),
         sync: VerbMetrics::new("sync"),
         upload: VerbMetrics::new("upload"),
         model: VerbMetrics::new("model"),
+        modeldelta: VerbMetrics::new("modeldelta"),
         advice: VerbMetrics::new("advice"),
         stats: VerbMetrics::new("stats"),
         bye: VerbMetrics::new("bye"),
     })
 }
+
+/// Telemetry for the epoch-delta model-sync path: how many `MODELDELTA`
+/// queries were answered with a delta vs. fell back to the full sketch.
+struct DeltaMetrics {
+    served: Counter,
+    fallback: Counter,
+}
+
+fn delta_metrics() -> &'static DeltaMetrics {
+    static METRICS: OnceLock<DeltaMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| DeltaMetrics {
+        served: metrics::counter("server.model.delta.served"),
+        fallback: metrics::counter("server.model.delta.fallback"),
+    })
+}
+
+/// How many past merged-sketch snapshots the server retains per
+/// `(resource, task)` query key for answering `MODELDELTA`. A client
+/// more than this many *distinct served epochs* behind simply gets the
+/// full sketch — correctness never depends on retention.
+const DELTA_HISTORY: usize = 8;
+
+/// One retained merged-sketch snapshot: the epoch it was served at, the
+/// CRC32 of its encoded text (what clients echo as `basecrc`), and the
+/// encoded text itself (decoded lazily — only a delta request pays).
+struct DeltaSnap {
+    epoch: u64,
+    crc: u32,
+    encoded: String,
+}
+
+/// The `MODELDELTA` base-history map: newest-first retained snapshots
+/// per (resource name, task filter) query key.
+type DeltaHistory = HashMap<(&'static str, Option<String>), VecDeque<DeltaSnap>>;
 
 /// Per-shard occupancy gauges, pre-registered so the hot paths pay one
 /// atomic store. `server.shard.results.<i>.records` and
@@ -153,6 +193,13 @@ pub struct UucsServer {
     /// `ADVICE`, `STATS`) keep serving — degraded advice is acceptable,
     /// divergent writes are not. Flipped off at promotion.
     read_only: AtomicBool,
+    /// Recent merged-sketch snapshots per `(resource name, task)` query
+    /// key, newest first — the bases `MODELDELTA` can diff against. A
+    /// snapshot is recorded whenever a model query serves a new epoch,
+    /// so any epoch a client *could* hold came through here. Empty on a
+    /// freshly promoted follower, which makes every skewed delta
+    /// request fall back to the full sketch — the safe answer.
+    delta_history: Mutex<DeltaHistory>,
 }
 
 impl UucsServer {
@@ -210,6 +257,7 @@ impl UucsServer {
             shard_gauges,
             replication: OnceLock::new(),
             read_only: AtomicBool::new(false),
+            delta_history: Mutex::new(HashMap::new()),
         }
     }
 
@@ -622,10 +670,12 @@ impl UucsServer {
     /// covers separately).
     pub fn handle_deferred(&self, msg: &ClientMsg) -> (ServerMsg, Option<CommitTicket>) {
         let verb = match msg {
+            ClientMsg::Hello { .. } => &server_metrics().hello,
             ClientMsg::Register { .. } => &server_metrics().register,
             ClientMsg::Sync { .. } => &server_metrics().sync,
             ClientMsg::Upload { .. } => &server_metrics().upload,
             ClientMsg::Model { .. } => &server_metrics().model,
+            ClientMsg::ModelDelta { .. } => &server_metrics().modeldelta,
             ClientMsg::Advice { .. } => &server_metrics().advice,
             ClientMsg::Stats { .. } => &server_metrics().stats,
             ClientMsg::Bye => &server_metrics().bye,
@@ -663,6 +713,14 @@ impl UucsServer {
             );
         }
         match msg {
+            ClientMsg::Hello { version } => {
+                // Version negotiation: agree to the highest version both
+                // sides speak. The *reply* is all this verb does — the
+                // framing switch (when the agreed version is binary) is
+                // the transport front end's job, keyed off this reply.
+                let agreed = (*version).min(WIRE_VERSION_BINARY);
+                (ServerMsg::Hello { version: agreed }, None)
+            }
             ClientMsg::Register { snapshot, token } => self.handle_register(snapshot, token),
             ClientMsg::Sync { client, have, want } => {
                 if self.snapshot_of(client).is_none() {
@@ -696,15 +754,8 @@ impl UucsServer {
                 records,
             } => self.handle_upload(client, *seq, records),
             ClientMsg::Model { resource, task } => {
-                let reply = if self.stores.models.count() == 1 {
-                    let (epoch, observed, censored, sketch) =
-                        self.stores.models.read(0).merged(*resource, task.as_deref());
-                    ServerMsg::Model {
-                        epoch,
-                        observed,
-                        censored,
-                        sketch,
-                    }
+                let (epoch, observed, censored, sketch) = if self.stores.models.count() == 1 {
+                    self.stores.models.read(0).merged(*resource, task.as_deref())
                 } else {
                     let guards = self.stores.models.read_all();
                     let epoch: u64 = guards.iter().map(|g| g.epoch()).sum();
@@ -714,15 +765,28 @@ impl UucsServer {
                             .merge(&g.merged_sketch(*resource, task.as_deref()))
                             .expect("shard sketches of one resource share a config");
                     }
+                    (epoch, merged.observed(), merged.censored(), merged.encode())
+                };
+                // Remember what this epoch looked like: a client holding
+                // this reply may come back with `MODELDELTA <epoch>
+                // <crc>` and the diff base has to be byte-identical.
+                self.record_delta_base(*resource, task, epoch, &sketch);
+                (
                     ServerMsg::Model {
                         epoch,
-                        observed: merged.observed(),
-                        censored: merged.censored(),
-                        sketch: merged.encode(),
-                    }
-                };
-                (reply, None)
+                        observed,
+                        censored,
+                        sketch,
+                    },
+                    None,
+                )
             }
+            ClientMsg::ModelDelta {
+                resource,
+                task,
+                since,
+                basecrc,
+            } => (self.handle_model_delta(*resource, task, *since, *basecrc), None),
             ClientMsg::Advice {
                 resource,
                 task,
@@ -778,6 +842,124 @@ impl UucsServer {
             }
             ClientMsg::Bye => (ServerMsg::Ack(0), None),
         }
+    }
+
+    /// Retains the sketch a model query just served, so a later
+    /// `MODELDELTA <epoch> <crc>` can diff against the byte-identical
+    /// base. Newest first, capped at [`DELTA_HISTORY`]; same-epoch
+    /// re-queries are absorbed by the front check.
+    fn record_delta_base(
+        &self,
+        resource: uucs_testcase::Resource,
+        task: &Option<String>,
+        epoch: u64,
+        encoded: &str,
+    ) {
+        let mut hist = self
+            .delta_history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let q = hist.entry((resource.name(), task.clone())).or_default();
+        if q.front().map(|s| s.epoch) == Some(epoch) {
+            return;
+        }
+        q.push_front(DeltaSnap {
+            epoch,
+            crc: crc32(encoded.as_bytes()),
+            encoded: encoded.to_string(),
+        });
+        q.truncate(DELTA_HISTORY);
+    }
+
+    /// Answers a `MODELDELTA` query: the delta from the client's cached
+    /// epoch when the server can prove (by CRC over the encoded base)
+    /// that it still holds that exact base, else the full sketch. The
+    /// CRC guard is what makes post-failover epoch collisions safe: a
+    /// promoted leader whose epoch numbering diverged simply fails the
+    /// match and full-syncs the client.
+    fn handle_model_delta(
+        &self,
+        resource: uucs_testcase::Resource,
+        task: &Option<String>,
+        since: u64,
+        basecrc: u32,
+    ) -> ServerMsg {
+        // One guard acquisition, so the epoch and the merged sketch
+        // describe the same instant.
+        let guards = self.stores.models.read_all();
+        let epoch: u64 = guards.iter().map(|g| g.epoch()).sum();
+        let mut merged = QuantileSketch::for_resource(resource);
+        for g in &guards {
+            merged
+                .merge(&g.merged_sketch(resource, task.as_deref()))
+                .expect("shard sketches of one resource share a config");
+        }
+        drop(guards);
+        let encoded = merged.encode();
+        self.record_delta_base(resource, task, epoch, &encoded);
+        if let Some(delta) = self.delta_against(resource, task, since, basecrc, epoch, &merged, &encoded)
+        {
+            delta_metrics().served.inc();
+            return ServerMsg::ModelDelta {
+                epoch,
+                since,
+                delta,
+            };
+        }
+        delta_metrics().fallback.inc();
+        ServerMsg::Model {
+            epoch,
+            observed: merged.observed(),
+            censored: merged.censored(),
+            sketch: encoded,
+        }
+    }
+
+    /// The encoded delta from the client's base to `merged`, or `None`
+    /// when only a full sync is safe: unknown/skewed base, CRC
+    /// mismatch, non-ancestor sketch, or a delta that would not
+    /// actually be smaller than the full sketch.
+    #[allow(clippy::too_many_arguments)]
+    fn delta_against(
+        &self,
+        resource: uucs_testcase::Resource,
+        task: &Option<String>,
+        since: u64,
+        basecrc: u32,
+        epoch: u64,
+        merged: &QuantileSketch,
+        encoded: &str,
+    ) -> Option<String> {
+        if since == epoch {
+            // Client is current; confirm byte identity, then a noop
+            // delta tells it so without resending anything.
+            if crc32(encoded.as_bytes()) != basecrc {
+                return None;
+            }
+            return merged.delta_since(merged).ok().map(|d| d.encode());
+        }
+        if since > epoch {
+            // The client negotiated with a differently-numbered leader
+            // (failover skew); its base means nothing here.
+            return None;
+        }
+        let hist = self
+            .delta_history
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let snap = hist
+            .get(&(resource.name(), task.clone()))?
+            .iter()
+            .find(|s| s.epoch == since && s.crc == basecrc)?;
+        let base = QuantileSketch::decode(&snap.encoded).ok()?;
+        drop(hist);
+        let text = merged.delta_since(&base).ok()?.encode();
+        // A delta carrying nearly every bin is a full sync in disguise;
+        // send the real thing so the client also refreshes its base.
+        if text.len() >= encoded.len() {
+            return None;
+        }
+        Some(text)
     }
 
     fn handle_register(

@@ -41,8 +41,61 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use uucs_protocol::wire::{read_client_msg, write_server_msg, Endpoint};
-use uucs_protocol::{ClientMsg, ServerMsg};
-use uucs_telemetry::{metrics, Gauge};
+use uucs_protocol::{ClientMsg, ServerMsg, WIRE_VERSION_BINARY};
+use uucs_telemetry::{metrics, Counter, Gauge};
+use uucs_wire::frame::{read_client_frame, try_read_client_frame, write_server_frame};
+use uucs_wire::{FrameRead, MAX_PIPELINE};
+
+/// Wire-protocol telemetry: how many live connections speak each
+/// framing, and how many verbs arrived over each wire version.
+struct WireMetrics {
+    text_conns: Gauge,
+    binary_conns: Gauge,
+    v1_verbs: Counter,
+    v2_verbs: Counter,
+}
+
+fn wire_metrics() -> &'static WireMetrics {
+    static METRICS: std::sync::OnceLock<WireMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| WireMetrics {
+        text_conns: metrics::gauge("server.wire.text_conns"),
+        binary_conns: metrics::gauge("server.wire.binary_conns"),
+        v1_verbs: metrics::counter("server.wire.v1.verbs"),
+        v2_verbs: metrics::counter("server.wire.v2.verbs"),
+    })
+}
+
+/// RAII tracking of which framing gauge a connection occupies. Every
+/// connection starts text (negotiation itself is text); `upgrade`
+/// moves it to the binary gauge; drop releases whichever it holds.
+struct WireConnGauge {
+    binary: bool,
+}
+
+impl WireConnGauge {
+    fn text() -> Self {
+        wire_metrics().text_conns.inc();
+        WireConnGauge { binary: false }
+    }
+
+    fn upgrade(&mut self) {
+        if !self.binary {
+            wire_metrics().text_conns.dec();
+            wire_metrics().binary_conns.inc();
+            self.binary = true;
+        }
+    }
+}
+
+impl Drop for WireConnGauge {
+    fn drop(&mut self) {
+        if self.binary {
+            wire_metrics().binary_conns.dec();
+        } else {
+            wire_metrics().text_conns.dec();
+        }
+    }
+}
 
 /// Which connection engine serves the sockets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -337,6 +390,15 @@ fn serve_pool(
     })
 }
 
+/// One reply parked on a group-commit fsync: redeemed by polling,
+/// serialized only once the watermark is durable. `req_id` is `None`
+/// on a text connection (text replies carry no correlation id).
+struct Parked {
+    req_id: Option<u32>,
+    ticket: CommitTicket,
+    reply: ServerMsg,
+}
+
 /// Per-connection state machine of the worker pool.
 struct PoolConn {
     stream: TcpStream,
@@ -344,10 +406,15 @@ struct PoolConn {
     inbuf: Vec<u8>,
     /// Serialized replies not yet flushed to the socket.
     outbuf: Vec<u8>,
-    /// A reply parked on a group-commit fsync: redeemed by polling,
-    /// serialized only once the watermark is durable. While parked, no
-    /// further input is parsed (replies stay ordered).
-    pending: Option<(CommitTicket, ServerMsg)>,
+    /// Replies parked on group-commit fsyncs, oldest first. A text
+    /// connection parks at most one and stops parsing input while it
+    /// waits (replies stay ordered, exactly the legacy discipline); a
+    /// binary connection keeps parsing up to [`MAX_PIPELINE`] parked
+    /// acks — that is what request pipelining buys.
+    pending: VecDeque<Parked>,
+    /// Which framing gauge this connection occupies — and, via
+    /// [`WireConnGauge::binary`], which framing it currently speaks.
+    wire: WireConnGauge,
     /// Peer closed its write side; serve what is buffered, then close.
     eof: bool,
     /// `BYE` received (or torn input on an eof'd stream): close after
@@ -372,11 +439,34 @@ impl PoolConn {
             stream,
             inbuf: Vec::new(),
             outbuf: Vec::new(),
-            pending: None,
+            pending: VecDeque::new(),
+            wire: WireConnGauge::text(),
             eof: false,
             closing: false,
             last_activity: Instant::now(),
         })
+    }
+
+    /// How many replies may park on fsync tickets before this
+    /// connection stops parsing further input.
+    fn pipeline_cap(&self) -> usize {
+        if self.wire.binary {
+            MAX_PIPELINE
+        } else {
+            1
+        }
+    }
+
+    /// Serializes one reply in whatever framing the connection speaks.
+    fn push_reply(&mut self, req_id: Option<u32>, reply: &ServerMsg) {
+        match req_id {
+            Some(id) => {
+                let _ = write_server_frame(&mut self.outbuf, id, reply);
+            }
+            None => {
+                let _ = write_server_msg(&mut self.outbuf, reply);
+            }
+        }
     }
 
     fn step(
@@ -387,21 +477,25 @@ impl PoolConn {
     ) -> Step {
         let mut progressed = false;
 
-        // 1. Redeem a parked reply once its fsync landed.
-        if let Some((ticket, reply)) = self.pending.take() {
+        // 1. Redeem parked replies whose fsync landed — oldest first,
+        // so a pipelined client's acks still arrive in request order
+        // even when many are parked at once.
+        while let Some(ticket) = self.pending.front().map(|p| p.ticket) {
             match committer.map(|c| c.poll(ticket)) {
                 // No committer can't really happen (tickets come from
                 // one), but degrade to an immediate reply, never a wedge.
                 None | Some(Some(Ok(()))) => {
-                    let _ = write_server_msg(&mut self.outbuf, &reply);
+                    let done = self.pending.pop_front().expect("front exists");
+                    self.push_reply(done.req_id, &done.reply);
                     progressed = true;
                 }
                 Some(Some(Err(e))) => {
+                    let done = self.pending.pop_front().expect("front exists");
                     let err = ServerMsg::Error(format!("journal commit failed: {e}"));
-                    let _ = write_server_msg(&mut self.outbuf, &err);
+                    self.push_reply(done.req_id, &err);
                     progressed = true;
                 }
-                Some(None) => self.pending = Some((ticket, reply)),
+                Some(None) => break,
             }
         }
 
@@ -419,9 +513,10 @@ impl PoolConn {
             }
         }
 
-        // 3. Drain readable bytes (unless a reply is parked: replies
-        // stay ordered, so the next request waits).
-        if self.pending.is_none() && !self.eof && !self.closing {
+        // 3. Drain readable bytes (unless the pipeline window is full:
+        // one parked reply stalls a text connection, a binary one keeps
+        // reading until MAX_PIPELINE acks are in flight).
+        if self.pending.len() < self.pipeline_cap() && !self.eof && !self.closing {
             let mut buf = [0u8; 4096];
             loop {
                 match self.stream.read(&mut buf) {
@@ -443,25 +538,88 @@ impl PoolConn {
             }
         }
 
-        // 4. Parse and handle every complete frame in the buffer.
-        while self.pending.is_none() && !self.closing && !self.inbuf.is_empty() {
+        // 4. Parse and handle every complete frame in the buffer, in
+        // whichever framing the connection currently speaks. A `HELLO`
+        // that negotiates binary flips the framing *between* messages:
+        // the reply is serialized in text first, then every later byte
+        // on the connection is a binary frame.
+        while self.pending.len() < self.pipeline_cap() && !self.closing && !self.inbuf.is_empty() {
+            if self.wire.binary {
+                match try_read_client_frame(&self.inbuf) {
+                    Ok(FrameRead::Incomplete) => break,
+                    Ok(FrameRead::Msg {
+                        consumed,
+                        req_id,
+                        msg,
+                    }) => {
+                        self.inbuf.drain(..consumed);
+                        wire_metrics().v2_verbs.inc();
+                        if matches!(msg, ClientMsg::Bye) {
+                            self.closing = true;
+                        } else {
+                            let (reply, ticket) = server.handle_deferred(&msg);
+                            match ticket {
+                                Some(t) => self.pending.push_back(Parked {
+                                    req_id: Some(req_id),
+                                    ticket: t,
+                                    reply,
+                                }),
+                                None => self.push_reply(Some(req_id), &reply),
+                            }
+                        }
+                        progressed = true;
+                    }
+                    // An intact frame from the future: answer on the
+                    // same correlation id, keep the connection.
+                    Ok(FrameRead::Unknown {
+                        consumed,
+                        req_id,
+                        opcode,
+                    }) => {
+                        self.inbuf.drain(..consumed);
+                        let reply = ServerMsg::Error(format!(
+                            "unsupported message: unknown opcode {opcode}"
+                        ));
+                        self.push_reply(Some(req_id), &reply);
+                        progressed = true;
+                    }
+                    // Corrupt frame: the stream position is unknown.
+                    Err(_) => return Step::Close,
+                }
+                continue;
+            }
             let mut cursor = Cursor::new(&self.inbuf[..]);
             let parsed = read_client_msg(&mut cursor);
             let consumed = cursor.position() as usize;
             match parsed {
                 Ok(Some(ClientMsg::Bye)) => {
                     self.inbuf.drain(..consumed);
+                    wire_metrics().v1_verbs.inc();
                     self.closing = true;
                     progressed = true;
                 }
                 Ok(Some(msg)) => {
                     self.inbuf.drain(..consumed);
+                    wire_metrics().v1_verbs.inc();
                     let (reply, ticket) = server.handle_deferred(&msg);
+                    // Negotiation: the engine — not the handler — owns
+                    // framing, so the flip happens here, after the text
+                    // HELLO reply is queued.
+                    let upgrade = matches!(
+                        (&msg, &reply),
+                        (ClientMsg::Hello { .. }, ServerMsg::Hello { version })
+                            if *version >= WIRE_VERSION_BINARY
+                    );
                     match ticket {
-                        Some(t) => self.pending = Some((t, reply)),
-                        None => {
-                            let _ = write_server_msg(&mut self.outbuf, &reply);
-                        }
+                        Some(t) => self.pending.push_back(Parked {
+                            req_id: None,
+                            ticket: t,
+                            reply,
+                        }),
+                        None => self.push_reply(None, &reply),
+                    }
+                    if upgrade {
+                        self.wire.upgrade();
                     }
                     progressed = true;
                 }
@@ -488,19 +646,23 @@ impl PoolConn {
 
         // 5. Lifecycle: a finished conversation closes once everything
         // owed has been flushed.
-        let flushed = self.outbuf.is_empty() && self.pending.is_none();
+        let flushed = self.outbuf.is_empty() && self.pending.is_empty();
         if self.closing && flushed {
             return Step::Close;
         }
         if self.eof && flushed && self.inbuf.is_empty() {
             return Step::Close;
         }
-        if self.eof && self.pending.is_none() && !self.inbuf.is_empty() {
+        if self.eof && self.pending.is_empty() && !self.inbuf.is_empty() {
             // Bytes that can never complete a frame (peer is gone).
-            let mut cursor = Cursor::new(&self.inbuf[..]);
-            if matches!(read_client_msg(&mut cursor),
-                        Err(ref e) if e.kind() == std::io::ErrorKind::UnexpectedEof)
-            {
+            let never_completes = if self.wire.binary {
+                matches!(try_read_client_frame(&self.inbuf), Ok(FrameRead::Incomplete))
+            } else {
+                let mut cursor = Cursor::new(&self.inbuf[..]);
+                matches!(read_client_msg(&mut cursor),
+                         Err(ref e) if e.kind() == std::io::ErrorKind::UnexpectedEof)
+            };
+            if never_completes {
                 return Step::Close;
             }
         }
@@ -508,7 +670,7 @@ impl PoolConn {
         if progressed {
             self.last_activity = Instant::now();
         } else if let Some(t) = read_timeout {
-            if self.pending.is_none() && self.last_activity.elapsed() > t {
+            if self.pending.is_empty() && self.last_activity.elapsed() > t {
                 return Step::Close;
             }
         }
@@ -672,12 +834,27 @@ fn handle_connection(stream: TcpStream, server: &dyn Endpoint, read_timeout: Opt
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    let mut gauge = WireConnGauge::text();
     loop {
         match read_client_msg(&mut reader) {
             Ok(Some(ClientMsg::Bye)) | Ok(None) => return,
             Ok(Some(msg)) => {
+                wire_metrics().v1_verbs.inc();
                 let reply = server.handle(&msg);
+                // Negotiation: flip to binary framing after the text
+                // HELLO reply goes out — same engine-owned rule as the
+                // worker pool.
+                let upgrade = matches!(
+                    (&msg, &reply),
+                    (ClientMsg::Hello { .. }, ServerMsg::Hello { version })
+                        if *version >= WIRE_VERSION_BINARY
+                );
                 if write_server_msg(&mut writer, &reply).is_err() {
+                    return;
+                }
+                if upgrade {
+                    gauge.upgrade();
+                    binary_connection_loop(writer, reader, server);
                     return;
                 }
             }
@@ -693,6 +870,44 @@ fn handle_connection(stream: TcpStream, server: &dyn Endpoint, read_timeout: Opt
             // Read deadline expired (either error kind, depending on
             // platform), torn framing, or a dead peer: close.
             Err(_) => return,
+        }
+    }
+}
+
+/// The post-negotiation loop of the thread-per-conn engine: blocking
+/// frame reads, one reply frame per request, `ERROR` on unknown
+/// opcodes. No pipelining depth here — requests are handled strictly
+/// one at a time, but replies still echo the request id so a client
+/// that buffered several sends gets each answered.
+fn binary_connection_loop(
+    mut writer: TcpStream,
+    mut reader: BufReader<TcpStream>,
+    server: &dyn Endpoint,
+) {
+    loop {
+        match read_client_frame(&mut reader) {
+            Ok(None) => return,
+            Ok(Some(FrameRead::Msg {
+                msg: ClientMsg::Bye,
+                ..
+            })) => return,
+            Ok(Some(FrameRead::Msg { req_id, msg, .. })) => {
+                wire_metrics().v2_verbs.inc();
+                let reply = server.handle(&msg);
+                if write_server_frame(&mut writer, req_id, &reply).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(FrameRead::Unknown { req_id, opcode, .. })) => {
+                let reply =
+                    ServerMsg::Error(format!("unsupported message: unknown opcode {opcode}"));
+                if write_server_frame(&mut writer, req_id, &reply).is_err() {
+                    return;
+                }
+            }
+            // The blocking reader never reports Incomplete; treat it as
+            // the stream error it would imply.
+            Ok(Some(FrameRead::Incomplete)) | Err(_) => return,
         }
     }
 }

@@ -38,6 +38,10 @@ use uucs_server::{StoreSet, UucsServer};
 use uucs_telemetry::metrics;
 use uucs_testcase::{ExerciseSpec, Resource, Testcase};
 use uucs_wal::{SyncPolicy, WalConfig};
+use uucs_wire::conn::{negotiate, Negotiated};
+use uucs_wire::frame::{read_server_frame, write_client_frame};
+use uucs_wire::WireMode;
+use uucs_protocol::WIRE_VERSION_BINARY;
 
 /// Tuning for a fleet run.
 #[derive(Debug, Clone)]
@@ -62,6 +66,14 @@ pub struct FleetConfig {
     pub commit_interval: Duration,
     /// Self-hosted server: TCP engine.
     pub engine: EngineMode,
+    /// Wire framing each client asks for at dial time. `Text` keeps the
+    /// legacy line protocol; `Binary`/`Auto` run the text `HELLO`
+    /// negotiation and switch to wire v2 frames when the server agrees.
+    pub wire: WireMode,
+    /// Uploads each *binary* connection keeps in flight per round
+    /// (request pipelining). Text connections always run depth 1 — the
+    /// legacy one-reply-per-request discipline.
+    pub pipeline: usize,
 }
 
 impl Default for FleetConfig {
@@ -76,6 +88,8 @@ impl Default for FleetConfig {
             shards: 8,
             commit_interval: Duration::from_millis(1),
             engine: EngineMode::WorkerPool,
+            wire: WireMode::Text,
+            pipeline: 1,
         }
     }
 }
@@ -168,38 +182,69 @@ struct FleetConn {
     addrs: Vec<String>,
     current: usize,
     name: String,
+    wire: WireMode,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     id: String,
     seq: u64,
     alive: bool,
-    pending: bool,
+    /// Replies owed on this connection. Text connections never owe more
+    /// than one; binary connections owe up to the pipeline depth.
+    pending: u32,
+    /// Connection speaks wire v2 binary frames (negotiated at dial).
+    binary: bool,
+    /// Next request id to stamp on a binary frame.
+    next_req: u32,
+    /// Request id the next reply must carry (the server redeems FIFO).
+    ack_req: u32,
 }
 
 impl FleetConn {
-    /// Dials one address and registers `name`'s token. Returns the
-    /// sockets, the resolved GUID, and the seq to resume from (the
-    /// server's applied horizon, never below `seq_floor`).
+    /// Dials one address: negotiates the wire (per address — a legacy
+    /// follower behind a v2 leader still gets text), registers `name`'s
+    /// token, and returns the sockets, the negotiated framing, the
+    /// resolved GUID, and the seq to resume from (the server's applied
+    /// horizon, never below `seq_floor`).
     fn dial(
         addr: &str,
         name: &str,
+        wire: WireMode,
         seq_floor: u64,
-    ) -> io::Result<(TcpStream, BufReader<TcpStream>, String, u64)> {
+    ) -> io::Result<(TcpStream, BufReader<TcpStream>, bool, String, u64)> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         let mut writer = stream.try_clone()?;
         let mut reader = BufReader::new(stream);
-        write_client_msg(
-            &mut writer,
-            &ClientMsg::Register {
-                snapshot: MachineSnapshot::study_machine(name),
-                token: format!("fleet-token-{name}"),
-            },
-        )?;
-        match read_server_msg(&mut reader)? {
+        let binary = match wire {
+            WireMode::Text => false,
+            WireMode::Binary | WireMode::Auto => {
+                match negotiate(&mut writer, &mut reader, WIRE_VERSION_BINARY)? {
+                    Negotiated::Version(v) if v >= WIRE_VERSION_BINARY => true,
+                    _ if matches!(wire, WireMode::Binary) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("server {addr} cannot speak the binary wire"),
+                        ));
+                    }
+                    _ => false,
+                }
+            }
+        };
+        let register = ClientMsg::Register {
+            snapshot: MachineSnapshot::study_machine(name),
+            token: format!("fleet-token-{name}"),
+        };
+        let reply = if binary {
+            write_client_frame(&mut writer, 0, &register)?;
+            read_server_frame(&mut reader)?.1
+        } else {
+            write_client_msg(&mut writer, &register)?;
+            read_server_msg(&mut reader)?
+        };
+        match reply {
             ServerMsg::Id { id, applied_seq } => {
-                Ok((writer, reader, id, applied_seq.max(seq_floor)))
+                Ok((writer, reader, binary, id, applied_seq.max(seq_floor)))
             }
             // A read-only replica answers `not leader`: to the dialer
             // that address is simply not accepting yet.
@@ -210,21 +255,25 @@ impl FleetConn {
         }
     }
 
-    fn connect(addrs: Vec<String>, name: &str) -> io::Result<Self> {
+    fn connect(addrs: Vec<String>, name: &str, wire: WireMode) -> io::Result<Self> {
         let mut last: Option<io::Error> = None;
         for (i, addr) in addrs.iter().enumerate() {
-            match Self::dial(addr, name, 0) {
-                Ok((writer, reader, id, seq)) => {
+            match Self::dial(addr, name, wire, 0) {
+                Ok((writer, reader, binary, id, seq)) => {
                     return Ok(FleetConn {
                         current: i,
                         name: name.to_string(),
+                        wire,
                         addrs,
                         writer,
                         reader,
                         id,
                         seq,
                         alive: true,
-                        pending: false,
+                        pending: 0,
+                        binary,
+                        next_req: 1,
+                        ack_req: 1,
                     })
                 }
                 Err(e) => last = Some(e),
@@ -241,16 +290,19 @@ impl FleetConn {
         let mut last: Option<io::Error> = None;
         for hop in 0..n {
             let i = (self.current + 1 + hop) % n;
-            match Self::dial(&self.addrs[i], &self.name, self.seq) {
-                Ok((writer, reader, id, seq)) => {
+            match Self::dial(&self.addrs[i], &self.name, self.wire, self.seq) {
+                Ok((writer, reader, binary, id, seq)) => {
                     let moved = i != self.current;
                     self.current = i;
                     self.writer = writer;
                     self.reader = reader;
+                    self.binary = binary;
                     self.id = id;
                     self.seq = seq;
                     self.alive = true;
-                    self.pending = false;
+                    self.pending = 0;
+                    self.next_req = 1;
+                    self.ack_req = 1;
                     return Ok(moved);
                 }
                 Err(e) => last = Some(e),
@@ -275,21 +327,40 @@ impl FleetConn {
                 monitor: MonitorSummary::default(),
             })
             .collect();
-        write_client_msg(
-            &mut self.writer,
-            &ClientMsg::Upload {
-                client: self.id.clone(),
-                seq: self.seq,
-                records,
-            },
-        )
+        let upload = ClientMsg::Upload {
+            client: self.id.clone(),
+            seq: self.seq,
+            records,
+        };
+        if self.binary {
+            let req = self.next_req;
+            self.next_req = self.next_req.wrapping_add(1);
+            write_client_frame(&mut self.writer, req, &upload)
+        } else {
+            write_client_msg(&mut self.writer, &upload)
+        }
     }
 
     fn recv_ack(&mut self) -> io::Result<bool> {
-        Ok(matches!(
-            read_server_msg(&mut self.reader)?,
-            ServerMsg::Ack(_)
-        ))
+        if self.binary {
+            let (req, msg) = read_server_frame(&mut self.reader)?;
+            let expected = self.ack_req;
+            self.ack_req = self.ack_req.wrapping_add(1);
+            Ok(req == expected && matches!(msg, ServerMsg::Ack(_)))
+        } else {
+            Ok(matches!(
+                read_server_msg(&mut self.reader)?,
+                ServerMsg::Ack(_)
+            ))
+        }
+    }
+
+    fn bye(&mut self) {
+        let _ = if self.binary {
+            write_client_frame(&mut self.writer, self.next_req, &ClientMsg::Bye)
+        } else {
+            write_client_msg(&mut self.writer, &ClientMsg::Bye)
+        };
     }
 }
 
@@ -419,7 +490,11 @@ pub fn run(config: &FleetConfig) -> io::Result<FleetReport> {
                 s.spawn(move || -> io::Result<Vec<FleetConn>> {
                     let mut conns = Vec::new();
                     for c in (w..config.clients).step_by(workers) {
-                        conns.push(FleetConn::connect(addrs.clone(), &format!("fleet-{c:05}"))?);
+                        conns.push(FleetConn::connect(
+                            addrs.clone(),
+                            &format!("fleet-{c:05}"),
+                            config.wire,
+                        )?);
                     }
                     Ok(conns)
                 })
@@ -477,19 +552,35 @@ pub fn run(config: &FleetConfig) -> io::Result<FleetReport> {
                                 Err(_) => continue,
                             }
                         }
-                        if conn.send_upload(config.batch).is_ok() {
-                            conn.pending = true;
-                            sent += 1;
+                        // A binary connection keeps `pipeline` uploads
+                        // in flight; text keeps the legacy depth of 1.
+                        let depth = if conn.binary {
+                            config.pipeline.clamp(1, uucs_wire::MAX_PIPELINE) as u32
                         } else {
-                            conn.alive = false;
+                            1
+                        };
+                        for _ in 0..depth {
+                            if conn.send_upload(config.batch).is_ok() {
+                                conn.pending += 1;
+                                sent += 1;
+                            } else {
+                                conn.alive = false;
+                                break;
+                            }
                         }
                     }
                     let mut ok = 0u64;
-                    for conn in slice.iter_mut().filter(|c| c.pending) {
-                        conn.pending = false;
-                        match conn.recv_ack() {
-                            Ok(true) => ok += 1,
-                            _ => conn.alive = false,
+                    for conn in slice.iter_mut().filter(|c| c.pending > 0) {
+                        let owed = conn.pending;
+                        conn.pending = 0;
+                        for _ in 0..owed {
+                            match conn.recv_ack() {
+                                Ok(true) => ok += 1,
+                                _ => {
+                                    conn.alive = false;
+                                    break;
+                                }
+                            }
                         }
                     }
                     acked.fetch_add(ok, Ordering::Relaxed);
@@ -539,7 +630,7 @@ pub fn run(config: &FleetConfig) -> io::Result<FleetReport> {
     };
     for slice in &mut slices {
         for conn in slice.iter_mut() {
-            let _ = write_client_msg(&mut conn.writer, &ClientMsg::Bye);
+            conn.bye();
         }
     }
     drop(slices);
@@ -692,6 +783,26 @@ mod tests {
         assert_eq!(report.records, report.uploads_acked * 2);
         assert!(!report.interrupted, "nothing died, nothing to interrupt");
         assert_eq!(report.failovers, 0);
+    }
+
+    /// The same miniature fleet on the negotiated binary wire with
+    /// request pipelining: every reply must come back in request order
+    /// (recv_ack checks the req id), and the totals must still add up.
+    #[test]
+    fn binary_pipelined_fleet_round_trips() {
+        let config = FleetConfig {
+            clients: 8,
+            workers: 2,
+            duration: Duration::from_millis(300),
+            shards: 2,
+            wire: WireMode::Binary,
+            pipeline: 8,
+            ..FleetConfig::default()
+        };
+        let report = run(&config).expect("binary fleet run");
+        assert_eq!(report.clients, 8);
+        assert!(report.uploads_acked > 0, "no pipelined upload was acked");
+        assert!(!report.interrupted);
     }
 
     /// The server dies mid-window with nowhere to fail over to: the run

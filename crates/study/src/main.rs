@@ -12,6 +12,7 @@
 //!                  [--fleet-workers N] [--secs S] [--addr HOST:PORT]
 //!                  [--failover-addr HOST:PORT] [--shards N]
 //!                  [--commit-interval-us N] [--engine pool|threads]
+//!                  [--wire text|binary|auto] [--pipeline N]
 //! ```
 //!
 //! `fleet` is the load driver: it multiplexes N client state machines
@@ -28,6 +29,11 @@
 //! replicated tier (leader + follower, quorum acks) and kills the
 //! leader mid-window: the fleet must ride the failover onto the
 //! promoted follower, or the run exits nonzero.
+//!
+//! `--wire binary` negotiates the wire-v2 binary framing at dial time
+//! (per address, so a legacy node in the failover list still gets
+//! text); `--pipeline N` keeps N uploads in flight per binary
+//! connection (text always runs the legacy depth of 1).
 
 use uucs_comfort::Fidelity;
 use uucs_study::controlled::{ControlledStudy, StudyConfig};
@@ -104,6 +110,20 @@ fn run_fleet(args: &[String]) -> ! {
                         std::process::exit(2);
                     }
                 };
+            }
+            "--wire" => {
+                i += 1;
+                config.wire = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("bad --wire (want text, binary, or auto)");
+                        std::process::exit(2);
+                    });
+            }
+            "--pipeline" => {
+                i += 1;
+                config.pipeline = int(args, i, "--pipeline").max(1) as usize;
             }
             other => {
                 eprintln!("unknown fleet flag {other}");

@@ -37,8 +37,14 @@ cargo test -q --test chaos
 echo "== telemetry e2e (STATS verb, gauges, deterministic traces) =="
 cargo test -q --test telemetry_e2e
 
-echo "== wire fuzz (garbage/truncated/interleaved frames) =="
+echo "== wire fuzz (garbage/truncated/interleaved frames, both framings) =="
 cargo test -q --test wire_fuzz
+
+echo "== wire crate (framing, negotiation, delta codec) =="
+cargo test -q -p uucs-wire
+
+echo "== wire e2e (legacy byte-parity, negotiation matrix, pipelining, MODELDELTA) =="
+cargo test -q --test wire_e2e
 
 echo "== model service (sketch properties, e2e, closed-loop governor) =="
 cargo test -q -p uucs-modelsvc
@@ -59,8 +65,11 @@ cargo run -q --release -p uucs-study -- fleet --quick
 echo "== cluster fleet smoke (2-node tier, leader killed mid-run, failover) =="
 cargo run -q --release -p uucs-study -- fleet --cluster --quick
 
-echo "== bench smoke (UUCS_BENCH_QUICK=1, all ten targets) =="
-for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc engine cluster; do
+echo "== binary fleet smoke (wire v2, pipelined depth 8) =="
+cargo run -q --release -p uucs-study -- fleet --quick --wire binary --pipeline 8
+
+echo "== bench smoke (UUCS_BENCH_QUICK=1, all eleven targets) =="
+for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc engine cluster wire; do
     echo "-- $bench --"
     UUCS_BENCH_QUICK=1 cargo bench -p uucs-bench --bench "$bench"
 done
@@ -72,7 +81,7 @@ summary=BENCH_SUMMARY.json
 {
     printf '{\n'
     first=1
-    for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc engine cluster; do
+    for bench in paper_figures substrate exerciser_accuracy ablations wal chaos telemetry_overhead modelsvc engine cluster wire; do
         report="target/uucs-bench/$bench.json"
         [ -f "$report" ] || continue
         [ "$first" -eq 1 ] || printf ',\n'

@@ -21,6 +21,8 @@
 //!   cohort-keyed comfort model behind the `MODEL`/`ADVICE` verbs and
 //!   the client's closed-loop borrowing governor.
 //! * [`protocol`] — the client/server text record formats and framing.
+//! * [`wire`] — the negotiated binary wire protocol (v2): CRC-framed
+//!   typed encodings, request pipelining, and epoch-delta model sync.
 //! * [`server`] / [`client`] — the distributed measurement application.
 //! * [`cluster`] — the replicated server tier: WAL shipping to
 //!   followers, model gossip, and deterministic leader takeover.
@@ -45,4 +47,5 @@ pub use uucs_study as study;
 pub use uucs_telemetry as telemetry;
 pub use uucs_testcase as testcase;
 pub use uucs_wal as wal;
+pub use uucs_wire as wire;
 pub use uucs_workloads as workloads;

@@ -248,6 +248,143 @@ fn kill_the_leader_loses_no_acknowledged_upload() {
     follower.shutdown();
 }
 
+/// Version skew across a failover: one legacy text client and one
+/// wire-v2 (auto-negotiating) client ride the same leader kill. The
+/// binary client renegotiates per address — it lands on the promoted
+/// follower speaking v2 again — while the text client is served
+/// byte-for-byte v1 throughout. Exactly-once still holds for both.
+#[test]
+fn version_skew_clients_survive_failover_with_renegotiation() {
+    use uucs::client::WireMode;
+    const BATCHES: u64 = 6;
+
+    let dir = TempDir::new("cluster-e2e-skew");
+    let leader_srv = fresh_server();
+    let leader = ClusterNode::start(
+        node_config("a", &dir, vec![], AckMode::Quorum),
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        Role::Leader,
+    )
+    .unwrap();
+    let leader_front = tcp::serve_with(
+        Arc::clone(&leader_srv),
+        "127.0.0.1:0",
+        ServeConfig {
+            drain_deadline: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let follower_srv = fresh_server();
+    let follower = ClusterNode::start(
+        node_config("b", &dir, vec![leader.repl_addr().to_string()], AckMode::Local),
+        Arc::clone(&follower_srv),
+        "127.0.0.1:0",
+        Role::Follower,
+    )
+    .unwrap();
+    let follower_front = tcp::serve(Arc::clone(&follower_srv), "127.0.0.1:0").unwrap();
+    wait_until("follower to connect", Duration::from_secs(10), || {
+        !leader.hub().follower_nodes().is_empty()
+    });
+
+    let addrs = vec![
+        leader_front.addr().to_string(),
+        follower_front.addr().to_string(),
+    ];
+    let transport = |wire: WireMode, seed: u64| {
+        ResilientTransport::multi(addrs.clone())
+            .with_wire_mode(wire)
+            .with_timeout(Duration::from_secs(1))
+            .with_policy(RetryPolicy {
+                max_attempts: 8,
+                base: Duration::from_millis(2),
+                cap: Duration::from_millis(50),
+                seed,
+            })
+    };
+    let mut legacy = transport(WireMode::Text, 1);
+    let mut modern = transport(WireMode::Auto, 2);
+    let register = |t: &mut ResilientTransport, name: &str| -> String {
+        match must_exchange(
+            t,
+            &ClientMsg::Register {
+                snapshot: MachineSnapshot::study_machine(name),
+                token: format!("tok-{name}"),
+            },
+            Duration::from_secs(30),
+        ) {
+            ServerMsg::Id { id, .. } => id,
+            other => panic!("register answered {other:?}"),
+        }
+    };
+    let legacy_id = register(&mut legacy, "legacy");
+    let modern_id = register(&mut modern, "modern");
+    assert_eq!(
+        legacy.negotiated_wire(),
+        Some(1),
+        "text mode speaks v1 without ever sending HELLO"
+    );
+    assert_eq!(
+        modern.negotiated_wire(),
+        Some(2),
+        "auto mode must land on wire v2 against a v2 leader"
+    );
+
+    let upload = |t: &mut ResilientTransport, id: &str, seq: u64, tag: String| {
+        match must_exchange(
+            t,
+            &ClientMsg::Upload {
+                client: id.to_string(),
+                seq,
+                records: vec![rec(id, &tag)],
+            },
+            Duration::from_secs(30),
+        ) {
+            ServerMsg::Ack(1) => {}
+            other => panic!("upload answered {other:?}"),
+        }
+    };
+    for seq in 1..=BATCHES / 2 {
+        upload(&mut legacy, &legacy_id, seq, format!("legacy-b{seq}"));
+        upload(&mut modern, &modern_id, seq, format!("modern-b{seq}"));
+    }
+
+    // The kill: abrupt, mid-session for both framings.
+    leader_front.shutdown();
+    leader.shutdown();
+
+    for seq in BATCHES / 2 + 1..=BATCHES {
+        upload(&mut legacy, &legacy_id, seq, format!("legacy-b{seq}"));
+        upload(&mut modern, &modern_id, seq, format!("modern-b{seq}"));
+    }
+    assert!(follower.was_promoted(), "follower never promoted");
+    assert_eq!(
+        modern.negotiated_wire(),
+        Some(2),
+        "the fresh connection to the promoted follower must renegotiate v2"
+    );
+    assert_eq!(legacy.negotiated_wire(), Some(1));
+
+    // Exactly-once on the promoted node, both framings.
+    let records = follower_srv.results();
+    for who in ["legacy", "modern"] {
+        for seq in 1..=BATCHES {
+            let tag = format!("{who}-b{seq}");
+            let copies = records.iter().filter(|r| r.testcase == tag).count();
+            assert_eq!(copies, 1, "upload {tag} found {copies} times");
+        }
+    }
+    assert_eq!(follower_srv.applied_seq(&legacy_id), BATCHES);
+    assert_eq!(follower_srv.applied_seq(&modern_id), BATCHES);
+
+    legacy.bye();
+    modern.bye();
+    follower_front.shutdown();
+    follower.shutdown();
+}
+
 /// Bounded staleness and automatic catch-up. A follower in sync with
 /// the leader is partitioned (its node torn down); the leader keeps
 /// committing — replication lag is visible but the leader stays

@@ -264,6 +264,72 @@ fn model_service_metrics_cover_verbs_epoch_and_update_latency() {
     assert_eq!(metrics::gauge("modelsvc.epoch").get(), epoch as i64);
 }
 
+/// Wire telemetry: the per-framing connection gauges, the per-version
+/// verb counters, and the client's negotiated-version gauge — all
+/// surfaced through STATS and drained back to zero on disconnect.
+#[test]
+fn wire_gauges_and_version_counters_track_negotiation() {
+    use uucs::client::{ResilientTransport, WireMode};
+
+    let _guard = serialize();
+    let server = Arc::new(UucsServer::new(
+        TestcaseStore::from_testcases(calibration::controlled_testcases(Task::Word))
+            .expect("unique ids"),
+        7,
+    ));
+    let handle = tcp::serve(server, "127.0.0.1:0").expect("bind");
+
+    // A legacy text client occupies the text gauge and counts v1 verbs.
+    let mut text = TcpTransport::connect(handle.addr()).expect("connect");
+    let reply = text.exchange(&ClientMsg::Stats { reset: false }).expect("text stats");
+    assert!(matches!(reply, ServerMsg::Stats(_)));
+    assert_eq!(metrics::gauge("server.wire.text_conns").get(), 1);
+    assert_eq!(metrics::gauge("server.wire.binary_conns").get(), 0);
+    assert!(metrics::counter("server.wire.v1.verbs").get() >= 1);
+
+    // A negotiated binary client moves to the binary gauge; the HELLO
+    // itself is the last v1 verb on that connection, everything after
+    // counts as v2.
+    let mut binary = ResilientTransport::multi(vec![handle.addr().to_string()])
+        .with_wire_mode(WireMode::Binary);
+    let v2_before = metrics::counter("server.wire.v2.verbs").get();
+    let ServerMsg::Stats(json) = binary
+        .exchange(&ClientMsg::Stats { reset: false })
+        .expect("binary stats")
+    else {
+        panic!("expected STATS reply");
+    };
+    assert_eq!(binary.negotiated_wire(), Some(2));
+    assert_eq!(metrics::gauge("client.wire.negotiated").get(), 2);
+    assert_eq!(metrics::gauge("server.wire.binary_conns").get(), 1);
+    assert_eq!(metrics::gauge("server.wire.text_conns").get(), 1);
+    assert!(metrics::counter("server.wire.v2.verbs").get() > v2_before);
+    for key in [
+        "\"server.wire.text_conns\"",
+        "\"server.wire.binary_conns\"",
+        "\"server.wire.v1.verbs\"",
+        "\"server.wire.v2.verbs\"",
+    ] {
+        assert!(json.contains(key), "STATS JSON missing {key}: {json}");
+    }
+
+    // Disconnects drain both gauges; saying goodbye clears the client's
+    // negotiated gauge too.
+    binary.bye();
+    assert_eq!(metrics::gauge("client.wire.negotiated").get(), 0);
+    drop(text);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while (metrics::gauge("server.wire.text_conns").get() > 0
+        || metrics::gauge("server.wire.binary_conns").get() > 0)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(metrics::gauge("server.wire.text_conns").get(), 0);
+    assert_eq!(metrics::gauge("server.wire.binary_conns").get(), 0);
+    handle.shutdown();
+}
+
 /// Runs a simulated machine that emits one flight event per nap, with
 /// the telemetry clock slaved to simulated time, and returns the flight
 /// recorder's JSONL dump.
