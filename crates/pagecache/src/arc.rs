@@ -1,0 +1,517 @@
+//! The ARC (Adaptive Replacement Cache) policy: the classic four-list
+//! design from Megiddo & Modha.
+//!
+//! * `T1` holds pages seen exactly once recently (recency).
+//! * `T2` holds pages seen at least twice recently (frequency).
+//! * `B1` / `B2` are *ghost* lists: keys recently evicted from `T1` /
+//!   `T2`, kept without their data so a re-reference can teach the
+//!   policy which half deserved more room.
+//! * The adaptation target `p` is the desired size of `T1`; a hit in
+//!   `B1` grows it (recency was undervalued), a hit in `B2` shrinks it.
+//!
+//! The policy is pure bookkeeping over keys — it owns no page data and
+//! performs no I/O. [`PageCache`](crate::cache::PageCache) pairs it
+//! with frame storage and write-back. Pinned pages are never chosen as
+//! victims: the replacement scan walks from the LRU end past pinned
+//! entries, falling back to the other list, and reports "no victim"
+//! (transient overflow) only when everything resident is pinned.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+}
+
+/// An O(1) LRU list: slab-backed doubly-linked nodes plus a key index.
+#[derive(Debug)]
+struct LruList<K: Copy + Eq + Hash> {
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    /// MRU end.
+    head: usize,
+    /// LRU end.
+    tail: usize,
+    index: HashMap<K, usize>,
+}
+
+impl<K: Copy + Eq + Hash> LruList<K> {
+    fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            index: HashMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    fn push_mru(&mut self, key: K) {
+        debug_assert!(!self.contains(&key));
+        let node = Node {
+            key,
+            prev: NIL,
+            next: self.head,
+        };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.nodes[id] = node;
+                id
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = id;
+        }
+        self.head = id;
+        if self.tail == NIL {
+            self.tail = id;
+        }
+        self.index.insert(key, id);
+    }
+
+    fn unlink(&mut self, id: usize) -> K {
+        let Node { key, prev, next } = self.nodes[id];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.index.remove(&key);
+        self.free.push(id);
+        key
+    }
+
+    /// Removes `key` if present; true when it was.
+    fn remove(&mut self, key: &K) -> bool {
+        match self.index.get(key).copied() {
+            Some(id) => {
+                self.unlink(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pops the LRU entry.
+    fn pop_lru(&mut self) -> Option<K> {
+        (self.tail != NIL).then(|| self.unlink(self.tail))
+    }
+
+    /// Pops the LRU-most entry satisfying `pred` (skipping, e.g.,
+    /// pinned pages).
+    fn pop_lru_where(&mut self, mut pred: impl FnMut(&K) -> bool) -> Option<K> {
+        let mut id = self.tail;
+        while id != NIL {
+            if pred(&self.nodes[id].key) {
+                return Some(self.unlink(id));
+            }
+            id = self.nodes[id].prev;
+        }
+        None
+    }
+
+    /// All keys currently in the list (unordered).
+    fn keys(&self) -> impl Iterator<Item = &K> {
+        self.index.keys()
+    }
+}
+
+/// How an access classified against the four lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The key was resident (`T1` or `T2`).
+    Hit,
+    /// Ghost hit in `B1`: recently evicted from the recency side.
+    GhostRecency,
+    /// Ghost hit in `B2`: recently evicted from the frequency side.
+    GhostFrequency,
+    /// Never seen (or fully forgotten).
+    Cold,
+}
+
+/// The ARC replacement policy over keys of type `K`.
+#[derive(Debug)]
+pub struct ArcPolicy<K: Copy + Eq + Hash> {
+    cap: usize,
+    /// Adaptation target for `|T1|`, in `0..=cap`.
+    p: usize,
+    t1: LruList<K>,
+    t2: LruList<K>,
+    b1: LruList<K>,
+    b2: LruList<K>,
+}
+
+impl<K: Copy + Eq + Hash> ArcPolicy<K> {
+    /// A policy managing at most `cap` resident keys (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        ArcPolicy {
+            cap: cap.max(1),
+            p: 0,
+            t1: LruList::new(),
+            t2: LruList::new(),
+            b1: LruList::new(),
+            b2: LruList::new(),
+        }
+    }
+
+    /// Resident key count (`|T1| + |T2|`).
+    pub fn resident(&self) -> usize {
+        self.t1.len() + self.t2.len()
+    }
+
+    /// The capacity this policy was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The current adaptation target for the recency side (test/debug
+    /// introspection).
+    pub fn target_recency(&self) -> usize {
+        self.p
+    }
+
+    /// True when `key` is resident (would be a [`Access::Hit`]).
+    pub fn is_resident(&self, key: &K) -> bool {
+        self.t1.contains(key) || self.t2.contains(key)
+    }
+
+    /// True when `key` is remembered only as a ghost.
+    pub fn is_ghost(&self, key: &K) -> bool {
+        self.b1.contains(key) || self.b2.contains(key)
+    }
+
+    /// The ARC `REPLACE` subroutine: demotes one unpinned resident key
+    /// to its ghost list and returns it, or `None` when every resident
+    /// key is pinned (the caller overflows transiently).
+    fn replace(&mut self, ghost_b2: bool, pinned: &mut impl FnMut(&K) -> bool) -> Option<K> {
+        let t1_len = self.t1.len();
+        let from_t1 =
+            t1_len >= 1 && (t1_len > self.p || (ghost_b2 && t1_len == self.p));
+        if from_t1 {
+            if let Some(k) = self.t1.pop_lru_where(|k| !pinned(k)) {
+                self.b1.push_mru(k);
+                return Some(k);
+            }
+            if let Some(k) = self.t2.pop_lru_where(|k| !pinned(k)) {
+                self.b2.push_mru(k);
+                return Some(k);
+            }
+        } else {
+            if let Some(k) = self.t2.pop_lru_where(|k| !pinned(k)) {
+                self.b2.push_mru(k);
+                return Some(k);
+            }
+            if let Some(k) = self.t1.pop_lru_where(|k| !pinned(k)) {
+                self.b1.push_mru(k);
+                return Some(k);
+            }
+        }
+        None
+    }
+
+    /// Records an access to `key` and makes it resident (MRU of `T1`
+    /// on a cold miss, MRU of `T2` otherwise). Returns how the access
+    /// classified plus the key evicted to make room, if any. `pinned`
+    /// guards keys that must not be chosen as victims.
+    pub fn access(
+        &mut self,
+        key: K,
+        mut pinned: impl FnMut(&K) -> bool,
+    ) -> (Access, Option<K>) {
+        // Case I: resident hit — promote to the frequency side.
+        if self.t1.remove(&key) || self.t2.remove(&key) {
+            self.t2.push_mru(key);
+            return (Access::Hit, None);
+        }
+        // Case II: ghost hit in B1 — recency was undervalued; grow p.
+        if self.b1.contains(&key) {
+            let delta = (self.b2.len() / self.b1.len().max(1)).max(1);
+            self.p = (self.p + delta).min(self.cap);
+            self.b1.remove(&key);
+            let evicted = self.replace(false, &mut pinned);
+            self.t2.push_mru(key);
+            return (Access::GhostRecency, evicted);
+        }
+        // Case III: ghost hit in B2 — frequency was undervalued; shrink p.
+        if self.b2.contains(&key) {
+            let delta = (self.b1.len() / self.b2.len().max(1)).max(1);
+            self.p = self.p.saturating_sub(delta);
+            self.b2.remove(&key);
+            let evicted = self.replace(true, &mut pinned);
+            self.t2.push_mru(key);
+            return (Access::GhostFrequency, evicted);
+        }
+        // Case IV: cold miss. (`>=` rather than `==`: pinned misses
+        // can leave the lists transiently over capacity, and the next
+        // unpinned miss must still shed.)
+        let mut evicted = None;
+        let l1 = self.t1.len() + self.b1.len();
+        if l1 >= self.cap {
+            if !self.b1.is_empty() {
+                self.b1.pop_lru();
+                evicted = self.replace(false, &mut pinned);
+            } else {
+                // B1 is empty and T1 is full: drop T1's LRU outright
+                // (no ghost), per the paper.
+                evicted = self.t1.pop_lru_where(|k| !pinned(k));
+            }
+        } else {
+            let total = l1 + self.t2.len() + self.b2.len();
+            if total >= self.cap {
+                if total >= 2 * self.cap {
+                    self.b2.pop_lru();
+                }
+                evicted = self.replace(false, &mut pinned);
+            }
+        }
+        self.t1.push_mru(key);
+        (Access::Cold, evicted)
+    }
+
+    /// Forgets `key` entirely (resident or ghost); true if it was
+    /// known. Used for invalidation — no ghost is left behind.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.t1.remove(key)
+            || self.t2.remove(key)
+            || self.b1.remove(key)
+            || self.b2.remove(key)
+    }
+
+    /// Forgets every key failing `keep` — resident and ghost alike.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        let mut doomed: Vec<K> = Vec::new();
+        for list in [&self.t1, &self.t2, &self.b1, &self.b2] {
+            doomed.extend(list.keys().filter(|k| !keep(k)).copied());
+        }
+        for k in doomed {
+            self.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_pins(_: &u64) -> bool {
+        false
+    }
+
+    /// Drives `n` cold accesses 0..n.
+    fn warm(policy: &mut ArcPolicy<u64>, n: u64) {
+        for k in 0..n {
+            policy.access(k, no_pins);
+        }
+    }
+
+    #[test]
+    fn hit_promotes_from_recency_to_frequency() {
+        let mut p = ArcPolicy::new(4);
+        let (a, ev) = p.access(1, no_pins);
+        assert_eq!(a, Access::Cold);
+        assert!(ev.is_none());
+        let (a, _) = p.access(1, no_pins);
+        assert_eq!(a, Access::Hit);
+        assert!(p.is_resident(&1));
+    }
+
+    #[test]
+    fn cold_misses_evict_t1_lru_without_ghost_when_t1_is_full() {
+        // Fill T1 to capacity with single-touch keys, never re-touching:
+        // B1 stays empty, so the cap+1'th cold miss drops T1's LRU with
+        // no ghost left behind.
+        let mut p = ArcPolicy::new(3);
+        warm(&mut p, 3);
+        assert_eq!(p.resident(), 3);
+        let (a, ev) = p.access(100, no_pins);
+        assert_eq!(a, Access::Cold);
+        assert_eq!(ev, Some(0), "T1's LRU is the victim");
+        assert!(!p.is_ghost(&0), "case-IV T1 eviction leaves no ghost");
+        assert_eq!(p.resident(), 3);
+    }
+
+    #[test]
+    fn evictions_via_replace_leave_ghosts_and_ghost_hits_readmit() {
+        let mut p = ArcPolicy::new(3);
+        // Make 0..3 frequent (resident in T2).
+        warm(&mut p, 3);
+        for k in 0..3 {
+            p.access(k, no_pins);
+        }
+        // A cold key now evicts through REPLACE (T1 empty → T2 side),
+        // leaving a ghost in B2.
+        let (_, ev) = p.access(50, no_pins);
+        let gone = ev.expect("cache at capacity must evict");
+        assert!(p.is_ghost(&gone));
+        // Touching the ghost is a frequency ghost hit and readmits it.
+        let (a, _) = p.access(gone, no_pins);
+        assert_eq!(a, Access::GhostFrequency);
+        assert!(p.is_resident(&gone));
+        assert!(!p.is_ghost(&gone));
+    }
+
+    #[test]
+    fn b1_ghost_hit_grows_the_recency_target() {
+        let mut p = ArcPolicy::new(2);
+        // 0,1 resident in T1; 2 evicts one to B1 (l1 == cap path).
+        warm(&mut p, 2);
+        // Re-touch 0 and 1 so they sit in T2, then stream cold keys
+        // through T1 to build B1 ghosts.
+        p.access(0, no_pins);
+        p.access(1, no_pins);
+        let (_, ev) = p.access(10, no_pins);
+        let ghost = ev.expect("evicts");
+        let p_before = p.target_recency();
+        // Ghost-hit whichever side the victim landed on; B1 hits must
+        // raise p, B2 hits must not.
+        let (access, _) = p.access(ghost, no_pins);
+        match access {
+            Access::GhostRecency => assert!(p.target_recency() > p_before),
+            Access::GhostFrequency => assert!(p.target_recency() <= p_before),
+            other => panic!("expected a ghost hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn b2_ghost_hit_shrinks_the_recency_target() {
+        let mut p = ArcPolicy::new(2);
+        warm(&mut p, 2);
+        p.access(0, no_pins); // 0 → T2
+        p.access(1, no_pins); // 1 → T2
+        let (_, ev) = p.access(7, no_pins); // evicts from T2 → B2 ghost
+        let ghost = ev.unwrap();
+        assert!(p.is_ghost(&ghost));
+        // Grow p first via a B1 ghost: evict 7 (in T1) by... simpler:
+        // force p > 0 directly through a recency ghost round-trip.
+        let (_, ev2) = p.access(8, no_pins);
+        if let Some(g2) = ev2 {
+            p.access(g2, no_pins); // some ghost hit; p adapts
+        }
+        let before = p.target_recency();
+        let (a, _) = p.access(ghost, no_pins);
+        assert_eq!(a, Access::GhostFrequency);
+        assert!(p.target_recency() <= before, "B2 hit never grows p");
+    }
+
+    #[test]
+    fn scan_resistance_one_pass_scan_does_not_flush_the_frequent_set() {
+        // Classic ARC selling point: keys 0..4 are hot (touched twice),
+        // then a long one-pass scan streams through. The hot set must
+        // still be mostly resident afterwards because the scan only
+        // fights for the T1 side.
+        let mut p = ArcPolicy::new(8);
+        for k in 0..4u64 {
+            p.access(k, no_pins);
+            p.access(k, no_pins);
+        }
+        for k in 100..140u64 {
+            p.access(k, no_pins);
+        }
+        let hot_survivors = (0..4u64).filter(|k| p.is_resident(k)).count();
+        assert!(
+            hot_survivors >= 3,
+            "scan flushed the frequent set: {hot_survivors}/4 left"
+        );
+    }
+
+    #[test]
+    fn pinned_keys_are_never_victims() {
+        let mut p = ArcPolicy::new(2);
+        warm(&mut p, 2);
+        // Everything resident is pinned: a cold miss finds no victim
+        // and the cache transiently overflows.
+        let (_, ev) = p.access(9, |_| true);
+        assert!(ev.is_none());
+        assert_eq!(p.resident(), 3, "transient overflow while all pinned");
+        // With pins lifted, later misses shed the overflow.
+        let (_, ev) = p.access(10, |k| *k == 9);
+        assert!(ev.is_some());
+        assert_ne!(ev, Some(9), "the pinned key survived");
+    }
+
+    #[test]
+    fn remove_forgets_residents_and_ghosts() {
+        let mut p = ArcPolicy::new(2);
+        warm(&mut p, 2);
+        let (_, ev) = p.access(5, no_pins);
+        let ghost_or_dropped = ev.unwrap();
+        assert!(p.remove(&ghost_or_dropped) || !p.is_ghost(&ghost_or_dropped));
+        assert!(p.remove(&5));
+        assert!(!p.is_resident(&5));
+        assert!(!p.is_ghost(&5));
+        // Re-accessing after removal is a cold start again.
+        let (a, _) = p.access(5, no_pins);
+        assert_eq!(a, Access::Cold);
+    }
+
+    #[test]
+    fn retain_drops_a_whole_file_worth_of_keys() {
+        let mut p = ArcPolicy::new(4);
+        warm(&mut p, 4);
+        p.retain(|k| *k % 2 == 0);
+        assert!(p.is_resident(&0) && p.is_resident(&2));
+        assert!(!p.is_resident(&1) && !p.is_ghost(&1));
+        assert!(!p.is_resident(&3) && !p.is_ghost(&3));
+    }
+
+    #[test]
+    fn ghost_memory_is_bounded_by_two_c() {
+        let mut p = ArcPolicy::new(4);
+        for k in 0..1000u64 {
+            p.access(k, no_pins);
+        }
+        let total = p.t1.len() + p.t2.len() + p.b1.len() + p.b2.len();
+        assert!(total <= 2 * p.capacity(), "directory grew past 2c: {total}");
+        assert!(p.resident() <= p.capacity());
+    }
+
+    /// Exhaustive-ish invariant check under a mixed workload: resident
+    /// count never exceeds c, directory never exceeds 2c, p stays in
+    /// range, and an evicted key is never still resident.
+    #[test]
+    fn invariants_hold_under_a_skewed_mixed_workload() {
+        let mut p = ArcPolicy::new(8);
+        let mut x = 0x2545f491_4f6cdd1du64;
+        for i in 0..5000u64 {
+            // xorshift; skew towards a small hot set.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = if x % 100 < 60 { x % 6 } else { x % 512 };
+            let (_, ev) = p.access(key, no_pins);
+            if let Some(e) = ev {
+                assert!(!p.is_resident(&e), "iteration {i}: victim still resident");
+            }
+            assert!(p.resident() <= 8, "iteration {i}");
+            assert!(p.target_recency() <= 8, "iteration {i}");
+            let dir = p.t1.len() + p.t2.len() + p.b1.len() + p.b2.len();
+            assert!(dir <= 16, "iteration {i}: directory {dir}");
+        }
+    }
+}

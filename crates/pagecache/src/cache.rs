@@ -1,0 +1,484 @@
+//! Page frames over the [`ArcPolicy`]: pin/unpin, dirty tracking, and
+//! write-back through a [`PageIo`] backend.
+//!
+//! The cache stores fixed-size pages keyed by [`PageKey`] `(file-id,
+//! page-no)`. The last page of a file may be shorter than `page_size`
+//! (EOF), and may be *extended in place* by [`PageCache::extend`] as
+//! the underlying file grows — the append-only WAL path uses that to
+//! keep cached segments current without re-reading them.
+
+use crate::arc::{Access, ArcPolicy};
+use std::collections::HashMap;
+use std::io;
+
+/// A page address: the `file` is a small integer handle (see
+/// [`CachedIo`](crate::io::CachedIo) for the path↔id map it keeps),
+/// `page` is the page number within the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    /// File handle.
+    pub file: u64,
+    /// Page number (`offset / page_size`).
+    pub page: u32,
+}
+
+/// How pages reach backing storage. The WAL's own
+/// [`Io`](uucs_wal::Io) backends ([`MemIo`](uucs_wal::MemIo)
+/// included, so the fault-injection harness drives this layer too) are
+/// adapted to it by [`IoPages`](crate::io::IoPages).
+pub trait PageIo {
+    /// Reads the page's bytes; short (or empty) at EOF.
+    fn read_page(&self, key: PageKey, page_size: usize) -> io::Result<Vec<u8>>;
+    /// Persists a dirty page's bytes. [`PageCache::flush_file`] calls
+    /// this in ascending page order per file, which lets append-only
+    /// backends participate.
+    fn write_page(&self, key: PageKey, data: &[u8]) -> io::Result<()>;
+}
+
+/// Observation hooks for cache traffic, in the same borrowed-hook
+/// style as `uucs_wal::WalObserver`: every method has a no-op default,
+/// the cache stays dependency-free, and a telemetry stack plugs in
+/// from outside.
+pub trait CacheObserver: Send {
+    /// A lookup was served from a resident page.
+    fn on_hit(&mut self) {}
+    /// A lookup had to go to the backend.
+    fn on_miss(&mut self) {}
+    /// A page was evicted to make room.
+    fn on_evict(&mut self) {}
+    /// A dirty page was written back to the backend.
+    fn on_writeback(&mut self) {}
+}
+
+/// Running totals, readable at any time via [`PageCache::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that went to the backend.
+    pub misses: u64,
+    /// Pages evicted by the policy.
+    pub evictions: u64,
+    /// Dirty pages written back.
+    pub writebacks: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    data: Vec<u8>,
+    pins: u32,
+    dirty: bool,
+}
+
+/// An ARC-managed cache of fixed-size pages backed by a [`PageIo`].
+///
+/// Not internally synchronized: callers wrap it in their own lock
+/// (`CachedIo` keeps it behind a `Mutex`, like `StdIo`'s handle
+/// cache).
+pub struct PageCache<P: PageIo> {
+    io: P,
+    page_size: usize,
+    policy: ArcPolicy<PageKey>,
+    frames: HashMap<PageKey, Frame>,
+    observer: Option<Box<dyn CacheObserver>>,
+    stats: CacheStats,
+}
+
+impl<P: PageIo> std::fmt::Debug for PageCache<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("page_size", &self.page_size)
+            .field("resident", &self.frames.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<P: PageIo> PageCache<P> {
+    /// A cache of at most `capacity` pages of `page_size` bytes.
+    pub fn new(capacity: usize, page_size: usize, io: P) -> Self {
+        PageCache {
+            io,
+            page_size: page_size.max(64),
+            policy: ArcPolicy::new(capacity),
+            frames: HashMap::new(),
+            observer: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Installs (or replaces) the traffic observer.
+    pub fn set_observer(&mut self, observer: Box<dyn CacheObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// The configured page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Running hit/miss/eviction/write-back totals.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resident page count.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The backing [`PageIo`].
+    pub fn io(&self) -> &P {
+        &self.io
+    }
+
+    fn observe(&mut self, f: impl Fn(&mut dyn CacheObserver)) {
+        if let Some(obs) = self.observer.as_mut() {
+            f(obs.as_mut());
+        }
+    }
+
+    /// Makes room for `key` per the policy, writing back a dirty victim
+    /// first. Must be called before inserting a new frame.
+    fn admit(&mut self, key: PageKey) -> io::Result<()> {
+        let frames = &self.frames;
+        let (_, evicted) = self
+            .policy
+            .access(key, |k| frames.get(k).is_some_and(|f| f.pins > 0));
+        if let Some(victim) = evicted {
+            if let Some(frame) = self.frames.remove(&victim) {
+                if frame.dirty {
+                    self.io.write_page(victim, &frame.data)?;
+                    self.stats.writebacks += 1;
+                    self.observe(|o| o.on_writeback());
+                }
+                self.stats.evictions += 1;
+                self.observe(|o| o.on_evict());
+            }
+        }
+        Ok(())
+    }
+
+    /// A resident page's bytes, with no policy promotion and no stats
+    /// movement — coherence checks, not cache traffic.
+    pub fn peek(&self, key: PageKey) -> Option<&[u8]> {
+        self.frames.get(&key).map(|f| f.data.as_slice())
+    }
+
+    /// Looks `key` up without touching the backend. A resident page
+    /// counts as a hit (and is promoted); a miss returns `None` and
+    /// records nothing — pair with [`PageCache::install`].
+    pub fn lookup(&mut self, key: PageKey) -> Option<&[u8]> {
+        if self.frames.contains_key(&key) {
+            let frames = &self.frames;
+            let (access, _) = self
+                .policy
+                .access(key, |k| frames.get(k).is_some_and(|f| f.pins > 0));
+            debug_assert_eq!(access, Access::Hit);
+            self.stats.hits += 1;
+            self.observe(|o| o.on_hit());
+            return self.frames.get(&key).map(|f| f.data.as_slice());
+        }
+        None
+    }
+
+    /// Installs a page the caller fetched itself (counted as a miss).
+    /// The evicted victim, if dirty, is written back first.
+    pub fn install(&mut self, key: PageKey, data: Vec<u8>) -> io::Result<()> {
+        self.stats.misses += 1;
+        self.observe(|o| o.on_miss());
+        if self.frames.contains_key(&key) {
+            // Refresh in place; the policy sees a hit-shaped access.
+            let frames = &self.frames;
+            self.policy
+                .access(key, |k| frames.get(k).is_some_and(|f| f.pins > 0));
+            self.frames.get_mut(&key).expect("just checked").data = data;
+            return Ok(());
+        }
+        self.admit(key)?;
+        self.frames.insert(
+            key,
+            Frame {
+                data,
+                pins: 0,
+                dirty: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Read-through access: a resident page is a hit; otherwise the
+    /// page is fetched from the backend and installed.
+    pub fn get(&mut self, key: PageKey) -> io::Result<&[u8]> {
+        if self.lookup(key).is_none() {
+            let data = self.io.read_page(key, self.page_size)?;
+            self.install(key, data)?;
+        }
+        Ok(self
+            .frames
+            .get(&key)
+            .map(|f| f.data.as_slice())
+            .expect("resident after lookup/install"))
+    }
+
+    /// Writes a page image into the cache and marks it dirty; it
+    /// reaches the backend on [`PageCache::flush_file`] or when
+    /// eviction writes it back.
+    pub fn put_dirty(&mut self, key: PageKey, data: Vec<u8>) -> io::Result<()> {
+        if let Some(frame) = self.frames.get_mut(&key) {
+            frame.data = data;
+            frame.dirty = true;
+            let frames = &self.frames;
+            self.policy
+                .access(key, |k| frames.get(k).is_some_and(|f| f.pins > 0));
+            return Ok(());
+        }
+        self.admit(key)?;
+        self.frames.insert(
+            key,
+            Frame {
+                data,
+                pins: 0,
+                dirty: true,
+            },
+        );
+        Ok(())
+    }
+
+    /// Appends `bytes` to the resident page `key` (the growing tail of
+    /// an append-only file), leaving its dirtiness as-is. No-op if the
+    /// page is not resident.
+    pub fn extend(&mut self, key: PageKey, bytes: &[u8]) {
+        if let Some(frame) = self.frames.get_mut(&key) {
+            frame.data.extend_from_slice(bytes);
+            debug_assert!(frame.data.len() <= self.page_size);
+        }
+    }
+
+    /// Pins `key` (loading it through the backend if absent): a pinned
+    /// page is never chosen for eviction. Pins nest.
+    pub fn pin(&mut self, key: PageKey) -> io::Result<()> {
+        self.get(key)?;
+        self.frames.get_mut(&key).expect("resident").pins += 1;
+        Ok(())
+    }
+
+    /// Releases one pin. Unbalanced unpins are a caller bug and panic
+    /// in debug builds.
+    pub fn unpin(&mut self, key: PageKey) {
+        if let Some(frame) = self.frames.get_mut(&key) {
+            debug_assert!(frame.pins > 0, "unpin without a pin");
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+
+    /// Current pin count (test introspection).
+    pub fn pins(&self, key: PageKey) -> u32 {
+        self.frames.get(&key).map_or(0, |f| f.pins)
+    }
+
+    /// Writes back every dirty page of `file` in ascending page order
+    /// (so append-only backends see their bytes arrive in file order).
+    /// Returns how many pages were written.
+    pub fn flush_file(&mut self, file: u64) -> io::Result<usize> {
+        let mut dirty: Vec<PageKey> = self
+            .frames
+            .iter()
+            .filter(|(k, f)| k.file == file && f.dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        dirty.sort();
+        let n = dirty.len();
+        for key in dirty {
+            let data = self.frames.get(&key).expect("listed above").data.clone();
+            self.io.write_page(key, &data)?;
+            self.frames.get_mut(&key).expect("listed above").dirty = false;
+            self.stats.writebacks += 1;
+            self.observe(|o| o.on_writeback());
+        }
+        Ok(n)
+    }
+
+    /// [`PageCache::flush_file`] over every file with dirty pages.
+    pub fn flush_all(&mut self) -> io::Result<usize> {
+        let mut files: Vec<u64> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(k, _)| k.file)
+            .collect();
+        files.sort_unstable();
+        files.dedup();
+        let mut n = 0;
+        for file in files {
+            n += self.flush_file(file)?;
+        }
+        Ok(n)
+    }
+
+    /// Drops every page (and ghost) of `file` without writing anything
+    /// back — for truncate/remove, where cached bytes are stale.
+    pub fn invalidate_file(&mut self, file: u64) {
+        self.frames.retain(|k, _| k.file != file);
+        self.policy.retain(|k| k.file != file);
+    }
+
+    /// Drops pages of `file` numbered `>= from_page` (truncation to a
+    /// mid-file point keeps the still-valid prefix).
+    pub fn invalidate_from(&mut self, file: u64, from_page: u32) {
+        self.frames
+            .retain(|k, _| !(k.file == file && k.page >= from_page));
+        self.policy
+            .retain(|k| !(k.file == file && k.page >= from_page));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::rc::Rc;
+
+    /// A PageIo over a flat in-memory page table.
+    #[derive(Default, Clone)]
+    struct MapIo {
+        pages: Rc<RefCell<BTreeMap<PageKey, Vec<u8>>>>,
+    }
+
+    impl PageIo for MapIo {
+        fn read_page(&self, key: PageKey, _page_size: usize) -> io::Result<Vec<u8>> {
+            Ok(self.pages.borrow().get(&key).cloned().unwrap_or_default())
+        }
+        fn write_page(&self, key: PageKey, data: &[u8]) -> io::Result<()> {
+            self.pages.borrow_mut().insert(key, data.to_vec());
+            Ok(())
+        }
+    }
+
+    fn key(file: u64, page: u32) -> PageKey {
+        PageKey { file, page }
+    }
+
+    #[test]
+    fn read_through_miss_then_hit() {
+        let io = MapIo::default();
+        io.write_page(key(1, 0), b"hello").unwrap();
+        let mut cache = PageCache::new(4, 64, io);
+        assert_eq!(cache.get(key(1, 0)).unwrap(), b"hello");
+        assert_eq!(cache.get(key(1, 0)).unwrap(), b"hello");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn dirty_pages_write_back_on_flush_in_page_order() {
+        let io = MapIo::default();
+        let pages = io.pages.clone();
+        let mut cache = PageCache::new(8, 64, io);
+        cache.put_dirty(key(3, 2), b"two".to_vec()).unwrap();
+        cache.put_dirty(key(3, 0), b"zero".to_vec()).unwrap();
+        cache.put_dirty(key(4, 0), b"other-file".to_vec()).unwrap();
+        assert!(pages.borrow().is_empty(), "dirty data stays cached");
+        assert_eq!(cache.flush_file(3).unwrap(), 2);
+        assert_eq!(pages.borrow().get(&key(3, 0)).unwrap(), b"zero");
+        assert_eq!(pages.borrow().get(&key(3, 2)).unwrap(), b"two");
+        assert!(!pages.borrow().contains_key(&key(4, 0)));
+        assert_eq!(cache.flush_all().unwrap(), 1);
+        // Flushing again writes nothing: pages are clean now.
+        assert_eq!(cache.flush_all().unwrap(), 0);
+        assert_eq!(cache.stats().writebacks, 3);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_victims() {
+        let io = MapIo::default();
+        let pages = io.pages.clone();
+        let mut cache = PageCache::new(2, 64, io);
+        cache.put_dirty(key(1, 0), b"a".to_vec()).unwrap();
+        cache.put_dirty(key(1, 1), b"b".to_vec()).unwrap();
+        // Two more cold pages force evictions past capacity 2.
+        cache.install(key(1, 2), b"c".to_vec()).unwrap();
+        cache.install(key(1, 3), b"d".to_vec()).unwrap();
+        let flushed = pages.borrow().len();
+        assert!(flushed >= 1, "an evicted dirty page must be written back");
+        assert!(cache.stats().evictions >= 1);
+        // Nothing was lost: every key still reads back correctly.
+        for (k, want) in [(0u32, b"a"), (1, b"b")] {
+            let have = cache.get(key(1, k)).unwrap().to_vec();
+            assert_eq!(have, want.to_vec(), "page {k}");
+        }
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let io = MapIo::default();
+        let mut cache = PageCache::new(2, 64, io);
+        cache.put_dirty(key(1, 0), b"pinned".to_vec()).unwrap();
+        cache.pin(key(1, 0)).unwrap();
+        for p in 1..10u32 {
+            cache.install(key(1, p), vec![p as u8]).unwrap();
+        }
+        // The pinned page was never evicted: still resident and dirty,
+        // no backend write for it happened.
+        assert_eq!(cache.pins(key(1, 0)), 1);
+        let before = cache.stats().misses;
+        assert_eq!(cache.get(key(1, 0)).unwrap(), b"pinned");
+        assert_eq!(cache.stats().misses, before, "served without a miss");
+        cache.unpin(key(1, 0));
+    }
+
+    #[test]
+    fn invalidate_file_and_prefix() {
+        let io = MapIo::default();
+        io.write_page(key(1, 0), b"durable".to_vec().as_slice()).unwrap();
+        let mut cache = PageCache::new(8, 64, io);
+        cache.put_dirty(key(1, 0), b"stale".to_vec()).unwrap();
+        cache.put_dirty(key(1, 5), b"tail".to_vec()).unwrap();
+        cache.invalidate_from(1, 3);
+        assert_eq!(cache.resident(), 1, "page 5 dropped, page 0 kept");
+        cache.invalidate_file(1);
+        assert_eq!(cache.resident(), 0);
+        // Invalidation discarded, not flushed: the backend still holds
+        // the old image.
+        assert_eq!(cache.get(key(1, 0)).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn observer_sees_hits_misses_evictions_writebacks() {
+        struct Obs {
+            hits: u64,
+            misses: u64,
+            evicts: u64,
+            writebacks: u64,
+        }
+        impl CacheObserver for Obs {
+            fn on_hit(&mut self) {
+                self.hits += 1;
+            }
+            fn on_miss(&mut self) {
+                self.misses += 1;
+            }
+            fn on_evict(&mut self) {
+                self.evicts += 1;
+            }
+            fn on_writeback(&mut self) {
+                self.writebacks += 1;
+            }
+        }
+        let io = MapIo::default();
+        let mut cache = PageCache::new(2, 64, io);
+        cache.set_observer(Box::new(Obs {
+            hits: 0,
+            misses: 0,
+            evicts: 0,
+            writebacks: 0,
+        }));
+        cache.put_dirty(key(1, 0), b"x".to_vec()).unwrap();
+        cache.get(key(1, 0)).unwrap(); // hit
+        cache.install(key(1, 1), b"y".to_vec()).unwrap();
+        cache.install(key(1, 2), b"z".to_vec()).unwrap(); // evicts
+        let s = cache.stats();
+        assert!(s.hits >= 1 && s.misses >= 2 && s.evictions >= 1);
+    }
+}

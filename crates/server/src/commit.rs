@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use uucs_pagecache::{DiskScheduler, OpKind};
 use uucs_telemetry::{metrics, Counter, Histogram};
 use uucs_wal::Lsn;
 
@@ -111,6 +112,11 @@ pub struct GroupCommitter {
     counts: [usize; FLAVORS],
     stopped: AtomicBool,
     metrics: CommitMetrics,
+    /// When present, slot fsyncs are submitted to the disk scheduler's
+    /// thread pool instead of running serially on the commit thread —
+    /// one pass over `k` dirty shards pays `max(fsync)` wall time, not
+    /// `sum(fsync)`.
+    scheduler: Option<Arc<DiskScheduler>>,
 }
 
 impl GroupCommitter {
@@ -118,6 +124,18 @@ impl GroupCommitter {
     /// be joined after [`GroupCommitter::stop`] (the server's `Drop`
     /// does both).
     pub fn start(stores: Arc<StoreSet>, interval: Duration) -> (Arc<Self>, JoinHandle<()>) {
+        Self::start_with(stores, interval, None)
+    }
+
+    /// [`GroupCommitter::start`], optionally over a [`DiskScheduler`]:
+    /// with one, every fsync pass fans its per-shard syncs out to the
+    /// scheduler's I/O threads and redeems the completion tickets, so
+    /// independent shards sync in parallel.
+    pub fn start_with(
+        stores: Arc<StoreSet>,
+        interval: Duration,
+        scheduler: Option<Arc<DiskScheduler>>,
+    ) -> (Arc<Self>, JoinHandle<()>) {
         let counts = [
             stores.testcases.count(),
             stores.results.count(),
@@ -142,6 +160,7 @@ impl GroupCommitter {
                 batch: metrics::histogram("server.commit.batch"),
                 ns: metrics::histogram("server.commit.ns"),
             },
+            scheduler,
         });
         let runner = committer.clone();
         let handle = std::thread::Builder::new()
@@ -250,11 +269,37 @@ impl GroupCommitter {
     /// only place the disk wait happens.
     fn sync_slot(&self, slot: usize) -> std::io::Result<Lsn> {
         let (flavor, shard) = self.flavor_shard(slot);
+        Self::sync_store(&self.stores, flavor, shard)
+    }
+
+    /// The actual per-shard sync, callable from a scheduler thread
+    /// (the shard's write lock is what serializes against handlers).
+    fn sync_store(stores: &StoreSet, flavor: StoreFlavor, shard: usize) -> std::io::Result<Lsn> {
         match flavor {
-            StoreFlavor::Testcases => self.stores.testcases.write_recovered(shard).sync_wal(),
-            StoreFlavor::Results => self.stores.results.write_recovered(shard).sync_wal(),
-            StoreFlavor::Registry => self.stores.registry.write_recovered(shard).sync_wal(),
+            StoreFlavor::Testcases => stores.testcases.write_recovered(shard).sync_wal(),
+            StoreFlavor::Results => stores.results.write_recovered(shard).sync_wal(),
+            StoreFlavor::Registry => stores.registry.write_recovered(shard).sync_wal(),
         }
+    }
+
+    /// Publishes one slot's sync outcome: watermark advance (+ metrics)
+    /// or sticky failure, then wakes the waiters.
+    fn finish_slot(&self, slot: usize, since: Lsn, outcome: std::io::Result<Lsn>, elapsed: u64) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match outcome {
+            Ok(watermark) => {
+                self.metrics.commits.inc();
+                self.metrics.batch.record(watermark.saturating_sub(since));
+                self.metrics.ns.record(elapsed);
+                if st.synced[slot] < watermark {
+                    st.synced[slot] = watermark;
+                }
+            }
+            Err(e) => {
+                st.failed[slot] = Some(format!("journal sync failed: {e}"));
+            }
+        }
+        self.done.notify_all();
     }
 
     fn run(&self) {
@@ -291,25 +336,35 @@ impl GroupCommitter {
                     .map(|s| (s, st.synced[s]))
                     .collect()
             };
-            for (slot, since) in work {
+            if let Some(sched) = &self.scheduler {
+                // Fan the dirty shards out to the I/O pool; each sync
+                // serializes on its own shard lock, so independent
+                // shards fsync in parallel and the pass costs the
+                // slowest shard, not the sum.
                 let t0 = Instant::now();
-                let outcome = self.sync_slot(slot);
-                let elapsed = t0.elapsed().as_nanos() as u64;
-                let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-                match outcome {
-                    Ok(watermark) => {
-                        self.metrics.commits.inc();
-                        self.metrics.batch.record(watermark.saturating_sub(since));
-                        self.metrics.ns.record(elapsed);
-                        if st.synced[slot] < watermark {
-                            st.synced[slot] = watermark;
-                        }
-                    }
-                    Err(e) => {
-                        st.failed[slot] = Some(format!("journal sync failed: {e}"));
-                    }
+                let tickets: Vec<_> = work
+                    .iter()
+                    .map(|&(slot, since)| {
+                        let (flavor, shard) = self.flavor_shard(slot);
+                        let stores = self.stores.clone();
+                        let ticket = sched.submit(OpKind::Fsync, move || {
+                            Self::sync_store(&stores, flavor, shard)
+                        });
+                        (slot, since, ticket)
+                    })
+                    .collect();
+                for (slot, since, ticket) in tickets {
+                    let outcome = ticket.wait();
+                    let elapsed = t0.elapsed().as_nanos() as u64;
+                    self.finish_slot(slot, since, outcome, elapsed);
                 }
-                self.done.notify_all();
+            } else {
+                for (slot, since) in work {
+                    let t0 = Instant::now();
+                    let outcome = self.sync_slot(slot);
+                    let elapsed = t0.elapsed().as_nanos() as u64;
+                    self.finish_slot(slot, since, outcome, elapsed);
+                }
             }
         }
     }

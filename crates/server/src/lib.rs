@@ -33,6 +33,7 @@ pub mod commit;
 pub mod models;
 pub mod server;
 pub mod shard;
+pub mod storage;
 pub mod store;
 pub mod tcp;
 
@@ -40,4 +41,5 @@ pub use commit::{CommitTicket, GroupCommitter, StoreFlavor};
 pub use models::ModelStore;
 pub use server::{ReplicationSink, UucsServer};
 pub use shard::{shard_of, Sharded, StoreSet};
+pub use storage::{StorageProfile, StoreIo};
 pub use store::{BatchStatus, RegistryStore, ResultStore, StoreError, TestcaseStore};

@@ -5,6 +5,7 @@
 //! uucs-server [--addr 127.0.0.1:4004] [--library FILE] [--data DIR]
 //!             [--generate-library N-seed] [--wal] [--sync POLICY]
 //!             [--shards N] [--commit-interval-us N]
+//!             [--cache-pages N] [--io-threads N]
 //!             [--max-conns N] [--workers N] [--engine pool|threads]
 //! ```
 //!
@@ -32,6 +33,15 @@
 //!   fsyncing individually and a dedicated commit thread batches all
 //!   pending appends into one fsync per shard every N microseconds.
 //!   Acks still wait for the fsync — same durability, amortized cost.
+//! * `--cache-pages N` puts an ARC page cache (N pages per store
+//!   flavor, `uucs-pagecache`) under every journal: write-through (no
+//!   durability change), read-cached (recovery replays, reshard
+//!   migrations and compaction scans hit memory when warm). 0 (the
+//!   default) is a strict passthrough.
+//! * `--io-threads N` starts the disk-scheduler thread pool: group
+//!   commit fans its per-shard fsyncs out to it, and segment rotation
+//!   defers its fsync to the next commit pass instead of stalling the
+//!   append path. Needs `--commit-interval-us`.
 //! * `--max-conns N`, `--workers N`, `--engine pool|threads` tune the
 //!   TCP front end (worker pool over nonblocking sockets by default;
 //!   `threads` restores one-thread-per-connection).
@@ -43,7 +53,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 use uucs_server::tcp::{EngineMode, ServeConfig};
-use uucs_server::{tcp, StoreSet, TestcaseStore, UucsServer};
+use uucs_server::{tcp, StorageProfile, StoreSet, TestcaseStore, UucsServer};
 use uucs_telemetry::metrics;
 use uucs_wal::{SyncPolicy, WalConfig};
 
@@ -56,6 +66,7 @@ fn main() {
     let mut sync = SyncPolicy::Always;
     let mut shards: usize = 1;
     let mut commit_interval_us: u64 = 0;
+    let mut storage = StorageProfile::default();
     let mut serve_config = ServeConfig::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -108,6 +119,20 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--cache-pages" => {
+                i += 1;
+                storage.cache_pages = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --cache-pages (want a page count, 0 disables)");
+                    std::process::exit(2);
+                });
+            }
+            "--io-threads" => {
+                i += 1;
+                storage.io_threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("bad --io-threads (want a thread count, 0 disables)");
+                    std::process::exit(2);
+                });
+            }
             "--max-conns" => {
                 i += 1;
                 serve_config.max_connections = args
@@ -149,6 +174,14 @@ fn main() {
         eprintln!("--commit-interval-us needs --wal (group commit batches journal fsyncs)");
         std::process::exit(2);
     }
+    if storage.io_threads > 0 && commit_interval_us == 0 {
+        eprintln!("--io-threads needs --commit-interval-us (the committer drives the scheduler)");
+        std::process::exit(2);
+    }
+    if storage.cache_pages > 0 && !wal {
+        eprintln!("--cache-pages needs --wal (the cache sits under the journals)");
+        std::process::exit(2);
+    }
 
     // Surface the engine configuration in STATS so fleet drivers can
     // confirm what they are actually talking to.
@@ -156,6 +189,8 @@ fn main() {
     metrics::gauge("server.config.max_connections").set(serve_config.max_connections as i64);
     metrics::gauge("server.config.workers").set(serve_config.workers as i64);
     metrics::gauge("server.config.commit_interval_us").set(commit_interval_us as i64);
+    metrics::gauge("server.config.cache_pages").set(storage.cache_pages as i64);
+    metrics::gauge("server.config.io_threads").set(storage.io_threads as i64);
     metrics::gauge("server.config.engine_pool").set(i64::from(matches!(
         serve_config.engine,
         EngineMode::WorkerPool
@@ -192,8 +227,8 @@ fn main() {
             ..WalConfig::default()
         };
         eprintln!("recovering journals under {:?} ({shards} shard(s)) ...", data.join("wal"));
-        let (stores, recoveries) =
-            StoreSet::open(&data.join("wal"), config, shards).unwrap_or_else(|e| {
+        let (stores, recoveries) = StoreSet::open_with(&data.join("wal"), config, shards, &storage)
+            .unwrap_or_else(|e| {
                 eprintln!("journal is unrecoverable: {e}");
                 std::process::exit(1);
             });
@@ -206,6 +241,9 @@ fn main() {
             }
         }
         let mut server = UucsServer::with_store_set(stores, 0x5e17);
+        if let Some(sched) = storage.scheduler() {
+            server = server.with_io_scheduler(sched);
+        }
         if commit_interval_us > 0 {
             server = server.with_group_commit(Duration::from_micros(commit_interval_us));
         }

@@ -24,7 +24,8 @@ use std::sync::OnceLock;
 use uucs_modelsvc::{ComfortModel, Observation, QuantileSketch};
 use uucs_protocol::{RunOutcome, RunRecord, WalEntry};
 use uucs_telemetry::{metrics, Counter, Gauge, Histogram};
-use uucs_wal::{Recovery, StdIo, Wal, WalConfig};
+use crate::storage::{plain_io, StoreIo};
+use uucs_wal::{Recovery, Wal, WalConfig};
 
 /// Telemetry handles for the model service, registered once.
 struct ModelMetrics {
@@ -89,7 +90,7 @@ struct CachedMerge {
 /// and the per-epoch query cache.
 pub struct ModelStore {
     model: ComfortModel,
-    wal: Option<Wal<StdIo>>,
+    wal: Option<Wal<StoreIo>>,
     /// Merged-query cache keyed by `(resource name, task)`. Interior
     /// mutability because queries come in through read locks; entries
     /// are invalidated by epoch tag, not eviction.
@@ -116,7 +117,17 @@ impl ModelStore {
     /// the journal under `dir` (snapshot = full model, entries = epoch
     /// deltas) and journals every subsequent update before applying it.
     pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
-        let (mut wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        Self::open_wal_with(plain_io(), dir, config)
+    }
+
+    /// [`ModelStore::open_wal`] over an explicit I/O backend (see
+    /// [`crate::storage::StorageProfile::store_io`]).
+    pub fn open_wal_with(
+        io: StoreIo,
+        dir: &Path,
+        config: WalConfig,
+    ) -> io::Result<(Self, Recovery)> {
+        let (mut wal, mut recovery) = Wal::open(io, dir, config)?;
         WalTelemetry::install(&mut wal, "model");
         let mut model = ComfortModel::new();
         if let Some(snap) = recovery.snapshot.take() {
@@ -150,6 +161,15 @@ impl ModelStore {
     /// True when updates are journaled through a WAL.
     pub fn is_durable(&self) -> bool {
         self.wal.is_some()
+    }
+
+    /// Defers segment-rotation fsyncs to the next explicit sync pass
+    /// (the group committer's), keeping rotation off the append path.
+    /// No-op in plain mode.
+    pub fn set_deferred_rotation_sync(&mut self, defer: bool) {
+        if let Some(wal) = &mut self.wal {
+            wal.set_deferred_rotation_sync(defer);
+        }
     }
 
     /// The current model epoch.

@@ -21,6 +21,7 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use uucs_modelsvc::{ComfortModel, QuantileSketch};
+use uucs_pagecache::DiskScheduler;
 use uucs_protocol::wire::Endpoint;
 use uucs_protocol::{ClientMsg, MachineSnapshot, ServerMsg, WalEntry, WIRE_VERSION_BINARY};
 use uucs_stats::Pcg64;
@@ -169,6 +170,10 @@ pub struct UucsServer {
     /// `SyncPolicy`, as before).
     committer: Option<Arc<GroupCommitter>>,
     commit_thread: Option<JoinHandle<()>>,
+    /// Dedicated disk-I/O thread pool: when present, the group
+    /// committer fans its per-shard fsyncs out here and segment
+    /// rotations defer their fsync to the next commit pass.
+    io_scheduler: Option<Arc<DiskScheduler>>,
     /// When false, the `UPLOAD` path skips comfort-model updates (the
     /// `MODEL`/`ADVICE` verbs then serve a frozen — typically empty —
     /// model). Benchmarks use this to isolate the update cost.
@@ -250,6 +255,7 @@ impl UucsServer {
             stores,
             committer: None,
             commit_thread: None,
+            io_scheduler: None,
             model_updates: true,
             sample_seed,
             next_client: AtomicU64::new(max_id),
@@ -303,10 +309,34 @@ impl UucsServer {
     /// committer's batched fsync instead of paying its own. `interval`
     /// is the gathering window per fsync pass.
     pub fn with_group_commit(mut self, interval: Duration) -> Self {
-        let (committer, handle) = GroupCommitter::start(self.stores.clone(), interval);
+        if self.io_scheduler.is_some() {
+            // The committer's regular sync passes drain deferred
+            // rotation syncs, so rotation can leave the append path.
+            self.stores.set_deferred_rotation_sync(true);
+        }
+        let (committer, handle) = GroupCommitter::start_with(
+            self.stores.clone(),
+            interval,
+            self.io_scheduler.clone(),
+        );
         self.committer = Some(committer);
         self.commit_thread = Some(handle);
         self
+    }
+
+    /// Installs the disk-scheduler thread pool (see
+    /// [`crate::storage::StorageProfile::scheduler`]). Must run before
+    /// [`UucsServer::with_group_commit`]: the committer captures it,
+    /// fans per-shard fsyncs out to its threads, and store WALs defer
+    /// segment-rotation fsyncs to the committer's passes.
+    pub fn with_io_scheduler(mut self, scheduler: Arc<DiskScheduler>) -> Self {
+        self.io_scheduler = Some(scheduler);
+        self
+    }
+
+    /// The installed disk scheduler, if any.
+    pub fn io_scheduler(&self) -> Option<Arc<DiskScheduler>> {
+        self.io_scheduler.clone()
     }
 
     /// The group-commit coordinator, when enabled — the worker-pool

@@ -26,7 +26,8 @@ use std::path::Path;
 use uucs_protocol::{MachineSnapshot, RunRecord, WalEntry};
 use uucs_telemetry::{metrics, Counter, Histogram};
 use uucs_testcase::{format as tcformat, Testcase};
-use uucs_wal::{Recovery, StdIo, Wal, WalConfig, WalObserver};
+use crate::storage::{plain_io, StoreIo};
+use uucs_wal::{Recovery, Wal, WalConfig, WalObserver};
 
 /// The telemetry bridge for one store's WAL: every observer hook lands
 /// in the global registry under `server.wal.<flavor>.*`, so `STATS`
@@ -38,18 +39,22 @@ pub(crate) struct WalTelemetry {
     append_bytes: Counter,
     fsync_ns: Histogram,
     rotations: Counter,
+    rotation_stall_ns: Histogram,
     snapshot_ns: Histogram,
     compact_ns: Histogram,
     compact_removed: Counter,
 }
 
 impl WalTelemetry {
-    pub(crate) fn install(wal: &mut Wal<StdIo>, flavor: &str) {
+    pub(crate) fn install(wal: &mut Wal<StoreIo>, flavor: &str) {
         wal.set_observer(Box::new(WalTelemetry {
             append_ns: metrics::histogram(&format!("server.wal.{flavor}.append.ns")),
             append_bytes: metrics::counter(&format!("server.wal.{flavor}.append.bytes")),
             fsync_ns: metrics::histogram(&format!("server.wal.{flavor}.fsync.ns")),
             rotations: metrics::counter(&format!("server.wal.{flavor}.rotations")),
+            rotation_stall_ns: metrics::histogram(&format!(
+                "server.wal.{flavor}.rotation_stall.ns"
+            )),
             snapshot_ns: metrics::histogram(&format!("server.wal.{flavor}.snapshot.ns")),
             compact_ns: metrics::histogram(&format!("server.wal.{flavor}.compact.ns")),
             compact_removed: metrics::counter(&format!("server.wal.{flavor}.compact.removed")),
@@ -67,6 +72,9 @@ impl WalObserver for WalTelemetry {
     }
     fn on_rotate(&mut self) {
         self.rotations.inc();
+    }
+    fn on_rotate_stall(&mut self, dur_ns: u64) {
+        self.rotation_stall_ns.record(dur_ns);
     }
     fn on_snapshot(&mut self, _bytes: usize, dur_ns: u64) {
         self.snapshot_ns.record(dur_ns);
@@ -112,7 +120,7 @@ pub(crate) fn invalid(msg: impl fmt::Display) -> io::Error {
 #[derive(Debug, Default)]
 pub struct TestcaseStore {
     testcases: Vec<Testcase>,
-    wal: Option<Wal<StdIo>>,
+    wal: Option<Wal<StoreIo>>,
 }
 
 impl TestcaseStore {
@@ -137,7 +145,19 @@ impl TestcaseStore {
     ///
     /// [`add`]: TestcaseStore::add
     pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
-        let (mut wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        Self::open_wal_with(plain_io(), dir, config)
+    }
+
+    /// [`TestcaseStore::open_wal`] over an explicit I/O backend —
+    /// typically a shared per-flavor page cache
+    /// ([`crate::storage::StorageProfile::store_io`]), so recovery
+    /// replays and compaction scans hit memory on a warm cache.
+    pub fn open_wal_with(
+        io: StoreIo,
+        dir: &Path,
+        config: WalConfig,
+    ) -> io::Result<(Self, Recovery)> {
+        let (mut wal, mut recovery) = Wal::open(io, dir, config)?;
         WalTelemetry::install(&mut wal, "testcases");
         let mut store = Self::new();
         if let Some(snap) = recovery.snapshot.take() {
@@ -164,6 +184,17 @@ impl TestcaseStore {
     /// True when mutations are journaled through a WAL.
     pub fn is_durable(&self) -> bool {
         self.wal.is_some()
+    }
+
+    /// Defers segment-rotation fsyncs to the next explicit sync pass
+    /// (the group committer's), keeping rotation off the append path.
+    /// Only safe when something calls [`sync_wal`](Self::sync_wal)
+    /// regularly — acks must still wait on that sync. No-op in plain
+    /// mode.
+    pub fn set_deferred_rotation_sync(&mut self, defer: bool) {
+        if let Some(wal) = &mut self.wal {
+            wal.set_deferred_rotation_sync(defer);
+        }
     }
 
     /// Adds a testcase ("new testcases can be added to the server at any
@@ -285,7 +316,7 @@ pub struct ResultStore {
     records: Vec<RunRecord>,
     /// Per-client highest applied batch sequence number.
     applied: BTreeMap<String, u64>,
-    wal: Option<Wal<StdIo>>,
+    wal: Option<Wal<StoreIo>>,
 }
 
 impl ResultStore {
@@ -298,7 +329,17 @@ impl ResultStore {
     /// journal under `dir` and journals every subsequent upload before
     /// applying it.
     pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
-        let (mut wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        Self::open_wal_with(plain_io(), dir, config)
+    }
+
+    /// [`ResultStore::open_wal`] over an explicit I/O backend (see
+    /// [`crate::storage::StorageProfile::store_io`]).
+    pub fn open_wal_with(
+        io: StoreIo,
+        dir: &Path,
+        config: WalConfig,
+    ) -> io::Result<(Self, Recovery)> {
+        let (mut wal, mut recovery) = Wal::open(io, dir, config)?;
         WalTelemetry::install(&mut wal, "results");
         let mut records = Vec::new();
         let mut applied = BTreeMap::new();
@@ -373,6 +414,17 @@ impl ResultStore {
     /// True when mutations are journaled through a WAL.
     pub fn is_durable(&self) -> bool {
         self.wal.is_some()
+    }
+
+    /// Defers segment-rotation fsyncs to the next explicit sync pass
+    /// (the group committer's), keeping rotation off the append path.
+    /// Only safe when something calls [`sync_wal`](Self::sync_wal)
+    /// regularly — acks must still wait on that sync. No-op in plain
+    /// mode.
+    pub fn set_deferred_rotation_sync(&mut self, defer: bool) {
+        if let Some(wal) = &mut self.wal {
+            wal.set_deferred_rotation_sync(defer);
+        }
     }
 
     /// Appends uploaded records, returning how many were accepted. In
@@ -530,7 +582,7 @@ pub struct RegistryStore {
     /// id back instead of a new row. Rebuilt from the journal and the
     /// snapshot on recovery, so the guarantee survives a server restart.
     tokens: Vec<(String, String)>,
-    wal: Option<Wal<StdIo>>,
+    wal: Option<Wal<StoreIo>>,
 }
 
 impl RegistryStore {
@@ -543,7 +595,17 @@ impl RegistryStore {
     /// journal under `dir` and journals every subsequent registration
     /// before applying it.
     pub fn open_wal(dir: &Path, config: WalConfig) -> io::Result<(Self, Recovery)> {
-        let (mut wal, mut recovery) = Wal::open(StdIo::new(), dir, config)?;
+        Self::open_wal_with(plain_io(), dir, config)
+    }
+
+    /// [`RegistryStore::open_wal`] over an explicit I/O backend (see
+    /// [`crate::storage::StorageProfile::store_io`]).
+    pub fn open_wal_with(
+        io: StoreIo,
+        dir: &Path,
+        config: WalConfig,
+    ) -> io::Result<(Self, Recovery)> {
+        let (mut wal, mut recovery) = Wal::open(io, dir, config)?;
         WalTelemetry::install(&mut wal, "registry");
         let mut store = Self::new();
         if let Some(snap) = recovery.snapshot.take() {
@@ -623,6 +685,17 @@ impl RegistryStore {
     /// True when registrations are journaled through a WAL.
     pub fn is_durable(&self) -> bool {
         self.wal.is_some()
+    }
+
+    /// Defers segment-rotation fsyncs to the next explicit sync pass
+    /// (the group committer's), keeping rotation off the append path.
+    /// Only safe when something calls [`sync_wal`](Self::sync_wal)
+    /// regularly — acks must still wait on that sync. No-op in plain
+    /// mode.
+    pub fn set_deferred_rotation_sync(&mut self, defer: bool) {
+        if let Some(wal) = &mut self.wal {
+            wal.set_deferred_rotation_sync(defer);
+        }
     }
 
     /// Registers a machine, assigning the next GUID. In durable mode the

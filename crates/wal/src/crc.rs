@@ -1,18 +1,24 @@
 //! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), the checksum
 //! framing every WAL record and snapshot payload.
 //!
-//! Table-driven, one table built at compile time. The workspace is
-//! std-only, so the implementation lives here rather than pulling in a
-//! registry crate for forty lines of arithmetic.
+//! Slicing-by-8: eight lookup tables built at compile time, consuming
+//! the input eight bytes per step (with a byte-at-a-time tail), which
+//! checksums several times faster than the classic one-table loop —
+//! recovery replay and segment scans are CRC-bound once the page cache
+//! serves the reads from memory. The workspace is std-only, so the
+//! implementation lives here rather than pulling in a registry crate
+//! for a page of arithmetic.
 
 /// The reflected IEEE polynomial.
 const POLY: u32 = 0xEDB8_8320;
 
-/// The byte-at-a-time lookup table.
-static TABLE: [u32; 256] = build_table();
+/// `TABLES[0]` is the classic byte-at-a-time table; `TABLES[k][b]` is
+/// the CRC of byte `b` followed by `k` zero bytes, which is what lets
+/// eight adjacent input bytes fold into one state update.
+static TABLES: [[u32; 256]; 8] = build_tables();
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -25,10 +31,21 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = tables[0][i];
+        let mut t = 1;
+        while t < 8 {
+            crc = (crc >> 8) ^ tables[0][(crc & 0xFF) as usize];
+            tables[t][i] = crc;
+            t += 1;
+        }
+        i += 1;
+    }
+    tables
 }
 
 /// Extends a running (pre-inverted) CRC state with more bytes.
@@ -36,8 +53,21 @@ const fn build_table() -> [u32; 256] {
 /// Start from [`crc32`] for one-shot use; use `Crc32` for incremental
 /// hashing across multiple slices.
 fn update(mut state: u32, data: &[u8]) -> u32 {
-    for &b in data {
-        state = (state >> 8) ^ TABLE[((state ^ b as u32) & 0xFF) as usize];
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        state = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        state = (state >> 8) ^ TABLES[0][((state ^ b as u32) & 0xFF) as usize];
     }
     state
 }
@@ -80,6 +110,15 @@ impl Default for Crc32 {
 mod tests {
     use super::*;
 
+    /// The one-table reference loop the sliced version must match.
+    fn crc32_bytewise(data: &[u8]) -> u32 {
+        let mut state = 0xFFFF_FFFFu32;
+        for &b in data {
+            state = (state >> 8) ^ TABLES[0][((state ^ b as u32) & 0xFF) as usize];
+        }
+        state ^ 0xFFFF_FFFF
+    }
+
     #[test]
     fn known_vectors() {
         // The classic check value for "123456789" under CRC-32/IEEE.
@@ -89,9 +128,23 @@ mod tests {
     }
 
     #[test]
+    fn sliced_matches_bytewise_at_every_length() {
+        // Cover the remainder loop at every phase (0..8 leftover
+        // bytes) and multi-block inputs.
+        let data: Vec<u8> = (0..257u32).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "mismatch at length {len}"
+            );
+        }
+    }
+
+    #[test]
     fn incremental_matches_one_shot() {
         let data = b"the quick brown fox jumps over the lazy dog";
-        for split in [0, 1, 7, data.len()] {
+        for split in [0, 1, 7, 8, 9, 16, data.len()] {
             let mut h = Crc32::new();
             h.update(&data[..split]);
             h.update(&data[split..]);
@@ -101,7 +154,7 @@ mod tests {
 
     #[test]
     fn detects_single_bit_flips() {
-        let mut data = b"hello wal".to_vec();
+        let mut data = b"hello wal, nine bytes and then some".to_vec();
         let clean = crc32(&data);
         for byte in 0..data.len() {
             for bit in 0..8 {

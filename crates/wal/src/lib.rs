@@ -345,6 +345,98 @@ mod tests {
         drop(wal);
     }
 
+    /// Deferred rotation sync: rotations stop fsyncing inline, but a
+    /// later `sync()` drains the closed-segment backlog oldest-first,
+    /// so a crash after that sync loses nothing and recovery never sees
+    /// a committed gap.
+    #[test]
+    fn deferred_rotation_sync_is_drained_by_the_next_sync() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", cfg(80, SyncPolicy::Never)).unwrap();
+        wal.set_deferred_rotation_sync(true);
+        // Cross several rotation boundaries without ever syncing.
+        for i in 0..10u8 {
+            wal.append(&[i; 20]).unwrap();
+        }
+        assert!(wal.segment_count() > 2, "tiny segments must have rotated");
+        wal.sync().unwrap();
+        io.crash(0.0); // drop everything unsynced
+        let (wal, rec) = Wal::open(io, "/w", cfg(80, SyncPolicy::Never)).unwrap();
+        assert_eq!(rec.next_lsn, 10, "synced records survive across rotations");
+        assert_eq!(collect(wal.replay()).len(), 10);
+    }
+
+    /// Without the drain, a crash between rotations under deferral
+    /// would lose the unsynced tail — but never produce a mid-log gap:
+    /// recovery still opens cleanly on the synced prefix.
+    #[test]
+    fn deferred_rotation_crash_before_sync_keeps_a_clean_prefix() {
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io.clone(), "/w", cfg(80, SyncPolicy::Never)).unwrap();
+        wal.set_deferred_rotation_sync(true);
+        for i in 0..4u8 {
+            wal.append(&[i; 20]).unwrap();
+        }
+        wal.sync().unwrap();
+        for i in 4..10u8 {
+            wal.append(&[i; 20]).unwrap(); // rotations with deferred fsync
+        }
+        io.crash(0.0);
+        let (wal, rec) = Wal::open(io, "/w", cfg(80, SyncPolicy::Never)).unwrap();
+        assert_eq!(rec.next_lsn, 4, "only the explicitly synced prefix survives");
+        assert_eq!(collect(wal.replay()).len(), 4);
+    }
+
+    /// The rotation-stall hook fires once per rotation, and deferral
+    /// removes the fsync from the appending thread: under `Never` with
+    /// deferral, no `on_sync` fires until the explicit `sync()` call,
+    /// which then drains one fsync per closed segment plus the active.
+    #[test]
+    fn rotation_stall_hook_fires_and_deferral_moves_syncs_off_append() {
+        use std::sync::{Arc, Mutex};
+        #[derive(Default)]
+        struct Tally {
+            rotations: usize,
+            stalls: usize,
+            syncs: usize,
+        }
+        struct Recorder(Arc<Mutex<Tally>>);
+        impl WalObserver for Recorder {
+            fn on_rotate(&mut self) {
+                self.0.lock().unwrap().rotations += 1;
+            }
+            fn on_rotate_stall(&mut self, _dur_ns: u64) {
+                self.0.lock().unwrap().stalls += 1;
+            }
+            fn on_sync(&mut self, _dur_ns: u64) {
+                self.0.lock().unwrap().syncs += 1;
+            }
+        }
+        let tally = Arc::new(Mutex::new(Tally::default()));
+        let io = MemIo::new();
+        let (mut wal, _) = Wal::open(io, "/w", cfg(80, SyncPolicy::Never)).unwrap();
+        wal.set_deferred_rotation_sync(true);
+        wal.set_observer(Box::new(Recorder(tally.clone())));
+        for i in 0..10u8 {
+            wal.append(&[i; 20]).unwrap();
+        }
+        let rotations = wal.segment_count() - 1;
+        {
+            let t = tally.lock().unwrap();
+            assert!(rotations > 0);
+            assert_eq!(t.rotations, rotations);
+            assert_eq!(t.stalls, rotations, "one stall sample per rotation");
+            assert_eq!(t.syncs, 0, "deferral keeps fsync off the append path");
+        }
+        wal.sync().unwrap();
+        let t = tally.lock().unwrap();
+        assert_eq!(
+            t.syncs,
+            rotations + 1,
+            "drain syncs every closed segment, then the active one"
+        );
+    }
+
     #[test]
     fn sync_policies_trade_durability_for_speed() {
         for (policy, expect_survivors) in [

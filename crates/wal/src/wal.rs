@@ -61,6 +61,14 @@ pub trait WalObserver: Send + Sync {
     }
     /// The active segment was closed and a fresh one started.
     fn on_rotate(&mut self) {}
+    /// Rotation held the appending thread for `dur_ns` of wall time.
+    /// With deferred rotation sync (see
+    /// [`Wal::set_deferred_rotation_sync`]) this is just the
+    /// create+header cost; otherwise it includes the closing segment's
+    /// fsync.
+    fn on_rotate_stall(&mut self, dur_ns: u64) {
+        let _ = dur_ns;
+    }
     /// A checkpoint of `bytes` of state was published in `dur_ns`.
     fn on_snapshot(&mut self, bytes: usize, dur_ns: u64) {
         let _ = (bytes, dur_ns);
@@ -208,8 +216,10 @@ struct Scan {
     segments: Vec<SegMeta>,
     torn: Option<TornTail>,
     tmp_files: Vec<String>,
-    /// A final segment with no complete header: no records, remove it.
-    headerless_tail: Option<String>,
+    /// Trailing segments with no complete header: no records, remove
+    /// them. Deferred rotation sync can leave several (each unsynced
+    /// rotation abandons a headerless file), not just one.
+    headerless_tails: Vec<String>,
     next_lsn: Lsn,
     replay_records: u64,
 }
@@ -246,19 +256,30 @@ fn scan_dir<I: Io>(io: &I, dir: &Path) -> io::Result<Scan> {
     }
     let base = snapshot.as_ref().map(|s| s.upto).unwrap_or(0);
 
+    // Crash residue is only tolerated at the very end of the log: a
+    // headerless segment is removable iff every later segment is also
+    // headerless (deferred rotation sync can abandon a whole run of
+    // them), and a torn frame is healable iff nothing but headerless
+    // residue follows it.
+    let lens: Vec<u64> = seg_names
+        .iter()
+        .map(|(_, name)| io.len(&dir.join(name)))
+        .collect::<io::Result<_>>()?;
+    let only_residue_after =
+        |i: usize| lens[i + 1..].iter().all(|&l| l < SEGMENT_HEADER as u64);
+
     let mut segments: Vec<SegMeta> = Vec::new();
     let mut torn = None;
-    let mut headerless_tail = None;
+    let mut headerless_tails = Vec::new();
     let mut replay_records = 0u64;
-    let last_idx = seg_names.len().wrapping_sub(1);
     for (i, (first, name)) in seg_names.iter().enumerate() {
-        let is_last = i == last_idx;
+        let is_last = only_residue_after(i);
         let data = io.read(&dir.join(name))?;
         if data.len() < SEGMENT_HEADER {
             if is_last {
                 // Crash between creating the segment and flushing its
                 // header: it never held a record.
-                headerless_tail = Some(name.clone());
+                headerless_tails.push(name.clone());
                 continue;
             }
             return Err(corrupt(format!(
@@ -349,7 +370,7 @@ fn scan_dir<I: Io>(io: &I, dir: &Path) -> io::Result<Scan> {
         segments,
         torn,
         tmp_files,
-        headerless_tail,
+        headerless_tails,
         next_lsn,
         replay_records,
     })
@@ -483,6 +504,11 @@ pub struct Wal<I: Io> {
     appends_since_sync: u32,
     broken: bool,
     observer: ObserverSlot,
+    /// When true, [`Wal::rotate`] does not fsync the closing segment
+    /// inline; [`Wal::sync`] drains the backlog oldest-first instead.
+    defer_rotation_sync: bool,
+    /// Closed segments whose fsync was deferred, oldest first.
+    unsynced_closed: Vec<String>,
 }
 
 impl<I: Io> Wal<I> {
@@ -503,7 +529,7 @@ impl<I: Io> Wal<I> {
         for tmp in &scan.tmp_files {
             io.remove(&dir.join(tmp))?;
         }
-        if let Some(name) = scan.headerless_tail.take() {
+        for name in scan.headerless_tails.drain(..) {
             io.remove(&dir.join(&name))?;
         }
         if let Some(t) = &scan.torn {
@@ -547,9 +573,24 @@ impl<I: Io> Wal<I> {
                 appends_since_sync: 0,
                 broken: false,
                 observer: ObserverSlot(None),
+                defer_rotation_sync: false,
+                unsynced_closed: Vec::new(),
             },
             recovery,
         ))
+    }
+
+    /// Defers the closing segment's fsync out of [`Wal::rotate`] (and
+    /// therefore out of the appending thread): the next [`Wal::sync`]
+    /// drains deferred segments oldest-first before syncing the active
+    /// one, so a later segment is never durable ahead of an earlier one
+    /// and the no-committed-gap recovery invariant holds. Meant for
+    /// group-commit setups where a dedicated thread calls `sync` anyway;
+    /// off by default, and pointless (but harmless) under
+    /// [`SyncPolicy::Always`] since every append already synced the
+    /// closing segment.
+    pub fn set_deferred_rotation_sync(&mut self, defer: bool) {
+        self.defer_rotation_sync = defer;
     }
 
     /// Installs (or replaces) the observer notified of this log's I/O.
@@ -640,9 +681,21 @@ impl<I: Io> Wal<I> {
         Ok(lsn)
     }
 
-    /// Forces everything appended so far to stable storage.
+    /// Forces everything appended so far to stable storage, including
+    /// any closed segments whose rotation-time fsync was deferred
+    /// (those drain oldest-first, so durability stays prefix-ordered).
     pub fn sync(&mut self) -> io::Result<()> {
         self.check_broken()?;
+        while !self.unsynced_closed.is_empty() {
+            let path = self.dir.join(&self.unsynced_closed[0]);
+            let t0 = self.observer.t0();
+            let sync = self.io.sync(&path);
+            self.guard(sync)?;
+            if let Some(obs) = self.observer.0.as_mut() {
+                obs.on_sync(ObserverSlot::elapsed_ns(t0));
+            }
+            self.unsynced_closed.remove(0);
+        }
         let path = self.active_path();
         let t0 = self.observer.t0();
         let sync = self.io.sync(&path);
@@ -656,19 +709,30 @@ impl<I: Io> Wal<I> {
 
     /// Closes the active segment and starts a new one at `next_lsn`.
     fn rotate(&mut self) -> io::Result<()> {
-        // The outgoing segment is synced under EVERY policy: a later
-        // segment may be synced before the earlier one otherwise, and a
-        // crash would then leave a gap in the committed log — which
-        // recovery must (and does) reject — instead of a torn tail at
-        // the end. Rotation is rare, so the extra fsync is cheap.
-        self.sync()?;
+        let t0 = self.observer.t0();
+        if self.defer_rotation_sync {
+            // The closing segment's fsync moves to the next `sync`
+            // call (a group-commit thread, typically); `sync` drains
+            // deferred segments oldest-first so durability ordering —
+            // and therefore the no-committed-gap recovery invariant —
+            // is preserved.
+            let closing = self.segments.last().expect("always one segment").1.clone();
+            self.unsynced_closed.push(closing);
+        } else {
+            // The outgoing segment is synced under EVERY policy: a
+            // later segment may be synced before the earlier one
+            // otherwise, and a crash would then leave a gap in the
+            // committed log — which recovery must (and does) reject —
+            // instead of a torn tail at the end.
+            self.sync()?;
+        }
         let name = segment_name(self.next_lsn);
         let path = self.dir.join(&name);
         let create = self.io.create(&path);
         self.guard(create)?;
         let header = self.io.append(&path, &segment_header(self.next_lsn));
         self.guard(header)?;
-        if self.config.sync == SyncPolicy::Always {
+        if self.config.sync == SyncPolicy::Always && !self.defer_rotation_sync {
             let sync = self.io.sync(&path);
             self.guard(sync)?;
         }
@@ -677,6 +741,7 @@ impl<I: Io> Wal<I> {
         self.appends_since_sync = 0;
         if let Some(obs) = self.observer.0.as_mut() {
             obs.on_rotate();
+            obs.on_rotate_stall(ObserverSlot::elapsed_ns(t0));
         }
         Ok(())
     }
@@ -727,6 +792,7 @@ impl<I: Io> Wal<I> {
             let name = self.segments[0].1.clone();
             let remove = self.io.remove(&self.dir.join(&name));
             self.guard(remove)?;
+            self.unsynced_closed.retain(|n| n != &name);
             self.segments.remove(0);
             removed += 1;
         }

@@ -221,6 +221,116 @@ fn group_commit_kill_loses_no_acked_upload() {
     }
 }
 
+/// The same kill storm with the full storage engine under the stores:
+/// per-flavor ARC page caches, the disk-scheduler thread pool, and
+/// deferred rotation syncs. A kill mid-write-back must lose nothing
+/// that was acked — the cache is write-through, so an ack still means
+/// "on stable storage", never "in a dirty page".
+#[test]
+fn cached_engine_kill_loses_no_acked_upload() {
+    use uucs::server::StorageProfile;
+
+    let tmp = TempDir::new("uucs-engine-cached-kill");
+    const CLIENTS: usize = 6;
+    let profile = StorageProfile {
+        cache_pages: 128,
+        io_threads: 2,
+        ..StorageProfile::default()
+    };
+
+    // Generation 1: cached sharded stores, scheduler-fanned group
+    // commit, rotation off the append path.
+    let acked: Vec<(String, u64)> = {
+        let (stores, _) = StoreSet::open_with(tmp.path(), wal_cfg(), 3, &profile).unwrap();
+        let server = Arc::new(
+            UucsServer::with_store_set(stores, 9)
+                .without_model_updates()
+                .with_io_scheduler(profile.scheduler().expect("io_threads > 0"))
+                .with_group_commit(Duration::from_micros(200)),
+        );
+        let handle = tcp::serve(server, "127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+
+        let uploaders: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .unwrap();
+                    let mut writer = stream.try_clone().unwrap();
+                    let mut reader = BufReader::new(stream);
+                    write_client_msg(
+                        &mut writer,
+                        &ClientMsg::register(MachineSnapshot::study_machine(format!(
+                            "cached-kill-{c}"
+                        ))),
+                    )
+                    .unwrap();
+                    let id = match read_server_msg(&mut reader) {
+                        Ok(ServerMsg::Id { id, .. }) => id,
+                        _ => return (String::new(), 0),
+                    };
+                    let mut top = 0u64;
+                    for seq in 1..10_000u64 {
+                        let sent = write_client_msg(
+                            &mut writer,
+                            &ClientMsg::Upload {
+                                client: id.clone(),
+                                seq,
+                                records: vec![rec(&id, &format!("ck{seq}"))],
+                            },
+                        );
+                        if sent.is_err() {
+                            break;
+                        }
+                        match read_server_msg(&mut reader) {
+                            Ok(ServerMsg::Ack(_)) => top = seq,
+                            _ => break,
+                        }
+                    }
+                    (id, top)
+                })
+            })
+            .collect();
+
+        std::thread::sleep(Duration::from_millis(150));
+        handle.shutdown();
+        uploaders
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|(id, _)| !id.is_empty())
+            .collect()
+    };
+    assert!(
+        acked.iter().any(|(_, top)| *top > 0),
+        "the storm never got an upload acked; test proves nothing"
+    );
+
+    // Generation 2: different shard count, cache warm-started from
+    // scratch. Every acked upload must be recovered.
+    let (stores, _) = StoreSet::open_with(tmp.path(), wal_cfg(), 5, &profile).unwrap();
+    let server = UucsServer::with_store_set(stores, 9);
+    for (id, top) in &acked {
+        assert!(
+            server.applied_seq(id) >= *top,
+            "client {id}: acked seq {top} lost in recovery (horizon {})",
+            server.applied_seq(id)
+        );
+    }
+    let recovered = server.results();
+    for (id, top) in &acked {
+        if *top > 0 {
+            assert!(
+                recovered
+                    .iter()
+                    .any(|r| &r.client == id && r.testcase == format!("ck{top}")),
+                "client {id}: record of acked seq {top} missing"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(Config::with_cases(6))]
 

@@ -330,6 +330,110 @@ fn wire_gauges_and_version_counters_track_negotiation() {
     handle.shutdown();
 }
 
+/// Storage-engine telemetry: with the disk scheduler installed, segment
+/// rotation leaves the append path. The `rotation_stall.ns` histogram
+/// must record only the create+header cost (microseconds, not an
+/// fsync), the deferred syncs ride the committer through the scheduler
+/// (`server.disk.ops` moves), the per-flavor cache counters fill, and
+/// every one of those series is visible through STATS.
+#[test]
+fn rotation_stall_is_negligible_under_the_io_scheduler() {
+    use uucs::protocol::wire::Endpoint;
+    use uucs::protocol::{MonitorSummary, RunOutcome, RunRecord};
+    use uucs::server::{StorageProfile, StoreSet};
+
+    let _guard = serialize();
+    let dir = TempDir::new("uucs-telemetry-rotation");
+    let profile = StorageProfile {
+        cache_pages: 64,
+        io_threads: 2,
+        ..StorageProfile::default()
+    };
+    // Tiny segments force rotations constantly; Never leaves every
+    // fsync to the group committer (and the deferred-rotation drain).
+    let cfg = WalConfig {
+        segment_bytes: 4096,
+        sync: SyncPolicy::Never,
+    };
+    let (stores, _) = StoreSet::open_with(dir.path(), cfg, 2, &profile).unwrap();
+    let server = UucsServer::with_store_set(stores, 7)
+        .without_model_updates()
+        .with_io_scheduler(profile.scheduler().expect("io_threads > 0"))
+        .with_group_commit(Duration::from_micros(200));
+
+    let ServerMsg::Id { id, .. } =
+        server.handle(&ClientMsg::register(MachineSnapshot::study_machine("rot-e2e")))
+    else {
+        panic!("registration refused");
+    };
+    // Enough upload bytes to roll the 4 KiB results segments many
+    // times over; every Ack is post-commit, so by the time the last
+    // one returns the rotations (and their deferred syncs) happened.
+    for seq in 1..=40u64 {
+        let records = (0..5)
+            .map(|i| RunRecord {
+                client: id.clone(),
+                user: String::new(),
+                testcase: format!("rot-{seq}-{i}"),
+                task: "IE".into(),
+                skill: "Typical".into(),
+                outcome: RunOutcome::Discomfort,
+                offset_secs: 10.0,
+                last_levels: vec![(uucs::testcase::Resource::Cpu, vec![2.0])],
+                monitor: MonitorSummary::default(),
+            })
+            .collect();
+        let reply = server.handle(&ClientMsg::Upload {
+            client: id.clone(),
+            seq,
+            records,
+        });
+        assert!(matches!(reply, ServerMsg::Ack(_)), "{reply:?}");
+    }
+
+    let rotations = metrics::counter("server.wal.results.rotations").get();
+    assert!(rotations > 0, "the workload never rotated a segment");
+    let stall = metrics::histogram("server.wal.results.rotation_stall.ns");
+    assert!(stall.count() >= rotations, "every rotation records its stall");
+    // The appending thread paid create+header only — never the closing
+    // segment's fsync. 5ms is orders of magnitude above that cost and
+    // below a slow fsync, so the bound survives CI jitter while still
+    // failing if rotation ever syncs inline again.
+    assert!(
+        stall.max() < 5_000_000,
+        "rotation stalled the append path for {}ns",
+        stall.max()
+    );
+    // The deferred syncs actually ran, on the scheduler's threads.
+    assert!(metrics::counter("server.disk.ops").get() > 0);
+
+    let ServerMsg::Stats(json) = server.handle(&ClientMsg::Stats { reset: false }) else {
+        panic!("expected STATS reply");
+    };
+    for key in [
+        "\"server.wal.results.rotation_stall.ns\"",
+        "\"server.disk.ops\"",
+        "\"server.disk.queue_depth\"",
+        "\"server.cache.results.miss\"",
+    ] {
+        assert!(json.contains(key), "STATS JSON missing {key}: {json}");
+    }
+
+    // Clean shutdown (the committer drains), then a recovery boot under
+    // the same profile: the replay reads land in the page cache (the
+    // cache is write-through, so live appends never dirty it — reads
+    // are where it earns its keep) and every acked upload is present.
+    drop(server);
+    let misses_before = metrics::counter("server.cache.results.miss").get();
+    let (stores, _) = StoreSet::open_with(dir.path(), cfg, 2, &profile).unwrap();
+    let recovered = UucsServer::with_store_set(stores, 7);
+    assert!(
+        metrics::counter("server.cache.results.miss").get() > misses_before,
+        "recovery replay should read through the page cache"
+    );
+    assert_eq!(recovered.applied_seq(&id), 40, "acked uploads must survive");
+}
+
 /// Runs a simulated machine that emits one flight event per nap, with
 /// the telemetry clock slaved to simulated time, and returns the flight
 /// recorder's JSONL dump.
